@@ -1,0 +1,102 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! scheduling/allocation policy of the simulated run-time, counter-index arity, and the
+//! simulation cost itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aftermath_bench::figures::Scale;
+use aftermath_bench::seidel_experiments::SeidelExperiment;
+use aftermath_core::index::CounterIndex;
+use aftermath_core::AnalysisSession;
+use aftermath_sim::{AllocationPolicy, RuntimeConfig, SchedulingPolicy, SimConfig, Simulator};
+use aftermath_trace::{CpuId, TimeInterval};
+
+fn bench_runtime_policies(c: &mut Criterion) {
+    // How expensive is simulating the same workload under different run-time policies,
+    // and what makespan does each produce? (The makespan itself is reported by the
+    // `reproduce` binary; here we measure the simulator's own cost.)
+    let workload = SeidelExperiment::workload(Scale::Test).build();
+    let machine = SeidelExperiment::machine(Scale::Test);
+    let mut group = c.benchmark_group("ablation_runtime_policy");
+    group.sample_size(10);
+    let policies = [
+        ("random_firsttouch", RuntimeConfig::non_optimized()),
+        ("numa_firsttouch", RuntimeConfig::numa_optimized()),
+        (
+            "random_interleaved",
+            RuntimeConfig {
+                scheduling: SchedulingPolicy::RandomStealing,
+                allocation: AllocationPolicy::Interleaved,
+                ..RuntimeConfig::default()
+            },
+        ),
+        (
+            "numa_singlenode",
+            RuntimeConfig {
+                scheduling: SchedulingPolicy::NumaAware,
+                allocation: AllocationPolicy::SingleNode,
+                ..RuntimeConfig::default()
+            },
+        ),
+    ];
+    for (name, runtime) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &runtime, |b, rt| {
+            b.iter(|| {
+                Simulator::new(SimConfig::new(machine.clone(), *rt, 11))
+                    .run(&workload)
+                    .unwrap()
+                    .makespan
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_arity(c: &mut Criterion) {
+    // The paper picks an arity of 100 to bound index memory at ~5 % of the sample data;
+    // this ablation sweeps the arity and measures query cost.
+    let exp = SeidelExperiment::run(Scale::Test);
+    let session = AnalysisSession::new(&exp.non_optimized.trace);
+    let counter = session.counter_id("system-time-us").unwrap();
+    let samples = session.samples(CpuId(0), counter);
+    let bounds = session.time_bounds();
+    let query = TimeInterval::from_cycles(
+        bounds.start.0 + bounds.duration() / 4,
+        bounds.start.0 + 3 * bounds.duration() / 4,
+    );
+    let mut group = c.benchmark_group("ablation_index_arity");
+    group.sample_size(20);
+    for arity in [4usize, 16, 100, 1000] {
+        let index = CounterIndex::with_arity(samples, arity);
+        group.bench_with_input(BenchmarkId::from_parameter(arity), &index, |b, idx| {
+            b.iter(|| idx.min_max_in(samples, query));
+        });
+    }
+    group.finish();
+}
+
+fn bench_timeline_resolution(c: &mut Criterion) {
+    // Cost of building the timeline model at different horizontal resolutions (zoom
+    // levels): the per-pixel reduction is what keeps low-zoom rendering cheap.
+    use aftermath_core::{TimelineMode, TimelineModel};
+    let exp = SeidelExperiment::run(Scale::Test);
+    let session = AnalysisSession::new(&exp.non_optimized.trace);
+    let bounds = session.time_bounds();
+    let mut group = c.benchmark_group("ablation_timeline_resolution");
+    group.sample_size(10);
+    for columns in [128usize, 512, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(columns), &columns, |b, &cols| {
+            b.iter(|| {
+                TimelineModel::build(&session, TimelineMode::State, bounds, cols).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = ablation;
+    config = Criterion::default();
+    targets = bench_runtime_policies, bench_index_arity, bench_timeline_resolution
+);
+criterion_main!(ablation);

@@ -1,0 +1,120 @@
+//! Criterion benchmarks for the per-figure analyses.
+//!
+//! Each benchmark measures the *analysis* cost of regenerating one of the paper's
+//! figures on a pre-simulated trace (the simulation itself is done once during setup),
+//! so the numbers reflect the performance of the Aftermath-style analysis engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use aftermath_bench::figures::Scale;
+use aftermath_bench::kmeans_experiments as km;
+use aftermath_bench::seidel_experiments::SeidelExperiment;
+use aftermath_core::{
+    correlate_duration_with_counter, derived, stats, AnalysisSession, IncidenceMatrix, TaskFilter,
+};
+use aftermath_trace::WorkerState;
+
+fn bench_seidel_figures(c: &mut Criterion) {
+    let exp = SeidelExperiment::run(Scale::Test);
+    let trace = &exp.non_optimized.trace;
+
+    c.bench_function("fig03_idle_workers", |b| {
+        let session = AnalysisSession::new(trace);
+        let bounds = session.time_bounds();
+        b.iter(|| {
+            derived::state_concurrency(&session, WorkerState::Idle, 200, bounds).unwrap()
+        });
+    });
+
+    c.bench_function("fig05_parallelism_profile", |b| {
+        // Includes the task-graph reconstruction, which is the expensive part.
+        b.iter_batched(
+            || AnalysisSession::new(trace),
+            |session| session.task_graph().unwrap().parallelism_profile(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("fig08_average_task_duration", |b| {
+        let session = AnalysisSession::new(trace);
+        let bounds = session.time_bounds();
+        b.iter(|| derived::average_task_duration(&session, 200, bounds).unwrap());
+    });
+
+    c.bench_function("fig10_os_counter_derivative", |b| {
+        let session = AnalysisSession::new(trace);
+        let bounds = session.time_bounds();
+        let counter = session.counter_id("system-time-us").unwrap();
+        b.iter(|| {
+            derived::counter_derivative(
+                &session,
+                counter,
+                derived::AggregationKind::Sum,
+                200,
+                bounds,
+            )
+            .unwrap()
+        });
+    });
+
+    c.bench_function("fig15_incidence_matrix", |b| {
+        let session = AnalysisSession::new(trace);
+        b.iter(|| IncidenceMatrix::build(&session, &TaskFilter::new()).unwrap());
+    });
+}
+
+fn bench_kmeans_figures(c: &mut Criterion) {
+    // One representative k-means trace at test scale.
+    let cfg = km::base_config(Scale::Test);
+    let spec = cfg.build();
+    let result = aftermath_sim::Simulator::new(aftermath_sim::SimConfig::new(
+        km::machine(Scale::Test),
+        aftermath_sim::RuntimeConfig::numa_optimized(),
+        17,
+    ))
+    .run(&spec)
+    .unwrap();
+    let trace = &result.trace;
+    let distance_ty = trace
+        .task_types()
+        .iter()
+        .find(|t| t.name == aftermath_workloads::kmeans::TASK_TYPE_DISTANCE)
+        .unwrap()
+        .id;
+
+    c.bench_function("fig16_duration_histogram", |b| {
+        let session = AnalysisSession::new(trace);
+        let filter = TaskFilter::new().with_task_type(distance_ty);
+        b.iter(|| stats::task_duration_histogram(&session, &filter, 30).unwrap());
+    });
+
+    c.bench_function("fig19_correlation_study", |b| {
+        let session = AnalysisSession::new(trace);
+        let filter = TaskFilter::new().with_task_type(distance_ty);
+        let counter = session.counter_id("branch-mispredictions").unwrap();
+        b.iter(|| correlate_duration_with_counter(&session, counter, &filter).unwrap());
+    });
+
+    c.bench_function("fig12_single_granularity_point", |b| {
+        // Cost of one simulation point of the granularity sweep (workload build + sim).
+        b.iter(|| {
+            let config = km::base_config(Scale::Test).with_block_size(4_000);
+            let spec = config.build();
+            aftermath_sim::Simulator::new(aftermath_sim::SimConfig::new(
+                km::machine(Scale::Test),
+                aftermath_sim::RuntimeConfig::numa_optimized(),
+                17,
+            ))
+            .run(&spec)
+            .unwrap()
+            .makespan
+        });
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_seidel_figures, bench_kmeans_figures
+);
+criterion_main!(figures);

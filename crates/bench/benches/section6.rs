@@ -1,0 +1,117 @@
+//! Criterion benchmarks of the Section VI machinery: trace I/O, interval indexes,
+//! counter min/max trees, timeline model construction and rendering.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use aftermath_bench::figures::Scale;
+use aftermath_bench::section6::synthetic_trace;
+use aftermath_core::index::{samples_in, CounterIndex};
+use aftermath_core::{AnalysisSession, TimelineMode, TimelineModel};
+use aftermath_render::{CounterOverlay, TimelineRenderer};
+use aftermath_trace::format::{read_trace, write_trace};
+use aftermath_trace::{CpuId, TimeInterval};
+
+fn bench_trace_io(c: &mut Criterion) {
+    let trace = synthetic_trace(Scale::Test);
+    let mut encoded = Vec::new();
+    write_trace(&trace, &mut encoded).unwrap();
+
+    let mut group = c.benchmark_group("sec6_trace_io");
+    group.bench_function("write", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            write_trace(&trace, &mut buf).unwrap();
+            buf.len()
+        });
+    });
+    group.bench_function("read", |b| {
+        b.iter(|| read_trace(&encoded[..]).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_indexes(c: &mut Criterion) {
+    let trace = synthetic_trace(Scale::Test);
+    let session = AnalysisSession::new(&trace);
+    let bounds = session.time_bounds();
+    let counter = session.counter_id("branch-mispredictions").unwrap();
+    let cpu = CpuId(0);
+    let samples = session.samples(cpu, counter);
+    let index = CounterIndex::new(samples);
+    // A mid-trace query interval covering roughly a third of the samples.
+    let query = TimeInterval::from_cycles(
+        bounds.start.0 + bounds.duration() / 3,
+        bounds.start.0 + 2 * bounds.duration() / 3,
+    );
+
+    let mut group = c.benchmark_group("sec6_index");
+    group.bench_function("counter_minmax_indexed", |b| {
+        b.iter(|| index.min_max_in(samples, query));
+    });
+    group.bench_function("counter_minmax_linear_scan", |b| {
+        b.iter(|| {
+            samples_in(samples, query)
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(mn, mx), s| {
+                    (mn.min(s.value), mx.max(s.value))
+                })
+        });
+    });
+    group.bench_function("counter_index_build", |b| {
+        b.iter(|| CounterIndex::new(samples));
+    });
+    group.bench_function("interval_slice_binary_search", |b| {
+        let states = session.states(cpu);
+        b.iter(|| aftermath_core::index::states_overlapping(states, query).len());
+    });
+    group.bench_function("interval_slice_linear_filter", |b| {
+        let states = session.states(cpu);
+        b.iter(|| {
+            states
+                .iter()
+                .filter(|s| s.interval.overlaps(&query))
+                .count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_rendering(c: &mut Criterion) {
+    let trace = synthetic_trace(Scale::Test);
+    let session = AnalysisSession::new(&trace);
+    let bounds = session.time_bounds();
+    let columns = 1024;
+    let model = TimelineModel::build(&session, TimelineMode::State, bounds, columns).unwrap();
+    let renderer = TimelineRenderer::new();
+
+    let mut group = c.benchmark_group("sec6_render");
+    group.bench_function("timeline_model_build", |b| {
+        b.iter(|| TimelineModel::build(&session, TimelineMode::State, bounds, columns).unwrap());
+    });
+    group.bench_function("timeline_render_optimized", |b| {
+        b.iter_batched(|| &model, |m| renderer.render(m), BatchSize::SmallInput);
+    });
+    group.bench_function("timeline_render_unaggregated", |b| {
+        b.iter_batched(|| &model, |m| renderer.render_unaggregated(m), BatchSize::SmallInput);
+    });
+    group.bench_function("timeline_render_naive_per_event", |b| {
+        b.iter(|| renderer.render_states_naive(&session, bounds, columns));
+    });
+
+    let counter = session.counter_id("system-time-us").unwrap();
+    let overlay = CounterOverlay::new(CpuId(0), counter, aftermath_render::Color::WHITE);
+    group.bench_function("counter_overlay_minmax", |b| {
+        b.iter(|| overlay.render(&session, bounds, columns).unwrap());
+    });
+    group.bench_function("counter_overlay_naive", |b| {
+        b.iter(|| overlay.render_naive(&session, bounds, columns).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = section6;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trace_io, bench_indexes, bench_rendering
+);
+criterion_main!(section6);

@@ -1,0 +1,354 @@
+//! Regenerates every table and figure of the paper's evaluation sections.
+//!
+//! ```text
+//! reproduce [--scale test|paper] [--out DIR] [fig3|fig5|fig8|fig9|fig10|fig12|fig13|
+//!                                             fig14|fig15|fig16|fig19|sec6|all]
+//! ```
+//!
+//! Each sub-command prints the series/rows corresponding to one paper figure; `all`
+//! (the default) runs everything. With `--out DIR`, PPM renderings of the visual views
+//! (timelines, incidence matrices, histograms) are written to `DIR`.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+
+use aftermath_bench::figures::{fmt_cycles, Scale};
+use aftermath_bench::kmeans_experiments as km;
+use aftermath_bench::section6;
+use aftermath_bench::seidel_experiments::SeidelExperiment;
+use aftermath_core::{AnalysisSession, TimelineMode, TimelineModel};
+use aftermath_render::views::{render_histogram, render_incidence_matrix};
+use aftermath_render::TimelineRenderer;
+
+struct Options {
+    scale: Scale,
+    out_dir: Option<PathBuf>,
+    targets: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut args: VecDeque<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    let mut out_dir = None;
+    let mut targets = Vec::new();
+    while let Some(arg) = args.pop_front() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.pop_front().unwrap_or_default();
+                scale = Scale::parse(&value).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{value}', expected 'test' or 'paper'");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                let value = args.pop_front().unwrap_or_default();
+                out_dir = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: reproduce [--scale test|paper] [--out DIR] [FIGURE...]\n\
+                     figures: fig3 fig5 fig8 fig9 fig10 fig12 fig13 fig14 fig15 fig16 fig19 sec6 all"
+                );
+                std::process::exit(0);
+            }
+            other => targets.push(other.trim_start_matches("--").to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    Options {
+        scale,
+        out_dir,
+        targets,
+    }
+}
+
+fn wants(options: &Options, name: &str) -> bool {
+    options
+        .targets
+        .iter()
+        .any(|t| t == name || t == "all" || (t == "seidel" && name.starts_with("fig1") == false))
+}
+
+fn main() {
+    let options = parse_args();
+    if let Some(dir) = &options.out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    println!("# Aftermath-rs figure reproduction (scale: {:?})", options.scale);
+
+    let seidel_figs = ["fig3", "fig5", "fig8", "fig9", "fig10", "fig14", "fig15"];
+    let run_seidel = seidel_figs.iter().any(|f| wants(&options, f));
+    let seidel = run_seidel.then(|| SeidelExperiment::run(options.scale));
+
+    if let Some(exp) = &seidel {
+        if wants(&options, "fig3") {
+            fig3(exp);
+        }
+        if wants(&options, "fig5") {
+            fig5(exp);
+        }
+        if wants(&options, "fig8") {
+            fig8(exp);
+        }
+        if wants(&options, "fig9") {
+            fig9(exp);
+        }
+        if wants(&options, "fig10") {
+            fig10(exp);
+        }
+        if wants(&options, "fig14") {
+            fig14(exp, &options);
+        }
+        if wants(&options, "fig15") {
+            fig15(exp, &options);
+        }
+    }
+    if wants(&options, "fig12") || wants(&options, "fig13") {
+        fig12_13(&options);
+    }
+    if wants(&options, "fig16") {
+        fig16(&options);
+    }
+    if wants(&options, "fig19") {
+        fig19(&options);
+    }
+    if wants(&options, "sec6") {
+        sec6(&options);
+    }
+}
+
+fn print_series_header(title: &str, columns: &str) {
+    println!("\n## {title}");
+    println!("{columns}");
+}
+
+fn fig3(exp: &SeidelExperiment) {
+    let series = exp.fig3_idle_workers(40);
+    print_series_header(
+        "Figure 2/3 — seidel: number of idle workers over normalized execution time",
+        "normalized_time,idle_workers",
+    );
+    for (x, v) in series.normalized_points() {
+        println!("{:.3},{:.2}", x, v);
+    }
+    println!(
+        "# machine has {} workers; peak idle = {:.1}",
+        exp.num_cpus,
+        series.max().unwrap_or(0.0)
+    );
+}
+
+fn fig5(exp: &SeidelExperiment) {
+    let profile = exp.fig5_parallelism_profile();
+    print_series_header(
+        "Figure 5 — seidel: available parallelism vs. task-graph depth",
+        "depth,ready_tasks",
+    );
+    for (d, p) in profile.iter().enumerate() {
+        println!("{d},{p}");
+    }
+    let peak = profile.iter().skip(1).max().copied().unwrap_or(0);
+    println!(
+        "# phases: startup={} tasks at depth 0, drop to {} at depth 1, wave-front peak {} tasks",
+        profile.first().copied().unwrap_or(0),
+        profile.get(1).copied().unwrap_or(0),
+        peak
+    );
+}
+
+fn fig8(exp: &SeidelExperiment) {
+    let series = exp.fig8_average_task_duration(40);
+    print_series_header(
+        "Figure 7/8 — seidel: average task duration over normalized execution time",
+        "normalized_time,avg_duration_cycles",
+    );
+    for (x, v) in series.normalized_points() {
+        println!("{:.3},{:.0}", x, v);
+    }
+    println!(
+        "# peak average duration {} at normalized time {:.2}",
+        fmt_cycles(series.max().unwrap_or(0.0)),
+        series
+            .argmax()
+            .map(|i| (i as f64 + 0.5) / series.num_bins() as f64)
+            .unwrap_or(0.0)
+    );
+}
+
+fn fig9(exp: &SeidelExperiment) {
+    let (first, rest) = exp.fig9_init_fraction_by_phase();
+    print_series_header(
+        "Figure 9 — seidel typemap: initialization share of execution cycles",
+        "phase,init_fraction",
+    );
+    println!("first_quarter,{first:.3}");
+    println!("remaining_three_quarters,{rest:.3}");
+}
+
+fn fig10(exp: &SeidelExperiment) {
+    let (sys, rss) = exp.fig10_os_derivatives(40);
+    print_series_header(
+        "Figure 10 — seidel: increase of system time / resident size per cycle",
+        "normalized_time,d_system_time_us_per_cycle,d_resident_kbytes_per_cycle",
+    );
+    for ((x, s), (_, r)) in sys.normalized_points().into_iter().zip(rss.normalized_points()) {
+        println!("{:.3},{:.6e},{:.6e}", x, s, r);
+    }
+}
+
+fn fig14(exp: &SeidelExperiment, options: &Options) {
+    let summary = exp.fig14_locality();
+    print_series_header(
+        "Figure 14 — seidel: locality of memory accesses (non-optimized vs optimized run-time)",
+        "configuration,remote_read_fraction,makespan_cycles",
+    );
+    println!(
+        "non-optimized,{:.3},{}",
+        summary.remote_fraction_non_optimized,
+        fmt_cycles(summary.makespan_non_optimized as f64)
+    );
+    println!(
+        "numa-optimized,{:.3},{}",
+        summary.remote_fraction_optimized,
+        fmt_cycles(summary.makespan_optimized as f64)
+    );
+    println!(
+        "# speedup of the optimized configuration: {:.2}x (paper: 7.91G vs 2.59G cycles ~ 3.05x)",
+        summary.speedup
+    );
+    if let Some(dir) = &options.out_dir {
+        for (name, trace) in [
+            ("fig14_numa_read_non_optimized", &exp.non_optimized.trace),
+            ("fig14_numa_read_optimized", &exp.optimized.trace),
+        ] {
+            let session = AnalysisSession::new(trace);
+            let model = TimelineModel::build(
+                &session,
+                TimelineMode::NumaRead,
+                session.time_bounds(),
+                800,
+            )
+            .expect("timeline model");
+            let fb = TimelineRenderer::new().render(&model);
+            let path = dir.join(format!("{name}.ppm"));
+            fb.write_ppm_file(&path).expect("write ppm");
+            println!("# wrote {}", path.display());
+        }
+    }
+}
+
+fn fig15(exp: &SeidelExperiment, options: &Options) {
+    let summary = exp.fig15_incidence();
+    print_series_header(
+        "Figure 15 — seidel: communication incidence matrix",
+        "configuration,diagonal_fraction",
+    );
+    println!(
+        "non-optimized,{:.3}",
+        summary.diagonal_fraction_non_optimized
+    );
+    println!("numa-optimized,{:.3}", summary.diagonal_fraction_optimized);
+    if let Some(dir) = &options.out_dir {
+        for (name, matrix) in [
+            ("fig15_matrix_non_optimized", &summary.non_optimized),
+            ("fig15_matrix_optimized", &summary.optimized),
+        ] {
+            let fb = render_incidence_matrix(matrix, 16);
+            let path = dir.join(format!("{name}.ppm"));
+            fb.write_ppm_file(&path).expect("write ppm");
+            println!("# wrote {}", path.display());
+        }
+    }
+}
+
+fn fig12_13(options: &Options) {
+    let rows = km::granularity_sweep(options.scale);
+    print_series_header(
+        "Figure 12/13 — k-means: execution time and idle fraction vs. block size",
+        "block_size,num_blocks,seconds,idle_fraction",
+    );
+    for row in &rows {
+        println!(
+            "{},{},{:.2},{:.3}",
+            row.block_size, row.num_blocks, row.seconds, row.idle_fraction
+        );
+    }
+    if options.scale == Scale::Paper {
+        println!("# paper reference (seconds): {:?}", km::PAPER_FIG12_SECONDS);
+    }
+}
+
+fn fig16(options: &Options) {
+    let hist = km::fig16_duration_histogram(options.scale, 30);
+    print_series_header(
+        "Figure 16 — k-means: distribution of main computation task durations",
+        "bin_start_cycles,fraction_of_tasks",
+    );
+    for i in 0..hist.num_bins() {
+        println!("{:.0},{:.4}", hist.bin_start(i), hist.fraction(i));
+    }
+    println!("# peaks at bins {:?}", hist.peaks(0.02));
+    if let Some(dir) = &options.out_dir {
+        let fb = render_histogram(&hist, 600, 200);
+        let path = dir.join("fig16_histogram.ppm");
+        fb.write_ppm_file(&path).expect("write ppm");
+        println!("# wrote {}", path.display());
+    }
+}
+
+fn fig19(options: &Options) {
+    let summary = km::fig19_correlation(options.scale);
+    print_series_header(
+        "Figure 17/18/19 — k-means: duration vs. branch-misprediction rate",
+        "metric,value",
+    );
+    println!("r_squared,{:.3}", summary.r_squared);
+    println!("regression_slope_cycles_per_rate,{:.1}", summary.slope);
+    println!("tasks,{}", summary.num_tasks);
+    println!(
+        "conditional_kernel_mean_cycles,{}",
+        fmt_cycles(summary.conditional.mean)
+    );
+    println!(
+        "conditional_kernel_stddev_cycles,{}",
+        fmt_cycles(summary.conditional.std_dev)
+    );
+    println!(
+        "optimized_kernel_mean_cycles,{}",
+        fmt_cycles(summary.optimized.mean)
+    );
+    println!(
+        "optimized_kernel_stddev_cycles,{}",
+        fmt_cycles(summary.optimized.std_dev)
+    );
+    println!("# paper: R^2 = 0.83; mean 9.76M -> 7.73M cycles; stddev 1.18M -> 335k cycles");
+}
+
+fn sec6(options: &Options) {
+    let trace = section6::synthetic_trace(options.scale);
+    let io = section6::trace_io_stats(&trace);
+    let render = section6::render_stats(&trace, 1024);
+    print_series_header(
+        "Section VI — trace format and rendering optimizations",
+        "metric,value",
+    );
+    println!("recorded_items,{}", io.num_events);
+    println!("encoded_bytes,{}", io.encoded_bytes);
+    println!("bytes_per_event,{:.1}", io.bytes_per_event);
+    println!("encode_seconds,{:.4}", io.write_seconds);
+    println!("decode_seconds,{:.4}", io.read_seconds);
+    println!("timeline_draw_calls_optimized,{}", render.optimized_draw_calls);
+    println!(
+        "timeline_draw_calls_unaggregated,{}",
+        render.unaggregated_draw_calls
+    );
+    println!("timeline_draw_calls_naive,{}", render.naive_draw_calls);
+    println!("overlay_draw_calls_optimized,{}", render.overlay_optimized_calls);
+    println!("overlay_draw_calls_naive,{}", render.overlay_naive_calls);
+    println!(
+        "counter_index_overhead,{:.4} (paper claims <= 0.05)",
+        render.index_overhead_ratio
+    );
+}

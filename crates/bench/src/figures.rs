@@ -1,0 +1,57 @@
+//! Common definitions for the figure-reproduction harness.
+
+/// The size of a reproduction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// A quick, down-scaled run used by unit tests and Criterion benches
+    /// (seconds of wall-clock time).
+    Test,
+    /// A run approximating the paper's experimental setup (larger machines, more blocks,
+    /// more iterations); used by the `reproduce` binary.
+    #[default]
+    Paper,
+}
+
+impl Scale {
+    /// Parses a scale name (`"test"` or `"paper"`).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "test" | "small" => Some(Scale::Test),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Formats a cycle count with an M/G suffix for compact table output.
+pub fn fmt_cycles(cycles: f64) -> String {
+    if cycles >= 1e9 {
+        format!("{:.2}G", cycles / 1e9)
+    } else if cycles >= 1e6 {
+        format!("{:.2}M", cycles / 1e6)
+    } else if cycles >= 1e3 {
+        format!("{:.1}k", cycles / 1e3)
+    } else {
+        format!("{cycles:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scale() {
+        assert_eq!(Scale::parse("test"), Some(Scale::Test));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn cycle_formatting() {
+        assert_eq!(fmt_cycles(500.0), "500");
+        assert_eq!(fmt_cycles(1500.0), "1.5k");
+        assert_eq!(fmt_cycles(2_500_000.0), "2.50M");
+        assert_eq!(fmt_cycles(7_910_000_000.0), "7.91G");
+    }
+}

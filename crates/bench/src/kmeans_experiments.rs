@@ -1,0 +1,232 @@
+//! Reproduction of the k-means case studies: Figures 12, 13, 16, 17/18 and 19.
+
+use aftermath_core::{
+    correlate_duration_with_counter, duration_stats, stats, AnalysisSession, Histogram,
+    SummaryStats, TaskFilter,
+};
+use aftermath_sim::{machine::MachineConfig, RuntimeConfig, SimConfig, SimResult, Simulator};
+use aftermath_trace::WorkerState;
+use aftermath_workloads::kmeans::TASK_TYPE_DISTANCE;
+use aftermath_workloads::KMeansConfig;
+
+use crate::figures::Scale;
+
+/// Block sizes swept by the paper's Figure 12, from 1.28 M points down to 2 500 points.
+pub const PAPER_BLOCK_SIZES: [u64; 10] = [
+    1_280_000, 640_000, 320_000, 160_000, 80_000, 40_000, 20_000, 10_000, 5_000, 2_500,
+];
+
+/// Wall-clock execution times reported by the paper for Figure 12, in seconds, in the
+/// same order as [`PAPER_BLOCK_SIZES`].
+pub const PAPER_FIG12_SECONDS: [f64; 10] =
+    [14.85, 8.20, 8.06, 7.89, 7.49, 6.39, 6.25, 6.22, 6.33, 7.16];
+
+/// Machine used by the k-means experiments (the paper's quad-socket Opteron: 64 cores,
+/// 8 NUMA nodes).
+pub fn machine(scale: Scale) -> MachineConfig {
+    match scale {
+        Scale::Test => MachineConfig::uniform(2, 4),
+        Scale::Paper => MachineConfig::opteron_like(),
+    }
+}
+
+/// Base k-means configuration at the given scale.
+pub fn base_config(scale: Scale) -> KMeansConfig {
+    match scale {
+        Scale::Test => KMeansConfig {
+            points: 64_000,
+            dims: 10,
+            clusters: 11,
+            block_size: 2_000,
+            iterations: 2,
+            optimized_kernel: false,
+            cycles_per_distance: 7,
+            distance_task_overhead: 120_000,
+            mispredictions_per_comparison: 1.2,
+            seed: 3,
+        },
+        Scale::Paper => KMeansConfig {
+            points: 40_960_000,
+            dims: 10,
+            clusters: 11,
+            block_size: 10_000,
+            iterations: 3,
+            optimized_kernel: false,
+            cycles_per_distance: 7,
+            distance_task_overhead: 150_000,
+            mispredictions_per_comparison: 1.2,
+            seed: 3,
+        },
+    }
+}
+
+/// Block sizes swept at the given scale.
+pub fn block_sizes(scale: Scale) -> Vec<u64> {
+    match scale {
+        Scale::Test => vec![32_000, 8_000, 2_000, 500],
+        Scale::Paper => PAPER_BLOCK_SIZES.to_vec(),
+    }
+}
+
+fn simulate(config: &KMeansConfig, scale: Scale) -> SimResult {
+    let spec = config.build();
+    Simulator::new(SimConfig::new(machine(scale), RuntimeConfig::numa_optimized(), 17))
+        .run(&spec)
+        .expect("k-means simulation must succeed")
+}
+
+/// One row of the Figure 12 / Figure 13 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GranularityRow {
+    /// Number of points per block.
+    pub block_size: u64,
+    /// Number of blocks this block size produces.
+    pub num_blocks: u64,
+    /// Simulated wall-clock execution time in seconds.
+    pub seconds: f64,
+    /// Simulated makespan in cycles.
+    pub makespan: u64,
+    /// Fraction of total worker time spent idle (Figure 13's visual pattern).
+    pub idle_fraction: f64,
+}
+
+/// Figures 12 and 13: execution time and idle fraction as a function of the block size.
+pub fn granularity_sweep(scale: Scale) -> Vec<GranularityRow> {
+    let base = base_config(scale);
+    let machine_cfg = machine(scale);
+    block_sizes(scale)
+        .into_iter()
+        .map(|block_size| {
+            let config = base.with_block_size(block_size);
+            let result = simulate(&config, scale);
+            let session = AnalysisSession::new(&result.trace);
+            let fractions = stats::state_fractions(&session, session.time_bounds());
+            GranularityRow {
+                block_size,
+                num_blocks: config.num_blocks(),
+                seconds: result.wall_seconds(machine_cfg.cycles_per_us),
+                makespan: result.makespan,
+                idle_fraction: fractions[WorkerState::Idle.index()],
+            }
+        })
+        .collect()
+}
+
+/// Figure 16: histogram of the durations of the main computation (distance) tasks.
+pub fn fig16_duration_histogram(scale: Scale, bins: usize) -> Histogram {
+    let result = simulate(&base_config(scale), scale);
+    let session = AnalysisSession::new(&result.trace);
+    let filter = distance_filter(&result);
+    stats::task_duration_histogram(&session, &filter, bins).expect("histogram")
+}
+
+/// Summary of the Figure 17/18/19 reproduction (branch-misprediction correlation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelationSummary {
+    /// Coefficient of determination of the duration-vs-misprediction-rate regression.
+    pub r_squared: f64,
+    /// Slope of the regression line (cycles per misprediction/kcycle).
+    pub slope: f64,
+    /// Number of tasks in the study.
+    pub num_tasks: usize,
+    /// Duration statistics of the conditional-update kernel.
+    pub conditional: SummaryStats,
+    /// Duration statistics of the optimized (branch-free) kernel.
+    pub optimized: SummaryStats,
+}
+
+/// Figures 17–19 plus the kernel-optimization result of Section V: the correlation
+/// between task duration and branch-misprediction rate, and the effect of hoisting the
+/// conditional update out of the loop (paper: mean 9.76 M → 7.73 M cycles, standard
+/// deviation 1.18 M → 335 k cycles).
+pub fn fig19_correlation(scale: Scale) -> CorrelationSummary {
+    let conditional_cfg = base_config(scale);
+    let optimized_cfg = conditional_cfg.with_optimized_kernel(true);
+
+    let conditional = simulate(&conditional_cfg, scale);
+    let optimized = simulate(&optimized_cfg, scale);
+
+    let session = AnalysisSession::new(&conditional.trace);
+    let filter = distance_filter(&conditional);
+    let counter = session
+        .counter_id(aftermath_sim::engine::COUNTER_BRANCH_MISPREDICTIONS)
+        .expect("misprediction counter");
+    let study = correlate_duration_with_counter(&session, counter, &filter)
+        .expect("correlation study");
+
+    let conditional_stats = duration_stats(&session, &filter);
+    let optimized_session = AnalysisSession::new(&optimized.trace);
+    let optimized_stats = duration_stats(&optimized_session, &distance_filter(&optimized));
+
+    CorrelationSummary {
+        r_squared: study.regression.r_squared,
+        slope: study.regression.slope,
+        num_tasks: study.points.len(),
+        conditional: conditional_stats,
+        optimized: optimized_stats,
+    }
+}
+
+/// A filter selecting only the main computation (distance) tasks, as the paper does
+/// before exporting the data for Figures 16 and 19.
+fn distance_filter(result: &SimResult) -> TaskFilter {
+    let ty = result
+        .trace
+        .task_types()
+        .iter()
+        .find(|t| t.name == TASK_TYPE_DISTANCE)
+        .expect("distance task type")
+        .id;
+    TaskFilter::new().with_task_type(ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_sweep_is_u_shaped() {
+        let rows = granularity_sweep(Scale::Test);
+        assert_eq!(rows.len(), 4);
+        // Largest blocks: too little parallelism, so the largest block size must be
+        // slower than the best block size.
+        let best = rows
+            .iter()
+            .map(|r| r.seconds)
+            .fold(f64::INFINITY, f64::min);
+        assert!(rows[0].seconds > best, "huge blocks should be slowest: {rows:?}");
+        // Largest blocks also show the largest idle fraction (Figure 13a).
+        let max_idle = rows.iter().map(|r| r.idle_fraction).fold(0.0, f64::max);
+        assert!(rows[0].idle_fraction >= max_idle - 1e-9);
+        // Smallest blocks pay overhead relative to the best configuration.
+        assert!(rows.last().unwrap().seconds >= best);
+    }
+
+    #[test]
+    fn fig16_histogram_is_multimodal() {
+        let hist = fig16_duration_histogram(Scale::Test, 30);
+        assert!(hist.total > 0);
+        // The per-block hardness mixture creates more than one peak.
+        assert!(
+            hist.peaks(0.02).len() >= 2,
+            "expected a multi-modal duration histogram, got counts {:?}",
+            hist.counts
+        );
+    }
+
+    #[test]
+    fn fig19_correlation_and_kernel_optimization() {
+        let summary = fig19_correlation(Scale::Test);
+        // Strong positive correlation between misprediction rate and duration
+        // (paper reports R² = 0.83).
+        assert!(
+            summary.r_squared > 0.5,
+            "expected a strong correlation, got R² = {}",
+            summary.r_squared
+        );
+        assert!(summary.slope > 0.0);
+        // The optimized kernel is faster on average and much less variable.
+        assert!(summary.optimized.mean < summary.conditional.mean);
+        assert!(summary.optimized.std_dev < summary.conditional.std_dev / 2.0);
+    }
+}

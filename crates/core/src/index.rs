@@ -1,0 +1,368 @@
+//! Index structures for fast interval queries on per-core event streams.
+//!
+//! This module implements the two index structures described in the paper's
+//! Section VI-B-c:
+//!
+//! * binary-search slicing of per-core, timestamp-sorted event arrays
+//!   ([`point_events_in`], [`states_overlapping`]), and
+//! * an n-ary search tree (default arity 100) over counter samples that answers
+//!   min/max queries for arbitrary intervals without scanning every sample
+//!   ([`CounterIndex`]), keeping its memory overhead at a few percent of the raw
+//!   sample data.
+
+use aftermath_trace::{CounterSample, StateInterval, TimeInterval, Timestamp};
+
+/// Default arity of the counter min/max search tree (the paper uses 100 to keep the
+/// index overhead below 5 % of the counter data).
+pub const DEFAULT_INDEX_ARITY: usize = 100;
+
+/// Returns the sub-slice of timestamp-sorted point events whose timestamp lies in
+/// `[interval.start, interval.end)`.
+///
+/// `timestamp_of` extracts the timestamp from an element; the input **must** be sorted
+/// by that timestamp (per-core streams in a [`aftermath_trace::Trace`] always are).
+pub fn point_events_in<'a, T>(
+    items: &'a [T],
+    interval: TimeInterval,
+    timestamp_of: impl Fn(&T) -> Timestamp,
+) -> &'a [T] {
+    let start = items.partition_point(|e| timestamp_of(e) < interval.start);
+    let end = items.partition_point(|e| timestamp_of(e) < interval.end);
+    &items[start..end]
+}
+
+/// Returns the sub-slice of counter samples with timestamps in the interval.
+pub fn samples_in(samples: &[CounterSample], interval: TimeInterval) -> &[CounterSample] {
+    point_events_in(samples, interval, |s| s.timestamp)
+}
+
+/// Returns the sub-slice of state intervals that overlap `interval`.
+///
+/// The input must be sorted by interval start and non-overlapping (as guaranteed for
+/// per-core state streams).
+pub fn states_overlapping(states: &[StateInterval], interval: TimeInterval) -> &[StateInterval] {
+    if states.is_empty() || interval.is_empty() {
+        return &[];
+    }
+    // First state that ends after the query start: since states are non-overlapping and
+    // sorted by start, this is the first candidate.
+    let first = states.partition_point(|s| s.interval.end <= interval.start);
+    // First state that starts at or after the query end: everything from there on is out.
+    let last = states.partition_point(|s| s.interval.start < interval.end);
+    &states[first.min(last)..last]
+}
+
+/// Index of the last sample taken at or before `t`, if any.
+pub fn last_sample_at_or_before(samples: &[CounterSample], t: Timestamp) -> Option<usize> {
+    let idx = samples.partition_point(|s| s.timestamp <= t);
+    idx.checked_sub(1)
+}
+
+/// The value of a (step-interpolated) counter at time `t`: the value of the last sample
+/// taken at or before `t`.
+pub fn value_at(samples: &[CounterSample], t: Timestamp) -> Option<f64> {
+    last_sample_at_or_before(samples, t).map(|i| samples[i].value)
+}
+
+/// An n-ary min/max search tree over one counter's samples on one CPU.
+///
+/// The tree stores, for every group of `arity` consecutive samples (and recursively for
+/// every group of `arity` nodes), the minimum and maximum sample value. Interval queries
+/// then only touch `O(arity · log_arity n)` nodes instead of every sample, which is what
+/// keeps counter rendering fast at low zoom levels (paper Section VI-B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterIndex {
+    arity: usize,
+    num_samples: usize,
+    /// Level 0 summarises `arity` samples per node; level `k` summarises `arity` nodes of
+    /// level `k-1`. Each node is `(min, max)`.
+    levels: Vec<Vec<(f64, f64)>>,
+}
+
+impl CounterIndex {
+    /// Builds an index with the default arity.
+    pub fn new(samples: &[CounterSample]) -> Self {
+        Self::with_arity(samples, DEFAULT_INDEX_ARITY)
+    }
+
+    /// Builds an index with a custom arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity < 2`.
+    pub fn with_arity(samples: &[CounterSample], arity: usize) -> Self {
+        assert!(arity >= 2, "counter index arity must be at least 2");
+        let mut levels = Vec::new();
+        if !samples.is_empty() {
+            let mut current: Vec<(f64, f64)> = samples
+                .chunks(arity)
+                .map(|chunk| {
+                    let mut min = f64::INFINITY;
+                    let mut max = f64::NEG_INFINITY;
+                    for s in chunk {
+                        min = min.min(s.value);
+                        max = max.max(s.value);
+                    }
+                    (min, max)
+                })
+                .collect();
+            while current.len() > 1 {
+                let next: Vec<(f64, f64)> = current
+                    .chunks(arity)
+                    .map(|chunk| {
+                        chunk.iter().fold(
+                            (f64::INFINITY, f64::NEG_INFINITY),
+                            |(mn, mx), &(a, b)| (mn.min(a), mx.max(b)),
+                        )
+                    })
+                    .collect();
+                levels.push(current);
+                current = next;
+            }
+            levels.push(current);
+        }
+        CounterIndex {
+            arity,
+            num_samples: samples.len(),
+            levels,
+        }
+    }
+
+    /// The arity of the tree.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of samples the index was built over.
+    pub fn num_samples(&self) -> usize {
+        self.num_samples
+    }
+
+    /// Approximate memory used by the index, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| l.len() * std::mem::size_of::<(f64, f64)>())
+            .sum()
+    }
+
+    /// Index overhead relative to the raw samples it summarises (e.g. `0.03` = 3 %).
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.num_samples == 0 {
+            return 0.0;
+        }
+        self.memory_bytes() as f64
+            / (self.num_samples * std::mem::size_of::<CounterSample>()) as f64
+    }
+
+    /// Minimum and maximum sample value over the sample-index range `[lo, hi)`.
+    ///
+    /// `samples` must be the same slice the index was built over. Returns `None` for an
+    /// empty range.
+    pub fn min_max(
+        &self,
+        samples: &[CounterSample],
+        lo: usize,
+        hi: usize,
+    ) -> Option<(f64, f64)> {
+        let hi = hi.min(self.num_samples);
+        if lo >= hi {
+            return None;
+        }
+        debug_assert_eq!(samples.len(), self.num_samples);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        // Head: samples before the first fully covered level-0 node.
+        let mut i = lo;
+        while i < hi && i % self.arity != 0 {
+            min = min.min(samples[i].value);
+            max = max.max(samples[i].value);
+            i += 1;
+        }
+        // Tail: samples after the last fully covered level-0 node.
+        let mut j = hi;
+        while j > i && j % self.arity != 0 {
+            j -= 1;
+            min = min.min(samples[j].value);
+            max = max.max(samples[j].value);
+        }
+        // Middle: whole level-0 nodes [i/arity, j/arity).
+        if i < j && !self.levels.is_empty() {
+            let (node_min, node_max) = self.node_range_min_max(0, i / self.arity, j / self.arity);
+            min = min.min(node_min);
+            max = max.max(node_max);
+        }
+        if min.is_infinite() && max.is_infinite() && min > max {
+            None
+        } else {
+            Some((min, max))
+        }
+    }
+
+    /// Minimum and maximum over the time interval, using a binary search to locate the
+    /// covered sample range first.
+    pub fn min_max_in(
+        &self,
+        samples: &[CounterSample],
+        interval: TimeInterval,
+    ) -> Option<(f64, f64)> {
+        let lo = samples.partition_point(|s| s.timestamp < interval.start);
+        let hi = samples.partition_point(|s| s.timestamp < interval.end);
+        self.min_max(samples, lo, hi)
+    }
+
+    /// Recursive min/max over whole nodes `[lo, hi)` of `level`.
+    fn node_range_min_max(&self, level: usize, lo: usize, hi: usize) -> (f64, f64) {
+        let nodes = &self.levels[level];
+        let hi = hi.min(nodes.len());
+        if lo >= hi {
+            return (f64::INFINITY, f64::NEG_INFINITY);
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut i = lo;
+        while i < hi && i % self.arity != 0 {
+            min = min.min(nodes[i].0);
+            max = max.max(nodes[i].1);
+            i += 1;
+        }
+        let mut j = hi;
+        while j > i && j % self.arity != 0 {
+            j -= 1;
+            min = min.min(nodes[j].0);
+            max = max.max(nodes[j].1);
+        }
+        if i < j && level + 1 < self.levels.len() {
+            let (m, x) = self.node_range_min_max(level + 1, i / self.arity, j / self.arity);
+            min = min.min(m);
+            max = max.max(x);
+        } else {
+            for &(a, b) in &nodes[i..j] {
+                min = min.min(a);
+                max = max.max(b);
+            }
+        }
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aftermath_trace::{CounterId, CpuId};
+
+    fn sample(ts: u64, v: f64) -> CounterSample {
+        CounterSample::new(CounterId(0), CpuId(0), Timestamp(ts), v)
+    }
+
+    fn make_samples(n: u64) -> Vec<CounterSample> {
+        // A zig-zag series so min/max per range are non-trivial.
+        (0..n)
+            .map(|i| sample(i * 10, if i % 2 == 0 { i as f64 } else { -(i as f64) }))
+            .collect()
+    }
+
+    fn naive_min_max(samples: &[CounterSample], lo: usize, hi: usize) -> Option<(f64, f64)> {
+        if lo >= hi {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for s in &samples[lo..hi] {
+            min = min.min(s.value);
+            max = max.max(s.value);
+        }
+        Some((min, max))
+    }
+
+    #[test]
+    fn point_events_slicing() {
+        let samples = make_samples(100);
+        let sel = samples_in(&samples, TimeInterval::from_cycles(100, 300));
+        assert_eq!(sel.len(), 20);
+        assert_eq!(sel.first().unwrap().timestamp, Timestamp(100));
+        assert_eq!(sel.last().unwrap().timestamp, Timestamp(290));
+        assert!(samples_in(&samples, TimeInterval::from_cycles(5000, 6000)).is_empty());
+    }
+
+    #[test]
+    fn states_overlap_query() {
+        use aftermath_trace::WorkerState;
+        let states: Vec<StateInterval> = (0..10)
+            .map(|i| {
+                StateInterval::new(
+                    CpuId(0),
+                    WorkerState::Idle,
+                    TimeInterval::from_cycles(i * 100, i * 100 + 100),
+                    None,
+                )
+            })
+            .collect();
+        let sel = states_overlapping(&states, TimeInterval::from_cycles(150, 350));
+        assert_eq!(sel.len(), 3);
+        assert_eq!(sel[0].interval.start, Timestamp(100));
+        assert_eq!(sel[2].interval.start, Timestamp(300));
+        assert!(states_overlapping(&states, TimeInterval::from_cycles(2000, 3000)).is_empty());
+        assert!(states_overlapping(&states, TimeInterval::from_cycles(100, 100)).is_empty());
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let samples = vec![sample(10, 1.0), sample(20, 2.0), sample(30, 3.0)];
+        assert_eq!(value_at(&samples, Timestamp(5)), None);
+        assert_eq!(value_at(&samples, Timestamp(10)), Some(1.0));
+        assert_eq!(value_at(&samples, Timestamp(25)), Some(2.0));
+        assert_eq!(value_at(&samples, Timestamp(99)), Some(3.0));
+    }
+
+    #[test]
+    fn counter_index_matches_naive_scan() {
+        let samples = make_samples(1000);
+        let index = CounterIndex::with_arity(&samples, 10);
+        for (lo, hi) in [(0, 1000), (5, 17), (0, 1), (999, 1000), (123, 877), (500, 500)] {
+            assert_eq!(
+                index.min_max(&samples, lo, hi),
+                naive_min_max(&samples, lo, hi),
+                "range {lo}..{hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn counter_index_time_interval_query() {
+        let samples = make_samples(1000);
+        let index = CounterIndex::new(&samples);
+        let got = index
+            .min_max_in(&samples, TimeInterval::from_cycles(1000, 2000))
+            .unwrap();
+        let naive = naive_min_max(&samples, 100, 200).unwrap();
+        assert_eq!(got, naive);
+    }
+
+    #[test]
+    fn counter_index_empty_and_single() {
+        let index = CounterIndex::new(&[]);
+        assert_eq!(index.min_max(&[], 0, 10), None);
+        assert_eq!(index.memory_bytes(), 0);
+        let one = vec![sample(0, 42.0)];
+        let index = CounterIndex::new(&one);
+        assert_eq!(index.min_max(&one, 0, 1), Some((42.0, 42.0)));
+    }
+
+    #[test]
+    fn counter_index_overhead_is_small_with_default_arity() {
+        let samples = make_samples(100_000);
+        let index = CounterIndex::new(&samples);
+        assert!(
+            index.overhead_ratio() < 0.05,
+            "overhead {} should stay below 5 %",
+            index.overhead_ratio()
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_of_one_panics() {
+        let _ = CounterIndex::with_arity(&[], 1);
+    }
+}

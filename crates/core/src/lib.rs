@@ -1,0 +1,104 @@
+//! # aftermath-core
+//!
+//! The analysis engine of Aftermath-rs: a Rust reproduction of the analyses provided by
+//! the Aftermath performance tool described in *"Interactive visualization of
+//! cross-layer performance anomalies in dynamic task-parallel applications and systems"*
+//! (ISPASS 2016).
+//!
+//! Given a [`aftermath_trace::Trace`], an [`AnalysisSession`] provides:
+//!
+//! * **indexed access** to per-CPU event streams via binary search and an n-ary counter
+//!   min/max tree ([`index`], paper Section VI-B),
+//! * **derived metrics** such as the number of idle workers, average task duration,
+//!   aggregated OS statistics and discrete derivatives ([`derived`], Figures 3, 8, 10),
+//! * **statistics** — histograms, average parallelism, per-state and per-type breakdowns
+//!   ([`stats`], Figures 13, 16),
+//! * **filters** restricting every analysis to a subset of tasks ([`filter`]),
+//! * **task-graph reconstruction** from memory accesses with depth and available
+//!   parallelism ([`taskgraph`], Figure 5) and DOT export,
+//! * **NUMA analyses** — per-task locality, dominant read/write nodes and the
+//!   communication incidence matrix ([`numa`], Figures 14, 15),
+//! * **counter attribution and correlation** — per-task counter increases, linear
+//!   regression and R² ([`counters`], [`correlate`], Figures 18, 19),
+//! * **timeline models** for the five visualization modes ([`timeline`], Section II-B),
+//! * **CSV export** of filtered task records and time series ([`export`]).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use aftermath_core::{AnalysisSession, TaskFilter, derived, stats};
+//! use aftermath_trace::WorkerState;
+//! # use aftermath_sim::{SimConfig, Simulator};
+//! # use aftermath_workloads::SeidelConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let trace = Simulator::new(SimConfig::small_test())
+//! #     .run(&SeidelConfig::small().build())?.trace;
+//! let session = AnalysisSession::new(&trace);
+//! let bounds = session.time_bounds();
+//!
+//! // Figure 3: how many workers are idle over time?
+//! let idle = derived::state_concurrency(&session, WorkerState::Idle, 100, bounds)?;
+//! assert!(idle.max().unwrap() >= 0.0);
+//!
+//! // Figure 5: available parallelism per task-graph depth.
+//! let profile = session.task_graph()?.parallelism_profile();
+//! assert!(!profile.is_empty());
+//!
+//! // Figure 16: task duration histogram.
+//! let hist = stats::task_duration_histogram(&session, &TaskFilter::new(), 20)?;
+//! assert!(hist.total > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod correlate;
+pub mod counters;
+pub mod derived;
+pub mod error;
+pub mod export;
+pub mod filter;
+pub mod index;
+pub mod numa;
+pub mod series;
+pub mod session;
+pub mod stats;
+pub mod taskgraph;
+pub mod timeline;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use correlate::{correlate_duration_with_counter, CorrelationStudy, LinearRegression};
+pub use counters::{attribute_counter, duration_stats, SummaryStats, TaskCounterDelta};
+pub use derived::AggregationKind;
+pub use error::AnalysisError;
+pub use filter::TaskFilter;
+pub use index::CounterIndex;
+pub use numa::IncidenceMatrix;
+pub use series::TimeSeries;
+pub use session::{AnalysisSession, TaskDetails};
+pub use stats::Histogram;
+pub use taskgraph::TaskGraph;
+pub use timeline::{TimelineCell, TimelineMode, TimelineModel};
+
+/// Commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::correlate::{correlate_duration_with_counter, LinearRegression};
+    pub use crate::counters::{attribute_counter, duration_stats, SummaryStats};
+    pub use crate::derived::{
+        aggregate_counter, average_task_duration, counter_derivative, state_concurrency,
+        AggregationKind,
+    };
+    pub use crate::error::AnalysisError;
+    pub use crate::filter::TaskFilter;
+    pub use crate::numa::IncidenceMatrix;
+    pub use crate::series::TimeSeries;
+    pub use crate::session::AnalysisSession;
+    pub use crate::stats::{average_parallelism, task_duration_histogram, Histogram};
+    pub use crate::taskgraph::TaskGraph;
+    pub use crate::timeline::{TimelineCell, TimelineMode, TimelineModel};
+}

@@ -1,0 +1,362 @@
+//! The analysis session: an indexed view over a loaded trace.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use aftermath_trace::{
+    CounterId, CounterSample, CpuId, StateInterval, TaskId, TaskInstance, TimeInterval, Timestamp,
+    Trace,
+};
+
+use crate::counters::counter_delta_for_task;
+use crate::error::AnalysisError;
+use crate::index::{samples_in, states_overlapping, value_at, CounterIndex};
+use crate::taskgraph::TaskGraph;
+
+/// An analysis session over one trace.
+///
+/// The session eagerly builds the per-counter min/max indexes described in the paper's
+/// Section VI-B and lazily reconstructs the task graph the first time a graph-based
+/// analysis is requested. All other analyses (derived metrics, statistics, NUMA views,
+/// correlation) take the session as their entry point.
+///
+/// # Examples
+///
+/// ```rust
+/// use aftermath_core::AnalysisSession;
+/// use aftermath_trace::{MachineTopology, TraceBuilder, WorkerState, CpuId, Timestamp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TraceBuilder::new(MachineTopology::uniform(1, 2));
+/// b.add_state(CpuId(0), WorkerState::Idle, Timestamp(0), Timestamp(100), None)?;
+/// let trace = b.finish()?;
+/// let session = AnalysisSession::new(&trace);
+/// assert_eq!(session.states(CpuId(0)).len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AnalysisSession<'t> {
+    trace: &'t Trace,
+    counter_indexes: HashMap<(CpuId, CounterId), CounterIndex>,
+    task_graph: OnceLock<TaskGraph>,
+    empty_states: Vec<StateInterval>,
+    empty_samples: Vec<CounterSample>,
+}
+
+impl<'t> AnalysisSession<'t> {
+    /// Creates a session over `trace`, building the counter indexes.
+    pub fn new(trace: &'t Trace) -> Self {
+        let mut counter_indexes = HashMap::new();
+        for pc in trace.per_cpu() {
+            for (counter, samples) in &pc.samples {
+                if let Some(first) = samples.first() {
+                    counter_indexes
+                        .insert((first.cpu, *counter), CounterIndex::new(samples));
+                }
+            }
+        }
+        AnalysisSession {
+            trace,
+            counter_indexes,
+            task_graph: OnceLock::new(),
+            empty_states: Vec::new(),
+            empty_samples: Vec::new(),
+        }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &'t Trace {
+        self.trace
+    }
+
+    /// The full time interval covered by the trace.
+    pub fn time_bounds(&self) -> TimeInterval {
+        self.trace.time_bounds()
+    }
+
+    /// All state intervals of one CPU (empty for an unknown CPU).
+    pub fn states(&self, cpu: CpuId) -> &[StateInterval] {
+        self.trace
+            .cpu(cpu)
+            .map(|pc| pc.states.as_slice())
+            .unwrap_or(&self.empty_states)
+    }
+
+    /// The state intervals of one CPU overlapping `interval`.
+    pub fn states_in(&self, cpu: CpuId, interval: TimeInterval) -> &[StateInterval] {
+        states_overlapping(self.states(cpu), interval)
+    }
+
+    /// All samples of one counter on one CPU (empty when missing).
+    pub fn samples(&self, cpu: CpuId, counter: CounterId) -> &[CounterSample] {
+        self.trace
+            .cpu(cpu)
+            .and_then(|pc| pc.samples.get(&counter))
+            .map(Vec::as_slice)
+            .unwrap_or(&self.empty_samples)
+    }
+
+    /// The samples of one counter on one CPU inside `interval`.
+    pub fn samples_in(
+        &self,
+        cpu: CpuId,
+        counter: CounterId,
+        interval: TimeInterval,
+    ) -> &[CounterSample] {
+        samples_in(self.samples(cpu, counter), interval)
+    }
+
+    /// The step-interpolated value of a counter on a CPU at time `t` (last sample at or
+    /// before `t`).
+    pub fn counter_value_at(&self, cpu: CpuId, counter: CounterId, t: Timestamp) -> Option<f64> {
+        value_at(self.samples(cpu, counter), t)
+    }
+
+    /// Minimum and maximum of a counter on a CPU over `interval`, answered from the
+    /// n-ary index.
+    pub fn counter_min_max(
+        &self,
+        cpu: CpuId,
+        counter: CounterId,
+        interval: TimeInterval,
+    ) -> Option<(f64, f64)> {
+        let index = self.counter_indexes.get(&(cpu, counter))?;
+        index.min_max_in(self.samples(cpu, counter), interval)
+    }
+
+    /// Looks up a counter id by name.
+    pub fn counter_id(&self, name: &str) -> Result<CounterId, AnalysisError> {
+        self.trace
+            .counter_by_name(name)
+            .map(|c| c.id)
+            .ok_or(AnalysisError::MissingData("counter not present in trace"))
+    }
+
+    /// Tasks whose execution interval overlaps `interval`.
+    pub fn tasks_in(&self, interval: TimeInterval) -> Vec<&TaskInstance> {
+        self.trace
+            .tasks()
+            .iter()
+            .filter(|t| t.execution.overlaps(&interval))
+            .collect()
+    }
+
+    /// The increase of a monotone counter during a task's execution on its CPU.
+    ///
+    /// Returns `None` when the counter has no samples bracketing the task execution.
+    pub fn counter_delta(&self, task: &TaskInstance, counter: CounterId) -> Option<f64> {
+        counter_delta_for_task(self.samples(task.cpu, counter), task)
+    }
+
+    /// The reconstructed task graph (built lazily on first use and cached).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::MissingData`] for a trace without any task instances.
+    pub fn task_graph(&self) -> Result<&TaskGraph, AnalysisError> {
+        if let Some(graph) = self.task_graph.get() {
+            return Ok(graph);
+        }
+        if self.trace.tasks().is_empty() {
+            return Err(AnalysisError::MissingData("trace contains no tasks"));
+        }
+        let graph = TaskGraph::reconstruct(self.trace);
+        Ok(self.task_graph.get_or_init(|| graph))
+    }
+
+    /// Total memory used by the counter min/max indexes, in bytes.
+    pub fn index_memory_bytes(&self) -> usize {
+        self.counter_indexes.values().map(|i| i.memory_bytes()).sum()
+    }
+
+    /// Ratio of index memory to raw counter-sample memory (the paper reports ≤ 5 %).
+    pub fn index_overhead_ratio(&self) -> f64 {
+        let samples: usize = self
+            .trace
+            .per_cpu()
+            .iter()
+            .map(|pc| pc.samples.values().map(Vec::len).sum::<usize>())
+            .sum();
+        if samples == 0 {
+            return 0.0;
+        }
+        self.index_memory_bytes() as f64
+            / (samples * std::mem::size_of::<CounterSample>()) as f64
+    }
+
+    /// Detailed, human-readable information about one task (the paper's detail view #4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::UnknownTask`] when the task does not exist.
+    pub fn task_details(&self, task: TaskId) -> Result<TaskDetails, AnalysisError> {
+        let instance = self
+            .trace
+            .task(task)
+            .ok_or(AnalysisError::UnknownTask(task))?;
+        let type_name = self
+            .trace
+            .task_type(instance.task_type)
+            .map(|t| t.name.clone())
+            .unwrap_or_else(|| format!("{}", instance.task_type));
+        let symbol = self
+            .trace
+            .task_type(instance.task_type)
+            .and_then(|t| self.trace.symbols().lookup(t.symbol_addr))
+            .map(|s| s.name.clone());
+        let mut bytes_read = 0;
+        let mut bytes_written = 0;
+        let mut read_nodes = Vec::new();
+        let mut written_nodes = Vec::new();
+        for access in self.trace.accesses_of_task(task) {
+            let node = self.trace.node_of_addr(access.addr);
+            match access.kind {
+                aftermath_trace::AccessKind::Read => {
+                    bytes_read += access.size;
+                    if let Some(n) = node {
+                        if !read_nodes.contains(&n) {
+                            read_nodes.push(n);
+                        }
+                    }
+                }
+                aftermath_trace::AccessKind::Write => {
+                    bytes_written += access.size;
+                    if let Some(n) = node {
+                        if !written_nodes.contains(&n) {
+                            written_nodes.push(n);
+                        }
+                    }
+                }
+            }
+        }
+        let mut counter_deltas = Vec::new();
+        for desc in self.trace.counters() {
+            if desc.monotone {
+                if let Some(delta) = self.counter_delta(instance, desc.id) {
+                    counter_deltas.push((desc.name.clone(), delta));
+                }
+            }
+        }
+        Ok(TaskDetails {
+            task,
+            type_name,
+            work_function: symbol,
+            cpu: instance.cpu,
+            duration_cycles: instance.duration(),
+            bytes_read,
+            bytes_written,
+            read_nodes,
+            written_nodes,
+            counter_deltas,
+        })
+    }
+}
+
+/// Detailed information about one task, as shown in Aftermath's textual detail view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskDetails {
+    /// The task this record describes.
+    pub task: TaskId,
+    /// Name of the task type.
+    pub type_name: String,
+    /// Name of the work-function resolved through the symbol table, when available.
+    pub work_function: Option<String>,
+    /// CPU the task executed on.
+    pub cpu: CpuId,
+    /// Execution duration in cycles.
+    pub duration_cycles: u64,
+    /// Total bytes read by the task.
+    pub bytes_read: u64,
+    /// Total bytes written by the task.
+    pub bytes_written: u64,
+    /// NUMA nodes the task read from.
+    pub read_nodes: Vec<aftermath_trace::NumaNodeId>,
+    /// NUMA nodes the task wrote to.
+    pub written_nodes: Vec<aftermath_trace::NumaNodeId>,
+    /// Increase of each monotone counter during the task's execution.
+    pub counter_deltas: Vec<(String, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::small_sim_trace;
+
+    #[test]
+    fn session_basic_queries() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        assert!(session.time_bounds().duration() > 0);
+        let cpu = CpuId(0);
+        assert!(!session.states(cpu).is_empty());
+        let bounds = session.time_bounds();
+        assert_eq!(session.states_in(cpu, bounds).len(), session.states(cpu).len());
+        assert!(!session.tasks_in(bounds).is_empty());
+    }
+
+    #[test]
+    fn unknown_cpu_yields_empty_slices() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        assert!(session.states(CpuId(999)).is_empty());
+        assert!(session.samples(CpuId(999), CounterId(0)).is_empty());
+    }
+
+    #[test]
+    fn counter_min_max_consistent_with_samples() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        let counter = session.counter_id("branch-mispredictions").unwrap();
+        let bounds = session.time_bounds();
+        for cpu in trace.topology().cpu_ids() {
+            let samples = session.samples(cpu, counter);
+            if samples.is_empty() {
+                continue;
+            }
+            let (min, max) = session.counter_min_max(cpu, counter, bounds).unwrap();
+            let naive_min = samples.iter().map(|s| s.value).fold(f64::INFINITY, f64::min);
+            let naive_max = samples.iter().map(|s| s.value).fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(min, naive_min);
+            assert_eq!(max, naive_max);
+        }
+    }
+
+    #[test]
+    fn task_graph_is_cached() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        let a = session.task_graph().unwrap() as *const _;
+        let b = session.task_graph().unwrap() as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn task_details_reports_memory_and_counters() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        let task = trace.tasks().iter().find(|t| {
+            !trace.accesses_of_task(t.id).is_empty()
+        });
+        let task = task.expect("simulated trace records accesses");
+        let details = session.task_details(task.id).unwrap();
+        assert!(details.bytes_read + details.bytes_written > 0);
+        assert_eq!(details.cpu, task.cpu);
+        assert!(!details.type_name.is_empty());
+        assert!(session.task_details(TaskId(u64::MAX)).is_err());
+    }
+
+    #[test]
+    fn index_overhead_is_small() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        assert!(session.index_overhead_ratio() < 0.06);
+    }
+
+    #[test]
+    fn unknown_counter_name_is_error() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        assert!(session.counter_id("no-such-counter").is_err());
+    }
+}

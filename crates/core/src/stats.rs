@@ -1,0 +1,348 @@
+//! Statistical views: histograms, state breakdowns, parallelism and per-type statistics
+//! (the paper's statistics panel, Section II-A item 2).
+
+use aftermath_trace::{TaskTypeId, TimeInterval, WorkerState};
+use serde::{Deserialize, Serialize};
+
+use crate::error::AnalysisError;
+use crate::filter::TaskFilter;
+use crate::session::AnalysisSession;
+
+/// A histogram over `f64` values with equally sized bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Lower bound of the first bin.
+    pub min: f64,
+    /// Upper bound of the last bin.
+    pub max: f64,
+    /// Number of values per bin.
+    pub counts: Vec<u64>,
+    /// Total number of values (sum of `counts`).
+    pub total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` with `bins` bins.
+    ///
+    /// The range defaults to the minimum and maximum of the values; pass `range` to fix
+    /// it explicitly (values outside the range are clamped into the first/last bin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidParameter`] when `bins` is zero or the range is
+    /// degenerate and the values are empty.
+    pub fn from_values(
+        values: &[f64],
+        bins: usize,
+        range: Option<(f64, f64)>,
+    ) -> Result<Self, AnalysisError> {
+        if bins == 0 {
+            return Err(AnalysisError::InvalidParameter(
+                "histogram needs at least one bin".into(),
+            ));
+        }
+        let (min, max) = match range {
+            Some(r) => r,
+            None => {
+                let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if values.is_empty() {
+                    (0.0, 1.0)
+                } else {
+                    (min, max)
+                }
+            }
+        };
+        if !(max > min) && !values.is_empty() {
+            // All values identical: a single-bin histogram around that value.
+            let mut counts = vec![0u64; bins];
+            counts[0] = values.len() as u64;
+            return Ok(Histogram {
+                min,
+                max: min + 1.0,
+                counts,
+                total: values.len() as u64,
+            });
+        }
+        let mut counts = vec![0u64; bins];
+        let width = (max - min) / bins as f64;
+        for &v in values {
+            let idx = if width > 0.0 {
+                (((v - min) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize
+            } else {
+                0
+            };
+            counts[idx] += 1;
+        }
+        Ok(Histogram {
+            min,
+            max,
+            counts,
+            total: values.len() as u64,
+        })
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of one bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.max - self.min) / self.counts.len() as f64
+    }
+
+    /// Lower bound of bin `i`.
+    pub fn bin_start(&self, i: usize) -> f64 {
+        self.min + self.bin_width() * i as f64
+    }
+
+    /// Fraction of values falling into bin `i` (0 for an empty histogram).
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Indices of local maxima ("peaks"): bins whose count exceeds both neighbours and is
+    /// at least `min_fraction` of the total.
+    pub fn peaks(&self, min_fraction: f64) -> Vec<usize> {
+        let n = self.counts.len();
+        (0..n)
+            .filter(|&i| {
+                let c = self.counts[i];
+                let left = if i == 0 { 0 } else { self.counts[i - 1] };
+                let right = if i + 1 == n { 0 } else { self.counts[i + 1] };
+                c > left && c >= right && self.fraction(i) >= min_fraction
+            })
+            .collect()
+    }
+}
+
+/// Histogram of the execution durations (in cycles) of the tasks accepted by `filter`
+/// (the paper's Figure 16 view).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::InvalidParameter`] when `bins` is zero.
+pub fn task_duration_histogram(
+    session: &AnalysisSession<'_>,
+    filter: &TaskFilter,
+    bins: usize,
+) -> Result<Histogram, AnalysisError> {
+    let durations: Vec<f64> = filter
+        .filter_tasks(session.trace())
+        .map(|t| t.duration() as f64)
+        .collect();
+    Histogram::from_values(&durations, bins, None)
+}
+
+/// Average parallelism over `interval`: the total task-execution time of all workers
+/// divided by the interval duration (the "average parallelism" text field of the
+/// statistics panel).
+pub fn average_parallelism(session: &AnalysisSession<'_>, interval: TimeInterval) -> f64 {
+    if interval.is_empty() {
+        return 0.0;
+    }
+    let mut busy = 0u64;
+    for cpu in session.trace().topology().cpu_ids() {
+        for s in session.states_in(cpu, interval) {
+            if s.state == WorkerState::TaskExecution {
+                busy += s.interval.overlap_cycles(&interval);
+            }
+        }
+    }
+    busy as f64 / interval.duration() as f64
+}
+
+/// Fraction of total worker time spent in each state over `interval`, summed across all
+/// CPUs (indexed by [`WorkerState::index`]). This is the quantitative counterpart of the
+/// paper's Figure 13 state timelines.
+pub fn state_fractions(
+    session: &AnalysisSession<'_>,
+    interval: TimeInterval,
+) -> [f64; WorkerState::COUNT] {
+    let mut cycles = [0u64; WorkerState::COUNT];
+    for cpu in session.trace().topology().cpu_ids() {
+        for s in session.states_in(cpu, interval) {
+            cycles[s.state.index()] += s.interval.overlap_cycles(&interval);
+        }
+    }
+    let total: u64 = cycles.iter().sum();
+    let mut fractions = [0.0; WorkerState::COUNT];
+    if total > 0 {
+        for (f, c) in fractions.iter_mut().zip(cycles.iter()) {
+            *f = *c as f64 / total as f64;
+        }
+    }
+    fractions
+}
+
+/// Per-CPU state fractions over `interval` (each row sums to 1 for CPUs with any
+/// recorded state time).
+pub fn state_fractions_per_cpu(
+    session: &AnalysisSession<'_>,
+    interval: TimeInterval,
+) -> Vec<[f64; WorkerState::COUNT]> {
+    session
+        .trace()
+        .topology()
+        .cpu_ids()
+        .map(|cpu| {
+            let mut cycles = [0u64; WorkerState::COUNT];
+            for s in session.states_in(cpu, interval) {
+                cycles[s.state.index()] += s.interval.overlap_cycles(&interval);
+            }
+            let total: u64 = cycles.iter().sum();
+            let mut fractions = [0.0; WorkerState::COUNT];
+            if total > 0 {
+                for (f, c) in fractions.iter_mut().zip(cycles.iter()) {
+                    *f = *c as f64 / total as f64;
+                }
+            }
+            fractions
+        })
+        .collect()
+}
+
+/// Execution-time and task-count breakdown per task type over `interval` (the data
+/// behind the typemap view of Figure 9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeBreakdownEntry {
+    /// The task type.
+    pub task_type: TaskTypeId,
+    /// Name of the task type.
+    pub name: String,
+    /// Total execution cycles spent in tasks of this type inside the interval.
+    pub cycles: u64,
+    /// Number of task instances of this type overlapping the interval.
+    pub count: usize,
+}
+
+/// Computes the per-type breakdown of execution time over `interval`.
+pub fn task_type_breakdown(
+    session: &AnalysisSession<'_>,
+    interval: TimeInterval,
+) -> Vec<TypeBreakdownEntry> {
+    let trace = session.trace();
+    let mut entries: Vec<TypeBreakdownEntry> = trace
+        .task_types()
+        .iter()
+        .map(|ty| TypeBreakdownEntry {
+            task_type: ty.id,
+            name: ty.name.clone(),
+            cycles: 0,
+            count: 0,
+        })
+        .collect();
+    for task in session.tasks_in(interval) {
+        if let Some(entry) = entries.get_mut(task.task_type.0 as usize) {
+            entry.cycles += task.execution.overlap_cycles(&interval);
+            entry.count += 1;
+        }
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{diamond_trace, small_sim_trace};
+
+    #[test]
+    fn histogram_basic() {
+        let values = [1.0, 2.0, 2.5, 9.0, 9.5];
+        let h = Histogram::from_values(&values, 5, Some((0.0, 10.0))).unwrap();
+        assert_eq!(h.num_bins(), 5);
+        assert_eq!(h.total, 5);
+        assert_eq!(h.counts, vec![1, 2, 0, 0, 2]);
+        assert!((h.fraction(1) - 0.4).abs() < 1e-12);
+        assert_eq!(h.bin_width(), 2.0);
+        assert_eq!(h.bin_start(1), 2.0);
+    }
+
+    #[test]
+    fn histogram_degenerate_inputs() {
+        assert!(Histogram::from_values(&[1.0], 0, None).is_err());
+        let empty = Histogram::from_values(&[], 4, None).unwrap();
+        assert_eq!(empty.total, 0);
+        assert_eq!(empty.fraction(0), 0.0);
+        let constant = Histogram::from_values(&[3.0; 10], 4, None).unwrap();
+        assert_eq!(constant.total, 10);
+        assert_eq!(constant.counts[0], 10);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let h = Histogram::from_values(&[-5.0, 0.5, 99.0], 2, Some((0.0, 1.0))).unwrap();
+        assert_eq!(h.counts, vec![1, 2]);
+    }
+
+    #[test]
+    fn histogram_peaks() {
+        let h = Histogram {
+            min: 0.0,
+            max: 5.0,
+            counts: vec![1, 5, 1, 7, 0],
+            total: 14,
+        };
+        assert_eq!(h.peaks(0.0), vec![1, 3]);
+        assert_eq!(h.peaks(0.4), vec![3]);
+    }
+
+    #[test]
+    fn diamond_parallelism_and_fractions() {
+        let trace = diamond_trace();
+        let session = AnalysisSession::new(&trace);
+        let bounds = session.time_bounds();
+        // 4 tasks × 100 cycles over 300 cycles ⇒ average parallelism 4/3.
+        let p = average_parallelism(&session, bounds);
+        assert!((p - 4.0 / 3.0).abs() < 1e-9);
+        let fractions = state_fractions(&session, bounds);
+        assert!((fractions[WorkerState::TaskExecution.index()] - 1.0).abs() < 1e-9);
+        assert_eq!(average_parallelism(&session, TimeInterval::from_cycles(5, 5)), 0.0);
+    }
+
+    #[test]
+    fn per_cpu_fractions_rows_sum_to_one_or_zero() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        let rows = state_fractions_per_cpu(&session, session.time_bounds());
+        assert_eq!(rows.len(), trace.topology().num_cpus());
+        for row in rows {
+            let sum: f64 = row.iter().sum();
+            assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn duration_histogram_with_filter() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        let all = task_duration_histogram(&session, &TaskFilter::new(), 10).unwrap();
+        assert_eq!(all.total as usize, trace.tasks().len());
+        let init_ty = trace
+            .task_types()
+            .iter()
+            .find(|t| t.name == "seidel_init")
+            .unwrap()
+            .id;
+        let only_init =
+            task_duration_histogram(&session, &TaskFilter::new().with_task_type(init_ty), 10)
+                .unwrap();
+        assert!(only_init.total < all.total);
+    }
+
+    #[test]
+    fn type_breakdown_covers_all_tasks() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        let breakdown = task_type_breakdown(&session, session.time_bounds());
+        assert_eq!(breakdown.len(), trace.task_types().len());
+        let total: usize = breakdown.iter().map(|e| e.count).sum();
+        assert_eq!(total, trace.tasks().len());
+        assert!(breakdown.iter().any(|e| e.cycles > 0));
+    }
+}

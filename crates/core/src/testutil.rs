@@ -1,0 +1,85 @@
+//! Shared fixtures for the unit tests of this crate (not part of the public API).
+
+use aftermath_sim::{SimConfig, Simulator};
+use aftermath_trace::{
+    AccessKind, CpuId, MachineTopology, NumaNodeId, Timestamp, Trace, TraceBuilder, WorkerState,
+};
+use aftermath_workloads::SeidelConfig;
+
+/// A trace produced by simulating the small seidel workload on the tiny test machine.
+pub(crate) fn small_sim_trace() -> Trace {
+    let spec = SeidelConfig::small().build();
+    Simulator::new(SimConfig::small_test())
+        .run(&spec)
+        .expect("small seidel simulation must succeed")
+        .trace
+}
+
+/// A hand-built diamond trace: t0 -> {t1, t2} -> t3, with memory accesses carrying the
+/// dependences and everything executing on a 2-node, 4-CPU machine.
+pub(crate) fn diamond_trace() -> Trace {
+    let mut b = TraceBuilder::new(MachineTopology::uniform(2, 2));
+    let ty = b.add_task_type("work", 0x1000);
+    // Four regions: r0 written by t0, r1/r2 by t1/t2, r3 by t3.
+    let r0 = b.add_region(0x1000, 256, Some(NumaNodeId(0)));
+    let r1 = b.add_region(0x2000, 256, Some(NumaNodeId(0)));
+    let r2 = b.add_region(0x3000, 256, Some(NumaNodeId(1)));
+    let r3 = b.add_region(0x4000, 256, Some(NumaNodeId(1)));
+    let _ = (r0, r1, r2, r3);
+
+    let t0 = b.add_task(ty, CpuId(0), Timestamp(0), Timestamp(0), Timestamp(100));
+    let t1 = b.add_task(ty, CpuId(1), Timestamp(0), Timestamp(100), Timestamp(200));
+    let t2 = b.add_task(ty, CpuId(2), Timestamp(0), Timestamp(100), Timestamp(200));
+    let t3 = b.add_task(ty, CpuId(0), Timestamp(0), Timestamp(200), Timestamp(300));
+
+    for (task, cpu, start, end) in [
+        (t0, 0u32, 0u64, 100u64),
+        (t1, 1, 100, 200),
+        (t2, 2, 100, 200),
+        (t3, 0, 200, 300),
+    ] {
+        b.add_state(
+            CpuId(cpu),
+            WorkerState::TaskExecution,
+            Timestamp(start),
+            Timestamp(end),
+            Some(task),
+        )
+        .unwrap();
+    }
+
+    b.add_access(t0, AccessKind::Write, 0x1000, 256).unwrap();
+    b.add_access(t1, AccessKind::Read, 0x1000, 256).unwrap();
+    b.add_access(t1, AccessKind::Write, 0x2000, 256).unwrap();
+    b.add_access(t2, AccessKind::Read, 0x1000, 256).unwrap();
+    b.add_access(t2, AccessKind::Write, 0x3000, 256).unwrap();
+    b.add_access(t3, AccessKind::Read, 0x2000, 256).unwrap();
+    b.add_access(t3, AccessKind::Read, 0x3000, 256).unwrap();
+    b.add_access(t3, AccessKind::Write, 0x4000, 256).unwrap();
+
+    b.finish().unwrap()
+}
+
+/// A trace whose tasks carry no memory accesses (duration-only analyses still work).
+pub(crate) fn trace_without_accesses() -> Trace {
+    let mut b = TraceBuilder::new(MachineTopology::uniform(1, 2));
+    let ty = b.add_task_type("w", 0);
+    for i in 0..4u64 {
+        let t = b.add_task(
+            ty,
+            CpuId((i % 2) as u32),
+            Timestamp(i * 100),
+            Timestamp(i * 100),
+            Timestamp(i * 100 + 80),
+        );
+        b.add_state(
+            CpuId((i % 2) as u32),
+            WorkerState::TaskExecution,
+            Timestamp(i * 100),
+            Timestamp(i * 100 + 80),
+            Some(t),
+        )
+        .unwrap();
+    }
+    b.finish().unwrap()
+}

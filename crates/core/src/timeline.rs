@@ -1,0 +1,407 @@
+//! The timeline model: per-CPU, per-column cell values for the five timeline modes
+//! (paper Section II-B).
+//!
+//! The timeline is the central element of Aftermath's interface: one row per CPU, one
+//! column per horizontal pixel, each column covering a slice of the visible time
+//! interval. This module computes *what* each cell shows; the `aftermath-render` crate
+//! turns cells into pixels. Separating the two keeps the paper's key rendering
+//! optimization — every pixel is derived from the events it covers exactly once, using
+//! the predominant state/type/node of the covered interval — testable without a
+//! framebuffer.
+
+use aftermath_trace::{CpuId, NumaNodeId, TaskTypeId, TimeInterval, WorkerState};
+
+use crate::error::AnalysisError;
+use crate::filter::TaskFilter;
+use crate::index::states_overlapping;
+use crate::numa::{dominant_read_node, dominant_write_node, task_remote_fraction};
+use crate::session::AnalysisSession;
+
+/// The five timeline modes of the paper (Section II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimelineMode {
+    /// Default mode: the predominant worker state per cell.
+    State,
+    /// Heatmap mode: relative task duration, darker = longer.
+    Heatmap {
+        /// Lower bound of the duration scale in cycles.
+        min_duration: u64,
+        /// Upper bound of the duration scale in cycles.
+        max_duration: u64,
+    },
+    /// Task-type mode ("typemap"): the predominant task type per cell.
+    TaskType,
+    /// NUMA read map: the node providing most of the data read by the task in the cell.
+    NumaRead,
+    /// NUMA write map: the node receiving most of the data written by the task.
+    NumaWrite,
+    /// NUMA heatmap: fraction of remote accesses, blue (local) to pink (remote).
+    NumaHeat,
+}
+
+/// The content of one timeline cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimelineCell {
+    /// Nothing relevant happened in the cell (background shows through).
+    Empty,
+    /// Predominant worker state (state mode).
+    State(WorkerState),
+    /// Normalized intensity in `[0, 1]` (heatmap and NUMA-heat modes).
+    Shade(f64),
+    /// Predominant task type (typemap mode).
+    Type(TaskTypeId),
+    /// Dominant NUMA node (NUMA read/write map modes).
+    Node(NumaNodeId),
+}
+
+/// A computed timeline: `columns` cells for each CPU row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineModel {
+    /// The visible time interval.
+    pub interval: TimeInterval,
+    /// The CPUs shown, in row order.
+    pub cpus: Vec<CpuId>,
+    /// Number of columns (horizontal pixels).
+    pub columns: usize,
+    /// `cells[row][column]`.
+    pub cells: Vec<Vec<TimelineCell>>,
+}
+
+impl TimelineModel {
+    /// Computes the timeline for `mode` over `interval` at a horizontal resolution of
+    /// `columns` cells, showing all CPUs of the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidParameter`] for zero columns or an empty interval.
+    pub fn build(
+        session: &AnalysisSession<'_>,
+        mode: TimelineMode,
+        interval: TimeInterval,
+        columns: usize,
+    ) -> Result<Self, AnalysisError> {
+        Self::build_filtered(session, mode, interval, columns, &TaskFilter::new())
+    }
+
+    /// Like [`TimelineModel::build`] but only tasks accepted by `filter` contribute to
+    /// task-based modes (heatmap, typemap, NUMA modes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidParameter`] for zero columns or an empty interval.
+    pub fn build_filtered(
+        session: &AnalysisSession<'_>,
+        mode: TimelineMode,
+        interval: TimeInterval,
+        columns: usize,
+        filter: &TaskFilter,
+    ) -> Result<Self, AnalysisError> {
+        if columns == 0 {
+            return Err(AnalysisError::InvalidParameter(
+                "timeline needs at least one column".into(),
+            ));
+        }
+        if interval.is_empty() {
+            return Err(AnalysisError::InvalidParameter(
+                "timeline interval is empty".into(),
+            ));
+        }
+        let trace = session.trace();
+        let cpus: Vec<CpuId> = trace.topology().cpu_ids().collect();
+        let mut cells = Vec::with_capacity(cpus.len());
+        for &cpu in &cpus {
+            let mut row = Vec::with_capacity(columns);
+            for col in 0..columns {
+                let cell_iv = column_interval(interval, columns, col);
+                row.push(compute_cell(session, mode, cpu, cell_iv, filter));
+            }
+            cells.push(row);
+        }
+        Ok(TimelineModel {
+            interval,
+            cpus,
+            columns,
+            cells,
+        })
+    }
+
+    /// The cell at `(row, column)`.
+    pub fn cell(&self, row: usize, column: usize) -> Option<&TimelineCell> {
+        self.cells.get(row).and_then(|r| r.get(column))
+    }
+
+    /// Number of CPU rows.
+    pub fn num_rows(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Fraction of cells that are not [`TimelineCell::Empty`].
+    pub fn occupancy(&self) -> f64 {
+        let total = self.num_rows() * self.columns;
+        if total == 0 {
+            return 0.0;
+        }
+        let filled = self
+            .cells
+            .iter()
+            .flatten()
+            .filter(|c| !matches!(c, TimelineCell::Empty))
+            .count();
+        filled as f64 / total as f64
+    }
+}
+
+/// The time interval covered by one column.
+pub fn column_interval(interval: TimeInterval, columns: usize, col: usize) -> TimeInterval {
+    let w = (interval.duration() / columns as u64).max(1);
+    let start = interval.start.0 + w * col as u64;
+    let end = if col + 1 == columns {
+        interval.end.0
+    } else {
+        (start + w).min(interval.end.0)
+    };
+    TimeInterval::from_cycles(start, end.max(start))
+}
+
+fn compute_cell(
+    session: &AnalysisSession<'_>,
+    mode: TimelineMode,
+    cpu: CpuId,
+    cell_iv: TimeInterval,
+    filter: &TaskFilter,
+) -> TimelineCell {
+    match mode {
+        TimelineMode::State => predominant_state(session, cpu, cell_iv)
+            .map(TimelineCell::State)
+            .unwrap_or(TimelineCell::Empty),
+        TimelineMode::Heatmap {
+            min_duration,
+            max_duration,
+        } => match predominant_task(session, cpu, cell_iv, filter) {
+            Some(task) => {
+                let trace = session.trace();
+                let t = &trace.tasks()[task];
+                let range = max_duration.saturating_sub(min_duration).max(1) as f64;
+                let shade =
+                    ((t.duration().saturating_sub(min_duration)) as f64 / range).clamp(0.0, 1.0);
+                TimelineCell::Shade(shade)
+            }
+            None => TimelineCell::Empty,
+        },
+        TimelineMode::TaskType => match predominant_task(session, cpu, cell_iv, filter) {
+            Some(task) => TimelineCell::Type(session.trace().tasks()[task].task_type),
+            None => TimelineCell::Empty,
+        },
+        TimelineMode::NumaRead | TimelineMode::NumaWrite => {
+            match predominant_task(session, cpu, cell_iv, filter) {
+                Some(task) => {
+                    let trace = session.trace();
+                    let id = trace.tasks()[task].id;
+                    let node = if matches!(mode, TimelineMode::NumaRead) {
+                        dominant_read_node(trace, id)
+                    } else {
+                        dominant_write_node(trace, id)
+                    };
+                    node.map(TimelineCell::Node).unwrap_or(TimelineCell::Empty)
+                }
+                None => TimelineCell::Empty,
+            }
+        }
+        TimelineMode::NumaHeat => match predominant_task(session, cpu, cell_iv, filter) {
+            Some(task) => {
+                let trace = session.trace();
+                task_remote_fraction(trace, &trace.tasks()[task])
+                    .map(TimelineCell::Shade)
+                    .unwrap_or(TimelineCell::Empty)
+            }
+            None => TimelineCell::Empty,
+        },
+    }
+}
+
+/// The worker state covering the largest part of the cell, if any.
+fn predominant_state(
+    session: &AnalysisSession<'_>,
+    cpu: CpuId,
+    cell_iv: TimeInterval,
+) -> Option<WorkerState> {
+    let mut cycles = [0u64; WorkerState::COUNT];
+    for s in states_overlapping(session.states(cpu), cell_iv) {
+        cycles[s.state.index()] += s.interval.overlap_cycles(&cell_iv);
+    }
+    cycles
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .max_by_key(|(_, &c)| c)
+        .and_then(|(i, _)| WorkerState::from_index(i))
+}
+
+/// The index (into `trace.tasks()`) of the task-execution state covering the largest part
+/// of the cell on `cpu`, restricted to tasks accepted by `filter`.
+fn predominant_task(
+    session: &AnalysisSession<'_>,
+    cpu: CpuId,
+    cell_iv: TimeInterval,
+    filter: &TaskFilter,
+) -> Option<usize> {
+    let trace = session.trace();
+    let mut best: Option<(u64, usize)> = None;
+    for s in states_overlapping(session.states(cpu), cell_iv) {
+        if s.state != WorkerState::TaskExecution {
+            continue;
+        }
+        let Some(task_id) = s.task else { continue };
+        let idx = task_id.0 as usize;
+        let Some(task) = trace.tasks().get(idx) else {
+            continue;
+        };
+        if !filter.matches(trace, task) {
+            continue;
+        }
+        let overlap = s.interval.overlap_cycles(&cell_iv);
+        if overlap == 0 {
+            continue;
+        }
+        if best.map(|(o, _)| overlap > o).unwrap_or(true) {
+            best = Some((overlap, idx));
+        }
+    }
+    best.map(|(_, idx)| idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{diamond_trace, small_sim_trace};
+    use crate::AnalysisSession;
+
+    #[test]
+    fn column_intervals_tile_the_range() {
+        let iv = TimeInterval::from_cycles(0, 1000);
+        let cols = 7;
+        let mut covered = 0;
+        for c in 0..cols {
+            covered += column_interval(iv, cols, c).duration();
+        }
+        assert_eq!(covered, 1000);
+        assert_eq!(column_interval(iv, cols, cols - 1).end.0, 1000);
+    }
+
+    #[test]
+    fn state_mode_shows_execution_on_diamond() {
+        let trace = diamond_trace();
+        let session = AnalysisSession::new(&trace);
+        let model = TimelineModel::build(
+            &session,
+            TimelineMode::State,
+            session.time_bounds(),
+            3,
+        )
+        .unwrap();
+        assert_eq!(model.num_rows(), 4);
+        assert_eq!(model.columns, 3);
+        // CPU 0 executes t0 in the first third and t3 in the last third.
+        assert_eq!(
+            model.cell(0, 0),
+            Some(&TimelineCell::State(WorkerState::TaskExecution))
+        );
+        assert_eq!(model.cell(0, 1), Some(&TimelineCell::Empty));
+        assert_eq!(
+            model.cell(0, 2),
+            Some(&TimelineCell::State(WorkerState::TaskExecution))
+        );
+        // CPU 3 never executes anything.
+        assert!(model.cells[3].iter().all(|c| matches!(c, TimelineCell::Empty)));
+    }
+
+    #[test]
+    fn heatmap_shades_increase_with_duration() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        let max = trace.tasks().iter().map(|t| t.duration()).max().unwrap();
+        let model = TimelineModel::build(
+            &session,
+            TimelineMode::Heatmap {
+                min_duration: 0,
+                max_duration: max,
+            },
+            session.time_bounds(),
+            64,
+        )
+        .unwrap();
+        let shades: Vec<f64> = model
+            .cells
+            .iter()
+            .flatten()
+            .filter_map(|c| match c {
+                TimelineCell::Shade(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert!(!shades.is_empty());
+        assert!(shades.iter().all(|s| (0.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    fn typemap_and_numa_modes_produce_cells() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        let bounds = session.time_bounds();
+        for mode in [
+            TimelineMode::TaskType,
+            TimelineMode::NumaRead,
+            TimelineMode::NumaWrite,
+            TimelineMode::NumaHeat,
+        ] {
+            let model = TimelineModel::build(&session, mode, bounds, 48).unwrap();
+            assert!(
+                model.occupancy() > 0.0,
+                "mode {mode:?} produced an empty timeline"
+            );
+        }
+    }
+
+    #[test]
+    fn filtered_timeline_hides_other_types() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        let init_ty = trace
+            .task_types()
+            .iter()
+            .find(|t| t.name == "seidel_init")
+            .unwrap()
+            .id;
+        let bounds = session.time_bounds();
+        let all = TimelineModel::build(&session, TimelineMode::TaskType, bounds, 64).unwrap();
+        let only_init = TimelineModel::build_filtered(
+            &session,
+            TimelineMode::TaskType,
+            bounds,
+            64,
+            &TaskFilter::new().with_task_type(init_ty),
+        )
+        .unwrap();
+        assert!(only_init.occupancy() < all.occupancy());
+        for cell in only_init.cells.iter().flatten() {
+            if let TimelineCell::Type(ty) = cell {
+                assert_eq!(*ty, init_ty);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let trace = diamond_trace();
+        let session = AnalysisSession::new(&trace);
+        assert!(TimelineModel::build(&session, TimelineMode::State, session.time_bounds(), 0)
+            .is_err());
+        assert!(TimelineModel::build(
+            &session,
+            TimelineMode::State,
+            TimeInterval::from_cycles(5, 5),
+            10
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Colours and palettes used by the timeline modes.
+
+use aftermath_trace::{NumaNodeId, TaskTypeId, WorkerState};
+
+/// An opaque 24-bit RGB colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Color {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Color {
+    /// Creates a colour from its channels.
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Self {
+        Color { r, g, b }
+    }
+
+    /// Pure black.
+    pub const BLACK: Color = Color::rgb(0, 0, 0);
+    /// Pure white.
+    pub const WHITE: Color = Color::rgb(255, 255, 255);
+
+    /// Linear interpolation between two colours (`t` clamped to `[0, 1]`).
+    pub fn lerp(self, other: Color, t: f64) -> Color {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: u8, b: u8| -> u8 { (a as f64 + (b as f64 - a as f64) * t).round() as u8 };
+        Color::rgb(mix(self.r, other.r), mix(self.g, other.g), mix(self.b, other.b))
+    }
+}
+
+/// The colour palette used by the timeline renderer, matching the conventions of the
+/// paper's figures: dark blue for task execution, light blue for idling, shades of red
+/// for the duration heatmap, blue-to-pink for the NUMA heatmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Palette;
+
+impl Palette {
+    /// Background colour of the timeline (visible where no event is drawn).
+    pub const BACKGROUND: Color = Color::rgb(32, 32, 32);
+
+    /// The colour of a worker state in state mode.
+    pub fn state(self, state: WorkerState) -> Color {
+        match state {
+            WorkerState::TaskExecution => Color::rgb(24, 48, 140),  // dark blue
+            WorkerState::Idle => Color::rgb(150, 200, 245),         // light blue
+            WorkerState::TaskCreation => Color::rgb(60, 160, 60),   // green
+            WorkerState::Broadcast => Color::rgb(220, 170, 40),     // amber
+            WorkerState::Synchronization => Color::rgb(170, 60, 170), // purple
+            WorkerState::LoadBalancing => Color::rgb(230, 120, 40), // orange
+            WorkerState::RuntimeOverhead => Color::rgb(120, 120, 120),
+            WorkerState::Startup => Color::rgb(90, 90, 90),
+            WorkerState::Shutdown => Color::rgb(60, 60, 60),
+        }
+    }
+
+    /// A distinct colour per task type (cycled from a fixed set, as in typemap mode).
+    pub fn task_type(self, ty: TaskTypeId) -> Color {
+        const COLORS: [Color; 8] = [
+            Color::rgb(230, 150, 180), // pink (initialization in Figure 9)
+            Color::rgb(200, 160, 60),  // ocher (main computation in Figure 9)
+            Color::rgb(70, 130, 180),
+            Color::rgb(60, 170, 90),
+            Color::rgb(170, 90, 200),
+            Color::rgb(210, 210, 80),
+            Color::rgb(90, 200, 200),
+            Color::rgb(220, 100, 60),
+        ];
+        COLORS[ty.0 as usize % COLORS.len()]
+    }
+
+    /// A distinct colour per NUMA node (cycled), used by the NUMA read/write maps.
+    pub fn numa_node(self, node: NumaNodeId) -> Color {
+        const COLORS: [Color; 8] = [
+            Color::rgb(31, 119, 180),
+            Color::rgb(255, 127, 14),
+            Color::rgb(44, 160, 44),
+            Color::rgb(214, 39, 40),
+            Color::rgb(148, 103, 189),
+            Color::rgb(140, 86, 75),
+            Color::rgb(227, 119, 194),
+            Color::rgb(188, 189, 34),
+        ];
+        COLORS[node.0 as usize % COLORS.len()]
+    }
+
+    /// Heatmap shade for a normalized duration in `[0, 1]`: white (short) to dark red
+    /// (long), as in Figure 7.
+    pub fn heat(self, value: f64) -> Color {
+        Color::WHITE.lerp(Color::rgb(140, 10, 10), value)
+    }
+
+    /// NUMA heatmap shade for a remote-access fraction in `[0, 1]`: blue (local) to pink
+    /// (remote), as in Figures 14e/f.
+    pub fn numa_heat(self, remote_fraction: f64) -> Color {
+        Color::rgb(40, 90, 200).lerp(Color::rgb(235, 80, 190), remote_fraction)
+    }
+
+    /// Shade of red for a normalized communication-matrix entry in `[0, 1]` (Figure 15).
+    pub fn matrix(self, value: f64) -> Color {
+        Color::WHITE.lerp(Color::rgb(180, 0, 0), value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints_and_clamp() {
+        let a = Color::rgb(0, 0, 0);
+        let b = Color::rgb(100, 200, 50);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 2.0), b);
+        assert_eq!(a.lerp(b, -1.0), a);
+        assert_eq!(a.lerp(b, 0.5), Color::rgb(50, 100, 25));
+    }
+
+    #[test]
+    fn distinct_state_colors() {
+        let p = Palette;
+        let mut seen = std::collections::HashSet::new();
+        for s in WorkerState::ALL {
+            assert!(seen.insert(p.state(s)), "duplicate colour for {s}");
+        }
+    }
+
+    #[test]
+    fn palettes_cycle() {
+        let p = Palette;
+        assert_eq!(p.task_type(TaskTypeId(0)), p.task_type(TaskTypeId(8)));
+        assert_eq!(p.numa_node(NumaNodeId(1)), p.numa_node(NumaNodeId(9)));
+        assert_ne!(p.numa_node(NumaNodeId(0)), p.numa_node(NumaNodeId(1)));
+    }
+
+    #[test]
+    fn heat_shades_darken_with_value() {
+        let p = Palette;
+        let short = p.heat(0.0);
+        let long = p.heat(1.0);
+        assert_eq!(short, Color::WHITE);
+        assert!(long.r < 255 && long.g < 50);
+        let numa_local = p.numa_heat(0.0);
+        let numa_remote = p.numa_heat(1.0);
+        assert!(numa_local.b > numa_local.r);
+        assert!(numa_remote.r > numa_remote.b.saturating_sub(60));
+    }
+}

@@ -1,0 +1,64 @@
+//! # aftermath-render
+//!
+//! Headless rendering for Aftermath-rs: timelines, counter overlays, histograms and
+//! communication matrices rendered into an RGB framebuffer that can be written out as a
+//! PPM image.
+//!
+//! The original Aftermath renders with GTK+/Cairo; the *algorithms* behind its
+//! responsive interface are described in the paper's Section VI-B and are what this
+//! crate reproduces:
+//!
+//! * every horizontal pixel of the timeline is drawn exactly once, using the predominant
+//!   state/type/node of the interval it covers (computed by
+//!   [`aftermath_core::timeline::TimelineModel`]),
+//! * adjacent pixels with the same colour are aggregated into a single rectangle fill
+//!   ([`timeline::TimelineRenderer`]),
+//! * performance-counter overlays draw one vertical min/max line per pixel column
+//!   instead of one line per sample pair ([`overlay`]),
+//! * a naive renderer that draws every event individually is provided for comparison
+//!   (and for the ablation benchmarks).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use aftermath_core::{AnalysisSession, TimelineMode, TimelineModel};
+//! use aftermath_render::timeline::TimelineRenderer;
+//! # use aftermath_sim::{SimConfig, Simulator};
+//! # use aftermath_workloads::SeidelConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let trace = Simulator::new(SimConfig::small_test())
+//! #     .run(&SeidelConfig::small().build())?.trace;
+//! let session = AnalysisSession::new(&trace);
+//! let model = TimelineModel::build(&session, TimelineMode::State, session.time_bounds(), 320)?;
+//! let frame = TimelineRenderer::new().render(&model);
+//! assert_eq!(frame.width(), 320);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod color;
+pub mod framebuffer;
+pub mod overlay;
+pub mod timeline;
+pub mod views;
+pub mod zoom;
+
+pub use color::{Color, Palette};
+pub use framebuffer::Framebuffer;
+pub use overlay::CounterOverlay;
+pub use timeline::TimelineRenderer;
+pub use zoom::ZoomState;
+
+/// Commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::color::{Color, Palette};
+    pub use crate::framebuffer::Framebuffer;
+    pub use crate::overlay::CounterOverlay;
+    pub use crate::timeline::TimelineRenderer;
+    pub use crate::views::{render_histogram, render_incidence_matrix, render_parallelism_profile};
+    pub use crate::zoom::ZoomState;
+}

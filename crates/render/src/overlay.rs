@@ -1,0 +1,175 @@
+//! Performance-counter overlays on the timeline (paper Section VI-B, Figure 21).
+//!
+//! A counter curve is overlaid on the timeline by drawing, for every pixel column, a
+//! single vertical line from the pixel of the minimum to the pixel of the maximum
+//! counter value inside the column's time slice. At low zoom levels this replaces
+//! thousands of per-sample line segments with one line per column; the min/max values
+//! come from the session's n-ary counter index.
+
+use aftermath_core::AnalysisSession;
+use aftermath_trace::{CounterId, CpuId, TimeInterval};
+
+use crate::color::Color;
+use crate::framebuffer::Framebuffer;
+
+/// Renders one counter of one CPU as a curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterOverlay {
+    /// The CPU whose samples are drawn.
+    pub cpu: CpuId,
+    /// The counter to draw.
+    pub counter: CounterId,
+    /// Curve colour.
+    pub color: Color,
+    /// Height of the plot in pixels.
+    pub height: usize,
+}
+
+impl CounterOverlay {
+    /// Creates an overlay with a default height of 100 pixels.
+    pub fn new(cpu: CpuId, counter: CounterId, color: Color) -> Self {
+        CounterOverlay {
+            cpu,
+            counter,
+            color,
+            height: 100,
+        }
+    }
+
+    /// Value range used for the vertical axis: the counter's min/max over the interval.
+    fn value_range(
+        &self,
+        session: &AnalysisSession<'_>,
+        interval: TimeInterval,
+    ) -> Option<(f64, f64)> {
+        let (min, max) = session.counter_min_max(self.cpu, self.counter, interval)?;
+        if max > min {
+            Some((min, max))
+        } else {
+            Some((min, min + 1.0))
+        }
+    }
+
+    fn value_to_y(&self, value: f64, min: f64, max: f64) -> usize {
+        let frac = ((value - min) / (max - min)).clamp(0.0, 1.0);
+        // y grows downwards: the maximum value maps to row 0.
+        ((1.0 - frac) * (self.height.saturating_sub(1)) as f64).round() as usize
+    }
+
+    /// Optimized rendering: one vertical min/max line per pixel column (Figure 21b–d).
+    ///
+    /// Returns `None` when the counter has no samples on this CPU in the interval.
+    pub fn render(
+        &self,
+        session: &AnalysisSession<'_>,
+        interval: TimeInterval,
+        columns: usize,
+    ) -> Option<Framebuffer> {
+        let (min, max) = self.value_range(session, interval)?;
+        let mut fb = Framebuffer::new(columns, self.height, Color::BLACK);
+        let mut drew = false;
+        for col in 0..columns {
+            let col_iv = aftermath_core::timeline::column_interval(interval, columns, col);
+            if let Some((lo, hi)) = session.counter_min_max(self.cpu, self.counter, col_iv) {
+                let y0 = self.value_to_y(hi, min, max);
+                let y1 = self.value_to_y(lo, min, max);
+                fb.draw_vline(col, y0, y1, self.color);
+                drew = true;
+            }
+        }
+        drew.then_some(fb)
+    }
+
+    /// Naive rendering: one line segment per pair of adjacent samples (Figure 21a).
+    ///
+    /// Produces the same visual envelope as [`CounterOverlay::render`] but issues one
+    /// drawing operation per sample pair, which the benchmarks show to be much more
+    /// expensive on large traces.
+    pub fn render_naive(
+        &self,
+        session: &AnalysisSession<'_>,
+        interval: TimeInterval,
+        columns: usize,
+    ) -> Option<Framebuffer> {
+        let (min, max) = self.value_range(session, interval)?;
+        let samples = session.samples_in(self.cpu, self.counter, interval);
+        if samples.is_empty() {
+            return None;
+        }
+        let mut fb = Framebuffer::new(columns, self.height, Color::BLACK);
+        let duration = interval.duration().max(1);
+        let to_x = |ts: aftermath_trace::Timestamp| -> usize {
+            (((ts.0 - interval.start.0) as u128 * columns as u128 / duration as u128) as usize)
+                .min(columns.saturating_sub(1))
+        };
+        for pair in samples.windows(2) {
+            let x0 = to_x(pair[0].timestamp);
+            let x1 = to_x(pair[1].timestamp);
+            let y0 = self.value_to_y(pair[0].value, min, max);
+            let y1 = self.value_to_y(pair[1].value, min, max);
+            fb.draw_line(x0, y0, x1, y1, self.color);
+        }
+        Some(fb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aftermath_core::AnalysisSession;
+    use aftermath_sim::{SimConfig, Simulator};
+    use aftermath_workloads::SeidelConfig;
+
+    fn trace() -> aftermath_trace::Trace {
+        Simulator::new(SimConfig::small_test())
+            .run(&SeidelConfig::small().build())
+            .unwrap()
+            .trace
+    }
+
+    #[test]
+    fn optimized_issues_at_most_one_call_per_column() {
+        let trace = trace();
+        let session = AnalysisSession::new(&trace);
+        let counter = session.counter_id("system-time-us").unwrap();
+        let overlay = CounterOverlay::new(CpuId(0), counter, Color::WHITE);
+        let columns = 128;
+        let fb = overlay.render(&session, session.time_bounds(), columns).unwrap();
+        assert!(fb.draw_calls() <= columns as u64);
+        assert_eq!(fb.width(), columns);
+        assert_eq!(fb.height(), 100);
+    }
+
+    #[test]
+    fn naive_issues_one_call_per_sample_pair() {
+        let trace = trace();
+        let session = AnalysisSession::new(&trace);
+        let counter = session.counter_id("system-time-us").unwrap();
+        let overlay = CounterOverlay::new(CpuId(0), counter, Color::WHITE);
+        let bounds = session.time_bounds();
+        let fb = overlay.render_naive(&session, bounds, 128).unwrap();
+        let samples = session.samples_in(CpuId(0), counter, bounds).len() as u64;
+        assert_eq!(fb.draw_calls(), samples - 1);
+    }
+
+    #[test]
+    fn missing_counter_returns_none() {
+        let trace = trace();
+        let session = AnalysisSession::new(&trace);
+        let overlay = CounterOverlay::new(CpuId(0), CounterId(999), Color::WHITE);
+        assert!(overlay.render(&session, session.time_bounds(), 64).is_none());
+        assert!(overlay
+            .render_naive(&session, session.time_bounds(), 64)
+            .is_none());
+    }
+
+    #[test]
+    fn curve_pixels_are_drawn() {
+        let trace = trace();
+        let session = AnalysisSession::new(&trace);
+        let counter = session.counter_id("resident-kbytes").unwrap();
+        let overlay = CounterOverlay::new(CpuId(0), counter, Color::rgb(255, 0, 0));
+        let fb = overlay.render(&session, session.time_bounds(), 64).unwrap();
+        assert!(fb.count_pixels(Color::rgb(255, 0, 0)) > 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Timeline rendering with the paper's Section VI-B optimizations.
+//!
+//! [`TimelineRenderer::render`] draws a [`TimelineModel`] (one cell per CPU row and pixel
+//! column, already reduced to the predominant state/type/node per pixel) and aggregates
+//! runs of identically coloured cells into single rectangle fills.
+//!
+//! [`TimelineRenderer::render_states_naive`] is the baseline the paper argues against:
+//! it iterates over *every* state interval and draws each one individually, which both
+//! issues many more drawing operations and repeatedly overdraws the same pixels at low
+//! zoom levels. The two renderers produce equivalent images for state mode; the
+//! benchmarks compare their cost.
+
+use aftermath_core::{AnalysisSession, TimelineCell, TimelineModel};
+use aftermath_trace::{TimeInterval, WorkerState};
+
+use crate::color::{Color, Palette};
+use crate::framebuffer::Framebuffer;
+
+/// Renders timeline models into framebuffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineRenderer {
+    /// Height of one CPU row in pixels.
+    pub row_height: usize,
+    /// Colour palette.
+    pub palette: Palette,
+}
+
+impl Default for TimelineRenderer {
+    fn default() -> Self {
+        TimelineRenderer {
+            row_height: 4,
+            palette: Palette,
+        }
+    }
+}
+
+impl TimelineRenderer {
+    /// Creates a renderer with the default row height (4 px per CPU).
+    pub fn new() -> Self {
+        TimelineRenderer::default()
+    }
+
+    /// Creates a renderer with a custom row height.
+    pub fn with_row_height(row_height: usize) -> Self {
+        TimelineRenderer {
+            row_height: row_height.max(1),
+            palette: Palette,
+        }
+    }
+
+    /// The colour of one timeline cell.
+    pub fn cell_color(&self, cell: &TimelineCell) -> Color {
+        match cell {
+            TimelineCell::Empty => Palette::BACKGROUND,
+            TimelineCell::State(s) => self.palette.state(*s),
+            TimelineCell::Shade(v) => self.palette.heat(*v),
+            TimelineCell::Type(ty) => self.palette.task_type(*ty),
+            TimelineCell::Node(n) => self.palette.numa_node(*n),
+        }
+    }
+
+    /// Renders a timeline model; every pixel is drawn at most once and horizontal runs of
+    /// the same colour become a single rectangle fill.
+    pub fn render(&self, model: &TimelineModel) -> Framebuffer {
+        let width = model.columns;
+        let height = model.num_rows() * self.row_height;
+        let mut fb = Framebuffer::new(width, height, Palette::BACKGROUND);
+        for (row, cells) in model.cells.iter().enumerate() {
+            let y = row * self.row_height;
+            let mut col = 0;
+            while col < cells.len() {
+                let color = self.cell_color(&cells[col]);
+                let mut run = 1;
+                while col + run < cells.len() && self.cell_color(&cells[col + run]) == color {
+                    run += 1;
+                }
+                if color != Palette::BACKGROUND {
+                    fb.fill_rect(col, y, run, self.row_height, color);
+                }
+                col += run;
+            }
+        }
+        fb
+    }
+
+    /// Renders a timeline model **without** rectangle aggregation: one fill per cell.
+    ///
+    /// This isolates the effect of the aggregation optimization in the benchmarks while
+    /// producing exactly the same image as [`TimelineRenderer::render`].
+    pub fn render_unaggregated(&self, model: &TimelineModel) -> Framebuffer {
+        let width = model.columns;
+        let height = model.num_rows() * self.row_height;
+        let mut fb = Framebuffer::new(width, height, Palette::BACKGROUND);
+        for (row, cells) in model.cells.iter().enumerate() {
+            let y = row * self.row_height;
+            for (col, cell) in cells.iter().enumerate() {
+                let color = self.cell_color(cell);
+                if color != Palette::BACKGROUND {
+                    fb.fill_rect(col, y, 1, self.row_height, color);
+                }
+            }
+        }
+        fb
+    }
+
+    /// The naive state-mode renderer: draws every state interval of every CPU directly,
+    /// without per-pixel reduction. At low zoom levels many states map to the same pixel
+    /// and are drawn over each other (the last one wins), which is both slower and less
+    /// accurate than the predominant-state reduction.
+    pub fn render_states_naive(
+        &self,
+        session: &AnalysisSession<'_>,
+        interval: TimeInterval,
+        columns: usize,
+    ) -> Framebuffer {
+        let cpus: Vec<_> = session.trace().topology().cpu_ids().collect();
+        let height = cpus.len() * self.row_height;
+        let mut fb = Framebuffer::new(columns, height, Palette::BACKGROUND);
+        let duration = interval.duration().max(1);
+        for (row, &cpu) in cpus.iter().enumerate() {
+            let y = row * self.row_height;
+            for state in session.states_in(cpu, interval) {
+                let Some(clipped) = state.interval.intersection(&interval) else {
+                    continue;
+                };
+                let x0 = ((clipped.start.0 - interval.start.0) as u128 * columns as u128
+                    / duration as u128) as usize;
+                let x1 = ((clipped.end.0 - interval.start.0) as u128 * columns as u128
+                    / duration as u128) as usize;
+                let w = (x1.saturating_sub(x0)).max(1);
+                fb.fill_rect(x0.min(columns.saturating_sub(1)), y, w, self.row_height,
+                    self.palette.state(state.state));
+            }
+        }
+        fb
+    }
+
+    /// Renders only the task-execution states of a naive render as a quick structural
+    /// comparison value: the number of pixels showing the task-execution colour.
+    pub fn execution_pixels(&self, fb: &Framebuffer) -> usize {
+        fb.count_pixels(self.palette.state(WorkerState::TaskExecution))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aftermath_core::{AnalysisSession, TimelineMode, TimelineModel};
+    use aftermath_sim::{SimConfig, Simulator};
+    use aftermath_workloads::SeidelConfig;
+
+    fn session_trace() -> aftermath_trace::Trace {
+        Simulator::new(SimConfig::small_test())
+            .run(&SeidelConfig::small().build())
+            .unwrap()
+            .trace
+    }
+
+    #[test]
+    fn aggregated_and_unaggregated_produce_identical_images() {
+        let trace = session_trace();
+        let session = AnalysisSession::new(&trace);
+        let model =
+            TimelineModel::build(&session, TimelineMode::State, session.time_bounds(), 200)
+                .unwrap();
+        let r = TimelineRenderer::new();
+        let fast = r.render(&model);
+        let slow = r.render_unaggregated(&model);
+        assert_eq!(fast.width(), slow.width());
+        assert_eq!(fast.height(), slow.height());
+        for y in 0..fast.height() {
+            for x in 0..fast.width() {
+                assert_eq!(fast.get(x, y), slow.get(x, y), "pixel ({x},{y}) differs");
+            }
+        }
+        // Aggregation must issue strictly fewer drawing operations.
+        assert!(fast.draw_calls() < slow.draw_calls());
+    }
+
+    #[test]
+    fn naive_renderer_issues_more_draw_calls_at_low_zoom() {
+        let trace = session_trace();
+        let session = AnalysisSession::new(&trace);
+        let bounds = session.time_bounds();
+        let columns = 64; // strongly zoomed out: many states per pixel
+        let model = TimelineModel::build(&session, TimelineMode::State, bounds, columns).unwrap();
+        let r = TimelineRenderer::new();
+        let optimized = r.render(&model);
+        let naive = r.render_states_naive(&session, bounds, columns);
+        assert!(optimized.draw_calls() < naive.draw_calls());
+        assert_eq!(optimized.width(), naive.width());
+    }
+
+    #[test]
+    fn row_height_controls_image_height() {
+        let trace = session_trace();
+        let session = AnalysisSession::new(&trace);
+        let model =
+            TimelineModel::build(&session, TimelineMode::State, session.time_bounds(), 32)
+                .unwrap();
+        let fb = TimelineRenderer::with_row_height(7).render(&model);
+        assert_eq!(fb.height(), model.num_rows() * 7);
+        assert_eq!(TimelineRenderer::with_row_height(0).row_height, 1);
+    }
+
+    #[test]
+    fn heatmap_mode_renders_shades() {
+        let trace = session_trace();
+        let session = AnalysisSession::new(&trace);
+        let max = trace.tasks().iter().map(|t| t.duration()).max().unwrap();
+        let model = TimelineModel::build(
+            &session,
+            TimelineMode::Heatmap {
+                min_duration: 0,
+                max_duration: max,
+            },
+            session.time_bounds(),
+            128,
+        )
+        .unwrap();
+        let fb = TimelineRenderer::new().render(&model);
+        // At least one pixel should differ from the background.
+        assert!(fb.count_pixels(Palette::BACKGROUND) < fb.width() * fb.height());
+    }
+}

@@ -1,0 +1,123 @@
+//! Statistical views rendered as images: histograms, the communication incidence matrix
+//! and the available-parallelism profile.
+
+use aftermath_core::{Histogram, IncidenceMatrix};
+
+use crate::color::{Color, Palette};
+use crate::framebuffer::Framebuffer;
+
+/// Renders a histogram as a bar chart.
+///
+/// Bars are scaled so the tallest bin fills the full height.
+pub fn render_histogram(histogram: &Histogram, width: usize, height: usize) -> Framebuffer {
+    let mut fb = Framebuffer::new(width, height, Color::WHITE);
+    let bins = histogram.num_bins();
+    if bins == 0 || histogram.total == 0 || width == 0 || height == 0 {
+        return fb;
+    }
+    let max_count = histogram.counts.iter().copied().max().unwrap_or(1).max(1);
+    let bar_width = (width / bins).max(1);
+    for (i, &count) in histogram.counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let bar_height = ((count as f64 / max_count as f64) * height as f64).round() as usize;
+        let x = i * bar_width;
+        let y = height - bar_height.min(height);
+        fb.fill_rect(x, y, bar_width, bar_height, Color::rgb(60, 100, 180));
+    }
+    fb
+}
+
+/// Renders the NUMA communication incidence matrix (Figure 15): an `n × n` grid where
+/// each cell's shade of red encodes the fraction of total traffic between the node pair.
+pub fn render_incidence_matrix(matrix: &IncidenceMatrix, cell_size: usize) -> Framebuffer {
+    let n = matrix.num_nodes();
+    let size = n * cell_size.max(1);
+    let mut fb = Framebuffer::new(size, size, Color::WHITE);
+    let normalized = matrix.normalized();
+    let max = normalized.iter().copied().fold(0.0f64, f64::max);
+    for from in 0..n {
+        for to in 0..n {
+            let v = normalized[from * n + to];
+            let shade = if max > 0.0 { v / max } else { 0.0 };
+            fb.fill_rect(
+                to * cell_size,
+                from * cell_size,
+                cell_size,
+                cell_size,
+                Palette.matrix(shade),
+            );
+        }
+    }
+    fb
+}
+
+/// Renders the available-parallelism profile (Figure 5) as a line/area plot: x is the
+/// task-graph depth, y the number of tasks at that depth.
+pub fn render_parallelism_profile(profile: &[usize], width: usize, height: usize) -> Framebuffer {
+    let mut fb = Framebuffer::new(width, height, Color::WHITE);
+    if profile.is_empty() || width == 0 || height == 0 {
+        return fb;
+    }
+    let max = *profile.iter().max().unwrap_or(&1) as f64;
+    let color = Color::rgb(30, 120, 60);
+    for x in 0..width {
+        let depth = x * profile.len() / width;
+        let value = profile[depth.min(profile.len() - 1)] as f64;
+        let bar = ((value / max.max(1.0)) * height as f64).round() as usize;
+        if bar > 0 {
+            fb.draw_vline(x, height - bar.min(height), height - 1, color);
+        }
+    }
+    fb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aftermath_core::{AnalysisSession, TaskFilter};
+    use aftermath_sim::{SimConfig, Simulator};
+    use aftermath_workloads::SeidelConfig;
+
+    #[test]
+    fn histogram_bars_fill_canvas() {
+        let h = Histogram::from_values(&[1.0, 1.5, 2.0, 8.0], 4, Some((0.0, 8.0))).unwrap();
+        let fb = render_histogram(&h, 40, 20);
+        assert_eq!(fb.width(), 40);
+        // The tallest bar (first bin, 3 values) reaches the top row.
+        assert!(fb.count_pixels(Color::rgb(60, 100, 180)) > 0);
+        assert_eq!(fb.get(0, 0), Some(Color::rgb(60, 100, 180)));
+    }
+
+    #[test]
+    fn empty_histogram_is_blank() {
+        let h = Histogram::from_values(&[], 4, None).unwrap();
+        let fb = render_histogram(&h, 10, 10);
+        assert_eq!(fb.count_pixels(Color::WHITE), 100);
+    }
+
+    #[test]
+    fn incidence_matrix_render_size_and_diagonal() {
+        let trace = Simulator::new(SimConfig::small_test())
+            .run(&SeidelConfig::small().build())
+            .unwrap()
+            .trace;
+        let session = AnalysisSession::new(&trace);
+        let matrix = IncidenceMatrix::build(&session, &TaskFilter::new()).unwrap();
+        let fb = render_incidence_matrix(&matrix, 8);
+        assert_eq!(fb.width(), matrix.num_nodes() * 8);
+        assert_eq!(fb.height(), fb.width());
+    }
+
+    #[test]
+    fn parallelism_profile_plot() {
+        let profile = vec![16, 1, 2, 4, 8, 4, 2, 1];
+        let fb = render_parallelism_profile(&profile, 80, 40);
+        assert_eq!(fb.width(), 80);
+        // The startup peak (16 tasks) reaches the top of the plot.
+        assert_eq!(fb.get(0, 0), Some(Color::rgb(30, 120, 60)));
+        let empty = render_parallelism_profile(&[], 10, 10);
+        assert_eq!(empty.count_pixels(Color::WHITE), 100);
+    }
+}

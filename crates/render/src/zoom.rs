@@ -1,0 +1,136 @@
+//! Zoom and scroll state of the timeline view.
+//!
+//! Aftermath supports arbitrary zooming and scrolling along the timeline; this module
+//! models the visible window over the trace's full time range so that the interactive
+//! navigation logic can be tested independently of any GUI toolkit.
+
+use aftermath_trace::{TimeInterval, Timestamp};
+
+/// The visible window of the timeline over the full trace interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoomState {
+    full: TimeInterval,
+    visible: TimeInterval,
+}
+
+impl ZoomState {
+    /// Minimum visible width in cycles (prevents zooming into nothing).
+    pub const MIN_VISIBLE_CYCLES: u64 = 16;
+
+    /// Creates a zoom state showing the full interval.
+    pub fn new(full: TimeInterval) -> Self {
+        ZoomState {
+            full,
+            visible: full,
+        }
+    }
+
+    /// The full trace interval.
+    pub fn full(&self) -> TimeInterval {
+        self.full
+    }
+
+    /// The currently visible interval.
+    pub fn visible(&self) -> TimeInterval {
+        self.visible
+    }
+
+    /// The zoom factor: full duration divided by visible duration (≥ 1).
+    pub fn factor(&self) -> f64 {
+        let v = self.visible.duration().max(1);
+        self.full.duration().max(1) as f64 / v as f64
+    }
+
+    /// Zooms by `factor` (> 1 zooms in, < 1 zooms out) around `anchor_frac`, the
+    /// horizontal position of the cursor as a fraction of the visible width.
+    pub fn zoom(&mut self, factor: f64, anchor_frac: f64) {
+        let anchor_frac = anchor_frac.clamp(0.0, 1.0);
+        let old = self.visible.duration().max(1) as f64;
+        let new = (old / factor.max(1e-9))
+            .clamp(Self::MIN_VISIBLE_CYCLES as f64, self.full.duration().max(1) as f64);
+        let anchor_time = self.visible.start.0 as f64 + old * anchor_frac;
+        let new_start = anchor_time - new * anchor_frac;
+        self.set_window(new_start, new);
+    }
+
+    /// Scrolls by a fraction of the visible width (positive = forwards in time).
+    pub fn scroll(&mut self, delta_frac: f64) {
+        let width = self.visible.duration() as f64;
+        let new_start = self.visible.start.0 as f64 + width * delta_frac;
+        self.set_window(new_start, width);
+    }
+
+    /// Resets the view to the full interval.
+    pub fn reset(&mut self) {
+        self.visible = self.full;
+    }
+
+    fn set_window(&mut self, start: f64, width: f64) {
+        let full_start = self.full.start.0 as f64;
+        let full_end = self.full.end.0 as f64;
+        let width = width.min(full_end - full_start).max(Self::MIN_VISIBLE_CYCLES as f64);
+        let start = start.clamp(full_start, (full_end - width).max(full_start));
+        self.visible = TimeInterval::new(
+            Timestamp(start.round() as u64),
+            Timestamp((start + width).round() as u64),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zoom_state() -> ZoomState {
+        ZoomState::new(TimeInterval::from_cycles(0, 10_000))
+    }
+
+    #[test]
+    fn zoom_in_shrinks_visible_window() {
+        let mut z = zoom_state();
+        z.zoom(2.0, 0.5);
+        assert_eq!(z.visible().duration(), 5_000);
+        assert!((z.factor() - 2.0).abs() < 1e-9);
+        // Centred zoom keeps the midpoint.
+        assert_eq!(z.visible().start, Timestamp(2_500));
+    }
+
+    #[test]
+    fn zoom_around_anchor_keeps_anchor_time() {
+        let mut z = zoom_state();
+        z.zoom(4.0, 0.0);
+        assert_eq!(z.visible().start, Timestamp(0));
+        let mut z = zoom_state();
+        z.zoom(4.0, 1.0);
+        assert_eq!(z.visible().end, Timestamp(10_000));
+    }
+
+    #[test]
+    fn zoom_out_is_clamped_to_full() {
+        let mut z = zoom_state();
+        z.zoom(4.0, 0.5);
+        z.zoom(0.01, 0.5);
+        assert_eq!(z.visible(), z.full());
+    }
+
+    #[test]
+    fn zoom_in_is_clamped_to_minimum() {
+        let mut z = zoom_state();
+        z.zoom(1e12, 0.5);
+        assert!(z.visible().duration() >= ZoomState::MIN_VISIBLE_CYCLES);
+    }
+
+    #[test]
+    fn scroll_moves_and_clamps() {
+        let mut z = zoom_state();
+        z.zoom(4.0, 0.0); // visible 0..2500
+        z.scroll(1.0);
+        assert_eq!(z.visible(), TimeInterval::from_cycles(2_500, 5_000));
+        z.scroll(100.0);
+        assert_eq!(z.visible().end, Timestamp(10_000));
+        z.scroll(-100.0);
+        assert_eq!(z.visible().start, Timestamp(0));
+        z.reset();
+        assert_eq!(z.visible(), z.full());
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type of the simulator.
+
+use std::fmt;
+
+/// Errors produced while validating a workload specification or running a simulation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The workload references a task type index that does not exist.
+    UnknownTaskType {
+        /// Index of the offending task in the workload.
+        task: usize,
+        /// The invalid task-type index.
+        task_type: usize,
+    },
+    /// The workload references a region index that does not exist.
+    UnknownRegion {
+        /// Index of the offending task in the workload.
+        task: usize,
+        /// The invalid region index.
+        region: usize,
+    },
+    /// A region is written by more than one task.
+    ///
+    /// The simulator models single-assignment dataflow regions (as in OpenStream
+    /// streams); multiple writers would make the dependence relation ambiguous.
+    MultipleWriters {
+        /// The region with more than one writer.
+        region: usize,
+        /// The first writer.
+        first: usize,
+        /// The second writer.
+        second: usize,
+    },
+    /// The dependence graph contains a cycle (a task transitively depends on itself).
+    DependenceCycle {
+        /// A task that participates in the cycle.
+        task: usize,
+    },
+    /// The workload contains no tasks.
+    EmptyWorkload,
+    /// Building the output trace failed.
+    Trace(aftermath_trace::TraceError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownTaskType { task, task_type } => {
+                write!(f, "task {task} references unknown task type {task_type}")
+            }
+            SimError::UnknownRegion { task, region } => {
+                write!(f, "task {task} references unknown region {region}")
+            }
+            SimError::MultipleWriters {
+                region,
+                first,
+                second,
+            } => write!(
+                f,
+                "region {region} is written by tasks {first} and {second}; regions are single-assignment"
+            ),
+            SimError::DependenceCycle { task } => {
+                write!(f, "dependence cycle involving task {task}")
+            }
+            SimError::EmptyWorkload => write!(f, "workload contains no tasks"),
+            SimError::Trace(e) => write!(f, "trace construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<aftermath_trace::TraceError> for SimError {
+    fn from(e: aftermath_trace::TraceError) -> Self {
+        SimError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_indices() {
+        let e = SimError::MultipleWriters {
+            region: 3,
+            first: 1,
+            second: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("region 3"));
+        assert!(msg.contains("single-assignment"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

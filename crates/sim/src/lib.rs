@@ -1,0 +1,62 @@
+//! # aftermath-sim
+//!
+//! A deterministic discrete-event simulator of a dependent-task run-time system
+//! (modelled after OpenStream) executing on a NUMA machine, producing
+//! [`aftermath_trace::Trace`]s for analysis with `aftermath-core`.
+//!
+//! The original Aftermath paper analyses traces collected on real hardware (a 192-core
+//! SGI UV2000 and a 64-core AMD Opteron NUMA system) running the OpenStream run-time.
+//! Neither is available here, so this crate substitutes a simulator that reproduces the
+//! *behavioural structure* those analyses depend on:
+//!
+//! * a machine model with NUMA nodes, per-node memory, a distance matrix and
+//!   first-touch/interleaved page placement ([`machine`], [`memory`]),
+//! * a work-stealing run-time with per-worker deques, random or NUMA-aware scheduling,
+//!   task-creation/steal/dispatch overheads ([`config`], [`engine`]),
+//! * dataflow (single-assignment) dependences between tasks derived from the memory
+//!   regions they read and write ([`spec`]),
+//! * synthetic hardware/OS event models: branch mispredictions, cache misses, page-fault
+//!   system time and resident-set growth ([`spec::TaskSpec`] cost fields, [`engine`]).
+//!
+//! Every simulation is fully deterministic given a seed, so each figure of the paper can
+//! be regenerated bit-for-bit.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use aftermath_sim::{config::SimConfig, spec::WorkloadSpec, engine::Simulator};
+//!
+//! # fn main() -> Result<(), aftermath_sim::SimError> {
+//! // Two dependent tasks on a small test machine.
+//! let mut spec = WorkloadSpec::new("demo");
+//! let ty = spec.add_task_type("work", 0x1000);
+//! let r0 = spec.add_region(4096);
+//! let r1 = spec.add_region(4096);
+//! spec.add_task(ty, 100_000).writes(&[r0]).done();
+//! spec.add_task(ty, 100_000).reads(&[r0]).writes(&[r1]).done();
+//!
+//! let config = SimConfig::small_test();
+//! let result = Simulator::new(config).run(&spec)?;
+//! assert_eq!(result.trace.tasks().len(), 2);
+//! assert!(result.makespan > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod machine;
+pub mod memory;
+pub mod result;
+pub mod spec;
+
+pub use config::{AllocationPolicy, CostParams, RuntimeConfig, SchedulingPolicy, SimConfig};
+pub use engine::Simulator;
+pub use error::SimError;
+pub use machine::MachineConfig;
+pub use result::{SimResult, SimStats};
+pub use spec::{TaskBuilder, TaskSpec, WorkloadSpec};

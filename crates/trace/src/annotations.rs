@@ -1,0 +1,193 @@
+//! User-defined annotations attached to points in a trace (paper Section VI-C).
+//!
+//! Annotations are stored *separately* from the trace file so that analysis notes can be
+//! exchanged between developers without re-distributing multi-gigabyte traces.
+
+use crate::ids::{CpuId, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::error::TraceError;
+
+/// A single user annotation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Annotation {
+    /// The point in time the annotation refers to.
+    pub timestamp: Timestamp,
+    /// The CPU the annotation refers to, or `None` for a global annotation.
+    pub cpu: Option<CpuId>,
+    /// Free-form annotation text (single line; newlines are replaced on save).
+    pub text: String,
+}
+
+impl Annotation {
+    /// Creates a new annotation.
+    pub fn new(timestamp: Timestamp, cpu: Option<CpuId>, text: impl Into<String>) -> Self {
+        Annotation {
+            timestamp,
+            cpu,
+            text: text.into(),
+        }
+    }
+}
+
+/// A collection of annotations, kept sorted by timestamp.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnnotationSet {
+    annotations: Vec<Annotation>,
+}
+
+impl AnnotationSet {
+    /// Creates an empty annotation set.
+    pub fn new() -> Self {
+        AnnotationSet::default()
+    }
+
+    /// Number of annotations.
+    pub fn len(&self) -> usize {
+        self.annotations.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.annotations.is_empty()
+    }
+
+    /// Adds an annotation, keeping the set ordered by timestamp.
+    pub fn add(&mut self, annotation: Annotation) {
+        let pos = self
+            .annotations
+            .partition_point(|a| a.timestamp <= annotation.timestamp);
+        self.annotations.insert(pos, annotation);
+    }
+
+    /// All annotations, in timestamp order.
+    pub fn iter(&self) -> impl Iterator<Item = &Annotation> {
+        self.annotations.iter()
+    }
+
+    /// Annotations whose timestamp falls in `[start, end)`.
+    pub fn in_interval(&self, start: Timestamp, end: Timestamp) -> Vec<&Annotation> {
+        self.annotations
+            .iter()
+            .filter(|a| a.timestamp >= start && a.timestamp < end)
+            .collect()
+    }
+
+    /// Serializes the annotations to a simple line-oriented text format.
+    ///
+    /// Each line is `timestamp <TAB> cpu-or-dash <TAB> text`. Newlines inside the text
+    /// are replaced by spaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when writing fails.
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), TraceError> {
+        for a in &self.annotations {
+            let cpu = a
+                .cpu
+                .map(|c| c.0.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let text = a.text.replace(['\n', '\r'], " ");
+            writeln!(w, "{}\t{}\t{}", a.timestamp.0, cpu, text)?;
+        }
+        Ok(())
+    }
+
+    /// Reads annotations from the format produced by [`AnnotationSet::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] on malformed lines and [`TraceError::Io`] on I/O
+    /// failures.
+    pub fn read_from<R: Read>(r: R) -> Result<Self, TraceError> {
+        let reader = BufReader::new(r);
+        let mut set = AnnotationSet::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let ts = parts
+                .next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| {
+                    TraceError::Format(format!("annotation line {}: bad timestamp", lineno + 1))
+                })?;
+            let cpu_str = parts.next().ok_or_else(|| {
+                TraceError::Format(format!("annotation line {}: missing cpu field", lineno + 1))
+            })?;
+            let cpu = if cpu_str == "-" {
+                None
+            } else {
+                Some(CpuId(cpu_str.parse::<u32>().map_err(|_| {
+                    TraceError::Format(format!("annotation line {}: bad cpu", lineno + 1))
+                })?))
+            };
+            let text = parts.next().unwrap_or("").to_string();
+            set.add(Annotation::new(Timestamp(ts), cpu, text));
+        }
+        Ok(set)
+    }
+}
+
+impl FromIterator<Annotation> for AnnotationSet {
+    fn from_iter<T: IntoIterator<Item = Annotation>>(iter: T) -> Self {
+        let mut set = AnnotationSet::new();
+        for a in iter {
+            set.add(a);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_keeps_sorted() {
+        let mut set = AnnotationSet::new();
+        set.add(Annotation::new(Timestamp(30), None, "c"));
+        set.add(Annotation::new(Timestamp(10), Some(CpuId(1)), "a"));
+        set.add(Annotation::new(Timestamp(20), None, "b"));
+        let texts: Vec<&str> = set.iter().map(|a| a.text.as_str()).collect();
+        assert_eq!(texts, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn interval_query() {
+        let set: AnnotationSet = (0..10u64)
+            .map(|i| Annotation::new(Timestamp(i * 10), None, format!("a{i}")))
+            .collect();
+        let sel = set.in_interval(Timestamp(20), Timestamp(50));
+        assert_eq!(sel.len(), 3);
+        assert_eq!(sel[0].text, "a2");
+    }
+
+    #[test]
+    fn roundtrip_text_format() {
+        let mut set = AnnotationSet::new();
+        set.add(Annotation::new(Timestamp(5), Some(CpuId(2)), "found\nanomaly"));
+        set.add(Annotation::new(Timestamp(100), None, "global note"));
+        let mut buf = Vec::new();
+        set.write_to(&mut buf).unwrap();
+        let back = AnnotationSet::read_from(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.iter().next().unwrap().text, "found anomaly");
+        assert_eq!(back.iter().nth(1).unwrap().cpu, None);
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        let res = AnnotationSet::read_from("not-a-number\t-\thello".as_bytes());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn read_skips_blank_lines() {
+        let set = AnnotationSet::read_from("\n\n12\t-\tok\n\n".as_bytes()).unwrap();
+        assert_eq!(set.len(), 1);
+    }
+}

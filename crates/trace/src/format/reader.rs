@@ -1,0 +1,485 @@
+//! Deserialization of traces from the binary trace format.
+
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+use super::varint::{read_f64, read_string, read_varint};
+use super::{SectionTag, FORMAT_VERSION, MAGIC};
+use crate::error::TraceError;
+use crate::event::{CommEvent, CommKind, DiscreteEventKind};
+use crate::ids::{CounterId, CpuId, NumaNodeId, TaskId, TaskTypeId, Timestamp};
+use crate::memory::AccessKind;
+use crate::state::WorkerState;
+use crate::symbols::SymbolTable;
+use crate::topology::{CpuInfo, MachineTopology};
+use crate::trace::{Trace, TraceBuilder};
+
+/// Reads a trace from `r`.
+///
+/// Unknown section tags are skipped, so traces written by newer minor revisions of the
+/// format remain loadable as long as the sections this reader understands are intact.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Format`] for malformed input, [`TraceError::UnsupportedVersion`]
+/// for a version mismatch and [`TraceError::Io`] for I/O failures.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(TraceError::Format("bad magic bytes".into()));
+    }
+    let mut version = [0u8; 4];
+    r.read_exact(&mut version)?;
+    let version = u32::from_le_bytes(version);
+    if version != FORMAT_VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+
+    let mut builder: Option<TraceBuilder> = None;
+    let mut symbols = SymbolTable::new();
+
+    loop {
+        let mut tag = [0u8; 1];
+        match r.read_exact(&mut tag) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let len = read_varint(&mut r)? as usize;
+        // The length is untrusted input: read incrementally instead of pre-allocating,
+        // so a corrupted length cannot trigger a huge allocation.
+        let mut payload = Vec::new();
+        let read = (&mut r)
+            .take(len as u64)
+            .read_to_end(&mut payload)?;
+        if read != len {
+            return Err(TraceError::Format(format!(
+                "section payload truncated: expected {len} bytes, got {read}"
+            )));
+        }
+        let mut p = &payload[..];
+
+        let Some(tag) = SectionTag::from_u8(tag[0]) else {
+            // Unknown section: skip.
+            continue;
+        };
+        match tag {
+            SectionTag::End => break,
+            SectionTag::Topology => {
+                let topo = decode_topology(&mut p)?;
+                builder = Some(TraceBuilder::new(topo));
+            }
+            _ => {
+                let b = builder.as_mut().ok_or_else(|| {
+                    TraceError::Format("section appears before topology".into())
+                })?;
+                decode_section(tag, &mut p, b, &mut symbols)?;
+            }
+        }
+    }
+
+    let mut builder =
+        builder.ok_or_else(|| TraceError::Format("trace has no topology section".into()))?;
+    builder.set_symbols(symbols);
+    builder.finish()
+}
+
+/// Reads a trace from the file at `path`.
+///
+/// # Errors
+///
+/// See [`read_trace`].
+pub fn read_trace_file<P: AsRef<Path>>(path: P) -> Result<Trace, TraceError> {
+    let file = File::open(path)?;
+    read_trace(BufReader::new(file))
+}
+
+fn fmt_err(msg: &str) -> TraceError {
+    TraceError::Format(msg.to_string())
+}
+
+fn decode_topology(p: &mut &[u8]) -> Result<MachineTopology, TraceError> {
+    let num_nodes = read_varint(p)? as u32;
+    let num_cpus = read_varint(p)? as usize;
+    if num_cpus > 1 << 20 {
+        return Err(fmt_err("implausible cpu count"));
+    }
+    let mut cpus = Vec::with_capacity(num_cpus);
+    for i in 0..num_cpus {
+        let node = read_varint(p)? as u32;
+        cpus.push(CpuInfo {
+            cpu: CpuId(i as u32),
+            node: NumaNodeId(node),
+        });
+    }
+    let mut distances = Vec::with_capacity(num_nodes as usize);
+    for _ in 0..num_nodes {
+        let mut row = Vec::with_capacity(num_nodes as usize);
+        for _ in 0..num_nodes {
+            row.push(read_f64(p)?);
+        }
+        distances.push(row);
+    }
+    MachineTopology::from_parts(cpus, num_nodes, distances)
+        .ok_or_else(|| fmt_err("inconsistent topology section"))
+}
+
+fn decode_section(
+    tag: SectionTag,
+    p: &mut &[u8],
+    b: &mut TraceBuilder,
+    symbols: &mut SymbolTable,
+) -> Result<(), TraceError> {
+    match tag {
+        SectionTag::CounterDescriptions => {
+            let count = read_varint(p)?;
+            for _ in 0..count {
+                let id = read_varint(p)? as u32;
+                let name = read_string(p)?;
+                let mut flags = [0u8; 2];
+                p.read_exact(&mut flags)?;
+                let got = b.add_counter(name, flags[0] != 0);
+                if got != CounterId(id) {
+                    return Err(fmt_err("counter ids are not dense"));
+                }
+            }
+        }
+        SectionTag::TaskTypes => {
+            let count = read_varint(p)?;
+            for _ in 0..count {
+                let id = read_varint(p)? as u32;
+                let name = read_string(p)?;
+                let addr = read_varint(p)?;
+                let got = b.add_task_type(name, addr);
+                if got != TaskTypeId(id) {
+                    return Err(fmt_err("task type ids are not dense"));
+                }
+            }
+        }
+        SectionTag::MemoryRegions => {
+            let count = read_varint(p)?;
+            for _ in 0..count {
+                let id = read_varint(p)?;
+                let base = read_varint(p)?;
+                let size = read_varint(p)?;
+                let node = read_optional_node(p)?;
+                let got = b.add_region(base, size, node);
+                if got.0 != id {
+                    return Err(fmt_err("region ids are not dense"));
+                }
+            }
+        }
+        SectionTag::Tasks => {
+            let count = read_varint(p)?;
+            for _ in 0..count {
+                let id = read_varint(p)?;
+                let ty = read_varint(p)? as u32;
+                let cpu = read_varint(p)? as u32;
+                let creator = read_varint(p)? as u32;
+                let creation = read_varint(p)?;
+                let start = read_varint(p)?;
+                let end = read_varint(p)?;
+                let got = b.add_task_created_by(
+                    TaskTypeId(ty),
+                    CpuId(cpu),
+                    CpuId(creator),
+                    Timestamp(creation),
+                    Timestamp(start),
+                    Timestamp(end),
+                );
+                if got.0 != id {
+                    return Err(fmt_err("task ids are not dense"));
+                }
+            }
+        }
+        SectionTag::StateIntervals => {
+            let count = read_varint(p)?;
+            for _ in 0..count {
+                let cpu = read_varint(p)? as u32;
+                let state = read_u8(p)?;
+                let start = read_varint(p)?;
+                let end = read_varint(p)?;
+                let task = read_optional_task(p)?;
+                let state = WorkerState::from_index(state as usize)
+                    .ok_or_else(|| fmt_err("unknown worker state"))?;
+                b.add_state(CpuId(cpu), state, Timestamp(start), Timestamp(end), task)?;
+            }
+        }
+        SectionTag::DiscreteEvents => {
+            let count = read_varint(p)?;
+            for _ in 0..count {
+                let cpu = read_varint(p)? as u32;
+                let ts = read_varint(p)?;
+                let kind = read_u8(p)?;
+                let kind = match kind {
+                    0 => DiscreteEventKind::TaskCreate {
+                        task: TaskId(read_varint(p)?),
+                    },
+                    1 => DiscreteEventKind::TaskReady {
+                        task: TaskId(read_varint(p)?),
+                    },
+                    2 => DiscreteEventKind::TaskComplete {
+                        task: TaskId(read_varint(p)?),
+                    },
+                    3 => DiscreteEventKind::StealAttempt {
+                        victim: CpuId(read_varint(p)? as u32),
+                    },
+                    4 => DiscreteEventKind::StealSuccess {
+                        victim: CpuId(read_varint(p)? as u32),
+                        task: TaskId(read_varint(p)?),
+                    },
+                    5 => DiscreteEventKind::DataPublish {
+                        producer: TaskId(read_varint(p)?),
+                        consumer: TaskId(read_varint(p)?),
+                        bytes: read_varint(p)?,
+                    },
+                    6 => DiscreteEventKind::Marker {
+                        code: read_varint(p)? as u32,
+                    },
+                    other => return Err(fmt_err(&format!("unknown event kind {other}"))),
+                };
+                b.add_event(CpuId(cpu), Timestamp(ts), kind)?;
+            }
+        }
+        SectionTag::CounterSamples => {
+            let count = read_varint(p)?;
+            for _ in 0..count {
+                let counter = read_varint(p)? as u32;
+                let cpu = read_varint(p)? as u32;
+                let ts = read_varint(p)?;
+                let value = read_f64(p)?;
+                b.add_sample(CounterId(counter), CpuId(cpu), Timestamp(ts), value)?;
+            }
+        }
+        SectionTag::MemoryAccesses => {
+            let count = read_varint(p)?;
+            for _ in 0..count {
+                let task = read_varint(p)?;
+                let kind = if read_u8(p)? != 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let addr = read_varint(p)?;
+                let size = read_varint(p)?;
+                b.add_access(TaskId(task), kind, addr, size)?;
+            }
+        }
+        SectionTag::CommEvents => {
+            let count = read_varint(p)?;
+            for _ in 0..count {
+                let ts = read_varint(p)?;
+                let kind = match read_u8(p)? {
+                    0 => CommKind::DataTransfer,
+                    1 => CommKind::TaskMigration,
+                    2 => CommKind::Broadcast,
+                    other => return Err(fmt_err(&format!("unknown comm kind {other}"))),
+                };
+                let src_cpu = CpuId(read_varint(p)? as u32);
+                let dst_cpu = CpuId(read_varint(p)? as u32);
+                let src_node = NumaNodeId(read_varint(p)? as u32);
+                let dst_node = NumaNodeId(read_varint(p)? as u32);
+                let bytes = read_varint(p)?;
+                let task = read_optional_task(p)?;
+                b.add_comm(CommEvent {
+                    timestamp: Timestamp(ts),
+                    kind,
+                    src_cpu,
+                    dst_cpu,
+                    src_node,
+                    dst_node,
+                    bytes,
+                    task,
+                })?;
+            }
+        }
+        SectionTag::Symbols => {
+            let count = read_varint(p)?;
+            for _ in 0..count {
+                let addr = read_varint(p)?;
+                let size = read_varint(p)?;
+                let name = read_string(p)?;
+                symbols.insert(addr, size, name);
+            }
+        }
+        SectionTag::Topology | SectionTag::End => unreachable!("handled by caller"),
+    }
+    Ok(())
+}
+
+fn read_u8(p: &mut &[u8]) -> Result<u8, TraceError> {
+    let mut buf = [0u8; 1];
+    p.read_exact(&mut buf)?;
+    Ok(buf[0])
+}
+
+fn read_optional_task(p: &mut &[u8]) -> Result<Option<TaskId>, TraceError> {
+    if read_u8(p)? != 0 {
+        Ok(Some(TaskId(read_varint(p)?)))
+    } else {
+        Ok(None)
+    }
+}
+
+fn read_optional_node(p: &mut &[u8]) -> Result<Option<NumaNodeId>, TraceError> {
+    if read_u8(p)? != 0 {
+        Ok(Some(NumaNodeId(read_varint(p)? as u32)))
+    } else {
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::write_trace;
+    use crate::ids::TimeInterval;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new(MachineTopology::uniform(2, 2));
+        let ty = b.add_task_type("work", 0x4000);
+        let aux = b.add_task_type("aux", 0x5000);
+        let c = b.add_counter("mispredictions", true);
+        let region = b.add_region(0x10_0000, 4096, None);
+        b.set_region_node(region, NumaNodeId(1));
+        let t0 = b.add_task(ty, CpuId(0), Timestamp(0), Timestamp(100), Timestamp(600));
+        let t1 = b.add_task_created_by(
+            aux,
+            CpuId(3),
+            CpuId(0),
+            Timestamp(50),
+            Timestamp(700),
+            Timestamp(900),
+        );
+        b.add_state(CpuId(0), WorkerState::TaskExecution, Timestamp(100), Timestamp(600), Some(t0))
+            .unwrap();
+        b.add_state(CpuId(0), WorkerState::Idle, Timestamp(600), Timestamp(1000), None)
+            .unwrap();
+        b.add_state(CpuId(3), WorkerState::TaskExecution, Timestamp(700), Timestamp(900), Some(t1))
+            .unwrap();
+        b.add_event(CpuId(0), Timestamp(0), DiscreteEventKind::TaskCreate { task: t0 })
+            .unwrap();
+        b.add_event(
+            CpuId(3),
+            Timestamp(650),
+            DiscreteEventKind::StealSuccess { victim: CpuId(0), task: t1 },
+        )
+        .unwrap();
+        b.add_event(CpuId(3), Timestamp(660), DiscreteEventKind::Marker { code: 7 })
+            .unwrap();
+        b.add_event(
+            CpuId(0),
+            Timestamp(610),
+            DiscreteEventKind::DataPublish { producer: t0, consumer: t1, bytes: 256 },
+        )
+        .unwrap();
+        b.add_sample(c, CpuId(0), Timestamp(100), 0.0).unwrap();
+        b.add_sample(c, CpuId(0), Timestamp(600), 1234.0).unwrap();
+        b.add_access(t0, AccessKind::Write, 0x10_0000, 512).unwrap();
+        b.add_access(t1, AccessKind::Read, 0x10_0000, 512).unwrap();
+        b.add_comm(CommEvent {
+            timestamp: Timestamp(650),
+            kind: CommKind::TaskMigration,
+            src_cpu: CpuId(0),
+            dst_cpu: CpuId(3),
+            src_node: NumaNodeId(0),
+            dst_node: NumaNodeId(1),
+            bytes: 64,
+            task: Some(t1),
+        })
+        .unwrap();
+        let mut symbols = SymbolTable::new();
+        symbols.insert(0x4000, 0x100, "work_fn");
+        b.set_symbols(symbols);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_full_trace() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn roundtrip_minimal_trace() {
+        let trace = TraceBuilder::new(MachineTopology::uniform(1, 1))
+            .finish()
+            .unwrap();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(trace, back);
+        assert_eq!(back.time_bounds(), TimeInterval::from_cycles(0, 0));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"NOPE\x01\x00\x00\x00".to_vec();
+        assert!(matches!(read_trace(&buf[..]), Err(TraceError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            read_trace(&buf[..]),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let truncated = &buf[..buf.len() / 2];
+        assert!(read_trace(truncated).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_topology() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        // End section immediately.
+        buf.push(SectionTag::End as u8);
+        buf.push(0);
+        assert!(matches!(read_trace(&buf[..]), Err(TraceError::Format(_))));
+    }
+
+    #[test]
+    fn skips_unknown_sections() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        // Unknown tag 42 with a 3-byte payload.
+        buf.push(42);
+        buf.push(3);
+        buf.extend_from_slice(&[1, 2, 3]);
+        // Then the real trace body (strip its header).
+        let mut body = Vec::new();
+        write_trace(&trace, &mut body).unwrap();
+        buf.extend_from_slice(&body[8..]);
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let trace = sample_trace();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("aftermath_test_{}.trace", std::process::id()));
+        crate::format::write_trace_file(&trace, &path).unwrap();
+        let back = read_trace_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(trace, back);
+    }
+}

@@ -1,0 +1,190 @@
+//! LEB128 variable-length integer encoding used by the binary trace format.
+
+use std::io::{self, Read, Write};
+
+/// Maximum number of bytes a LEB128-encoded `u64` may occupy.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Writes `value` as an unsigned LEB128 varint.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_varint<W: Write>(w: &mut W, mut value: u64) -> io::Result<usize> {
+    let mut buf = [0u8; MAX_VARINT_LEN];
+    let mut n = 0;
+    loop {
+        let mut byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value != 0 {
+            byte |= 0x80;
+        }
+        buf[n] = byte;
+        n += 1;
+        if value == 0 {
+            break;
+        }
+    }
+    w.write_all(&buf[..n])?;
+    Ok(n)
+}
+
+/// Reads an unsigned LEB128 varint.
+///
+/// # Errors
+///
+/// Returns an error of kind [`io::ErrorKind::InvalidData`] when the encoding overflows a
+/// `u64` or is longer than [`MAX_VARINT_LEN`] bytes, and propagates reader errors
+/// (including `UnexpectedEof` on truncated input).
+pub fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    for _ in 0..MAX_VARINT_LEN {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        let low = (b & 0x7f) as u64;
+        if shift >= 64 || (shift == 63 && low > 1) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "varint overflows u64",
+            ));
+        }
+        result |= low << shift;
+        if b & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidData,
+        "varint longer than 10 bytes",
+    ))
+}
+
+/// Writes an `f64` as its IEEE-754 bit pattern in little-endian order.
+pub fn write_f64<W: Write>(w: &mut W, value: f64) -> io::Result<()> {
+    w.write_all(&value.to_bits().to_le_bytes())
+}
+
+/// Reads an `f64` written by [`write_f64`].
+pub fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(f64::from_bits(u64::from_le_bytes(buf)))
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn write_string<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_varint(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+/// Reads a length-prefixed UTF-8 string (length capped at 16 MiB to bound allocations).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for over-long or non-UTF-8 strings.
+pub fn read_string<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = read_varint(r)? as usize;
+    if len > 16 * 1024 * 1024 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "string length exceeds 16 MiB",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "string is not valid utf-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v).unwrap();
+        read_varint(&mut &buf[..]).unwrap()
+    }
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            256,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(roundtrip(v), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn varint_encoding_lengths() {
+        let mut buf = Vec::new();
+        assert_eq!(write_varint(&mut buf, 0).unwrap(), 1);
+        buf.clear();
+        assert_eq!(write_varint(&mut buf, 127).unwrap(), 1);
+        buf.clear();
+        assert_eq!(write_varint(&mut buf, 128).unwrap(), 2);
+        buf.clear();
+        assert_eq!(write_varint(&mut buf, u64::MAX).unwrap(), 10);
+    }
+
+    #[test]
+    fn varint_truncated_input() {
+        let buf = vec![0x80u8];
+        assert!(read_varint(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn varint_overlong_rejected() {
+        let buf = vec![0xffu8; 11];
+        assert!(read_varint(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 10 bytes with the last contributing more than the remaining bit.
+        let buf = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(read_varint(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        for v in [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 1234.5678] {
+            let mut buf = Vec::new();
+            write_f64(&mut buf, v).unwrap();
+            assert_eq!(read_f64(&mut &buf[..]).unwrap(), v);
+        }
+        let mut buf = Vec::new();
+        write_f64(&mut buf, f64::NAN).unwrap();
+        assert!(read_f64(&mut &buf[..]).unwrap().is_nan());
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        for s in ["", "hello", "üñïçødé", "a\tb\nc"] {
+            let mut buf = Vec::new();
+            write_string(&mut buf, s).unwrap();
+            assert_eq!(read_string(&mut &buf[..]).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn string_invalid_utf8() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 2).unwrap();
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert!(read_string(&mut &buf[..]).is_err());
+    }
+}

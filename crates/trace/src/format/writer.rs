@@ -1,0 +1,321 @@
+//! Serialization of [`Trace`] values to the binary trace format.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use bytes::{BufMut, BytesMut};
+
+use super::varint::{write_f64, write_string, write_varint};
+use super::{SectionTag, FORMAT_VERSION, MAGIC};
+use crate::error::TraceError;
+use crate::event::DiscreteEventKind;
+use crate::memory::AccessKind;
+use crate::trace::Trace;
+
+/// Writes `trace` to `w` in the binary trace format.
+///
+/// Empty sections are omitted entirely, so a minimal trace produces a minimal file.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] when writing fails.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+
+    write_section(&mut w, SectionTag::Topology, encode_topology(trace)?)?;
+
+    let counters = encode_counters(trace)?;
+    if !trace.counters().is_empty() {
+        write_section(&mut w, SectionTag::CounterDescriptions, counters)?;
+    }
+    if !trace.task_types().is_empty() {
+        write_section(&mut w, SectionTag::TaskTypes, encode_task_types(trace)?)?;
+    }
+    if !trace.regions().is_empty() {
+        write_section(&mut w, SectionTag::MemoryRegions, encode_regions(trace)?)?;
+    }
+    if !trace.tasks().is_empty() {
+        write_section(&mut w, SectionTag::Tasks, encode_tasks(trace)?)?;
+    }
+    let states = encode_states(trace)?;
+    if !states.is_empty() {
+        write_section(&mut w, SectionTag::StateIntervals, states)?;
+    }
+    let events = encode_events(trace)?;
+    if !events.is_empty() {
+        write_section(&mut w, SectionTag::DiscreteEvents, events)?;
+    }
+    let samples = encode_samples(trace)?;
+    if !samples.is_empty() {
+        write_section(&mut w, SectionTag::CounterSamples, samples)?;
+    }
+    if !trace.accesses().is_empty() {
+        write_section(&mut w, SectionTag::MemoryAccesses, encode_accesses(trace)?)?;
+    }
+    if !trace.comm_events().is_empty() {
+        write_section(&mut w, SectionTag::CommEvents, encode_comm(trace)?)?;
+    }
+    if !trace.symbols().is_empty() {
+        write_section(&mut w, SectionTag::Symbols, encode_symbols(trace)?)?;
+    }
+
+    // End marker.
+    w.write_all(&[SectionTag::End as u8])?;
+    write_varint(&mut w, 0)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes `trace` to the file at `path`, creating or truncating it.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] when the file cannot be created or written.
+pub fn write_trace_file<P: AsRef<Path>>(trace: &Trace, path: P) -> Result<(), TraceError> {
+    let file = File::create(path)?;
+    write_trace(trace, BufWriter::new(file))
+}
+
+fn write_section<W: Write>(
+    w: &mut W,
+    tag: SectionTag,
+    payload: Vec<u8>,
+) -> Result<(), TraceError> {
+    w.write_all(&[tag as u8])?;
+    write_varint(w, payload.len() as u64)?;
+    w.write_all(&payload)?;
+    Ok(())
+}
+
+fn buf() -> bytes::buf::Writer<BytesMut> {
+    BytesMut::new().writer()
+}
+
+fn into_vec(b: bytes::buf::Writer<BytesMut>) -> Vec<u8> {
+    b.into_inner().to_vec()
+}
+
+fn encode_topology(trace: &Trace) -> Result<Vec<u8>, TraceError> {
+    let topo = trace.topology();
+    let mut p = buf();
+    write_varint(&mut p, topo.num_nodes() as u64)?;
+    write_varint(&mut p, topo.num_cpus() as u64)?;
+    for info in topo.cpus() {
+        write_varint(&mut p, u64::from(info.node.0))?;
+    }
+    for row in topo.distances() {
+        for &d in row {
+            write_f64(&mut p, d)?;
+        }
+    }
+    Ok(into_vec(p))
+}
+
+fn encode_counters(trace: &Trace) -> Result<Vec<u8>, TraceError> {
+    let mut p = buf();
+    write_varint(&mut p, trace.counters().len() as u64)?;
+    for c in trace.counters() {
+        write_varint(&mut p, u64::from(c.id.0))?;
+        write_string(&mut p, &c.name)?;
+        p.write_all(&[c.monotone as u8, c.per_cpu as u8])?;
+    }
+    Ok(into_vec(p))
+}
+
+fn encode_task_types(trace: &Trace) -> Result<Vec<u8>, TraceError> {
+    let mut p = buf();
+    write_varint(&mut p, trace.task_types().len() as u64)?;
+    for ty in trace.task_types() {
+        write_varint(&mut p, u64::from(ty.id.0))?;
+        write_string(&mut p, &ty.name)?;
+        write_varint(&mut p, ty.symbol_addr)?;
+    }
+    Ok(into_vec(p))
+}
+
+fn encode_regions(trace: &Trace) -> Result<Vec<u8>, TraceError> {
+    let mut p = buf();
+    write_varint(&mut p, trace.regions().len() as u64)?;
+    for r in trace.regions() {
+        write_varint(&mut p, r.id.0)?;
+        write_varint(&mut p, r.base_addr)?;
+        write_varint(&mut p, r.size)?;
+        match r.node {
+            Some(node) => {
+                p.write_all(&[1])?;
+                write_varint(&mut p, u64::from(node.0))?;
+            }
+            None => p.write_all(&[0])?,
+        }
+    }
+    Ok(into_vec(p))
+}
+
+fn encode_tasks(trace: &Trace) -> Result<Vec<u8>, TraceError> {
+    let mut p = buf();
+    write_varint(&mut p, trace.tasks().len() as u64)?;
+    for t in trace.tasks() {
+        write_varint(&mut p, t.id.0)?;
+        write_varint(&mut p, u64::from(t.task_type.0))?;
+        write_varint(&mut p, u64::from(t.cpu.0))?;
+        write_varint(&mut p, u64::from(t.creator_cpu.0))?;
+        write_varint(&mut p, t.creation.0)?;
+        write_varint(&mut p, t.execution.start.0)?;
+        write_varint(&mut p, t.execution.end.0)?;
+    }
+    Ok(into_vec(p))
+}
+
+fn encode_states(trace: &Trace) -> Result<Vec<u8>, TraceError> {
+    let total: usize = trace.per_cpu().iter().map(|pc| pc.states.len()).sum();
+    if total == 0 {
+        return Ok(Vec::new());
+    }
+    let mut p = buf();
+    write_varint(&mut p, total as u64)?;
+    for pc in trace.per_cpu() {
+        for s in &pc.states {
+            write_varint(&mut p, u64::from(s.cpu.0))?;
+            p.write_all(&[s.state as u8])?;
+            write_varint(&mut p, s.interval.start.0)?;
+            write_varint(&mut p, s.interval.end.0)?;
+            match s.task {
+                Some(task) => {
+                    p.write_all(&[1])?;
+                    write_varint(&mut p, task.0)?;
+                }
+                None => p.write_all(&[0])?,
+            }
+        }
+    }
+    Ok(into_vec(p))
+}
+
+fn encode_events(trace: &Trace) -> Result<Vec<u8>, TraceError> {
+    let total: usize = trace.per_cpu().iter().map(|pc| pc.events.len()).sum();
+    if total == 0 {
+        return Ok(Vec::new());
+    }
+    let mut p = buf();
+    write_varint(&mut p, total as u64)?;
+    for pc in trace.per_cpu() {
+        for e in &pc.events {
+            write_varint(&mut p, u64::from(e.cpu.0))?;
+            write_varint(&mut p, e.timestamp.0)?;
+            match e.kind {
+                DiscreteEventKind::TaskCreate { task } => {
+                    p.write_all(&[0])?;
+                    write_varint(&mut p, task.0)?;
+                }
+                DiscreteEventKind::TaskReady { task } => {
+                    p.write_all(&[1])?;
+                    write_varint(&mut p, task.0)?;
+                }
+                DiscreteEventKind::TaskComplete { task } => {
+                    p.write_all(&[2])?;
+                    write_varint(&mut p, task.0)?;
+                }
+                DiscreteEventKind::StealAttempt { victim } => {
+                    p.write_all(&[3])?;
+                    write_varint(&mut p, u64::from(victim.0))?;
+                }
+                DiscreteEventKind::StealSuccess { victim, task } => {
+                    p.write_all(&[4])?;
+                    write_varint(&mut p, u64::from(victim.0))?;
+                    write_varint(&mut p, task.0)?;
+                }
+                DiscreteEventKind::DataPublish {
+                    producer,
+                    consumer,
+                    bytes,
+                } => {
+                    p.write_all(&[5])?;
+                    write_varint(&mut p, producer.0)?;
+                    write_varint(&mut p, consumer.0)?;
+                    write_varint(&mut p, bytes)?;
+                }
+                DiscreteEventKind::Marker { code } => {
+                    p.write_all(&[6])?;
+                    write_varint(&mut p, u64::from(code))?;
+                }
+            }
+        }
+    }
+    Ok(into_vec(p))
+}
+
+fn encode_samples(trace: &Trace) -> Result<Vec<u8>, TraceError> {
+    let total: usize = trace
+        .per_cpu()
+        .iter()
+        .map(|pc| pc.samples.values().map(Vec::len).sum::<usize>())
+        .sum();
+    if total == 0 {
+        return Ok(Vec::new());
+    }
+    let mut p = buf();
+    write_varint(&mut p, total as u64)?;
+    for pc in trace.per_cpu() {
+        for samples in pc.samples.values() {
+            for s in samples {
+                write_varint(&mut p, u64::from(s.counter.0))?;
+                write_varint(&mut p, u64::from(s.cpu.0))?;
+                write_varint(&mut p, s.timestamp.0)?;
+                write_f64(&mut p, s.value)?;
+            }
+        }
+    }
+    Ok(into_vec(p))
+}
+
+fn encode_accesses(trace: &Trace) -> Result<Vec<u8>, TraceError> {
+    let mut p = buf();
+    write_varint(&mut p, trace.accesses().len() as u64)?;
+    for a in trace.accesses() {
+        write_varint(&mut p, a.task.0)?;
+        p.write_all(&[matches!(a.kind, AccessKind::Write) as u8])?;
+        write_varint(&mut p, a.addr)?;
+        write_varint(&mut p, a.size)?;
+    }
+    Ok(into_vec(p))
+}
+
+fn encode_comm(trace: &Trace) -> Result<Vec<u8>, TraceError> {
+    let mut p = buf();
+    write_varint(&mut p, trace.comm_events().len() as u64)?;
+    for c in trace.comm_events() {
+        write_varint(&mut p, c.timestamp.0)?;
+        let kind = match c.kind {
+            crate::event::CommKind::DataTransfer => 0u8,
+            crate::event::CommKind::TaskMigration => 1,
+            crate::event::CommKind::Broadcast => 2,
+        };
+        p.write_all(&[kind])?;
+        write_varint(&mut p, u64::from(c.src_cpu.0))?;
+        write_varint(&mut p, u64::from(c.dst_cpu.0))?;
+        write_varint(&mut p, u64::from(c.src_node.0))?;
+        write_varint(&mut p, u64::from(c.dst_node.0))?;
+        write_varint(&mut p, c.bytes)?;
+        match c.task {
+            Some(task) => {
+                p.write_all(&[1])?;
+                write_varint(&mut p, task.0)?;
+            }
+            None => p.write_all(&[0])?,
+        }
+    }
+    Ok(into_vec(p))
+}
+
+fn encode_symbols(trace: &Trace) -> Result<Vec<u8>, TraceError> {
+    let mut p = buf();
+    write_varint(&mut p, trace.symbols().len() as u64)?;
+    for s in trace.symbols().iter() {
+        write_varint(&mut p, s.addr)?;
+        write_varint(&mut p, s.size)?;
+        write_string(&mut p, &s.name)?;
+    }
+    Ok(into_vec(p))
+}

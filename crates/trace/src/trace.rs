@@ -1,0 +1,719 @@
+//! The in-memory trace container and its builder.
+
+use std::collections::BTreeMap;
+
+use crate::error::TraceError;
+use crate::event::{
+    CommEvent, CounterDescription, CounterSample, DiscreteEvent, DiscreteEventKind,
+};
+use crate::ids::{CounterId, CpuId, NumaNodeId, TaskId, TaskTypeId, TimeInterval, Timestamp};
+use crate::memory::{AccessKind, MemoryAccess, MemoryRegion, RegionId};
+use crate::state::{StateInterval, WorkerState};
+use crate::symbols::SymbolTable;
+use crate::task::{TaskInstance, TaskType};
+use crate::topology::MachineTopology;
+
+/// All events recorded for a single CPU/worker, each stream sorted by timestamp.
+///
+/// This mirrors the paper's in-memory representation (Section VI-B-c): one array per
+/// event type per core, sorted by timestamp, so that the events of any time interval can
+/// be located with a binary search.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerCpuEvents {
+    /// State intervals of the worker, sorted by interval start, non-overlapping.
+    pub states: Vec<StateInterval>,
+    /// Discrete events, sorted by timestamp.
+    pub events: Vec<DiscreteEvent>,
+    /// Counter samples, per counter, each vector sorted by timestamp.
+    pub samples: BTreeMap<CounterId, Vec<CounterSample>>,
+}
+
+impl PerCpuEvents {
+    /// Total number of recorded items (states + events + samples).
+    pub fn len(&self) -> usize {
+        self.states.len()
+            + self.events.len()
+            + self.samples.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Whether nothing was recorded for this CPU.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A complete, validated, immutable execution trace.
+///
+/// Construct traces with [`TraceBuilder`] or load them from disk with
+/// [`crate::format::read_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    topology: MachineTopology,
+    task_types: Vec<TaskType>,
+    tasks: Vec<TaskInstance>,
+    per_cpu: Vec<PerCpuEvents>,
+    regions: Vec<MemoryRegion>,
+    accesses: Vec<MemoryAccess>,
+    comm_events: Vec<CommEvent>,
+    counters: Vec<CounterDescription>,
+    symbols: SymbolTable,
+}
+
+impl Trace {
+    /// The machine topology the trace was recorded on.
+    pub fn topology(&self) -> &MachineTopology {
+        &self.topology
+    }
+
+    /// All task types, indexed by [`TaskTypeId`].
+    pub fn task_types(&self) -> &[TaskType] {
+        &self.task_types
+    }
+
+    /// Looks up a task type by id.
+    pub fn task_type(&self, id: TaskTypeId) -> Option<&TaskType> {
+        self.task_types.get(id.0 as usize)
+    }
+
+    /// All task instances, indexed by [`TaskId`].
+    pub fn tasks(&self) -> &[TaskInstance] {
+        &self.tasks
+    }
+
+    /// Looks up a task instance by id.
+    pub fn task(&self, id: TaskId) -> Option<&TaskInstance> {
+        self.tasks.get(id.0 as usize)
+    }
+
+    /// Per-CPU event streams, indexed by [`CpuId`].
+    pub fn per_cpu(&self) -> &[PerCpuEvents] {
+        &self.per_cpu
+    }
+
+    /// The event streams of one CPU.
+    pub fn cpu(&self, cpu: CpuId) -> Option<&PerCpuEvents> {
+        self.per_cpu.get(cpu.0 as usize)
+    }
+
+    /// All memory regions, sorted by base address.
+    pub fn regions(&self) -> &[MemoryRegion] {
+        &self.regions
+    }
+
+    /// Looks up a memory region by id.
+    pub fn region(&self, id: RegionId) -> Option<&MemoryRegion> {
+        self.regions.iter().find(|r| r.id == id)
+    }
+
+    /// Finds the memory region containing `addr` via binary search.
+    pub fn region_of_addr(&self, addr: u64) -> Option<&MemoryRegion> {
+        let idx = self.regions.partition_point(|r| r.base_addr <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let region = &self.regions[idx - 1];
+        region.contains(addr).then_some(region)
+    }
+
+    /// The NUMA node holding the page at `addr`, if the region is known and placed.
+    pub fn node_of_addr(&self, addr: u64) -> Option<NumaNodeId> {
+        self.region_of_addr(addr).and_then(|r| r.node)
+    }
+
+    /// All memory accesses, sorted by task id.
+    pub fn accesses(&self) -> &[MemoryAccess] {
+        &self.accesses
+    }
+
+    /// The memory accesses performed by one task (a contiguous slice).
+    pub fn accesses_of_task(&self, task: TaskId) -> &[MemoryAccess] {
+        let start = self.accesses.partition_point(|a| a.task < task);
+        let end = self.accesses.partition_point(|a| a.task <= task);
+        &self.accesses[start..end]
+    }
+
+    /// All communication events, sorted by timestamp.
+    pub fn comm_events(&self) -> &[CommEvent] {
+        &self.comm_events
+    }
+
+    /// Descriptions of all counters appearing in the trace.
+    pub fn counters(&self) -> &[CounterDescription] {
+        &self.counters
+    }
+
+    /// Looks up a counter description by id.
+    pub fn counter(&self, id: CounterId) -> Option<&CounterDescription> {
+        self.counters.get(id.0 as usize)
+    }
+
+    /// Looks up a counter description by name.
+    pub fn counter_by_name(&self, name: &str) -> Option<&CounterDescription> {
+        self.counters.iter().find(|c| c.name == name)
+    }
+
+    /// The symbol table extracted from the application binary (may be empty).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Total number of recorded items across all CPUs.
+    pub fn num_events(&self) -> usize {
+        self.per_cpu.iter().map(PerCpuEvents::len).sum::<usize>()
+            + self.accesses.len()
+            + self.comm_events.len()
+    }
+
+    /// The time interval spanned by the trace (from the earliest to the latest event).
+    ///
+    /// Returns an empty interval at time zero for a trace without any events.
+    pub fn time_bounds(&self) -> TimeInterval {
+        let mut start = Timestamp::MAX;
+        let mut end = Timestamp::ZERO;
+        let mut any = false;
+        for pc in &self.per_cpu {
+            if let Some(first) = pc.states.first() {
+                start = start.min(first.interval.start);
+                any = true;
+            }
+            if let Some(last) = pc.states.last() {
+                end = end.max(last.interval.end);
+            }
+            if let Some(first) = pc.events.first() {
+                start = start.min(first.timestamp);
+                any = true;
+            }
+            if let Some(last) = pc.events.last() {
+                end = end.max(last.timestamp);
+            }
+            for samples in pc.samples.values() {
+                if let Some(first) = samples.first() {
+                    start = start.min(first.timestamp);
+                    any = true;
+                }
+                if let Some(last) = samples.last() {
+                    end = end.max(last.timestamp);
+                }
+            }
+        }
+        for t in &self.tasks {
+            start = start.min(t.execution.start);
+            end = end.max(t.execution.end);
+            any = true;
+        }
+        if !any {
+            return TimeInterval::new(Timestamp::ZERO, Timestamp::ZERO);
+        }
+        TimeInterval::new(start, end)
+    }
+
+    /// Total execution time covered by the trace, in cycles.
+    pub fn duration(&self) -> u64 {
+        self.time_bounds().duration()
+    }
+}
+
+/// Incremental builder for [`Trace`] values.
+///
+/// Events may be added in any order; [`TraceBuilder::finish`] sorts each per-CPU stream
+/// by timestamp and validates the result (non-overlapping state intervals, valid
+/// references). [`TraceBuilder::finish_strict`] additionally requires that events were
+/// added in timestamp order per CPU, mirroring the ordering requirement of the on-disk
+/// format.
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    topology: MachineTopology,
+    task_types: Vec<TaskType>,
+    tasks: Vec<TaskInstance>,
+    per_cpu: Vec<PerCpuEvents>,
+    regions: Vec<MemoryRegion>,
+    accesses: Vec<MemoryAccess>,
+    comm_events: Vec<CommEvent>,
+    counters: Vec<CounterDescription>,
+    symbols: SymbolTable,
+    next_region_id: u64,
+}
+
+impl TraceBuilder {
+    /// Creates a builder for a trace on the given machine.
+    pub fn new(topology: MachineTopology) -> Self {
+        let per_cpu = (0..topology.num_cpus())
+            .map(|_| PerCpuEvents::default())
+            .collect();
+        TraceBuilder {
+            topology,
+            task_types: Vec::new(),
+            tasks: Vec::new(),
+            per_cpu,
+            regions: Vec::new(),
+            accesses: Vec::new(),
+            comm_events: Vec::new(),
+            counters: Vec::new(),
+            symbols: SymbolTable::new(),
+            next_region_id: 0,
+        }
+    }
+
+    /// The machine topology of the trace under construction.
+    pub fn topology(&self) -> &MachineTopology {
+        &self.topology
+    }
+
+    /// Registers a task type and returns its id.
+    pub fn add_task_type(&mut self, name: impl Into<String>, symbol_addr: u64) -> TaskTypeId {
+        let id = TaskTypeId(self.task_types.len() as u32);
+        self.task_types.push(TaskType::new(id, name, symbol_addr));
+        id
+    }
+
+    /// Registers a task instance and returns its id.
+    ///
+    /// The task id is assigned densely in registration order.
+    pub fn add_task(
+        &mut self,
+        task_type: TaskTypeId,
+        cpu: CpuId,
+        creation: Timestamp,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> TaskId {
+        self.add_task_created_by(task_type, cpu, cpu, creation, start, end)
+    }
+
+    /// Registers a task instance created on `creator_cpu` and executed on `cpu`.
+    pub fn add_task_created_by(
+        &mut self,
+        task_type: TaskTypeId,
+        cpu: CpuId,
+        creator_cpu: CpuId,
+        creation: Timestamp,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len() as u64);
+        self.tasks.push(TaskInstance::new(
+            id,
+            task_type,
+            cpu,
+            creator_cpu,
+            creation,
+            TimeInterval::new(start, end),
+        ));
+        id
+    }
+
+    /// Records a state interval for a worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownCpu`] for a CPU outside the topology and
+    /// [`TraceError::InvalidInterval`] when `end < start`.
+    pub fn add_state(
+        &mut self,
+        cpu: CpuId,
+        state: WorkerState,
+        start: Timestamp,
+        end: Timestamp,
+        task: Option<TaskId>,
+    ) -> Result<(), TraceError> {
+        if !self.topology.contains_cpu(cpu) {
+            return Err(TraceError::UnknownCpu(cpu));
+        }
+        if end < start {
+            return Err(TraceError::InvalidInterval { start, end });
+        }
+        self.per_cpu[cpu.0 as usize].states.push(StateInterval::new(
+            cpu,
+            state,
+            TimeInterval::new(start, end),
+            task,
+        ));
+        Ok(())
+    }
+
+    /// Records a discrete event on a worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownCpu`] for a CPU outside the topology.
+    pub fn add_event(
+        &mut self,
+        cpu: CpuId,
+        timestamp: Timestamp,
+        kind: DiscreteEventKind,
+    ) -> Result<(), TraceError> {
+        if !self.topology.contains_cpu(cpu) {
+            return Err(TraceError::UnknownCpu(cpu));
+        }
+        self.per_cpu[cpu.0 as usize]
+            .events
+            .push(DiscreteEvent::new(cpu, timestamp, kind));
+        Ok(())
+    }
+
+    /// Registers a performance counter and returns its id.
+    pub fn add_counter(&mut self, name: impl Into<String>, monotone: bool) -> CounterId {
+        let id = CounterId(self.counters.len() as u32);
+        self.counters.push(CounterDescription::new(id, name, monotone));
+        id
+    }
+
+    /// Records a counter sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownCpu`] for a CPU outside the topology.
+    pub fn add_sample(
+        &mut self,
+        counter: CounterId,
+        cpu: CpuId,
+        timestamp: Timestamp,
+        value: f64,
+    ) -> Result<(), TraceError> {
+        if !self.topology.contains_cpu(cpu) {
+            return Err(TraceError::UnknownCpu(cpu));
+        }
+        self.per_cpu[cpu.0 as usize]
+            .samples
+            .entry(counter)
+            .or_default()
+            .push(CounterSample::new(counter, cpu, timestamp, value));
+        Ok(())
+    }
+
+    /// Registers a memory region and returns its id.
+    pub fn add_region(&mut self, base_addr: u64, size: u64, node: Option<NumaNodeId>) -> RegionId {
+        let id = RegionId(self.next_region_id);
+        self.next_region_id += 1;
+        self.regions.push(MemoryRegion::new(id, base_addr, size, node));
+        id
+    }
+
+    /// Updates the NUMA placement of an already registered region.
+    ///
+    /// This models first-touch allocation: the region exists before its physical pages
+    /// have a home node. Returns `false` when the region is unknown.
+    pub fn set_region_node(&mut self, id: RegionId, node: NumaNodeId) -> bool {
+        if let Some(region) = self.regions.iter_mut().find(|r| r.id == id) {
+            region.node = Some(node);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a memory access performed by a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownTask`] when the task has not been registered.
+    pub fn add_access(
+        &mut self,
+        task: TaskId,
+        kind: AccessKind,
+        addr: u64,
+        size: u64,
+    ) -> Result<(), TraceError> {
+        if task.0 as usize >= self.tasks.len() {
+            return Err(TraceError::UnknownTask(task));
+        }
+        self.accesses.push(MemoryAccess::new(task, kind, addr, size));
+        Ok(())
+    }
+
+    /// Records a communication event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownCpu`] when either endpoint is outside the topology.
+    pub fn add_comm(&mut self, event: CommEvent) -> Result<(), TraceError> {
+        if !self.topology.contains_cpu(event.src_cpu) {
+            return Err(TraceError::UnknownCpu(event.src_cpu));
+        }
+        if !self.topology.contains_cpu(event.dst_cpu) {
+            return Err(TraceError::UnknownCpu(event.dst_cpu));
+        }
+        self.comm_events.push(event);
+        Ok(())
+    }
+
+    /// Attaches a symbol table.
+    pub fn set_symbols(&mut self, symbols: SymbolTable) {
+        self.symbols = symbols;
+    }
+
+    /// Number of tasks registered so far.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Validates references and intervals, sorts every stream, and produces the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownTaskType`], [`TraceError::UnknownCpu`],
+    /// [`TraceError::InvalidInterval`] or [`TraceError::OverlappingStates`] when the
+    /// recorded data is inconsistent.
+    pub fn finish(self) -> Result<Trace, TraceError> {
+        self.finish_impl(false)
+    }
+
+    /// Like [`TraceBuilder::finish`] but additionally rejects per-CPU streams whose
+    /// events were not added in timestamp order.
+    ///
+    /// # Errors
+    ///
+    /// In addition to the errors of [`TraceBuilder::finish`], returns
+    /// [`TraceError::UnorderedEvents`] when a stream is out of order.
+    pub fn finish_strict(self) -> Result<Trace, TraceError> {
+        self.finish_impl(true)
+    }
+
+    fn finish_impl(mut self, strict: bool) -> Result<Trace, TraceError> {
+        // Validate task references.
+        for task in &self.tasks {
+            if task.task_type.0 as usize >= self.task_types.len() {
+                return Err(TraceError::UnknownTaskType(task.task_type));
+            }
+            if !self.topology.contains_cpu(task.cpu) {
+                return Err(TraceError::UnknownCpu(task.cpu));
+            }
+            if task.execution.end < task.execution.start {
+                return Err(TraceError::InvalidInterval {
+                    start: task.execution.start,
+                    end: task.execution.end,
+                });
+            }
+        }
+
+        if strict {
+            for pc in &self.per_cpu {
+                check_ordered(pc.states.iter().map(|s| (s.cpu, s.interval.start)))?;
+                check_ordered(pc.events.iter().map(|e| (e.cpu, e.timestamp)))?;
+                for samples in pc.samples.values() {
+                    check_ordered(samples.iter().map(|s| (s.cpu, s.timestamp)))?;
+                }
+            }
+        }
+
+        // Sort streams.
+        for pc in &mut self.per_cpu {
+            pc.states.sort_by_key(|s| s.interval.start);
+            pc.events.sort_by_key(|e| e.timestamp);
+            for samples in pc.samples.values_mut() {
+                samples.sort_by(|a, b| a.timestamp.cmp(&b.timestamp));
+            }
+        }
+        self.regions.sort_by_key(|r| r.base_addr);
+        self.accesses.sort_by_key(|a| a.task);
+        self.comm_events.sort_by_key(|c| c.timestamp);
+
+        // Validate that state intervals on the same CPU do not overlap.
+        for pc in &self.per_cpu {
+            for pair in pc.states.windows(2) {
+                if pair[1].interval.start < pair[0].interval.end {
+                    return Err(TraceError::OverlappingStates(pair[0].cpu));
+                }
+            }
+        }
+
+        Ok(Trace {
+            topology: self.topology,
+            task_types: self.task_types,
+            tasks: self.tasks,
+            per_cpu: self.per_cpu,
+            regions: self.regions,
+            accesses: self.accesses,
+            comm_events: self.comm_events,
+            counters: self.counters,
+            symbols: self.symbols,
+        })
+    }
+}
+
+fn check_ordered(
+    items: impl Iterator<Item = (CpuId, Timestamp)>,
+) -> Result<(), TraceError> {
+    let mut prev: Option<(CpuId, Timestamp)> = None;
+    for (cpu, ts) in items {
+        if let Some((pcpu, pts)) = prev {
+            if ts < pts {
+                return Err(TraceError::UnorderedEvents {
+                    cpu: pcpu,
+                    previous: pts,
+                    offending: ts,
+                });
+            }
+        }
+        prev = Some((cpu, ts));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> MachineTopology {
+        MachineTopology::uniform(2, 2)
+    }
+
+    #[test]
+    fn build_minimal_trace() {
+        let mut b = TraceBuilder::new(topo());
+        let ty = b.add_task_type("work", 0x1000);
+        let t = b.add_task(ty, CpuId(0), Timestamp(0), Timestamp(10), Timestamp(20));
+        b.add_state(CpuId(0), WorkerState::TaskExecution, Timestamp(10), Timestamp(20), Some(t))
+            .unwrap();
+        let trace = b.finish().unwrap();
+        assert_eq!(trace.tasks().len(), 1);
+        assert_eq!(trace.task(t).unwrap().duration(), 10);
+        assert_eq!(trace.time_bounds(), TimeInterval::from_cycles(10, 20));
+        assert_eq!(trace.duration(), 10);
+    }
+
+    #[test]
+    fn empty_trace_bounds() {
+        let trace = TraceBuilder::new(topo()).finish().unwrap();
+        assert_eq!(trace.duration(), 0);
+        assert_eq!(trace.num_events(), 0);
+    }
+
+    #[test]
+    fn rejects_unknown_cpu() {
+        let mut b = TraceBuilder::new(topo());
+        let err = b
+            .add_state(CpuId(99), WorkerState::Idle, Timestamp(0), Timestamp(1), None)
+            .unwrap_err();
+        assert!(matches!(err, TraceError::UnknownCpu(CpuId(99))));
+    }
+
+    #[test]
+    fn rejects_invalid_interval() {
+        let mut b = TraceBuilder::new(topo());
+        let err = b
+            .add_state(CpuId(0), WorkerState::Idle, Timestamp(10), Timestamp(5), None)
+            .unwrap_err();
+        assert!(matches!(err, TraceError::InvalidInterval { .. }));
+    }
+
+    #[test]
+    fn rejects_overlapping_states() {
+        let mut b = TraceBuilder::new(topo());
+        b.add_state(CpuId(0), WorkerState::Idle, Timestamp(0), Timestamp(10), None)
+            .unwrap();
+        b.add_state(CpuId(0), WorkerState::TaskCreation, Timestamp(5), Timestamp(15), None)
+            .unwrap();
+        assert!(matches!(b.finish(), Err(TraceError::OverlappingStates(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_task_type() {
+        let mut b = TraceBuilder::new(topo());
+        // Register a task with a type id that was never created.
+        b.tasks.push(TaskInstance::new(
+            TaskId(0),
+            TaskTypeId(7),
+            CpuId(0),
+            CpuId(0),
+            Timestamp(0),
+            TimeInterval::from_cycles(0, 1),
+        ));
+        assert!(matches!(b.finish(), Err(TraceError::UnknownTaskType(_))));
+    }
+
+    #[test]
+    fn rejects_access_for_unknown_task() {
+        let mut b = TraceBuilder::new(topo());
+        let err = b
+            .add_access(TaskId(3), AccessKind::Read, 0x1000, 64)
+            .unwrap_err();
+        assert!(matches!(err, TraceError::UnknownTask(TaskId(3))));
+    }
+
+    #[test]
+    fn finish_sorts_streams() {
+        let mut b = TraceBuilder::new(topo());
+        b.add_state(CpuId(0), WorkerState::Idle, Timestamp(100), Timestamp(200), None)
+            .unwrap();
+        b.add_state(CpuId(0), WorkerState::TaskCreation, Timestamp(0), Timestamp(50), None)
+            .unwrap();
+        let ctr = b.add_counter("c", true);
+        b.add_sample(ctr, CpuId(1), Timestamp(30), 3.0).unwrap();
+        b.add_sample(ctr, CpuId(1), Timestamp(10), 1.0).unwrap();
+        let trace = b.finish().unwrap();
+        let states = &trace.cpu(CpuId(0)).unwrap().states;
+        assert!(states[0].interval.start < states[1].interval.start);
+        let samples = &trace.cpu(CpuId(1)).unwrap().samples[&ctr];
+        assert!(samples[0].timestamp < samples[1].timestamp);
+    }
+
+    #[test]
+    fn finish_strict_rejects_unordered() {
+        let mut b = TraceBuilder::new(topo());
+        b.add_state(CpuId(0), WorkerState::Idle, Timestamp(100), Timestamp(200), None)
+            .unwrap();
+        b.add_state(CpuId(0), WorkerState::TaskCreation, Timestamp(0), Timestamp(50), None)
+            .unwrap();
+        assert!(matches!(
+            b.finish_strict(),
+            Err(TraceError::UnorderedEvents { .. })
+        ));
+    }
+
+    #[test]
+    fn region_lookup_by_address() {
+        let mut b = TraceBuilder::new(topo());
+        let r0 = b.add_region(0x1000, 0x100, Some(NumaNodeId(0)));
+        let _r1 = b.add_region(0x3000, 0x100, Some(NumaNodeId(1)));
+        assert!(b.set_region_node(r0, NumaNodeId(1)));
+        assert!(!b.set_region_node(RegionId(99), NumaNodeId(0)));
+        let trace = b.finish().unwrap();
+        assert_eq!(trace.region_of_addr(0x1080).unwrap().id, r0);
+        assert_eq!(trace.node_of_addr(0x1080), Some(NumaNodeId(1)));
+        assert_eq!(trace.node_of_addr(0x3050), Some(NumaNodeId(1)));
+        assert!(trace.region_of_addr(0x2000).is_none());
+        assert!(trace.region_of_addr(0x500).is_none());
+    }
+
+    #[test]
+    fn accesses_grouped_by_task() {
+        let mut b = TraceBuilder::new(topo());
+        let ty = b.add_task_type("w", 0);
+        let t0 = b.add_task(ty, CpuId(0), Timestamp(0), Timestamp(0), Timestamp(10));
+        let t1 = b.add_task(ty, CpuId(1), Timestamp(0), Timestamp(0), Timestamp(10));
+        b.add_access(t1, AccessKind::Read, 0x10, 8).unwrap();
+        b.add_access(t0, AccessKind::Write, 0x20, 8).unwrap();
+        b.add_access(t1, AccessKind::Write, 0x30, 8).unwrap();
+        let trace = b.finish().unwrap();
+        assert_eq!(trace.accesses_of_task(t0).len(), 1);
+        assert_eq!(trace.accesses_of_task(t1).len(), 2);
+        assert_eq!(trace.accesses_of_task(TaskId(5)).len(), 0);
+    }
+
+    #[test]
+    fn comm_event_validation() {
+        let mut b = TraceBuilder::new(topo());
+        let ev = CommEvent {
+            timestamp: Timestamp(5),
+            kind: crate::event::CommKind::DataTransfer,
+            src_cpu: CpuId(0),
+            dst_cpu: CpuId(9),
+            src_node: NumaNodeId(0),
+            dst_node: NumaNodeId(1),
+            bytes: 128,
+            task: None,
+        };
+        assert!(matches!(b.add_comm(ev), Err(TraceError::UnknownCpu(_))));
+    }
+
+    #[test]
+    fn counter_lookup() {
+        let mut b = TraceBuilder::new(topo());
+        let c = b.add_counter("branch-mispredictions", true);
+        let trace = b.finish().unwrap();
+        assert_eq!(trace.counter(c).unwrap().name, "branch-mispredictions");
+        assert!(trace.counter_by_name("branch-mispredictions").is_some());
+        assert!(trace.counter_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,81 @@
+//! Robustness tests for the binary trace reader: arbitrary and corrupted inputs must be
+//! rejected with an error, never cause a panic, out-of-bounds access or runaway
+//! allocation.
+
+use aftermath_trace::format::{read_trace, write_trace, FORMAT_VERSION, MAGIC};
+use aftermath_trace::{CpuId, MachineTopology, Timestamp, TraceBuilder, WorkerState};
+use proptest::prelude::*;
+
+fn valid_trace_bytes() -> Vec<u8> {
+    let mut b = TraceBuilder::new(MachineTopology::uniform(2, 2));
+    let ty = b.add_task_type("work", 0x1000);
+    let ctr = b.add_counter("c", true);
+    for i in 0..20u64 {
+        let cpu = CpuId((i % 4) as u32);
+        let task = b.add_task(ty, cpu, Timestamp(i * 10), Timestamp(i * 100), Timestamp(i * 100 + 50));
+        b.add_state(
+            cpu,
+            WorkerState::TaskExecution,
+            Timestamp(i * 100),
+            Timestamp(i * 100 + 50),
+            Some(task),
+        )
+        .unwrap();
+        b.add_sample(ctr, cpu, Timestamp(i * 100), i as f64).unwrap();
+    }
+    let trace = b.finish().unwrap();
+    let mut buf = Vec::new();
+    write_trace(&trace, &mut buf).unwrap();
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Completely random bytes (with or without a valid header) never panic the reader.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_trace(&bytes[..]);
+    }
+
+    /// Random bytes prefixed with a valid magic/version never panic either.
+    #[test]
+    fn random_body_with_valid_header_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut buf = Vec::with_capacity(bytes.len() + 8);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&bytes);
+        let _ = read_trace(&buf[..]);
+    }
+
+    /// Truncating a valid trace at any point yields an error or a (possibly shorter but)
+    /// valid trace — never a panic.
+    #[test]
+    fn truncated_traces_never_panic(cut in 0usize..2048) {
+        let bytes = valid_trace_bytes();
+        let cut = cut.min(bytes.len());
+        let _ = read_trace(&bytes[..cut]);
+    }
+
+    /// Flipping a single byte of a valid trace never panics the reader.
+    #[test]
+    fn single_byte_corruption_never_panics(pos in 0usize..2048, value in any::<u8>()) {
+        let mut bytes = valid_trace_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] = value;
+        let _ = read_trace(&bytes[..]);
+    }
+}
+
+#[test]
+fn corrupted_section_length_is_rejected_gracefully() {
+    // A section claiming a payload far larger than the file must error out (truncated
+    // read), not allocate unboundedly or panic.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf.push(1); // topology tag
+    // Varint length of ~1 GiB with no payload behind it.
+    buf.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x04]);
+    assert!(read_trace(&buf[..]).is_err());
+}

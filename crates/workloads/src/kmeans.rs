@@ -1,0 +1,384 @@
+//! The k-means workload: naive K-means clustering with per-block distance tasks,
+//! a reduction tree and a propagation tree per iteration (paper Figure 11).
+//!
+//! The set of `points` multi-dimensional points is divided into blocks of `block_size`
+//! points. In every iteration, one *distance task* per block computes the distance of
+//! each of its points to the `clusters` cluster centres and assigns the point to the
+//! nearest centre. The per-block partial results are combined by a binary *reduction
+//! tree*; its root detects termination and the updated centres are distributed to the
+//! next iteration's distance tasks by a binary *propagation tree*.
+//!
+//! The distance kernel contains a conditional update (`if dist < best { best = dist; }`)
+//! whose branch behaviour depends on the data of the block. The generator models this
+//! with a per-block *hardness* drawn from a small discrete mixture, which yields the
+//! multi-modal task-duration histogram of Figure 16 and the duration/misprediction
+//! correlation of Figures 18/19. Setting [`KMeansConfig::optimized_kernel`] reproduces
+//! the paper's fix (unconditional update with the check hoisted out of the loop):
+//! mispredictions drop to a small constant and the duration spread collapses.
+
+use aftermath_sim::spec::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Name of the per-block input initialization task type.
+pub const TASK_TYPE_INIT_BLOCK: &str = "kmeans_init_block";
+/// Name of the cluster-centre initialization task type.
+pub const TASK_TYPE_INIT_CENTERS: &str = "kmeans_init_centers";
+/// Name of the main distance-calculation task type.
+pub const TASK_TYPE_DISTANCE: &str = "kmeans_distance";
+/// Name of the reduction-tree task type.
+pub const TASK_TYPE_REDUCE: &str = "kmeans_reduce";
+/// Name of the propagation-tree task type.
+pub const TASK_TYPE_PROPAGATE: &str = "kmeans_propagate";
+
+/// Configuration of the k-means workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Total number of points to cluster.
+    pub points: u64,
+    /// Dimensionality of each point.
+    pub dims: u32,
+    /// Number of clusters.
+    pub clusters: u32,
+    /// Number of points per block (task granularity; the paper sweeps this parameter).
+    pub block_size: u64,
+    /// Number of clustering iterations to generate.
+    pub iterations: u32,
+    /// Whether to model the optimized (branch-free) distance kernel of Section V.
+    pub optimized_kernel: bool,
+    /// Compute cycles per point-cluster-dimension triple in the distance kernel.
+    pub cycles_per_distance: u64,
+    /// Fixed per-task overhead cycles of the distance kernel (loop setup, result
+    /// writing); dominates when blocks become very small.
+    pub distance_task_overhead: u64,
+    /// Average branch mispredictions per point-cluster pair in the conditional kernel
+    /// for a block of maximum hardness.
+    pub mispredictions_per_comparison: f64,
+    /// Seed for the per-block hardness distribution.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Configuration mirroring the paper's experiment (4096·10⁴ points, 10 dimensions,
+    /// 11 clusters, block size 10⁴), scaled down 16× in point count so simulation stays
+    /// tractable, with 4 iterations.
+    pub fn paper_scaled() -> Self {
+        KMeansConfig {
+            points: 2_560_000,
+            dims: 10,
+            clusters: 11,
+            block_size: 10_000,
+            iterations: 4,
+            optimized_kernel: false,
+            cycles_per_distance: 7,
+            distance_task_overhead: 30_000,
+            mispredictions_per_comparison: 1.2,
+            seed: 1,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn small() -> Self {
+        KMeansConfig {
+            points: 4_000,
+            dims: 4,
+            clusters: 3,
+            block_size: 500,
+            iterations: 2,
+            optimized_kernel: false,
+            cycles_per_distance: 5,
+            distance_task_overhead: 2_000,
+            mispredictions_per_comparison: 1.0,
+            seed: 1,
+        }
+    }
+
+    /// Returns a copy with a different block size (used for the Figure 12 sweep).
+    pub fn with_block_size(mut self, block_size: u64) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Returns a copy using the optimized (branch-free) distance kernel.
+    pub fn with_optimized_kernel(mut self, optimized: bool) -> Self {
+        self.optimized_kernel = optimized;
+        self
+    }
+
+    /// Number of point blocks (and distance tasks per iteration).
+    pub fn num_blocks(&self) -> u64 {
+        self.points.div_ceil(self.block_size).max(1)
+    }
+
+    /// Bytes of one points-block region.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_size * u64::from(self.dims) * 8
+    }
+
+    /// Bytes of one cluster-centres region (centres plus per-cluster counts).
+    pub fn centers_bytes(&self) -> u64 {
+        u64::from(self.clusters) * (u64::from(self.dims) * 8 + 8)
+    }
+
+    /// Pure compute cycles of one distance task over a full block.
+    pub fn distance_work_cycles(&self) -> u64 {
+        self.distance_task_overhead
+            + self.block_size * u64::from(self.clusters) * u64::from(self.dims)
+                * self.cycles_per_distance
+    }
+
+    /// Builds the workload specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points`, `block_size`, `clusters`, `dims` or `iterations` is zero.
+    pub fn build(&self) -> WorkloadSpec {
+        assert!(self.points > 0, "k-means needs points");
+        assert!(self.block_size > 0, "k-means needs a non-zero block size");
+        assert!(self.clusters > 0 && self.dims > 0, "k-means needs clusters and dims");
+        assert!(self.iterations > 0, "k-means needs at least one iteration");
+
+        let m = self.num_blocks() as usize;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Per-block "hardness" drawn from a discrete mixture: most blocks are easy, some
+        // are medium, some hard. The mixture creates the multi-modal duration histogram.
+        let hardness: Vec<f64> = (0..m)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                if u < 0.5 {
+                    0.15 + 0.05 * rng.gen::<f64>()
+                } else if u < 0.8 {
+                    0.5 + 0.08 * rng.gen::<f64>()
+                } else {
+                    0.85 + 0.1 * rng.gen::<f64>()
+                }
+            })
+            .collect();
+
+        let mut spec = WorkloadSpec::new("kmeans");
+        let ty_init_block = spec.add_task_type(TASK_TYPE_INIT_BLOCK, 0x20_0000);
+        let ty_init_centers = spec.add_task_type(TASK_TYPE_INIT_CENTERS, 0x21_0000);
+        let ty_distance = spec.add_task_type(TASK_TYPE_DISTANCE, 0x22_0000);
+        let ty_reduce = spec.add_task_type(TASK_TYPE_REDUCE, 0x23_0000);
+        let ty_propagate = spec.add_task_type(TASK_TYPE_PROPAGATE, 0x24_0000);
+
+        // Input blocks, written by per-block initialization tasks.
+        let block_regions: Vec<usize> = (0..m).map(|_| spec.add_region(self.block_bytes())).collect();
+        for &r in &block_regions {
+            spec.add_task(ty_init_block, 5_000).writes(&[r]).done();
+        }
+        // Initial cluster centres.
+        let initial_centers = spec.add_region(self.centers_bytes());
+        spec.add_task(ty_init_centers, 2_000).writes(&[initial_centers]).done();
+
+        // Per-block centre regions read by the distance tasks of the current iteration.
+        // For iteration 0 every block reads the initial centres.
+        let mut centers_for_block: Vec<usize> = vec![initial_centers; m];
+
+        let distance_work = self.distance_work_cycles();
+        for _iter in 0..self.iterations {
+            // Distance tasks.
+            let mut partials = Vec::with_capacity(m);
+            for (j, &points_region) in block_regions.iter().enumerate() {
+                let partial = spec.add_region_prefaulted(self.centers_bytes());
+                let mispredictions = if self.optimized_kernel {
+                    (self.block_size as f64 * 0.02) as u64
+                } else {
+                    (self.block_size as f64
+                        * f64::from(self.clusters)
+                        * self.mispredictions_per_comparison
+                        * hardness[j]) as u64
+                };
+                spec.add_task(ty_distance, distance_work)
+                    .reads(&[points_region, centers_for_block[j]])
+                    .writes(&[partial])
+                    .mispredictions(mispredictions)
+                    .cache_misses(self.block_size / 16)
+                    .done();
+                partials.push(partial);
+            }
+
+            // Binary reduction tree over the partial results.
+            let mut level = partials;
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                for chunk in level.chunks(2) {
+                    if chunk.len() == 1 {
+                        next.push(chunk[0]);
+                        continue;
+                    }
+                    let out = spec.add_region_prefaulted(self.centers_bytes());
+                    spec.add_task(ty_reduce, 3_000 + 200 * u64::from(self.clusters))
+                        .reads(chunk)
+                        .writes(&[out])
+                        .done();
+                    next.push(out);
+                }
+                level = next;
+            }
+            let new_centers = level[0];
+
+            // Binary propagation (broadcast) tree distributing the new centres to the
+            // next iteration's distance tasks.
+            let mut frontier = vec![new_centers];
+            while frontier.len() < m {
+                let mut next = Vec::with_capacity(frontier.len() * 2);
+                for &src in &frontier {
+                    for _ in 0..2 {
+                        if next.len() + frontier.len() >= 2 * m {
+                            break;
+                        }
+                        let out = spec.add_region_prefaulted(self.centers_bytes());
+                        spec.add_task(ty_propagate, 1_500)
+                            .reads(&[src])
+                            .writes(&[out])
+                            .done();
+                        next.push(out);
+                    }
+                }
+                if next.is_empty() {
+                    break;
+                }
+                frontier = next;
+            }
+            // Assign one frontier region to each block (wrapping when the broadcast tree
+            // has fewer leaves than blocks, which only happens for m == 1).
+            for (j, slot) in centers_for_block.iter_mut().enumerate() {
+                *slot = frontier[j % frontier.len()];
+            }
+        }
+        spec
+    }
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig::paper_scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_count_and_sizes() {
+        let cfg = KMeansConfig::small();
+        assert_eq!(cfg.num_blocks(), 8);
+        assert_eq!(cfg.block_bytes(), 500 * 4 * 8);
+        assert_eq!(cfg.centers_bytes(), 3 * (4 * 8 + 8));
+        let cfg2 = cfg.with_block_size(3_000);
+        assert_eq!(cfg2.num_blocks(), 2);
+    }
+
+    #[test]
+    fn builds_valid_dag() {
+        let spec = KMeansConfig::small().build();
+        let g = spec.dependence_graph().unwrap();
+        assert!(g.num_edges() > 0);
+        // Roots are exactly the init tasks (blocks + centres).
+        assert_eq!(g.roots().len(), 8 + 1);
+    }
+
+    #[test]
+    fn distance_tasks_per_iteration() {
+        let cfg = KMeansConfig::small();
+        let spec = cfg.build();
+        let n_distance = spec
+            .tasks
+            .iter()
+            .filter(|t| spec.task_types[t.task_type].name == TASK_TYPE_DISTANCE)
+            .count();
+        assert_eq!(n_distance as u64, cfg.num_blocks() * u64::from(cfg.iterations));
+    }
+
+    #[test]
+    fn reduction_tree_size() {
+        let cfg = KMeansConfig::small();
+        let spec = cfg.build();
+        let n_reduce = spec
+            .tasks
+            .iter()
+            .filter(|t| spec.task_types[t.task_type].name == TASK_TYPE_REDUCE)
+            .count();
+        // A binary reduction over m leaves needs m-1 combines per iteration.
+        assert_eq!(n_reduce as u64, (cfg.num_blocks() - 1) * u64::from(cfg.iterations));
+    }
+
+    #[test]
+    fn conditional_kernel_has_varied_mispredictions() {
+        let spec = KMeansConfig::small().build();
+        let mispredictions: Vec<u64> = spec
+            .tasks
+            .iter()
+            .filter(|t| spec.task_types[t.task_type].name == TASK_TYPE_DISTANCE)
+            .map(|t| t.branch_mispredictions)
+            .collect();
+        let min = mispredictions.iter().min().unwrap();
+        let max = mispredictions.iter().max().unwrap();
+        assert!(max > min, "hardness mixture should vary mispredictions");
+    }
+
+    #[test]
+    fn optimized_kernel_has_few_uniform_mispredictions() {
+        let spec = KMeansConfig::small().with_optimized_kernel(true).build();
+        let mispredictions: Vec<u64> = spec
+            .tasks
+            .iter()
+            .filter(|t| spec.task_types[t.task_type].name == TASK_TYPE_DISTANCE)
+            .map(|t| t.branch_mispredictions)
+            .collect();
+        let conditional = KMeansConfig::small().build();
+        let cond_max = conditional
+            .tasks
+            .iter()
+            .filter(|t| conditional.task_types[t.task_type].name == TASK_TYPE_DISTANCE)
+            .map(|t| t.branch_mispredictions)
+            .max()
+            .unwrap();
+        assert!(mispredictions.iter().max().unwrap() < &cond_max);
+        assert_eq!(
+            mispredictions.iter().collect::<std::collections::HashSet<_>>().len(),
+            1,
+            "optimized kernel mispredictions should be uniform"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = KMeansConfig::small().build();
+        let b = KMeansConfig::small().build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_changes_hardness() {
+        let mut cfg = KMeansConfig::small();
+        let a = cfg.build();
+        cfg.seed = 99;
+        let b = cfg.build();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_block_degenerate_case() {
+        let cfg = KMeansConfig {
+            points: 100,
+            block_size: 200,
+            ..KMeansConfig::small()
+        };
+        assert_eq!(cfg.num_blocks(), 1);
+        let spec = cfg.build();
+        assert!(spec.dependence_graph().is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_block_size_panics() {
+        let cfg = KMeansConfig {
+            block_size: 0,
+            ..KMeansConfig::small()
+        };
+        let _ = cfg.build();
+    }
+}

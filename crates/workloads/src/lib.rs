@@ -1,0 +1,40 @@
+//! # aftermath-workloads
+//!
+//! Task-graph workload generators for the Aftermath-rs simulator.
+//!
+//! The ISPASS'16 Aftermath paper demonstrates its analyses on two OpenStream
+//! applications, which this crate reproduces as [`aftermath_sim::WorkloadSpec`]
+//! generators:
+//!
+//! * [`seidel`] — a blocked 2-D Gauss-Seidel stencil with explicit initialization tasks
+//!   and a diagonal wave-front dependence pattern (paper Sections III-A/B and IV),
+//! * [`kmeans`] — a K-means clustering application with per-block distance tasks, a
+//!   reduction tree and a propagation tree per iteration, including the data-dependent
+//!   branch-misprediction behaviour of the conditional-update kernel (paper Sections
+//!   III-C and V),
+//! * [`synthetic`] — fork-join, pipeline and random layered DAGs used for stress tests
+//!   and the rendering/index benchmarks of Section VI.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use aftermath_workloads::seidel::SeidelConfig;
+//! use aftermath_sim::{Simulator, SimConfig};
+//!
+//! # fn main() -> Result<(), aftermath_sim::SimError> {
+//! let spec = SeidelConfig::small().build();
+//! let result = Simulator::new(SimConfig::small_test()).run(&spec)?;
+//! assert!(result.trace.tasks().len() > 10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod kmeans;
+pub mod seidel;
+pub mod synthetic;
+
+pub use kmeans::KMeansConfig;
+pub use seidel::SeidelConfig;

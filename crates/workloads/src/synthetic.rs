@@ -1,0 +1,180 @@
+//! Synthetic workloads: fork-join, pipelines and random layered DAGs.
+//!
+//! These generators are used by unit/property tests and by the Section VI benchmarks,
+//! which need large traces with controllable size and structure rather than a specific
+//! application behaviour.
+
+use aftermath_sim::spec::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a fork-join workload: one producer, `width` independent workers, one join.
+///
+/// Every worker task reads the producer's region and the join reads every worker's
+/// output, giving a diamond of depth 2.
+pub fn fork_join(width: usize, work_cycles: u64, region_bytes: u64) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::new("fork-join");
+    let ty = spec.add_task_type("fork_join_work", 0x30_0000);
+    let src = spec.add_region(region_bytes);
+    spec.add_task(ty, work_cycles).writes(&[src]).done();
+    let mut outs = Vec::with_capacity(width);
+    for _ in 0..width {
+        let out = spec.add_region(region_bytes);
+        spec.add_task(ty, work_cycles)
+            .reads(&[src])
+            .writes(&[out])
+            .done();
+        outs.push(out);
+    }
+    spec.add_task(ty, work_cycles).reads(&outs).done();
+    spec
+}
+
+/// Builds a software pipeline: `width` independent chains of `stages` tasks each.
+///
+/// Every stage of a chain reads the previous stage's output, so the available
+/// parallelism is exactly `width` at every depth.
+pub fn pipeline(stages: usize, width: usize, work_cycles: u64, region_bytes: u64) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::new("pipeline");
+    let ty = spec.add_task_type("pipeline_stage", 0x31_0000);
+    for _ in 0..width {
+        let mut prev: Option<usize> = None;
+        for _ in 0..stages {
+            let out = spec.add_region(region_bytes);
+            let mut b = spec.add_task(ty, work_cycles);
+            if let Some(p) = prev {
+                b = b.reads(&[p]);
+            }
+            b.writes(&[out]).done();
+            prev = Some(out);
+        }
+    }
+    spec
+}
+
+/// Configuration for [`random_layered_dag`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayeredDagConfig {
+    /// Number of layers.
+    pub layers: usize,
+    /// Number of tasks per layer.
+    pub width: usize,
+    /// Compute cycles per task (uniformly drawn from `work_cycles/2 .. work_cycles*3/2`).
+    pub work_cycles: u64,
+    /// Bytes of each task's output region.
+    pub region_bytes: u64,
+    /// Probability that a task reads any given task of the previous layer.
+    pub edge_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LayeredDagConfig {
+    fn default() -> Self {
+        LayeredDagConfig {
+            layers: 8,
+            width: 16,
+            work_cycles: 100_000,
+            region_bytes: 16 * 1024,
+            edge_probability: 0.3,
+            seed: 7,
+        }
+    }
+}
+
+/// Builds a random layered DAG: `layers × width` tasks where each task of layer `l > 0`
+/// reads a random subset of the outputs of layer `l - 1` (and always at least one, so
+/// the graph stays connected layer-to-layer).
+pub fn random_layered_dag(config: &LayeredDagConfig) -> WorkloadSpec {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut spec = WorkloadSpec::new("layered-dag");
+    let ty = spec.add_task_type("dag_node", 0x32_0000);
+    let mut prev_layer: Vec<usize> = Vec::new();
+    for layer in 0..config.layers {
+        let mut this_layer = Vec::with_capacity(config.width);
+        for _ in 0..config.width {
+            let out = spec.add_region(config.region_bytes);
+            let work = rng.gen_range(config.work_cycles / 2..=config.work_cycles * 3 / 2);
+            let mut reads = Vec::new();
+            if layer > 0 {
+                for &r in &prev_layer {
+                    if rng.gen::<f64>() < config.edge_probability {
+                        reads.push(r);
+                    }
+                }
+                if reads.is_empty() {
+                    let pick = prev_layer[rng.gen_range(0..prev_layer.len())];
+                    reads.push(pick);
+                }
+            }
+            spec.add_task(ty, work.max(1))
+                .reads(&reads)
+                .writes(&[out])
+                .mispredictions(rng.gen_range(0..1000))
+                .cache_misses(rng.gen_range(0..500))
+                .done();
+            this_layer.push(out);
+        }
+        prev_layer = this_layer;
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_join_shape() {
+        let spec = fork_join(5, 1000, 4096);
+        assert_eq!(spec.num_tasks(), 7);
+        let g = spec.dependence_graph().unwrap();
+        assert_eq!(g.roots(), vec![0]);
+        assert_eq!(g.depths().iter().max(), Some(&2));
+        assert_eq!(g.parallelism_profile(), vec![1, 5, 1]);
+    }
+
+    #[test]
+    fn pipeline_shape() {
+        let spec = pipeline(4, 3, 1000, 1024);
+        assert_eq!(spec.num_tasks(), 12);
+        let g = spec.dependence_graph().unwrap();
+        assert_eq!(g.roots().len(), 3);
+        assert_eq!(g.parallelism_profile(), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn layered_dag_is_valid_and_deterministic() {
+        let cfg = LayeredDagConfig::default();
+        let a = random_layered_dag(&cfg);
+        let b = random_layered_dag(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.num_tasks(), cfg.layers * cfg.width);
+        let g = a.dependence_graph().unwrap();
+        // Every non-root layer task has at least one predecessor.
+        let depths = g.depths();
+        assert_eq!(*depths.iter().max().unwrap(), cfg.layers - 1);
+    }
+
+    #[test]
+    fn layered_dag_different_seeds_differ() {
+        let a = random_layered_dag(&LayeredDagConfig::default());
+        let b = random_layered_dag(&LayeredDagConfig {
+            seed: 99,
+            ..LayeredDagConfig::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_layer_dag_has_only_roots() {
+        let cfg = LayeredDagConfig {
+            layers: 1,
+            width: 10,
+            ..LayeredDagConfig::default()
+        };
+        let g = random_layered_dag(&cfg).dependence_graph().unwrap();
+        assert_eq!(g.roots().len(), 10);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

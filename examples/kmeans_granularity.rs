@@ -1,0 +1,68 @@
+//! Task-granularity tuning for k-means (paper Section III-C, Figures 12/13).
+//!
+//! Sweeps the block size of the k-means workload and reports, for every block size, the
+//! simulated execution time and how the workers spent their time — reproducing the
+//! U-shaped execution-time curve and the idle patterns the paper uses to explain it.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example kmeans_granularity
+//! ```
+
+use aftermath::prelude::*;
+use aftermath_core::{stats, AnalysisSession};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = MachineConfig::uniform(4, 8); // 32 cores, 4 NUMA nodes
+    let base = KMeansConfig {
+        points: 1_000_000,
+        dims: 10,
+        clusters: 11,
+        block_size: 10_000,
+        iterations: 3,
+        optimized_kernel: false,
+        cycles_per_distance: 7,
+        distance_task_overhead: 120_000,
+        mispredictions_per_comparison: 1.2,
+        seed: 5,
+    };
+
+    println!(
+        "{:>10} {:>8} {:>12} {:>10} {:>10} {:>10}",
+        "block", "#blocks", "time [s]", "exec %", "idle %", "overhead %"
+    );
+    let mut best: Option<(u64, f64)> = None;
+    for block_size in [500_000u64, 125_000, 31_250, 10_000, 4_000, 1_000] {
+        let config = base.with_block_size(block_size);
+        let spec = config.build();
+        let result =
+            Simulator::new(SimConfig::new(machine.clone(), RuntimeConfig::numa_optimized(), 5))
+                .run(&spec)?;
+        let session = AnalysisSession::new(&result.trace);
+        let fractions = stats::state_fractions(&session, session.time_bounds());
+        let exec = fractions[WorkerState::TaskExecution.index()];
+        let idle = fractions[WorkerState::Idle.index()];
+        let overhead = 1.0 - exec - idle;
+        let seconds = result.wall_seconds(machine.cycles_per_us);
+        println!(
+            "{:>10} {:>8} {:>12.3} {:>9.1}% {:>9.1}% {:>9.1}%",
+            block_size,
+            config.num_blocks(),
+            seconds,
+            100.0 * exec,
+            100.0 * idle,
+            100.0 * overhead
+        );
+        if best.map(|(_, s)| seconds < s).unwrap_or(true) {
+            best = Some((block_size, seconds));
+        }
+    }
+
+    if let Some((block, seconds)) = best {
+        println!(
+            "\nbest granularity: {block} points per block ({seconds:.3} s) — large blocks starve \
+             the machine of parallelism, tiny blocks drown it in task-management overhead"
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,257 @@
+//! Property-based tests (proptest) for the core data structures and invariants of the
+//! workspace: time intervals, the binary trace format, the counter min/max index,
+//! histograms, linear regression, zoom navigation and the simulator's scheduling
+//! invariants.
+
+use aftermath::prelude::*;
+use aftermath::trace::format::{read_trace, write_trace};
+use aftermath_core::index::{samples_in, CounterIndex};
+use aftermath_core::{AnalysisSession, Histogram, LinearRegression};
+use aftermath_render::ZoomState;
+use aftermath_trace::{CounterId, CounterSample};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Time intervals
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn interval_intersection_is_contained_in_both(
+        a in 0u64..1_000_000, b in 0u64..1_000_000,
+        c in 0u64..1_000_000, d in 0u64..1_000_000,
+    ) {
+        let x = TimeInterval::from_cycles(a.min(b), a.max(b));
+        let y = TimeInterval::from_cycles(c.min(d), c.max(d));
+        if let Some(i) = x.intersection(&y) {
+            prop_assert!(i.start >= x.start && i.end <= x.end);
+            prop_assert!(i.start >= y.start && i.end <= y.end);
+            prop_assert_eq!(i.duration(), x.overlap_cycles(&y));
+        } else {
+            prop_assert_eq!(x.overlap_cycles(&y), 0);
+        }
+    }
+
+    #[test]
+    fn interval_split_partitions_duration(start in 0u64..1_000_000, len in 0u64..100_000, n in 1usize..50) {
+        let interval = TimeInterval::from_cycles(start, start + len);
+        let parts = interval.split(n);
+        if len == 0 {
+            prop_assert!(parts.is_empty());
+        } else {
+            prop_assert_eq!(parts.len(), n);
+            let total: u64 = parts.iter().map(|p| p.duration()).sum();
+            prop_assert_eq!(total, len);
+            prop_assert_eq!(parts.first().unwrap().start, interval.start);
+            prop_assert_eq!(parts.last().unwrap().end, interval.end);
+            for pair in parts.windows(2) {
+                prop_assert_eq!(pair[0].end, pair[1].start);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary trace format round-trip on arbitrary (small) traces
+// ---------------------------------------------------------------------------
+
+fn arbitrary_trace_strategy() -> impl Strategy<Value = Trace> {
+    // Random per-cpu state streams plus counter samples and tasks; built through the
+    // TraceBuilder so every generated trace is valid by construction.
+    (
+        1u32..3,                 // nodes
+        1u32..3,                 // cpus per node
+        prop::collection::vec((0u64..10_000, 1u64..500, 0u8..4), 0..40), // state intervals
+        prop::collection::vec((0u64..10_000, -1e6f64..1e6), 0..40),      // counter samples
+        0usize..10,              // tasks
+    )
+        .prop_map(|(nodes, cpus, states, samples, num_tasks)| {
+            let topo = MachineTopology::uniform(nodes, cpus);
+            let num_cpus = topo.num_cpus() as u32;
+            let mut b = TraceBuilder::new(topo);
+            let ty = b.add_task_type("w", 0x1000);
+            let ctr = b.add_counter("c", true);
+            for i in 0..num_tasks as u64 {
+                b.add_task(
+                    ty,
+                    CpuId((i as u32) % num_cpus),
+                    Timestamp(i * 10),
+                    Timestamp(i * 100),
+                    Timestamp(i * 100 + 50),
+                );
+            }
+            // Keep per-cpu states non-overlapping by spacing them on a grid per cpu.
+            let mut next_start = vec![0u64; num_cpus as usize];
+            for (i, (_, len, state_idx)) in states.into_iter().enumerate() {
+                let cpu = (i as u32) % num_cpus;
+                let start = next_start[cpu as usize];
+                let end = start + len;
+                next_start[cpu as usize] = end;
+                let state = WorkerState::from_index((state_idx % 4) as usize).unwrap();
+                b.add_state(CpuId(cpu), state, Timestamp(start), Timestamp(end), None)
+                    .unwrap();
+            }
+            for (i, (ts, value)) in samples.into_iter().enumerate() {
+                let cpu = (i as u32) % num_cpus;
+                b.add_sample(ctr, CpuId(cpu), Timestamp(ts), value).unwrap();
+            }
+            b.finish().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn trace_format_roundtrip_preserves_arbitrary_traces(trace in arbitrary_trace_strategy()) {
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter min/max index vs. naive scan
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn counter_index_agrees_with_naive_scan(
+        values in prop::collection::vec(-1e9f64..1e9, 1..500),
+        arity in 2usize..64,
+        range in (0usize..500, 0usize..500),
+    ) {
+        let samples: Vec<CounterSample> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| CounterSample::new(CounterId(0), CpuId(0), Timestamp(i as u64 * 7), v))
+            .collect();
+        let index = CounterIndex::with_arity(&samples, arity);
+        let (lo, hi) = (range.0.min(range.1), range.0.max(range.1));
+        let expected = if lo >= hi.min(samples.len()) {
+            None
+        } else {
+            let slice = &samples[lo..hi.min(samples.len())];
+            let min = slice.iter().map(|s| s.value).fold(f64::INFINITY, f64::min);
+            let max = slice.iter().map(|s| s.value).fold(f64::NEG_INFINITY, f64::max);
+            Some((min, max))
+        };
+        prop_assert_eq!(index.min_max(&samples, lo, hi), expected);
+    }
+
+    #[test]
+    fn sample_interval_slicing_matches_filter(
+        timestamps in prop::collection::vec(0u64..10_000, 0..200),
+        query in (0u64..10_000, 0u64..10_000),
+    ) {
+        let mut timestamps = timestamps;
+        timestamps.sort_unstable();
+        let samples: Vec<CounterSample> = timestamps
+            .iter()
+            .map(|&t| CounterSample::new(CounterId(0), CpuId(0), Timestamp(t), t as f64))
+            .collect();
+        let interval = TimeInterval::from_cycles(query.0.min(query.1), query.0.max(query.1));
+        let sliced = samples_in(&samples, interval);
+        let expected: Vec<_> = samples
+            .iter()
+            .filter(|s| interval.contains(s.timestamp))
+            .collect();
+        prop_assert_eq!(sliced.len(), expected.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram and regression invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn histogram_conserves_every_value(
+        values in prop::collection::vec(-1e6f64..1e6, 0..300),
+        bins in 1usize..40,
+    ) {
+        let hist = Histogram::from_values(&values, bins, None).unwrap();
+        prop_assert_eq!(hist.total as usize, values.len());
+        prop_assert_eq!(hist.counts.iter().sum::<u64>() as usize, values.len());
+        let fraction_sum: f64 = (0..hist.num_bins()).map(|i| hist.fraction(i)).sum();
+        if !values.is_empty() {
+            prop_assert!((fraction_sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn regression_recovers_exact_linear_relationships(
+        slope in -1e3f64..1e3,
+        intercept in -1e6f64..1e6,
+        xs in prop::collection::vec(-1e4f64..1e4, 3..50),
+    ) {
+        // Need at least two distinct x values for the fit to be defined.
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-6));
+        let ys: Vec<f64> = xs.iter().map(|&x| slope * x + intercept).collect();
+        let fit = LinearRegression::fit(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-3 * (1.0 + slope.abs()));
+        prop_assert!(fit.r_squared > 0.999);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zoom navigation invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn zoom_never_leaves_the_trace_bounds(
+        len in 100u64..10_000_000,
+        ops in prop::collection::vec((0.1f64..10.0, 0.0f64..1.0, -2.0f64..2.0), 0..50),
+    ) {
+        let full = TimeInterval::from_cycles(0, len);
+        let mut zoom = ZoomState::new(full);
+        for (factor, anchor, scroll) in ops {
+            zoom.zoom(factor, anchor);
+            zoom.scroll(scroll);
+            let visible = zoom.visible();
+            prop_assert!(visible.start >= full.start);
+            prop_assert!(visible.end <= full.end);
+            prop_assert!(!visible.is_empty());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator invariants on random DAG workloads
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn simulator_schedules_respect_dependences_on_random_dags(
+        layers in 1usize..5,
+        width in 1usize..6,
+        edge_probability in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let spec = synthetic::random_layered_dag(&synthetic::LayeredDagConfig {
+            layers,
+            width,
+            work_cycles: 10_000,
+            region_bytes: 4096,
+            edge_probability,
+            seed,
+        });
+        let result = Simulator::new(SimConfig::small_test().with_seed(seed))
+            .run(&spec)
+            .unwrap();
+        prop_assert_eq!(result.trace.tasks().len(), layers * width);
+
+        // Every reconstructed dependence is respected by the schedule and no worker ever
+        // executes two tasks at the same time (already enforced by trace validation).
+        let session = AnalysisSession::new(&result.trace);
+        let graph = session.task_graph().unwrap();
+        for task in result.trace.tasks() {
+            for &p in graph.predecessors(task.id) {
+                let pred = &result.trace.tasks()[p as usize];
+                prop_assert!(task.execution.start >= pred.execution.end);
+            }
+        }
+    }
+}
