@@ -85,11 +85,15 @@ fn bench_timeline_resolution(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_timeline_resolution");
     group.sample_size(10);
     for columns in [128usize, 512, 2048] {
-        group.bench_with_input(BenchmarkId::from_parameter(columns), &columns, |b, &cols| {
-            b.iter(|| {
-                TimelineModel::build(&session, TimelineMode::State, bounds, cols).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(columns),
+            &columns,
+            |b, &cols| {
+                b.iter(|| {
+                    TimelineModel::build(&session, TimelineMode::State, bounds, cols).unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -21,9 +21,7 @@ fn bench_seidel_figures(c: &mut Criterion) {
     c.bench_function("fig03_idle_workers", |b| {
         let session = AnalysisSession::new(trace);
         let bounds = session.time_bounds();
-        b.iter(|| {
-            derived::state_concurrency(&session, WorkerState::Idle, 200, bounds).unwrap()
-        });
+        b.iter(|| derived::state_concurrency(&session, WorkerState::Idle, 200, bounds).unwrap());
     });
 
     c.bench_function("fig05_parallelism_profile", |b| {

@@ -92,7 +92,11 @@ fn bench_rendering(c: &mut Criterion) {
         b.iter_batched(|| &model, |m| renderer.render(m), BatchSize::SmallInput);
     });
     group.bench_function("timeline_render_unaggregated", |b| {
-        b.iter_batched(|| &model, |m| renderer.render_unaggregated(m), BatchSize::SmallInput);
+        b.iter_batched(
+            || &model,
+            |m| renderer.render_unaggregated(m),
+            BatchSize::SmallInput,
+        );
     });
     group.bench_function("timeline_render_naive_per_event", |b| {
         b.iter(|| renderer.render_states_naive(&session, bounds, columns));

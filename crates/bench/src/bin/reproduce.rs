@@ -64,11 +64,14 @@ fn parse_args() -> Options {
     }
 }
 
+/// The figures belonging to the seidel case study (paper Sections III-A/B and IV).
+const SEIDEL_FIGS: [&str; 7] = ["fig3", "fig5", "fig8", "fig9", "fig10", "fig14", "fig15"];
+
 fn wants(options: &Options, name: &str) -> bool {
     options
         .targets
         .iter()
-        .any(|t| t == name || t == "all" || (t == "seidel" && name.starts_with("fig1") == false))
+        .any(|t| t == name || t == "all" || (t == "seidel" && SEIDEL_FIGS.contains(&name)))
 }
 
 fn main() {
@@ -76,10 +79,12 @@ fn main() {
     if let Some(dir) = &options.out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
-    println!("# Aftermath-rs figure reproduction (scale: {:?})", options.scale);
+    println!(
+        "# Aftermath-rs figure reproduction (scale: {:?})",
+        options.scale
+    );
 
-    let seidel_figs = ["fig3", "fig5", "fig8", "fig9", "fig10", "fig14", "fig15"];
-    let run_seidel = seidel_figs.iter().any(|f| wants(&options, f));
+    let run_seidel = SEIDEL_FIGS.iter().any(|f| wants(&options, f));
     let seidel = run_seidel.then(|| SeidelExperiment::run(options.scale));
 
     if let Some(exp) = &seidel {
@@ -193,7 +198,11 @@ fn fig10(exp: &SeidelExperiment) {
         "Figure 10 — seidel: increase of system time / resident size per cycle",
         "normalized_time,d_system_time_us_per_cycle,d_resident_kbytes_per_cycle",
     );
-    for ((x, s), (_, r)) in sys.normalized_points().into_iter().zip(rss.normalized_points()) {
+    for ((x, s), (_, r)) in sys
+        .normalized_points()
+        .into_iter()
+        .zip(rss.normalized_points())
+    {
         println!("{:.3},{:.6e},{:.6e}", x, s, r);
     }
 }
@@ -224,13 +233,9 @@ fn fig14(exp: &SeidelExperiment, options: &Options) {
             ("fig14_numa_read_optimized", &exp.optimized.trace),
         ] {
             let session = AnalysisSession::new(trace);
-            let model = TimelineModel::build(
-                &session,
-                TimelineMode::NumaRead,
-                session.time_bounds(),
-                800,
-            )
-            .expect("timeline model");
+            let model =
+                TimelineModel::build(&session, TimelineMode::NumaRead, session.time_bounds(), 800)
+                    .expect("timeline model");
             let fb = TimelineRenderer::new().render(&model);
             let path = dir.join(format!("{name}.ppm"));
             fb.write_ppm_file(&path).expect("write ppm");
@@ -339,13 +344,19 @@ fn sec6(options: &Options) {
     println!("bytes_per_event,{:.1}", io.bytes_per_event);
     println!("encode_seconds,{:.4}", io.write_seconds);
     println!("decode_seconds,{:.4}", io.read_seconds);
-    println!("timeline_draw_calls_optimized,{}", render.optimized_draw_calls);
+    println!(
+        "timeline_draw_calls_optimized,{}",
+        render.optimized_draw_calls
+    );
     println!(
         "timeline_draw_calls_unaggregated,{}",
         render.unaggregated_draw_calls
     );
     println!("timeline_draw_calls_naive,{}", render.naive_draw_calls);
-    println!("overlay_draw_calls_optimized,{}", render.overlay_optimized_calls);
+    println!(
+        "overlay_draw_calls_optimized,{}",
+        render.overlay_optimized_calls
+    );
     println!("overlay_draw_calls_naive,{}", render.overlay_naive_calls);
     println!(
         "counter_index_overhead,{:.4} (paper claims <= 0.05)",

@@ -70,9 +70,13 @@ pub fn block_sizes(scale: Scale) -> Vec<u64> {
 
 fn simulate(config: &KMeansConfig, scale: Scale) -> SimResult {
     let spec = config.build();
-    Simulator::new(SimConfig::new(machine(scale), RuntimeConfig::numa_optimized(), 17))
-        .run(&spec)
-        .expect("k-means simulation must succeed")
+    Simulator::new(SimConfig::new(
+        machine(scale),
+        RuntimeConfig::numa_optimized(),
+        17,
+    ))
+    .run(&spec)
+    .expect("k-means simulation must succeed")
 }
 
 /// One row of the Figure 12 / Figure 13 sweep.
@@ -151,8 +155,8 @@ pub fn fig19_correlation(scale: Scale) -> CorrelationSummary {
     let counter = session
         .counter_id(aftermath_sim::engine::COUNTER_BRANCH_MISPREDICTIONS)
         .expect("misprediction counter");
-    let study = correlate_duration_with_counter(&session, counter, &filter)
-        .expect("correlation study");
+    let study =
+        correlate_duration_with_counter(&session, counter, &filter).expect("correlation study");
 
     let conditional_stats = duration_stats(&session, &filter);
     let optimized_session = AnalysisSession::new(&optimized.trace);
@@ -190,11 +194,11 @@ mod tests {
         assert_eq!(rows.len(), 4);
         // Largest blocks: too little parallelism, so the largest block size must be
         // slower than the best block size.
-        let best = rows
-            .iter()
-            .map(|r| r.seconds)
-            .fold(f64::INFINITY, f64::min);
-        assert!(rows[0].seconds > best, "huge blocks should be slowest: {rows:?}");
+        let best = rows.iter().map(|r| r.seconds).fold(f64::INFINITY, f64::min);
+        assert!(
+            rows[0].seconds > best,
+            "huge blocks should be slowest: {rows:?}"
+        );
         // Largest blocks also show the largest idle fraction (Figure 13a).
         let max_idle = rows.iter().map(|r| r.idle_fraction).fold(0.0, f64::max);
         assert!(rows[0].idle_fraction >= max_idle - 1e-9);

@@ -77,10 +77,13 @@ impl SeidelExperiment {
         ))
         .run(&spec)
         .expect("seidel simulation (non-optimized) must succeed");
-        let optimized =
-            Simulator::new(SimConfig::new(machine.clone(), RuntimeConfig::numa_optimized(), 11))
-                .run(&spec)
-                .expect("seidel simulation (optimized) must succeed");
+        let optimized = Simulator::new(SimConfig::new(
+            machine.clone(),
+            RuntimeConfig::numa_optimized(),
+            11,
+        ))
+        .run(&spec)
+        .expect("seidel simulation (optimized) must succeed");
         SeidelExperiment {
             workload,
             num_cpus: machine.num_cpus(),
@@ -274,7 +277,10 @@ mod tests {
         let exp = experiment();
         let (first_quarter, rest) = exp.fig9_init_fraction_by_phase();
         assert!(first_quarter > rest);
-        assert!(rest < 0.2, "init tasks should be rare after the first quarter");
+        assert!(
+            rest < 0.2,
+            "init tasks should be rare after the first quarter"
+        );
     }
 
     #[test]
@@ -297,16 +303,17 @@ mod tests {
             fig14.remote_fraction_optimized < fig14.remote_fraction_non_optimized,
             "optimized run must be more local: {fig14:?}"
         );
-        assert!(fig14.speedup > 1.0, "optimized run must be faster: {fig14:?}");
+        assert!(
+            fig14.speedup > 1.0,
+            "optimized run must be faster: {fig14:?}"
+        );
     }
 
     #[test]
     fn fig15_optimized_matrix_is_diagonal_dominated() {
         let exp = experiment();
         let fig15 = exp.fig15_incidence();
-        assert!(
-            fig15.diagonal_fraction_optimized > fig15.diagonal_fraction_non_optimized
-        );
+        assert!(fig15.diagonal_fraction_optimized > fig15.diagonal_fraction_non_optimized);
         assert!(fig15.diagonal_fraction_optimized > 0.5);
         // The non-optimized run spreads traffic over many node pairs.
         assert!(fig15.diagonal_fraction_non_optimized < 0.6);

@@ -1,0 +1,20 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no access to crates.io. The workspace only *derives*
+//! `Serialize`/`Deserialize` on data model types (no code serializes through serde at
+//! run time), so this crate provides the two marker traits plus the no-op derive macros
+//! from the sibling `serde_derive` stand-in. Swapping the `[patch]`-free path
+//! dependency back to the real serde requires no source changes.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; the no-op derive generates no
+/// impls, and nothing in the workspace bounds on this trait).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods, no lifetime parameter; the
+/// no-op derive generates no impls, and nothing in the workspace bounds on this trait).
+pub trait Deserialize {}

@@ -155,12 +155,7 @@ mod tests {
         let final_total: f64 = trace
             .topology()
             .cpu_ids()
-            .filter_map(|cpu| {
-                session
-                    .samples(cpu, counter)
-                    .last()
-                    .map(|s| s.value)
-            })
+            .filter_map(|cpu| session.samples(cpu, counter).last().map(|s| s.value))
             .sum();
         assert!((attributed - final_total).abs() < 1e-6);
     }

@@ -166,12 +166,7 @@ pub fn counter_derivative(
 }
 
 /// Distributes the overlap of `item` with each bin of `interval` into `sums` (in cycles).
-fn distribute_overlap(
-    sums: &mut [f64],
-    interval: TimeInterval,
-    duration: u64,
-    item: TimeInterval,
-) {
+fn distribute_overlap(sums: &mut [f64], interval: TimeInterval, duration: u64, item: TimeInterval) {
     let bins = sums.len();
     let Some(clipped) = item.intersection(&interval) else {
         return;
@@ -229,8 +224,7 @@ mod tests {
         let bounds = session.time_bounds();
         // Three bins of 100 cycles: one task in the first, two in the second, one in the
         // third → average executing workers per bin is 1, 2, 1.
-        let series =
-            state_concurrency(&session, WorkerState::TaskExecution, 3, bounds).unwrap();
+        let series = state_concurrency(&session, WorkerState::TaskExecution, 3, bounds).unwrap();
         let vals: Vec<i64> = series.values.iter().map(|v| v.round() as i64).collect();
         assert_eq!(vals, vec![1, 2, 1]);
     }
@@ -240,8 +234,7 @@ mod tests {
         let trace = small_sim_trace();
         let session = AnalysisSession::new(&trace);
         let bounds = session.time_bounds();
-        let exec =
-            state_concurrency(&session, WorkerState::TaskExecution, 50, bounds).unwrap();
+        let exec = state_concurrency(&session, WorkerState::TaskExecution, 50, bounds).unwrap();
         assert_eq!(exec.num_bins(), 50);
         // The tiny machine has 4 workers; the concurrency can never exceed that.
         assert!(exec.max().unwrap() <= 4.0 + 1e-9);
@@ -253,12 +246,30 @@ mod tests {
         use aftermath_trace::{CpuId, MachineTopology, Timestamp, TraceBuilder};
         // Two workers: cpu0 idles for the whole first half, cpu1 for everything.
         let mut b = TraceBuilder::new(MachineTopology::uniform(1, 2));
-        b.add_state(CpuId(0), WorkerState::Idle, Timestamp(0), Timestamp(500), None)
-            .unwrap();
-        b.add_state(CpuId(0), WorkerState::TaskCreation, Timestamp(500), Timestamp(1000), None)
-            .unwrap();
-        b.add_state(CpuId(1), WorkerState::Idle, Timestamp(0), Timestamp(1000), None)
-            .unwrap();
+        b.add_state(
+            CpuId(0),
+            WorkerState::Idle,
+            Timestamp(0),
+            Timestamp(500),
+            None,
+        )
+        .unwrap();
+        b.add_state(
+            CpuId(0),
+            WorkerState::TaskCreation,
+            Timestamp(500),
+            Timestamp(1000),
+            None,
+        )
+        .unwrap();
+        b.add_state(
+            CpuId(1),
+            WorkerState::Idle,
+            Timestamp(0),
+            Timestamp(1000),
+            None,
+        )
+        .unwrap();
         let trace = b.finish().unwrap();
         let session = AnalysisSession::new(&trace);
         let idle = state_concurrency(
@@ -312,8 +323,7 @@ mod tests {
         let session = AnalysisSession::new(&trace);
         let bounds = session.time_bounds();
         let ctr = session.counter_id("system-time-us").unwrap();
-        let deriv =
-            counter_derivative(&session, ctr, AggregationKind::Sum, 20, bounds).unwrap();
+        let deriv = counter_derivative(&session, ctr, AggregationKind::Sum, 20, bounds).unwrap();
         let first_half: f64 = deriv.values[..10].iter().sum();
         let second_half: f64 = deriv.values[10..].iter().sum();
         assert!(

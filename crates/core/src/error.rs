@@ -60,7 +60,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(AnalysisError::UnknownCounter(CounterId(3)).to_string().contains("ctr3"));
+        assert!(AnalysisError::UnknownCounter(CounterId(3))
+            .to_string()
+            .contains("ctr3"));
         assert!(AnalysisError::MissingData("memory accesses")
             .to_string()
             .contains("memory accesses"));

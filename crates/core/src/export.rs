@@ -82,10 +82,62 @@ pub fn export_time_series<W: Write>(series: &TimeSeries, mut out: W) -> Result<(
     let n = series.num_bins();
     for (i, &v) in series.values.iter().enumerate() {
         let iv = series.bin_interval(i);
-        let norm = if n == 0 { 0.0 } else { (i as f64 + 0.5) / n as f64 };
+        let norm = if n == 0 {
+            0.0
+        } else {
+            (i as f64 + 0.5) / n as f64
+        };
         writeln!(out, "{},{},{:.6},{}", iv.start.0, iv.end.0, norm, v)?;
     }
     Ok(())
+}
+
+/// Writes a ranked anomaly report as CSV, one row per anomaly.
+///
+/// Columns: `kind,start,end,duration,severity,score,num_tasks,cpus,tasks,explanation`.
+/// CPU and task lists are `;`-separated; the explanation is quoted with embedded
+/// quotes doubled, so the file loads into standard CSV tooling.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Io`] when writing fails.
+pub fn export_anomalies<W: Write>(
+    anomalies: &[crate::anomaly::Anomaly],
+    mut out: W,
+) -> Result<usize, AnalysisError> {
+    writeln!(
+        out,
+        "kind,start,end,duration,severity,score,num_tasks,cpus,tasks,explanation"
+    )?;
+    for a in anomalies {
+        let cpus = a
+            .cpus
+            .iter()
+            .map(|c| c.0.to_string())
+            .collect::<Vec<_>>()
+            .join(";");
+        let tasks = a
+            .tasks
+            .iter()
+            .map(|t| t.0.to_string())
+            .collect::<Vec<_>>()
+            .join(";");
+        writeln!(
+            out,
+            "{},{},{},{},{:.6},{:.6},{},{},{},\"{}\"",
+            a.kind.label(),
+            a.interval.start.0,
+            a.interval.end.0,
+            a.interval.duration(),
+            a.severity,
+            a.score,
+            a.tasks.len(),
+            cpus,
+            tasks,
+            a.explanation.replace('"', "\"\""),
+        )?;
+    }
+    Ok(anomalies.len())
 }
 
 #[cfg(test)]
@@ -101,8 +153,7 @@ mod tests {
         let session = AnalysisSession::new(&trace);
         let counter = session.counter_id("branch-mispredictions").unwrap();
         let mut buf = Vec::new();
-        let rows =
-            export_task_records(&session, &TaskFilter::new(), &[counter], &mut buf).unwrap();
+        let rows = export_task_records(&session, &TaskFilter::new(), &[counter], &mut buf).unwrap();
         assert_eq!(rows, trace.tasks().len());
         let text = String::from_utf8(buf).unwrap();
         let mut lines = text.lines();
@@ -138,13 +189,35 @@ mod tests {
         let trace = small_sim_trace();
         let session = AnalysisSession::new(&trace);
         let mut buf = Vec::new();
-        assert!(export_task_records(
-            &session,
-            &TaskFilter::new(),
-            &[CounterId(1234)],
-            &mut buf
-        )
-        .is_err());
+        assert!(
+            export_task_records(&session, &TaskFilter::new(), &[CounterId(1234)], &mut buf)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn anomaly_csv_shape() {
+        use crate::anomaly::{Anomaly, AnomalyKind};
+        use aftermath_trace::{CpuId, TaskId};
+        let anomalies = vec![Anomaly {
+            kind: AnomalyKind::NumaLocality,
+            interval: TimeInterval::from_cycles(10, 90),
+            cpus: vec![CpuId(0), CpuId(3)],
+            tasks: vec![TaskId(7)],
+            severity: 0.75,
+            score: 3.5,
+            explanation: "remote \"storm\"".into(),
+        }];
+        let mut buf = Vec::new();
+        let rows = export_anomalies(&anomalies, &mut buf).unwrap();
+        assert_eq!(rows, 1);
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("kind,start,end,duration"));
+        assert!(lines[1].starts_with("numa-locality,10,90,80,0.75"));
+        assert!(lines[1].contains("0;3"));
+        assert!(lines[1].contains("\"remote \"\"storm\"\"\""));
     }
 
     #[test]

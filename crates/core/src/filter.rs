@@ -7,7 +7,9 @@
 
 use std::collections::HashSet;
 
-use aftermath_trace::{AccessKind, CpuId, NumaNodeId, TaskInstance, TaskTypeId, TimeInterval, Trace};
+use aftermath_trace::{
+    AccessKind, CpuId, NumaNodeId, TaskInstance, TaskTypeId, TimeInterval, Trace,
+};
 
 /// A conjunctive filter over task instances.
 ///
@@ -36,6 +38,27 @@ impl TaskFilter {
     /// Creates a filter that accepts every task.
     pub fn new() -> Self {
         TaskFilter::default()
+    }
+
+    /// A filter restricting any analysis to the region of a detected anomaly: tasks
+    /// overlapping the anomaly's time interval and — for task-attributed anomalies —
+    /// executing on the anomaly's CPUs.
+    ///
+    /// Worker-level anomalies (idle phases) name the CPUs that sat *idle*, which by
+    /// construction ran nothing during the phase; for those the filter restricts by
+    /// time only, selecting the tasks surrounding the phase.
+    ///
+    /// This is the bridge from the automatic detection engine
+    /// ([`crate::anomaly`]) back into the interactive analyses: statistics,
+    /// histograms, exports and timeline modes can all be re-focused on a finding.
+    pub fn from_anomaly(anomaly: &crate::anomaly::Anomaly) -> Self {
+        let mut filter = TaskFilter::new().with_interval(anomaly.interval);
+        if !anomaly.tasks.is_empty() {
+            for &cpu in &anomaly.cpus {
+                filter = filter.with_cpu(cpu);
+            }
+        }
+        filter
     }
 
     /// Restricts to tasks of the given type (may be called repeatedly to allow several).
@@ -139,9 +162,10 @@ impl TaskFilter {
         node: NumaNodeId,
         kind: AccessKind,
     ) -> bool {
-        trace.accesses_of_task(task.id).iter().any(|a| {
-            a.kind == kind && trace.node_of_addr(a.addr) == Some(node)
-        })
+        trace
+            .accesses_of_task(task.id)
+            .iter()
+            .any(|a| a.kind == kind && trace.node_of_addr(a.addr) == Some(node))
     }
 
     /// Iterates over the tasks of `trace` accepted by this filter.

@@ -21,11 +21,11 @@ pub const DEFAULT_INDEX_ARITY: usize = 100;
 ///
 /// `timestamp_of` extracts the timestamp from an element; the input **must** be sorted
 /// by that timestamp (per-core streams in a [`aftermath_trace::Trace`] always are).
-pub fn point_events_in<'a, T>(
-    items: &'a [T],
+pub fn point_events_in<T>(
+    items: &[T],
     interval: TimeInterval,
     timestamp_of: impl Fn(&T) -> Timestamp,
-) -> &'a [T] {
+) -> &[T] {
     let start = items.partition_point(|e| timestamp_of(e) < interval.start);
     let end = items.partition_point(|e| timestamp_of(e) < interval.end);
     &items[start..end]
@@ -110,10 +110,11 @@ impl CounterIndex {
                 let next: Vec<(f64, f64)> = current
                     .chunks(arity)
                     .map(|chunk| {
-                        chunk.iter().fold(
-                            (f64::INFINITY, f64::NEG_INFINITY),
-                            |(mn, mx), &(a, b)| (mn.min(a), mx.max(b)),
-                        )
+                        chunk
+                            .iter()
+                            .fold((f64::INFINITY, f64::NEG_INFINITY), |(mn, mx), &(a, b)| {
+                                (mn.min(a), mx.max(b))
+                            })
                     })
                     .collect();
                 levels.push(current);
@@ -159,12 +160,7 @@ impl CounterIndex {
     ///
     /// `samples` must be the same slice the index was built over. Returns `None` for an
     /// empty range.
-    pub fn min_max(
-        &self,
-        samples: &[CounterSample],
-        lo: usize,
-        hi: usize,
-    ) -> Option<(f64, f64)> {
+    pub fn min_max(&self, samples: &[CounterSample], lo: usize, hi: usize) -> Option<(f64, f64)> {
         let hi = hi.min(self.num_samples);
         if lo >= hi {
             return None;
@@ -174,14 +170,14 @@ impl CounterIndex {
         let mut max = f64::NEG_INFINITY;
         // Head: samples before the first fully covered level-0 node.
         let mut i = lo;
-        while i < hi && i % self.arity != 0 {
+        while i < hi && !i.is_multiple_of(self.arity) {
             min = min.min(samples[i].value);
             max = max.max(samples[i].value);
             i += 1;
         }
         // Tail: samples after the last fully covered level-0 node.
         let mut j = hi;
-        while j > i && j % self.arity != 0 {
+        while j > i && !j.is_multiple_of(self.arity) {
             j -= 1;
             min = min.min(samples[j].value);
             max = max.max(samples[j].value);
@@ -221,13 +217,13 @@ impl CounterIndex {
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut i = lo;
-        while i < hi && i % self.arity != 0 {
+        while i < hi && !i.is_multiple_of(self.arity) {
             min = min.min(nodes[i].0);
             max = max.max(nodes[i].1);
             i += 1;
         }
         let mut j = hi;
-        while j > i && j % self.arity != 0 {
+        while j > i && !j.is_multiple_of(self.arity) {
             j -= 1;
             min = min.min(nodes[j].0);
             max = max.max(nodes[j].1);
@@ -319,7 +315,14 @@ mod tests {
     fn counter_index_matches_naive_scan() {
         let samples = make_samples(1000);
         let index = CounterIndex::with_arity(&samples, 10);
-        for (lo, hi) in [(0, 1000), (5, 17), (0, 1), (999, 1000), (123, 877), (500, 500)] {
+        for (lo, hi) in [
+            (0, 1000),
+            (5, 17),
+            (0, 1),
+            (999, 1000),
+            (123, 877),
+            (500, 500),
+        ] {
             assert_eq!(
                 index.min_max(&samples, lo, hi),
                 naive_min_max(&samples, lo, hi),

@@ -21,7 +21,12 @@
 //! * **counter attribution and correlation** — per-task counter increases, linear
 //!   regression and R² ([`counters`], [`correlate`], Figures 18, 19),
 //! * **timeline models** for the five visualization modes ([`timeline`], Section II-B),
-//! * **CSV export** of filtered task records and time series ([`export`]).
+//! * **automatic anomaly detection** — idle phases, NUMA-remote storms, counter and
+//!   duration outliers as ranked, explained findings ([`anomaly`]); detected regions
+//!   can be drawn as timeline badges by `aftermath-render`'s anomaly overlay and
+//!   turned back into filters via [`TaskFilter::from_anomaly`],
+//! * **CSV export** of filtered task records, time series and anomaly reports
+//!   ([`export`]).
 //!
 //! ## Example
 //!
@@ -48,6 +53,12 @@
 //! // Figure 16: task duration histogram.
 //! let hist = stats::task_duration_histogram(&session, &TaskFilter::new(), 20)?;
 //! assert!(hist.total > 0);
+//!
+//! // Automatic anomaly scan: ranked findings with explanations.
+//! let report = session.detect_anomalies(&aftermath_core::AnomalyConfig::default())?;
+//! for anomaly in report.iter() {
+//!     println!("[{:.2}] {}", anomaly.severity, anomaly.explanation);
+//! }
 //! # Ok(())
 //! # }
 //! ```
@@ -55,6 +66,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod anomaly;
 pub mod correlate;
 pub mod counters;
 pub mod derived;
@@ -72,6 +84,7 @@ pub mod timeline;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+pub use anomaly::{Anomaly, AnomalyConfig, AnomalyKind, AnomalyReport, Detector};
 pub use correlate::{correlate_duration_with_counter, CorrelationStudy, LinearRegression};
 pub use counters::{attribute_counter, duration_stats, SummaryStats, TaskCounterDelta};
 pub use derived::AggregationKind;
@@ -87,6 +100,9 @@ pub use timeline::{TimelineCell, TimelineMode, TimelineModel};
 
 /// Commonly used types, for glob import.
 pub mod prelude {
+    pub use crate::anomaly::{
+        detect_anomalies, Anomaly, AnomalyConfig, AnomalyKind, AnomalyReport, Detector,
+    };
     pub use crate::correlate::{correlate_duration_with_counter, LinearRegression};
     pub use crate::counters::{attribute_counter, duration_stats, SummaryStats};
     pub use crate::derived::{

@@ -196,7 +196,10 @@ impl IncidenceMatrix {
         if total == 0 {
             return vec![0.0; self.bytes.len()];
         }
-        self.bytes.iter().map(|&b| b as f64 / total as f64).collect()
+        self.bytes
+            .iter()
+            .map(|&b| b as f64 / total as f64)
+            .collect()
     }
 
     /// Fraction of all traffic that stays on the diagonal (local accesses).

@@ -94,11 +94,7 @@ impl TimeSeries {
     /// adjacent bins, `(v[i+1] - v[i]) / bin_width`. The result has one bin fewer.
     pub fn discrete_derivative(&self) -> TimeSeries {
         let w = self.bin_width().max(1) as f64;
-        let values = self
-            .values
-            .windows(2)
-            .map(|p| (p[1] - p[0]) / w)
-            .collect();
+        let values = self.values.windows(2).map(|p| (p[1] - p[0]) / w).collect();
         TimeSeries {
             interval: self.interval,
             values,

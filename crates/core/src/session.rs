@@ -1,13 +1,14 @@
 //! The analysis session: an indexed view over a loaded trace.
 
-use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use aftermath_trace::{
     CounterId, CounterSample, CpuId, StateInterval, TaskId, TaskInstance, TimeInterval, Timestamp,
     Trace,
 };
 
+use crate::anomaly::{self, AnomalyConfig, AnomalyReport};
 use crate::counters::counter_delta_for_task;
 use crate::error::AnalysisError;
 use crate::index::{samples_in, states_overlapping, value_at, CounterIndex};
@@ -40,19 +41,42 @@ pub struct AnalysisSession<'t> {
     trace: &'t Trace,
     counter_indexes: HashMap<(CpuId, CounterId), CounterIndex>,
     task_graph: OnceLock<TaskGraph>,
+    anomaly_cache: Mutex<AnomalyCache>,
     empty_states: Vec<StateInterval>,
     empty_samples: Vec<CounterSample>,
 }
 
+/// Bounded cache of anomaly reports, evicted in insertion order.
+///
+/// Entries are keyed by [`AnomalyConfig::cache_key`] but store the full config so a
+/// (vanishingly unlikely) 64-bit hash collision is detected by equality instead of
+/// silently returning another configuration's report.
+#[derive(Debug, Default)]
+struct AnomalyCache {
+    map: HashMap<u64, (AnomalyConfig, Arc<AnomalyReport>)>,
+    order: VecDeque<u64>,
+}
+
+impl AnomalyCache {
+    fn get(&self, key: u64, config: &AnomalyConfig) -> Option<Arc<AnomalyReport>> {
+        self.map
+            .get(&key)
+            .filter(|(cached, _)| cached == config)
+            .map(|(_, report)| Arc::clone(report))
+    }
+}
+
 impl<'t> AnalysisSession<'t> {
+    /// Maximum number of anomaly-report configurations kept in the session cache.
+    pub const ANOMALY_CACHE_CAPACITY: usize = 32;
+
     /// Creates a session over `trace`, building the counter indexes.
     pub fn new(trace: &'t Trace) -> Self {
         let mut counter_indexes = HashMap::new();
         for pc in trace.per_cpu() {
             for (counter, samples) in &pc.samples {
                 if let Some(first) = samples.first() {
-                    counter_indexes
-                        .insert((first.cpu, *counter), CounterIndex::new(samples));
+                    counter_indexes.insert((first.cpu, *counter), CounterIndex::new(samples));
                 }
             }
         }
@@ -60,6 +84,7 @@ impl<'t> AnalysisSession<'t> {
             trace,
             counter_indexes,
             task_graph: OnceLock::new(),
+            anomaly_cache: Mutex::new(AnomalyCache::default()),
             empty_states: Vec::new(),
             empty_samples: Vec::new(),
         }
@@ -165,9 +190,58 @@ impl<'t> AnalysisSession<'t> {
         Ok(self.task_graph.get_or_init(|| graph))
     }
 
+    /// Runs the automatic anomaly-detection engine over this session and returns the
+    /// ranked report ([`crate::anomaly`]).
+    ///
+    /// Results are cached per configuration: repeated calls with an equal `config`
+    /// return the same shared report without re-scanning the trace, so interactive
+    /// front-ends can re-query freely while navigating. The cache holds the
+    /// [`ANOMALY_CACHE_CAPACITY`](Self::ANOMALY_CACHE_CAPACITY) most recently
+    /// *inserted* configurations; older entries are evicted, so e.g. sweeping a
+    /// threshold over many values cannot grow memory without bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates detector failures; traces lacking the data a detector needs simply
+    /// contribute no findings.
+    pub fn detect_anomalies(
+        &self,
+        config: &AnomalyConfig,
+    ) -> Result<Arc<AnomalyReport>, AnalysisError> {
+        let key = config.cache_key();
+        if let Some(report) = self.anomaly_cache.lock().unwrap().get(key, config) {
+            return Ok(report);
+        }
+        let report = Arc::new(anomaly::detect_anomalies(self, config)?);
+        let mut cache = self.anomaly_cache.lock().unwrap();
+        // Re-check under the lock: another thread may have inserted the same key
+        // while this one was detecting. Pushing `key` onto `order` only for a fresh
+        // insert keeps the eviction queue free of duplicates.
+        if let Some(existing) = cache.get(key, config) {
+            return Ok(existing);
+        }
+        while cache.map.len() >= Self::ANOMALY_CACHE_CAPACITY {
+            let Some(oldest) = cache.order.pop_front() else {
+                break;
+            };
+            cache.map.remove(&oldest);
+        }
+        if cache
+            .map
+            .insert(key, (*config, Arc::clone(&report)))
+            .is_none()
+        {
+            cache.order.push_back(key);
+        }
+        Ok(report)
+    }
+
     /// Total memory used by the counter min/max indexes, in bytes.
     pub fn index_memory_bytes(&self) -> usize {
-        self.counter_indexes.values().map(|i| i.memory_bytes()).sum()
+        self.counter_indexes
+            .values()
+            .map(|i| i.memory_bytes())
+            .sum()
     }
 
     /// Ratio of index memory to raw counter-sample memory (the paper reports ≤ 5 %).
@@ -181,8 +255,7 @@ impl<'t> AnalysisSession<'t> {
         if samples == 0 {
             return 0.0;
         }
-        self.index_memory_bytes() as f64
-            / (samples * std::mem::size_of::<CounterSample>()) as f64
+        self.index_memory_bytes() as f64 / (samples * std::mem::size_of::<CounterSample>()) as f64
     }
 
     /// Detailed, human-readable information about one task (the paper's detail view #4).
@@ -291,7 +364,10 @@ mod tests {
         let cpu = CpuId(0);
         assert!(!session.states(cpu).is_empty());
         let bounds = session.time_bounds();
-        assert_eq!(session.states_in(cpu, bounds).len(), session.states(cpu).len());
+        assert_eq!(
+            session.states_in(cpu, bounds).len(),
+            session.states(cpu).len()
+        );
         assert!(!session.tasks_in(bounds).is_empty());
     }
 
@@ -315,8 +391,14 @@ mod tests {
                 continue;
             }
             let (min, max) = session.counter_min_max(cpu, counter, bounds).unwrap();
-            let naive_min = samples.iter().map(|s| s.value).fold(f64::INFINITY, f64::min);
-            let naive_max = samples.iter().map(|s| s.value).fold(f64::NEG_INFINITY, f64::max);
+            let naive_min = samples
+                .iter()
+                .map(|s| s.value)
+                .fold(f64::INFINITY, f64::min);
+            let naive_max = samples
+                .iter()
+                .map(|s| s.value)
+                .fold(f64::NEG_INFINITY, f64::max);
             assert_eq!(min, naive_min);
             assert_eq!(max, naive_max);
         }
@@ -335,9 +417,10 @@ mod tests {
     fn task_details_reports_memory_and_counters() {
         let trace = small_sim_trace();
         let session = AnalysisSession::new(&trace);
-        let task = trace.tasks().iter().find(|t| {
-            !trace.accesses_of_task(t.id).is_empty()
-        });
+        let task = trace
+            .tasks()
+            .iter()
+            .find(|t| !trace.accesses_of_task(t.id).is_empty());
         let task = task.expect("simulated trace records accesses");
         let details = session.task_details(task.id).unwrap();
         assert!(details.bytes_read + details.bytes_written > 0);

@@ -53,7 +53,7 @@ impl Histogram {
                 }
             }
         };
-        if !(max > min) && !values.is_empty() {
+        if max <= min && !values.is_empty() {
             // All values identical: a single-bin histogram around that value.
             let mut counts = vec![0u64; bins];
             counts[0] = values.len() as u64;
@@ -119,6 +119,67 @@ impl Histogram {
             })
             .collect()
     }
+}
+
+/// Median of `values` (`None` when empty). The input is copied and sorted; NaNs are
+/// not expected (analysis values are always finite).
+pub fn median_of(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        Some(sorted[n / 2])
+    } else {
+        Some((sorted[n / 2 - 1] + sorted[n / 2]) / 2.0)
+    }
+}
+
+/// Median absolute deviation of `values` around `center` (`None` when empty).
+///
+/// Together with [`median_of`] this is the robust scale estimate used by the anomaly
+/// detectors ([`crate::anomaly`]): unlike mean/standard deviation, a single extreme
+/// outlier cannot mask itself by inflating the baseline.
+pub fn mad_of(values: &[f64], center: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let deviations: Vec<f64> = values.iter().map(|v| (v - center).abs()).collect();
+    median_of(&deviations)
+}
+
+/// Scale factor turning a MAD into a standard-deviation-consistent estimate for
+/// normally distributed data (1 / Φ⁻¹(3/4)).
+pub const MAD_CONSISTENCY: f64 = 1.4826;
+
+/// Scale factor turning a mean absolute deviation into a standard-deviation-consistent
+/// estimate for normally distributed data (√(π/2)).
+pub const MEAN_AD_CONSISTENCY: f64 = 1.2533;
+
+/// Robust z-scores of `values` using median/MAD (the outlier statistic of the anomaly
+/// detectors). Returns `None` only for an empty slice.
+///
+/// When the MAD is zero (at least half the values identical) the scale falls back to
+/// the *mean* absolute deviation around the median: a lone extreme outlier among
+/// constant values still scores very high, a moderate spread among mostly-identical
+/// values scores moderately, and fully identical inputs score a harmless all-zero.
+pub fn robust_z_scores(values: &[f64]) -> Option<Vec<f64>> {
+    let median = median_of(values)?;
+    let mad = mad_of(values, median)?;
+    let scale = if mad > 0.0 {
+        mad * MAD_CONSISTENCY
+    } else {
+        let mean_ad = values.iter().map(|v| (v - median).abs()).sum::<f64>() / values.len() as f64;
+        if mean_ad > 0.0 {
+            mean_ad * MEAN_AD_CONSISTENCY
+        } else {
+            // All values identical: any positive scale yields all-zero scores.
+            1.0
+        }
+    };
+    Some(values.iter().map(|v| (v - median) / scale).collect())
 }
 
 /// Histogram of the execution durations (in cycles) of the tasks accepted by `filter`
@@ -302,7 +363,10 @@ mod tests {
         assert!((p - 4.0 / 3.0).abs() < 1e-9);
         let fractions = state_fractions(&session, bounds);
         assert!((fractions[WorkerState::TaskExecution.index()] - 1.0).abs() < 1e-9);
-        assert_eq!(average_parallelism(&session, TimeInterval::from_cycles(5, 5)), 0.0);
+        assert_eq!(
+            average_parallelism(&session, TimeInterval::from_cycles(5, 5)),
+            0.0
+        );
     }
 
     #[test]
@@ -333,6 +397,45 @@ mod tests {
             task_duration_histogram(&session, &TaskFilter::new().with_task_type(init_ty), 10)
                 .unwrap();
         assert!(only_init.total < all.total);
+    }
+
+    #[test]
+    fn median_and_mad() {
+        assert_eq!(median_of(&[]), None);
+        assert_eq!(median_of(&[3.0]), Some(3.0));
+        assert_eq!(median_of(&[1.0, 3.0, 2.0]), Some(2.0));
+        assert_eq!(median_of(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+        assert_eq!(mad_of(&[1.0, 2.0, 3.0], 2.0), Some(1.0));
+        assert_eq!(mad_of(&[], 0.0), None);
+    }
+
+    #[test]
+    fn robust_z_scores_flag_the_outlier() {
+        let mut values = vec![100.0; 20];
+        values.push(1_000.0);
+        let z = robust_z_scores(&values).unwrap();
+        // The constant bulk scores 0, the outlier scores very high.
+        assert!(z[..20].iter().all(|&v| v.abs() < 1e-9));
+        assert!(z[20] > 10.0);
+        // A normal-ish spread keeps scores moderate.
+        let z = robust_z_scores(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert!(z.iter().all(|v| v.abs() < 3.0));
+    }
+
+    #[test]
+    fn zero_mad_fallback_does_not_invent_outliers() {
+        // Half the values identical, the rest only 6 % larger: MAD is 0, but the
+        // mean-AD fallback must keep the mild deviations well under outlier range.
+        let mut values = vec![1_000.0; 11];
+        values.extend(std::iter::repeat_n(1_060.0, 9));
+        let z = robust_z_scores(&values).unwrap();
+        assert!(
+            z.iter().all(|v| v.abs() < 3.0),
+            "mild spread must not be flagged: {z:?}"
+        );
+        // Identical inputs score all-zero.
+        let z = robust_z_scores(&[7.0; 5]).unwrap();
+        assert!(z.iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -58,8 +58,7 @@ impl TaskGraph {
             // Sort writers by execution start so that each reader depends on the last
             // writer that started before it (single-writer regions have exactly one).
             let mut region_writers = region_writers.clone();
-            region_writers
-                .sort_by_key(|&w| trace.tasks()[w as usize].execution.start);
+            region_writers.sort_by_key(|&w| trace.tasks()[w as usize].execution.start);
             for &reader in readers_of_region {
                 let reader_start = trace.tasks()[reader as usize].execution.start;
                 let writer = region_writers
@@ -158,7 +157,11 @@ impl TaskGraph {
         order.sort_by_key(|&i| self.depths[i]);
         let mut best = 0;
         for i in order {
-            let start: u64 = self.preds[i].iter().map(|&p| finish[p as usize]).max().unwrap_or(0);
+            let start: u64 = self.preds[i]
+                .iter()
+                .map(|&p| finish[p as usize])
+                .max()
+                .unwrap_or(0);
             finish[i] = start + trace.tasks()[i].duration();
             best = best.max(finish[i]);
         }

@@ -292,13 +292,8 @@ mod tests {
     fn state_mode_shows_execution_on_diamond() {
         let trace = diamond_trace();
         let session = AnalysisSession::new(&trace);
-        let model = TimelineModel::build(
-            &session,
-            TimelineMode::State,
-            session.time_bounds(),
-            3,
-        )
-        .unwrap();
+        let model =
+            TimelineModel::build(&session, TimelineMode::State, session.time_bounds(), 3).unwrap();
         assert_eq!(model.num_rows(), 4);
         assert_eq!(model.columns, 3);
         // CPU 0 executes t0 in the first third and t3 in the last third.
@@ -312,7 +307,9 @@ mod tests {
             Some(&TimelineCell::State(WorkerState::TaskExecution))
         );
         // CPU 3 never executes anything.
-        assert!(model.cells[3].iter().all(|c| matches!(c, TimelineCell::Empty)));
+        assert!(model.cells[3]
+            .iter()
+            .all(|c| matches!(c, TimelineCell::Empty)));
     }
 
     #[test]
@@ -394,8 +391,9 @@ mod tests {
     fn invalid_parameters_rejected() {
         let trace = diamond_trace();
         let session = AnalysisSession::new(&trace);
-        assert!(TimelineModel::build(&session, TimelineMode::State, session.time_bounds(), 0)
-            .is_err());
+        assert!(
+            TimelineModel::build(&session, TimelineMode::State, session.time_bounds(), 0).is_err()
+        );
         assert!(TimelineModel::build(
             &session,
             TimelineMode::State,

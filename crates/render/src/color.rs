@@ -28,7 +28,11 @@ impl Color {
     pub fn lerp(self, other: Color, t: f64) -> Color {
         let t = t.clamp(0.0, 1.0);
         let mix = |a: u8, b: u8| -> u8 { (a as f64 + (b as f64 - a as f64) * t).round() as u8 };
-        Color::rgb(mix(self.r, other.r), mix(self.g, other.g), mix(self.b, other.b))
+        Color::rgb(
+            mix(self.r, other.r),
+            mix(self.g, other.g),
+            mix(self.b, other.b),
+        )
     }
 }
 
@@ -45,10 +49,10 @@ impl Palette {
     /// The colour of a worker state in state mode.
     pub fn state(self, state: WorkerState) -> Color {
         match state {
-            WorkerState::TaskExecution => Color::rgb(24, 48, 140),  // dark blue
-            WorkerState::Idle => Color::rgb(150, 200, 245),         // light blue
-            WorkerState::TaskCreation => Color::rgb(60, 160, 60),   // green
-            WorkerState::Broadcast => Color::rgb(220, 170, 40),     // amber
+            WorkerState::TaskExecution => Color::rgb(24, 48, 140), // dark blue
+            WorkerState::Idle => Color::rgb(150, 200, 245),        // light blue
+            WorkerState::TaskCreation => Color::rgb(60, 160, 60),  // green
+            WorkerState::Broadcast => Color::rgb(220, 170, 40),    // amber
             WorkerState::Synchronization => Color::rgb(170, 60, 170), // purple
             WorkerState::LoadBalancing => Color::rgb(230, 120, 40), // orange
             WorkerState::RuntimeOverhead => Color::rgb(120, 120, 120),

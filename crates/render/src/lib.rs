@@ -15,6 +15,9 @@
 //!   ([`timeline::TimelineRenderer`]),
 //! * performance-counter overlays draw one vertical min/max line per pixel column
 //!   instead of one line per sample pair ([`overlay`]),
+//! * anomalies found by the automatic detection engine
+//!   ([`aftermath_core::anomaly`]) draw as coloured badge bands above the timeline
+//!   ([`overlay::AnomalyOverlay`]), so detected regions stand out at any zoom level,
 //! * a naive renderer that draws every event individually is provided for comparison
 //!   (and for the ablation benchmarks).
 //!
@@ -49,7 +52,7 @@ pub mod zoom;
 
 pub use color::{Color, Palette};
 pub use framebuffer::Framebuffer;
-pub use overlay::CounterOverlay;
+pub use overlay::{AnomalyOverlay, CounterOverlay};
 pub use timeline::TimelineRenderer;
 pub use zoom::ZoomState;
 
@@ -57,7 +60,7 @@ pub use zoom::ZoomState;
 pub mod prelude {
     pub use crate::color::{Color, Palette};
     pub use crate::framebuffer::Framebuffer;
-    pub use crate::overlay::CounterOverlay;
+    pub use crate::overlay::{AnomalyOverlay, CounterOverlay};
     pub use crate::timeline::TimelineRenderer;
     pub use crate::views::{render_histogram, render_incidence_matrix, render_parallelism_profile};
     pub use crate::zoom::ZoomState;

@@ -128,8 +128,13 @@ impl TimelineRenderer {
                 let x1 = ((clipped.end.0 - interval.start.0) as u128 * columns as u128
                     / duration as u128) as usize;
                 let w = (x1.saturating_sub(x0)).max(1);
-                fb.fill_rect(x0.min(columns.saturating_sub(1)), y, w, self.row_height,
-                    self.palette.state(state.state));
+                fb.fill_rect(
+                    x0.min(columns.saturating_sub(1)),
+                    y,
+                    w,
+                    self.row_height,
+                    self.palette.state(state.state),
+                );
             }
         }
         fb
@@ -160,9 +165,8 @@ mod tests {
     fn aggregated_and_unaggregated_produce_identical_images() {
         let trace = session_trace();
         let session = AnalysisSession::new(&trace);
-        let model =
-            TimelineModel::build(&session, TimelineMode::State, session.time_bounds(), 200)
-                .unwrap();
+        let model = TimelineModel::build(&session, TimelineMode::State, session.time_bounds(), 200)
+            .unwrap();
         let r = TimelineRenderer::new();
         let fast = r.render(&model);
         let slow = r.render_unaggregated(&model);
@@ -196,8 +200,7 @@ mod tests {
         let trace = session_trace();
         let session = AnalysisSession::new(&trace);
         let model =
-            TimelineModel::build(&session, TimelineMode::State, session.time_bounds(), 32)
-                .unwrap();
+            TimelineModel::build(&session, TimelineMode::State, session.time_bounds(), 32).unwrap();
         let fb = TimelineRenderer::with_row_height(7).render(&model);
         assert_eq!(fb.height(), model.num_rows() * 7);
         assert_eq!(TimelineRenderer::with_row_height(0).row_height, 1);

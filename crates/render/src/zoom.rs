@@ -46,8 +46,10 @@ impl ZoomState {
     pub fn zoom(&mut self, factor: f64, anchor_frac: f64) {
         let anchor_frac = anchor_frac.clamp(0.0, 1.0);
         let old = self.visible.duration().max(1) as f64;
-        let new = (old / factor.max(1e-9))
-            .clamp(Self::MIN_VISIBLE_CYCLES as f64, self.full.duration().max(1) as f64);
+        let new = (old / factor.max(1e-9)).clamp(
+            Self::MIN_VISIBLE_CYCLES as f64,
+            self.full.duration().max(1) as f64,
+        );
         let anchor_time = self.visible.start.0 as f64 + old * anchor_frac;
         let new_start = anchor_time - new * anchor_frac;
         self.set_window(new_start, new);
@@ -68,7 +70,9 @@ impl ZoomState {
     fn set_window(&mut self, start: f64, width: f64) {
         let full_start = self.full.start.0 as f64;
         let full_end = self.full.end.0 as f64;
-        let width = width.min(full_end - full_start).max(Self::MIN_VISIBLE_CYCLES as f64);
+        let width = width
+            .min(full_end - full_start)
+            .max(Self::MIN_VISIBLE_CYCLES as f64);
         let start = start.clamp(full_start, (full_end - width).max(full_start));
         self.visible = TimeInterval::new(
             Timestamp(start.round() as u64),

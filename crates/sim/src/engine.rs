@@ -78,6 +78,9 @@ struct Worker {
     system_time_cycles: u64,
 }
 
+/// `(ready_time, task, creator_cpu, fixed_target)` entries of the pending-ready heap.
+type PendingReady = (u64, usize, u32, Option<u32>);
+
 /// The complete mutable simulation state.
 struct SimState<'a> {
     config: &'a SimConfig,
@@ -102,7 +105,7 @@ struct SimState<'a> {
     /// future: `(ready_time, task, creator_cpu, fixed_target)`. They are moved into
     /// worker queues only once simulated time reaches `ready_time`, which preserves
     /// causality (a successor can never start before its last predecessor finished).
-    pending_ready: BinaryHeap<Reverse<(u64, usize, u32, Option<u32>)>>,
+    pending_ready: BinaryHeap<Reverse<PendingReady>>,
     builder: TraceBuilder,
     region_ids: Vec<aftermath_trace::RegionId>,
     ctr_mispred: CounterId,
@@ -213,7 +216,8 @@ impl<'a> SimState<'a> {
             // what makes the initialization phase of programs like seidel execute as a
             // distinct phase before the dependent computation ramps up.
             let target = (i % self.num_cpus()) as u32;
-            self.pending_ready.push(Reverse((ts, task, 0, Some(target))));
+            self.pending_ready
+                .push(Reverse((ts, task, 0, Some(target))));
         }
 
         // Every worker starts polling for work once the creation phase is over (worker 0
@@ -330,7 +334,9 @@ impl<'a> SimState<'a> {
                 self.builder.add_event(
                     CpuId(cpu),
                     Timestamp(exec_start),
-                    DiscreteEventKind::StealAttempt { victim: CpuId(victim) },
+                    DiscreteEventKind::StealAttempt {
+                        victim: CpuId(victim),
+                    },
                 )?;
                 if self.config.record_comm_events {
                     self.builder.add_comm(CommEvent {
@@ -449,8 +455,7 @@ impl<'a> SimState<'a> {
                     let fault_cycles = outcome.pages_allocated * costs.page_fault_cost;
                     system_cycles += fault_cycles;
                     self.stats.page_faults += outcome.pages_allocated;
-                    self.builder
-                        .set_region_node(self.region_ids[r], my_node);
+                    self.builder.set_region_node(self.region_ids[r], my_node);
                 }
             }
         }
@@ -466,8 +471,7 @@ impl<'a> SimState<'a> {
                         let fault_cycles = outcome.pages_allocated * costs.page_fault_cost;
                         system_cycles += fault_cycles;
                         self.stats.page_faults += outcome.pages_allocated;
-                        self.builder
-                            .set_region_node(self.region_ids[r], my_node);
+                        self.builder.set_region_node(self.region_ids[r], my_node);
                     }
                     my_node
                 }

@@ -171,7 +171,11 @@ mod tests {
     #[test]
     fn addresses_are_disjoint_and_page_aligned() {
         let m = MachineConfig::small_test();
-        let mm = MemoryManager::new(&m, &regions(&[100, 5000, 4096]), AllocationPolicy::FirstTouch);
+        let mm = MemoryManager::new(
+            &m,
+            &regions(&[100, 5000, 4096]),
+            AllocationPolicy::FirstTouch,
+        );
         assert_eq!(mm.num_regions(), 3);
         for i in 0..3 {
             assert_eq!(mm.base_addr(i) % m.costs.page_size, 0);
@@ -238,7 +242,10 @@ mod prefault_tests {
     #[test]
     fn prefaulted_region_places_without_faulting() {
         let m = MachineConfig::small_test();
-        let regions = vec![RegionSpec { size: 8192, prefaulted: true }];
+        let regions = vec![RegionSpec {
+            size: 8192,
+            prefaulted: true,
+        }];
         let mut mm = MemoryManager::new(&m, &regions, AllocationPolicy::FirstTouch);
         assert_eq!(mm.node_of(0), None);
         assert_eq!(mm.resident_pages(), 2, "prefaulted pages count as resident");

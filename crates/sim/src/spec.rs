@@ -390,7 +390,11 @@ mod tests {
         spec.add_task(ty, 10).writes(&[r]).done();
         assert!(matches!(
             spec.dependence_graph(),
-            Err(SimError::MultipleWriters { region: 0, first: 0, second: 1 })
+            Err(SimError::MultipleWriters {
+                region: 0,
+                first: 0,
+                second: 1
+            })
         ));
     }
 

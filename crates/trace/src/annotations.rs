@@ -169,7 +169,11 @@ mod tests {
     #[test]
     fn roundtrip_text_format() {
         let mut set = AnnotationSet::new();
-        set.add(Annotation::new(Timestamp(5), Some(CpuId(2)), "found\nanomaly"));
+        set.add(Annotation::new(
+            Timestamp(5),
+            Some(CpuId(2)),
+            "found\nanomaly",
+        ));
         set.add(Annotation::new(Timestamp(100), None, "global note"));
         let mut buf = Vec::new();
         set.write_to(&mut buf).unwrap();

@@ -107,7 +107,7 @@ mod tests {
     #[test]
     fn io_error_source() {
         use std::error::Error as _;
-        let e = TraceError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let e = TraceError::from(io::Error::other("boom"));
         assert!(e.source().is_some());
         assert!(TraceError::UnknownTask(TaskId(1)).source().is_none());
     }

@@ -51,9 +51,7 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceError> {
         // The length is untrusted input: read incrementally instead of pre-allocating,
         // so a corrupted length cannot trigger a huge allocation.
         let mut payload = Vec::new();
-        let read = (&mut r)
-            .take(len as u64)
-            .read_to_end(&mut payload)?;
+        let read = (&mut r).take(len as u64).read_to_end(&mut payload)?;
         if read != len {
             return Err(TraceError::Format(format!(
                 "section payload truncated: expected {len} bytes, got {read}"
@@ -72,9 +70,9 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceError> {
                 builder = Some(TraceBuilder::new(topo));
             }
             _ => {
-                let b = builder.as_mut().ok_or_else(|| {
-                    TraceError::Format("section appears before topology".into())
-                })?;
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| TraceError::Format("section appears before topology".into()))?;
                 decode_section(tag, &mut p, b, &mut symbols)?;
             }
         }
@@ -353,26 +351,59 @@ mod tests {
             Timestamp(700),
             Timestamp(900),
         );
-        b.add_state(CpuId(0), WorkerState::TaskExecution, Timestamp(100), Timestamp(600), Some(t0))
-            .unwrap();
-        b.add_state(CpuId(0), WorkerState::Idle, Timestamp(600), Timestamp(1000), None)
-            .unwrap();
-        b.add_state(CpuId(3), WorkerState::TaskExecution, Timestamp(700), Timestamp(900), Some(t1))
-            .unwrap();
-        b.add_event(CpuId(0), Timestamp(0), DiscreteEventKind::TaskCreate { task: t0 })
-            .unwrap();
+        b.add_state(
+            CpuId(0),
+            WorkerState::TaskExecution,
+            Timestamp(100),
+            Timestamp(600),
+            Some(t0),
+        )
+        .unwrap();
+        b.add_state(
+            CpuId(0),
+            WorkerState::Idle,
+            Timestamp(600),
+            Timestamp(1000),
+            None,
+        )
+        .unwrap();
+        b.add_state(
+            CpuId(3),
+            WorkerState::TaskExecution,
+            Timestamp(700),
+            Timestamp(900),
+            Some(t1),
+        )
+        .unwrap();
+        b.add_event(
+            CpuId(0),
+            Timestamp(0),
+            DiscreteEventKind::TaskCreate { task: t0 },
+        )
+        .unwrap();
         b.add_event(
             CpuId(3),
             Timestamp(650),
-            DiscreteEventKind::StealSuccess { victim: CpuId(0), task: t1 },
+            DiscreteEventKind::StealSuccess {
+                victim: CpuId(0),
+                task: t1,
+            },
         )
         .unwrap();
-        b.add_event(CpuId(3), Timestamp(660), DiscreteEventKind::Marker { code: 7 })
-            .unwrap();
+        b.add_event(
+            CpuId(3),
+            Timestamp(660),
+            DiscreteEventKind::Marker { code: 7 },
+        )
+        .unwrap();
         b.add_event(
             CpuId(0),
             Timestamp(610),
-            DiscreteEventKind::DataPublish { producer: t0, consumer: t1, bytes: 256 },
+            DiscreteEventKind::DataPublish {
+                producer: t0,
+                consumer: t1,
+                bytes: 256,
+            },
         )
         .unwrap();
         b.add_sample(c, CpuId(0), Timestamp(100), 0.0).unwrap();

@@ -142,13 +142,13 @@ mod tests {
 
     #[test]
     fn varint_truncated_input() {
-        let buf = vec![0x80u8];
+        let buf = [0x80u8];
         assert!(read_varint(&mut &buf[..]).is_err());
     }
 
     #[test]
     fn varint_overlong_rejected() {
-        let buf = vec![0xffu8; 11];
+        let buf = [0xffu8; 11];
         assert!(read_varint(&mut &buf[..]).is_err());
     }
 

@@ -4,8 +4,6 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
-use bytes::{BufMut, BytesMut};
-
 use super::varint::{write_f64, write_string, write_varint};
 use super::{SectionTag, FORMAT_VERSION, MAGIC};
 use crate::error::TraceError;
@@ -78,28 +76,16 @@ pub fn write_trace_file<P: AsRef<Path>>(trace: &Trace, path: P) -> Result<(), Tr
     write_trace(trace, BufWriter::new(file))
 }
 
-fn write_section<W: Write>(
-    w: &mut W,
-    tag: SectionTag,
-    payload: Vec<u8>,
-) -> Result<(), TraceError> {
+fn write_section<W: Write>(w: &mut W, tag: SectionTag, payload: Vec<u8>) -> Result<(), TraceError> {
     w.write_all(&[tag as u8])?;
     write_varint(w, payload.len() as u64)?;
     w.write_all(&payload)?;
     Ok(())
 }
 
-fn buf() -> bytes::buf::Writer<BytesMut> {
-    BytesMut::new().writer()
-}
-
-fn into_vec(b: bytes::buf::Writer<BytesMut>) -> Vec<u8> {
-    b.into_inner().to_vec()
-}
-
 fn encode_topology(trace: &Trace) -> Result<Vec<u8>, TraceError> {
     let topo = trace.topology();
-    let mut p = buf();
+    let mut p = Vec::new();
     write_varint(&mut p, topo.num_nodes() as u64)?;
     write_varint(&mut p, topo.num_cpus() as u64)?;
     for info in topo.cpus() {
@@ -110,33 +96,33 @@ fn encode_topology(trace: &Trace) -> Result<Vec<u8>, TraceError> {
             write_f64(&mut p, d)?;
         }
     }
-    Ok(into_vec(p))
+    Ok(p)
 }
 
 fn encode_counters(trace: &Trace) -> Result<Vec<u8>, TraceError> {
-    let mut p = buf();
+    let mut p = Vec::new();
     write_varint(&mut p, trace.counters().len() as u64)?;
     for c in trace.counters() {
         write_varint(&mut p, u64::from(c.id.0))?;
         write_string(&mut p, &c.name)?;
         p.write_all(&[c.monotone as u8, c.per_cpu as u8])?;
     }
-    Ok(into_vec(p))
+    Ok(p)
 }
 
 fn encode_task_types(trace: &Trace) -> Result<Vec<u8>, TraceError> {
-    let mut p = buf();
+    let mut p = Vec::new();
     write_varint(&mut p, trace.task_types().len() as u64)?;
     for ty in trace.task_types() {
         write_varint(&mut p, u64::from(ty.id.0))?;
         write_string(&mut p, &ty.name)?;
         write_varint(&mut p, ty.symbol_addr)?;
     }
-    Ok(into_vec(p))
+    Ok(p)
 }
 
 fn encode_regions(trace: &Trace) -> Result<Vec<u8>, TraceError> {
-    let mut p = buf();
+    let mut p = Vec::new();
     write_varint(&mut p, trace.regions().len() as u64)?;
     for r in trace.regions() {
         write_varint(&mut p, r.id.0)?;
@@ -150,11 +136,11 @@ fn encode_regions(trace: &Trace) -> Result<Vec<u8>, TraceError> {
             None => p.write_all(&[0])?,
         }
     }
-    Ok(into_vec(p))
+    Ok(p)
 }
 
 fn encode_tasks(trace: &Trace) -> Result<Vec<u8>, TraceError> {
-    let mut p = buf();
+    let mut p = Vec::new();
     write_varint(&mut p, trace.tasks().len() as u64)?;
     for t in trace.tasks() {
         write_varint(&mut p, t.id.0)?;
@@ -165,7 +151,7 @@ fn encode_tasks(trace: &Trace) -> Result<Vec<u8>, TraceError> {
         write_varint(&mut p, t.execution.start.0)?;
         write_varint(&mut p, t.execution.end.0)?;
     }
-    Ok(into_vec(p))
+    Ok(p)
 }
 
 fn encode_states(trace: &Trace) -> Result<Vec<u8>, TraceError> {
@@ -173,7 +159,7 @@ fn encode_states(trace: &Trace) -> Result<Vec<u8>, TraceError> {
     if total == 0 {
         return Ok(Vec::new());
     }
-    let mut p = buf();
+    let mut p = Vec::new();
     write_varint(&mut p, total as u64)?;
     for pc in trace.per_cpu() {
         for s in &pc.states {
@@ -190,7 +176,7 @@ fn encode_states(trace: &Trace) -> Result<Vec<u8>, TraceError> {
             }
         }
     }
-    Ok(into_vec(p))
+    Ok(p)
 }
 
 fn encode_events(trace: &Trace) -> Result<Vec<u8>, TraceError> {
@@ -198,7 +184,7 @@ fn encode_events(trace: &Trace) -> Result<Vec<u8>, TraceError> {
     if total == 0 {
         return Ok(Vec::new());
     }
-    let mut p = buf();
+    let mut p = Vec::new();
     write_varint(&mut p, total as u64)?;
     for pc in trace.per_cpu() {
         for e in &pc.events {
@@ -243,7 +229,7 @@ fn encode_events(trace: &Trace) -> Result<Vec<u8>, TraceError> {
             }
         }
     }
-    Ok(into_vec(p))
+    Ok(p)
 }
 
 fn encode_samples(trace: &Trace) -> Result<Vec<u8>, TraceError> {
@@ -255,7 +241,7 @@ fn encode_samples(trace: &Trace) -> Result<Vec<u8>, TraceError> {
     if total == 0 {
         return Ok(Vec::new());
     }
-    let mut p = buf();
+    let mut p = Vec::new();
     write_varint(&mut p, total as u64)?;
     for pc in trace.per_cpu() {
         for samples in pc.samples.values() {
@@ -267,11 +253,11 @@ fn encode_samples(trace: &Trace) -> Result<Vec<u8>, TraceError> {
             }
         }
     }
-    Ok(into_vec(p))
+    Ok(p)
 }
 
 fn encode_accesses(trace: &Trace) -> Result<Vec<u8>, TraceError> {
-    let mut p = buf();
+    let mut p = Vec::new();
     write_varint(&mut p, trace.accesses().len() as u64)?;
     for a in trace.accesses() {
         write_varint(&mut p, a.task.0)?;
@@ -279,11 +265,11 @@ fn encode_accesses(trace: &Trace) -> Result<Vec<u8>, TraceError> {
         write_varint(&mut p, a.addr)?;
         write_varint(&mut p, a.size)?;
     }
-    Ok(into_vec(p))
+    Ok(p)
 }
 
 fn encode_comm(trace: &Trace) -> Result<Vec<u8>, TraceError> {
-    let mut p = buf();
+    let mut p = Vec::new();
     write_varint(&mut p, trace.comm_events().len() as u64)?;
     for c in trace.comm_events() {
         write_varint(&mut p, c.timestamp.0)?;
@@ -306,16 +292,16 @@ fn encode_comm(trace: &Trace) -> Result<Vec<u8>, TraceError> {
             None => p.write_all(&[0])?,
         }
     }
-    Ok(into_vec(p))
+    Ok(p)
 }
 
 fn encode_symbols(trace: &Trace) -> Result<Vec<u8>, TraceError> {
-    let mut p = buf();
+    let mut p = Vec::new();
     write_varint(&mut p, trace.symbols().len() as u64)?;
     for s in trace.symbols().iter() {
         write_varint(&mut p, s.addr)?;
         write_varint(&mut p, s.size)?;
         write_string(&mut p, &s.name)?;
     }
-    Ok(into_vec(p))
+    Ok(p)
 }

@@ -163,8 +163,16 @@ mod tests {
     #[test]
     fn from_iterator() {
         let t: SymbolTable = vec![
-            Symbol { addr: 2, size: 0, name: "b".into() },
-            Symbol { addr: 1, size: 0, name: "a".into() },
+            Symbol {
+                addr: 2,
+                size: 0,
+                name: "b".into(),
+            },
+            Symbol {
+                addr: 1,
+                size: 0,
+                name: "a".into(),
+            },
         ]
         .into_iter()
         .collect();

@@ -45,7 +45,10 @@ impl MachineTopology {
     /// Panics if `num_nodes` or `cpus_per_node` is zero.
     pub fn uniform(num_nodes: u32, cpus_per_node: u32) -> Self {
         assert!(num_nodes > 0, "topology needs at least one NUMA node");
-        assert!(cpus_per_node > 0, "topology needs at least one CPU per node");
+        assert!(
+            cpus_per_node > 0,
+            "topology needs at least one CPU per node"
+        );
         let mut cpus = Vec::with_capacity((num_nodes * cpus_per_node) as usize);
         for n in 0..num_nodes {
             for c in 0..cpus_per_node {
@@ -190,7 +193,10 @@ mod tests {
         assert_eq!(t.node_of(CpuId(5)), Some(NumaNodeId(1)));
         assert_eq!(t.node_of(CpuId(11)), Some(NumaNodeId(2)));
         assert_eq!(t.node_of(CpuId(12)), None);
-        assert_eq!(t.cpus_of_node(NumaNodeId(1)), vec![CpuId(4), CpuId(5), CpuId(6), CpuId(7)]);
+        assert_eq!(
+            t.cpus_of_node(NumaNodeId(1)),
+            vec![CpuId(4), CpuId(5), CpuId(6), CpuId(7)]
+        );
     }
 
     #[test]
@@ -213,8 +219,14 @@ mod tests {
     fn from_parts_validation() {
         // Valid.
         let cpus = vec![
-            CpuInfo { cpu: CpuId(1), node: NumaNodeId(0) },
-            CpuInfo { cpu: CpuId(0), node: NumaNodeId(1) },
+            CpuInfo {
+                cpu: CpuId(1),
+                node: NumaNodeId(0),
+            },
+            CpuInfo {
+                cpu: CpuId(0),
+                node: NumaNodeId(1),
+            },
         ];
         let d = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
         let t = MachineTopology::from_parts(cpus, 2, d.clone()).expect("valid");
@@ -222,17 +234,29 @@ mod tests {
 
         // Duplicate CPU id.
         let dup = vec![
-            CpuInfo { cpu: CpuId(0), node: NumaNodeId(0) },
-            CpuInfo { cpu: CpuId(0), node: NumaNodeId(1) },
+            CpuInfo {
+                cpu: CpuId(0),
+                node: NumaNodeId(0),
+            },
+            CpuInfo {
+                cpu: CpuId(0),
+                node: NumaNodeId(1),
+            },
         ];
         assert!(MachineTopology::from_parts(dup, 2, d.clone()).is_none());
 
         // Node out of range.
-        let bad_node = vec![CpuInfo { cpu: CpuId(0), node: NumaNodeId(5) }];
+        let bad_node = vec![CpuInfo {
+            cpu: CpuId(0),
+            node: NumaNodeId(5),
+        }];
         assert!(MachineTopology::from_parts(bad_node, 2, d.clone()).is_none());
 
         // Bad matrix shape.
-        let cpus = vec![CpuInfo { cpu: CpuId(0), node: NumaNodeId(0) }];
+        let cpus = vec![CpuInfo {
+            cpu: CpuId(0),
+            node: NumaNodeId(0),
+        }];
         assert!(MachineTopology::from_parts(cpus, 2, vec![vec![1.0]]).is_none());
     }
 

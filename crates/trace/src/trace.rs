@@ -31,9 +31,7 @@ pub struct PerCpuEvents {
 impl PerCpuEvents {
     /// Total number of recorded items (states + events + samples).
     pub fn len(&self) -> usize {
-        self.states.len()
-            + self.events.len()
-            + self.samples.values().map(Vec::len).sum::<usize>()
+        self.states.len() + self.events.len() + self.samples.values().map(Vec::len).sum::<usize>()
     }
 
     /// Whether nothing was recorded for this CPU.
@@ -354,7 +352,8 @@ impl TraceBuilder {
     /// Registers a performance counter and returns its id.
     pub fn add_counter(&mut self, name: impl Into<String>, monotone: bool) -> CounterId {
         let id = CounterId(self.counters.len() as u32);
-        self.counters.push(CounterDescription::new(id, name, monotone));
+        self.counters
+            .push(CounterDescription::new(id, name, monotone));
         id
     }
 
@@ -385,7 +384,8 @@ impl TraceBuilder {
     pub fn add_region(&mut self, base_addr: u64, size: u64, node: Option<NumaNodeId>) -> RegionId {
         let id = RegionId(self.next_region_id);
         self.next_region_id += 1;
-        self.regions.push(MemoryRegion::new(id, base_addr, size, node));
+        self.regions
+            .push(MemoryRegion::new(id, base_addr, size, node));
         id
     }
 
@@ -417,7 +417,8 @@ impl TraceBuilder {
         if task.0 as usize >= self.tasks.len() {
             return Err(TraceError::UnknownTask(task));
         }
-        self.accesses.push(MemoryAccess::new(task, kind, addr, size));
+        self.accesses
+            .push(MemoryAccess::new(task, kind, addr, size));
         Ok(())
     }
 
@@ -501,7 +502,7 @@ impl TraceBuilder {
             pc.states.sort_by_key(|s| s.interval.start);
             pc.events.sort_by_key(|e| e.timestamp);
             for samples in pc.samples.values_mut() {
-                samples.sort_by(|a, b| a.timestamp.cmp(&b.timestamp));
+                samples.sort_by_key(|s| s.timestamp);
             }
         }
         self.regions.sort_by_key(|r| r.base_addr);
@@ -531,9 +532,7 @@ impl TraceBuilder {
     }
 }
 
-fn check_ordered(
-    items: impl Iterator<Item = (CpuId, Timestamp)>,
-) -> Result<(), TraceError> {
+fn check_ordered(items: impl Iterator<Item = (CpuId, Timestamp)>) -> Result<(), TraceError> {
     let mut prev: Option<(CpuId, Timestamp)> = None;
     for (cpu, ts) in items {
         if let Some((pcpu, pts)) = prev {
@@ -563,8 +562,14 @@ mod tests {
         let mut b = TraceBuilder::new(topo());
         let ty = b.add_task_type("work", 0x1000);
         let t = b.add_task(ty, CpuId(0), Timestamp(0), Timestamp(10), Timestamp(20));
-        b.add_state(CpuId(0), WorkerState::TaskExecution, Timestamp(10), Timestamp(20), Some(t))
-            .unwrap();
+        b.add_state(
+            CpuId(0),
+            WorkerState::TaskExecution,
+            Timestamp(10),
+            Timestamp(20),
+            Some(t),
+        )
+        .unwrap();
         let trace = b.finish().unwrap();
         assert_eq!(trace.tasks().len(), 1);
         assert_eq!(trace.task(t).unwrap().duration(), 10);
@@ -583,7 +588,13 @@ mod tests {
     fn rejects_unknown_cpu() {
         let mut b = TraceBuilder::new(topo());
         let err = b
-            .add_state(CpuId(99), WorkerState::Idle, Timestamp(0), Timestamp(1), None)
+            .add_state(
+                CpuId(99),
+                WorkerState::Idle,
+                Timestamp(0),
+                Timestamp(1),
+                None,
+            )
             .unwrap_err();
         assert!(matches!(err, TraceError::UnknownCpu(CpuId(99))));
     }
@@ -592,7 +603,13 @@ mod tests {
     fn rejects_invalid_interval() {
         let mut b = TraceBuilder::new(topo());
         let err = b
-            .add_state(CpuId(0), WorkerState::Idle, Timestamp(10), Timestamp(5), None)
+            .add_state(
+                CpuId(0),
+                WorkerState::Idle,
+                Timestamp(10),
+                Timestamp(5),
+                None,
+            )
             .unwrap_err();
         assert!(matches!(err, TraceError::InvalidInterval { .. }));
     }
@@ -600,10 +617,22 @@ mod tests {
     #[test]
     fn rejects_overlapping_states() {
         let mut b = TraceBuilder::new(topo());
-        b.add_state(CpuId(0), WorkerState::Idle, Timestamp(0), Timestamp(10), None)
-            .unwrap();
-        b.add_state(CpuId(0), WorkerState::TaskCreation, Timestamp(5), Timestamp(15), None)
-            .unwrap();
+        b.add_state(
+            CpuId(0),
+            WorkerState::Idle,
+            Timestamp(0),
+            Timestamp(10),
+            None,
+        )
+        .unwrap();
+        b.add_state(
+            CpuId(0),
+            WorkerState::TaskCreation,
+            Timestamp(5),
+            Timestamp(15),
+            None,
+        )
+        .unwrap();
         assert!(matches!(b.finish(), Err(TraceError::OverlappingStates(_))));
     }
 
@@ -634,10 +663,22 @@ mod tests {
     #[test]
     fn finish_sorts_streams() {
         let mut b = TraceBuilder::new(topo());
-        b.add_state(CpuId(0), WorkerState::Idle, Timestamp(100), Timestamp(200), None)
-            .unwrap();
-        b.add_state(CpuId(0), WorkerState::TaskCreation, Timestamp(0), Timestamp(50), None)
-            .unwrap();
+        b.add_state(
+            CpuId(0),
+            WorkerState::Idle,
+            Timestamp(100),
+            Timestamp(200),
+            None,
+        )
+        .unwrap();
+        b.add_state(
+            CpuId(0),
+            WorkerState::TaskCreation,
+            Timestamp(0),
+            Timestamp(50),
+            None,
+        )
+        .unwrap();
         let ctr = b.add_counter("c", true);
         b.add_sample(ctr, CpuId(1), Timestamp(30), 3.0).unwrap();
         b.add_sample(ctr, CpuId(1), Timestamp(10), 1.0).unwrap();
@@ -651,10 +692,22 @@ mod tests {
     #[test]
     fn finish_strict_rejects_unordered() {
         let mut b = TraceBuilder::new(topo());
-        b.add_state(CpuId(0), WorkerState::Idle, Timestamp(100), Timestamp(200), None)
-            .unwrap();
-        b.add_state(CpuId(0), WorkerState::TaskCreation, Timestamp(0), Timestamp(50), None)
-            .unwrap();
+        b.add_state(
+            CpuId(0),
+            WorkerState::Idle,
+            Timestamp(100),
+            Timestamp(200),
+            None,
+        )
+        .unwrap();
+        b.add_state(
+            CpuId(0),
+            WorkerState::TaskCreation,
+            Timestamp(0),
+            Timestamp(50),
+            None,
+        )
+        .unwrap();
         assert!(matches!(
             b.finish_strict(),
             Err(TraceError::UnorderedEvents { .. })

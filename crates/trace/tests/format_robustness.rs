@@ -12,7 +12,13 @@ fn valid_trace_bytes() -> Vec<u8> {
     let ctr = b.add_counter("c", true);
     for i in 0..20u64 {
         let cpu = CpuId((i % 4) as u32);
-        let task = b.add_task(ty, cpu, Timestamp(i * 10), Timestamp(i * 100), Timestamp(i * 100 + 50));
+        let task = b.add_task(
+            ty,
+            cpu,
+            Timestamp(i * 10),
+            Timestamp(i * 100),
+            Timestamp(i * 100 + 50),
+        );
         b.add_state(
             cpu,
             WorkerState::TaskExecution,
@@ -21,7 +27,8 @@ fn valid_trace_bytes() -> Vec<u8> {
             Some(task),
         )
         .unwrap();
-        b.add_sample(ctr, cpu, Timestamp(i * 100), i as f64).unwrap();
+        b.add_sample(ctr, cpu, Timestamp(i * 100), i as f64)
+            .unwrap();
     }
     let trace = b.finish().unwrap();
     let mut buf = Vec::new();
@@ -75,7 +82,7 @@ fn corrupted_section_length_is_rejected_gracefully() {
     buf.extend_from_slice(&MAGIC);
     buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     buf.push(1); // topology tag
-    // Varint length of ~1 GiB with no payload behind it.
+                 // Varint length of ~1 GiB with no payload behind it.
     buf.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x04]);
     assert!(read_trace(&buf[..]).is_err());
 }

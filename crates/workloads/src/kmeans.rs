@@ -123,7 +123,9 @@ impl KMeansConfig {
     /// Pure compute cycles of one distance task over a full block.
     pub fn distance_work_cycles(&self) -> u64 {
         self.distance_task_overhead
-            + self.block_size * u64::from(self.clusters) * u64::from(self.dims)
+            + self.block_size
+                * u64::from(self.clusters)
+                * u64::from(self.dims)
                 * self.cycles_per_distance
     }
 
@@ -135,7 +137,10 @@ impl KMeansConfig {
     pub fn build(&self) -> WorkloadSpec {
         assert!(self.points > 0, "k-means needs points");
         assert!(self.block_size > 0, "k-means needs a non-zero block size");
-        assert!(self.clusters > 0 && self.dims > 0, "k-means needs clusters and dims");
+        assert!(
+            self.clusters > 0 && self.dims > 0,
+            "k-means needs clusters and dims"
+        );
         assert!(self.iterations > 0, "k-means needs at least one iteration");
 
         let m = self.num_blocks() as usize;
@@ -163,13 +168,17 @@ impl KMeansConfig {
         let ty_propagate = spec.add_task_type(TASK_TYPE_PROPAGATE, 0x24_0000);
 
         // Input blocks, written by per-block initialization tasks.
-        let block_regions: Vec<usize> = (0..m).map(|_| spec.add_region(self.block_bytes())).collect();
+        let block_regions: Vec<usize> = (0..m)
+            .map(|_| spec.add_region(self.block_bytes()))
+            .collect();
         for &r in &block_regions {
             spec.add_task(ty_init_block, 5_000).writes(&[r]).done();
         }
         // Initial cluster centres.
         let initial_centers = spec.add_region(self.centers_bytes());
-        spec.add_task(ty_init_centers, 2_000).writes(&[initial_centers]).done();
+        spec.add_task(ty_init_centers, 2_000)
+            .writes(&[initial_centers])
+            .done();
 
         // Per-block centre regions read by the distance tasks of the current iteration.
         // For iteration 0 every block reads the initial centres.
@@ -289,7 +298,10 @@ mod tests {
             .iter()
             .filter(|t| spec.task_types[t.task_type].name == TASK_TYPE_DISTANCE)
             .count();
-        assert_eq!(n_distance as u64, cfg.num_blocks() * u64::from(cfg.iterations));
+        assert_eq!(
+            n_distance as u64,
+            cfg.num_blocks() * u64::from(cfg.iterations)
+        );
     }
 
     #[test]
@@ -302,7 +314,10 @@ mod tests {
             .filter(|t| spec.task_types[t.task_type].name == TASK_TYPE_REDUCE)
             .count();
         // A binary reduction over m leaves needs m-1 combines per iteration.
-        assert_eq!(n_reduce as u64, (cfg.num_blocks() - 1) * u64::from(cfg.iterations));
+        assert_eq!(
+            n_reduce as u64,
+            (cfg.num_blocks() - 1) * u64::from(cfg.iterations)
+        );
     }
 
     #[test]
@@ -338,7 +353,10 @@ mod tests {
             .unwrap();
         assert!(mispredictions.iter().max().unwrap() < &cond_max);
         assert_eq!(
-            mispredictions.iter().collect::<std::collections::HashSet<_>>().len(),
+            mispredictions
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
             1,
             "optimized kernel mispredictions should be uniform"
         );

@@ -1,0 +1,109 @@
+//! Automatic anomaly hunting: simulate a seidel workload with an *injected* NUMA
+//! imbalance, let the detection engine find it, then drill into the finding with the
+//! regular interactive analyses.
+//!
+//! The injection ([`SeidelConfig::build_with_numa_probes`]) adds a handful of "probe"
+//! tasks to the stencil workload. Each probe reads blocks spread across the whole
+//! matrix — data that first-touch placement has scattered over every NUMA node — plus
+//! a final-iteration boundary, which forces the probes to execute at the very end of
+//! the run. Wherever a probe executes, roughly (N-1)/N of its accesses are remote on
+//! an N-node machine, so the probes form a dense remote-access storm in a known time
+//! region.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example anomaly_hunt
+//! ```
+
+use aftermath::prelude::*;
+use aftermath::workloads::seidel::TASK_TYPE_NUMA_PROBE;
+use aftermath_core::{export, numa, stats};
+use aftermath_render::AnomalyOverlay;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A seidel stencil on a 4-node NUMA machine with expensive remote accesses,
+    //    run by the NUMA-optimized run-time (low baseline remote-access fraction).
+    let config = SeidelConfig::small();
+    let spec = config.build_with_numa_probes(8, 16);
+    let mut machine = MachineConfig::uniform(4, 4);
+    machine.costs.remote_line_penalty = 40.0;
+    let result =
+        Simulator::new(SimConfig::new(machine, RuntimeConfig::numa_optimized(), 42)).run(&spec)?;
+    let trace = &result.trace;
+    println!(
+        "simulated {} tasks ({} injected probes) in {} cycles",
+        trace.tasks().len(),
+        8,
+        result.makespan
+    );
+
+    // The ground truth: where did the injected probes actually execute?
+    let probe_ty = trace
+        .task_types()
+        .iter()
+        .find(|t| t.name == TASK_TYPE_NUMA_PROBE)
+        .expect("probe type exists")
+        .id;
+    let injected = trace
+        .tasks()
+        .iter()
+        .filter(|t| t.task_type == probe_ty)
+        .map(|t| t.execution)
+        .reduce(|a, b| a.union_hull(&b))
+        .expect("probes were simulated");
+    println!("injected NUMA imbalance region: {injected}");
+
+    // 2. Scan: one call, every detector, ranked results (cached on the session).
+    let session = aftermath_core::AnalysisSession::new(trace);
+    let report = session.detect_anomalies(&AnomalyConfig::default())?;
+    println!("\ndetected {} anomalies:", report.len());
+    for anomaly in report.iter() {
+        println!(
+            "  [{:4.2}] {:<16} {}",
+            anomaly.severity,
+            anomaly.kind.label(),
+            anomaly.explanation
+        );
+    }
+
+    // 3. The engine must rediscover the injection: at least one NUMA-locality anomaly
+    //    overlapping the region where the probes ran.
+    let hit = report
+        .of_kind(AnomalyKind::NumaLocality)
+        .find(|a| a.interval.overlaps(&injected));
+    let hit = hit.expect("a NUMA-locality anomaly overlapping the injected region");
+    println!("\ninjection rediscovered: {}", hit.explanation);
+
+    // 4. Drill in: every finding converts into a TaskFilter, so the whole analysis
+    //    stack can be re-focused on the anomalous region.
+    let filter = TaskFilter::from_anomaly(hit);
+    let remote_in_anomaly = numa::remote_access_fraction(&session, &filter);
+    let remote_overall = numa::remote_access_fraction(&session, &TaskFilter::new());
+    let durations = stats::task_duration_histogram(&session, &filter, 8)?;
+    println!(
+        "inside the anomaly: {} tasks, {:.0} % remote accesses (trace-wide {:.0} %)",
+        durations.total,
+        100.0 * remote_in_anomaly,
+        100.0 * remote_overall
+    );
+
+    // 5. Ship the findings: CSV report + a timeline with anomaly badges.
+    let out_dir = std::path::Path::new("target/anomaly_hunt");
+    std::fs::create_dir_all(out_dir)?;
+    let csv_path = out_dir.join("anomalies.csv");
+    export::export_anomalies(report.as_slice(), std::fs::File::create(&csv_path)?)?;
+
+    let bounds = session.time_bounds();
+    let model = aftermath_core::TimelineModel::build(
+        &session,
+        aftermath_core::TimelineMode::NumaHeat,
+        bounds,
+        800,
+    )?;
+    let mut frame = aftermath_render::TimelineRenderer::with_row_height(4).render(&model);
+    AnomalyOverlay::new(report.as_slice()).render_onto(&mut frame, bounds);
+    let ppm_path = out_dir.join("numa_heat_with_badges.ppm");
+    frame.write_ppm_file(&ppm_path)?;
+    println!("\nwrote {} and {}", csv_path.display(), ppm_path.display());
+    Ok(())
+}

@@ -44,9 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Step 1: the anomaly. The duration histogram of the computation tasks has
     // several peaks even though every block holds the same number of points.
-    let conditional =
-        Simulator::new(SimConfig::new(machine.clone(), RuntimeConfig::numa_optimized(), 9))
-            .run(&base.build())?;
+    let conditional = Simulator::new(SimConfig::new(
+        machine.clone(),
+        RuntimeConfig::numa_optimized(),
+        9,
+    ))
+    .run(&base.build())?;
     let session = AnalysisSession::new(&conditional.trace);
     let filter = distance_filter(&conditional.trace);
     let hist = stats::task_duration_histogram(&session, &filter, 25)?;
@@ -82,8 +85,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let optimized_session = AnalysisSession::new(&optimized.trace);
     let before = duration_stats(&session, &filter);
     let after = duration_stats(&optimized_session, &distance_filter(&optimized.trace));
-    println!("distance-kernel duration before the fix: mean {:>10.0} cycles, stddev {:>10.0}", before.mean, before.std_dev);
-    println!("distance-kernel duration after the fix:  mean {:>10.0} cycles, stddev {:>10.0}", after.mean, after.std_dev);
+    println!(
+        "distance-kernel duration before the fix: mean {:>10.0} cycles, stddev {:>10.0}",
+        before.mean, before.std_dev
+    );
+    println!(
+        "distance-kernel duration after the fix:  mean {:>10.0} cycles, stddev {:>10.0}",
+        after.mean, after.std_dev
+    );
     println!(
         "(paper: mean 9.76M -> 7.73M cycles, stddev 1.18M -> 335k cycles after the same change)"
     );

@@ -35,9 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for block_size in [500_000u64, 125_000, 31_250, 10_000, 4_000, 1_000] {
         let config = base.with_block_size(block_size);
         let spec = config.build();
-        let result =
-            Simulator::new(SimConfig::new(machine.clone(), RuntimeConfig::numa_optimized(), 5))
-                .run(&spec)?;
+        let result = Simulator::new(SimConfig::new(
+            machine.clone(),
+            RuntimeConfig::numa_optimized(),
+            5,
+        ))
+        .run(&spec)?;
         let session = AnalysisSession::new(&result.trace);
         let fractions = stats::state_fractions(&session, session.time_bounds());
         let exec = fractions[WorkerState::TaskExecution.index()];

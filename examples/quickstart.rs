@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let idle = derived::state_concurrency(&session, WorkerState::Idle, 20, bounds)?;
-    println!("peak concurrent idle workers: {:.1}", idle.max().unwrap_or(0.0));
+    println!(
+        "peak concurrent idle workers: {:.1}",
+        idle.max().unwrap_or(0.0)
+    );
 
     let hist = stats::task_duration_histogram(&session, &aftermath_core::TaskFilter::new(), 10)?;
     println!("task duration histogram ({} tasks):", hist.total);

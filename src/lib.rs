@@ -33,6 +33,12 @@
 //! // 3. Ask questions the way the paper does.
 //! let parallelism = analysis.task_graph()?.parallelism_profile();
 //! assert!(!parallelism.is_empty());
+//!
+//! // 4. Or let the anomaly engine ask them for you: ranked, explained findings.
+//! let report = analysis.detect_anomalies(&AnomalyConfig::default())?;
+//! for anomaly in report.iter() {
+//!     println!("[{:.2}] {}", anomaly.severity, anomaly.explanation);
+//! }
 //! # Ok(())
 //! # }
 //! ```

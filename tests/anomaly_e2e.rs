@@ -1,0 +1,99 @@
+//! End-to-end tests of the automatic anomaly-detection engine on simulated workloads:
+//! inject a known problem into a workload, simulate, detect, and check that the
+//! engine's findings line up with the injected ground truth.
+
+use aftermath::prelude::*;
+use aftermath::workloads::seidel::TASK_TYPE_NUMA_PROBE;
+use aftermath_core::{export, numa, AnalysisSession};
+use aftermath_render::AnomalyOverlay;
+use aftermath_trace::TimeInterval;
+
+#[test]
+fn injected_numa_imbalance_is_rediscovered() {
+    let config = SeidelConfig::small();
+    let spec = config.build_with_numa_probes(8, 16);
+    let mut machine = MachineConfig::uniform(4, 4);
+    machine.costs.remote_line_penalty = 40.0;
+    let result = Simulator::new(SimConfig::new(machine, RuntimeConfig::numa_optimized(), 42))
+        .run(&spec)
+        .unwrap();
+    let trace = &result.trace;
+
+    // Ground truth: the union hull of the injected probes' executions.
+    let probe_ty = trace
+        .task_types()
+        .iter()
+        .find(|t| t.name == TASK_TYPE_NUMA_PROBE)
+        .unwrap()
+        .id;
+    let injected: TimeInterval = trace
+        .tasks()
+        .iter()
+        .filter(|t| t.task_type == probe_ty)
+        .map(|t| t.execution)
+        .reduce(|a, b| a.union_hull(&b))
+        .unwrap();
+
+    let session = AnalysisSession::new(trace);
+    let report = session.detect_anomalies(&AnomalyConfig::default()).unwrap();
+
+    // ≥ 1 NUMA-locality anomaly overlapping the injected region.
+    let hit = report
+        .of_kind(AnomalyKind::NumaLocality)
+        .find(|a| a.interval.overlaps(&injected))
+        .expect("engine must rediscover the injected NUMA imbalance");
+    assert!(
+        hit.severity > 0.5,
+        "injected storm is severe: {}",
+        hit.severity
+    );
+    assert!(!hit.tasks.is_empty());
+
+    // The filter bridge focuses NUMA analysis on a genuinely worse region.
+    let inside = numa::remote_access_fraction(&session, &TaskFilter::from_anomaly(hit));
+    let overall = numa::remote_access_fraction(&session, &TaskFilter::new());
+    assert!(
+        inside > overall,
+        "anomalous region must be more remote than the trace ({inside} vs {overall})"
+    );
+
+    // The report exports as CSV and renders as timeline badges.
+    let mut csv = Vec::new();
+    let rows = export::export_anomalies(report.as_slice(), &mut csv).unwrap();
+    assert_eq!(rows, report.len());
+    assert!(String::from_utf8(csv).unwrap().contains("numa-locality"));
+
+    let bounds = session.time_bounds();
+    let overlay = AnomalyOverlay::new(report.as_slice());
+    let strip = overlay.render(bounds, 512);
+    let numa_color = AnomalyOverlay::color_for(AnomalyKind::NumaLocality);
+    assert!(
+        strip.count_pixels(numa_color) > 0,
+        "NUMA badges must be drawn"
+    );
+}
+
+#[test]
+fn clean_optimized_run_reports_fewer_numa_anomalies_than_random_run() {
+    // Without injection, the NUMA-optimized run-time should produce no (or weaker)
+    // NUMA findings than the NUMA-oblivious one on the same workload.
+    let spec = SeidelConfig::small().build();
+    let machine = MachineConfig::uniform(4, 2);
+    let count_for = |runtime: RuntimeConfig| -> usize {
+        let result = Simulator::new(SimConfig::new(machine.clone(), runtime, 7))
+            .run(&spec)
+            .unwrap();
+        let session = AnalysisSession::new(&result.trace);
+        let report = session.detect_anomalies(&AnomalyConfig::default()).unwrap();
+        report
+            .of_kind(AnomalyKind::NumaLocality)
+            .map(|a| a.tasks.len())
+            .sum()
+    };
+    let optimized = count_for(RuntimeConfig::numa_optimized());
+    let random = count_for(RuntimeConfig::non_optimized());
+    assert!(
+        optimized <= random,
+        "optimized run flags more anomalous tasks ({optimized}) than random ({random})"
+    );
+}

@@ -4,8 +4,7 @@
 use aftermath::prelude::*;
 use aftermath::trace::format::{read_trace, write_trace};
 use aftermath_core::{
-    derived, numa, stats, AnalysisSession, IncidenceMatrix, TaskFilter, TimelineMode,
-    TimelineModel,
+    derived, numa, stats, AnalysisSession, IncidenceMatrix, TaskFilter, TimelineMode, TimelineModel,
 };
 use aftermath_render::TimelineRenderer;
 
@@ -60,7 +59,10 @@ fn simulated_schedule_respects_reconstructed_dependences() {
     // The dependences reconstructed by the analysis layer from the memory accesses must
     // be consistent with the simulated schedule: a reader never starts before its writer
     // finished. This closes the loop between the simulator and the analysis engine.
-    for runtime in [RuntimeConfig::non_optimized(), RuntimeConfig::numa_optimized()] {
+    for runtime in [
+        RuntimeConfig::non_optimized(),
+        RuntimeConfig::numa_optimized(),
+    ] {
         let result = simulate_seidel(runtime);
         let session = AnalysisSession::new(&result.trace);
         let graph = session.task_graph().unwrap();
@@ -188,7 +190,9 @@ fn annotations_and_symbols_survive_independent_storage() {
     let restored = AnnotationSet::read_from(&buf[..]).unwrap();
     assert_eq!(restored.len(), 2);
     assert_eq!(
-        restored.in_interval(bounds.start, Timestamp(bounds.start.0 + 1)).len(),
+        restored
+            .in_interval(bounds.start, Timestamp(bounds.start.0 + 1))
+            .len(),
         1
     );
 }

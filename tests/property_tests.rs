@@ -59,11 +59,11 @@ fn arbitrary_trace_strategy() -> impl Strategy<Value = Trace> {
     // Random per-cpu state streams plus counter samples and tasks; built through the
     // TraceBuilder so every generated trace is valid by construction.
     (
-        1u32..3,                 // nodes
-        1u32..3,                 // cpus per node
+        1u32..3,                                                         // nodes
+        1u32..3,                                                         // cpus per node
         prop::collection::vec((0u64..10_000, 1u64..500, 0u8..4), 0..40), // state intervals
         prop::collection::vec((0u64..10_000, -1e6f64..1e6), 0..40),      // counter samples
-        0usize..10,              // tasks
+        0usize..10,                                                      // tasks
     )
         .prop_map(|(nodes, cpus, states, samples, num_tasks)| {
             let topo = MachineTopology::uniform(nodes, cpus);
@@ -213,6 +213,93 @@ proptest! {
             prop_assert!(visible.start >= full.start);
             prop_assert!(visible.end <= full.end);
             prop_assert!(!visible.is_empty());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Anomaly detection is stable under rigid time shifts
+// ---------------------------------------------------------------------------
+
+/// A small trace with one engineered idle phase, one NUMA-remote task and one duration
+/// outlier, with every timestamp offset by `shift`.
+fn anomaly_fixture_trace(shift: u64) -> Trace {
+    use aftermath_trace::{AccessKind, NumaNodeId};
+    let mut b = TraceBuilder::new(MachineTopology::uniform(2, 2));
+    let ty = b.add_task_type("w", 0x1000);
+    b.add_region(0x1000, 4096, Some(NumaNodeId(0)));
+    b.add_region(0x10_000, 4096, Some(NumaNodeId(1)));
+    let at = |t: u64| Timestamp(t + shift);
+    // 12 well-behaved local tasks of 100 cycles on cpu0/node0...
+    for i in 0..12u64 {
+        let t = b.add_task(ty, CpuId(0), at(i * 200), at(i * 200), at(i * 200 + 100));
+        b.add_state(
+            CpuId(0),
+            WorkerState::TaskExecution,
+            at(i * 200),
+            at(i * 200 + 100),
+            Some(t),
+        )
+        .unwrap();
+        b.add_state(
+            CpuId(0),
+            WorkerState::Idle,
+            at(i * 200 + 100),
+            at(i * 200 + 200),
+            None,
+        )
+        .unwrap();
+        b.add_access(t, AccessKind::Read, 0x1000, 512).unwrap();
+    }
+    // ...an idle phase on cpu1 for the whole run...
+    b.add_state(CpuId(1), WorkerState::Idle, at(0), at(2_400), None)
+        .unwrap();
+    // ...one fully remote task and one 20x duration outlier.
+    let remote = b.add_task(ty, CpuId(0), at(2_400), at(2_400), at(2_500));
+    b.add_state(
+        CpuId(0),
+        WorkerState::TaskExecution,
+        at(2_400),
+        at(2_500),
+        Some(remote),
+    )
+    .unwrap();
+    b.add_access(remote, AccessKind::Read, 0x10_000, 2048)
+        .unwrap();
+    let slow = b.add_task(ty, CpuId(1), at(2_400), at(2_400), at(4_400));
+    b.add_state(
+        CpuId(1),
+        WorkerState::TaskExecution,
+        at(2_400),
+        at(4_400),
+        Some(slow),
+    )
+    .unwrap();
+    b.add_access(slow, AccessKind::Read, 0x1000, 512).unwrap();
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn anomaly_detection_is_shift_invariant(shift in 0u64..1_000_000_000) {
+        use aftermath_core::anomaly::AnomalyConfig;
+        let base_trace = anomaly_fixture_trace(0);
+        let shifted_trace = anomaly_fixture_trace(shift);
+        let base = AnalysisSession::new(&base_trace)
+            .detect_anomalies(&AnomalyConfig::default()).unwrap();
+        let shifted = AnalysisSession::new(&shifted_trace)
+            .detect_anomalies(&AnomalyConfig::default()).unwrap();
+        prop_assert!(!base.is_empty(), "fixture must contain detectable anomalies");
+        prop_assert_eq!(base.len(), shifted.len());
+        for (a, b) in base.iter().zip(shifted.iter()) {
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.interval.start.0 + shift, b.interval.start.0);
+            prop_assert_eq!(a.interval.end.0 + shift, b.interval.end.0);
+            prop_assert_eq!(&a.cpus, &b.cpus);
+            prop_assert_eq!(&a.tasks, &b.tasks);
+            prop_assert!((a.severity - b.severity).abs() < 1e-12);
+            prop_assert!((a.score - b.score).abs() < 1e-9);
         }
     }
 }
