@@ -16,13 +16,14 @@ use aftermath_bench::figures::{fmt_cycles, Scale};
 use aftermath_bench::kmeans_experiments as km;
 use aftermath_bench::section6;
 use aftermath_bench::seidel_experiments::SeidelExperiment;
-use aftermath_core::{AnalysisSession, TimelineMode, TimelineModel};
+use aftermath_core::{AnalysisSession, Threads, TimelineMode, TimelineModel};
 use aftermath_render::views::{render_histogram, render_incidence_matrix};
 use aftermath_render::TimelineRenderer;
 
 struct Options {
     scale: Scale,
     out_dir: Option<PathBuf>,
+    threads: Threads,
     targets: Vec<String>,
 }
 
@@ -30,6 +31,7 @@ fn parse_args() -> Options {
     let mut args: VecDeque<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
     let mut out_dir = None;
+    let mut threads = Threads::auto();
     let mut targets = Vec::new();
     while let Some(arg) = args.pop_front() {
         match arg.as_str() {
@@ -44,9 +46,16 @@ fn parse_args() -> Options {
                 let value = args.pop_front().unwrap_or_default();
                 out_dir = Some(PathBuf::from(value));
             }
+            "--threads" => {
+                let value = args.pop_front().unwrap_or_default();
+                threads = value.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [--scale test|paper] [--out DIR] [FIGURE...]\n\
+                    "usage: reproduce [--scale test|paper] [--out DIR] [--threads N|auto] [FIGURE...]\n\
                      figures: fig3 fig5 fig8 fig9 fig10 fig12 fig13 fig14 fig15 fig16 fig19 sec6 all"
                 );
                 std::process::exit(0);
@@ -60,6 +69,7 @@ fn parse_args() -> Options {
     Options {
         scale,
         out_dir,
+        threads,
         targets,
     }
 }
@@ -80,8 +90,8 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
     println!(
-        "# Aftermath-rs figure reproduction (scale: {:?})",
-        options.scale
+        "# Aftermath-rs figure reproduction (scale: {:?}, threads: {})",
+        options.scale, options.threads
     );
 
     let run_seidel = SEIDEL_FIGS.iter().any(|f| wants(&options, f));
@@ -233,10 +243,11 @@ fn fig14(exp: &SeidelExperiment, options: &Options) {
             ("fig14_numa_read_optimized", &exp.optimized.trace),
         ] {
             let session = AnalysisSession::new(trace);
+            session.prewarm(options.threads);
             let model =
                 TimelineModel::build(&session, TimelineMode::NumaRead, session.time_bounds(), 800)
                     .expect("timeline model");
-            let fb = TimelineRenderer::new().render(&model);
+            let fb = TimelineRenderer::new().render_with(&model, options.threads);
             let path = dir.join(format!("{name}.ppm"));
             fb.write_ppm_file(&path).expect("write ppm");
             println!("# wrote {}", path.display());
@@ -333,8 +344,8 @@ fn fig19(options: &Options) {
 
 fn sec6(options: &Options) {
     let trace = section6::synthetic_trace(options.scale);
-    let io = section6::trace_io_stats(&trace);
-    let render = section6::render_stats(&trace, 1024);
+    let io = section6::trace_io_stats_with(&trace, options.threads);
+    let render = section6::render_stats_with(&trace, 1024, options.threads);
     print_series_header(
         "Section VI — trace format and rendering optimizations",
         "metric,value",

@@ -3,10 +3,10 @@
 
 use std::time::Instant;
 
-use aftermath_core::{AnalysisSession, TimelineMode, TimelineModel};
+use aftermath_core::{AnalysisSession, Threads, TimelineMode, TimelineModel};
 use aftermath_render::{CounterOverlay, TimelineRenderer};
 use aftermath_sim::{machine::MachineConfig, RuntimeConfig, SimConfig, Simulator};
-use aftermath_trace::format::{read_trace, write_trace};
+use aftermath_trace::format::{read_trace_with, write_trace};
 use aftermath_trace::Trace;
 use aftermath_workloads::synthetic::{random_layered_dag, LayeredDagConfig};
 
@@ -51,14 +51,20 @@ pub struct TraceIoStats {
     pub read_seconds: f64,
 }
 
-/// Encodes and decodes `trace` in memory and reports size and timing.
+/// Encodes and decodes `trace` in memory and reports size and timing
+/// (single-threaded decode).
 pub fn trace_io_stats(trace: &Trace) -> TraceIoStats {
+    trace_io_stats_with(trace, Threads::single())
+}
+
+/// Like [`trace_io_stats`] but decodes the trace sections on up to `threads` workers.
+pub fn trace_io_stats_with(trace: &Trace, threads: Threads) -> TraceIoStats {
     let mut buf = Vec::new();
     let t0 = Instant::now();
     write_trace(trace, &mut buf).expect("encode");
     let write_seconds = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
-    let decoded = read_trace(&buf[..]).expect("decode");
+    let decoded = read_trace_with(&buf[..], threads).expect("decode");
     let read_seconds = t1.elapsed().as_secs_f64();
     assert_eq!(&decoded, trace, "round-trip must preserve the trace");
     let num_events = trace.num_events().max(1);
@@ -92,14 +98,23 @@ pub struct RenderStats {
 }
 
 /// Renders the state timeline and a counter overlay of `trace` with and without the
-/// paper's optimizations and reports the number of drawing operations.
+/// paper's optimizations and reports the number of drawing operations
+/// (single-threaded).
 pub fn render_stats(trace: &Trace, columns: usize) -> RenderStats {
+    render_stats_with(trace, columns, Threads::single())
+}
+
+/// Like [`render_stats`] but prewarms the session's counter indexes and rasterizes
+/// the optimized timeline on up to `threads` workers.
+pub fn render_stats_with(trace: &Trace, columns: usize, threads: Threads) -> RenderStats {
     let session = AnalysisSession::new(trace);
+    // Indexes are lazy; build them all so the overhead ratio reflects the full index.
+    session.prewarm(threads);
     let bounds = session.time_bounds();
     let model = TimelineModel::build(&session, TimelineMode::State, bounds, columns)
         .expect("timeline model");
     let renderer = TimelineRenderer::new();
-    let optimized = renderer.render(&model);
+    let optimized = renderer.render_with(&model, threads);
     let unaggregated = renderer.render_unaggregated(&model);
     let naive = renderer.render_states_naive(&session, bounds, columns);
 

@@ -53,6 +53,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
+use aftermath_exec::{parallel_map, Threads};
 use aftermath_trace::{CpuId, TaskId, TaskInstance, TimeInterval, WorkerState};
 
 use crate::derived::state_concurrency;
@@ -203,6 +204,25 @@ pub trait Detector {
     /// Returns [`AnalysisError`] only for genuine failures (e.g. invalid detector
     /// parameters), not for traces that simply lack the relevant data.
     fn detect(&self, session: &AnalysisSession<'_>) -> Result<Vec<Anomaly>, AnalysisError>;
+
+    /// Like [`Detector::detect`] but may fan its internal units (per-counter,
+    /// per-task-type, ...) out over the execution layer.
+    ///
+    /// Implementations **must** return the findings of [`Detector::detect`] in the
+    /// same order regardless of `threads` — the engine's ranked report relies on it.
+    /// The default implementation runs sequentially.
+    ///
+    /// # Errors
+    ///
+    /// See [`Detector::detect`].
+    fn detect_with(
+        &self,
+        session: &AnalysisSession<'_>,
+        threads: Threads,
+    ) -> Result<Vec<Anomaly>, AnalysisError> {
+        let _ = threads;
+        self.detect(session)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -443,74 +463,98 @@ impl Default for CounterOutlierDetector {
     }
 }
 
+impl CounterOutlierDetector {
+    /// Scans one monotone counter against every task type; the per-counter unit of
+    /// both the sequential and the parallel scan.
+    fn detect_counter(
+        &self,
+        session: &AnalysisSession<'_>,
+        tasks_by_type: &[Vec<&TaskInstance>],
+        gap: u64,
+        desc: &aftermath_trace::CounterDescription,
+    ) -> Vec<Anomaly> {
+        let trace = session.trace();
+        let mut anomalies = Vec::new();
+        for ty in trace.task_types() {
+            let group = &tasks_by_type[ty.id.0 as usize];
+            let mut tasks: Vec<(&TaskInstance, f64)> = Vec::with_capacity(group.len());
+            for &task in group {
+                if let Some(delta) = session.counter_delta(task, desc.id) {
+                    tasks.push((task, delta));
+                }
+            }
+            if tasks.len() < self.min_samples.max(2) {
+                continue;
+            }
+            let deltas: Vec<f64> = tasks.iter().map(|(_, d)| *d).collect();
+            let Some(z) = robust_z_scores(&deltas) else {
+                continue;
+            };
+            let median = median_of(&deltas).unwrap_or(0.0);
+            let mut flagged: Vec<(&TaskInstance, f64)> = tasks
+                .iter()
+                .zip(&z)
+                .filter(|(_, &z)| z.abs() > self.k_mad)
+                .map(|(&(t, _), &z)| (t, z))
+                .collect();
+            if flagged.is_empty() {
+                continue;
+            }
+            flagged.sort_by_key(|(t, _)| t.execution.start);
+            for cluster in cluster_by_time(&flagged, |(t, _)| t.execution, gap) {
+                let interval = hull_of(cluster.iter().map(|(t, _)| t.execution));
+                let peak = cluster.iter().map(|(_, z)| z.abs()).fold(0.0, f64::max);
+                anomalies.push(Anomaly {
+                    kind: AnomalyKind::CounterOutlier,
+                    interval,
+                    cpus: distinct_cpus(cluster.iter().map(|(t, _)| t.cpu)),
+                    tasks: cluster.iter().map(|(t, _)| t.id).collect(),
+                    severity: severity_from_z(peak, self.k_mad),
+                    score: peak,
+                    explanation: format!(
+                        "{} `{}` task(s) in {interval} with outlying `{}` increase \
+                         (robust z up to {:.1}; type median {:.0})",
+                        cluster.len(),
+                        ty.name,
+                        desc.name,
+                        peak,
+                        median,
+                    ),
+                });
+            }
+        }
+        anomalies
+    }
+}
+
 impl Detector for CounterOutlierDetector {
     fn name(&self) -> &'static str {
         "counter-outlier"
     }
 
     fn detect(&self, session: &AnalysisSession<'_>) -> Result<Vec<Anomaly>, AnalysisError> {
+        self.detect_with(session, Threads::single())
+    }
+
+    fn detect_with(
+        &self,
+        session: &AnalysisSession<'_>,
+        threads: Threads,
+    ) -> Result<Vec<Anomaly>, AnalysisError> {
         let trace = session.trace();
         let gap = self
             .merge_gap_cycles
             .unwrap_or_else(|| session.time_bounds().duration() / 64);
-        // Group tasks by type once; the per-counter loop below then only touches the
+        // Group tasks by type once; every per-counter unit then only touches the
         // relevant group instead of re-scanning the whole trace per (counter, type).
         let tasks_by_type = group_tasks_by_type(trace);
-        let mut anomalies = Vec::new();
-        for desc in trace.counters() {
-            if !desc.monotone {
-                continue;
-            }
-            for ty in trace.task_types() {
-                let group = &tasks_by_type[ty.id.0 as usize];
-                let mut tasks: Vec<(&TaskInstance, f64)> = Vec::with_capacity(group.len());
-                for &task in group {
-                    if let Some(delta) = session.counter_delta(task, desc.id) {
-                        tasks.push((task, delta));
-                    }
-                }
-                if tasks.len() < self.min_samples.max(2) {
-                    continue;
-                }
-                let deltas: Vec<f64> = tasks.iter().map(|(_, d)| *d).collect();
-                let Some(z) = robust_z_scores(&deltas) else {
-                    continue;
-                };
-                let median = median_of(&deltas).unwrap_or(0.0);
-                let mut flagged: Vec<(&TaskInstance, f64)> = tasks
-                    .iter()
-                    .zip(&z)
-                    .filter(|(_, &z)| z.abs() > self.k_mad)
-                    .map(|(&(t, _), &z)| (t, z))
-                    .collect();
-                if flagged.is_empty() {
-                    continue;
-                }
-                flagged.sort_by_key(|(t, _)| t.execution.start);
-                for cluster in cluster_by_time(&flagged, |(t, _)| t.execution, gap) {
-                    let interval = hull_of(cluster.iter().map(|(t, _)| t.execution));
-                    let peak = cluster.iter().map(|(_, z)| z.abs()).fold(0.0, f64::max);
-                    anomalies.push(Anomaly {
-                        kind: AnomalyKind::CounterOutlier,
-                        interval,
-                        cpus: distinct_cpus(cluster.iter().map(|(t, _)| t.cpu)),
-                        tasks: cluster.iter().map(|(t, _)| t.id).collect(),
-                        severity: severity_from_z(peak, self.k_mad),
-                        score: peak,
-                        explanation: format!(
-                            "{} `{}` task(s) in {interval} with outlying `{}` increase \
-                             (robust z up to {:.1}; type median {:.0})",
-                            cluster.len(),
-                            ty.name,
-                            desc.name,
-                            peak,
-                            median,
-                        ),
-                    });
-                }
-            }
-        }
-        Ok(anomalies)
+        let counters: Vec<_> = trace.counters().iter().filter(|d| d.monotone).collect();
+        // One parallel unit per monotone counter; flattening in counter order keeps
+        // the findings identical to the sequential scan.
+        let per_counter = parallel_map(threads, &counters, |desc| {
+            self.detect_counter(session, &tasks_by_type, gap, desc)
+        });
+        Ok(per_counter.into_iter().flatten().collect())
     }
 }
 
@@ -547,62 +591,86 @@ impl Default for DurationOutlierDetector {
     }
 }
 
+impl DurationOutlierDetector {
+    /// Scores the durations of one task type; the per-type unit of both the
+    /// sequential and the parallel scan.
+    fn detect_type(
+        &self,
+        ty: &aftermath_trace::TaskType,
+        tasks: &[&TaskInstance],
+        gap: u64,
+    ) -> Vec<Anomaly> {
+        let mut anomalies = Vec::new();
+        if tasks.len() < self.min_samples.max(2) {
+            return anomalies;
+        }
+        let durations: Vec<f64> = tasks.iter().map(|t| t.duration() as f64).collect();
+        let Some(z) = robust_z_scores(&durations) else {
+            return anomalies;
+        };
+        let median = median_of(&durations).unwrap_or(0.0);
+        let mut flagged: Vec<(&TaskInstance, f64)> = tasks
+            .iter()
+            .zip(&z)
+            .filter(|(_, &z)| z > self.k_mad || (self.detect_fast && z < -self.k_mad))
+            .map(|(&t, &z)| (t, z))
+            .collect();
+        if flagged.is_empty() {
+            return anomalies;
+        }
+        flagged.sort_by_key(|(t, _)| t.execution.start);
+        for cluster in cluster_by_time(&flagged, |(t, _)| t.execution, gap) {
+            let interval = hull_of(cluster.iter().map(|(t, _)| t.execution));
+            let peak = cluster.iter().map(|(_, z)| z.abs()).fold(0.0, f64::max);
+            let worst = cluster.iter().map(|(t, _)| t.duration()).max().unwrap_or(0);
+            anomalies.push(Anomaly {
+                kind: AnomalyKind::DurationOutlier,
+                interval,
+                cpus: distinct_cpus(cluster.iter().map(|(t, _)| t.cpu)),
+                tasks: cluster.iter().map(|(t, _)| t.id).collect(),
+                severity: severity_from_z(peak, self.k_mad),
+                score: peak,
+                explanation: format!(
+                    "{} `{}` task(s) in {interval} with outlying duration \
+                     (up to {} cycles vs. type median {:.0}; robust z up to {:.1})",
+                    cluster.len(),
+                    ty.name,
+                    worst,
+                    median,
+                    peak,
+                ),
+            });
+        }
+        anomalies
+    }
+}
+
 impl Detector for DurationOutlierDetector {
     fn name(&self) -> &'static str {
         "duration-outlier"
     }
 
     fn detect(&self, session: &AnalysisSession<'_>) -> Result<Vec<Anomaly>, AnalysisError> {
+        self.detect_with(session, Threads::single())
+    }
+
+    fn detect_with(
+        &self,
+        session: &AnalysisSession<'_>,
+        threads: Threads,
+    ) -> Result<Vec<Anomaly>, AnalysisError> {
         let trace = session.trace();
         let gap = self
             .merge_gap_cycles
             .unwrap_or_else(|| session.time_bounds().duration() / 64);
         let tasks_by_type = group_tasks_by_type(trace);
-        let mut anomalies = Vec::new();
-        for ty in trace.task_types() {
-            let tasks = &tasks_by_type[ty.id.0 as usize];
-            if tasks.len() < self.min_samples.max(2) {
-                continue;
-            }
-            let durations: Vec<f64> = tasks.iter().map(|t| t.duration() as f64).collect();
-            let Some(z) = robust_z_scores(&durations) else {
-                continue;
-            };
-            let median = median_of(&durations).unwrap_or(0.0);
-            let mut flagged: Vec<(&TaskInstance, f64)> = tasks
-                .iter()
-                .zip(&z)
-                .filter(|(_, &z)| z > self.k_mad || (self.detect_fast && z < -self.k_mad))
-                .map(|(&t, &z)| (t, z))
-                .collect();
-            if flagged.is_empty() {
-                continue;
-            }
-            flagged.sort_by_key(|(t, _)| t.execution.start);
-            for cluster in cluster_by_time(&flagged, |(t, _)| t.execution, gap) {
-                let interval = hull_of(cluster.iter().map(|(t, _)| t.execution));
-                let peak = cluster.iter().map(|(_, z)| z.abs()).fold(0.0, f64::max);
-                let worst = cluster.iter().map(|(t, _)| t.duration()).max().unwrap_or(0);
-                anomalies.push(Anomaly {
-                    kind: AnomalyKind::DurationOutlier,
-                    interval,
-                    cpus: distinct_cpus(cluster.iter().map(|(t, _)| t.cpu)),
-                    tasks: cluster.iter().map(|(t, _)| t.id).collect(),
-                    severity: severity_from_z(peak, self.k_mad),
-                    score: peak,
-                    explanation: format!(
-                        "{} `{}` task(s) in {interval} with outlying duration \
-                         (up to {} cycles vs. type median {:.0}; robust z up to {:.1})",
-                        cluster.len(),
-                        ty.name,
-                        worst,
-                        median,
-                        peak,
-                    ),
-                });
-            }
-        }
-        Ok(anomalies)
+        // One parallel unit per task type; flattening in type order keeps the
+        // findings identical to the sequential scan.
+        let types: Vec<_> = trace.task_types().iter().collect();
+        let per_type = parallel_map(threads, &types, |ty| {
+            self.detect_type(ty, &tasks_by_type[ty.id.0 as usize], gap)
+        });
+        Ok(per_type.into_iter().flatten().collect())
     }
 }
 
@@ -713,18 +781,41 @@ pub fn detect_anomalies(
     session: &AnalysisSession<'_>,
     config: &AnomalyConfig,
 ) -> Result<AnomalyReport, AnalysisError> {
+    detect_anomalies_with(session, config, Threads::single())
+}
+
+/// Like [`detect_anomalies`] but lets every enabled detector fan its internal units
+/// (per counter, per task type) out over up to `threads` workers of the execution
+/// layer via [`Detector::detect_with`].
+///
+/// The detectors themselves run in their fixed order (idle, NUMA, counter,
+/// duration): the cheap global detectors have nothing to fan out, while the
+/// statistics-heavy ones get the full thread budget for their many units — one
+/// parallel level, so a scan never runs more than `threads` workers at a time and
+/// no detector is starved by a static budget split. Findings merge in detector
+/// order before the stable severity sort, which makes the ranked report
+/// **identical** to the sequential scan regardless of the thread count.
+///
+/// # Errors
+///
+/// See [`detect_anomalies`].
+pub fn detect_anomalies_with(
+    session: &AnalysisSession<'_>,
+    config: &AnomalyConfig,
+    threads: Threads,
+) -> Result<AnomalyReport, AnalysisError> {
+    let detectors: [Option<&(dyn Detector + Sync)>; 4] = [
+        config.idle.as_ref().map(|d| d as &(dyn Detector + Sync)),
+        config.numa.as_ref().map(|d| d as &(dyn Detector + Sync)),
+        config.counter.as_ref().map(|d| d as &(dyn Detector + Sync)),
+        config
+            .duration
+            .as_ref()
+            .map(|d| d as &(dyn Detector + Sync)),
+    ];
     let mut anomalies = Vec::new();
-    if let Some(d) = &config.idle {
-        anomalies.extend(d.detect(session)?);
-    }
-    if let Some(d) = &config.numa {
-        anomalies.extend(d.detect(session)?);
-    }
-    if let Some(d) = &config.counter {
-        anomalies.extend(d.detect(session)?);
-    }
-    if let Some(d) = &config.duration {
-        anomalies.extend(d.detect(session)?);
+    for detector in detectors.into_iter().flatten() {
+        anomalies.extend(detector.detect_with(session, threads)?);
     }
     Ok(AnomalyReport::from_anomalies(
         anomalies,

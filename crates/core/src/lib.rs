@@ -8,7 +8,8 @@
 //! Given a [`aftermath_trace::Trace`], an [`AnalysisSession`] provides:
 //!
 //! * **indexed access** to per-CPU event streams via binary search and an n-ary counter
-//!   min/max tree ([`index`], paper Section VI-B),
+//!   min/max tree ([`index`], paper Section VI-B); index shards build lazily on first
+//!   touch, or all at once in parallel via [`AnalysisSession::prewarm`],
 //! * **derived metrics** such as the number of idle workers, average task duration,
 //!   aggregated OS statistics and discrete derivatives ([`derived`], Figures 3, 8, 10),
 //! * **statistics** — histograms, average parallelism, per-state and per-type breakdowns
@@ -22,9 +23,11 @@
 //!   regression and R² ([`counters`], [`correlate`], Figures 18, 19),
 //! * **timeline models** for the five visualization modes ([`timeline`], Section II-B),
 //! * **automatic anomaly detection** — idle phases, NUMA-remote storms, counter and
-//!   duration outliers as ranked, explained findings ([`anomaly`]); detected regions
-//!   can be drawn as timeline badges by `aftermath-render`'s anomaly overlay and
-//!   turned back into filters via [`TaskFilter::from_anomaly`],
+//!   duration outliers as ranked, explained findings ([`anomaly`]); detectors fan
+//!   their units out in parallel with rankings identical to the sequential scan
+//!   ([`AnalysisSession::detect_anomalies_with`]); detected regions can be drawn as
+//!   timeline badges by `aftermath-render`'s anomaly overlay and turned back into
+//!   filters via [`TaskFilter::from_anomaly`],
 //! * **CSV export** of filtered task records, time series and anomaly reports
 //!   ([`export`]).
 //!
@@ -84,6 +87,7 @@ pub mod timeline;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+pub use aftermath_exec::Threads;
 pub use anomaly::{Anomaly, AnomalyConfig, AnomalyKind, AnomalyReport, Detector};
 pub use correlate::{correlate_duration_with_counter, CorrelationStudy, LinearRegression};
 pub use counters::{attribute_counter, duration_stats, SummaryStats, TaskCounterDelta};
@@ -101,7 +105,8 @@ pub use timeline::{TimelineCell, TimelineMode, TimelineModel};
 /// Commonly used types, for glob import.
 pub mod prelude {
     pub use crate::anomaly::{
-        detect_anomalies, Anomaly, AnomalyConfig, AnomalyKind, AnomalyReport, Detector,
+        detect_anomalies, detect_anomalies_with, Anomaly, AnomalyConfig, AnomalyKind,
+        AnomalyReport, Detector,
     };
     pub use crate::correlate::{correlate_duration_with_counter, LinearRegression};
     pub use crate::counters::{attribute_counter, duration_stats, SummaryStats};
@@ -117,4 +122,5 @@ pub mod prelude {
     pub use crate::stats::{average_parallelism, task_duration_histogram, Histogram};
     pub use crate::taskgraph::TaskGraph;
     pub use crate::timeline::{TimelineCell, TimelineMode, TimelineModel};
+    pub use aftermath_exec::Threads;
 }

@@ -3,6 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use aftermath_exec::{parallel_map, Threads};
 use aftermath_trace::{
     CounterId, CounterSample, CpuId, StateInterval, TaskId, TaskInstance, TimeInterval, Timestamp,
     Trace,
@@ -16,15 +17,21 @@ use crate::taskgraph::TaskGraph;
 
 /// An analysis session over one trace.
 ///
-/// The session eagerly builds the per-counter min/max indexes described in the paper's
-/// Section VI-B and lazily reconstructs the task graph the first time a graph-based
-/// analysis is requested. All other analyses (derived metrics, statistics, NUMA views,
-/// correlation) take the session as their entry point.
+/// The per-counter min/max indexes described in the paper's Section VI-B live in
+/// per-`(CPU, counter)` shards that are built **lazily** the first time a query
+/// touches them (a [`OnceLock`] per shard), so opening a session on a large trace is
+/// cheap and only the counters a front-end actually looks at pay the indexing cost.
+/// [`AnalysisSession::prewarm`] builds all remaining shards in parallel on the
+/// execution layer, which is what an interactive tool does in the background right
+/// after loading. The task graph is likewise reconstructed on first use. All other
+/// analyses (derived metrics, statistics, NUMA views, correlation) take the session
+/// as their entry point.
 ///
 /// # Examples
 ///
 /// ```rust
 /// use aftermath_core::AnalysisSession;
+/// use aftermath_exec::Threads;
 /// use aftermath_trace::{MachineTopology, TraceBuilder, WorkerState, CpuId, Timestamp};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,6 +39,7 @@ use crate::taskgraph::TaskGraph;
 /// b.add_state(CpuId(0), WorkerState::Idle, Timestamp(0), Timestamp(100), None)?;
 /// let trace = b.finish()?;
 /// let session = AnalysisSession::new(&trace);
+/// session.prewarm(Threads::auto()); // optional: build all counter indexes now
 /// assert_eq!(session.states(CpuId(0)).len(), 1);
 /// # Ok(())
 /// # }
@@ -39,18 +47,26 @@ use crate::taskgraph::TaskGraph;
 #[derive(Debug)]
 pub struct AnalysisSession<'t> {
     trace: &'t Trace,
-    counter_indexes: HashMap<(CpuId, CounterId), CounterIndex>,
+    /// Lazily built counter min/max indexes: one shard per `(CPU, counter)` pair
+    /// that actually has samples. Keying by the exact pair (instead of a dense
+    /// `cpu × counter` table) keeps session open cost proportional to the data —
+    /// a sparse trace on a many-CPU, many-counter machine allocates one slot per
+    /// present pair, not the full cross product.
+    counter_shards: HashMap<(CpuId, CounterId), OnceLock<CounterIndex>>,
     task_graph: OnceLock<TaskGraph>,
     anomaly_cache: Mutex<AnomalyCache>,
     empty_states: Vec<StateInterval>,
     empty_samples: Vec<CounterSample>,
 }
 
-/// Bounded cache of anomaly reports, evicted in insertion order.
+/// Bounded LRU cache of anomaly reports.
 ///
 /// Entries are keyed by [`AnomalyConfig::cache_key`] but store the full config so a
 /// (vanishingly unlikely) 64-bit hash collision is detected by equality instead of
-/// silently returning another configuration's report.
+/// silently returning another configuration's report. `order` is kept in
+/// least-recently-*used* order: a cache hit moves its key to the back, so a
+/// configuration a front-end keeps re-querying survives eviction even while e.g. a
+/// threshold sweep churns through many one-shot configurations.
 #[derive(Debug, Default)]
 struct AnomalyCache {
     map: HashMap<u64, (AnomalyConfig, Arc<AnomalyReport>)>,
@@ -58,11 +74,18 @@ struct AnomalyCache {
 }
 
 impl AnomalyCache {
-    fn get(&self, key: u64, config: &AnomalyConfig) -> Option<Arc<AnomalyReport>> {
-        self.map
+    fn get(&mut self, key: u64, config: &AnomalyConfig) -> Option<Arc<AnomalyReport>> {
+        let report = self
+            .map
             .get(&key)
             .filter(|(cached, _)| cached == config)
-            .map(|(_, report)| Arc::clone(report))
+            .map(|(_, report)| Arc::clone(report))?;
+        // Touch on hit: this key is now the most recently used.
+        if let Some(pos) = self.order.iter().position(|k| *k == key) {
+            self.order.remove(pos);
+            self.order.push_back(key);
+        }
+        Some(report)
     }
 }
 
@@ -70,24 +93,78 @@ impl<'t> AnalysisSession<'t> {
     /// Maximum number of anomaly-report configurations kept in the session cache.
     pub const ANOMALY_CACHE_CAPACITY: usize = 32;
 
-    /// Creates a session over `trace`, building the counter indexes.
+    /// Creates a session over `trace`.
+    ///
+    /// This is cheap: counter indexes are built lazily per `(CPU, counter)` shard on
+    /// first touch. Call [`AnalysisSession::prewarm`] to build them all up front.
     pub fn new(trace: &'t Trace) -> Self {
-        let mut counter_indexes = HashMap::new();
-        for pc in trace.per_cpu() {
-            for (counter, samples) in &pc.samples {
-                if let Some(first) = samples.first() {
-                    counter_indexes.insert((first.cpu, *counter), CounterIndex::new(samples));
-                }
-            }
-        }
+        // One empty slot per (CPU, counter) pair that has samples; the indexes
+        // themselves are built on first touch.
+        let counter_shards = trace
+            .per_cpu()
+            .iter()
+            .enumerate()
+            .flat_map(|(cpu, pc)| {
+                pc.samples
+                    .iter()
+                    .filter(|(_, samples)| !samples.is_empty())
+                    .map(move |(counter, _)| ((CpuId(cpu as u32), *counter), OnceLock::new()))
+            })
+            .collect();
         AnalysisSession {
             trace,
-            counter_indexes,
+            counter_shards,
             task_graph: OnceLock::new(),
             anomaly_cache: Mutex::new(AnomalyCache::default()),
             empty_states: Vec::new(),
             empty_samples: Vec::new(),
         }
+    }
+
+    /// The index shard of one `(CPU, counter)` pair (built on first touch) together
+    /// with the sample stream it indexes, so callers do not resolve the samples a
+    /// second time.
+    ///
+    /// Returns `None` for a pair without samples (there is nothing to index in that
+    /// case). The map is keyed by the exact pair, so a counter id outside the
+    /// description table — the builder does not validate counter ids — simply gets
+    /// its own shard and can never alias another pair's.
+    fn counter_shard(
+        &self,
+        cpu: CpuId,
+        counter: CounterId,
+    ) -> Option<(&CounterIndex, &[CounterSample])> {
+        let slot = self.counter_shards.get(&(cpu, counter))?;
+        let samples = self.samples(cpu, counter);
+        debug_assert!(
+            !samples.is_empty(),
+            "shard slots exist only for sampled pairs"
+        );
+        Some((slot.get_or_init(|| CounterIndex::new(samples)), samples))
+    }
+
+    /// Builds every not-yet-built counter index shard, in parallel on up to `threads`
+    /// workers, and returns the total number of built shards.
+    ///
+    /// An interactive front-end calls this right after loading a trace so that every
+    /// later [`counter_min_max`](Self::counter_min_max) query is answered from a warm
+    /// index. The shards are independent [`OnceLock`]s, so prewarming may race with
+    /// concurrent queries without ever duplicating or tearing an index.
+    pub fn prewarm(&self, threads: Threads) -> usize {
+        let keys: Vec<(CpuId, CounterId)> = self.counter_shards.keys().copied().collect();
+        let built = parallel_map(threads, &keys, |&(cpu, counter)| {
+            usize::from(self.counter_shard(cpu, counter).is_some())
+        });
+        built.into_iter().sum()
+    }
+
+    /// Number of counter index shards built so far (diagnostics; grows on demand and
+    /// after [`AnalysisSession::prewarm`]).
+    pub fn built_counter_indexes(&self) -> usize {
+        self.counter_shards
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
     }
 
     /// The underlying trace.
@@ -139,15 +216,15 @@ impl<'t> AnalysisSession<'t> {
     }
 
     /// Minimum and maximum of a counter on a CPU over `interval`, answered from the
-    /// n-ary index.
+    /// n-ary index (built on first touch for this `(CPU, counter)` shard).
     pub fn counter_min_max(
         &self,
         cpu: CpuId,
         counter: CounterId,
         interval: TimeInterval,
     ) -> Option<(f64, f64)> {
-        let index = self.counter_indexes.get(&(cpu, counter))?;
-        index.min_max_in(self.samples(cpu, counter), interval)
+        let (index, samples) = self.counter_shard(cpu, counter)?;
+        index.min_max_in(samples, interval)
     }
 
     /// Looks up a counter id by name.
@@ -197,8 +274,9 @@ impl<'t> AnalysisSession<'t> {
     /// return the same shared report without re-scanning the trace, so interactive
     /// front-ends can re-query freely while navigating. The cache holds the
     /// [`ANOMALY_CACHE_CAPACITY`](Self::ANOMALY_CACHE_CAPACITY) most recently
-    /// *inserted* configurations; older entries are evicted, so e.g. sweeping a
-    /// threshold over many values cannot grow memory without bound.
+    /// **used** configurations (reads refresh an entry), so e.g. sweeping a threshold
+    /// over many values cannot grow memory without bound or evict the configuration
+    /// the front-end keeps displaying.
     ///
     /// # Errors
     ///
@@ -208,11 +286,31 @@ impl<'t> AnalysisSession<'t> {
         &self,
         config: &AnomalyConfig,
     ) -> Result<Arc<AnomalyReport>, AnalysisError> {
+        self.detect_anomalies_with(config, Threads::single())
+    }
+
+    /// Like [`AnalysisSession::detect_anomalies`] but lets every enabled detector
+    /// fan its internal units out over up to `threads` workers
+    /// ([`crate::anomaly::detect_anomalies_with`]).
+    ///
+    /// The ranked report is identical to the sequential scan — findings merge in
+    /// fixed detector order before the stable severity sort — and both entry points
+    /// share one cache, so a parallel scan serves later sequential queries for the
+    /// same configuration and vice versa.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisSession::detect_anomalies`].
+    pub fn detect_anomalies_with(
+        &self,
+        config: &AnomalyConfig,
+        threads: Threads,
+    ) -> Result<Arc<AnomalyReport>, AnalysisError> {
         let key = config.cache_key();
         if let Some(report) = self.anomaly_cache.lock().unwrap().get(key, config) {
             return Ok(report);
         }
-        let report = Arc::new(anomaly::detect_anomalies(self, config)?);
+        let report = Arc::new(anomaly::detect_anomalies_with(self, config, threads)?);
         let mut cache = self.anomaly_cache.lock().unwrap();
         // Re-check under the lock: another thread may have inserted the same key
         // while this one was detecting. Pushing `key` onto `order` only for a fresh
@@ -236,10 +334,14 @@ impl<'t> AnalysisSession<'t> {
         Ok(report)
     }
 
-    /// Total memory used by the counter min/max indexes, in bytes.
+    /// Total memory used by the counter min/max indexes built **so far**, in bytes.
+    ///
+    /// Shards are lazy; [`AnalysisSession::prewarm`] first to measure the fully
+    /// indexed session.
     pub fn index_memory_bytes(&self) -> usize {
-        self.counter_indexes
+        self.counter_shards
             .values()
+            .filter_map(|slot| slot.get())
             .map(|i| i.memory_bytes())
             .sum()
     }
@@ -433,7 +535,130 @@ mod tests {
     fn index_overhead_is_small() {
         let trace = small_sim_trace();
         let session = AnalysisSession::new(&trace);
+        session.prewarm(Threads::single());
+        assert!(session.built_counter_indexes() > 0);
         assert!(session.index_overhead_ratio() < 0.06);
+    }
+
+    #[test]
+    fn counter_indexes_build_lazily_per_shard() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        assert_eq!(session.built_counter_indexes(), 0, "no query yet");
+        assert_eq!(session.index_memory_bytes(), 0);
+        let counter = session.counter_id("branch-mispredictions").unwrap();
+        let bounds = session.time_bounds();
+        session.counter_min_max(CpuId(0), counter, bounds);
+        assert_eq!(
+            session.built_counter_indexes(),
+            1,
+            "first query builds exactly its own shard"
+        );
+    }
+
+    #[test]
+    fn prewarm_builds_every_shard_and_changes_no_answer() {
+        let trace = small_sim_trace();
+        let lazy = AnalysisSession::new(&trace);
+        let warmed = AnalysisSession::new(&trace);
+        let expected: usize = trace
+            .per_cpu()
+            .iter()
+            .map(|pc| pc.samples.values().filter(|s| !s.is_empty()).count())
+            .sum();
+        for threads in [Threads::single(), Threads::new(2), Threads::auto()] {
+            assert_eq!(warmed.prewarm(threads), expected);
+        }
+        assert_eq!(warmed.built_counter_indexes(), expected);
+        let bounds = lazy.time_bounds();
+        for desc in trace.counters() {
+            for cpu in trace.topology().cpu_ids() {
+                assert_eq!(
+                    lazy.counter_min_max(cpu, desc.id, bounds),
+                    warmed.counter_min_max(cpu, desc.id, bounds),
+                );
+            }
+        }
+        assert_eq!(lazy.index_memory_bytes(), warmed.index_memory_bytes());
+    }
+
+    #[test]
+    fn out_of_range_counter_id_cannot_alias_another_shard() {
+        use aftermath_trace::{MachineTopology, Timestamp, TraceBuilder};
+        // The builder does not validate counter ids, so samples can be recorded
+        // under an id outside the description table. Such a pair must index its own
+        // stream — never share or poison another pair's shard (a dense
+        // `cpu * num_counters + counter` table would alias this onto (CPU 1, c0)).
+        let mut b = TraceBuilder::new(MachineTopology::uniform(1, 2));
+        let c0 = b.add_counter("real", true);
+        let _c1 = b.add_counter("other", true);
+        let rogue = CounterId(2);
+        b.add_sample(rogue, CpuId(0), Timestamp(0), 1_000.0)
+            .unwrap();
+        b.add_sample(rogue, CpuId(0), Timestamp(10), 2_000.0)
+            .unwrap();
+        b.add_sample(c0, CpuId(1), Timestamp(0), 1.0).unwrap();
+        b.add_sample(c0, CpuId(1), Timestamp(10), 2.0).unwrap();
+        let trace = b.finish().unwrap();
+        let session = AnalysisSession::new(&trace);
+        let bounds = TimeInterval::from_cycles(0, 11);
+        assert_eq!(
+            session.counter_min_max(CpuId(0), rogue, bounds),
+            Some((1_000.0, 2_000.0)),
+            "rogue pair answers from its own samples"
+        );
+        session.prewarm(Threads::single());
+        assert_eq!(
+            session.counter_min_max(CpuId(1), c0, bounds),
+            Some((1.0, 2.0)),
+            "registered pair is unaffected by the rogue shard"
+        );
+    }
+
+    #[test]
+    fn unknown_ids_build_no_shard() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        let bounds = session.time_bounds();
+        assert!(session
+            .counter_min_max(CpuId(999), CounterId(0), bounds)
+            .is_none());
+        assert!(session
+            .counter_min_max(CpuId(0), CounterId(999), bounds)
+            .is_none());
+        assert_eq!(session.built_counter_indexes(), 0);
+    }
+
+    #[test]
+    fn anomaly_cache_eviction_is_lru_not_insertion_order() {
+        use crate::anomaly::AnomalyConfig;
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        // Disable all detectors so each configuration is cheap; vary `max_anomalies`
+        // to get distinct cache keys.
+        let config_nr = |n: usize| AnomalyConfig {
+            max_anomalies: n,
+            ..AnomalyConfig::none()
+        };
+        let capacity = AnalysisSession::ANOMALY_CACHE_CAPACITY;
+        let reports: Vec<_> = (0..capacity)
+            .map(|i| session.detect_anomalies(&config_nr(i + 1)).unwrap())
+            .collect();
+        // Touch the *oldest* entry, then insert one more configuration. Insertion-order
+        // eviction would drop the touched entry; LRU must drop the second-oldest.
+        let touched = session.detect_anomalies(&config_nr(1)).unwrap();
+        assert!(Arc::ptr_eq(&touched, &reports[0]), "touch must be a hit");
+        session.detect_anomalies(&config_nr(capacity + 1)).unwrap();
+        let again = session.detect_anomalies(&config_nr(1)).unwrap();
+        assert!(
+            Arc::ptr_eq(&again, &reports[0]),
+            "re-read entry must survive eviction"
+        );
+        let second = session.detect_anomalies(&config_nr(2)).unwrap();
+        assert!(
+            !Arc::ptr_eq(&second, &reports[1]),
+            "least recently used entry must have been evicted"
+        );
     }
 
     #[test]

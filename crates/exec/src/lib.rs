@@ -1,0 +1,427 @@
+//! # aftermath-exec
+//!
+//! The shared parallel execution layer of Aftermath-rs: a scoped, chunked,
+//! work-stealing-ish thread pool built exclusively on `std`.
+//!
+//! The paper's premise is *interactive* exploration of large task-parallel traces;
+//! staying interactive at scale requires that trace ingestion, index construction,
+//! anomaly detection and timeline rasterization all use the machine they run on.
+//! Every layer of the workspace funnels its data parallelism through the two
+//! primitives in this crate:
+//!
+//! * [`parallel_map`] — maps a function over a slice and returns the results **in
+//!   input order**. Work is split into chunks that idle workers claim from a shared
+//!   atomic counter (chunked self-scheduling), and every input index writes into its
+//!   own pre-sized output slot, so the result is deterministic regardless of how the
+//!   chunks were interleaved at run time.
+//! * [`parallel_for_chunks`] / [`parallel_map_chunks`] — runs a function over
+//!   *disjoint mutable* chunks of a slice (e.g. horizontal framebuffer bands), again
+//!   with dynamic chunk claiming and deterministic per-chunk result ordering.
+//!
+//! How many OS threads participate is controlled by [`Threads`]; the default is the
+//! machine's available parallelism, and a single-threaded configuration
+//! ([`Threads::single`]) executes every primitive inline without spawning, which is
+//! what keeps tests and benchmark baselines reproducible.
+//!
+//! Threads are *scoped* ([`std::thread::scope`] underneath, re-exported as
+//! [`scope`]): they may borrow from the caller's stack and are all joined before the
+//! primitive returns, so no pool state outlives a call and a panicking worker
+//! propagates to the caller.
+//!
+//! ```rust
+//! use aftermath_exec::{parallel_map, Threads};
+//!
+//! let squares = parallel_map(Threads::auto(), &[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// How many chunks each worker should get on average; more chunks than workers gives
+/// the dynamic claiming room to balance uneven per-item cost.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// The thread-count configuration of the execution layer.
+///
+/// Defaults to the machine's available parallelism ([`Threads::auto`]); tests and
+/// benchmarks pin it explicitly ([`Threads::new`], [`Threads::single`]). The value is
+/// an upper bound: a primitive never spawns more workers than it has chunks of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Threads(NonZeroUsize);
+
+impl Threads {
+    /// As many threads as the machine offers (`std::thread::available_parallelism`),
+    /// falling back to one when the machine cannot tell.
+    pub fn auto() -> Self {
+        Threads(thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
+    }
+
+    /// Exactly `count` threads; zero is clamped to one.
+    pub fn new(count: usize) -> Self {
+        Threads(NonZeroUsize::new(count).unwrap_or(NonZeroUsize::MIN))
+    }
+
+    /// One thread: every primitive runs inline in the calling thread, no spawning.
+    pub fn single() -> Self {
+        Threads(NonZeroUsize::MIN)
+    }
+
+    /// The configured number of threads (always at least one).
+    pub fn get(self) -> usize {
+        self.0.get()
+    }
+
+    /// Whether this configuration executes inline rather than spawning workers.
+    pub fn is_single(self) -> bool {
+        self.0.get() == 1
+    }
+
+    /// The standard measurement grid for scaling runs: 1, 2, 4 and the machine's
+    /// available parallelism, deduplicated and ascending. Benchmarks and examples
+    /// share this so their measured thread grids stay in sync.
+    pub fn scaling_counts() -> Vec<usize> {
+        let mut counts = vec![1, 2, 4, Threads::auto().get()];
+        counts.sort_unstable();
+        counts.dedup();
+        counts
+    }
+}
+
+impl Default for Threads {
+    fn default() -> Self {
+        Threads::auto()
+    }
+}
+
+impl fmt::Display for Threads {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Error returned when parsing a [`Threads`] value from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseThreadsError(String);
+
+impl fmt::Display for ParseThreadsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid thread count '{}': expected a positive integer or 'auto'",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseThreadsError {}
+
+impl FromStr for Threads {
+    type Err = ParseThreadsError;
+
+    /// Parses `"auto"` or a positive integer (used by `reproduce --threads`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("auto") {
+            return Ok(Threads::auto());
+        }
+        s.parse::<usize>()
+            .ok()
+            .and_then(NonZeroUsize::new)
+            .map(Threads)
+            .ok_or_else(|| ParseThreadsError(s.to_string()))
+    }
+}
+
+/// Creates a scope for spawning borrowed threads; all threads are joined before the
+/// scope returns. This is [`std::thread::scope`], re-exported so that layers built on
+/// this crate can spawn ad-hoc scoped work without importing `std::thread` themselves.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope thread::Scope<'scope, 'env>) -> T,
+{
+    thread::scope(f)
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads and returns the results in
+/// input order.
+///
+/// The slice is split into contiguous chunks which idle workers claim from a shared
+/// counter; each chunk's results go into the output slot of that chunk, so the final
+/// vector equals `items.iter().map(f).collect()` regardless of scheduling. With
+/// [`Threads::single`] (or one item) the map runs inline in the calling thread.
+///
+/// # Panics
+///
+/// A panic in `f` propagates to the caller once all workers have been joined.
+pub fn parallel_map<T, U, F>(threads: Threads, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if threads.is_single() || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_count = items
+        .len()
+        .min(threads.get().saturating_mul(CHUNKS_PER_THREAD));
+    let chunk_len = items.len().div_ceil(chunk_count);
+    let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+    let slots: Vec<Mutex<Option<Vec<U>>>> = chunks.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.get().min(chunks.len());
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(chunk) = chunks.get(i) else {
+                    break;
+                };
+                let out: Vec<U> = chunk.iter().map(&f).collect();
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    let mut result = Vec::with_capacity(items.len());
+    for slot in slots {
+        result.extend(
+            slot.into_inner()
+                .unwrap()
+                .expect("every chunk was claimed by exactly one worker"),
+        );
+    }
+    result
+}
+
+/// Runs `f` over disjoint mutable chunks of `data` (each at most `chunk_len` elements,
+/// in slice order) on up to `threads` workers and returns the per-chunk results in
+/// chunk order.
+///
+/// `f` receives the chunk index and the mutable chunk; chunk `i` covers
+/// `data[i * chunk_len ..]`. This is the primitive behind parallel rasterization: each
+/// horizontal framebuffer band is one chunk, so workers write into disjoint memory.
+/// A `chunk_len` of zero is clamped to one. With [`Threads::single`] (or a single
+/// chunk) everything runs inline, in order.
+///
+/// # Panics
+///
+/// A panic in `f` propagates to the caller once all workers have been joined.
+pub fn parallel_map_chunks<T, R, F>(
+    threads: Threads,
+    data: &mut [T],
+    chunk_len: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    if data.is_empty() {
+        return Vec::new();
+    }
+    if threads.is_single() || data.len() <= chunk_len {
+        return data
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(i, chunk)| f(i, chunk))
+            .collect();
+    }
+    // Hand each worker exclusive ownership of claimed chunks through take-once slots:
+    // the atomic counter makes the claim race-free and the Mutex<Option<..>> transfers
+    // the &mut borrow without unsafe code.
+    type ChunkSlot<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+    let work: Vec<ChunkSlot<'_, T>> = data
+        .chunks_mut(chunk_len)
+        .enumerate()
+        .map(|(i, chunk)| Mutex::new(Some((i, chunk))))
+        .collect();
+    let slots: Vec<Mutex<Option<R>>> = work.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.get().min(work.len());
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = work.get(i) else {
+                    break;
+                };
+                let (index, chunk) = slot
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each chunk is claimed exactly once");
+                let out = f(index, chunk);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every chunk produced a result")
+        })
+        .collect()
+}
+
+/// Like [`parallel_map_chunks`] but without per-chunk results: runs `f` over disjoint
+/// mutable chunks of `data` for its side effects.
+///
+/// # Panics
+///
+/// A panic in `f` propagates to the caller once all workers have been joined.
+pub fn parallel_for_chunks<T, F>(threads: Threads, data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    parallel_map_chunks(threads, data, chunk_len, |i, chunk| f(i, chunk));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thread_configs() -> [Threads; 4] {
+        [
+            Threads::single(),
+            Threads::new(2),
+            Threads::new(7),
+            Threads::auto(),
+        ]
+    }
+
+    #[test]
+    fn threads_construction_and_parsing() {
+        assert_eq!(Threads::new(0).get(), 1);
+        assert_eq!(Threads::new(3).get(), 3);
+        assert!(Threads::single().is_single());
+        assert!(Threads::auto().get() >= 1);
+        assert_eq!(Threads::default(), Threads::auto());
+        assert_eq!("4".parse::<Threads>().unwrap().get(), 4);
+        assert_eq!("auto".parse::<Threads>().unwrap(), Threads::auto());
+        assert!("0".parse::<Threads>().is_err());
+        assert!("x".parse::<Threads>().is_err());
+        let err = "-2".parse::<Threads>().unwrap_err();
+        assert!(err.to_string().contains("-2"));
+        assert_eq!(Threads::new(5).to_string(), "5");
+    }
+
+    #[test]
+    fn scaling_counts_are_ascending_and_distinct() {
+        let counts = Threads::scaling_counts();
+        assert!(counts.contains(&1));
+        for pair in counts.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in thread_configs() {
+            assert_eq!(
+                parallel_map(threads, &items, |x| x * 3 + 1),
+                expected,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_tiny_inputs() {
+        let empty: [u32; 0] = [];
+        assert!(parallel_map(Threads::new(4), &empty, |x| *x).is_empty());
+        assert_eq!(parallel_map(Threads::new(4), &[9], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn map_with_uneven_work_is_still_ordered() {
+        // Make early items much more expensive so late chunks finish first.
+        let items: Vec<u64> = (0..256).collect();
+        let result = parallel_map(Threads::new(8), &items, |&i| {
+            let spins = if i < 8 { 20_000 } else { 10 };
+            let mut acc = i;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        for (slot, &(i, _)) in result.iter().enumerate() {
+            assert_eq!(slot as u64, i);
+        }
+    }
+
+    #[test]
+    fn chunked_mutation_covers_every_element_once() {
+        for threads in thread_configs() {
+            for chunk_len in [0usize, 1, 3, 64, 1000] {
+                let mut data = vec![0u32; 100];
+                parallel_for_chunks(threads, &mut data, chunk_len, |i, chunk| {
+                    for slot in chunk.iter_mut() {
+                        *slot += 1 + i as u32;
+                    }
+                });
+                let chunk_len = chunk_len.max(1);
+                for (pos, &value) in data.iter().enumerate() {
+                    assert_eq!(value, 1 + (pos / chunk_len) as u32, "position {pos}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_returns_results_in_chunk_order() {
+        let mut data: Vec<u64> = (0..97).collect();
+        let sums = parallel_map_chunks(Threads::new(4), &mut data, 10, |i, chunk| {
+            (i, chunk.iter().sum::<u64>())
+        });
+        assert_eq!(sums.len(), 10);
+        for (slot, &(i, _)) in sums.iter().enumerate() {
+            assert_eq!(slot, i);
+        }
+        let total: u64 = sums.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, (0..97).sum::<u64>());
+    }
+
+    #[test]
+    fn map_chunks_empty_input() {
+        let mut data: Vec<u8> = Vec::new();
+        let out = parallel_map_chunks(Threads::new(4), &mut data, 8, |i, _| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scope_joins_borrowed_threads() {
+        let mut left = 0u64;
+        let mut right = 0u64;
+        scope(|s| {
+            s.spawn(|| left = 21);
+            s.spawn(|| right = 21);
+        });
+        assert_eq!(left + right, 42);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..100).collect();
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(Threads::new(4), &items, |&x| {
+                assert!(x != 50, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

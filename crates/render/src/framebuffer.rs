@@ -31,6 +31,30 @@ impl Framebuffer {
         }
     }
 
+    /// Assembles a framebuffer from externally rendered row-major pixels, carrying
+    /// over the number of drawing operations that produced them.
+    ///
+    /// This is the seam for parallel rasterization: workers fill disjoint horizontal
+    /// bands of one pixel vector and report their per-band draw-call counts, which
+    /// the caller sums into `draw_calls`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pixels.len() != width * height`.
+    pub fn from_parts(width: usize, height: usize, pixels: Vec<Color>, draw_calls: u64) -> Self {
+        assert_eq!(
+            pixels.len(),
+            width * height,
+            "pixel buffer does not match {width}x{height}"
+        );
+        Framebuffer {
+            width,
+            height,
+            pixels,
+            draw_calls,
+        }
+    }
+
     /// Width in pixels.
     pub fn width(&self) -> usize {
         self.width

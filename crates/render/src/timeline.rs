@@ -11,6 +11,7 @@
 //! benchmarks compare their cost.
 
 use aftermath_core::{AnalysisSession, TimelineCell, TimelineModel};
+use aftermath_exec::{parallel_map_chunks, Threads};
 use aftermath_trace::{TimeInterval, WorkerState};
 
 use crate::color::{Color, Palette};
@@ -62,25 +63,54 @@ impl TimelineRenderer {
     /// Renders a timeline model; every pixel is drawn at most once and horizontal runs of
     /// the same colour become a single rectangle fill.
     pub fn render(&self, model: &TimelineModel) -> Framebuffer {
+        self.render_with(model, Threads::single())
+    }
+
+    /// Like [`TimelineRenderer::render`] but rasterizes the CPU rows on up to
+    /// `threads` workers of the execution layer.
+    ///
+    /// Every CPU row of the model owns one horizontal band of the framebuffer
+    /// (`row_height` pixel rows), and bands are disjoint slices of the pixel buffer,
+    /// so workers never touch shared memory. The produced image and its draw-call
+    /// count are identical to the sequential [`TimelineRenderer::render`].
+    pub fn render_with(&self, model: &TimelineModel, threads: Threads) -> Framebuffer {
         let width = model.columns;
         let height = model.num_rows() * self.row_height;
-        let mut fb = Framebuffer::new(width, height, Palette::BACKGROUND);
-        for (row, cells) in model.cells.iter().enumerate() {
-            let y = row * self.row_height;
-            let mut col = 0;
-            while col < cells.len() {
-                let color = self.cell_color(&cells[col]);
-                let mut run = 1;
-                while col + run < cells.len() && self.cell_color(&cells[col + run]) == color {
-                    run += 1;
-                }
-                if color != Palette::BACKGROUND {
-                    fb.fill_rect(col, y, run, self.row_height, color);
-                }
-                col += run;
+        let mut pixels = vec![Palette::BACKGROUND; width * height];
+        let band_len = width * self.row_height;
+        let draw_calls = parallel_map_chunks(threads, &mut pixels, band_len, |row, band| {
+            self.rasterize_row(&model.cells[row], band, width)
+        })
+        .into_iter()
+        .sum();
+        Framebuffer::from_parts(width, height, pixels, draw_calls)
+    }
+
+    /// Draws one CPU row into its framebuffer band (a `width × row_height` pixel
+    /// slice), aggregating same-coloured runs; returns the number of rectangle fills
+    /// an equivalent [`Framebuffer::fill_rect`] sequence would have issued.
+    fn rasterize_row(&self, cells: &[TimelineCell], band: &mut [Color], width: usize) -> u64 {
+        let mut draw_calls = 0;
+        let mut col = 0;
+        while col < cells.len() {
+            let color = self.cell_color(&cells[col]);
+            let mut run = 1;
+            while col + run < cells.len() && self.cell_color(&cells[col + run]) == color {
+                run += 1;
             }
+            if color != Palette::BACKGROUND {
+                draw_calls += 1;
+                // Clip like `Framebuffer::fill_rect` does: a hand-built model whose
+                // rows are wider than `columns` must draw truncated, not panic.
+                let x0 = col.min(width);
+                let x1 = (col + run).min(width);
+                for band_row in band.chunks_mut(width) {
+                    band_row[x0..x1].fill(color);
+                }
+            }
+            col += run;
         }
-        fb
+        draw_calls
     }
 
     /// Renders a timeline model **without** rectangle aggregation: one fill per cell.
@@ -150,7 +180,7 @@ impl TimelineRenderer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aftermath_core::{AnalysisSession, TimelineMode, TimelineModel};
+    use aftermath_core::{AnalysisSession, Threads, TimelineMode, TimelineModel};
     use aftermath_sim::{SimConfig, Simulator};
     use aftermath_workloads::SeidelConfig;
 
@@ -179,6 +209,46 @@ mod tests {
         }
         // Aggregation must issue strictly fewer drawing operations.
         assert!(fast.draw_calls() < slow.draw_calls());
+    }
+
+    #[test]
+    fn overwide_model_rows_clip_instead_of_panicking() {
+        // TimelineModel's fields are public, so a hand-built model may be
+        // inconsistent; rendering must clip like Framebuffer::fill_rect does.
+        let model = TimelineModel {
+            interval: aftermath_trace::TimeInterval::from_cycles(0, 100),
+            cpus: vec![aftermath_trace::CpuId(0)],
+            columns: 4,
+            cells: vec![vec![TimelineCell::State(WorkerState::Idle); 7]],
+        };
+        let r = TimelineRenderer::with_row_height(2);
+        for fb in [r.render(&model), r.render_with(&model, Threads::new(2))] {
+            assert_eq!(fb.width(), 4);
+            assert_eq!(fb.height(), 2);
+            assert_eq!(fb.count_pixels(r.palette.state(WorkerState::Idle)), 8);
+        }
+    }
+
+    #[test]
+    fn parallel_render_is_identical_to_sequential() {
+        let trace = session_trace();
+        let session = AnalysisSession::new(&trace);
+        let bounds = session.time_bounds();
+        let r = TimelineRenderer::new();
+        for mode in [
+            TimelineMode::State,
+            TimelineMode::Heatmap {
+                min_duration: 0,
+                max_duration: 1,
+            },
+        ] {
+            let model = TimelineModel::build(&session, mode, bounds, 173).unwrap();
+            let sequential = r.render(&model);
+            for threads in [Threads::new(2), Threads::new(3), Threads::auto()] {
+                let parallel = r.render_with(&model, threads);
+                assert_eq!(sequential, parallel, "threads = {threads}");
+            }
+        }
     }
 
     #[test]

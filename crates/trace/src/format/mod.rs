@@ -38,7 +38,7 @@ mod reader;
 mod varint;
 mod writer;
 
-pub use reader::{read_trace, read_trace_file};
+pub use reader::{read_trace, read_trace_file, read_trace_file_with, read_trace_with};
 pub use varint::{
     read_f64, read_string, read_varint, write_f64, write_string, write_varint, MAX_VARINT_LEN,
 };

@@ -1,8 +1,27 @@
 //! Deserialization of traces from the binary trace format.
+//!
+//! Reading is split into three stages so that the expensive middle stage can run on
+//! the execution layer ([`aftermath_exec`]):
+//!
+//! 1. **collect** — scan the byte stream, slicing it into `(tag, payload)` sections
+//!    (cheap, inherently sequential),
+//! 2. **decode** — turn each section payload into plain record vectors. Sections are
+//!    independent of each other, so [`read_trace_with`] decodes them in parallel via
+//!    [`aftermath_exec::parallel_map`],
+//! 3. **apply** — feed the records into a [`TraceBuilder`] in file order (dense-id
+//!    validation happens here) and [`TraceBuilder::finish_with`] the trace, which
+//!    also splits and sorts the per-CPU streams in parallel.
+//!
+//! The single-threaded path pipelines the three stages per section — one payload is
+//! alive at a time, like the pre-refactor streaming reader — while the parallel path
+//! buffers the sections to fan the decode stage out (payloads are dropped before the
+//! apply stage begins).
 
 use std::fs::File;
 use std::io::{BufReader, Read};
 use std::path::Path;
+
+use aftermath_exec::{parallel_map, Threads};
 
 use super::varint::{read_f64, read_string, read_varint};
 use super::{SectionTag, FORMAT_VERSION, MAGIC};
@@ -15,7 +34,7 @@ use crate::symbols::SymbolTable;
 use crate::topology::{CpuInfo, MachineTopology};
 use crate::trace::{Trace, TraceBuilder};
 
-/// Reads a trace from `r`.
+/// Reads a trace from `r` sequentially (single-threaded decode).
 ///
 /// Unknown section tags are skipped, so traces written by newer minor revisions of the
 /// format remain loadable as long as the sections this reader understands are intact.
@@ -24,7 +43,90 @@ use crate::trace::{Trace, TraceBuilder};
 ///
 /// Returns [`TraceError::Format`] for malformed input, [`TraceError::UnsupportedVersion`]
 /// for a version mismatch and [`TraceError::Io`] for I/O failures.
-pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceError> {
+pub fn read_trace<R: Read>(r: R) -> Result<Trace, TraceError> {
+    read_trace_with(r, Threads::single())
+}
+
+/// Reads a trace from `r`, decoding the independent sections of the format (states,
+/// events, samples, accesses, ...) on up to `threads` worker threads.
+///
+/// The result is identical to [`read_trace`]: decoding is pure per section and the
+/// records are applied in file order.
+///
+/// # Errors
+///
+/// See [`read_trace`].
+pub fn read_trace_with<R: Read>(mut r: R, threads: Threads) -> Result<Trace, TraceError> {
+    read_header(&mut r)?;
+    let mut builder: Option<TraceBuilder> = None;
+    let mut symbols = SymbolTable::new();
+
+    if threads.is_single() {
+        // Stream: decode and apply one section at a time so only one payload is
+        // alive at once — large traces peak at roughly the built trace's size.
+        while let Some(section) = next_section(&mut r)? {
+            let records = decode_records(section.tag, &section.payload)?;
+            apply_records(records, &mut builder, &mut symbols)?;
+        }
+    } else {
+        let mut sections = Vec::new();
+        while let Some(section) = next_section(&mut r)? {
+            sections.push(section);
+        }
+        match sections.first() {
+            Some(s) if s.tag == SectionTag::Topology => {}
+            Some(_) => return Err(TraceError::Format("section appears before topology".into())),
+            None => return Err(TraceError::Format("trace has no topology section".into())),
+        }
+        // Decode every section payload into plain records; sections are independent,
+        // so this is the parallel stage. Errors surface in file order below.
+        let decoded = parallel_map(threads, &sections, |s| decode_records(s.tag, &s.payload));
+        drop(sections); // free the raw payloads before building the trace
+        for records in decoded {
+            apply_records(records?, &mut builder, &mut symbols)?;
+        }
+    }
+
+    let mut builder =
+        builder.ok_or_else(|| TraceError::Format("trace has no topology section".into()))?;
+    builder.set_symbols(symbols);
+    builder.finish_with(threads)
+}
+
+/// Reads a trace from the file at `path` sequentially.
+///
+/// # Errors
+///
+/// See [`read_trace`].
+pub fn read_trace_file<P: AsRef<Path>>(path: P) -> Result<Trace, TraceError> {
+    read_trace_file_with(path, Threads::single())
+}
+
+/// Reads a trace from the file at `path` with a parallel decode stage.
+///
+/// # Errors
+///
+/// See [`read_trace`].
+pub fn read_trace_file_with<P: AsRef<Path>>(
+    path: P,
+    threads: Threads,
+) -> Result<Trace, TraceError> {
+    let file = File::open(path)?;
+    read_trace_with(BufReader::new(file), threads)
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1: collect sections
+// ---------------------------------------------------------------------------
+
+/// One known section of the file: its tag and raw payload bytes.
+struct RawSection {
+    tag: SectionTag,
+    payload: Vec<u8>,
+}
+
+/// Checks the magic bytes and format version at the start of the stream.
+fn read_header<R: Read>(r: &mut R) -> Result<(), TraceError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if magic != MAGIC {
@@ -36,141 +138,116 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceError> {
     if version != FORMAT_VERSION {
         return Err(TraceError::UnsupportedVersion(version));
     }
+    Ok(())
+}
 
-    let mut builder: Option<TraceBuilder> = None;
-    let mut symbols = SymbolTable::new();
-
+/// Reads the next known section from the stream; unknown tags are skipped, and
+/// `None` marks the end marker or EOF.
+fn next_section<R: Read>(r: &mut R) -> Result<Option<RawSection>, TraceError> {
     loop {
         let mut tag = [0u8; 1];
         match r.read_exact(&mut tag) {
             Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
             Err(e) => return Err(e.into()),
         }
-        let len = read_varint(&mut r)? as usize;
+        let len = read_varint(r)? as usize;
         // The length is untrusted input: read incrementally instead of pre-allocating,
         // so a corrupted length cannot trigger a huge allocation.
         let mut payload = Vec::new();
-        let read = (&mut r).take(len as u64).read_to_end(&mut payload)?;
+        let read = r.by_ref().take(len as u64).read_to_end(&mut payload)?;
         if read != len {
             return Err(TraceError::Format(format!(
                 "section payload truncated: expected {len} bytes, got {read}"
             )));
         }
-        let mut p = &payload[..];
-
         let Some(tag) = SectionTag::from_u8(tag[0]) else {
             // Unknown section: skip.
             continue;
         };
-        match tag {
-            SectionTag::End => break,
-            SectionTag::Topology => {
-                let topo = decode_topology(&mut p)?;
-                builder = Some(TraceBuilder::new(topo));
-            }
-            _ => {
-                let b = builder
-                    .as_mut()
-                    .ok_or_else(|| TraceError::Format("section appears before topology".into()))?;
-                decode_section(tag, &mut p, b, &mut symbols)?;
-            }
+        if tag == SectionTag::End {
+            return Ok(None);
         }
+        return Ok(Some(RawSection { tag, payload }));
     }
-
-    let mut builder =
-        builder.ok_or_else(|| TraceError::Format("trace has no topology section".into()))?;
-    builder.set_symbols(symbols);
-    builder.finish()
 }
 
-/// Reads a trace from the file at `path`.
-///
-/// # Errors
-///
-/// See [`read_trace`].
-pub fn read_trace_file<P: AsRef<Path>>(path: P) -> Result<Trace, TraceError> {
-    let file = File::open(path)?;
-    read_trace(BufReader::new(file))
+// ---------------------------------------------------------------------------
+// Stage 2: pure per-section decoding
+// ---------------------------------------------------------------------------
+
+/// The decoded records of one section, not yet validated against the builder.
+enum SectionRecords {
+    Topology(MachineTopology),
+    Counters(Vec<(u32, String, bool)>),
+    TaskTypes(Vec<(u32, String, u64)>),
+    Regions(Vec<(u64, u64, u64, Option<NumaNodeId>)>),
+    Tasks(Vec<DecodedTask>),
+    States(Vec<(CpuId, WorkerState, Timestamp, Timestamp, Option<TaskId>)>),
+    Events(Vec<(CpuId, Timestamp, DiscreteEventKind)>),
+    Samples(Vec<(CounterId, CpuId, Timestamp, f64)>),
+    Accesses(Vec<(TaskId, AccessKind, u64, u64)>),
+    Comm(Vec<CommEvent>),
+    Symbols(Vec<(u64, u64, String)>),
+}
+
+/// One record of the tasks section.
+struct DecodedTask {
+    id: u64,
+    task_type: TaskTypeId,
+    cpu: CpuId,
+    creator: CpuId,
+    creation: Timestamp,
+    start: Timestamp,
+    end: Timestamp,
 }
 
 fn fmt_err(msg: &str) -> TraceError {
     TraceError::Format(msg.to_string())
 }
 
-fn decode_topology(p: &mut &[u8]) -> Result<MachineTopology, TraceError> {
-    let num_nodes = read_varint(p)? as u32;
-    let num_cpus = read_varint(p)? as usize;
-    if num_cpus > 1 << 20 {
-        return Err(fmt_err("implausible cpu count"));
-    }
-    let mut cpus = Vec::with_capacity(num_cpus);
-    for i in 0..num_cpus {
-        let node = read_varint(p)? as u32;
-        cpus.push(CpuInfo {
-            cpu: CpuId(i as u32),
-            node: NumaNodeId(node),
-        });
-    }
-    let mut distances = Vec::with_capacity(num_nodes as usize);
-    for _ in 0..num_nodes {
-        let mut row = Vec::with_capacity(num_nodes as usize);
-        for _ in 0..num_nodes {
-            row.push(read_f64(p)?);
-        }
-        distances.push(row);
-    }
-    MachineTopology::from_parts(cpus, num_nodes, distances)
-        .ok_or_else(|| fmt_err("inconsistent topology section"))
-}
-
-fn decode_section(
-    tag: SectionTag,
-    p: &mut &[u8],
-    b: &mut TraceBuilder,
-    symbols: &mut SymbolTable,
-) -> Result<(), TraceError> {
-    match tag {
+fn decode_records(tag: SectionTag, mut p: &[u8]) -> Result<SectionRecords, TraceError> {
+    let p = &mut p;
+    Ok(match tag {
+        SectionTag::Topology => SectionRecords::Topology(decode_topology(p)?),
         SectionTag::CounterDescriptions => {
             let count = read_varint(p)?;
+            let mut out = Vec::new();
             for _ in 0..count {
                 let id = read_varint(p)? as u32;
                 let name = read_string(p)?;
                 let mut flags = [0u8; 2];
                 p.read_exact(&mut flags)?;
-                let got = b.add_counter(name, flags[0] != 0);
-                if got != CounterId(id) {
-                    return Err(fmt_err("counter ids are not dense"));
-                }
+                out.push((id, name, flags[0] != 0));
             }
+            SectionRecords::Counters(out)
         }
         SectionTag::TaskTypes => {
             let count = read_varint(p)?;
+            let mut out = Vec::new();
             for _ in 0..count {
                 let id = read_varint(p)? as u32;
                 let name = read_string(p)?;
                 let addr = read_varint(p)?;
-                let got = b.add_task_type(name, addr);
-                if got != TaskTypeId(id) {
-                    return Err(fmt_err("task type ids are not dense"));
-                }
+                out.push((id, name, addr));
             }
+            SectionRecords::TaskTypes(out)
         }
         SectionTag::MemoryRegions => {
             let count = read_varint(p)?;
+            let mut out = Vec::new();
             for _ in 0..count {
                 let id = read_varint(p)?;
                 let base = read_varint(p)?;
                 let size = read_varint(p)?;
                 let node = read_optional_node(p)?;
-                let got = b.add_region(base, size, node);
-                if got.0 != id {
-                    return Err(fmt_err("region ids are not dense"));
-                }
+                out.push((id, base, size, node));
             }
+            SectionRecords::Regions(out)
         }
         SectionTag::Tasks => {
             let count = read_varint(p)?;
+            let mut out = Vec::new();
             for _ in 0..count {
                 let id = read_varint(p)?;
                 let ty = read_varint(p)? as u32;
@@ -179,21 +256,21 @@ fn decode_section(
                 let creation = read_varint(p)?;
                 let start = read_varint(p)?;
                 let end = read_varint(p)?;
-                let got = b.add_task_created_by(
-                    TaskTypeId(ty),
-                    CpuId(cpu),
-                    CpuId(creator),
-                    Timestamp(creation),
-                    Timestamp(start),
-                    Timestamp(end),
-                );
-                if got.0 != id {
-                    return Err(fmt_err("task ids are not dense"));
-                }
+                out.push(DecodedTask {
+                    id,
+                    task_type: TaskTypeId(ty),
+                    cpu: CpuId(cpu),
+                    creator: CpuId(creator),
+                    creation: Timestamp(creation),
+                    start: Timestamp(start),
+                    end: Timestamp(end),
+                });
             }
+            SectionRecords::Tasks(out)
         }
         SectionTag::StateIntervals => {
             let count = read_varint(p)?;
+            let mut out = Vec::new();
             for _ in 0..count {
                 let cpu = read_varint(p)? as u32;
                 let state = read_u8(p)?;
@@ -202,11 +279,13 @@ fn decode_section(
                 let task = read_optional_task(p)?;
                 let state = WorkerState::from_index(state as usize)
                     .ok_or_else(|| fmt_err("unknown worker state"))?;
-                b.add_state(CpuId(cpu), state, Timestamp(start), Timestamp(end), task)?;
+                out.push((CpuId(cpu), state, Timestamp(start), Timestamp(end), task));
             }
+            SectionRecords::States(out)
         }
         SectionTag::DiscreteEvents => {
             let count = read_varint(p)?;
+            let mut out = Vec::new();
             for _ in 0..count {
                 let cpu = read_varint(p)? as u32;
                 let ts = read_varint(p)?;
@@ -238,21 +317,25 @@ fn decode_section(
                     },
                     other => return Err(fmt_err(&format!("unknown event kind {other}"))),
                 };
-                b.add_event(CpuId(cpu), Timestamp(ts), kind)?;
+                out.push((CpuId(cpu), Timestamp(ts), kind));
             }
+            SectionRecords::Events(out)
         }
         SectionTag::CounterSamples => {
             let count = read_varint(p)?;
+            let mut out = Vec::new();
             for _ in 0..count {
                 let counter = read_varint(p)? as u32;
                 let cpu = read_varint(p)? as u32;
                 let ts = read_varint(p)?;
                 let value = read_f64(p)?;
-                b.add_sample(CounterId(counter), CpuId(cpu), Timestamp(ts), value)?;
+                out.push((CounterId(counter), CpuId(cpu), Timestamp(ts), value));
             }
+            SectionRecords::Samples(out)
         }
         SectionTag::MemoryAccesses => {
             let count = read_varint(p)?;
+            let mut out = Vec::new();
             for _ in 0..count {
                 let task = read_varint(p)?;
                 let kind = if read_u8(p)? != 0 {
@@ -262,11 +345,13 @@ fn decode_section(
                 };
                 let addr = read_varint(p)?;
                 let size = read_varint(p)?;
-                b.add_access(TaskId(task), kind, addr, size)?;
+                out.push((TaskId(task), kind, addr, size));
             }
+            SectionRecords::Accesses(out)
         }
         SectionTag::CommEvents => {
             let count = read_varint(p)?;
+            let mut out = Vec::new();
             for _ in 0..count {
                 let ts = read_varint(p)?;
                 let kind = match read_u8(p)? {
@@ -281,7 +366,7 @@ fn decode_section(
                 let dst_node = NumaNodeId(read_varint(p)? as u32);
                 let bytes = read_varint(p)?;
                 let task = read_optional_task(p)?;
-                b.add_comm(CommEvent {
+                out.push(CommEvent {
                     timestamp: Timestamp(ts),
                     kind,
                     src_cpu,
@@ -290,19 +375,138 @@ fn decode_section(
                     dst_node,
                     bytes,
                     task,
-                })?;
+                });
             }
+            SectionRecords::Comm(out)
         }
         SectionTag::Symbols => {
             let count = read_varint(p)?;
+            let mut out = Vec::new();
             for _ in 0..count {
                 let addr = read_varint(p)?;
                 let size = read_varint(p)?;
                 let name = read_string(p)?;
+                out.push((addr, size, name));
+            }
+            SectionRecords::Symbols(out)
+        }
+        SectionTag::End => unreachable!("end sections are consumed while collecting"),
+    })
+}
+
+fn decode_topology(p: &mut &[u8]) -> Result<MachineTopology, TraceError> {
+    let num_nodes = read_varint(p)? as u32;
+    let num_cpus = read_varint(p)? as usize;
+    if num_cpus > 1 << 20 {
+        return Err(fmt_err("implausible cpu count"));
+    }
+    let mut cpus = Vec::with_capacity(num_cpus);
+    for i in 0..num_cpus {
+        let node = read_varint(p)? as u32;
+        cpus.push(CpuInfo {
+            cpu: CpuId(i as u32),
+            node: NumaNodeId(node),
+        });
+    }
+    let mut distances = Vec::with_capacity(num_nodes as usize);
+    for _ in 0..num_nodes {
+        let mut row = Vec::with_capacity(num_nodes as usize);
+        for _ in 0..num_nodes {
+            row.push(read_f64(p)?);
+        }
+        distances.push(row);
+    }
+    MachineTopology::from_parts(cpus, num_nodes, distances)
+        .ok_or_else(|| fmt_err("inconsistent topology section"))
+}
+
+// ---------------------------------------------------------------------------
+// Stage 3: apply records in file order
+// ---------------------------------------------------------------------------
+
+fn apply_records(
+    records: SectionRecords,
+    builder: &mut Option<TraceBuilder>,
+    symbols: &mut SymbolTable,
+) -> Result<(), TraceError> {
+    if let SectionRecords::Topology(topo) = records {
+        *builder = Some(TraceBuilder::new(topo));
+        return Ok(());
+    }
+    let b = builder
+        .as_mut()
+        .ok_or_else(|| fmt_err("section appears before topology"))?;
+    match records {
+        SectionRecords::Topology(_) => unreachable!("handled above"),
+        SectionRecords::Counters(counters) => {
+            for (id, name, monotone) in counters {
+                let got = b.add_counter(name, monotone);
+                if got != CounterId(id) {
+                    return Err(fmt_err("counter ids are not dense"));
+                }
+            }
+        }
+        SectionRecords::TaskTypes(types) => {
+            for (id, name, addr) in types {
+                let got = b.add_task_type(name, addr);
+                if got != TaskTypeId(id) {
+                    return Err(fmt_err("task type ids are not dense"));
+                }
+            }
+        }
+        SectionRecords::Regions(regions) => {
+            for (id, base, size, node) in regions {
+                let got = b.add_region(base, size, node);
+                if got.0 != id {
+                    return Err(fmt_err("region ids are not dense"));
+                }
+            }
+        }
+        SectionRecords::Tasks(tasks) => {
+            for t in tasks {
+                let got = b.add_task_created_by(
+                    t.task_type,
+                    t.cpu,
+                    t.creator,
+                    t.creation,
+                    t.start,
+                    t.end,
+                );
+                if got.0 != t.id {
+                    return Err(fmt_err("task ids are not dense"));
+                }
+            }
+        }
+        SectionRecords::States(states) => {
+            for (cpu, state, start, end, task) in states {
+                b.add_state(cpu, state, start, end, task)?;
+            }
+        }
+        SectionRecords::Events(events) => {
+            for (cpu, ts, kind) in events {
+                b.add_event(cpu, ts, kind)?;
+            }
+        }
+        SectionRecords::Samples(samples) => {
+            for (counter, cpu, ts, value) in samples {
+                b.add_sample(counter, cpu, ts, value)?;
+            }
+        }
+        SectionRecords::Accesses(accesses) => {
+            for (task, kind, addr, size) in accesses {
+                b.add_access(task, kind, addr, size)?;
+            }
+        }
+        SectionRecords::Comm(events) => {
+            for event in events {
+                b.add_comm(event)?;
+            }
+        }
+        SectionRecords::Symbols(entries) => {
+            for (addr, size, name) in entries {
                 symbols.insert(addr, size, name);
             }
         }
-        SectionTag::Topology | SectionTag::End => unreachable!("handled by caller"),
     }
     Ok(())
 }
@@ -437,6 +641,33 @@ mod tests {
     }
 
     #[test]
+    fn parallel_read_equals_sequential_read() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let sequential = read_trace(&buf[..]).unwrap();
+        for threads in [Threads::new(2), Threads::new(4), Threads::auto()] {
+            let parallel = read_trace_with(&buf[..], threads).unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_regions_registered_in_descending_address_order() {
+        // Regression: the trace stores regions sorted by base address while ids follow
+        // registration order. The writer must emit them in id order or the reader's
+        // dense-id check fails for any trace registered high-address-first.
+        let mut b = TraceBuilder::new(MachineTopology::uniform(1, 1));
+        b.add_region(0x9000, 64, Some(NumaNodeId(0)));
+        b.add_region(0x1000, 64, None);
+        let trace = b.finish().unwrap();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
     fn roundtrip_minimal_trace() {
         let trace = TraceBuilder::new(MachineTopology::uniform(1, 1))
             .finish()
@@ -486,6 +717,19 @@ mod tests {
     }
 
     #[test]
+    fn rejects_sections_before_topology() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        // A task-types section with zero entries, before any topology.
+        buf.push(SectionTag::TaskTypes as u8);
+        buf.push(1);
+        buf.push(0);
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert!(matches!(err, TraceError::Format(msg) if msg.contains("before topology")));
+    }
+
+    #[test]
     fn skips_unknown_sections() {
         let trace = sample_trace();
         let mut buf = Vec::new();
@@ -510,7 +754,9 @@ mod tests {
         let path = dir.join(format!("aftermath_test_{}.trace", std::process::id()));
         crate::format::write_trace_file(&trace, &path).unwrap();
         let back = read_trace_file(&path).unwrap();
+        let back_parallel = read_trace_file_with(&path, Threads::new(2)).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(trace, back);
+        assert_eq!(trace, back_parallel);
     }
 }

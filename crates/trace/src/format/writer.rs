@@ -123,8 +123,14 @@ fn encode_task_types(trace: &Trace) -> Result<Vec<u8>, TraceError> {
 
 fn encode_regions(trace: &Trace) -> Result<Vec<u8>, TraceError> {
     let mut p = Vec::new();
-    write_varint(&mut p, trace.regions().len() as u64)?;
-    for r in trace.regions() {
+    // The trace stores regions sorted by base address, but the reader rebuilds them
+    // through `TraceBuilder::add_region`, which assigns ids densely in insertion
+    // order — so they must be encoded in id order or traces whose regions were
+    // registered in non-ascending address order would fail to load.
+    let mut regions: Vec<_> = trace.regions().iter().collect();
+    regions.sort_by_key(|r| r.id.0);
+    write_varint(&mut p, regions.len() as u64)?;
+    for r in regions {
         write_varint(&mut p, r.id.0)?;
         write_varint(&mut p, r.base_addr)?;
         write_varint(&mut p, r.size)?;

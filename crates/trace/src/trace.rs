@@ -1,6 +1,8 @@
 //! The in-memory trace container and its builder.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+
+use aftermath_exec::{parallel_for_chunks, Threads};
 
 use crate::error::TraceError;
 use crate::event::{
@@ -54,6 +56,10 @@ pub struct Trace {
     accesses: Vec<MemoryAccess>,
     comm_events: Vec<CommEvent>,
     counters: Vec<CounterDescription>,
+    /// Name → id lookup table, built once by [`TraceBuilder::finish`] so that
+    /// [`Trace::counter_by_name`] does not scan the descriptions per call. Duplicate
+    /// names map to the first registered counter, like the linear scan used to.
+    counter_names: HashMap<String, CounterId>,
     symbols: SymbolTable,
 }
 
@@ -145,9 +151,11 @@ impl Trace {
         self.counters.get(id.0 as usize)
     }
 
-    /// Looks up a counter description by name.
+    /// Looks up a counter description by name through the prebuilt name → id map.
     pub fn counter_by_name(&self, name: &str) -> Option<&CounterDescription> {
-        self.counters.iter().find(|c| c.name == name)
+        self.counter_names
+            .get(name)
+            .and_then(|id| self.counter(*id))
     }
 
     /// The symbol table extracted from the application binary (may be empty).
@@ -456,7 +464,18 @@ impl TraceBuilder {
     /// [`TraceError::InvalidInterval`] or [`TraceError::OverlappingStates`] when the
     /// recorded data is inconsistent.
     pub fn finish(self) -> Result<Trace, TraceError> {
-        self.finish_impl(false)
+        self.finish_impl(false, Threads::single())
+    }
+
+    /// Like [`TraceBuilder::finish`] but splits and sorts the per-CPU event streams on
+    /// up to `threads` worker threads. The produced trace is identical to
+    /// [`TraceBuilder::finish`]; only the wall-clock time differs on large traces.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceBuilder::finish`].
+    pub fn finish_with(self, threads: Threads) -> Result<Trace, TraceError> {
+        self.finish_impl(false, threads)
     }
 
     /// Like [`TraceBuilder::finish`] but additionally rejects per-CPU streams whose
@@ -467,10 +486,10 @@ impl TraceBuilder {
     /// In addition to the errors of [`TraceBuilder::finish`], returns
     /// [`TraceError::UnorderedEvents`] when a stream is out of order.
     pub fn finish_strict(self) -> Result<Trace, TraceError> {
-        self.finish_impl(true)
+        self.finish_impl(true, Threads::single())
     }
 
-    fn finish_impl(mut self, strict: bool) -> Result<Trace, TraceError> {
+    fn finish_impl(mut self, strict: bool, threads: Threads) -> Result<Trace, TraceError> {
         // Validate task references.
         for task in &self.tasks {
             if task.task_type.0 as usize >= self.task_types.len() {
@@ -497,14 +516,18 @@ impl TraceBuilder {
             }
         }
 
-        // Sort streams.
-        for pc in &mut self.per_cpu {
-            pc.states.sort_by_key(|s| s.interval.start);
-            pc.events.sort_by_key(|e| e.timestamp);
-            for samples in pc.samples.values_mut() {
-                samples.sort_by_key(|s| s.timestamp);
+        // Sort streams: each CPU's streams are independent, so they sort in parallel
+        // (one chunk per CPU). Sorting is per-stream deterministic, so the result does
+        // not depend on the thread count.
+        parallel_for_chunks(threads, &mut self.per_cpu, 1, |_, chunk| {
+            for pc in chunk {
+                pc.states.sort_by_key(|s| s.interval.start);
+                pc.events.sort_by_key(|e| e.timestamp);
+                for samples in pc.samples.values_mut() {
+                    samples.sort_by_key(|s| s.timestamp);
+                }
             }
-        }
+        });
         self.regions.sort_by_key(|r| r.base_addr);
         self.accesses.sort_by_key(|a| a.task);
         self.comm_events.sort_by_key(|c| c.timestamp);
@@ -518,6 +541,13 @@ impl TraceBuilder {
             }
         }
 
+        // Duplicate names keep the first registered id, matching the previous
+        // first-match linear scan.
+        let mut counter_names = HashMap::with_capacity(self.counters.len());
+        for c in &self.counters {
+            counter_names.entry(c.name.clone()).or_insert(c.id);
+        }
+
         Ok(Trace {
             topology: self.topology,
             task_types: self.task_types,
@@ -527,6 +557,7 @@ impl TraceBuilder {
             accesses: self.accesses,
             comm_events: self.comm_events,
             counters: self.counters,
+            counter_names,
             symbols: self.symbols,
         })
     }
@@ -768,5 +799,42 @@ mod tests {
         assert_eq!(trace.counter(c).unwrap().name, "branch-mispredictions");
         assert!(trace.counter_by_name("branch-mispredictions").is_some());
         assert!(trace.counter_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn counter_lookup_prefers_first_duplicate() {
+        let mut b = TraceBuilder::new(topo());
+        let first = b.add_counter("dup", true);
+        let _second = b.add_counter("dup", false);
+        let trace = b.finish().unwrap();
+        assert_eq!(trace.counter_by_name("dup").unwrap().id, first);
+    }
+
+    #[test]
+    fn finish_with_threads_matches_sequential_finish() {
+        let build = || {
+            let mut b = TraceBuilder::new(MachineTopology::uniform(2, 4));
+            let ctr = b.add_counter("c", true);
+            for cpu in 0..8u32 {
+                // Insert out of order so finish has real sorting to do per CPU.
+                for i in (0..50u64).rev() {
+                    b.add_state(
+                        CpuId(cpu),
+                        WorkerState::Idle,
+                        Timestamp(i * 10),
+                        Timestamp(i * 10 + 10),
+                        None,
+                    )
+                    .unwrap();
+                    b.add_sample(ctr, CpuId(cpu), Timestamp(i * 10), i as f64)
+                        .unwrap();
+                }
+            }
+            b
+        };
+        let sequential = build().finish().unwrap();
+        for threads in [Threads::new(2), Threads::auto()] {
+            assert_eq!(build().finish_with(threads).unwrap(), sequential);
+        }
     }
 }

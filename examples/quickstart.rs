@@ -7,7 +7,7 @@
 //! ```
 
 use aftermath::prelude::*;
-use aftermath::trace::format::{read_trace_file, write_trace_file};
+use aftermath::trace::format::{read_trace_file_with, write_trace_file};
 use aftermath_core::{derived, stats};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,19 +33,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Write the trace in Aftermath's binary format and read it back (this is what a
-    //    run-time system would produce and what the analysis tool consumes).
+    //    run-time system would produce and what the analysis tool consumes). The
+    //    independent sections of the format decode in parallel on the execution layer.
+    let threads = Threads::auto();
     let path = std::env::temp_dir().join("aftermath_quickstart.trace");
     write_trace_file(&result.trace, &path)?;
-    let trace = read_trace_file(&path)?;
+    let trace = read_trace_file_with(&path, threads)?;
     println!(
-        "trace round-trip through {} ({} recorded items)",
+        "trace round-trip through {} ({} recorded items, {} decode threads)",
         path.display(),
-        trace.num_events()
+        trace.num_events(),
+        threads
     );
 
     // 4. Analyze: how parallel was the execution, what did the workers do, how long did
-    //    tasks run?
+    //    tasks run? Opening a session is cheap — counter indexes build lazily per
+    //    (CPU, counter) shard — and `prewarm` builds all remaining shards in parallel,
+    //    which is what an interactive tool does in the background right after loading.
     let session = aftermath_core::AnalysisSession::new(&trace);
+    let shards = session.prewarm(threads);
+    println!("prewarmed {shards} counter-index shards");
     let bounds = session.time_bounds();
     println!(
         "average parallelism: {:.2} of {} workers",

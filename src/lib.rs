@@ -11,6 +11,7 @@
 //!
 //! | Module | Crate | Role |
 //! |---|---|---|
+//! | [`exec`] | `aftermath-exec` | scoped thread-pool primitives shared by every layer |
 //! | [`trace`] | `aftermath-trace` | trace data model + binary trace format |
 //! | [`sim`] | `aftermath-sim` | NUMA machine + dependent-task run-time simulator |
 //! | [`workloads`] | `aftermath-workloads` | seidel, k-means and synthetic DAG generators |
@@ -46,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub use aftermath_core as core;
+pub use aftermath_exec as exec;
 pub use aftermath_render as render;
 pub use aftermath_sim as sim;
 pub use aftermath_trace as trace;
@@ -54,6 +56,7 @@ pub use aftermath_workloads as workloads;
 /// Commonly used types from every layer, for glob import in examples and tests.
 pub mod prelude {
     pub use aftermath_core::prelude::*;
+    pub use aftermath_exec::{parallel_for_chunks, parallel_map, Threads};
     pub use aftermath_render::prelude::*;
     pub use aftermath_sim::{
         AllocationPolicy, MachineConfig, RuntimeConfig, SchedulingPolicy, SimConfig, SimResult,

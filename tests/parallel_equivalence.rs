@@ -1,0 +1,133 @@
+//! End-to-end equivalence of the parallel execution layer with the sequential
+//! pipeline: parallel ingest, prewarmed sharded sessions, the parallel anomaly scan
+//! and parallel rasterization must all produce results identical to their
+//! single-threaded counterparts — bit for bit, at every thread count.
+
+use aftermath::prelude::*;
+use aftermath::trace::format::{read_trace_with, write_trace};
+use aftermath_core::export::export_anomalies;
+use aftermath_core::{AnomalyConfig, TimelineMode, TimelineModel};
+use aftermath_render::TimelineRenderer;
+
+fn simulated_trace() -> Trace {
+    let spec = SeidelConfig::small().build();
+    let config = SimConfig::new(MachineConfig::uniform(2, 4), RuntimeConfig::default(), 7);
+    Simulator::new(config)
+        .run(&spec)
+        .expect("seidel simulation must succeed")
+        .trace
+}
+
+fn thread_sweep() -> [Threads; 3] {
+    [Threads::new(2), Threads::new(4), Threads::auto()]
+}
+
+#[test]
+fn parallel_ingest_reproduces_the_sequential_trace() {
+    let trace = simulated_trace();
+    let mut encoded = Vec::new();
+    write_trace(&trace, &mut encoded).unwrap();
+    let sequential = read_trace_with(&encoded[..], Threads::single()).unwrap();
+    assert_eq!(trace, sequential);
+    for threads in thread_sweep() {
+        let parallel = read_trace_with(&encoded[..], threads).unwrap();
+        assert_eq!(sequential, parallel, "threads = {threads}");
+    }
+}
+
+#[test]
+fn parallel_anomaly_report_is_byte_identical_to_sequential() {
+    let trace = simulated_trace();
+    let config = AnomalyConfig::default();
+
+    let sequential_session = AnalysisSession::new(&trace);
+    let sequential = sequential_session.detect_anomalies(&config).unwrap();
+    let mut sequential_csv = Vec::new();
+    export_anomalies(sequential.as_slice(), &mut sequential_csv).unwrap();
+
+    for threads in thread_sweep() {
+        // A fresh session per thread count so the report cache cannot mask a
+        // difference in the parallel scan.
+        let session = AnalysisSession::new(&trace);
+        session.prewarm(threads);
+        let parallel = session.detect_anomalies_with(&config, threads).unwrap();
+        assert_eq!(*sequential, *parallel, "threads = {threads}");
+        let mut parallel_csv = Vec::new();
+        export_anomalies(parallel.as_slice(), &mut parallel_csv).unwrap();
+        assert_eq!(
+            sequential_csv, parallel_csv,
+            "CSV bytes must match at threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn prewarmed_session_answers_like_a_lazy_one() {
+    let trace = simulated_trace();
+    let lazy = AnalysisSession::new(&trace);
+    let warm = AnalysisSession::new(&trace);
+    warm.prewarm(Threads::auto());
+    let bounds = lazy.time_bounds();
+    for desc in trace.counters() {
+        for cpu in trace.topology().cpu_ids() {
+            for interval in [
+                bounds,
+                TimeInterval::from_cycles(bounds.start.0, bounds.start.0 + bounds.duration() / 3),
+                TimeInterval::from_cycles(bounds.end.0, bounds.end.0),
+            ] {
+                assert_eq!(
+                    lazy.counter_min_max(cpu, desc.id, interval),
+                    warm.counter_min_max(cpu, desc.id, interval),
+                    "cpu {cpu:?}, counter {:?}",
+                    desc.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_timeline_render_matches_sequential_pixels_and_draw_calls() {
+    let trace = simulated_trace();
+    let session = AnalysisSession::new(&trace);
+    let bounds = session.time_bounds();
+    let renderer = TimelineRenderer::with_row_height(3);
+    for mode in [TimelineMode::State, TimelineMode::TaskType] {
+        let model = TimelineModel::build(&session, mode, bounds, 301).unwrap();
+        let sequential = renderer.render(&model);
+        for threads in thread_sweep() {
+            let parallel = renderer.render_with(&model, threads);
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn full_parallel_pipeline_matches_sequential_end_to_end() {
+    // One pass through every refactored stage at once: ingest → prewarm → detect →
+    // render, entirely parallel vs. entirely sequential.
+    let trace = simulated_trace();
+    let mut encoded = Vec::new();
+    write_trace(&trace, &mut encoded).unwrap();
+
+    let run = |threads: Threads| {
+        let trace = read_trace_with(&encoded[..], threads).unwrap();
+        let session = AnalysisSession::new(&trace);
+        session.prewarm(threads);
+        let report = session
+            .detect_anomalies_with(&AnomalyConfig::default(), threads)
+            .unwrap();
+        let mut csv = Vec::new();
+        export_anomalies(report.as_slice(), &mut csv).unwrap();
+        let model = TimelineModel::build(&session, TimelineMode::State, session.time_bounds(), 256)
+            .unwrap();
+        let frame = TimelineRenderer::new().render_with(&model, threads);
+        (trace, csv, frame)
+    };
+
+    let sequential = run(Threads::single());
+    let parallel = run(Threads::auto());
+    assert_eq!(sequential.0, parallel.0, "decoded traces");
+    assert_eq!(sequential.1, parallel.1, "anomaly CSV bytes");
+    assert_eq!(sequential.2, parallel.2, "rendered frames");
+}

@@ -110,6 +110,99 @@ proptest! {
     }
 }
 
+/// Timestamps/sizes at the LEB128 encoding boundaries: the values where the varint
+/// width changes, including 0 and `u64::MAX`.
+const VARINT_BOUNDARIES: [u64; 8] = [0, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn trace_format_roundtrip_at_varint_boundaries(
+        // Each pick selects one boundary timestamp for an event and one for a sample.
+        picks in prop::collection::vec((0usize..8, 0usize..8), 0..16),
+        with_task in 0u8..2,
+        with_regions in 0u8..2,
+        with_comm in 0u8..2,
+        with_symbols in 0u8..2,
+        with_state in 0u8..2,
+    ) {
+        use aftermath_trace::{
+            AccessKind, CommEvent, CommKind, DiscreteEventKind, NumaNodeId, SymbolTable, TaskId,
+        };
+        let mut b = TraceBuilder::new(MachineTopology::uniform(2, 2));
+        let ty = b.add_task_type("w", u64::MAX); // boundary symbol address
+        let ctr = b.add_counter("", true); // empty section strings must survive too
+        for (i, &(ti, vi)) in picks.iter().enumerate() {
+            let cpu = CpuId((i % 4) as u32);
+            let ts = Timestamp(VARINT_BOUNDARIES[ti]);
+            // Alternate event kinds so ids at the boundaries flow through both paths.
+            let kind = if i % 2 == 0 {
+                DiscreteEventKind::Marker { code: u32::MAX }
+            } else {
+                DiscreteEventKind::TaskCreate { task: TaskId(u64::MAX) }
+            };
+            b.add_event(cpu, ts, kind).unwrap();
+            b.add_sample(
+                ctr,
+                cpu,
+                Timestamp(VARINT_BOUNDARIES[vi]),
+                VARINT_BOUNDARIES[vi] as f64,
+            )
+            .unwrap();
+        }
+        // Every remaining section is individually optional: any subset of them being
+        // empty (including all of them — writers omit empty sections) must round-trip.
+        let task = (with_task == 1).then(|| {
+            b.add_task(
+                ty,
+                CpuId(0),
+                Timestamp(0),
+                Timestamp(VARINT_BOUNDARIES[3]),
+                Timestamp(u64::MAX),
+            )
+        });
+        if let Some(task) = task {
+            b.add_access(task, AccessKind::Write, u64::MAX, u64::MAX).unwrap();
+            b.add_access(task, AccessKind::Read, 0, 0).unwrap();
+        }
+        if with_regions == 1 {
+            b.add_region(u64::MAX, u64::MAX, Some(NumaNodeId(1)));
+            b.add_region(0, 127, None);
+        }
+        if with_comm == 1 {
+            b.add_comm(CommEvent {
+                timestamp: Timestamp(u64::MAX),
+                kind: CommKind::Broadcast,
+                src_cpu: CpuId(0),
+                dst_cpu: CpuId(3),
+                src_node: NumaNodeId(0),
+                dst_node: NumaNodeId(1),
+                bytes: u64::MAX,
+                task,
+            })
+            .unwrap();
+        }
+        if with_symbols == 1 {
+            let mut symbols = SymbolTable::new();
+            symbols.insert(u64::MAX, 0, "σ");
+            symbols.insert(0, 128, "");
+            b.set_symbols(symbols);
+        }
+        if with_state == 1 {
+            b.add_state(CpuId(1), WorkerState::Idle, Timestamp(0), Timestamp(u64::MAX), task)
+                .unwrap();
+        }
+        let trace = b.finish().unwrap();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        prop_assert_eq!(&trace, &back);
+        // The parallel decoder must agree bit for bit as well.
+        let parallel = aftermath::trace::format::read_trace_with(&buf[..], Threads::new(3)).unwrap();
+        prop_assert_eq!(&trace, &parallel);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Counter min/max index vs. naive scan
 // ---------------------------------------------------------------------------
