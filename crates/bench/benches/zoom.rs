@@ -1,0 +1,66 @@
+//! Zoom/pan latency benchmarks: timeline frame computation with the per-column scan
+//! engine vs. the multi-resolution aggregation pyramid, across zoom levels.
+//!
+//! The pyramid's frame cost is O(columns · log n) regardless of zoom, so its times
+//! stay flat across the factors while the scan engine's zoomed-out frames grow with
+//! the event count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aftermath_bench::figures::Scale;
+use aftermath_bench::zoom::{sweep_modes, zoom_trace, zoom_window, ZOOM_FACTORS};
+use aftermath_core::{AnalysisSession, TaskFilter, Threads, TimelineEngine, TimelineModel};
+
+const COLUMNS: usize = 256;
+
+fn bench_zoom_frames(c: &mut Criterion) {
+    let trace = zoom_trace(Scale::Test);
+    let session = AnalysisSession::new(&trace);
+    session.prewarm(Threads::auto());
+    let bounds = session.time_bounds();
+    let filter = TaskFilter::new();
+    let (state_name, state_mode) = sweep_modes(&trace)[0];
+
+    let mut group = c.benchmark_group("zoom_frame");
+    for factor in ZOOM_FACTORS {
+        let window = zoom_window(bounds, factor);
+        for engine in [TimelineEngine::Scan, TimelineEngine::Pyramid] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{state_name}_{engine:?}"), factor),
+                &factor,
+                |b, _| {
+                    b.iter(|| {
+                        TimelineModel::build_with_engine(
+                            &session, state_mode, window, COLUMNS, &filter, engine,
+                        )
+                        .unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pyramid_build(c: &mut Criterion) {
+    let trace = zoom_trace(Scale::Test);
+
+    let mut group = c.benchmark_group("zoom_prewarm");
+    for threads in Threads::scaling_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("prewarm", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    // A fresh session per iteration: pyramid builds are once-per-CPU.
+                    let session = AnalysisSession::new(&trace);
+                    session.prewarm(Threads::new(threads))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zoom_frames, bench_pyramid_build);
+criterion_main!(benches);

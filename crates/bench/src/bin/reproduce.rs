@@ -16,6 +16,7 @@ use aftermath_bench::figures::{fmt_cycles, Scale};
 use aftermath_bench::kmeans_experiments as km;
 use aftermath_bench::section6;
 use aftermath_bench::seidel_experiments::SeidelExperiment;
+use aftermath_bench::zoom;
 use aftermath_core::{AnalysisSession, Threads, TimelineMode, TimelineModel};
 use aftermath_render::views::{render_histogram, render_incidence_matrix};
 use aftermath_render::TimelineRenderer;
@@ -24,7 +25,25 @@ struct Options {
     scale: Scale,
     out_dir: Option<PathBuf>,
     threads: Threads,
+    json: bool,
     targets: Vec<String>,
+}
+
+impl Options {
+    /// Writes a machine-readable benchmark record (`--json`) next to the other
+    /// outputs: into `--out` when given, the working directory otherwise.
+    fn write_json(&self, name: &str, contents: &str) {
+        if !self.json {
+            return;
+        }
+        let file = format!("BENCH_{name}.json");
+        let path = match &self.out_dir {
+            Some(dir) => dir.join(&file),
+            None => PathBuf::from(&file),
+        };
+        std::fs::write(&path, contents).expect("write benchmark record");
+        println!("# wrote {}", path.display());
+    }
 }
 
 fn parse_args() -> Options {
@@ -32,6 +51,7 @@ fn parse_args() -> Options {
     let mut scale = Scale::Paper;
     let mut out_dir = None;
     let mut threads = Threads::auto();
+    let mut json = false;
     let mut targets = Vec::new();
     while let Some(arg) = args.pop_front() {
         match arg.as_str() {
@@ -53,10 +73,13 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 });
             }
+            "--json" => json = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [--scale test|paper] [--out DIR] [--threads N|auto] [FIGURE...]\n\
-                     figures: fig3 fig5 fig8 fig9 fig10 fig12 fig13 fig14 fig15 fig16 fig19 sec6 all"
+                    "usage: reproduce [--scale test|paper] [--out DIR] [--threads N|auto] [--json] [FIGURE...]\n\
+                     figures: fig3 fig5 fig8 fig9 fig10 fig12 fig13 fig14 fig15 fig16 fig19 sec6 all\n\
+                     modes:   zoom-sweep  (scan-vs-pyramid frame times across zoom levels; not part of 'all')\n\
+                     --json writes BENCH_<name>.json records for sec6 and zoom-sweep"
                 );
                 std::process::exit(0);
             }
@@ -70,6 +93,7 @@ fn parse_args() -> Options {
         scale,
         out_dir,
         threads,
+        json,
         targets,
     }
 }
@@ -132,6 +156,53 @@ fn main() {
     if wants(&options, "sec6") {
         sec6(&options);
     }
+    // The zoom sweep is an explicit mode (not part of `all`): at paper scale it
+    // generates a deliberately large trace to expose the scan wall.
+    if options
+        .targets
+        .iter()
+        .any(|t| t == "zoom-sweep" || t == "zoom")
+    {
+        zoom_sweep(&options);
+    }
+}
+
+fn zoom_sweep(options: &Options) {
+    let trace = zoom::zoom_trace(options.scale);
+    let columns = 800;
+    // Verify byte-identity at test scale; at paper scale the sweep itself is the
+    // point and the equivalence suite already covers correctness.
+    let verify = options.scale == Scale::Test;
+    let sweep = zoom::run_zoom_sweep(&trace, columns, options.threads, verify);
+    print_series_header(
+        "Zoom sweep — timeline frame times: per-column scan vs. aggregation pyramid",
+        "zoom_factor,mode,scan_ms,pyramid_ms,speedup",
+    );
+    for frame in &sweep.frames {
+        println!(
+            "{},{},{:.3},{:.3},{:.2}",
+            frame.zoom_factor,
+            frame.mode,
+            frame.scan_seconds * 1e3,
+            frame.pyramid_seconds * 1e3,
+            frame.speedup()
+        );
+    }
+    println!(
+        "# trace: {} events; {} columns; prewarm (indexes + pyramids): {:.3}s",
+        sweep.num_events, sweep.columns, sweep.prewarm_seconds
+    );
+    println!(
+        "# pyramid memory: {} bytes = {:.2}% of {} bytes raw event data (budget: < 15%)",
+        sweep.pyramid_bytes,
+        sweep.pyramid_overhead() * 100.0,
+        sweep.raw_event_bytes
+    );
+    println!(
+        "# zoomed-out (factor 1) aggregate speedup: {:.2}x (acceptance: >= 5x at paper scale)",
+        sweep.zoomed_out_speedup()
+    );
+    options.write_json("zoom_sweep", &sweep.to_json());
 }
 
 fn print_series_header(title: &str, columns: &str) {
@@ -372,5 +443,23 @@ fn sec6(options: &Options) {
     println!(
         "counter_index_overhead,{:.4} (paper claims <= 0.05)",
         render.index_overhead_ratio
+    );
+    options.write_json(
+        "sec6",
+        &format!(
+            "{{\n  \"bench\": \"sec6\",\n  \"recorded_items\": {},\n  \"encoded_bytes\": {},\n  \
+             \"bytes_per_event\": {:.3},\n  \"encode_seconds\": {:.6},\n  \"decode_seconds\": {:.6},\n  \
+             \"timeline_draw_calls_optimized\": {},\n  \"timeline_draw_calls_unaggregated\": {},\n  \
+             \"timeline_draw_calls_naive\": {},\n  \"counter_index_overhead\": {:.6}\n}}\n",
+            io.num_events,
+            io.encoded_bytes,
+            io.bytes_per_event,
+            io.write_seconds,
+            io.read_seconds,
+            render.optimized_draw_calls,
+            render.unaggregated_draw_calls,
+            render.naive_draw_calls,
+            render.index_overhead_ratio
+        ),
     );
 }

@@ -18,5 +18,6 @@ pub mod figures;
 pub mod kmeans_experiments;
 pub mod section6;
 pub mod seidel_experiments;
+pub mod zoom;
 
 pub use figures::Scale;

@@ -1,0 +1,367 @@
+//! Zoom/pan latency measurements: the Section VI interactivity claim, measured.
+//!
+//! The paper's headline is *interactive* navigation of large traces at any zoom
+//! level. This module builds a dense synthetic trace in the spirit of the Section VI
+//! workload (alternating task-execution/idle streams with typed tasks and NUMA
+//! accesses, but with enough events per CPU that the per-column scan wall actually
+//! shows) and measures, per zoom level and timeline mode, the time to compute a
+//! timeline frame with
+//!
+//! * the **scan** engine — the original per-column slice-and-scan path, whose
+//!   zoomed-out frame cost is O(total events), and
+//! * the **pyramid** engine — the multi-resolution aggregation layer, whose frame
+//!   cost is O(columns · log n) at every zoom level.
+//!
+//! The two engines produce byte-identical models (verified during the sweep), so the
+//! comparison is purely about time. [`ZoomSweep::to_json`] emits the results as a
+//! machine-readable `BENCH_*.json` record.
+
+use std::time::Instant;
+
+use aftermath_core::{
+    AnalysisSession, TaskFilter, Threads, TimelineEngine, TimelineMode, TimelineModel,
+};
+use aftermath_trace::{
+    AccessKind, CpuId, MachineTopology, TaskTypeId, TimeInterval, Timestamp, Trace, TraceBuilder,
+};
+
+use crate::figures::Scale;
+
+/// Zoom factors measured by the sweep, ascending from fully zoomed out (`1`).
+pub const ZOOM_FACTORS: [u64; 5] = [1, 4, 16, 64, 256];
+
+/// Number of task-execution/idle interval pairs generated per CPU.
+pub fn pairs_per_cpu(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 2_000,
+        Scale::Paper => 1_000_000,
+    }
+}
+
+/// Builds the dense synthetic navigation trace: 2 NUMA nodes × 2 CPUs, each CPU an
+/// alternating stream of typed task executions and idle gaps, every task reading
+/// from one node and writing to the other so all six timeline modes are populated.
+pub fn zoom_trace(scale: Scale) -> Trace {
+    let pairs = pairs_per_cpu(scale);
+    let topo = MachineTopology::uniform(2, 2);
+    let num_cpus = topo.num_cpus();
+    let mut b = TraceBuilder::new(topo);
+    let types: Vec<TaskTypeId> = (0..8)
+        .map(|i| b.add_task_type(format!("kernel_{i}"), 0x1000 + i))
+        .collect();
+    let region_bytes = 1 << 20;
+    let r0 = 0x10_0000u64;
+    let r1 = 0x20_0000u64;
+    b.add_region(r0, region_bytes, Some(aftermath_trace::NumaNodeId(0)));
+    b.add_region(r1, region_bytes, Some(aftermath_trace::NumaNodeId(1)));
+    // A deterministic xorshift keeps durations varied (non-trivial predominance and
+    // heat shades) without any external dependency.
+    let mut rng_state = 0x9E37_79B9_97F4_A7C5u64;
+    let mut rng = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+    for cpu in 0..num_cpus {
+        let cpu = CpuId(cpu as u32);
+        let mut now = 0u64;
+        for i in 0..pairs {
+            let work = 20_000 + rng() % 120_000;
+            let gap = 2_000 + rng() % 20_000;
+            let ty = types[(i + cpu.0 as usize) % types.len()];
+            let task = b.add_task(
+                ty,
+                cpu,
+                Timestamp(now),
+                Timestamp(now),
+                Timestamp(now + work),
+            );
+            b.add_state(
+                cpu,
+                aftermath_trace::WorkerState::TaskExecution,
+                Timestamp(now),
+                Timestamp(now + work),
+                Some(task),
+            )
+            .expect("state in bounds");
+            b.add_state(
+                cpu,
+                aftermath_trace::WorkerState::Idle,
+                Timestamp(now + work),
+                Timestamp(now + work + gap),
+                None,
+            )
+            .expect("state in bounds");
+            let (read_base, write_base) = if rng() % 3 == 0 { (r1, r0) } else { (r0, r1) };
+            b.add_access(
+                task,
+                AccessKind::Read,
+                read_base + rng() % region_bytes,
+                256 + rng() % 4096,
+            )
+            .expect("access");
+            b.add_access(
+                task,
+                AccessKind::Write,
+                write_base + rng() % region_bytes,
+                128 + rng() % 2048,
+            )
+            .expect("access");
+            now += work + gap;
+        }
+    }
+    b.finish().expect("zoom trace must validate")
+}
+
+/// One measured frame: a `(zoom factor, timeline mode)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoomFrame {
+    /// Zoom factor (1 = the whole trace is visible).
+    pub zoom_factor: u64,
+    /// Short name of the timeline mode.
+    pub mode: &'static str,
+    /// Seconds to compute the frame with the scan engine (median of 3).
+    pub scan_seconds: f64,
+    /// Seconds to compute the frame with the pyramid engine (median of 3).
+    pub pyramid_seconds: f64,
+}
+
+impl ZoomFrame {
+    /// Scan time over pyramid time for this frame.
+    pub fn speedup(&self) -> f64 {
+        self.scan_seconds / self.pyramid_seconds.max(1e-12)
+    }
+}
+
+/// The result of one zoom sweep over a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoomSweep {
+    /// Horizontal resolution of every frame in pixels.
+    pub columns: usize,
+    /// Total recorded events in the measured trace.
+    pub num_events: usize,
+    /// Seconds spent building all index shards (counter indexes + pyramids).
+    pub prewarm_seconds: f64,
+    /// All measured frames, grouped by ascending zoom factor.
+    pub frames: Vec<ZoomFrame>,
+    /// Memory of the aggregation pyramids in bytes.
+    pub pyramid_bytes: usize,
+    /// Size of the raw event data in bytes.
+    pub raw_event_bytes: usize,
+}
+
+impl ZoomSweep {
+    /// Pyramid memory relative to the raw event data (the paper-style overhead
+    /// budget for indexes is a few percent; the acceptance bound here is 15 %).
+    pub fn pyramid_overhead(&self) -> f64 {
+        if self.raw_event_bytes == 0 {
+            return 0.0;
+        }
+        self.pyramid_bytes as f64 / self.raw_event_bytes as f64
+    }
+
+    /// Aggregate scan-over-pyramid speedup at one zoom factor (total scan seconds
+    /// over total pyramid seconds across all modes).
+    pub fn speedup_at(&self, zoom_factor: u64) -> f64 {
+        let (scan, pyramid) = self
+            .frames
+            .iter()
+            .filter(|f| f.zoom_factor == zoom_factor)
+            .fold((0.0, 0.0), |(s, p), f| {
+                (s + f.scan_seconds, p + f.pyramid_seconds)
+            });
+        scan / pyramid.max(1e-12)
+    }
+
+    /// Aggregate speedup at the most zoomed-out level (factor 1) — the headline
+    /// number: the level where the scan path degenerates to O(total events).
+    pub fn zoomed_out_speedup(&self) -> f64 {
+        self.speedup_at(ZOOM_FACTORS[0])
+    }
+
+    /// Serialises the sweep as a JSON object (hand-rolled; the workspace is
+    /// offline and carries no JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"bench\": \"zoom_sweep\",\n");
+        s.push_str(&format!("  \"columns\": {},\n", self.columns));
+        s.push_str(&format!("  \"num_events\": {},\n", self.num_events));
+        s.push_str(&format!(
+            "  \"prewarm_seconds\": {:.6},\n",
+            self.prewarm_seconds
+        ));
+        s.push_str(&format!("  \"pyramid_bytes\": {},\n", self.pyramid_bytes));
+        s.push_str(&format!(
+            "  \"raw_event_bytes\": {},\n",
+            self.raw_event_bytes
+        ));
+        s.push_str(&format!(
+            "  \"pyramid_overhead\": {:.6},\n",
+            self.pyramid_overhead()
+        ));
+        s.push_str(&format!(
+            "  \"zoomed_out_speedup\": {:.3},\n",
+            self.zoomed_out_speedup()
+        ));
+        s.push_str("  \"frames\": [\n");
+        for (i, f) in self.frames.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"zoom_factor\": {}, \"mode\": \"{}\", \"scan_seconds\": {:.6}, \"pyramid_seconds\": {:.6}, \"speedup\": {:.3}}}{}\n",
+                f.zoom_factor,
+                f.mode,
+                f.scan_seconds,
+                f.pyramid_seconds,
+                f.speedup(),
+                if i + 1 == self.frames.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// The six timeline modes measured by the sweep, with short names for reports.
+pub fn sweep_modes(trace: &Trace) -> Vec<(&'static str, TimelineMode)> {
+    let max = trace
+        .tasks()
+        .iter()
+        .map(|t| t.duration())
+        .max()
+        .unwrap_or(1);
+    vec![
+        ("state", TimelineMode::State),
+        (
+            "heatmap",
+            TimelineMode::Heatmap {
+                min_duration: 0,
+                max_duration: max,
+            },
+        ),
+        ("typemap", TimelineMode::TaskType),
+        ("numa_read", TimelineMode::NumaRead),
+        ("numa_write", TimelineMode::NumaWrite),
+        ("numa_heat", TimelineMode::NumaHeat),
+    ]
+}
+
+/// The visible window at `factor`, centred in the trace bounds. Empty bounds yield
+/// a minimal one-cycle window at the start (never an arithmetic underflow).
+pub fn zoom_window(bounds: TimeInterval, factor: u64) -> TimeInterval {
+    let duration = bounds.duration();
+    let width = (duration / factor.max(1)).max(1);
+    let start = bounds.start.0 + duration.saturating_sub(width) / 2;
+    TimeInterval::from_cycles(start, start + width)
+}
+
+fn median_seconds(mut f: impl FnMut(), samples: usize) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Runs the full sweep over `trace`: every [`ZOOM_FACTORS`] level × every timeline
+/// mode, scan vs. pyramid, with the session prewarmed on `threads` first.
+///
+/// When `verify` is set, every frame pair is additionally compared cell by cell (the
+/// pyramid engine must be byte-identical to the scan engine).
+pub fn run_zoom_sweep(trace: &Trace, columns: usize, threads: Threads, verify: bool) -> ZoomSweep {
+    let session = AnalysisSession::new(trace);
+    let t0 = Instant::now();
+    session.prewarm(threads);
+    let prewarm_seconds = t0.elapsed().as_secs_f64();
+    let bounds = session.time_bounds();
+    let filter = TaskFilter::new();
+    let modes = sweep_modes(trace);
+    let mut frames = Vec::new();
+    for &factor in &ZOOM_FACTORS {
+        let window = zoom_window(bounds, factor);
+        for &(name, mode) in &modes {
+            let build = |engine: TimelineEngine| {
+                TimelineModel::build_with_engine(&session, mode, window, columns, &filter, engine)
+                    .expect("sweep frame")
+            };
+            if verify {
+                assert_eq!(
+                    build(TimelineEngine::Pyramid),
+                    build(TimelineEngine::Scan),
+                    "pyramid frame must be byte-identical to scan ({name}, zoom {factor})"
+                );
+            }
+            let scan_seconds = median_seconds(
+                || {
+                    build(TimelineEngine::Scan);
+                },
+                3,
+            );
+            let pyramid_seconds = median_seconds(
+                || {
+                    build(TimelineEngine::Pyramid);
+                },
+                3,
+            );
+            frames.push(ZoomFrame {
+                zoom_factor: factor,
+                mode: name,
+                scan_seconds,
+                pyramid_seconds,
+            });
+        }
+    }
+    ZoomSweep {
+        columns,
+        num_events: trace.num_events(),
+        prewarm_seconds,
+        frames,
+        pyramid_bytes: session.pyramid_memory_bytes(),
+        raw_event_bytes: session.raw_event_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoom_trace_is_dense_and_valid() {
+        let trace = zoom_trace(Scale::Test);
+        assert_eq!(trace.topology().num_cpus(), 4);
+        assert_eq!(trace.tasks().len(), 4 * pairs_per_cpu(Scale::Test));
+        for pc in trace.per_cpu() {
+            assert_eq!(pc.states.len(), 2 * pairs_per_cpu(Scale::Test));
+        }
+        assert!(!trace.accesses().is_empty());
+    }
+
+    #[test]
+    fn sweep_verifies_equivalence_and_reports_overhead() {
+        let trace = zoom_trace(Scale::Test);
+        let sweep = run_zoom_sweep(&trace, 96, Threads::single(), true);
+        assert_eq!(sweep.frames.len(), ZOOM_FACTORS.len() * 6);
+        assert!(sweep.pyramid_bytes > 0);
+        assert!(
+            sweep.pyramid_overhead() < 0.15,
+            "pyramid overhead {} must stay below 15 %",
+            sweep.pyramid_overhead()
+        );
+        let json = sweep.to_json();
+        assert!(json.contains("\"zoom_sweep\""));
+        assert!(json.contains("\"frames\""));
+    }
+
+    #[test]
+    fn zoom_window_is_contained_and_scaled() {
+        let bounds = TimeInterval::from_cycles(1_000, 101_000);
+        for factor in ZOOM_FACTORS {
+            let w = zoom_window(bounds, factor);
+            assert!(w.start >= bounds.start && w.end <= bounds.end);
+            assert_eq!(w.duration(), bounds.duration() / factor);
+        }
+    }
+}

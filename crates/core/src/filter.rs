@@ -23,7 +23,7 @@ use aftermath_trace::{
 ///     .with_task_type(TaskTypeId(0))
 ///     .with_min_duration(1_000_000);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TaskFilter {
     task_types: Option<HashSet<TaskTypeId>>,
     cpus: Option<HashSet<CpuId>>,
@@ -113,6 +113,32 @@ impl TaskFilter {
     /// Whether the filter accepts every task (no criteria set).
     pub fn is_empty(&self) -> bool {
         *self == TaskFilter::default()
+    }
+
+    /// The task types this filter is restricted to, or `None` when every type is
+    /// admissible. The aggregation pyramid uses this to prune whole subtrees whose
+    /// task types are all rejected.
+    pub fn allowed_task_types(&self) -> Option<&HashSet<TaskTypeId>> {
+        self.task_types.as_ref()
+    }
+
+    /// Feeds a stable digest of the filter into `hasher` (set members are hashed in
+    /// sorted order, so equal filters always produce equal digests). Used for the
+    /// session's timeline-model cache key.
+    pub fn hash_into(&self, hasher: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        fn sorted<T: Ord + Copy>(set: &HashSet<T>) -> Vec<T> {
+            let mut v: Vec<T> = set.iter().copied().collect();
+            v.sort_unstable();
+            v
+        }
+        self.task_types.as_ref().map(sorted).hash(hasher);
+        self.cpus.as_ref().map(sorted).hash(hasher);
+        self.min_duration.hash(hasher);
+        self.max_duration.hash(hasher);
+        self.interval.map(|iv| (iv.start.0, iv.end.0)).hash(hasher);
+        self.reads_node.hash(hasher);
+        self.writes_node.hash(hasher);
     }
 
     /// Whether `task` satisfies every configured criterion.

@@ -36,20 +36,32 @@ pub fn samples_in(samples: &[CounterSample], interval: TimeInterval) -> &[Counte
     point_events_in(samples, interval, |s| s.timestamp)
 }
 
-/// Returns the sub-slice of state intervals that overlap `interval`.
+/// The state intervals that overlap `interval`, as an index range `[first, last)`.
 ///
 /// The input must be sorted by interval start and non-overlapping (as guaranteed for
-/// per-core state streams).
-pub fn states_overlapping(states: &[StateInterval], interval: TimeInterval) -> &[StateInterval] {
+/// per-core state streams). This is the single home of the overlap convention; the
+/// slice view ([`states_overlapping`]) and the aggregation pyramid
+/// ([`crate::pyramid`]) both resolve ranges through it.
+pub fn states_overlapping_range(
+    states: &[StateInterval],
+    interval: TimeInterval,
+) -> (usize, usize) {
     if states.is_empty() || interval.is_empty() {
-        return &[];
+        return (0, 0);
     }
     // First state that ends after the query start: since states are non-overlapping and
     // sorted by start, this is the first candidate.
     let first = states.partition_point(|s| s.interval.end <= interval.start);
     // First state that starts at or after the query end: everything from there on is out.
     let last = states.partition_point(|s| s.interval.start < interval.end);
-    &states[first.min(last)..last]
+    (first.min(last), last)
+}
+
+/// Returns the sub-slice of state intervals that overlap `interval`
+/// ([`states_overlapping_range`] as a slice).
+pub fn states_overlapping(states: &[StateInterval], interval: TimeInterval) -> &[StateInterval] {
+    let (first, last) = states_overlapping_range(states, interval);
+    &states[first..last]
 }
 
 /// Index of the last sample taken at or before `t`, if any.
@@ -64,19 +76,58 @@ pub fn value_at(samples: &[CounterSample], t: Timestamp) -> Option<f64> {
     last_sample_at_or_before(samples, t).map(|i| samples[i].value)
 }
 
-/// An n-ary min/max search tree over one counter's samples on one CPU.
+/// One summary node of the [`CounterIndex`]: minimum, maximum and sum of the covered
+/// sample values.
+///
+/// The sum extends the paper's min/max index to average queries (sum divided by the
+/// number of covered samples, which is implied by the sample range) at no extra tree
+/// walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterNode {
+    /// Minimum covered sample value.
+    pub min: f64,
+    /// Maximum covered sample value.
+    pub max: f64,
+    /// Sum of the covered sample values.
+    pub sum: f64,
+}
+
+impl CounterNode {
+    const EMPTY: CounterNode = CounterNode {
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+        sum: 0.0,
+    };
+
+    #[inline]
+    fn add_value(&mut self, v: f64) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v;
+    }
+
+    #[inline]
+    fn add_node(&mut self, n: &CounterNode) {
+        self.min = self.min.min(n.min);
+        self.max = self.max.max(n.max);
+        self.sum += n.sum;
+    }
+}
+
+/// An n-ary min/max/sum search tree over one counter's samples on one CPU.
 ///
 /// The tree stores, for every group of `arity` consecutive samples (and recursively for
-/// every group of `arity` nodes), the minimum and maximum sample value. Interval queries
-/// then only touch `O(arity · log_arity n)` nodes instead of every sample, which is what
-/// keeps counter rendering fast at low zoom levels (paper Section VI-B).
+/// every group of `arity` nodes), the minimum, maximum and sum of the sample values.
+/// Interval queries then only touch `O(arity · log_arity n)` nodes instead of every
+/// sample, which is what keeps counter rendering fast at low zoom levels (paper
+/// Section VI-B); the sums additionally answer average queries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CounterIndex {
     arity: usize,
     num_samples: usize,
     /// Level 0 summarises `arity` samples per node; level `k` summarises `arity` nodes of
-    /// level `k-1`. Each node is `(min, max)`.
-    levels: Vec<Vec<(f64, f64)>>,
+    /// level `k-1`.
+    levels: Vec<Vec<CounterNode>>,
 }
 
 impl CounterIndex {
@@ -94,27 +145,25 @@ impl CounterIndex {
         assert!(arity >= 2, "counter index arity must be at least 2");
         let mut levels = Vec::new();
         if !samples.is_empty() {
-            let mut current: Vec<(f64, f64)> = samples
+            let mut current: Vec<CounterNode> = samples
                 .chunks(arity)
                 .map(|chunk| {
-                    let mut min = f64::INFINITY;
-                    let mut max = f64::NEG_INFINITY;
+                    let mut node = CounterNode::EMPTY;
                     for s in chunk {
-                        min = min.min(s.value);
-                        max = max.max(s.value);
+                        node.add_value(s.value);
                     }
-                    (min, max)
+                    node
                 })
                 .collect();
             while current.len() > 1 {
-                let next: Vec<(f64, f64)> = current
+                let next: Vec<CounterNode> = current
                     .chunks(arity)
                     .map(|chunk| {
-                        chunk
-                            .iter()
-                            .fold((f64::INFINITY, f64::NEG_INFINITY), |(mn, mx), &(a, b)| {
-                                (mn.min(a), mx.max(b))
-                            })
+                        let mut node = CounterNode::EMPTY;
+                        for n in chunk {
+                            node.add_node(n);
+                        }
+                        node
                     })
                     .collect();
                 levels.push(current);
@@ -143,7 +192,7 @@ impl CounterIndex {
     pub fn memory_bytes(&self) -> usize {
         self.levels
             .iter()
-            .map(|l| l.len() * std::mem::size_of::<(f64, f64)>())
+            .map(|l| l.len() * std::mem::size_of::<CounterNode>())
             .sum()
     }
 
@@ -156,43 +205,52 @@ impl CounterIndex {
             / (self.num_samples * std::mem::size_of::<CounterSample>()) as f64
     }
 
-    /// Minimum and maximum sample value over the sample-index range `[lo, hi)`.
+    /// Min/max/sum over the sample-index range `[lo, hi)`.
     ///
     /// `samples` must be the same slice the index was built over. Returns `None` for an
     /// empty range.
-    pub fn min_max(&self, samples: &[CounterSample], lo: usize, hi: usize) -> Option<(f64, f64)> {
+    pub fn aggregate(
+        &self,
+        samples: &[CounterSample],
+        lo: usize,
+        hi: usize,
+    ) -> Option<CounterNode> {
         let hi = hi.min(self.num_samples);
         if lo >= hi {
             return None;
         }
         debug_assert_eq!(samples.len(), self.num_samples);
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
+        let mut agg = CounterNode::EMPTY;
         // Head: samples before the first fully covered level-0 node.
         let mut i = lo;
         while i < hi && !i.is_multiple_of(self.arity) {
-            min = min.min(samples[i].value);
-            max = max.max(samples[i].value);
+            agg.add_value(samples[i].value);
             i += 1;
         }
         // Tail: samples after the last fully covered level-0 node.
         let mut j = hi;
         while j > i && !j.is_multiple_of(self.arity) {
             j -= 1;
-            min = min.min(samples[j].value);
-            max = max.max(samples[j].value);
+            agg.add_value(samples[j].value);
         }
         // Middle: whole level-0 nodes [i/arity, j/arity).
         if i < j && !self.levels.is_empty() {
-            let (node_min, node_max) = self.node_range_min_max(0, i / self.arity, j / self.arity);
-            min = min.min(node_min);
-            max = max.max(node_max);
+            self.node_range_aggregate(0, i / self.arity, j / self.arity, &mut agg);
         }
-        if min.is_infinite() && max.is_infinite() && min > max {
-            None
-        } else {
-            Some((min, max))
-        }
+        Some(agg)
+    }
+
+    /// Minimum and maximum sample value over the sample-index range `[lo, hi)`.
+    ///
+    /// `samples` must be the same slice the index was built over. Returns `None` for an
+    /// empty range.
+    pub fn min_max(&self, samples: &[CounterSample], lo: usize, hi: usize) -> Option<(f64, f64)> {
+        // A range whose every value is NaN leaves the running min/max at their
+        // empty-aggregate sentinels (f64::min/max skip NaN operands); report it as
+        // "no usable extrema" rather than an infinite pair, like the pre-sum index.
+        self.aggregate(samples, lo, hi)
+            .filter(|a| !(a.min == f64::INFINITY && a.max == f64::NEG_INFINITY))
+            .map(|a| (a.min, a.max))
     }
 
     /// Minimum and maximum over the time interval, using a binary search to locate the
@@ -202,44 +260,67 @@ impl CounterIndex {
         samples: &[CounterSample],
         interval: TimeInterval,
     ) -> Option<(f64, f64)> {
-        let lo = samples.partition_point(|s| s.timestamp < interval.start);
-        let hi = samples.partition_point(|s| s.timestamp < interval.end);
+        let (lo, hi) = sample_range(samples, interval);
         self.min_max(samples, lo, hi)
     }
 
-    /// Recursive min/max over whole nodes `[lo, hi)` of `level`.
-    fn node_range_min_max(&self, level: usize, lo: usize, hi: usize) -> (f64, f64) {
+    /// Sum and count of the samples inside the time interval.
+    pub fn sum_count_in(
+        &self,
+        samples: &[CounterSample],
+        interval: TimeInterval,
+    ) -> Option<(f64, usize)> {
+        let (lo, hi) = sample_range(samples, interval);
+        let hi = hi.min(self.num_samples);
+        self.aggregate(samples, lo, hi).map(|a| (a.sum, hi - lo))
+    }
+
+    /// Average sample value over the time interval (the mean of the covered samples),
+    /// answered from the per-node sums. `None` when the interval covers no sample.
+    ///
+    /// Unlike the integer aggregates of the state pyramid, floating-point summation
+    /// is order-sensitive, so the result may differ from a left-to-right scan in the
+    /// last bits.
+    pub fn average_in(&self, samples: &[CounterSample], interval: TimeInterval) -> Option<f64> {
+        self.sum_count_in(samples, interval)
+            .map(|(sum, count)| sum / count as f64)
+    }
+
+    /// Recursive min/max/sum over whole nodes `[lo, hi)` of `level`.
+    fn node_range_aggregate(&self, level: usize, lo: usize, hi: usize, agg: &mut CounterNode) {
         let nodes = &self.levels[level];
         let hi = hi.min(nodes.len());
         if lo >= hi {
-            return (f64::INFINITY, f64::NEG_INFINITY);
+            return;
         }
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
         let mut i = lo;
         while i < hi && !i.is_multiple_of(self.arity) {
-            min = min.min(nodes[i].0);
-            max = max.max(nodes[i].1);
+            agg.add_node(&nodes[i]);
             i += 1;
         }
         let mut j = hi;
         while j > i && !j.is_multiple_of(self.arity) {
             j -= 1;
-            min = min.min(nodes[j].0);
-            max = max.max(nodes[j].1);
+            agg.add_node(&nodes[j]);
         }
-        if i < j && level + 1 < self.levels.len() {
-            let (m, x) = self.node_range_min_max(level + 1, i / self.arity, j / self.arity);
-            min = min.min(m);
-            max = max.max(x);
+        if i >= j {
+            return;
+        }
+        if level + 1 < self.levels.len() {
+            self.node_range_aggregate(level + 1, i / self.arity, j / self.arity, agg);
         } else {
-            for &(a, b) in &nodes[i..j] {
-                min = min.min(a);
-                max = max.max(b);
+            for n in &nodes[i..j] {
+                agg.add_node(n);
             }
         }
-        (min, max)
     }
+}
+
+/// The samples of a timestamp-sorted stream inside `interval`, as an index range.
+fn sample_range(samples: &[CounterSample], interval: TimeInterval) -> (usize, usize) {
+    let lo = samples.partition_point(|s| s.timestamp < interval.start);
+    let hi = samples.partition_point(|s| s.timestamp < interval.end);
+    (lo, hi)
 }
 
 #[cfg(test)]
@@ -350,6 +431,29 @@ mod tests {
         let one = vec![sample(0, 42.0)];
         let index = CounterIndex::new(&one);
         assert_eq!(index.min_max(&one, 0, 1), Some((42.0, 42.0)));
+    }
+
+    #[test]
+    fn counter_index_average_matches_naive_mean() {
+        let samples = make_samples(1000);
+        let index = CounterIndex::with_arity(&samples, 7);
+        for iv in [
+            TimeInterval::from_cycles(0, 10_000),
+            TimeInterval::from_cycles(123, 4_567),
+            TimeInterval::from_cycles(990, 1_010),
+        ] {
+            let slice = samples_in(&samples, iv);
+            let naive = slice.iter().map(|s| s.value).sum::<f64>() / slice.len() as f64;
+            let got = index.average_in(&samples, iv).unwrap();
+            assert!((got - naive).abs() < 1e-9, "{iv}: {got} vs {naive}");
+            let (sum, count) = index.sum_count_in(&samples, iv).unwrap();
+            assert_eq!(count, slice.len());
+            assert!((sum - naive * slice.len() as f64).abs() < 1e-9);
+        }
+        assert_eq!(
+            index.average_in(&samples, TimeInterval::from_cycles(100_000, 200_000)),
+            None
+        );
     }
 
     #[test]

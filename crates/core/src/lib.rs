@@ -8,8 +8,13 @@
 //! Given a [`aftermath_trace::Trace`], an [`AnalysisSession`] provides:
 //!
 //! * **indexed access** to per-CPU event streams via binary search and an n-ary counter
-//!   min/max tree ([`index`], paper Section VI-B); index shards build lazily on first
+//!   min/max/sum tree ([`index`], paper Section VI-B); index shards build lazily on first
 //!   touch, or all at once in parallel via [`AnalysisSession::prewarm`],
+//! * **multi-resolution aggregation** — per-CPU summary pyramids over the state
+//!   streams ([`pyramid`]) behind the [`AnalysisSession::query`] interval API, so
+//!   timeline frames cost `O(columns · log n)` at any zoom level while staying
+//!   byte-identical to a raw scan; computed timeline models are LRU-cached per
+//!   viewport ([`AnalysisSession::timeline`]),
 //! * **derived metrics** such as the number of idle workers, average task duration,
 //!   aggregated OS statistics and discrete derivatives ([`derived`], Figures 3, 8, 10),
 //! * **statistics** — histograms, average parallelism, per-state and per-type breakdowns
@@ -78,6 +83,7 @@ pub mod export;
 pub mod filter;
 pub mod index;
 pub mod numa;
+pub mod pyramid;
 pub mod series;
 pub mod session;
 pub mod stats;
@@ -94,13 +100,14 @@ pub use counters::{attribute_counter, duration_stats, SummaryStats, TaskCounterD
 pub use derived::AggregationKind;
 pub use error::AnalysisError;
 pub use filter::TaskFilter;
-pub use index::CounterIndex;
+pub use index::{CounterIndex, CounterNode};
 pub use numa::IncidenceMatrix;
+pub use pyramid::{ExecStats, StatePyramid};
 pub use series::TimeSeries;
-pub use session::{AnalysisSession, TaskDetails};
+pub use session::{AnalysisSession, IntervalQuery, TaskDetails};
 pub use stats::Histogram;
 pub use taskgraph::TaskGraph;
-pub use timeline::{TimelineCell, TimelineMode, TimelineModel};
+pub use timeline::{TimelineCell, TimelineEngine, TimelineMode, TimelineModel};
 
 /// Commonly used types, for glob import.
 pub mod prelude {
@@ -117,10 +124,11 @@ pub mod prelude {
     pub use crate::error::AnalysisError;
     pub use crate::filter::TaskFilter;
     pub use crate::numa::IncidenceMatrix;
+    pub use crate::pyramid::{ExecStats, StatePyramid};
     pub use crate::series::TimeSeries;
-    pub use crate::session::AnalysisSession;
+    pub use crate::session::{AnalysisSession, IntervalQuery};
     pub use crate::stats::{average_parallelism, task_duration_histogram, Histogram};
     pub use crate::taskgraph::TaskGraph;
-    pub use crate::timeline::{TimelineCell, TimelineMode, TimelineModel};
+    pub use crate::timeline::{TimelineCell, TimelineEngine, TimelineMode, TimelineModel};
     pub use aftermath_exec::Threads;
 }

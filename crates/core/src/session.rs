@@ -1,19 +1,23 @@
 //! The analysis session: an indexed view over a loaded trace.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use aftermath_exec::{parallel_map, Threads};
 use aftermath_trace::{
-    CounterId, CounterSample, CpuId, StateInterval, TaskId, TaskInstance, TimeInterval, Timestamp,
-    Trace,
+    AccessKind, CounterId, CounterSample, CpuId, NumaNodeId, StateInterval, TaskId, TaskInstance,
+    TaskTypeId, TimeInterval, Timestamp, Trace, WorkerState,
 };
 
 use crate::anomaly::{self, AnomalyConfig, AnomalyReport};
 use crate::counters::counter_delta_for_task;
 use crate::error::AnalysisError;
+use crate::filter::TaskFilter;
 use crate::index::{samples_in, states_overlapping, value_at, CounterIndex};
+use crate::pyramid::{overlap_range, ExecStats, StatePyramid};
 use crate::taskgraph::TaskGraph;
+use crate::timeline::{TimelineMode, TimelineModel};
 
 /// An analysis session over one trace.
 ///
@@ -53,39 +57,84 @@ pub struct AnalysisSession<'t> {
     /// a sparse trace on a many-CPU, many-counter machine allocates one slot per
     /// present pair, not the full cross product.
     counter_shards: HashMap<(CpuId, CounterId), OnceLock<CounterIndex>>,
+    /// Lazily built multi-resolution state pyramids, one per CPU with a non-empty
+    /// state stream ([`crate::pyramid`]); built on first timeline/interval query or
+    /// all at once by [`AnalysisSession::prewarm`].
+    pyramids: Vec<OnceLock<StatePyramid>>,
     task_graph: OnceLock<TaskGraph>,
-    anomaly_cache: Mutex<AnomalyCache>,
+    anomaly_cache: Mutex<LruCache<AnomalyConfig, AnomalyReport>>,
+    timeline_cache: Mutex<LruCache<TimelineKey, TimelineModel>>,
     empty_states: Vec<StateInterval>,
     empty_samples: Vec<CounterSample>,
 }
 
-/// Bounded LRU cache of anomaly reports.
+/// Cache key of one timeline-model computation: everything the model depends on.
+type TimelineKey = (TimelineMode, TimeInterval, usize, TaskFilter);
+
+fn timeline_cache_key(key: &TimelineKey) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.0.hash(&mut h);
+    key.1.hash(&mut h);
+    key.2.hash(&mut h);
+    key.3.hash_into(&mut h);
+    h.finish()
+}
+
+/// Bounded LRU cache keyed by a 64-bit digest.
 ///
-/// Entries are keyed by [`AnomalyConfig::cache_key`] but store the full config so a
-/// (vanishingly unlikely) 64-bit hash collision is detected by equality instead of
-/// silently returning another configuration's report. `order` is kept in
-/// least-recently-*used* order: a cache hit moves its key to the back, so a
-/// configuration a front-end keeps re-querying survives eviction even while e.g. a
-/// threshold sweep churns through many one-shot configurations.
-#[derive(Debug, Default)]
-struct AnomalyCache {
-    map: HashMap<u64, (AnomalyConfig, Arc<AnomalyReport>)>,
+/// Entries store the full key `K` so a (vanishingly unlikely) 64-bit hash collision
+/// is detected by equality instead of silently returning another key's value.
+/// `order` is kept in least-recently-*used* order: a cache hit moves its key to the
+/// back, so an entry a front-end keeps re-querying survives eviction even while
+/// e.g. a parameter sweep churns through many one-shot entries. Shared by the
+/// anomaly-report cache and the timeline-model cache.
+#[derive(Debug)]
+struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<u64, (K, Arc<V>)>,
     order: VecDeque<u64>,
 }
 
-impl AnomalyCache {
-    fn get(&mut self, key: u64, config: &AnomalyConfig) -> Option<Arc<AnomalyReport>> {
-        let report = self
-            .map
-            .get(&key)
-            .filter(|(cached, _)| cached == config)
-            .map(|(_, report)| Arc::clone(report))?;
-        // Touch on hit: this key is now the most recently used.
-        if let Some(pos) = self.order.iter().position(|k| *k == key) {
-            self.order.remove(pos);
-            self.order.push_back(key);
+impl<K: PartialEq, V> LruCache<K, V> {
+    fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
         }
-        Some(report)
+    }
+
+    fn get(&mut self, digest: u64, key: &K) -> Option<Arc<V>> {
+        let value = self
+            .map
+            .get(&digest)
+            .filter(|(cached, _)| cached == key)
+            .map(|(_, value)| Arc::clone(value))?;
+        // Touch on hit: this key is now the most recently used.
+        if let Some(pos) = self.order.iter().position(|k| *k == digest) {
+            self.order.remove(pos);
+            self.order.push_back(digest);
+        }
+        Some(value)
+    }
+
+    /// Inserts `value` unless another thread inserted the same key concurrently, in
+    /// which case the incumbent is returned; evicts least-recently-used entries to
+    /// stay within capacity.
+    fn insert(&mut self, digest: u64, key: K, value: Arc<V>) -> Arc<V> {
+        if let Some(existing) = self.get(digest, &key) {
+            return existing;
+        }
+        while self.map.len() >= self.capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&oldest);
+        }
+        if self.map.insert(digest, (key, Arc::clone(&value))).is_none() {
+            self.order.push_back(digest);
+        }
+        value
     }
 }
 
@@ -93,10 +142,15 @@ impl<'t> AnalysisSession<'t> {
     /// Maximum number of anomaly-report configurations kept in the session cache.
     pub const ANOMALY_CACHE_CAPACITY: usize = 32;
 
+    /// Maximum number of timeline models kept in the session cache
+    /// ([`AnalysisSession::timeline_filtered`]).
+    pub const TIMELINE_CACHE_CAPACITY: usize = 64;
+
     /// Creates a session over `trace`.
     ///
     /// This is cheap: counter indexes are built lazily per `(CPU, counter)` shard on
-    /// first touch. Call [`AnalysisSession::prewarm`] to build them all up front.
+    /// first touch, and state pyramids lazily per CPU. Call
+    /// [`AnalysisSession::prewarm`] to build them all up front.
     pub fn new(trace: &'t Trace) -> Self {
         // One empty slot per (CPU, counter) pair that has samples; the indexes
         // themselves are built on first touch.
@@ -111,11 +165,14 @@ impl<'t> AnalysisSession<'t> {
                     .map(move |(counter, _)| ((CpuId(cpu as u32), *counter), OnceLock::new()))
             })
             .collect();
+        let pyramids = trace.per_cpu().iter().map(|_| OnceLock::new()).collect();
         AnalysisSession {
             trace,
             counter_shards,
+            pyramids,
             task_graph: OnceLock::new(),
-            anomaly_cache: Mutex::new(AnomalyCache::default()),
+            anomaly_cache: Mutex::new(LruCache::new(Self::ANOMALY_CACHE_CAPACITY)),
+            timeline_cache: Mutex::new(LruCache::new(Self::TIMELINE_CACHE_CAPACITY)),
             empty_states: Vec::new(),
             empty_samples: Vec::new(),
         }
@@ -143,17 +200,42 @@ impl<'t> AnalysisSession<'t> {
         Some((slot.get_or_init(|| CounterIndex::new(samples)), samples))
     }
 
-    /// Builds every not-yet-built counter index shard, in parallel on up to `threads`
-    /// workers, and returns the total number of built shards.
+    /// The multi-resolution state pyramid of one CPU, built on first touch
+    /// ([`crate::pyramid::StatePyramid`]). `None` for an unknown CPU or a CPU
+    /// without state intervals.
+    pub fn pyramid(&self, cpu: CpuId) -> Option<&StatePyramid> {
+        let slot = self.pyramids.get(cpu.0 as usize)?;
+        let states = self.states(cpu);
+        if states.is_empty() {
+            return None;
+        }
+        Some(slot.get_or_init(|| StatePyramid::build(self.trace, states)))
+    }
+
+    /// Builds every not-yet-built index shard — counter min/max/sum indexes *and*
+    /// per-CPU state pyramids — in parallel on up to `threads` workers, and returns
+    /// the total number of built shards.
     ///
     /// An interactive front-end calls this right after loading a trace so that every
-    /// later [`counter_min_max`](Self::counter_min_max) query is answered from a warm
-    /// index. The shards are independent [`OnceLock`]s, so prewarming may race with
-    /// concurrent queries without ever duplicating or tearing an index.
+    /// later [`counter_min_max`](Self::counter_min_max) or timeline query is answered
+    /// from a warm index. The shards are independent [`OnceLock`]s, so prewarming may
+    /// race with concurrent queries without ever duplicating or tearing an index.
     pub fn prewarm(&self, threads: Threads) -> usize {
-        let keys: Vec<(CpuId, CounterId)> = self.counter_shards.keys().copied().collect();
-        let built = parallel_map(threads, &keys, |&(cpu, counter)| {
-            usize::from(self.counter_shard(cpu, counter).is_some())
+        enum Shard {
+            Counter(CpuId, CounterId),
+            Pyramid(CpuId),
+        }
+        let mut shards: Vec<Shard> = self
+            .counter_shards
+            .keys()
+            .map(|&(cpu, counter)| Shard::Counter(cpu, counter))
+            .collect();
+        shards.extend((0..self.pyramids.len()).map(|cpu| Shard::Pyramid(CpuId(cpu as u32))));
+        let built = parallel_map(threads, &shards, |shard| match shard {
+            Shard::Counter(cpu, counter) => {
+                usize::from(self.counter_shard(*cpu, *counter).is_some())
+            }
+            Shard::Pyramid(cpu) => usize::from(self.pyramid(*cpu).is_some()),
         });
         built.into_iter().sum()
     }
@@ -225,6 +307,19 @@ impl<'t> AnalysisSession<'t> {
     ) -> Option<(f64, f64)> {
         let (index, samples) = self.counter_shard(cpu, counter)?;
         index.min_max_in(samples, interval)
+    }
+
+    /// Average value of a counter's samples on a CPU over `interval`, answered from
+    /// the per-node sums of the counter index. `None` when the interval covers no
+    /// sample.
+    pub fn counter_average(
+        &self,
+        cpu: CpuId,
+        counter: CounterId,
+        interval: TimeInterval,
+    ) -> Option<f64> {
+        let (index, samples) = self.counter_shard(cpu, counter)?;
+        index.average_in(samples, interval)
     }
 
     /// Looks up a counter id by name.
@@ -311,27 +406,72 @@ impl<'t> AnalysisSession<'t> {
             return Ok(report);
         }
         let report = Arc::new(anomaly::detect_anomalies_with(self, config, threads)?);
-        let mut cache = self.anomaly_cache.lock().unwrap();
-        // Re-check under the lock: another thread may have inserted the same key
-        // while this one was detecting. Pushing `key` onto `order` only for a fresh
-        // insert keeps the eviction queue free of duplicates.
-        if let Some(existing) = cache.get(key, config) {
-            return Ok(existing);
+        // `insert` re-checks under the lock: another thread may have inserted the
+        // same key while this one was detecting; the first insert wins.
+        Ok(self
+            .anomaly_cache
+            .lock()
+            .unwrap()
+            .insert(key, *config, report))
+    }
+
+    /// The timeline model for `mode` over `interval` at `columns` cells, computed on
+    /// the aggregation pyramid and cached.
+    ///
+    /// Repeated queries with the same `(mode, interval, columns)` — e.g. a front-end
+    /// re-rendering after panning back to a previous viewport — return the shared
+    /// cached model without recomputing any cell. The cache holds the
+    /// [`TIMELINE_CACHE_CAPACITY`](Self::TIMELINE_CACHE_CAPACITY) most recently used
+    /// viewport configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidParameter`] for zero columns or an empty
+    /// interval.
+    pub fn timeline(
+        &self,
+        mode: TimelineMode,
+        interval: TimeInterval,
+        columns: usize,
+    ) -> Result<Arc<TimelineModel>, AnalysisError> {
+        self.timeline_filtered(mode, interval, columns, &TaskFilter::new())
+    }
+
+    /// Like [`AnalysisSession::timeline`] but restricted to tasks accepted by
+    /// `filter` (the filter is part of the cache key).
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisSession::timeline`].
+    pub fn timeline_filtered(
+        &self,
+        mode: TimelineMode,
+        interval: TimeInterval,
+        columns: usize,
+        filter: &TaskFilter,
+    ) -> Result<Arc<TimelineModel>, AnalysisError> {
+        let key: TimelineKey = (mode, interval, columns, filter.clone());
+        let digest = timeline_cache_key(&key);
+        if let Some(model) = self.timeline_cache.lock().unwrap().get(digest, &key) {
+            return Ok(model);
         }
-        while cache.map.len() >= Self::ANOMALY_CACHE_CAPACITY {
-            let Some(oldest) = cache.order.pop_front() else {
-                break;
-            };
-            cache.map.remove(&oldest);
+        let model = Arc::new(TimelineModel::build_filtered(
+            self, mode, interval, columns, filter,
+        )?);
+        Ok(self
+            .timeline_cache
+            .lock()
+            .unwrap()
+            .insert(digest, key, model))
+    }
+
+    /// Starts an interval query over `interval`: exact aggregate and predominance
+    /// queries answered from the multi-resolution pyramid in `O(fanout · log n)`.
+    pub fn query(&self, interval: TimeInterval) -> IntervalQuery<'_, 't> {
+        IntervalQuery {
+            session: self,
+            interval,
         }
-        if cache
-            .map
-            .insert(key, (*config, Arc::clone(&report)))
-            .is_none()
-        {
-            cache.order.push_back(key);
-        }
-        Ok(report)
     }
 
     /// Total memory used by the counter min/max indexes built **so far**, in bytes.
@@ -358,6 +498,52 @@ impl<'t> AnalysisSession<'t> {
             return 0.0;
         }
         self.index_memory_bytes() as f64 / (samples * std::mem::size_of::<CounterSample>()) as f64
+    }
+
+    /// Total memory used by the state pyramids built **so far**, in bytes.
+    ///
+    /// Pyramids are lazy; [`AnalysisSession::prewarm`] first to measure the fully
+    /// indexed session.
+    pub fn pyramid_memory_bytes(&self) -> usize {
+        self.pyramids
+            .iter()
+            .filter_map(|slot| slot.get())
+            .map(StatePyramid::memory_bytes)
+            .sum()
+    }
+
+    /// Size of the raw recorded event data in bytes: per-CPU state intervals,
+    /// discrete events and counter samples, plus tasks, memory accesses and
+    /// communication events. The denominator of
+    /// [`pyramid_overhead_ratio`](Self::pyramid_overhead_ratio).
+    pub fn raw_event_bytes(&self) -> usize {
+        let trace = self.trace;
+        let per_cpu: usize = trace
+            .per_cpu()
+            .iter()
+            .map(|pc| {
+                pc.states.len() * std::mem::size_of::<StateInterval>()
+                    + std::mem::size_of_val(pc.events.as_slice())
+                    + pc.samples.values().map(Vec::len).sum::<usize>()
+                        * std::mem::size_of::<CounterSample>()
+            })
+            .sum();
+        per_cpu
+            + std::mem::size_of_val(trace.tasks())
+            + std::mem::size_of_val(trace.accesses())
+            + std::mem::size_of_val(trace.comm_events())
+    }
+
+    /// Ratio of pyramid memory (built so far) to the raw event data it summarises.
+    ///
+    /// With the default fanout this stays well below 15 % — the geometric level sum
+    /// is `n / (fanout - 1)` nodes over `n` intervals.
+    pub fn pyramid_overhead_ratio(&self) -> f64 {
+        let raw = self.raw_event_bytes();
+        if raw == 0 {
+            return 0.0;
+        }
+        self.pyramid_memory_bytes() as f64 / raw as f64
     }
 
     /// Detailed, human-readable information about one task (the paper's detail view #4).
@@ -425,6 +611,143 @@ impl<'t> AnalysisSession<'t> {
             written_nodes,
             counter_deltas,
         })
+    }
+}
+
+/// One interval query over an [`AnalysisSession`]: the unified entry point for the
+/// per-cell reductions of the timeline and for aggregate statistics over arbitrary
+/// time windows, answered from the multi-resolution pyramid ([`crate::pyramid`]) in
+/// `O(fanout · log n)` instead of scanning every event in the window.
+///
+/// Per-CPU state streams are sorted and non-overlapping, so only the first and last
+/// interval overlapping the window can cross its edges; every query handles those
+/// two directly on the raw stream (with exact overlap clipping) and resolves the
+/// fully covered middle from pyramid nodes. All aggregates are integer sums, so the
+/// results are bit-identical to a raw scan — including predominance ties, which are
+/// resolved in stream order exactly like the scan loop.
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalQuery<'s, 't> {
+    session: &'s AnalysisSession<'t>,
+    interval: TimeInterval,
+}
+
+impl<'s, 't> IntervalQuery<'s, 't> {
+    /// The queried time window.
+    pub fn interval(&self) -> TimeInterval {
+        self.interval
+    }
+
+    /// The index range of `cpu`'s state intervals overlapping the window, plus the
+    /// stream itself.
+    fn overlap(&self, cpu: CpuId) -> (&'s [StateInterval], usize, usize) {
+        let states = self.session.states(cpu);
+        let (first, last) = overlap_range(states, self.interval);
+        (states, first, last)
+    }
+
+    /// Cycles each worker state covers inside the window on `cpu` (clipped to the
+    /// window), indexed by [`WorkerState::index`].
+    pub fn state_cycles(&self, cpu: CpuId) -> [u64; WorkerState::COUNT] {
+        let (states, first, last) = self.overlap(cpu);
+        crate::pyramid::state_cycles_in_range(
+            self.session.pyramid(cpu),
+            states,
+            self.interval,
+            first,
+            last,
+        )
+    }
+
+    /// The worker state covering the largest part of the window on `cpu`, if any
+    /// (the timeline's state mode).
+    pub fn predominant_state(&self, cpu: CpuId) -> Option<WorkerState> {
+        let (states, first, last) = self.overlap(cpu);
+        crate::pyramid::predominant_state_in_range(
+            self.session.pyramid(cpu),
+            states,
+            self.interval,
+            first,
+            last,
+        )
+    }
+
+    /// The index (into [`Trace::tasks`]) of the task-execution interval covering the
+    /// largest part of the window on `cpu`, restricted to tasks accepted by
+    /// `filter`; earliest-in-stream wins ties (the timeline's heatmap/typemap/NUMA
+    /// modes).
+    pub fn predominant_task_index(&self, cpu: CpuId, filter: &TaskFilter) -> Option<usize> {
+        let (states, first, last) = self.overlap(cpu);
+        crate::pyramid::predominant_task_in_range(
+            self.session.pyramid(cpu),
+            self.session.trace(),
+            states,
+            filter,
+            self.interval,
+            first,
+            last,
+        )
+    }
+
+    /// Like [`IntervalQuery::predominant_task_index`] but resolves the task.
+    pub fn predominant_task(&self, cpu: CpuId, filter: &TaskFilter) -> Option<&'t TaskInstance> {
+        self.predominant_task_index(cpu, filter)
+            .and_then(|idx| self.session.trace().tasks().get(idx))
+    }
+
+    /// Count and min/max duration of the task-execution intervals overlapping the
+    /// window on `cpu` (full durations, each interval counted once).
+    ///
+    /// Edges are not clipped, so this is exactly the pyramid's index-range statistic
+    /// over the overlap range ([`StatePyramid::exec_stats`]).
+    pub fn exec_stats(&self, cpu: CpuId) -> ExecStats {
+        let (states, first, last) = self.overlap(cpu);
+        match self.session.pyramid(cpu) {
+            Some(pyramid) => pyramid.exec_stats(states, first, last),
+            // No pyramid means no state intervals, so the range is empty.
+            None => ExecStats::default(),
+        }
+    }
+
+    /// Execution cycles per task type inside the window on `cpu` (clipped to the
+    /// window), ascending by type id.
+    pub fn task_type_cycles(&self, cpu: CpuId) -> Vec<(TaskTypeId, u64)> {
+        let (states, first, last) = self.overlap(cpu);
+        crate::pyramid::type_cycles_in_range(
+            self.session.pyramid(cpu),
+            self.session.trace(),
+            states,
+            self.interval,
+            first,
+            last,
+        )
+    }
+
+    /// Bytes accessed per NUMA node by the tasks of the execution intervals
+    /// overlapping the window on `cpu`, ascending by node id (attributed per
+    /// execution interval, full access totals — exactly the pyramid's index-range
+    /// aggregate over the overlap range; zero entries are dropped).
+    pub fn numa_bytes(&self, cpu: CpuId, kind: AccessKind) -> Vec<(NumaNodeId, u64)> {
+        let (states, first, last) = self.overlap(cpu);
+        let Some(pyramid) = self.session.pyramid(cpu) else {
+            return Vec::new();
+        };
+        pyramid
+            .numa_bytes(self.session.trace(), states, first, last, kind)
+            .into_iter()
+            .filter(|&(_, v)| v > 0)
+            .collect()
+    }
+
+    /// Minimum and maximum of a counter on a CPU over the window
+    /// ([`AnalysisSession::counter_min_max`]).
+    pub fn counter_min_max(&self, cpu: CpuId, counter: CounterId) -> Option<(f64, f64)> {
+        self.session.counter_min_max(cpu, counter, self.interval)
+    }
+
+    /// Average of a counter's samples on a CPU over the window
+    /// ([`AnalysisSession::counter_average`]).
+    pub fn counter_average(&self, cpu: CpuId, counter: CounterId) -> Option<f64> {
+        self.session.counter_average(cpu, counter, self.interval)
     }
 }
 
@@ -561,15 +884,27 @@ mod tests {
         let trace = small_sim_trace();
         let lazy = AnalysisSession::new(&trace);
         let warmed = AnalysisSession::new(&trace);
-        let expected: usize = trace
+        let expected_counters: usize = trace
             .per_cpu()
             .iter()
             .map(|pc| pc.samples.values().filter(|s| !s.is_empty()).count())
             .sum();
+        let expected_pyramids = trace
+            .per_cpu()
+            .iter()
+            .filter(|pc| !pc.states.is_empty())
+            .count();
+        let expected = expected_counters + expected_pyramids;
         for threads in [Threads::single(), Threads::new(2), Threads::auto()] {
             assert_eq!(warmed.prewarm(threads), expected);
         }
-        assert_eq!(warmed.built_counter_indexes(), expected);
+        assert_eq!(warmed.built_counter_indexes(), expected_counters);
+        assert!(warmed.pyramid_memory_bytes() > 0);
+        assert!(
+            warmed.pyramid_overhead_ratio() < 0.15,
+            "pyramid overhead {} must stay below 15 %",
+            warmed.pyramid_overhead_ratio()
+        );
         let bounds = lazy.time_bounds();
         for desc in trace.counters() {
             for cpu in trace.topology().cpu_ids() {
@@ -659,6 +994,131 @@ mod tests {
             !Arc::ptr_eq(&second, &reports[1]),
             "least recently used entry must have been evicted"
         );
+    }
+
+    #[test]
+    fn timeline_cache_returns_shared_models_per_viewport() {
+        use crate::timeline::{TimelineEngine, TimelineMode, TimelineModel};
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        let bounds = session.time_bounds();
+        let a = session.timeline(TimelineMode::State, bounds, 64).unwrap();
+        let b = session.timeline(TimelineMode::State, bounds, 64).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same viewport must be a cache hit");
+        let fresh = TimelineModel::build_with_engine(
+            &session,
+            TimelineMode::State,
+            bounds,
+            64,
+            &TaskFilter::new(),
+            TimelineEngine::Scan,
+        )
+        .unwrap();
+        assert_eq!(*a, fresh, "cached model must equal a fresh scan build");
+        // A different filter is a different key.
+        let ty = trace.task_types()[0].id;
+        let filtered = session
+            .timeline_filtered(
+                TimelineMode::TaskType,
+                bounds,
+                64,
+                &TaskFilter::new().with_task_type(ty),
+            )
+            .unwrap();
+        let unfiltered = session
+            .timeline_filtered(TimelineMode::TaskType, bounds, 64, &TaskFilter::new())
+            .unwrap();
+        assert!(!Arc::ptr_eq(&filtered, &unfiltered));
+        assert!(session.timeline(TimelineMode::State, bounds, 0).is_err());
+    }
+
+    #[test]
+    fn interval_query_aggregates_match_naive_scans() {
+        use aftermath_trace::AccessKind;
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        let bounds = session.time_bounds();
+        let mid = TimeInterval::from_cycles(
+            bounds.start.0 + bounds.duration() / 5,
+            bounds.end.0 - bounds.duration() / 3,
+        );
+        for iv in [bounds, mid] {
+            let q = session.query(iv);
+            for cpu in trace.topology().cpu_ids() {
+                let states = session.states_in(cpu, iv);
+                // State cycles: clipped sums per state.
+                let mut cycles = [0u64; aftermath_trace::WorkerState::COUNT];
+                for s in states {
+                    cycles[s.state.index()] += s.interval.overlap_cycles(&iv);
+                }
+                assert_eq!(q.state_cycles(cpu), cycles, "{cpu} {iv}");
+                // Exec stats: full durations of overlapping execution intervals.
+                let execs: Vec<u64> = states
+                    .iter()
+                    .filter(|s| s.state == aftermath_trace::WorkerState::TaskExecution)
+                    .map(|s| s.duration())
+                    .collect();
+                let stats = q.exec_stats(cpu);
+                assert_eq!(stats.count as usize, execs.len());
+                assert_eq!(stats.max_cycles, execs.iter().copied().max().unwrap_or(0));
+                assert_eq!(stats.min_cycles, execs.iter().copied().min().unwrap_or(0));
+                // Type cycles sum to the clipped execution cycles of typed tasks.
+                let typed: u64 = q.task_type_cycles(cpu).iter().map(|&(_, c)| c).sum();
+                let exec_clipped: u64 = states
+                    .iter()
+                    .filter(|s| {
+                        s.state == aftermath_trace::WorkerState::TaskExecution
+                            && s.task
+                                .is_some_and(|id| trace.tasks().get(id.0 as usize).is_some())
+                    })
+                    .map(|s| s.interval.overlap_cycles(&iv))
+                    .sum();
+                assert_eq!(typed, exec_clipped);
+                // NUMA bytes: per-interval attribution of the tasks' accesses.
+                let mut read_total = 0u64;
+                for s in states {
+                    if s.state != aftermath_trace::WorkerState::TaskExecution {
+                        continue;
+                    }
+                    let Some(task) = s.task.and_then(|id| trace.tasks().get(id.0 as usize)) else {
+                        continue;
+                    };
+                    for a in trace.accesses_of_task(task.id) {
+                        if a.kind == AccessKind::Read && trace.node_of_addr(a.addr).is_some() {
+                            read_total += a.size;
+                        }
+                    }
+                }
+                let q_read: u64 = q
+                    .numa_bytes(cpu, AccessKind::Read)
+                    .iter()
+                    .map(|x| x.1)
+                    .sum();
+                assert_eq!(q_read, read_total);
+            }
+        }
+    }
+
+    #[test]
+    fn counter_average_matches_sample_mean() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        let counter = session.counter_id("branch-mispredictions").unwrap();
+        let bounds = session.time_bounds();
+        for cpu in trace.topology().cpu_ids() {
+            let samples = session.samples_in(cpu, counter, bounds);
+            let expected = if samples.is_empty() {
+                None
+            } else {
+                Some(samples.iter().map(|s| s.value).sum::<f64>() / samples.len() as f64)
+            };
+            let got = session.counter_average(cpu, counter, bounds);
+            match (got, expected) {
+                (None, None) => {}
+                (Some(g), Some(e)) => assert!((g - e).abs() < 1e-9 * (1.0 + e.abs())),
+                other => panic!("mismatch on {cpu}: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //! optimization — every pixel is derived from the events it covers exactly once, using
 //! the predominant state/type/node of the covered interval — testable without a
 //! framebuffer.
+//!
+//! Each cell is resolved through an interval query. The default
+//! [`TimelineEngine::Pyramid`] answers it from the multi-resolution aggregation layer
+//! ([`crate::pyramid`]) in `O(fanout · log n)` per cell, descending to raw events
+//! only at the edges of the covered range, so a frame costs `O(columns · log n)`
+//! regardless of zoom level. [`TimelineEngine::Scan`] is the paper's original
+//! binary-search-plus-scan path, kept both as the equivalence baseline (the two
+//! engines produce byte-identical cells) and for the ablation benchmarks.
 
 use aftermath_trace::{CpuId, NumaNodeId, TaskTypeId, TimeInterval, WorkerState};
 
@@ -54,6 +62,17 @@ pub enum TimelineCell {
     Node(NumaNodeId),
 }
 
+/// How the per-cell interval reductions are answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TimelineEngine {
+    /// The multi-resolution aggregation pyramid: `O(fanout · log n)` per cell.
+    #[default]
+    Pyramid,
+    /// The original per-column scan over the raw event streams: `O(events in cell)`
+    /// per cell. Kept as the equivalence baseline and for benchmarks.
+    Scan,
+}
+
 /// A computed timeline: `columns` cells for each CPU row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimelineModel {
@@ -96,6 +115,31 @@ impl TimelineModel {
         columns: usize,
         filter: &TaskFilter,
     ) -> Result<Self, AnalysisError> {
+        Self::build_with_engine(
+            session,
+            mode,
+            interval,
+            columns,
+            filter,
+            TimelineEngine::Pyramid,
+        )
+    }
+
+    /// Like [`TimelineModel::build_filtered`] but with an explicit cell-resolution
+    /// engine. Both engines produce byte-identical models; [`TimelineEngine::Scan`]
+    /// exists for equivalence tests and the zoom benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidParameter`] for zero columns or an empty interval.
+    pub fn build_with_engine(
+        session: &AnalysisSession<'_>,
+        mode: TimelineMode,
+        interval: TimeInterval,
+        columns: usize,
+        filter: &TaskFilter,
+        engine: TimelineEngine,
+    ) -> Result<Self, AnalysisError> {
         if columns == 0 {
             return Err(AnalysisError::InvalidParameter(
                 "timeline needs at least one column".into(),
@@ -110,11 +154,17 @@ impl TimelineModel {
         let cpus: Vec<CpuId> = trace.topology().cpu_ids().collect();
         let mut cells = Vec::with_capacity(cpus.len());
         for &cpu in &cpus {
-            let mut row = Vec::with_capacity(columns);
-            for col in 0..columns {
-                let cell_iv = column_interval(interval, columns, col);
-                row.push(compute_cell(session, mode, cpu, cell_iv, filter));
-            }
+            let row = match engine {
+                TimelineEngine::Pyramid => {
+                    pyramid_row(session, mode, cpu, interval, columns, filter)
+                }
+                TimelineEngine::Scan => (0..columns)
+                    .map(|col| {
+                        let cell_iv = column_interval(interval, columns, col);
+                        scan_cell(session, mode, cpu, cell_iv, filter)
+                    })
+                    .collect(),
+            };
             cells.push(row);
         }
         Ok(TimelineModel {
@@ -163,7 +213,51 @@ pub fn column_interval(interval: TimeInterval, columns: usize, col: usize) -> Ti
     TimeInterval::from_cycles(start, end.max(start))
 }
 
-fn compute_cell(
+/// Maps a predominant worker state to its cell (state mode).
+fn state_cell(state: Option<WorkerState>) -> TimelineCell {
+    state
+        .map(TimelineCell::State)
+        .unwrap_or(TimelineCell::Empty)
+}
+
+/// Maps a predominant task (index into `trace.tasks()`) to its cell for the
+/// task-based modes (heatmap, typemap, NUMA read/write/heat).
+fn task_cell(
+    session: &AnalysisSession<'_>,
+    mode: TimelineMode,
+    task: Option<usize>,
+) -> TimelineCell {
+    let Some(task) = task else {
+        return TimelineCell::Empty;
+    };
+    let trace = session.trace();
+    let t = &trace.tasks()[task];
+    match mode {
+        TimelineMode::Heatmap {
+            min_duration,
+            max_duration,
+        } => {
+            let range = max_duration.saturating_sub(min_duration).max(1) as f64;
+            let shade =
+                ((t.duration().saturating_sub(min_duration)) as f64 / range).clamp(0.0, 1.0);
+            TimelineCell::Shade(shade)
+        }
+        TimelineMode::TaskType => TimelineCell::Type(t.task_type),
+        TimelineMode::NumaRead => dominant_read_node(trace, t.id)
+            .map(TimelineCell::Node)
+            .unwrap_or(TimelineCell::Empty),
+        TimelineMode::NumaWrite => dominant_write_node(trace, t.id)
+            .map(TimelineCell::Node)
+            .unwrap_or(TimelineCell::Empty),
+        TimelineMode::NumaHeat => task_remote_fraction(trace, t)
+            .map(TimelineCell::Shade)
+            .unwrap_or(TimelineCell::Empty),
+        TimelineMode::State => unreachable!("state mode resolves states, not tasks"),
+    }
+}
+
+/// One cell computed with the scan engine.
+fn scan_cell(
     session: &AnalysisSession<'_>,
     mode: TimelineMode,
     cpu: CpuId,
@@ -171,56 +265,55 @@ fn compute_cell(
     filter: &TaskFilter,
 ) -> TimelineCell {
     match mode {
-        TimelineMode::State => predominant_state(session, cpu, cell_iv)
-            .map(TimelineCell::State)
-            .unwrap_or(TimelineCell::Empty),
-        TimelineMode::Heatmap {
-            min_duration,
-            max_duration,
-        } => match predominant_task(session, cpu, cell_iv, filter) {
-            Some(task) => {
-                let trace = session.trace();
-                let t = &trace.tasks()[task];
-                let range = max_duration.saturating_sub(min_duration).max(1) as f64;
-                let shade =
-                    ((t.duration().saturating_sub(min_duration)) as f64 / range).clamp(0.0, 1.0);
-                TimelineCell::Shade(shade)
-            }
-            None => TimelineCell::Empty,
-        },
-        TimelineMode::TaskType => match predominant_task(session, cpu, cell_iv, filter) {
-            Some(task) => TimelineCell::Type(session.trace().tasks()[task].task_type),
-            None => TimelineCell::Empty,
-        },
-        TimelineMode::NumaRead | TimelineMode::NumaWrite => {
-            match predominant_task(session, cpu, cell_iv, filter) {
-                Some(task) => {
-                    let trace = session.trace();
-                    let id = trace.tasks()[task].id;
-                    let node = if matches!(mode, TimelineMode::NumaRead) {
-                        dominant_read_node(trace, id)
-                    } else {
-                        dominant_write_node(trace, id)
-                    };
-                    node.map(TimelineCell::Node).unwrap_or(TimelineCell::Empty)
-                }
-                None => TimelineCell::Empty,
-            }
-        }
-        TimelineMode::NumaHeat => match predominant_task(session, cpu, cell_iv, filter) {
-            Some(task) => {
-                let trace = session.trace();
-                task_remote_fraction(trace, &trace.tasks()[task])
-                    .map(TimelineCell::Shade)
-                    .unwrap_or(TimelineCell::Empty)
-            }
-            None => TimelineCell::Empty,
-        },
+        TimelineMode::State => state_cell(predominant_state_scan(session, cpu, cell_iv)),
+        _ => task_cell(
+            session,
+            mode,
+            predominant_task_scan(session, cpu, cell_iv, filter),
+        ),
     }
 }
 
-/// The worker state covering the largest part of the cell, if any.
-fn predominant_state(
+/// One CPU row computed with the pyramid engine.
+///
+/// Resolves the CPU's stream and pyramid once for the whole row, then answers each
+/// cell with two binary searches (range location) plus an O(fanout · log n) pyramid
+/// reduction. Locating ranges by binary search — never by walking the stream — is
+/// what keeps the row cost independent of the number of covered events. The
+/// produced cells are byte-identical to per-cell [`scan_cell`] calls.
+fn pyramid_row(
+    session: &AnalysisSession<'_>,
+    mode: TimelineMode,
+    cpu: CpuId,
+    interval: TimeInterval,
+    columns: usize,
+    filter: &TaskFilter,
+) -> Vec<TimelineCell> {
+    use crate::pyramid::{overlap_range, predominant_state_in_range, predominant_task_in_range};
+    let trace = session.trace();
+    let states = session.states(cpu);
+    let pyramid = session.pyramid(cpu);
+    let mut row = Vec::with_capacity(columns);
+    for col in 0..columns {
+        let cell_iv = column_interval(interval, columns, col);
+        let (first, last) = overlap_range(states, cell_iv);
+        let cell = match mode {
+            TimelineMode::State => state_cell(predominant_state_in_range(
+                pyramid, states, cell_iv, first, last,
+            )),
+            _ => task_cell(
+                session,
+                mode,
+                predominant_task_in_range(pyramid, trace, states, filter, cell_iv, first, last),
+            ),
+        };
+        row.push(cell);
+    }
+    row
+}
+
+/// The worker state covering the largest part of the cell, if any (scan path).
+fn predominant_state_scan(
     session: &AnalysisSession<'_>,
     cpu: CpuId,
     cell_iv: TimeInterval,
@@ -238,8 +331,8 @@ fn predominant_state(
 }
 
 /// The index (into `trace.tasks()`) of the task-execution state covering the largest part
-/// of the cell on `cpu`, restricted to tasks accepted by `filter`.
-fn predominant_task(
+/// of the cell on `cpu`, restricted to tasks accepted by `filter` (scan path).
+fn predominant_task_scan(
     session: &AnalysisSession<'_>,
     cpu: CpuId,
     cell_iv: TimeInterval,
@@ -383,6 +476,54 @@ mod tests {
         for cell in only_init.cells.iter().flatten() {
             if let TimelineCell::Type(ty) = cell {
                 assert_eq!(*ty, init_ty);
+            }
+        }
+    }
+
+    #[test]
+    fn pyramid_and_scan_engines_agree_on_every_mode() {
+        let trace = small_sim_trace();
+        let session = AnalysisSession::new(&trace);
+        let bounds = session.time_bounds();
+        let zoomed = TimeInterval::from_cycles(
+            bounds.start.0 + bounds.duration() / 3,
+            bounds.start.0 + bounds.duration() / 2,
+        );
+        let max = trace.tasks().iter().map(|t| t.duration()).max().unwrap();
+        for mode in [
+            TimelineMode::State,
+            TimelineMode::Heatmap {
+                min_duration: 0,
+                max_duration: max,
+            },
+            TimelineMode::TaskType,
+            TimelineMode::NumaRead,
+            TimelineMode::NumaWrite,
+            TimelineMode::NumaHeat,
+        ] {
+            for iv in [bounds, zoomed] {
+                for columns in [1, 7, 64, 333] {
+                    let filter = TaskFilter::new();
+                    let pyramid = TimelineModel::build_with_engine(
+                        &session,
+                        mode,
+                        iv,
+                        columns,
+                        &filter,
+                        TimelineEngine::Pyramid,
+                    )
+                    .unwrap();
+                    let scan = TimelineModel::build_with_engine(
+                        &session,
+                        mode,
+                        iv,
+                        columns,
+                        &filter,
+                        TimelineEngine::Scan,
+                    )
+                    .unwrap();
+                    assert_eq!(pyramid, scan, "mode {mode:?}, {iv}, {columns} columns");
+                }
             }
         }
     }

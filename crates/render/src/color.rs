@@ -36,76 +36,156 @@ impl Color {
     }
 }
 
-/// The colour palette used by the timeline renderer, matching the conventions of the
-/// paper's figures: dark blue for task execution, light blue for idling, shades of red
-/// for the duration heatmap, blue-to-pink for the NUMA heatmap.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct Palette;
+/// The colour palette used by the timeline renderer.
+///
+/// A palette is a plain configurable value: every colour the timeline modes use is a
+/// field, so front-ends can restyle the renderer (or build their own themes) without
+/// touching rendering code. Two built-in themes ship with the crate:
+///
+/// * [`Palette::dark`] — the default, matching the conventions of the paper's
+///   figures: dark blue for task execution, light blue for idling, shades of red for
+///   the duration heatmap, blue-to-pink for the NUMA heatmap. [`Palette::default`]
+///   returns this theme, so existing images are unchanged.
+/// * [`Palette::light`] — the same hues on a paper-white background, for print-style
+///   output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Palette {
+    /// Background colour of the timeline (visible where no event is drawn).
+    pub background: Color,
+    /// Colour per worker state in state mode, indexed by [`WorkerState::index`].
+    pub states: [Color; WorkerState::COUNT],
+    /// Task-type colours, cycled by type id (typemap mode).
+    pub task_types: [Color; 8],
+    /// NUMA-node colours, cycled by node id (NUMA read/write maps).
+    pub numa_nodes: [Color; 8],
+    /// Heatmap endpoints: shortest → longest task (Figure 7).
+    pub heat_short: Color,
+    /// See [`Palette::heat_short`].
+    pub heat_long: Color,
+    /// NUMA heatmap endpoints: local → remote accesses (Figures 14e/f).
+    pub numa_local: Color,
+    /// See [`Palette::numa_local`].
+    pub numa_remote: Color,
+    /// Communication-matrix endpoints: no traffic → peak traffic (Figure 15).
+    pub matrix_zero: Color,
+    /// See [`Palette::matrix_zero`].
+    pub matrix_full: Color,
+}
 
 impl Palette {
-    /// Background colour of the timeline (visible where no event is drawn).
+    /// Background colour of the **dark** (default) theme.
+    ///
+    /// Kept as an associated constant because the framebuffer clear colour predates
+    /// configurable palettes; renderers use their palette's `background` field.
     pub const BACKGROUND: Color = Color::rgb(32, 32, 32);
 
-    /// The colour of a worker state in state mode.
-    pub fn state(self, state: WorkerState) -> Color {
-        match state {
-            WorkerState::TaskExecution => Color::rgb(24, 48, 140), // dark blue
-            WorkerState::Idle => Color::rgb(150, 200, 245),        // light blue
-            WorkerState::TaskCreation => Color::rgb(60, 160, 60),  // green
-            WorkerState::Broadcast => Color::rgb(220, 170, 40),    // amber
-            WorkerState::Synchronization => Color::rgb(170, 60, 170), // purple
-            WorkerState::LoadBalancing => Color::rgb(230, 120, 40), // orange
-            WorkerState::RuntimeOverhead => Color::rgb(120, 120, 120),
-            WorkerState::Startup => Color::rgb(90, 90, 90),
-            WorkerState::Shutdown => Color::rgb(60, 60, 60),
+    /// The dark default theme, matching the paper's figures.
+    pub const fn dark() -> Self {
+        Palette {
+            background: Self::BACKGROUND,
+            states: [
+                Color::rgb(24, 48, 140),   // task execution: dark blue
+                Color::rgb(150, 200, 245), // idle: light blue
+                Color::rgb(60, 160, 60),   // task creation: green
+                Color::rgb(220, 170, 40),  // broadcast: amber
+                Color::rgb(170, 60, 170),  // synchronization: purple
+                Color::rgb(230, 120, 40),  // load balancing: orange
+                Color::rgb(120, 120, 120), // runtime overhead
+                Color::rgb(90, 90, 90),    // startup
+                Color::rgb(60, 60, 60),    // shutdown
+            ],
+            task_types: [
+                Color::rgb(230, 150, 180), // pink (initialization in Figure 9)
+                Color::rgb(200, 160, 60),  // ocher (main computation in Figure 9)
+                Color::rgb(70, 130, 180),
+                Color::rgb(60, 170, 90),
+                Color::rgb(170, 90, 200),
+                Color::rgb(210, 210, 80),
+                Color::rgb(90, 200, 200),
+                Color::rgb(220, 100, 60),
+            ],
+            numa_nodes: [
+                Color::rgb(31, 119, 180),
+                Color::rgb(255, 127, 14),
+                Color::rgb(44, 160, 44),
+                Color::rgb(214, 39, 40),
+                Color::rgb(148, 103, 189),
+                Color::rgb(140, 86, 75),
+                Color::rgb(227, 119, 194),
+                Color::rgb(188, 189, 34),
+            ],
+            heat_short: Color::WHITE,
+            heat_long: Color::rgb(140, 10, 10),
+            numa_local: Color::rgb(40, 90, 200),
+            numa_remote: Color::rgb(235, 80, 190),
+            matrix_zero: Color::WHITE,
+            matrix_full: Color::rgb(180, 0, 0),
         }
     }
 
+    /// A light theme: the same hues on a paper-white background, with state colours
+    /// deepened enough to stay readable on white.
+    pub const fn light() -> Self {
+        Palette {
+            background: Color::rgb(248, 248, 248),
+            states: [
+                Color::rgb(24, 48, 140),   // task execution keeps its dark blue
+                Color::rgb(120, 170, 220), // idle: slightly deeper light blue
+                Color::rgb(40, 130, 40),
+                Color::rgb(190, 140, 20),
+                Color::rgb(150, 40, 150),
+                Color::rgb(210, 100, 20),
+                Color::rgb(110, 110, 110),
+                Color::rgb(140, 140, 140),
+                Color::rgb(90, 90, 90),
+            ],
+            task_types: Self::dark().task_types,
+            numa_nodes: Self::dark().numa_nodes,
+            heat_short: Color::rgb(255, 235, 235),
+            heat_long: Color::rgb(140, 10, 10),
+            numa_local: Color::rgb(40, 90, 200),
+            numa_remote: Color::rgb(235, 80, 190),
+            matrix_zero: Color::WHITE,
+            matrix_full: Color::rgb(180, 0, 0),
+        }
+    }
+
+    /// The colour of a worker state in state mode.
+    pub fn state(&self, state: WorkerState) -> Color {
+        self.states[state.index()]
+    }
+
     /// A distinct colour per task type (cycled from a fixed set, as in typemap mode).
-    pub fn task_type(self, ty: TaskTypeId) -> Color {
-        const COLORS: [Color; 8] = [
-            Color::rgb(230, 150, 180), // pink (initialization in Figure 9)
-            Color::rgb(200, 160, 60),  // ocher (main computation in Figure 9)
-            Color::rgb(70, 130, 180),
-            Color::rgb(60, 170, 90),
-            Color::rgb(170, 90, 200),
-            Color::rgb(210, 210, 80),
-            Color::rgb(90, 200, 200),
-            Color::rgb(220, 100, 60),
-        ];
-        COLORS[ty.0 as usize % COLORS.len()]
+    pub fn task_type(&self, ty: TaskTypeId) -> Color {
+        self.task_types[ty.0 as usize % self.task_types.len()]
     }
 
     /// A distinct colour per NUMA node (cycled), used by the NUMA read/write maps.
-    pub fn numa_node(self, node: NumaNodeId) -> Color {
-        const COLORS: [Color; 8] = [
-            Color::rgb(31, 119, 180),
-            Color::rgb(255, 127, 14),
-            Color::rgb(44, 160, 44),
-            Color::rgb(214, 39, 40),
-            Color::rgb(148, 103, 189),
-            Color::rgb(140, 86, 75),
-            Color::rgb(227, 119, 194),
-            Color::rgb(188, 189, 34),
-        ];
-        COLORS[node.0 as usize % COLORS.len()]
+    pub fn numa_node(&self, node: NumaNodeId) -> Color {
+        self.numa_nodes[node.0 as usize % self.numa_nodes.len()]
     }
 
-    /// Heatmap shade for a normalized duration in `[0, 1]`: white (short) to dark red
-    /// (long), as in Figure 7.
-    pub fn heat(self, value: f64) -> Color {
-        Color::WHITE.lerp(Color::rgb(140, 10, 10), value)
+    /// Heatmap shade for a normalized duration in `[0, 1]`: short to long, as in
+    /// Figure 7.
+    pub fn heat(&self, value: f64) -> Color {
+        self.heat_short.lerp(self.heat_long, value)
     }
 
-    /// NUMA heatmap shade for a remote-access fraction in `[0, 1]`: blue (local) to pink
-    /// (remote), as in Figures 14e/f.
-    pub fn numa_heat(self, remote_fraction: f64) -> Color {
-        Color::rgb(40, 90, 200).lerp(Color::rgb(235, 80, 190), remote_fraction)
+    /// NUMA heatmap shade for a remote-access fraction in `[0, 1]`: local to remote,
+    /// as in Figures 14e/f.
+    pub fn numa_heat(&self, remote_fraction: f64) -> Color {
+        self.numa_local.lerp(self.numa_remote, remote_fraction)
     }
 
-    /// Shade of red for a normalized communication-matrix entry in `[0, 1]` (Figure 15).
-    pub fn matrix(self, value: f64) -> Color {
-        Color::WHITE.lerp(Color::rgb(180, 0, 0), value)
+    /// Shade for a normalized communication-matrix entry in `[0, 1]` (Figure 15).
+    pub fn matrix(&self, value: f64) -> Color {
+        self.matrix_zero.lerp(self.matrix_full, value)
+    }
+}
+
+impl Default for Palette {
+    fn default() -> Self {
+        Palette::dark()
     }
 }
 
@@ -126,7 +206,7 @@ mod tests {
 
     #[test]
     fn distinct_state_colors() {
-        let p = Palette;
+        let p = Palette::dark();
         let mut seen = std::collections::HashSet::new();
         for s in WorkerState::ALL {
             assert!(seen.insert(p.state(s)), "duplicate colour for {s}");
@@ -135,15 +215,27 @@ mod tests {
 
     #[test]
     fn palettes_cycle() {
-        let p = Palette;
+        let p = Palette::dark();
         assert_eq!(p.task_type(TaskTypeId(0)), p.task_type(TaskTypeId(8)));
         assert_eq!(p.numa_node(NumaNodeId(1)), p.numa_node(NumaNodeId(9)));
         assert_ne!(p.numa_node(NumaNodeId(0)), p.numa_node(NumaNodeId(1)));
     }
 
     #[test]
+    fn default_theme_is_dark_and_themes_differ() {
+        assert_eq!(Palette::default(), Palette::dark());
+        assert_eq!(Palette::default().background, Palette::BACKGROUND);
+        let light = Palette::light();
+        assert_ne!(light.background, Palette::dark().background);
+        // Light theme keeps every state colour distinct from its background.
+        for s in WorkerState::ALL {
+            assert_ne!(light.state(s), light.background, "{s}");
+        }
+    }
+
+    #[test]
     fn heat_shades_darken_with_value() {
-        let p = Palette;
+        let p = Palette::dark();
         let short = p.heat(0.0);
         let long = p.heat(1.0);
         assert_eq!(short, Color::WHITE);

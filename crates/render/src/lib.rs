@@ -19,7 +19,9 @@
 //!   ([`aftermath_core::anomaly`]) draw as coloured badge bands above the timeline
 //!   ([`overlay::AnomalyOverlay`]), so detected regions stand out at any zoom level,
 //! * a naive renderer that draws every event individually is provided for comparison
-//!   (and for the ablation benchmarks).
+//!   (and for the ablation benchmarks),
+//! * colours come from a configurable [`color::Palette`] with built-in dark
+//!   (default, matching the paper's figures) and light themes.
 //!
 //! ## Example
 //!

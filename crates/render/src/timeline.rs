@@ -30,7 +30,7 @@ impl Default for TimelineRenderer {
     fn default() -> Self {
         TimelineRenderer {
             row_height: 4,
-            palette: Palette,
+            palette: Palette::default(),
         }
     }
 }
@@ -45,14 +45,23 @@ impl TimelineRenderer {
     pub fn with_row_height(row_height: usize) -> Self {
         TimelineRenderer {
             row_height: row_height.max(1),
-            palette: Palette,
+            palette: Palette::default(),
+        }
+    }
+
+    /// Creates a renderer with a custom palette (e.g. [`Palette::light`]), keeping
+    /// the default row height.
+    pub fn with_palette(palette: Palette) -> Self {
+        TimelineRenderer {
+            palette,
+            ..TimelineRenderer::default()
         }
     }
 
     /// The colour of one timeline cell.
     pub fn cell_color(&self, cell: &TimelineCell) -> Color {
         match cell {
-            TimelineCell::Empty => Palette::BACKGROUND,
+            TimelineCell::Empty => self.palette.background,
             TimelineCell::State(s) => self.palette.state(*s),
             TimelineCell::Shade(v) => self.palette.heat(*v),
             TimelineCell::Type(ty) => self.palette.task_type(*ty),
@@ -76,7 +85,7 @@ impl TimelineRenderer {
     pub fn render_with(&self, model: &TimelineModel, threads: Threads) -> Framebuffer {
         let width = model.columns;
         let height = model.num_rows() * self.row_height;
-        let mut pixels = vec![Palette::BACKGROUND; width * height];
+        let mut pixels = vec![self.palette.background; width * height];
         let band_len = width * self.row_height;
         let draw_calls = parallel_map_chunks(threads, &mut pixels, band_len, |row, band| {
             self.rasterize_row(&model.cells[row], band, width)
@@ -98,7 +107,7 @@ impl TimelineRenderer {
             while col + run < cells.len() && self.cell_color(&cells[col + run]) == color {
                 run += 1;
             }
-            if color != Palette::BACKGROUND {
+            if color != self.palette.background {
                 draw_calls += 1;
                 // Clip like `Framebuffer::fill_rect` does: a hand-built model whose
                 // rows are wider than `columns` must draw truncated, not panic.
@@ -120,12 +129,12 @@ impl TimelineRenderer {
     pub fn render_unaggregated(&self, model: &TimelineModel) -> Framebuffer {
         let width = model.columns;
         let height = model.num_rows() * self.row_height;
-        let mut fb = Framebuffer::new(width, height, Palette::BACKGROUND);
+        let mut fb = Framebuffer::new(width, height, self.palette.background);
         for (row, cells) in model.cells.iter().enumerate() {
             let y = row * self.row_height;
             for (col, cell) in cells.iter().enumerate() {
                 let color = self.cell_color(cell);
-                if color != Palette::BACKGROUND {
+                if color != self.palette.background {
                     fb.fill_rect(col, y, 1, self.row_height, color);
                 }
             }
@@ -145,7 +154,7 @@ impl TimelineRenderer {
     ) -> Framebuffer {
         let cpus: Vec<_> = session.trace().topology().cpu_ids().collect();
         let height = cpus.len() * self.row_height;
-        let mut fb = Framebuffer::new(columns, height, Palette::BACKGROUND);
+        let mut fb = Framebuffer::new(columns, height, self.palette.background);
         let duration = interval.duration().max(1);
         for (row, &cpu) in cpus.iter().enumerate() {
             let y = row * self.row_height;
@@ -274,6 +283,30 @@ mod tests {
         let fb = TimelineRenderer::with_row_height(7).render(&model);
         assert_eq!(fb.height(), model.num_rows() * 7);
         assert_eq!(TimelineRenderer::with_row_height(0).row_height, 1);
+    }
+
+    #[test]
+    fn light_theme_renders_same_shapes_on_light_background() {
+        let trace = session_trace();
+        let session = AnalysisSession::new(&trace);
+        let model =
+            TimelineModel::build(&session, TimelineMode::State, session.time_bounds(), 96).unwrap();
+        let dark = TimelineRenderer::new().render(&model);
+        let light_renderer = TimelineRenderer::with_palette(Palette::light());
+        let light = light_renderer.render(&model);
+        assert_eq!(dark.width(), light.width());
+        assert_eq!(dark.height(), light.height());
+        // Same cells filled: a pixel is background in one theme iff it is in the other.
+        for y in 0..dark.height() {
+            for x in 0..dark.width() {
+                assert_eq!(
+                    dark.get(x, y) == Some(Palette::dark().background),
+                    light.get(x, y) == Some(Palette::light().background),
+                    "pixel ({x},{y}) fill status differs between themes"
+                );
+            }
+        }
+        assert!(light.count_pixels(Palette::light().background) > 0);
     }
 
     #[test]

@@ -29,12 +29,24 @@ pub fn render_histogram(histogram: &Histogram, width: usize, height: usize) -> F
     fb
 }
 
-/// Renders the NUMA communication incidence matrix (Figure 15): an `n × n` grid where
-/// each cell's shade of red encodes the fraction of total traffic between the node pair.
+/// Renders the NUMA communication incidence matrix (Figure 15) with the default
+/// palette: an `n × n` grid where each cell's shade encodes the fraction of total
+/// traffic between the node pair.
 pub fn render_incidence_matrix(matrix: &IncidenceMatrix, cell_size: usize) -> Framebuffer {
+    render_incidence_matrix_with(matrix, cell_size, &Palette::default())
+}
+
+/// Like [`render_incidence_matrix`] but shaded through `palette` (its
+/// `matrix_zero`/`matrix_full` endpoints), so themed front-ends can restyle the
+/// matrix like the timeline.
+pub fn render_incidence_matrix_with(
+    matrix: &IncidenceMatrix,
+    cell_size: usize,
+    palette: &Palette,
+) -> Framebuffer {
     let n = matrix.num_nodes();
     let size = n * cell_size.max(1);
-    let mut fb = Framebuffer::new(size, size, Color::WHITE);
+    let mut fb = Framebuffer::new(size, size, palette.matrix_zero);
     let normalized = matrix.normalized();
     let max = normalized.iter().copied().fold(0.0f64, f64::max);
     for from in 0..n {
@@ -46,7 +58,7 @@ pub fn render_incidence_matrix(matrix: &IncidenceMatrix, cell_size: usize) -> Fr
                 from * cell_size,
                 cell_size,
                 cell_size,
-                Palette.matrix(shade),
+                palette.matrix(shade),
             );
         }
     }

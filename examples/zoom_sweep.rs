@@ -1,0 +1,51 @@
+//! Measures interactive zoom/pan frame times: the per-column scan path vs. the
+//! multi-resolution aggregation pyramid, across zoom levels and all six timeline
+//! modes, on the dense synthetic navigation trace.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example zoom_sweep            # test scale (small, fast)
+//! cargo run --release --example zoom_sweep -- paper   # paper scale (dense trace)
+//! ```
+
+use aftermath_bench::figures::Scale;
+use aftermath_bench::zoom::{run_zoom_sweep, zoom_trace};
+use aftermath_core::Threads;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("paper") => Scale::Paper,
+        _ => Scale::Test,
+    };
+    println!("# zoom sweep at {scale:?} scale — building trace...");
+    let trace = zoom_trace(scale);
+    println!("# {} recorded events", trace.num_events());
+    let sweep = run_zoom_sweep(&trace, 800, Threads::auto(), scale == Scale::Test);
+
+    println!("\nzoom  mode        scan_ms  pyramid_ms  speedup");
+    for f in &sweep.frames {
+        println!(
+            "{:<5} {:<11} {:>8.3} {:>10.3} {:>7.2}x",
+            f.zoom_factor,
+            f.mode,
+            f.scan_seconds * 1e3,
+            f.pyramid_seconds * 1e3,
+            f.speedup()
+        );
+    }
+    println!(
+        "\nprewarm (all index shards, {} threads): {:.3}s",
+        Threads::auto(),
+        sweep.prewarm_seconds
+    );
+    println!(
+        "pyramid memory: {} bytes = {:.2}% of {} bytes raw event data",
+        sweep.pyramid_bytes,
+        sweep.pyramid_overhead() * 100.0,
+        sweep.raw_event_bytes
+    );
+    println!(
+        "zoomed-out aggregate speedup (factor 1, all modes): {:.2}x",
+        sweep.zoomed_out_speedup()
+    );
+}
