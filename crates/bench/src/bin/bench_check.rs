@@ -1,0 +1,108 @@
+//! CI benchmark-regression gate for the `BENCH_zoom_sweep.json` records.
+//!
+//! ```text
+//! bench_check <fresh.json> <baseline.json> [--max-regression FRACTION]
+//! ```
+//!
+//! Compares a freshly measured zoom-sweep record against the committed baseline
+//! (`crates/bench/baselines/BENCH_zoom_sweep.json`) and fails when the pyramid
+//! speedup ratio (`zoomed_out_speedup` — scan time over pyramid time at the fully
+//! zoomed-out level, the headline interactivity number) regressed by more than
+//! `--max-regression` (default 0.25, i.e. the fresh ratio must reach at least 75 %
+//! of the baseline ratio).
+//!
+//! Records of a different `schema_version` (or without one — pre-envelope files)
+//! are **incomparable** and rejected with exit code 2; a regression exits with 1;
+//! a pass exits with 0.
+
+use std::process::ExitCode;
+
+use aftermath_bench::record::{json_number, json_string, BENCH_SCHEMA_VERSION};
+
+struct Record {
+    label: String,
+    git: String,
+    speedup: f64,
+}
+
+fn load(path: &str) -> Result<Record, String> {
+    let contents = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let schema = json_number(&contents, "schema_version")
+        .ok_or_else(|| format!("{path}: no schema_version field — incomparable record"))?;
+    if schema != BENCH_SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "{path}: schema_version {schema} does not match this binary's {BENCH_SCHEMA_VERSION} — incomparable record"
+        ));
+    }
+    let bench = json_string(&contents, "bench").unwrap_or_default();
+    if bench != "zoom_sweep" {
+        return Err(format!(
+            "{path}: record kind '{bench}' is not a zoom_sweep record"
+        ));
+    }
+    let speedup = json_number(&contents, "zoomed_out_speedup")
+        .ok_or_else(|| format!("{path}: no zoomed_out_speedup field"))?;
+    if !speedup.is_finite() || speedup <= 0.0 {
+        return Err(format!("{path}: nonsensical speedup {speedup}"));
+    }
+    Ok(Record {
+        label: path.to_string(),
+        git: json_string(&contents, "git").unwrap_or_else(|| "unknown".into()),
+        speedup,
+    })
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_regression = 0.25f64;
+    if let Some(at) = args.iter().position(|a| a == "--max-regression") {
+        args.remove(at);
+        let value = if at < args.len() {
+            args.remove(at)
+        } else {
+            String::new()
+        };
+        max_regression = match value.parse::<f64>() {
+            Ok(v) if (0.0..1.0).contains(&v) => v,
+            _ => {
+                eprintln!("--max-regression expects a fraction in [0, 1), got '{value}'");
+                return ExitCode::from(2);
+            }
+        };
+    }
+    let [fresh_path, baseline_path]: [String; 2] = match args.try_into() {
+        Ok(paths) => paths,
+        Err(_) => {
+            eprintln!(
+                "usage: bench_check <fresh.json> <baseline.json> [--max-regression FRACTION]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let (fresh, baseline) = match (load(&fresh_path), load(&baseline_path)) {
+        (Ok(f), Ok(b)) => (f, b),
+        (fresh, baseline) => {
+            for r in [fresh, baseline] {
+                if let Err(e) = r {
+                    eprintln!("bench_check: {e}");
+                }
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let floor = baseline.speedup * (1.0 - max_regression);
+    println!(
+        "bench_check: pyramid zoomed-out speedup {:.2}x (fresh, {}) vs {:.2}x (baseline, {} @ {}); floor {:.2}x",
+        fresh.speedup, fresh.label, baseline.speedup, baseline.label, baseline.git, floor
+    );
+    if fresh.speedup < floor {
+        eprintln!(
+            "bench_check: FAIL — speedup regressed by {:.1}% (> {:.0}% allowed)",
+            (1.0 - fresh.speedup / baseline.speedup) * 100.0,
+            max_regression * 100.0
+        );
+        return ExitCode::from(1);
+    }
+    println!("bench_check: OK");
+    ExitCode::SUCCESS
+}

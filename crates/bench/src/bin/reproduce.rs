@@ -14,8 +14,10 @@ use std::path::PathBuf;
 
 use aftermath_bench::figures::{fmt_cycles, Scale};
 use aftermath_bench::kmeans_experiments as km;
+use aftermath_bench::record;
 use aftermath_bench::section6;
 use aftermath_bench::seidel_experiments::SeidelExperiment;
+use aftermath_bench::stream;
 use aftermath_bench::zoom;
 use aftermath_core::{AnalysisSession, Threads, TimelineMode, TimelineModel};
 use aftermath_render::views::{render_histogram, render_incidence_matrix};
@@ -26,6 +28,7 @@ struct Options {
     out_dir: Option<PathBuf>,
     threads: Threads,
     json: bool,
+    stream: bool,
     targets: Vec<String>,
 }
 
@@ -52,6 +55,7 @@ fn parse_args() -> Options {
     let mut out_dir = None;
     let mut threads = Threads::auto();
     let mut json = false;
+    let mut stream = false;
     let mut targets = Vec::new();
     while let Some(arg) = args.pop_front() {
         match arg.as_str() {
@@ -74,12 +78,15 @@ fn parse_args() -> Options {
                 });
             }
             "--json" => json = true,
+            "--stream" => stream = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [--scale test|paper] [--out DIR] [--threads N|auto] [--json] [FIGURE...]\n\
+                    "usage: reproduce [--scale test|paper] [--out DIR] [--threads N|auto] [--json] [--stream] [FIGURE...]\n\
                      figures: fig3 fig5 fig8 fig9 fig10 fig12 fig13 fig14 fig15 fig16 fig19 sec6 all\n\
                      modes:   zoom-sweep  (scan-vs-pyramid frame times across zoom levels; not part of 'all')\n\
-                     --json writes BENCH_<name>.json records for sec6 and zoom-sweep"
+                     --stream replays the sec6 trace through the streaming ingest layer\n\
+                     (per-epoch advance/frame latency; combine with 'sec6')\n\
+                     --json writes BENCH_<name>.json records for sec6, zoom-sweep and --stream"
                 );
                 std::process::exit(0);
             }
@@ -94,6 +101,7 @@ fn parse_args() -> Options {
         out_dir,
         threads,
         json,
+        stream,
         targets,
     }
 }
@@ -153,8 +161,16 @@ fn main() {
     if wants(&options, "fig19") {
         fig19(&options);
     }
-    if wants(&options, "sec6") {
-        sec6(&options);
+    // `--stream` without an explicit target still runs the streaming replay; with
+    // both, the (at paper scale multi-million-event) trace is generated only once.
+    if wants(&options, "sec6") || options.stream {
+        let trace = section6::synthetic_trace(options.scale);
+        if wants(&options, "sec6") {
+            sec6(&options, &trace);
+        }
+        if options.stream {
+            stream_sec6(&options, &trace);
+        }
     }
     // The zoom sweep is an explicit mode (not part of `all`): at paper scale it
     // generates a deliberately large trace to expose the scan wall.
@@ -165,6 +181,51 @@ fn main() {
     {
         zoom_sweep(&options);
     }
+}
+
+fn stream_sec6(options: &Options, trace: &aftermath_trace::Trace) {
+    let (chunks, columns) = match options.scale {
+        Scale::Test => (16, 256),
+        Scale::Paper => (64, 800),
+    };
+    // Byte-identity against batch sessions is asserted per epoch at test scale; at
+    // paper scale the latency numbers are the point and the equivalence suite
+    // already covers correctness.
+    let verify = options.scale == Scale::Test;
+    let bench = stream::run_stream_replay(trace, chunks, columns, verify);
+    print_series_header(
+        "Streaming ingest — per-epoch latency of the live analysis pipeline",
+        "epoch,appended_items,nodes_rebuilt,advance_ms,frame_ms",
+    );
+    for e in &bench.epochs {
+        println!(
+            "{},{},{},{:.3},{:.3}",
+            e.epoch,
+            e.appended_items,
+            e.nodes_rebuilt,
+            e.advance_seconds * 1e3,
+            e.frame_seconds * 1e3
+        );
+    }
+    println!(
+        "# trace: {} events replayed in {} chunks; frames at {} columns{}",
+        bench.num_events,
+        bench.chunks,
+        bench.columns,
+        if bench.verified {
+            "; every epoch verified byte-identical to a batch session"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "# advance latency: p50 {:.3} ms, p95 {:.3} ms; frame latency: p50 {:.3} ms, p95 {:.3} ms",
+        bench.advance_quantile(0.5) * 1e3,
+        bench.advance_quantile(0.95) * 1e3,
+        bench.frame_quantile(0.5) * 1e3,
+        bench.frame_quantile(0.95) * 1e3
+    );
+    options.write_json("stream_sec6", &bench.to_json("stream_sec6"));
 }
 
 fn zoom_sweep(options: &Options) {
@@ -413,10 +474,9 @@ fn fig19(options: &Options) {
     println!("# paper: R^2 = 0.83; mean 9.76M -> 7.73M cycles; stddev 1.18M -> 335k cycles");
 }
 
-fn sec6(options: &Options) {
-    let trace = section6::synthetic_trace(options.scale);
-    let io = section6::trace_io_stats_with(&trace, options.threads);
-    let render = section6::render_stats_with(&trace, 1024, options.threads);
+fn sec6(options: &Options, trace: &aftermath_trace::Trace) {
+    let io = section6::trace_io_stats_with(trace, options.threads);
+    let render = section6::render_stats_with(trace, 1024, options.threads);
     print_series_header(
         "Section VI — trace format and rendering optimizations",
         "metric,value",
@@ -447,10 +507,11 @@ fn sec6(options: &Options) {
     options.write_json(
         "sec6",
         &format!(
-            "{{\n  \"bench\": \"sec6\",\n  \"recorded_items\": {},\n  \"encoded_bytes\": {},\n  \
+            "{{\n{}  \"recorded_items\": {},\n  \"encoded_bytes\": {},\n  \
              \"bytes_per_event\": {:.3},\n  \"encode_seconds\": {:.6},\n  \"decode_seconds\": {:.6},\n  \
              \"timeline_draw_calls_optimized\": {},\n  \"timeline_draw_calls_unaggregated\": {},\n  \
              \"timeline_draw_calls_naive\": {},\n  \"counter_index_overhead\": {:.6}\n}}\n",
+            record::json_preamble("sec6"),
             io.num_events,
             io.encoded_bytes,
             io.bytes_per_event,

@@ -16,8 +16,10 @@
 
 pub mod figures;
 pub mod kmeans_experiments;
+pub mod record;
 pub mod section6;
 pub mod seidel_experiments;
+pub mod stream;
 pub mod zoom;
 
 pub use figures::Scale;

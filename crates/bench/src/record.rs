@@ -1,0 +1,158 @@
+//! Machine-readable benchmark records: the shared envelope of every
+//! `BENCH_*.json` file and the minimal field access the regression gate needs.
+//!
+//! Every record written by `reproduce --json` starts with the same three fields:
+//!
+//! * `schema_version` — bumped whenever a record's fields change meaning, so the
+//!   CI regression gate ([`crate::record`]-based `bench_check`) can refuse to
+//!   compare incomparable files instead of silently producing nonsense,
+//! * `bench` — the record kind (`sec6`, `zoom_sweep`, `stream_sec6`, ...),
+//! * `git` — `git describe --always --dirty --tags` of the tree that produced the
+//!   record (`"unknown"` outside a git checkout), so a stored baseline names the
+//!   commit it was measured at.
+//!
+//! The workspace is offline and carries no JSON dependency, so records are written
+//! by hand and read back with [`json_number`] / [`json_string`] — a deliberately
+//! small scraper for the flat `"key": value` fields our own writers emit, not a
+//! general JSON parser.
+
+use std::process::Command;
+
+/// Version of the `BENCH_*.json` record schema. Bump when fields change meaning;
+/// the `bench_check` gate refuses to compare records of different versions.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// `git describe --always --dirty --tags` of the working tree, or `"unknown"` when
+/// git or the repository is unavailable.
+pub fn git_describe() -> String {
+    Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The shared record envelope: the opening fields of every `BENCH_*.json` object
+/// (to be emitted right after the opening `{`).
+pub fn json_preamble(bench: &str) -> String {
+    format!(
+        "  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"bench\": \"{bench}\",\n  \"git\": \"{}\",\n",
+        git_describe()
+    )
+}
+
+/// Extracts the numeric value of a top-level `"key": <number>` field from a record
+/// written by this crate. Returns `None` when the key is absent or not numeric.
+pub fn json_number(record: &str, key: &str) -> Option<f64> {
+    let value = json_raw_value(record, key)?;
+    value.parse::<f64>().ok()
+}
+
+/// Extracts the string value of a top-level `"key": "<string>"` field. Returns
+/// `None` when the key is absent or not a string (no escape handling — our writers
+/// never emit escapes in these fields).
+pub fn json_string(record: &str, key: &str) -> Option<String> {
+    let value = json_raw_value(record, key)?;
+    let value = value.strip_prefix('"')?;
+    Some(value.split('"').next().unwrap_or("").to_string())
+}
+
+/// The raw token following `"key":`, trimmed, up to (not including) the next
+/// comma, newline or closing brace for non-string values.
+fn json_raw_value<'a>(record: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let mut rest = record;
+    loop {
+        let at = rest.find(&needle)?;
+        let after = &rest[at + needle.len()..];
+        let after_trimmed = after.trim_start();
+        if let Some(value) = after_trimmed.strip_prefix(':') {
+            let value = value.trim_start();
+            return Some(if value.starts_with('"') {
+                value
+            } else {
+                value
+                    .split([',', '\n', '}', ']'])
+                    .next()
+                    .unwrap_or("")
+                    .trim()
+            });
+        }
+        // The needle appeared as a value, not a key; keep searching.
+        rest = &rest[at + needle.len()..];
+    }
+}
+
+/// Quantile `q` (in `[0, 1]`) of a sample set by nearest-rank on a sorted copy;
+/// `0.0` for an empty set. Used for the per-epoch latency summaries of the
+/// streaming benchmark.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RECORD: &str = r#"{
+  "schema_version": 1,
+  "bench": "zoom_sweep",
+  "git": "abc1234-dirty",
+  "zoomed_out_speedup": 6.125,
+  "frames": [
+    {"zoom_factor": 1, "mode": "state", "speedup": 8.0}
+  ]
+}
+"#;
+
+    #[test]
+    fn scrapes_numbers_and_strings() {
+        assert_eq!(json_number(RECORD, "schema_version"), Some(1.0));
+        assert_eq!(json_number(RECORD, "zoomed_out_speedup"), Some(6.125));
+        assert_eq!(json_string(RECORD, "bench").as_deref(), Some("zoom_sweep"));
+        assert_eq!(json_string(RECORD, "git").as_deref(), Some("abc1234-dirty"));
+        assert_eq!(json_number(RECORD, "no_such_key"), None);
+        assert_eq!(
+            json_number(RECORD, "bench"),
+            None,
+            "strings are not numbers"
+        );
+    }
+
+    #[test]
+    fn key_appearing_as_value_is_skipped() {
+        // "zoom_sweep" appears as a value before it appears as a key.
+        let tricky = "{\n  \"bench\": \"zoom_sweep\",\n  \"zoom_sweep\": 3.5\n}\n";
+        assert_eq!(json_number(tricky, "zoom_sweep"), Some(3.5));
+    }
+
+    #[test]
+    fn preamble_carries_schema_and_bench_name() {
+        let p = json_preamble("stream_sec6");
+        assert_eq!(
+            json_number(&p, "schema_version"),
+            Some(BENCH_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(json_string(&p, "bench").as_deref(), Some("stream_sec6"));
+        assert!(json_string(&p, "git").is_some());
+    }
+
+    #[test]
+    fn quantiles_by_nearest_rank() {
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+}

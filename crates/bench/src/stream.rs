@@ -1,0 +1,210 @@
+//! Streaming replay measurements: per-epoch ingest and query latency of the live
+//! analysis pipeline (`reproduce --stream`).
+//!
+//! The harness takes a recorded batch trace, canonicalizes it with
+//! [`make_streamable`], splits it into evenly spaced time chunks and replays them
+//! through a [`LiveSession`], measuring per epoch
+//!
+//! * the **advance latency** — validation, append and incremental index/pyramid
+//!   maintenance (the paper's monitoring-while-running scenario lives or dies on
+//!   this staying flat as the trace grows), and
+//! * the **frame latency** — a full state-mode timeline over everything ingested so
+//!   far, answered from the incrementally maintained indexes.
+//!
+//! With `verify` set, every epoch's frame is additionally compared against a
+//! from-scratch batch session over the same prefix, and the fully replayed trace
+//! against the original — the byte-identity claim, checked end to end.
+
+use std::time::Instant;
+
+use aftermath_core::{AnalysisSession, LiveSession, TimelineMode};
+use aftermath_trace::streaming::{make_streamable, split_even};
+use aftermath_trace::Trace;
+
+use crate::record;
+
+/// Measurements of one replayed epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochLatency {
+    /// Epoch number (1-based: the epoch the chunk advanced the session to).
+    pub epoch: u64,
+    /// Items appended by this epoch's chunk.
+    pub appended_items: usize,
+    /// Summary nodes rebuilt by the incremental index maintenance.
+    pub nodes_rebuilt: usize,
+    /// Seconds spent in [`LiveSession::advance`].
+    pub advance_seconds: f64,
+    /// Seconds to compute the rolling state-timeline frame for this epoch.
+    pub frame_seconds: f64,
+}
+
+/// The result of one streaming replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamBench {
+    /// Number of chunks the trace was split into.
+    pub chunks: usize,
+    /// Horizontal resolution of the per-epoch frame.
+    pub columns: usize,
+    /// Total recorded items in the replayed trace.
+    pub num_events: usize,
+    /// Whether every epoch was verified against a batch session.
+    pub verified: bool,
+    /// Per-epoch measurements, ascending by epoch.
+    pub epochs: Vec<EpochLatency>,
+}
+
+impl StreamBench {
+    /// Advance-latency quantile `q` in seconds (nearest rank).
+    pub fn advance_quantile(&self, q: f64) -> f64 {
+        let xs: Vec<f64> = self.epochs.iter().map(|e| e.advance_seconds).collect();
+        record::quantile(&xs, q)
+    }
+
+    /// Frame-latency quantile `q` in seconds (nearest rank).
+    pub fn frame_quantile(&self, q: f64) -> f64 {
+        let xs: Vec<f64> = self.epochs.iter().map(|e| e.frame_seconds).collect();
+        record::quantile(&xs, q)
+    }
+
+    /// Total nodes rebuilt across all epochs.
+    pub fn total_nodes_rebuilt(&self) -> usize {
+        self.epochs.iter().map(|e| e.nodes_rebuilt).sum()
+    }
+
+    /// Serialises the replay as a `BENCH_*.json` record (hand-rolled; the workspace
+    /// is offline and carries no JSON dependency), including the shared
+    /// schema-version/git envelope.
+    pub fn to_json(&self, bench: &str) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&record::json_preamble(bench));
+        s.push_str(&format!("  \"chunks\": {},\n", self.chunks));
+        s.push_str(&format!("  \"columns\": {},\n", self.columns));
+        s.push_str(&format!("  \"num_events\": {},\n", self.num_events));
+        s.push_str(&format!("  \"verified\": {},\n", self.verified));
+        s.push_str(&format!(
+            "  \"advance_p50_ms\": {:.6},\n  \"advance_p95_ms\": {:.6},\n",
+            self.advance_quantile(0.5) * 1e3,
+            self.advance_quantile(0.95) * 1e3
+        ));
+        s.push_str(&format!(
+            "  \"frame_p50_ms\": {:.6},\n  \"frame_p95_ms\": {:.6},\n",
+            self.frame_quantile(0.5) * 1e3,
+            self.frame_quantile(0.95) * 1e3
+        ));
+        s.push_str(&format!(
+            "  \"total_nodes_rebuilt\": {},\n",
+            self.total_nodes_rebuilt()
+        ));
+        s.push_str("  \"epochs\": [\n");
+        for (i, e) in self.epochs.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"epoch\": {}, \"appended_items\": {}, \"nodes_rebuilt\": {}, \
+                 \"advance_ms\": {:.6}, \"frame_ms\": {:.6}}}{}\n",
+                e.epoch,
+                e.appended_items,
+                e.nodes_rebuilt,
+                e.advance_seconds * 1e3,
+                e.frame_seconds * 1e3,
+                if i + 1 == self.epochs.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Replays `trace` in `num_chunks` evenly spaced time chunks through a
+/// [`LiveSession`], rendering one `columns`-wide rolling state-timeline frame per
+/// epoch; with `verify`, every epoch is checked byte-identical against a batch
+/// session over the same prefix (and the final trace against the original).
+///
+/// # Panics
+///
+/// Panics when the trace cannot be split or replayed (the generators used by the
+/// benches always can) or when verification fails.
+pub fn run_stream_replay(
+    trace: &Trace,
+    num_chunks: usize,
+    columns: usize,
+    verify: bool,
+) -> StreamBench {
+    let streamable = make_streamable(trace);
+    let (prologue, chunks) =
+        split_even(&streamable, num_chunks).expect("streamable by construction");
+    let mut live = LiveSession::new(prologue).expect("prologue must validate");
+    let mut epochs = Vec::with_capacity(chunks.len());
+    for chunk in chunks {
+        let appended_items = chunk.len();
+        let t0 = Instant::now();
+        let stats = live.advance(chunk).expect("replayed chunks must append");
+        let advance_seconds = t0.elapsed().as_secs_f64();
+        let bounds = live.time_bounds();
+        let t1 = Instant::now();
+        let frame = (!bounds.is_empty()).then(|| {
+            live.timeline(TimelineMode::State, bounds, columns)
+                .expect("rolling frame")
+        });
+        let frame_seconds = t1.elapsed().as_secs_f64();
+        if verify {
+            let batch = AnalysisSession::new(live.trace());
+            assert_eq!(bounds, batch.time_bounds(), "epoch {}", stats.epoch);
+            if let Some(frame) = &frame {
+                let fresh = batch
+                    .timeline(TimelineMode::State, bounds, columns)
+                    .expect("batch frame");
+                assert_eq!(
+                    **frame, *fresh,
+                    "epoch {}: live frame must be byte-identical to batch",
+                    stats.epoch
+                );
+            }
+        }
+        epochs.push(EpochLatency {
+            epoch: stats.epoch,
+            appended_items,
+            nodes_rebuilt: stats.nodes_rebuilt,
+            advance_seconds,
+            frame_seconds,
+        });
+    }
+    if verify {
+        assert_eq!(
+            live.trace(),
+            &streamable,
+            "full replay must reproduce the trace"
+        );
+    }
+    StreamBench {
+        chunks: epochs.len(),
+        columns,
+        num_events: streamable.num_events(),
+        verified: verify,
+        epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Scale;
+    use crate::section6;
+
+    #[test]
+    fn replay_verifies_and_serialises() {
+        let trace = section6::synthetic_trace(Scale::Test);
+        let bench = run_stream_replay(&trace, 8, 96, true);
+        assert_eq!(bench.chunks, 8);
+        assert!(bench.num_events > 0);
+        assert!(bench.advance_quantile(0.95) >= bench.advance_quantile(0.0));
+        let json = bench.to_json("stream_sec6");
+        assert_eq!(
+            crate::record::json_number(&json, "schema_version"),
+            Some(crate::record::BENCH_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(
+            crate::record::json_string(&json, "bench").as_deref(),
+            Some("stream_sec6")
+        );
+        assert_eq!(crate::record::json_number(&json, "chunks"), Some(8.0));
+    }
+}

@@ -181,10 +181,12 @@ impl ZoomSweep {
     }
 
     /// Serialises the sweep as a JSON object (hand-rolled; the workspace is
-    /// offline and carries no JSON dependency).
+    /// offline and carries no JSON dependency), including the shared
+    /// schema-version/git envelope so the CI regression gate can reject
+    /// incomparable records.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
-        s.push_str("  \"bench\": \"zoom_sweep\",\n");
+        s.push_str(&crate::record::json_preamble("zoom_sweep"));
         s.push_str(&format!("  \"columns\": {},\n", self.columns));
         s.push_str(&format!("  \"num_events\": {},\n", self.num_events));
         s.push_str(&format!(
@@ -353,6 +355,13 @@ mod tests {
         let json = sweep.to_json();
         assert!(json.contains("\"zoom_sweep\""));
         assert!(json.contains("\"frames\""));
+        // The record carries the shared envelope the regression gate keys on.
+        assert_eq!(
+            crate::record::json_number(&json, "schema_version"),
+            Some(crate::record::BENCH_SCHEMA_VERSION as f64)
+        );
+        assert!(crate::record::json_string(&json, "git").is_some());
+        assert!(crate::record::json_number(&json, "zoomed_out_speedup").is_some());
     }
 
     #[test]

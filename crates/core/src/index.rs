@@ -178,9 +178,66 @@ impl CounterIndex {
         }
     }
 
+    /// Absorbs samples appended to the indexed stream by rebuilding only the
+    /// rightmost spine of the tree; returns the number of recomputed nodes.
+    ///
+    /// `samples` is the **full** stream after the append and `old_len` the number of
+    /// samples the index covered before it (`old_len == self.num_samples()`). Only
+    /// the partial tail node of every level plus the nodes covering the new samples
+    /// are rebuilt — `O(new/arity + arity · log n)` work, never a full rebuild — and
+    /// the resulting index is structurally identical to
+    /// [`CounterIndex::with_arity`] over the full stream (the invariant the
+    /// streaming layer's byte-identity guarantee rests on).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `old_len` disagrees with the indexed length or `samples` is
+    /// shorter than `old_len`.
+    pub fn append_tail(&mut self, samples: &[CounterSample], old_len: usize) -> usize {
+        assert_eq!(
+            old_len, self.num_samples,
+            "index must cover exactly the stream prefix"
+        );
+        assert!(samples.len() >= old_len, "streams are append-only");
+        if samples.len() == old_len {
+            return 0;
+        }
+        if old_len == 0 {
+            *self = Self::with_arity(samples, self.arity);
+            return self.num_nodes();
+        }
+        self.num_samples = samples.len();
+        let arity = self.arity;
+        let first = old_len / arity;
+        rebuild_spine(
+            &mut self.levels,
+            arity,
+            old_len,
+            samples[first * arity..].chunks(arity).map(|chunk| {
+                let mut node = CounterNode::EMPTY;
+                for s in chunk {
+                    node.add_value(s.value);
+                }
+                node
+            }),
+            |nodes| {
+                let mut node = CounterNode::EMPTY;
+                for n in nodes {
+                    node.add_node(n);
+                }
+                node
+            },
+        )
+    }
+
     /// The arity of the tree.
     pub fn arity(&self) -> usize {
         self.arity
+    }
+
+    /// Total number of summary nodes across all levels.
+    pub fn num_nodes(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
     }
 
     /// Number of samples the index was built over.
@@ -314,6 +371,62 @@ impl CounterIndex {
             }
         }
     }
+}
+
+/// Shared spine-rebuild skeleton of the append-only summary trees
+/// ([`CounterIndex::append_tail`] and
+/// [`crate::pyramid::StatePyramid::append_tail`]), so the subtle level-growth
+/// invariant lives in exactly one place.
+///
+/// Replaces level 0 from node `old_items / arity` with `leaves` (the caller
+/// rebuilds them from its raw stream, starting at that node's first item), then
+/// rebuilds the affected tail of every upper level via `combine`. New levels
+/// appear exactly when the level below outgrows a single node, matching the
+/// `while current.len() > 1` structure of a fresh build, so the resulting level
+/// vector is structurally identical to one built from scratch. Returns the number
+/// of recomputed nodes.
+///
+/// The caller guarantees `old_items > 0` (so level 0 exists) and at least one new
+/// item (so `leaves` is non-empty).
+pub(crate) fn rebuild_spine<N>(
+    levels: &mut Vec<Vec<N>>,
+    arity: usize,
+    old_items: usize,
+    leaves: impl Iterator<Item = N>,
+    combine: impl Fn(&[N]) -> N,
+) -> usize {
+    let mut rebuilt = 0;
+    // Level 0: every node from the one covering item `old_items` onward is
+    // recomputed (the node at `old_items / arity` may be a partial tail node).
+    let mut first = old_items / arity;
+    let level0 = &mut levels[0];
+    level0.truncate(first);
+    for node in leaves {
+        level0.push(node);
+        rebuilt += 1;
+    }
+    // Upper levels: rebuild the spine above the changed child range.
+    let mut level = 1;
+    loop {
+        let child_len = levels[level - 1].len();
+        if level == levels.len() {
+            if child_len <= 1 {
+                break;
+            }
+            levels.push(Vec::new());
+        }
+        first /= arity;
+        let (lower, upper) = levels.split_at_mut(level);
+        let child = &lower[level - 1];
+        let current = &mut upper[0];
+        current.truncate(first);
+        for chunk in child[first * arity..].chunks(arity) {
+            current.push(combine(chunk));
+            rebuilt += 1;
+        }
+        level += 1;
+    }
+    rebuilt
 }
 
 /// The samples of a timestamp-sorted stream inside `interval`, as an index range.
@@ -471,5 +584,46 @@ mod tests {
     #[should_panic]
     fn arity_of_one_panics() {
         let _ = CounterIndex::with_arity(&[], 1);
+    }
+
+    #[test]
+    fn append_tail_equals_fresh_build_for_all_splits_and_arities() {
+        let samples = make_samples(500);
+        for arity in [2, 3, 7, 100] {
+            for old_len in [0, 1, 99, 100, 101, 250, 499, 500] {
+                let mut incremental = CounterIndex::with_arity(&samples[..old_len], arity);
+                incremental.append_tail(&samples, old_len);
+                let fresh = CounterIndex::with_arity(&samples, arity);
+                assert_eq!(incremental, fresh, "arity {arity}, split at {old_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_tail_in_many_small_steps_equals_fresh_build() {
+        let samples = make_samples(1000);
+        let mut index = CounterIndex::with_arity(&[], 7);
+        let mut len = 0;
+        for step in [1usize, 2, 3, 5, 8, 13, 100, 868] {
+            let next = (len + step).min(samples.len());
+            index.append_tail(&samples[..next], len);
+            len = next;
+            assert_eq!(index, CounterIndex::with_arity(&samples[..len], 7));
+        }
+        assert_eq!(len, samples.len());
+    }
+
+    #[test]
+    fn append_tail_rebuilds_only_the_spine() {
+        let samples = make_samples(50_000);
+        let old_len = 49_500; // appending the last 1 %
+        let mut index = CounterIndex::new(&samples[..old_len]);
+        let total = index.num_nodes();
+        let rebuilt = index.append_tail(&samples, old_len);
+        assert!(
+            rebuilt * 10 < total,
+            "appending 1 % of the samples rebuilt {rebuilt} of {total} nodes"
+        );
+        assert_eq!(index, CounterIndex::new(&samples));
     }
 }

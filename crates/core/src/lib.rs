@@ -82,6 +82,7 @@ pub mod error;
 pub mod export;
 pub mod filter;
 pub mod index;
+pub mod live;
 pub mod numa;
 pub mod pyramid;
 pub mod series;
@@ -101,6 +102,7 @@ pub use derived::AggregationKind;
 pub use error::AnalysisError;
 pub use filter::TaskFilter;
 pub use index::{CounterIndex, CounterNode};
+pub use live::{EpochStats, LiveSession};
 pub use numa::IncidenceMatrix;
 pub use pyramid::{ExecStats, StatePyramid};
 pub use series::TimeSeries;
@@ -123,6 +125,7 @@ pub mod prelude {
     };
     pub use crate::error::AnalysisError;
     pub use crate::filter::TaskFilter;
+    pub use crate::live::{EpochStats, LiveSession};
     pub use crate::numa::IncidenceMatrix;
     pub use crate::pyramid::{ExecStats, StatePyramid};
     pub use crate::series::TimeSeries;

@@ -1,0 +1,470 @@
+//! Epoch-based incremental analysis over a growing trace.
+//!
+//! A [`LiveSession`] is the analysis-side half of the streaming ingest layer (the
+//! trace-side half is [`aftermath_trace::streaming`]): it owns a
+//! [`StreamingTrace`] and keeps every index the batch [`AnalysisSession`] would
+//! build — per-`(CPU, counter)` [`CounterIndex`] shards and per-CPU
+//! [`StatePyramid`]s — **incrementally maintained** across
+//! [`advance`](LiveSession::advance) calls:
+//!
+//! * per-CPU event streams grow append-only (validated by the streaming trace),
+//! * each affected index absorbs its stream's new tail by rebuilding only the
+//!   rightmost spine ([`CounterIndex::append_tail`],
+//!   [`StatePyramid::append_tail`]) — `O(new events + log n)` per epoch, never a
+//!   full rebuild,
+//! * result caches (timeline models, anomaly reports) are invalidated **per
+//!   epoch**: within an epoch repeated queries hit the shared cache, and an
+//!   `advance` swaps in fresh caches instead of letting stale viewports survive.
+//!
+//! Queries go through [`session`](LiveSession::session), which opens a warm
+//! [`AnalysisSession`] view seeded with the incrementally maintained shards
+//! (`O(number of shards)` `Arc` clones, no index copies). Because every
+//! incrementally updated index is structurally identical to a fresh build over the
+//! same stream, every answer — interval queries, timeline models, anomaly
+//! rankings — is **byte-identical** to a from-scratch batch session over the same
+//! prefix at every epoch (property-tested in `tests/streaming_equivalence.rs`).
+//!
+//! ```rust
+//! use aftermath_core::live::LiveSession;
+//! use aftermath_core::TimelineMode;
+//! use aftermath_trace::streaming::TraceChunk;
+//! use aftermath_trace::{CpuId, MachineTopology, StateInterval, TimeInterval, TraceBuilder, WorkerState};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let prologue = TraceBuilder::new(MachineTopology::uniform(1, 2));
+//! let mut live = LiveSession::new(prologue)?;
+//! let mut chunk = TraceChunk::new();
+//! chunk.states.push(StateInterval::new(
+//!     CpuId(0), WorkerState::Idle, TimeInterval::from_cycles(0, 100), None,
+//! ));
+//! let stats = live.advance(chunk)?;
+//! assert_eq!(stats.epoch, 1);
+//! let frame = live.timeline(TimelineMode::State, live.time_bounds(), 10)?;
+//! assert_eq!(frame.columns, 10);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use aftermath_trace::streaming::{StreamingTrace, TraceChunk};
+use aftermath_trace::{CounterId, CpuId, TimeInterval, Trace, TraceBuilder, TraceError};
+
+use crate::anomaly::{AnomalyConfig, AnomalyReport};
+use crate::error::AnalysisError;
+use crate::filter::TaskFilter;
+use crate::index::CounterIndex;
+use crate::pyramid::StatePyramid;
+use crate::session::{
+    new_anomaly_cache, new_timeline_cache, AnalysisSession, AnomalyCacheHandle, TimelineCacheHandle,
+};
+use crate::timeline::{TimelineMode, TimelineModel};
+
+/// What one [`LiveSession::advance`] call did, for latency accounting and for
+/// asserting incrementality (a spine rebuild touches a vanishing fraction of the
+/// total nodes; a full rebuild would touch all of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochStats {
+    /// The epoch the session is now at (starts at 0, +1 per accepted chunk).
+    pub epoch: u64,
+    /// Number of items the chunk appended.
+    pub appended_items: usize,
+    /// Summary nodes recomputed across all affected indexes and pyramids.
+    pub nodes_rebuilt: usize,
+}
+
+/// An incrementally maintained analysis session over a [`StreamingTrace`].
+///
+/// See the [module docs](crate::live) for the maintenance and byte-identity
+/// guarantees. The borrow rules enforce epoch consistency for free: a session view
+/// borrows the `LiveSession`, so no view (and nothing derived from its borrowed
+/// queries) can outlive the next `advance`.
+#[derive(Debug)]
+pub struct LiveSession {
+    stream: StreamingTrace,
+    epoch: u64,
+    /// Incrementally maintained counter index shards, one per sampled pair.
+    indexes: HashMap<(CpuId, CounterId), Arc<CounterIndex>>,
+    /// Incrementally maintained state pyramids, keyed by CPU id.
+    pyramids: HashMap<u32, Arc<StatePyramid>>,
+    /// Result caches shared by this epoch's session views; replaced on `advance`.
+    anomaly_cache: AnomalyCacheHandle,
+    timeline_cache: TimelineCacheHandle,
+    /// Total summary nodes rebuilt since the session opened (cold build included).
+    total_nodes_rebuilt: u64,
+}
+
+impl LiveSession {
+    /// Opens a live session on a prologue builder (immutable metadata plus any
+    /// initial events, which are indexed as the epoch-0 prefix).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`TraceBuilder::finish`].
+    pub fn new(prologue: TraceBuilder) -> Result<Self, TraceError> {
+        Ok(Self::from_stream(StreamingTrace::new(prologue)?))
+    }
+
+    /// Opens a live session over an existing stream, cold-building the indexes for
+    /// everything already ingested. The session resumes at the stream's epoch
+    /// ([`StreamingTrace::epochs`]), so epoch numbers stay aligned with the
+    /// stream's accepted-chunk sequence across a resume.
+    pub fn from_stream(stream: StreamingTrace) -> Self {
+        let epoch = stream.epochs();
+        let mut live = LiveSession {
+            stream,
+            epoch,
+            indexes: HashMap::new(),
+            pyramids: HashMap::new(),
+            anomaly_cache: new_anomaly_cache(),
+            timeline_cache: new_timeline_cache(),
+            total_nodes_rebuilt: 0,
+        };
+        let trace = live.stream.trace();
+        let mut cold = 0;
+        for (cpu, pc) in trace.per_cpu().iter().enumerate() {
+            let cpu = CpuId(cpu as u32);
+            if !pc.states.is_empty() {
+                let pyramid = StatePyramid::build(trace, &pc.states);
+                cold += pyramid.num_nodes();
+                live.pyramids.insert(cpu.0, Arc::new(pyramid));
+            }
+            for (&counter, samples) in &pc.samples {
+                if !samples.is_empty() {
+                    let index = CounterIndex::new(samples);
+                    cold += index.num_nodes();
+                    live.indexes.insert((cpu, counter), Arc::new(index));
+                }
+            }
+        }
+        live.total_nodes_rebuilt = cold as u64;
+        live
+    }
+
+    /// Ingests one chunk: validates and appends it to the stream, lets every
+    /// affected index absorb its new tail (spine rebuild, no full rebuilds), bumps
+    /// the epoch and invalidates the result caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StreamingTrace::append`] errors; on error nothing changed (the
+    /// epoch does not advance and all indexes still describe the old prefix).
+    pub fn advance(&mut self, chunk: TraceChunk) -> Result<EpochStats, TraceError> {
+        // Affected streams and their pre-append lengths, recorded before the append
+        // consumes the chunk.
+        let mut touched_cpus: Vec<CpuId> = chunk.states.iter().map(|s| s.cpu).collect();
+        touched_cpus.sort_unstable();
+        touched_cpus.dedup();
+        let mut touched_pairs: Vec<(CpuId, CounterId)> =
+            chunk.samples.iter().map(|s| (s.cpu, s.counter)).collect();
+        touched_pairs.sort_unstable();
+        touched_pairs.dedup();
+        let old_state_lens: Vec<usize> = touched_cpus
+            .iter()
+            .map(|&cpu| self.stream.trace().cpu(cpu).map_or(0, |pc| pc.states.len()))
+            .collect();
+        let old_sample_lens: Vec<usize> = touched_pairs
+            .iter()
+            .map(|&(cpu, counter)| {
+                self.stream
+                    .trace()
+                    .cpu(cpu)
+                    .and_then(|pc| pc.samples.get(&counter))
+                    .map_or(0, Vec::len)
+            })
+            .collect();
+
+        let appended_items = self.stream.append(chunk)?;
+
+        let trace = self.stream.trace();
+        let mut nodes_rebuilt = 0;
+        for (&cpu, &old_len) in touched_cpus.iter().zip(&old_state_lens) {
+            let states = &trace.cpu(cpu).expect("validated by append").states;
+            nodes_rebuilt += match self.pyramids.entry(cpu.0) {
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    // Unique at this point: session views borrow `self`, so none can
+                    // be alive across this `&mut self` call; make_mut never clones.
+                    Arc::make_mut(slot.get_mut()).append_tail(trace, states, old_len)
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    let pyramid = StatePyramid::build(trace, states);
+                    let nodes = pyramid.num_nodes();
+                    slot.insert(Arc::new(pyramid));
+                    nodes
+                }
+            };
+        }
+        for (&(cpu, counter), &old_len) in touched_pairs.iter().zip(&old_sample_lens) {
+            let samples = trace
+                .cpu(cpu)
+                .and_then(|pc| pc.samples.get(&counter))
+                .expect("validated by append");
+            nodes_rebuilt += match self.indexes.entry((cpu, counter)) {
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    Arc::make_mut(slot.get_mut()).append_tail(samples, old_len)
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    let index = CounterIndex::new(samples);
+                    let nodes = index.num_nodes();
+                    slot.insert(Arc::new(index));
+                    nodes
+                }
+            };
+        }
+
+        self.epoch += 1;
+        self.total_nodes_rebuilt += nodes_rebuilt as u64;
+        // Per-epoch invalidation: swap in fresh caches; views of the old epoch (all
+        // dropped by now) kept the old ones alive only as long as they needed them.
+        // An empty chunk (a keepalive epoch from a live source) changes no answer,
+        // so its caches survive and nothing is recomputed.
+        if appended_items > 0 {
+            self.anomaly_cache = new_anomaly_cache();
+            self.timeline_cache = new_timeline_cache();
+        }
+        Ok(EpochStats {
+            epoch: self.epoch,
+            appended_items,
+            nodes_rebuilt,
+        })
+    }
+
+    /// Opens a warm [`AnalysisSession`] view of the current epoch: all maintained
+    /// index shards are pre-seeded (nothing rebuilds lazily that the live session
+    /// already has) and result caches are shared with every other view of this
+    /// epoch.
+    pub fn session(&self) -> AnalysisSession<'_> {
+        AnalysisSession::with_prebuilt(
+            self.stream.trace(),
+            &self.indexes,
+            &self.pyramids,
+            Arc::clone(&self.anomaly_cache),
+            Arc::clone(&self.timeline_cache),
+        )
+    }
+
+    /// The current epoch (number of accepted chunks).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The ingested trace prefix.
+    pub fn trace(&self) -> &Trace {
+        self.stream.trace()
+    }
+
+    /// The underlying stream.
+    pub fn stream(&self) -> &StreamingTrace {
+        &self.stream
+    }
+
+    /// Closes the session and yields the stream (e.g. to persist the final trace).
+    pub fn into_stream(self) -> StreamingTrace {
+        self.stream
+    }
+
+    /// Time bounds of the ingested prefix, maintained incrementally (O(1); equal to
+    /// the batch session's [`AnalysisSession::time_bounds`] at every epoch).
+    pub fn time_bounds(&self) -> TimeInterval {
+        self.stream.time_bounds()
+    }
+
+    /// Total summary nodes currently held across all indexes and pyramids.
+    pub fn num_index_nodes(&self) -> usize {
+        self.indexes.values().map(|i| i.num_nodes()).sum::<usize>()
+            + self.pyramids.values().map(|p| p.num_nodes()).sum::<usize>()
+    }
+
+    /// Total summary nodes rebuilt since the session opened, cold builds included
+    /// (diagnostics; the incrementality tests compare this against
+    /// [`num_index_nodes`](Self::num_index_nodes)).
+    pub fn total_nodes_rebuilt(&self) -> u64 {
+        self.total_nodes_rebuilt
+    }
+
+    /// The timeline model of the current epoch ([`AnalysisSession::timeline`],
+    /// answered through this epoch's shared cache).
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisSession::timeline`].
+    pub fn timeline(
+        &self,
+        mode: TimelineMode,
+        interval: TimeInterval,
+        columns: usize,
+    ) -> Result<Arc<TimelineModel>, AnalysisError> {
+        self.session().timeline(mode, interval, columns)
+    }
+
+    /// Like [`LiveSession::timeline`] with a task filter
+    /// ([`AnalysisSession::timeline_filtered`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisSession::timeline`].
+    pub fn timeline_filtered(
+        &self,
+        mode: TimelineMode,
+        interval: TimeInterval,
+        columns: usize,
+        filter: &TaskFilter,
+    ) -> Result<Arc<TimelineModel>, AnalysisError> {
+        self.session()
+            .timeline_filtered(mode, interval, columns, filter)
+    }
+
+    /// Runs the anomaly engine over the current epoch
+    /// ([`AnalysisSession::detect_anomalies`], answered through this epoch's shared
+    /// cache).
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisSession::detect_anomalies`].
+    pub fn detect_anomalies(
+        &self,
+        config: &AnomalyConfig,
+    ) -> Result<Arc<AnomalyReport>, AnalysisError> {
+        self.session().detect_anomalies(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::small_sim_trace;
+    use aftermath_trace::streaming::{make_streamable, split_even};
+
+    fn replayable() -> (TraceBuilder, Vec<TraceChunk>, Trace) {
+        let trace = make_streamable(&small_sim_trace());
+        let (prologue, chunks) = split_even(&trace, 6).unwrap();
+        (prologue, chunks, trace)
+    }
+
+    #[test]
+    fn advance_is_incremental_not_a_full_rebuild() {
+        let trace = make_streamable(&small_sim_trace());
+        // Cut so the last chunk carries roughly 1 % of the trace.
+        let bounds = trace.time_bounds();
+        let cut = aftermath_trace::Timestamp(bounds.start.0 + bounds.duration() / 100 * 99);
+        let (prologue, chunks) = aftermath_trace::streaming::split_at(&trace, &[cut]).unwrap();
+        let mut live = LiveSession::new(prologue).unwrap();
+        let [head, tail]: [TraceChunk; 2] = chunks.try_into().unwrap();
+        live.advance(head).unwrap();
+        let total_nodes = live.num_index_nodes();
+        let stats = live.advance(tail).unwrap();
+        assert!(
+            stats.nodes_rebuilt * 10 < total_nodes,
+            "a ~1 % append rebuilt {} of {} nodes — that is a full rebuild, not a spine update",
+            stats.nodes_rebuilt,
+            total_nodes
+        );
+    }
+
+    #[test]
+    fn session_views_are_warm_and_answers_match_batch() {
+        let (prologue, chunks, full) = replayable();
+        let mut live = LiveSession::new(prologue).unwrap();
+        for chunk in chunks {
+            live.advance(chunk).unwrap();
+            let view = live.session();
+            // Every maintained shard is pre-seeded: the view reports them as built
+            // without having answered a single query.
+            assert_eq!(view.built_counter_indexes(), live.indexes.len());
+            let batch = AnalysisSession::new(live.trace());
+            assert_eq!(live.time_bounds(), batch.time_bounds());
+            let bounds = live.time_bounds();
+            if bounds.is_empty() {
+                continue;
+            }
+            let a = view.timeline(TimelineMode::State, bounds, 64).unwrap();
+            let b = batch.timeline(TimelineMode::State, bounds, 64).unwrap();
+            assert_eq!(*a, *b);
+        }
+        assert_eq!(live.trace(), &full, "full replay reproduces the trace");
+    }
+
+    #[test]
+    fn caches_live_within_an_epoch_and_die_across_epochs() {
+        let (prologue, chunks, _) = replayable();
+        let mut live = LiveSession::new(prologue).unwrap();
+        let mut chunks = chunks.into_iter();
+        live.advance(chunks.next().unwrap()).unwrap();
+        let bounds = live.time_bounds();
+        let a = live.timeline(TimelineMode::State, bounds, 32).unwrap();
+        let b = live.timeline(TimelineMode::State, bounds, 32).unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "same viewport within an epoch must hit the shared cache"
+        );
+        let report = live.detect_anomalies(&AnomalyConfig::default()).unwrap();
+        let again = live.detect_anomalies(&AnomalyConfig::default()).unwrap();
+        assert!(Arc::ptr_eq(&report, &again));
+        live.advance(chunks.next().unwrap()).unwrap();
+        let c = live.timeline(TimelineMode::State, bounds, 32).unwrap();
+        assert!(
+            !Arc::ptr_eq(&a, &c),
+            "advance must invalidate the timeline cache"
+        );
+    }
+
+    #[test]
+    fn empty_chunk_is_a_cheap_epoch_that_keeps_the_caches() {
+        let (prologue, chunks, _) = replayable();
+        let mut live = LiveSession::new(prologue).unwrap();
+        for chunk in chunks {
+            live.advance(chunk).unwrap();
+        }
+        let before = live.epoch();
+        let bounds = live.time_bounds();
+        let warm = live.timeline(TimelineMode::State, bounds, 32).unwrap();
+        let stats = live.advance(TraceChunk::new()).unwrap();
+        assert_eq!(stats.epoch, before + 1);
+        assert_eq!(stats.appended_items, 0);
+        assert_eq!(stats.nodes_rebuilt, 0);
+        // A keepalive epoch changes no answer, so the cached frame survives.
+        let again = live.timeline(TimelineMode::State, bounds, 32).unwrap();
+        assert!(
+            Arc::ptr_eq(&warm, &again),
+            "no-op advance must not invalidate the caches"
+        );
+    }
+
+    #[test]
+    fn from_stream_resumes_at_the_stream_epoch() {
+        let (prologue, chunks, _) = replayable();
+        let mut stream = aftermath_trace::StreamingTrace::new(prologue).unwrap();
+        let mut chunks = chunks.into_iter();
+        stream.append(chunks.next().unwrap()).unwrap();
+        stream.append(chunks.next().unwrap()).unwrap();
+        let mut live = LiveSession::from_stream(stream);
+        assert_eq!(live.epoch(), 2, "resume keeps the stream's chunk count");
+        let stats = live.advance(chunks.next().unwrap()).unwrap();
+        assert_eq!(stats.epoch, 3);
+        assert_eq!(live.stream().epochs(), 3);
+    }
+
+    #[test]
+    fn failed_advance_changes_nothing() {
+        let (prologue, chunks, _) = replayable();
+        let mut live = LiveSession::new(prologue).unwrap();
+        let mut chunks = chunks.into_iter();
+        live.advance(chunks.next().unwrap()).unwrap();
+        let epoch = live.epoch();
+        let nodes = live.num_index_nodes();
+        // A chunk with a dangling task id must be rejected atomically.
+        let mut bad = TraceChunk::new();
+        bad.tasks.push(aftermath_trace::TaskInstance::new(
+            aftermath_trace::TaskId(u64::MAX),
+            live.trace().task_types()[0].id,
+            CpuId(0),
+            CpuId(0),
+            aftermath_trace::Timestamp(0),
+            TimeInterval::from_cycles(0, 1),
+        ));
+        assert!(live.advance(bad).is_err());
+        assert_eq!(live.epoch(), epoch);
+        assert_eq!(live.num_index_nodes(), nodes);
+    }
+}

@@ -258,9 +258,73 @@ impl StatePyramid {
         }
     }
 
+    /// Absorbs state intervals appended to the summarised stream by rebuilding only
+    /// the rightmost spine of the pyramid; returns the number of recomputed nodes.
+    ///
+    /// `states` is the **full** stream after the append and `old_len` the number of
+    /// intervals the pyramid covered before it. Only the partial tail node of every
+    /// level plus the nodes covering the new intervals are rebuilt —
+    /// `O(new/fanout + fanout · log n)` work, never a full rebuild — and the result
+    /// is structurally identical to [`StatePyramid::with_fanout`] over the full
+    /// stream. This exactness requires the streaming contract of
+    /// `aftermath_trace::streaming`: everything a sealed node aggregates (the
+    /// covered intervals, their tasks and those tasks' accesses, region placement)
+    /// is immutable once ingested.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `old_len` disagrees with the summarised length or `states` is
+    /// shorter than `old_len`.
+    pub fn append_tail(
+        &mut self,
+        trace: &Trace,
+        states: &[StateInterval],
+        old_len: usize,
+    ) -> usize {
+        assert_eq!(
+            old_len, self.num_intervals,
+            "pyramid must cover exactly the stream prefix"
+        );
+        assert!(states.len() >= old_len, "streams are append-only");
+        if states.len() == old_len {
+            return 0;
+        }
+        if old_len == 0 {
+            *self = Self::with_fanout(trace, states, self.fanout);
+            return self.num_nodes();
+        }
+        self.num_intervals = states.len();
+        let fanout = self.fanout;
+        let first = old_len / fanout;
+        crate::index::rebuild_spine(
+            &mut self.levels,
+            fanout,
+            old_len,
+            states[first * fanout..].chunks(fanout).map(|chunk| {
+                let mut acc = NodeAccum::default();
+                for s in chunk {
+                    acc.add_interval(trace, s);
+                }
+                acc.finish()
+            }),
+            |nodes| {
+                let mut acc = NodeAccum::default();
+                for node in nodes {
+                    acc.add_node(node);
+                }
+                acc.finish()
+            },
+        )
+    }
+
     /// The fanout of the pyramid.
     pub fn fanout(&self) -> usize {
         self.fanout
+    }
+
+    /// Total number of summary nodes across all levels.
+    pub fn num_nodes(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
     }
 
     /// Number of state intervals the pyramid was built over.
@@ -943,5 +1007,35 @@ mod tests {
     fn fanout_of_one_panics() {
         let trace = small_sim_trace();
         let _ = StatePyramid::with_fanout(&trace, &[], 1);
+    }
+
+    #[test]
+    fn append_tail_equals_fresh_build_for_all_splits_and_fanouts() {
+        let trace = small_sim_trace();
+        let states = trace.cpu(CpuId(0)).unwrap().states.clone();
+        let n = states.len();
+        assert!(n > 10, "fixture must have a real stream");
+        for fanout in [2, 3, 8, 64] {
+            for old_len in [0, 1, n / 3, n / 2, n - 1, n] {
+                let mut incremental = StatePyramid::with_fanout(&trace, &states[..old_len], fanout);
+                incremental.append_tail(&trace, &states, old_len);
+                let fresh = StatePyramid::with_fanout(&trace, &states, fanout);
+                assert_eq!(incremental, fresh, "fanout {fanout}, split at {old_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_tail_in_many_small_steps_equals_fresh_build() {
+        let trace = small_sim_trace();
+        let states = trace.cpu(CpuId(1)).unwrap().states.clone();
+        let mut pyramid = StatePyramid::with_fanout(&trace, &[], 3);
+        let mut len = 0;
+        while len < states.len() {
+            let next = (len + 1 + len % 4).min(states.len());
+            pyramid.append_tail(&trace, &states[..next], len);
+            len = next;
+        }
+        assert_eq!(pyramid, StatePyramid::with_fanout(&trace, &states, 3));
     }
 }

@@ -55,21 +55,45 @@ pub struct AnalysisSession<'t> {
     /// that actually has samples. Keying by the exact pair (instead of a dense
     /// `cpu × counter` table) keeps session open cost proportional to the data —
     /// a sparse trace on a many-CPU, many-counter machine allocates one slot per
-    /// present pair, not the full cross product.
-    counter_shards: HashMap<(CpuId, CounterId), OnceLock<CounterIndex>>,
+    /// present pair, not the full cross product. Shards are `Arc`s so a
+    /// [`crate::live::LiveSession`] can seed a session view with its incrementally
+    /// maintained indexes without copying them.
+    counter_shards: HashMap<(CpuId, CounterId), OnceLock<Arc<CounterIndex>>>,
     /// Lazily built multi-resolution state pyramids, one per CPU with a non-empty
     /// state stream ([`crate::pyramid`]); built on first timeline/interval query or
     /// all at once by [`AnalysisSession::prewarm`].
-    pyramids: Vec<OnceLock<StatePyramid>>,
+    pyramids: Vec<OnceLock<Arc<StatePyramid>>>,
     task_graph: OnceLock<TaskGraph>,
-    anomaly_cache: Mutex<LruCache<AnomalyConfig, AnomalyReport>>,
-    timeline_cache: Mutex<LruCache<TimelineKey, TimelineModel>>,
+    anomaly_cache: AnomalyCacheHandle,
+    timeline_cache: TimelineCacheHandle,
     empty_states: Vec<StateInterval>,
     empty_samples: Vec<CounterSample>,
 }
 
+/// Shared handle to an anomaly-report cache. Batch sessions own theirs exclusively;
+/// a [`crate::live::LiveSession`] shares one handle across the session views of an
+/// epoch and swaps it for a fresh one when the epoch advances.
+pub(crate) type AnomalyCacheHandle = Arc<Mutex<LruCache<AnomalyConfig, AnomalyReport>>>;
+
+/// Shared handle to a timeline-model cache (see [`AnomalyCacheHandle`]).
+pub(crate) type TimelineCacheHandle = Arc<Mutex<LruCache<TimelineKey, TimelineModel>>>;
+
+/// Creates an empty anomaly-report cache at the session's default capacity.
+pub(crate) fn new_anomaly_cache() -> AnomalyCacheHandle {
+    Arc::new(Mutex::new(LruCache::new(
+        AnalysisSession::ANOMALY_CACHE_CAPACITY,
+    )))
+}
+
+/// Creates an empty timeline-model cache at the session's default capacity.
+pub(crate) fn new_timeline_cache() -> TimelineCacheHandle {
+    Arc::new(Mutex::new(LruCache::new(
+        AnalysisSession::TIMELINE_CACHE_CAPACITY,
+    )))
+}
+
 /// Cache key of one timeline-model computation: everything the model depends on.
-type TimelineKey = (TimelineMode, TimeInterval, usize, TaskFilter);
+pub(crate) type TimelineKey = (TimelineMode, TimeInterval, usize, TaskFilter);
 
 fn timeline_cache_key(key: &TimelineKey) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -89,7 +113,7 @@ fn timeline_cache_key(key: &TimelineKey) -> u64 {
 /// e.g. a parameter sweep churns through many one-shot entries. Shared by the
 /// anomaly-report cache and the timeline-model cache.
 #[derive(Debug)]
-struct LruCache<K, V> {
+pub(crate) struct LruCache<K, V> {
     capacity: usize,
     map: HashMap<u64, (K, Arc<V>)>,
     order: VecDeque<u64>,
@@ -152,6 +176,18 @@ impl<'t> AnalysisSession<'t> {
     /// first touch, and state pyramids lazily per CPU. Call
     /// [`AnalysisSession::prewarm`] to build them all up front.
     pub fn new(trace: &'t Trace) -> Self {
+        Self::with_caches(trace, new_anomaly_cache(), new_timeline_cache())
+    }
+
+    /// Like [`AnalysisSession::new`] but sharing externally owned result caches —
+    /// the seam [`crate::live::LiveSession`] uses to keep cached timeline models and
+    /// anomaly reports alive across the session views of one epoch and invalidate
+    /// them per epoch (by swapping the handles) instead of wholesale.
+    pub(crate) fn with_caches(
+        trace: &'t Trace,
+        anomaly_cache: AnomalyCacheHandle,
+        timeline_cache: TimelineCacheHandle,
+    ) -> Self {
         // One empty slot per (CPU, counter) pair that has samples; the indexes
         // themselves are built on first touch.
         let counter_shards = trace
@@ -171,11 +207,39 @@ impl<'t> AnalysisSession<'t> {
             counter_shards,
             pyramids,
             task_graph: OnceLock::new(),
-            anomaly_cache: Mutex::new(LruCache::new(Self::ANOMALY_CACHE_CAPACITY)),
-            timeline_cache: Mutex::new(LruCache::new(Self::TIMELINE_CACHE_CAPACITY)),
+            anomaly_cache,
+            timeline_cache,
             empty_states: Vec::new(),
             empty_samples: Vec::new(),
         }
+    }
+
+    /// Builds a session view whose index shards are pre-seeded from externally
+    /// maintained indexes ([`crate::live::LiveSession`] passes its incrementally
+    /// updated shards), sharing the given result caches.
+    ///
+    /// Seeding costs `O(number of shards)` `Arc` clones — no index is copied or
+    /// rebuilt — so opening a fresh view per epoch is cheap. Shards not present in
+    /// the maps stay lazy exactly like in [`AnalysisSession::new`].
+    pub(crate) fn with_prebuilt(
+        trace: &'t Trace,
+        indexes: &HashMap<(CpuId, CounterId), Arc<CounterIndex>>,
+        pyramids: &HashMap<u32, Arc<StatePyramid>>,
+        anomaly_cache: AnomalyCacheHandle,
+        timeline_cache: TimelineCacheHandle,
+    ) -> Self {
+        let session = Self::with_caches(trace, anomaly_cache, timeline_cache);
+        for (key, index) in indexes {
+            if let Some(slot) = session.counter_shards.get(key) {
+                let _ = slot.set(Arc::clone(index));
+            }
+        }
+        for (&cpu, pyramid) in pyramids {
+            if let Some(slot) = session.pyramids.get(cpu as usize) {
+                let _ = slot.set(Arc::clone(pyramid));
+            }
+        }
+        session
     }
 
     /// The index shard of one `(CPU, counter)` pair (built on first touch) together
@@ -197,7 +261,8 @@ impl<'t> AnalysisSession<'t> {
             !samples.is_empty(),
             "shard slots exist only for sampled pairs"
         );
-        Some((slot.get_or_init(|| CounterIndex::new(samples)), samples))
+        let index = slot.get_or_init(|| Arc::new(CounterIndex::new(samples)));
+        Some((index.as_ref(), samples))
     }
 
     /// The multi-resolution state pyramid of one CPU, built on first touch
@@ -209,7 +274,10 @@ impl<'t> AnalysisSession<'t> {
         if states.is_empty() {
             return None;
         }
-        Some(slot.get_or_init(|| StatePyramid::build(self.trace, states)))
+        Some(
+            slot.get_or_init(|| Arc::new(StatePyramid::build(self.trace, states)))
+                .as_ref(),
+        )
     }
 
     /// Builds every not-yet-built index shard — counter min/max/sum indexes *and*
@@ -508,7 +576,7 @@ impl<'t> AnalysisSession<'t> {
         self.pyramids
             .iter()
             .filter_map(|slot| slot.get())
-            .map(StatePyramid::memory_bytes)
+            .map(|p| p.memory_bytes())
             .sum()
     }
 

@@ -55,6 +55,27 @@ impl Framebuffer {
         }
     }
 
+    /// Reshapes the framebuffer to `width × height`, clears every pixel to
+    /// `background` and resets the draw-call counter — reusing the existing pixel
+    /// allocation whenever it is large enough.
+    ///
+    /// This is the rolling-frame seam for live monitoring: a front-end re-rendering
+    /// every epoch keeps one framebuffer alive instead of allocating
+    /// `width × height` pixels per frame.
+    pub fn reset(&mut self, width: usize, height: usize, background: Color) {
+        self.width = width;
+        self.height = height;
+        self.pixels.clear();
+        self.pixels.resize(width * height, background);
+        self.draw_calls = 0;
+    }
+
+    /// Crate-internal access to the raw pixel rows plus the draw-call accumulator,
+    /// for renderers that rasterize directly into a reused buffer.
+    pub(crate) fn raw_parts_mut(&mut self) -> (&mut [Color], &mut u64) {
+        (&mut self.pixels, &mut self.draw_calls)
+    }
+
     /// Width in pixels.
     pub fn width(&self) -> usize {
         self.width

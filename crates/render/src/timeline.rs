@@ -122,6 +122,26 @@ impl TimelineRenderer {
         draw_calls
     }
 
+    /// Renders a timeline model into a reused framebuffer (reshaped and cleared
+    /// first), producing exactly the image of [`TimelineRenderer::render_with`]
+    /// without allocating a fresh pixel buffer per frame.
+    ///
+    /// This is what a live monitor calls once per epoch: the frame dimensions are
+    /// stable across epochs, so after the first frame no per-frame allocation
+    /// remains on the render path.
+    pub fn render_into(&self, model: &TimelineModel, threads: Threads, fb: &mut Framebuffer) {
+        let width = model.columns;
+        let height = model.num_rows() * self.row_height;
+        fb.reset(width, height, self.palette.background);
+        let band_len = width * self.row_height;
+        let (pixels, draw_calls) = fb.raw_parts_mut();
+        *draw_calls = parallel_map_chunks(threads, pixels, band_len, |row, band| {
+            self.rasterize_row(&model.cells[row], band, width)
+        })
+        .into_iter()
+        .sum();
+    }
+
     /// Renders a timeline model **without** rectangle aggregation: one fill per cell.
     ///
     /// This isolates the effect of the aggregation optimization in the benchmarks while
@@ -235,6 +255,27 @@ mod tests {
             assert_eq!(fb.width(), 4);
             assert_eq!(fb.height(), 2);
             assert_eq!(fb.count_pixels(r.palette.state(WorkerState::Idle)), 8);
+        }
+    }
+
+    #[test]
+    fn render_into_reuses_the_buffer_and_matches_render() {
+        let trace = session_trace();
+        let session = AnalysisSession::new(&trace);
+        let bounds = session.time_bounds();
+        let r = TimelineRenderer::new();
+        let mut fb = Framebuffer::new(1, 1, r.palette.background);
+        // Rolling frames over shifting viewports: every reused frame must equal a
+        // freshly allocated render of the same model.
+        for (columns, end_frac) in [(64, 3u64), (64, 2), (200, 1)] {
+            let window = aftermath_trace::TimeInterval::from_cycles(
+                bounds.start.0,
+                bounds.start.0 + bounds.duration() / end_frac,
+            );
+            let model =
+                TimelineModel::build(&session, TimelineMode::State, window, columns).unwrap();
+            r.render_into(&model, Threads::new(2), &mut fb);
+            assert_eq!(fb, r.render(&model));
         }
     }
 

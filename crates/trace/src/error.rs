@@ -34,6 +34,9 @@ pub enum TraceError {
     },
     /// Two state intervals on the same CPU overlap.
     OverlappingStates(CpuId),
+    /// A streaming chunk (or a trace being split into chunks) violates the
+    /// append-only ordering contract of [`crate::streaming`].
+    UnstreamableChunk(String),
     /// The trace file is malformed.
     Format(String),
     /// The trace file was produced by an unsupported format version.
@@ -61,6 +64,9 @@ impl fmt::Display for TraceError {
             }
             TraceError::OverlappingStates(cpu) => {
                 write!(f, "overlapping state intervals on {cpu}")
+            }
+            TraceError::UnstreamableChunk(msg) => {
+                write!(f, "chunk violates the streaming contract: {msg}")
             }
             TraceError::Format(msg) => write!(f, "malformed trace file: {msg}"),
             TraceError::UnsupportedVersion(v) => {

@@ -20,7 +20,7 @@
 //! * optional [`SymbolTable`] and user [`Annotation`]s.
 //!
 //! The on-disk representation is a compact, sectioned binary format implemented in
-//! [`format`]; every section is optional so that run-times may record only the events
+//! [`mod@format`]; every section is optional so that run-times may record only the events
 //! they can produce cheaply (the paper's "incremental approach").
 //!
 //! ## Example
@@ -50,6 +50,7 @@ pub mod format;
 pub mod ids;
 pub mod memory;
 pub mod state;
+pub mod streaming;
 pub mod symbols;
 pub mod task;
 pub mod topology;
@@ -63,6 +64,7 @@ pub use event::{
 pub use ids::{CounterId, CpuId, NumaNodeId, TaskId, TaskTypeId, TimeInterval, Timestamp};
 pub use memory::{AccessKind, MemoryAccess, MemoryRegion, RegionId};
 pub use state::{StateInterval, WorkerState};
+pub use streaming::{StreamingTrace, TraceChunk};
 pub use symbols::{Symbol, SymbolTable};
 pub use task::{TaskInstance, TaskType};
 pub use topology::{CpuInfo, MachineTopology};

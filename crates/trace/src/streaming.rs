@@ -1,0 +1,822 @@
+//! The streaming ingest layer: traces that grow while they are being analysed.
+//!
+//! The batch pipeline requires a trace to be complete before anything renders: the
+//! whole file is read, validated, sorted and only then queried. Monitoring a *running*
+//! application needs the opposite — events arrive in chunks and every already-ingested
+//! prefix must stay queryable. This module provides the trace-side half of that
+//! pipeline (the analysis-side half — incremental indexes and epoch-based caching —
+//! lives in `aftermath-core`'s `LiveSession`):
+//!
+//! * [`TraceChunk`] — one batch of appended events (states, samples, discrete events,
+//!   tasks with their accesses, communication events),
+//! * [`StreamingTrace`] — a validated, append-only [`Trace`]: every accepted chunk
+//!   leaves the trace in exactly the state a batch [`TraceBuilder`] build over the
+//!   same events would have produced, so all downstream analyses keep working on the
+//!   growing prefix without re-validation,
+//! * [`make_streamable`] / [`split_at`] / [`split_even`] — utilities that turn a
+//!   recorded batch trace into a prologue plus a chunk sequence whose replay
+//!   reproduces the original trace byte for byte (the driver of the equivalence
+//!   tests, the live-monitor example and the `reproduce --stream` benchmark).
+//!
+//! # The streaming contract
+//!
+//! Chunks are **append-only in time** and **self-contained in attribution**:
+//!
+//! 1. Immutable metadata — topology, task types, counters, memory regions, symbols —
+//!    is fixed by the prologue [`TraceBuilder`] before the first chunk.
+//! 2. Per-CPU state intervals, discrete events and counter samples may only extend
+//!    their stream's tail (state starts at or after the previous end, timestamps
+//!    non-decreasing per stream).
+//! 3. Tasks arrive with densely increasing ids, and a task's memory accesses arrive
+//!    **in the same chunk** as the task itself.
+//!
+//! Rule 3 is what makes *incremental* index maintenance exact: once a summary node
+//! over a sealed region of the stream is built, nothing a later chunk appends can
+//! change what that node should contain.
+
+use std::collections::HashMap;
+
+use crate::error::TraceError;
+use crate::event::{CommEvent, CounterSample, DiscreteEvent, DiscreteEventKind};
+use crate::ids::{CounterId, TaskId, TimeInterval, Timestamp};
+use crate::memory::MemoryAccess;
+use crate::state::StateInterval;
+use crate::task::TaskInstance;
+use crate::trace::{Trace, TraceBuilder};
+
+/// One batch of events appended to a [`StreamingTrace`].
+///
+/// All vectors may be empty; an empty chunk is a legal (no-op) epoch. Events must
+/// obey the ordering contract described in the [module docs](crate::streaming); the
+/// chunk itself is a plain container — validation happens in
+/// [`StreamingTrace::append`], atomically per chunk.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceChunk {
+    /// New task instances; ids must continue the trace's dense id sequence.
+    pub tasks: Vec<TaskInstance>,
+    /// New state intervals (any CPU order; per CPU they must extend the tail).
+    pub states: Vec<StateInterval>,
+    /// New discrete events (per CPU non-decreasing timestamps).
+    pub events: Vec<DiscreteEvent>,
+    /// New counter samples (per `(CPU, counter)` stream non-decreasing timestamps).
+    pub samples: Vec<CounterSample>,
+    /// Memory accesses of this chunk's tasks (sorted by task id, and only for tasks
+    /// registered in this very chunk).
+    pub accesses: Vec<MemoryAccess>,
+    /// New communication events (globally non-decreasing timestamps).
+    pub comm_events: Vec<CommEvent>,
+}
+
+impl TraceChunk {
+    /// Creates an empty chunk.
+    pub fn new() -> Self {
+        TraceChunk::default()
+    }
+
+    /// Total number of items carried by the chunk.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+            + self.states.len()
+            + self.events.len()
+            + self.samples.len()
+            + self.accesses.len()
+            + self.comm_events.len()
+    }
+
+    /// Whether the chunk carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The time hull of the chunk's bounded items, or `None` for a chunk without
+    /// any of them. The item classes mirror [`Trace::time_bounds_opt`] (the
+    /// authoritative definition of what bounds a trace) — the two must stay in
+    /// sync, which `StreamingTrace`'s equality tests pin down per epoch.
+    pub fn time_hull(&self) -> Option<TimeInterval> {
+        let mut start = Timestamp::MAX;
+        let mut end = Timestamp::ZERO;
+        let mut any = false;
+        for s in &self.states {
+            start = start.min(s.interval.start);
+            end = end.max(s.interval.end);
+            any = true;
+        }
+        for e in &self.events {
+            start = start.min(e.timestamp);
+            end = end.max(e.timestamp);
+            any = true;
+        }
+        for s in &self.samples {
+            start = start.min(s.timestamp);
+            end = end.max(s.timestamp);
+            any = true;
+        }
+        for t in &self.tasks {
+            start = start.min(t.execution.start);
+            end = end.max(t.execution.end);
+            any = true;
+        }
+        any.then(|| TimeInterval::new(start, end))
+    }
+}
+
+/// A trace that grows by validated, append-only chunks.
+///
+/// After every accepted [`append`](StreamingTrace::append),
+/// [`trace`](StreamingTrace::trace) is indistinguishable from a batch build over
+/// the same events: streams stay sorted and non-overlapping, accesses stay grouped by task,
+/// and the cached [`time_bounds`](StreamingTrace::time_bounds) equals
+/// [`Trace::time_bounds`] (maintained incrementally so a per-epoch bounds query does
+/// not rescan the whole trace). A failed append leaves the trace untouched.
+#[derive(Debug, Clone)]
+pub struct StreamingTrace {
+    trace: Trace,
+    /// Incrementally maintained time hull (`None` until any bounded item arrives).
+    bounds: Option<TimeInterval>,
+    /// Number of chunks accepted so far.
+    epochs: u64,
+}
+
+impl StreamingTrace {
+    /// Opens a stream over the prologue: the builder carries the immutable metadata
+    /// (topology, task types, counters, regions, symbols) and may already contain
+    /// initial events, which become the stream's epoch-0 prefix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`TraceBuilder::finish`].
+    pub fn new(prologue: TraceBuilder) -> Result<Self, TraceError> {
+        Ok(Self::from_trace(prologue.finish()?))
+    }
+
+    /// Opens a stream over an already-built trace (e.g. to resume monitoring from a
+    /// partial trace file).
+    pub fn from_trace(trace: Trace) -> Self {
+        let bounds = trace.time_bounds_opt();
+        StreamingTrace {
+            trace,
+            bounds,
+            epochs: 0,
+        }
+    }
+
+    /// The current (growing) trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Finishes the stream and yields the final trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Number of chunks accepted so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The time interval spanned by the ingested events, maintained incrementally
+    /// (O(1) per query; equal to [`Trace::time_bounds`] at every epoch).
+    pub fn time_bounds(&self) -> TimeInterval {
+        self.bounds
+            .unwrap_or(TimeInterval::new(Timestamp::ZERO, Timestamp::ZERO))
+    }
+
+    /// Validates `chunk` against the streaming contract and appends it; returns the
+    /// number of appended items.
+    ///
+    /// Validation is atomic: on error the trace is exactly as before the call.
+    ///
+    /// # Errors
+    ///
+    /// * [`TraceError::UnknownCpu`] / [`TraceError::UnknownTask`] /
+    ///   [`TraceError::UnknownTaskType`] for dangling references,
+    /// * [`TraceError::InvalidInterval`] for a state or task with `end < start`,
+    /// * [`TraceError::OverlappingStates`] when a state does not start at or after
+    ///   its CPU's current tail,
+    /// * [`TraceError::UnorderedEvents`] for a timestamp going backwards within a
+    ///   per-CPU event stream, a sample stream or the communication stream,
+    /// * [`TraceError::UnstreamableChunk`] for non-dense task ids or accesses that
+    ///   do not ride with their task's chunk.
+    pub fn append(&mut self, chunk: TraceChunk) -> Result<usize, TraceError> {
+        let trace = &self.trace;
+        let topology = trace.topology();
+        let old_tasks = trace.tasks().len() as u64;
+        let new_tasks = old_tasks + chunk.tasks.len() as u64;
+
+        // --- Validation (no mutation until everything passed). ---
+        for (i, t) in chunk.tasks.iter().enumerate() {
+            let expected = old_tasks + i as u64;
+            if t.id.0 != expected {
+                return Err(TraceError::UnstreamableChunk(format!(
+                    "task {} breaks the dense id sequence (expected task{expected})",
+                    t.id
+                )));
+            }
+            if trace.task_type(t.task_type).is_none() {
+                return Err(TraceError::UnknownTaskType(t.task_type));
+            }
+            if !topology.contains_cpu(t.cpu) {
+                return Err(TraceError::UnknownCpu(t.cpu));
+            }
+            if !topology.contains_cpu(t.creator_cpu) {
+                return Err(TraceError::UnknownCpu(t.creator_cpu));
+            }
+            if t.execution.end < t.execution.start {
+                return Err(TraceError::InvalidInterval {
+                    start: t.execution.start,
+                    end: t.execution.end,
+                });
+            }
+        }
+        // Per-CPU tail watermarks, seeded from the current trace on first touch.
+        let mut state_tail: HashMap<u32, Timestamp> = HashMap::new();
+        for s in &chunk.states {
+            if !topology.contains_cpu(s.cpu) {
+                return Err(TraceError::UnknownCpu(s.cpu));
+            }
+            if s.interval.end < s.interval.start {
+                return Err(TraceError::InvalidInterval {
+                    start: s.interval.start,
+                    end: s.interval.end,
+                });
+            }
+            if let Some(task) = s.task {
+                if task.0 >= new_tasks {
+                    return Err(TraceError::UnknownTask(task));
+                }
+            }
+            let tail = state_tail.entry(s.cpu.0).or_insert_with(|| {
+                trace
+                    .cpu(s.cpu)
+                    .and_then(|pc| pc.states.last())
+                    .map_or(Timestamp::ZERO, |last| last.interval.end)
+            });
+            if s.interval.start < *tail {
+                return Err(TraceError::OverlappingStates(s.cpu));
+            }
+            *tail = s.interval.end;
+        }
+        let mut event_tail: HashMap<u32, Timestamp> = HashMap::new();
+        for e in &chunk.events {
+            if !topology.contains_cpu(e.cpu) {
+                return Err(TraceError::UnknownCpu(e.cpu));
+            }
+            let tail = event_tail.entry(e.cpu.0).or_insert_with(|| {
+                trace
+                    .cpu(e.cpu)
+                    .and_then(|pc| pc.events.last())
+                    .map_or(Timestamp::ZERO, |last| last.timestamp)
+            });
+            if e.timestamp < *tail {
+                return Err(TraceError::UnorderedEvents {
+                    cpu: e.cpu,
+                    previous: *tail,
+                    offending: e.timestamp,
+                });
+            }
+            *tail = e.timestamp;
+        }
+        let mut sample_tail: HashMap<(u32, CounterId), Timestamp> = HashMap::new();
+        for s in &chunk.samples {
+            if !topology.contains_cpu(s.cpu) {
+                return Err(TraceError::UnknownCpu(s.cpu));
+            }
+            let tail = sample_tail.entry((s.cpu.0, s.counter)).or_insert_with(|| {
+                trace
+                    .cpu(s.cpu)
+                    .and_then(|pc| pc.samples.get(&s.counter))
+                    .and_then(|stream| stream.last())
+                    .map_or(Timestamp::ZERO, |last| last.timestamp)
+            });
+            if s.timestamp < *tail {
+                return Err(TraceError::UnorderedEvents {
+                    cpu: s.cpu,
+                    previous: *tail,
+                    offending: s.timestamp,
+                });
+            }
+            *tail = s.timestamp;
+        }
+        let mut access_tail: Option<TaskId> = None;
+        for a in &chunk.accesses {
+            if a.task.0 < old_tasks || a.task.0 >= new_tasks {
+                return Err(TraceError::UnstreamableChunk(format!(
+                    "access references {}, which is not registered by this chunk \
+                     (a task's accesses must ride in the task's own chunk)",
+                    a.task
+                )));
+            }
+            if access_tail.is_some_and(|prev| a.task < prev) {
+                return Err(TraceError::UnstreamableChunk(
+                    "accesses within a chunk must be sorted by task id".into(),
+                ));
+            }
+            access_tail = Some(a.task);
+        }
+        let mut comm_tail = trace
+            .comm_events()
+            .last()
+            .map_or(Timestamp::ZERO, |c| c.timestamp);
+        for c in &chunk.comm_events {
+            if !topology.contains_cpu(c.src_cpu) {
+                return Err(TraceError::UnknownCpu(c.src_cpu));
+            }
+            if !topology.contains_cpu(c.dst_cpu) {
+                return Err(TraceError::UnknownCpu(c.dst_cpu));
+            }
+            if c.timestamp < comm_tail {
+                return Err(TraceError::UnorderedEvents {
+                    cpu: c.src_cpu,
+                    previous: comm_tail,
+                    offending: c.timestamp,
+                });
+            }
+            comm_tail = c.timestamp;
+        }
+
+        // --- Apply. ---
+        let appended = chunk.len();
+        if let Some(hull) = chunk.time_hull() {
+            self.bounds = Some(match self.bounds {
+                Some(b) => b.union_hull(&hull),
+                None => hull,
+            });
+        }
+        let parts = self.trace.streaming_parts_mut();
+        parts.tasks.extend(chunk.tasks);
+        for s in chunk.states {
+            parts.per_cpu[s.cpu.0 as usize].states.push(s);
+        }
+        for e in chunk.events {
+            parts.per_cpu[e.cpu.0 as usize].events.push(e);
+        }
+        for s in chunk.samples {
+            parts.per_cpu[s.cpu.0 as usize]
+                .samples
+                .entry(s.counter)
+                .or_default()
+                .push(s);
+        }
+        parts.accesses.extend(chunk.accesses);
+        parts.comm_events.extend(chunk.comm_events);
+        self.epochs += 1;
+        Ok(appended)
+    }
+}
+
+/// Returns a copy of `trace` whose task ids are renumbered into execution-start
+/// order (stable: ties keep their original relative order), with every task
+/// reference — state intervals, memory accesses, discrete events, communication
+/// events — remapped accordingly and the access table re-sorted.
+///
+/// A trace recorded by a real runtime registers tasks as they start, so it already
+/// satisfies the streaming contract; traces *constructed* in CPU-major order (every
+/// builder-based generator in this workspace) generally do not. This canonicalization
+/// makes such traces splittable by [`split_at`] (which still rejects the degenerate
+/// case of a state interval starting before its referenced task's execution — no id
+/// renumbering can repair that). The result is semantically equivalent to the input —
+/// only the id space changed.
+pub fn make_streamable(trace: &Trace) -> Trace {
+    let mut out = trace.clone();
+    let parts = out.streaming_parts_mut();
+    let mut order: Vec<usize> = (0..parts.tasks.len()).collect();
+    order.sort_by_key(|&i| (parts.tasks[i].execution.start, i));
+    // old id -> new id
+    let mut remap: Vec<u64> = vec![0; parts.tasks.len()];
+    for (new_id, &old_id) in order.iter().enumerate() {
+        remap[old_id] = new_id as u64;
+    }
+    let map = |id: TaskId| -> TaskId {
+        match remap.get(id.0 as usize) {
+            Some(&new_id) => TaskId(new_id),
+            // Dangling ids (the builder does not validate state/event task refs)
+            // stay dangling: they resolved to nothing before and still do.
+            None => id,
+        }
+    };
+    let mut tasks: Vec<TaskInstance> = order.iter().map(|&i| parts.tasks[i]).collect();
+    for (new_id, t) in tasks.iter_mut().enumerate() {
+        t.id = TaskId(new_id as u64);
+    }
+    *parts.tasks = tasks;
+    for pc in parts.per_cpu.iter_mut() {
+        for s in &mut pc.states {
+            s.task = s.task.map(map);
+        }
+        for e in &mut pc.events {
+            match &mut e.kind {
+                DiscreteEventKind::TaskCreate { task }
+                | DiscreteEventKind::TaskReady { task }
+                | DiscreteEventKind::TaskComplete { task }
+                | DiscreteEventKind::StealSuccess { task, .. } => *task = map(*task),
+                DiscreteEventKind::DataPublish {
+                    producer, consumer, ..
+                } => {
+                    *producer = map(*producer);
+                    *consumer = map(*consumer);
+                }
+                DiscreteEventKind::StealAttempt { .. } | DiscreteEventKind::Marker { .. } => {}
+            }
+        }
+    }
+    for a in parts.accesses.iter_mut() {
+        a.task = map(a.task);
+    }
+    parts.accesses.sort_by_key(|a| a.task);
+    for c in parts.comm_events.iter_mut() {
+        c.task = c.task.map(map);
+    }
+    out
+}
+
+/// Builds the prologue [`TraceBuilder`] carrying `trace`'s immutable metadata
+/// (topology, task types, counters, regions, symbols) and no events.
+fn prologue_builder(trace: &Trace) -> Result<TraceBuilder, TraceError> {
+    let mut b = TraceBuilder::new(trace.topology().clone());
+    for ty in trace.task_types() {
+        b.add_task_type(ty.name.clone(), ty.symbol_addr);
+    }
+    for c in trace.counters() {
+        if !c.per_cpu {
+            return Err(TraceError::UnstreamableChunk(format!(
+                "counter '{}' is not per-CPU; the prologue builder cannot reproduce it",
+                c.name
+            )));
+        }
+        b.add_counter(c.name.clone(), c.monotone);
+    }
+    let mut regions: Vec<_> = trace.regions().to_vec();
+    regions.sort_by_key(|r| r.id);
+    for (i, r) in regions.iter().enumerate() {
+        if r.id.0 != i as u64 {
+            return Err(TraceError::UnstreamableChunk(format!(
+                "region ids are not dense (found {:?} at position {i}); \
+                 the prologue builder cannot reproduce them",
+                r.id
+            )));
+        }
+        b.add_region(r.base_addr, r.size, r.node);
+    }
+    b.set_symbols(trace.symbols().clone());
+    Ok(b)
+}
+
+/// Splits a batch trace at the given cut timestamps into a prologue builder plus
+/// one [`TraceChunk`] per window, such that replaying every chunk through a
+/// [`StreamingTrace`] opened on the prologue reproduces `trace` exactly.
+///
+/// Window `k` covers `[cuts[k-1], cuts[k])` (the first window is open at the left,
+/// the last at the right); states are assigned by interval start, point events and
+/// samples by timestamp, tasks by execution start, and accesses ride with their
+/// task. Cuts are sorted and deduplicated first, so `cuts.len() + 1` chunks are
+/// produced (some possibly empty).
+///
+/// # Errors
+///
+/// Returns [`TraceError::UnstreamableChunk`] when task ids are not ordered by
+/// execution start (run [`make_streamable`] first), when a state interval
+/// references a task whose execution starts in a *later* window than the state
+/// (such a trace cannot be replayed at these cuts: the chunk would dangle the
+/// reference — possible because the builder does not validate state→task refs),
+/// or when the metadata cannot be reproduced by a builder (non-dense region ids).
+pub fn split_at(
+    trace: &Trace,
+    cuts: &[Timestamp],
+) -> Result<(TraceBuilder, Vec<TraceChunk>), TraceError> {
+    if trace
+        .tasks()
+        .windows(2)
+        .any(|w| w[1].execution.start < w[0].execution.start)
+    {
+        return Err(TraceError::UnstreamableChunk(
+            "task ids are not ordered by execution start; call make_streamable first".into(),
+        ));
+    }
+    let prologue = prologue_builder(trace)?;
+    let mut cuts: Vec<Timestamp> = cuts.to_vec();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let num_chunks = cuts.len() + 1;
+    let mut chunks = vec![TraceChunk::new(); num_chunks];
+    // `window_of(t)` = index of the chunk whose window contains timestamp `t`.
+    let window_of = |t: Timestamp| cuts.partition_point(|&c| c <= t);
+
+    for t in trace.tasks() {
+        let k = window_of(t.execution.start);
+        chunks[k].tasks.push(*t);
+        // Accesses are a contiguous, task-sorted run per task.
+        chunks[k]
+            .accesses
+            .extend_from_slice(trace.accesses_of_task(t.id));
+    }
+    for pc in trace.per_cpu() {
+        for s in &pc.states {
+            let k = window_of(s.interval.start);
+            // A state's referenced task must be ingested no later than the state
+            // itself, or the replay would reject the chunk (UnknownTask).
+            if let Some(task) = s.task.and_then(|id| trace.task(id)) {
+                if window_of(task.execution.start) > k {
+                    return Err(TraceError::UnstreamableChunk(format!(
+                        "state at {} on {} references {}, which only starts executing at {} \
+                         (a later chunk); these cuts cannot replay this trace",
+                        s.interval.start, s.cpu, task.id, task.execution.start
+                    )));
+                }
+            }
+            chunks[k].states.push(*s);
+        }
+        for e in &pc.events {
+            chunks[window_of(e.timestamp)].events.push(*e);
+        }
+        for stream in pc.samples.values() {
+            for s in stream {
+                chunks[window_of(s.timestamp)].samples.push(*s);
+            }
+        }
+    }
+    for c in trace.comm_events() {
+        chunks[window_of(c.timestamp)].comm_events.push(*c);
+    }
+    Ok((prologue, chunks))
+}
+
+/// [`split_at`] with `num_chunks` evenly spaced cut points over the trace bounds.
+///
+/// # Errors
+///
+/// See [`split_at`].
+pub fn split_even(
+    trace: &Trace,
+    num_chunks: usize,
+) -> Result<(TraceBuilder, Vec<TraceChunk>), TraceError> {
+    let num_chunks = num_chunks.max(1);
+    let bounds = trace.time_bounds();
+    let step = (bounds.duration() / num_chunks as u64).max(1);
+    let cuts: Vec<Timestamp> = (1..num_chunks as u64)
+        .map(|i| Timestamp(bounds.start.0 + i * step))
+        .collect();
+    split_at(trace, &cuts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CommKind;
+    use crate::ids::{CpuId, NumaNodeId};
+    use crate::memory::AccessKind;
+    use crate::state::WorkerState;
+    use crate::topology::MachineTopology;
+
+    /// A small two-CPU trace whose tasks interleave across CPUs in time, so the
+    /// builder's CPU-major registration order is *not* execution-start order.
+    fn interleaved_trace() -> Trace {
+        let mut b = TraceBuilder::new(MachineTopology::uniform(2, 1));
+        let ty = b.add_task_type("w", 0x1000);
+        let ctr = b.add_counter("c", true);
+        b.add_region(0x1000, 0x1000, Some(NumaNodeId(0)));
+        b.add_region(0x10_000, 0x1000, Some(NumaNodeId(1)));
+        for cpu in 0..2u32 {
+            let mut now = cpu as u64 * 37;
+            for i in 0..20u64 {
+                let work = 100 + (i * 13 + cpu as u64 * 7) % 200;
+                let t = b.add_task(
+                    ty,
+                    CpuId(cpu),
+                    Timestamp(now),
+                    Timestamp(now),
+                    Timestamp(now + work),
+                );
+                b.add_state(
+                    CpuId(cpu),
+                    WorkerState::TaskExecution,
+                    Timestamp(now),
+                    Timestamp(now + work),
+                    Some(t),
+                )
+                .unwrap();
+                b.add_state(
+                    CpuId(cpu),
+                    WorkerState::Idle,
+                    Timestamp(now + work),
+                    Timestamp(now + work + 50),
+                    None,
+                )
+                .unwrap();
+                b.add_sample(ctr, CpuId(cpu), Timestamp(now), (i * 3) as f64)
+                    .unwrap();
+                b.add_event(
+                    CpuId(cpu),
+                    Timestamp(now),
+                    DiscreteEventKind::TaskCreate { task: t },
+                )
+                .unwrap();
+                b.add_access(t, AccessKind::Read, 0x1000 + i * 8, 64)
+                    .unwrap();
+                b.add_access(t, AccessKind::Write, 0x10_000 + i * 8, 32)
+                    .unwrap();
+                now += work + 50;
+            }
+        }
+        b.add_comm(CommEvent {
+            timestamp: Timestamp(500),
+            kind: CommKind::DataTransfer,
+            src_cpu: CpuId(0),
+            dst_cpu: CpuId(1),
+            src_node: NumaNodeId(0),
+            dst_node: NumaNodeId(1),
+            bytes: 64,
+            task: Some(TaskId(0)),
+        })
+        .unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn make_streamable_orders_tasks_and_preserves_attribution() {
+        let trace = interleaved_trace();
+        assert!(
+            trace
+                .tasks()
+                .windows(2)
+                .any(|w| w[1].execution.start < w[0].execution.start),
+            "fixture must be out of order"
+        );
+        let streamable = make_streamable(&trace);
+        assert!(streamable
+            .tasks()
+            .windows(2)
+            .all(|w| w[0].execution.start <= w[1].execution.start));
+        assert_eq!(streamable.tasks().len(), trace.tasks().len());
+        // Every exec state still references a task with its own interval.
+        for pc in streamable.per_cpu() {
+            for s in &pc.states {
+                if let Some(id) = s.task {
+                    let t = streamable.task(id).expect("remapped id resolves");
+                    assert_eq!(t.execution, s.interval);
+                }
+            }
+        }
+        // Per-task access totals are preserved under the renumbering.
+        for old in trace.tasks() {
+            let new = streamable
+                .tasks()
+                .iter()
+                .find(|t| t.execution == old.execution && t.cpu == old.cpu)
+                .unwrap();
+            assert_eq!(
+                trace.accesses_of_task(old.id).len(),
+                streamable.accesses_of_task(new.id).len()
+            );
+        }
+    }
+
+    #[test]
+    fn split_and_replay_reproduces_the_trace() {
+        let trace = make_streamable(&interleaved_trace());
+        for num_chunks in [1, 2, 3, 7, 100] {
+            let (prologue, chunks) = split_even(&trace, num_chunks).unwrap();
+            assert_eq!(chunks.len(), num_chunks.max(1));
+            let mut stream = StreamingTrace::new(prologue).unwrap();
+            for chunk in chunks {
+                stream.append(chunk).unwrap();
+            }
+            assert_eq!(stream.epochs(), num_chunks as u64);
+            assert_eq!(stream.time_bounds(), trace.time_bounds());
+            assert_eq!(stream.trace(), &trace, "{num_chunks} chunks");
+        }
+    }
+
+    #[test]
+    fn split_rejects_states_preceding_their_task() {
+        // The builder does not validate state→task refs, so a state can start
+        // before its referenced task's execution. Cuts separating the two must be
+        // rejected (the replay would dangle the reference), while cuts keeping
+        // them in one window still work.
+        let mut b = TraceBuilder::new(MachineTopology::uniform(1, 1));
+        let ty = b.add_task_type("w", 0);
+        let t = b.add_task(ty, CpuId(0), Timestamp(500), Timestamp(500), Timestamp(600));
+        b.add_state(
+            CpuId(0),
+            WorkerState::TaskCreation,
+            Timestamp(100),
+            Timestamp(200),
+            Some(t),
+        )
+        .unwrap();
+        b.add_state(
+            CpuId(0),
+            WorkerState::TaskExecution,
+            Timestamp(500),
+            Timestamp(600),
+            Some(t),
+        )
+        .unwrap();
+        let trace = b.finish().unwrap();
+        assert!(matches!(
+            split_at(&trace, &[Timestamp(300)]),
+            Err(TraceError::UnstreamableChunk(_))
+        ));
+        let (prologue, chunks) = split_at(&trace, &[Timestamp(50)]).unwrap();
+        let mut stream = StreamingTrace::new(prologue).unwrap();
+        for chunk in chunks {
+            stream.append(chunk).unwrap();
+        }
+        assert_eq!(stream.trace(), &trace);
+    }
+
+    #[test]
+    fn split_rejects_unordered_task_ids() {
+        let trace = interleaved_trace();
+        assert!(matches!(
+            split_even(&trace, 4),
+            Err(TraceError::UnstreamableChunk(_))
+        ));
+    }
+
+    #[test]
+    fn append_rejects_contract_violations() {
+        let trace = make_streamable(&interleaved_trace());
+        let (prologue, chunks) = split_even(&trace, 2).unwrap();
+        let mut stream = StreamingTrace::new(prologue).unwrap();
+        let [first, second]: [TraceChunk; 2] = chunks.try_into().unwrap();
+
+        // Applying the second chunk first dangles its task ids.
+        let mut out_of_order = stream.clone();
+        assert!(matches!(
+            out_of_order.append(second.clone()),
+            Err(TraceError::UnstreamableChunk(_))
+        ));
+
+        stream.append(first).unwrap();
+        let tasks_before = stream.trace().tasks().len();
+
+        // A state overlapping the ingested tail is rejected...
+        let mut bad = TraceChunk::new();
+        bad.states.push(StateInterval::new(
+            CpuId(0),
+            WorkerState::Idle,
+            TimeInterval::from_cycles(0, 10),
+            None,
+        ));
+        assert!(matches!(
+            stream.append(bad),
+            Err(TraceError::OverlappingStates(_))
+        ));
+        // ...atomically: nothing was applied.
+        assert_eq!(stream.trace().tasks().len(), tasks_before);
+
+        // A sample going backwards on its stream is rejected.
+        let mut bad = TraceChunk::new();
+        bad.samples.push(CounterSample::new(
+            CounterId(0),
+            CpuId(0),
+            Timestamp(0),
+            1.0,
+        ));
+        assert!(matches!(
+            stream.append(bad),
+            Err(TraceError::UnorderedEvents { .. })
+        ));
+
+        // An access for a task from an earlier chunk is rejected.
+        let mut bad = TraceChunk::new();
+        bad.accesses
+            .push(MemoryAccess::new(TaskId(0), AccessKind::Read, 0x1000, 8));
+        assert!(matches!(
+            stream.append(bad),
+            Err(TraceError::UnstreamableChunk(_))
+        ));
+
+        // An unknown CPU is rejected.
+        let mut bad = TraceChunk::new();
+        bad.events.push(DiscreteEvent::new(
+            CpuId(99),
+            Timestamp(u64::MAX),
+            DiscreteEventKind::Marker { code: 1 },
+        ));
+        assert!(matches!(stream.append(bad), Err(TraceError::UnknownCpu(_))));
+
+        // The untouched stream still accepts the real second chunk.
+        stream.append(second).unwrap();
+        assert_eq!(stream.trace(), &trace);
+    }
+
+    #[test]
+    fn empty_chunks_and_empty_prologue_are_legal() {
+        let mut stream =
+            StreamingTrace::new(TraceBuilder::new(MachineTopology::uniform(1, 1))).unwrap();
+        assert_eq!(stream.append(TraceChunk::new()).unwrap(), 0);
+        assert_eq!(stream.time_bounds().duration(), 0);
+        let mut chunk = TraceChunk::new();
+        chunk.states.push(StateInterval::new(
+            CpuId(0),
+            WorkerState::Idle,
+            TimeInterval::from_cycles(100, 200),
+            None,
+        ));
+        stream.append(chunk).unwrap();
+        assert_eq!(stream.time_bounds(), TimeInterval::from_cycles(100, 200));
+        assert_eq!(stream.trace().time_bounds(), stream.time_bounds());
+    }
+}

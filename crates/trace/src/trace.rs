@@ -174,6 +174,17 @@ impl Trace {
     ///
     /// Returns an empty interval at time zero for a trace without any events.
     pub fn time_bounds(&self) -> TimeInterval {
+        self.time_bounds_opt()
+            .unwrap_or(TimeInterval::new(Timestamp::ZERO, Timestamp::ZERO))
+    }
+
+    /// Like [`Trace::time_bounds`], but `None` for a trace without any *bounded*
+    /// items (state intervals, discrete events, counter samples, task executions —
+    /// memory accesses and communication events carry no own position on the time
+    /// axis). This is the single definition of which item classes bound a trace;
+    /// the incrementally maintained bounds of [`crate::streaming::StreamingTrace`]
+    /// are seeded from it and must stay equal to it at every epoch.
+    pub fn time_bounds_opt(&self) -> Option<TimeInterval> {
         let mut start = Timestamp::MAX;
         let mut end = Timestamp::ZERO;
         let mut any = false;
@@ -207,16 +218,35 @@ impl Trace {
             end = end.max(t.execution.end);
             any = true;
         }
-        if !any {
-            return TimeInterval::new(Timestamp::ZERO, Timestamp::ZERO);
-        }
-        TimeInterval::new(start, end)
+        any.then(|| TimeInterval::new(start, end))
     }
 
     /// Total execution time covered by the trace, in cycles.
     pub fn duration(&self) -> u64 {
         self.time_bounds().duration()
     }
+
+    /// Crate-internal mutable access to the event containers, used by the streaming
+    /// ingest layer ([`crate::streaming`]) to append validated chunks and to remap
+    /// task ids. Not public: arbitrary mutation could break the sortedness and
+    /// non-overlap invariants every query relies on.
+    pub(crate) fn streaming_parts_mut(&mut self) -> StreamingPartsMut<'_> {
+        StreamingPartsMut {
+            tasks: &mut self.tasks,
+            per_cpu: &mut self.per_cpu,
+            accesses: &mut self.accesses,
+            comm_events: &mut self.comm_events,
+        }
+    }
+}
+
+/// Mutable views of the growable parts of a [`Trace`] (crate-internal; see
+/// [`Trace::streaming_parts_mut`]).
+pub(crate) struct StreamingPartsMut<'a> {
+    pub(crate) tasks: &'a mut Vec<TaskInstance>,
+    pub(crate) per_cpu: &'a mut Vec<PerCpuEvents>,
+    pub(crate) accesses: &'a mut Vec<MemoryAccess>,
+    pub(crate) comm_events: &'a mut Vec<CommEvent>,
 }
 
 /// Incremental builder for [`Trace`] values.

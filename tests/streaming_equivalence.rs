@@ -1,0 +1,211 @@
+//! Property tests of the streaming ingest layer: for random traces split at random
+//! chunk boundaries, every epoch of a `LiveSession` answers queries, timelines and
+//! anomaly rankings **byte-identically** to a from-scratch batch session built over
+//! the same prefix — and the fully replayed trace equals the original.
+
+use aftermath::prelude::*;
+use aftermath_core::anomaly::AnomalyConfig;
+use aftermath_core::LiveSession;
+use aftermath_trace::streaming::{make_streamable, split_at, split_even};
+use aftermath_trace::AccessKind;
+use proptest::prelude::*;
+
+/// A random *streamable* trace: tasks are registered in execution-start order (a
+/// single global clock interleaves CPUs), every task carries an exec state and two
+/// NUMA-placed accesses, and a counter is sampled at every task start.
+fn streamable_trace_strategy() -> impl Strategy<Value = Trace> {
+    (
+        1u32..3,                                                                    // nodes
+        1u32..3,                                                                    // cpus/node
+        prop::collection::vec((1u64..400, 0u64..200, 0u8..3, -1e6f64..1e6), 1..60), // tasks
+    )
+        .prop_map(|(nodes, cpus, items)| {
+            let topo = MachineTopology::uniform(nodes, cpus);
+            let num_cpus = topo.num_cpus() as u32;
+            let mut b = TraceBuilder::new(topo);
+            let types: Vec<_> = (0..3)
+                .map(|i| b.add_task_type(format!("ty{i}"), 0x1000 + i))
+                .collect();
+            let ctr = b.add_counter("c", true);
+            let region_bytes = 1u64 << 12;
+            let r0 = 0x10_000u64;
+            let r1 = 0x20_000u64;
+            b.add_region(r0, region_bytes, Some(NumaNodeId(0)));
+            b.add_region(r1, region_bytes, Some(NumaNodeId(nodes.saturating_sub(1))));
+            // One global clock: task starts are non-decreasing across CPUs, so the
+            // builder's registration order is already execution-start order.
+            let mut now = 0u64;
+            let mut cpu_tail = vec![0u64; num_cpus as usize];
+            for (i, (work, gap, ty, value)) in items.into_iter().enumerate() {
+                let cpu = CpuId((i as u32 * 7 + ty as u32) % num_cpus);
+                let start = now.max(cpu_tail[cpu.0 as usize]);
+                let end = start + work;
+                let task = b.add_task(
+                    types[ty as usize % types.len()],
+                    cpu,
+                    Timestamp(start),
+                    Timestamp(start),
+                    Timestamp(end),
+                );
+                if cpu_tail[cpu.0 as usize] < start {
+                    b.add_state(
+                        cpu,
+                        WorkerState::Idle,
+                        Timestamp(cpu_tail[cpu.0 as usize]),
+                        Timestamp(start),
+                        None,
+                    )
+                    .unwrap();
+                }
+                b.add_state(
+                    cpu,
+                    WorkerState::TaskExecution,
+                    Timestamp(start),
+                    Timestamp(end),
+                    Some(task),
+                )
+                .unwrap();
+                b.add_sample(ctr, cpu, Timestamp(start), value).unwrap();
+                b.add_access(task, AccessKind::Read, r0 + (start % region_bytes), 64)
+                    .unwrap();
+                b.add_access(task, AccessKind::Write, r1 + (end % region_bytes), 32)
+                    .unwrap();
+                cpu_tail[cpu.0 as usize] = end;
+                now = start + gap;
+            }
+            b.finish().unwrap()
+        })
+}
+
+/// Asserts that a live session's current epoch answers exactly like a fresh batch
+/// session over the same prefix: index structures, interval queries, timeline
+/// models and anomaly rankings.
+fn assert_epoch_matches_batch(live: &LiveSession, columns: usize) {
+    let trace = live.trace();
+    let batch = AnalysisSession::new(trace);
+    assert_eq!(live.time_bounds(), batch.time_bounds());
+    let view = live.session();
+
+    // Index structures: the incrementally maintained pyramids and counter indexes
+    // must be structurally identical to fresh builds.
+    batch.prewarm(Threads::single());
+    for cpu in trace.topology().cpu_ids() {
+        assert_eq!(view.pyramid(cpu), batch.pyramid(cpu), "{cpu} pyramid");
+    }
+    assert_eq!(view.index_memory_bytes(), batch.index_memory_bytes());
+
+    let bounds = live.time_bounds();
+    if bounds.is_empty() {
+        return;
+    }
+    // Interval queries over the full range and an interior window.
+    let mid = TimeInterval::from_cycles(
+        bounds.start.0 + bounds.duration() / 5,
+        bounds.end.0 - bounds.duration() / 3,
+    );
+    for iv in [bounds, mid] {
+        let a = view.query(iv);
+        let b = batch.query(iv);
+        for cpu in trace.topology().cpu_ids() {
+            assert_eq!(a.state_cycles(cpu), b.state_cycles(cpu), "{cpu} {iv}");
+            assert_eq!(a.exec_stats(cpu), b.exec_stats(cpu));
+            assert_eq!(a.task_type_cycles(cpu), b.task_type_cycles(cpu));
+            assert_eq!(
+                a.numa_bytes(cpu, AccessKind::Read),
+                b.numa_bytes(cpu, AccessKind::Read)
+            );
+            assert_eq!(
+                a.predominant_task_index(cpu, &TaskFilter::new()),
+                b.predominant_task_index(cpu, &TaskFilter::new())
+            );
+            for desc in trace.counters() {
+                assert_eq!(
+                    view.counter_min_max(cpu, desc.id, iv),
+                    batch.counter_min_max(cpu, desc.id, iv)
+                );
+                assert_eq!(
+                    view.counter_average(cpu, desc.id, iv),
+                    batch.counter_average(cpu, desc.id, iv)
+                );
+            }
+        }
+    }
+    // Timeline models for every mode.
+    let max = trace
+        .tasks()
+        .iter()
+        .map(|t| t.duration())
+        .max()
+        .unwrap_or(1);
+    for mode in [
+        TimelineMode::State,
+        TimelineMode::Heatmap {
+            min_duration: 0,
+            max_duration: max,
+        },
+        TimelineMode::TaskType,
+        TimelineMode::NumaRead,
+        TimelineMode::NumaWrite,
+        TimelineMode::NumaHeat,
+    ] {
+        let a = view.timeline(mode, bounds, columns).unwrap();
+        let b = batch.timeline(mode, bounds, columns).unwrap();
+        assert_eq!(*a, *b, "{mode:?}");
+    }
+    // Anomaly rankings: the full ranked report must agree finding for finding.
+    let a = view.detect_anomalies(&AnomalyConfig::default()).unwrap();
+    let b = batch.detect_anomalies(&AnomalyConfig::default()).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.kind, y.kind);
+        assert_eq!(x.interval, y.interval);
+        assert_eq!(x.cpus, y.cpus);
+        assert_eq!(x.tasks, y.tasks);
+        assert_eq!(x.severity.to_bits(), y.severity.to_bits());
+        assert_eq!(x.score.to_bits(), y.score.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn every_epoch_is_byte_identical_to_a_batch_session(
+        trace in streamable_trace_strategy(),
+        fractions in prop::collection::vec(0.0f64..1.0, 0..5),
+        columns in 3usize..40,
+    ) {
+        let streamable = make_streamable(&trace);
+        let bounds = streamable.time_bounds();
+        let cuts: Vec<Timestamp> = fractions
+            .iter()
+            .map(|f| Timestamp(bounds.start.0 + (bounds.duration() as f64 * f) as u64))
+            .collect();
+        let (prologue, chunks) = split_at(&streamable, &cuts).unwrap();
+        let mut live = LiveSession::new(prologue).unwrap();
+        for chunk in chunks {
+            live.advance(chunk).unwrap();
+            assert_epoch_matches_batch(&live, columns);
+        }
+        // The fully replayed trace is the original, byte for byte.
+        prop_assert_eq!(live.trace(), &streamable);
+    }
+}
+
+/// The same end-to-end equivalence on a realistic simulated workload, replayed in
+/// a fixed number of chunks (covers task graphs, OS counters and NUMA traffic the
+/// random generator does not produce).
+#[test]
+fn simulated_workload_replay_matches_batch_at_every_epoch() {
+    let result = Simulator::new(SimConfig::small_test())
+        .run(&SeidelConfig::small().build())
+        .unwrap();
+    let streamable = make_streamable(&result.trace);
+    let (prologue, chunks) = split_even(&streamable, 7).unwrap();
+    let mut live = LiveSession::new(prologue).unwrap();
+    for chunk in chunks {
+        live.advance(chunk).unwrap();
+        assert_epoch_matches_batch(&live, 64);
+    }
+    assert_eq!(live.trace(), &streamable);
+    assert_eq!(live.epoch(), 7);
+}
