@@ -1,28 +1,49 @@
-//! CI benchmark-regression gate for the `BENCH_zoom_sweep.json` records.
+//! CI benchmark-regression gate for the committed `BENCH_*.json` baselines.
 //!
 //! ```text
 //! bench_check <fresh.json> <baseline.json> [--max-regression FRACTION]
 //! ```
 //!
-//! Compares a freshly measured zoom-sweep record against the committed baseline
-//! (`crates/bench/baselines/BENCH_zoom_sweep.json`) and fails when the pyramid
-//! speedup ratio (`zoomed_out_speedup` — scan time over pyramid time at the fully
-//! zoomed-out level, the headline interactivity number) regressed by more than
-//! `--max-regression` (default 0.25, i.e. the fresh ratio must reach at least 75 %
-//! of the baseline ratio).
+//! Compares a freshly measured record against the committed baseline of the same
+//! kind (the `bench` field of the shared envelope selects the gating rules):
 //!
-//! Records of a different `schema_version` (or without one — pre-envelope files)
-//! are **incomparable** and rejected with exit code 2; a regression exits with 1;
-//! a pass exits with 0.
+//! * `zoom_sweep` — the pyramid speedup ratio (`zoomed_out_speedup`, scan time
+//!   over pyramid time at the fully zoomed-out level) must not regress by more
+//!   than `--max-regression` (default 0.25),
+//! * `ingest` — the columnar storage engine's analysis throughput
+//!   (`analyze_events_per_sec`: prewarm + anomaly detection) must not regress by
+//!   more than `--max-regression`, **and** the storage density
+//!   (`bytes_per_event`) must not grow by more than 10 % (memory layout is
+//!   deterministic for a fixed trace, so the slack only absorbs intentional
+//!   small format changes — anything larger must re-baseline explicitly).
+//!
+//! Records of a different `schema_version` (or without one — pre-envelope files),
+//! of mismatched kinds, or of unknown kinds are **incomparable** and rejected with
+//! exit code 2; a regression exits with 1; a pass exits with 0.
 
 use std::process::ExitCode;
 
 use aftermath_bench::record::{json_number, json_string, BENCH_SCHEMA_VERSION};
 
+/// Allowed growth of `bytes_per_event` before the ingest gate trips.
+const MAX_MEMORY_GROWTH: f64 = 0.10;
+
 struct Record {
     label: String,
     git: String,
-    speedup: f64,
+    bench: String,
+    contents: String,
+}
+
+impl Record {
+    fn number(&self, key: &str) -> Result<f64, String> {
+        let value = json_number(&self.contents, key)
+            .ok_or_else(|| format!("{}: no {key} field", self.label))?;
+        if !value.is_finite() || value <= 0.0 {
+            return Err(format!("{}: nonsensical {key} {value}", self.label));
+        }
+        Ok(value)
+    }
 }
 
 fn load(path: &str) -> Result<Record, String> {
@@ -35,21 +56,64 @@ fn load(path: &str) -> Result<Record, String> {
         ));
     }
     let bench = json_string(&contents, "bench").unwrap_or_default();
-    if bench != "zoom_sweep" {
-        return Err(format!(
-            "{path}: record kind '{bench}' is not a zoom_sweep record"
-        ));
-    }
-    let speedup = json_number(&contents, "zoomed_out_speedup")
-        .ok_or_else(|| format!("{path}: no zoomed_out_speedup field"))?;
-    if !speedup.is_finite() || speedup <= 0.0 {
-        return Err(format!("{path}: nonsensical speedup {speedup}"));
-    }
     Ok(Record {
         label: path.to_string(),
         git: json_string(&contents, "git").unwrap_or_else(|| "unknown".into()),
-        speedup,
+        bench,
+        contents,
     })
+}
+
+/// One "higher is better" ratio gate; returns whether it passed.
+fn gate_floor(
+    what: &str,
+    fresh: &Record,
+    baseline: &Record,
+    key: &str,
+    max_regression: f64,
+) -> Result<bool, String> {
+    let fresh_value = fresh.number(key)?;
+    let base_value = baseline.number(key)?;
+    let floor = base_value * (1.0 - max_regression);
+    println!(
+        "bench_check: {what} {fresh_value:.2} (fresh, {}) vs {base_value:.2} (baseline, {} @ {}); floor {floor:.2}",
+        fresh.label, baseline.label, baseline.git
+    );
+    if fresh_value < floor {
+        eprintln!(
+            "bench_check: FAIL — {what} regressed by {:.1}% (> {:.0}% allowed)",
+            (1.0 - fresh_value / base_value) * 100.0,
+            max_regression * 100.0
+        );
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+/// One "lower is better" ceiling gate; returns whether it passed.
+fn gate_ceiling(
+    what: &str,
+    fresh: &Record,
+    baseline: &Record,
+    key: &str,
+    max_growth: f64,
+) -> Result<bool, String> {
+    let fresh_value = fresh.number(key)?;
+    let base_value = baseline.number(key)?;
+    let ceiling = base_value * (1.0 + max_growth);
+    println!(
+        "bench_check: {what} {fresh_value:.2} (fresh, {}) vs {base_value:.2} (baseline, {} @ {}); ceiling {ceiling:.2}",
+        fresh.label, baseline.label, baseline.git
+    );
+    if fresh_value > ceiling {
+        eprintln!(
+            "bench_check: FAIL — {what} grew by {:.1}% (> {:.0}% allowed)",
+            (fresh_value / base_value - 1.0) * 100.0,
+            max_growth * 100.0
+        );
+        return Ok(false);
+    }
+    Ok(true)
 }
 
 fn main() -> ExitCode {
@@ -90,17 +154,53 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let floor = baseline.speedup * (1.0 - max_regression);
-    println!(
-        "bench_check: pyramid zoomed-out speedup {:.2}x (fresh, {}) vs {:.2}x (baseline, {} @ {}); floor {:.2}x",
-        fresh.speedup, fresh.label, baseline.speedup, baseline.label, baseline.git, floor
-    );
-    if fresh.speedup < floor {
+    if fresh.bench != baseline.bench {
         eprintln!(
-            "bench_check: FAIL — speedup regressed by {:.1}% (> {:.0}% allowed)",
-            (1.0 - fresh.speedup / baseline.speedup) * 100.0,
-            max_regression * 100.0
+            "bench_check: record kinds differ ('{}' vs '{}') — incomparable",
+            fresh.bench, baseline.bench
         );
+        return ExitCode::from(2);
+    }
+    let gates = match fresh.bench.as_str() {
+        "zoom_sweep" => vec![gate_floor(
+            "pyramid zoomed-out speedup",
+            &fresh,
+            &baseline,
+            "zoomed_out_speedup",
+            max_regression,
+        )],
+        "ingest" => vec![
+            gate_floor(
+                "analysis throughput (events/s)",
+                &fresh,
+                &baseline,
+                "analyze_events_per_sec",
+                max_regression,
+            ),
+            gate_ceiling(
+                "storage density (bytes/event)",
+                &fresh,
+                &baseline,
+                "bytes_per_event",
+                MAX_MEMORY_GROWTH,
+            ),
+        ],
+        other => {
+            eprintln!("bench_check: unknown record kind '{other}' — no gating rules");
+            return ExitCode::from(2);
+        }
+    };
+    let mut ok = true;
+    for gate in gates {
+        match gate {
+            Ok(passed) => ok &= passed,
+            Err(e) => {
+                eprintln!("bench_check: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !ok {
         return ExitCode::from(1);
     }
     println!("bench_check: OK");

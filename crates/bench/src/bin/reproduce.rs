@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 use std::path::PathBuf;
 
 use aftermath_bench::figures::{fmt_cycles, Scale};
+use aftermath_bench::ingest;
 use aftermath_bench::kmeans_experiments as km;
 use aftermath_bench::record;
 use aftermath_bench::section6;
@@ -29,6 +30,7 @@ struct Options {
     threads: Threads,
     json: bool,
     stream: bool,
+    ingest: bool,
     targets: Vec<String>,
 }
 
@@ -56,6 +58,7 @@ fn parse_args() -> Options {
     let mut threads = Threads::auto();
     let mut json = false;
     let mut stream = false;
+    let mut ingest = false;
     let mut targets = Vec::new();
     while let Some(arg) = args.pop_front() {
         match arg.as_str() {
@@ -79,14 +82,17 @@ fn parse_args() -> Options {
             }
             "--json" => json = true,
             "--stream" => stream = true,
+            "--ingest" => ingest = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [--scale test|paper] [--out DIR] [--threads N|auto] [--json] [--stream] [FIGURE...]\n\
+                    "usage: reproduce [--scale test|paper] [--out DIR] [--threads N|auto] [--json] [--stream] [--ingest] [FIGURE...]\n\
                      figures: fig3 fig5 fig8 fig9 fig10 fig12 fig13 fig14 fig15 fig16 fig19 sec6 all\n\
                      modes:   zoom-sweep  (scan-vs-pyramid frame times across zoom levels; not part of 'all')\n\
                      --stream replays the sec6 trace through the streaming ingest layer\n\
                      (per-epoch advance/frame latency; combine with 'sec6')\n\
-                     --json writes BENCH_<name>.json records for sec6, zoom-sweep and --stream"
+                     --ingest measures the columnar ingest pipeline on the zoom trace\n\
+                     (build / prewarm / detect throughput and bytes per event)\n\
+                     --json writes BENCH_<name>.json records for sec6, zoom-sweep, --stream and --ingest"
                 );
                 std::process::exit(0);
             }
@@ -102,6 +108,7 @@ fn parse_args() -> Options {
         threads,
         json,
         stream,
+        ingest,
         targets,
     }
 }
@@ -181,6 +188,37 @@ fn main() {
     {
         zoom_sweep(&options);
     }
+    // `--ingest` measures the columnar storage engine's ingest-to-first-insight
+    // pipeline on the same trace shape (explicit mode, not part of `all`).
+    if options.ingest || options.targets.iter().any(|t| t == "ingest") {
+        ingest_bench(&options);
+    }
+}
+
+fn ingest_bench(options: &Options) {
+    let bench = ingest::run_ingest_bench(options.scale, options.threads);
+    print_series_header(
+        "Ingest pipeline — columnar storage engine: build, prewarm, detect, memory",
+        "metric,value",
+    );
+    println!("num_events,{}", bench.num_events);
+    println!("build_seconds,{:.4}", bench.build_seconds);
+    println!("prewarm_seconds,{:.4}", bench.prewarm_seconds);
+    println!("detect_seconds,{:.4}", bench.detect_seconds);
+    println!("anomalies,{}", bench.anomalies);
+    println!("resident_event_bytes,{}", bench.resident_event_bytes);
+    println!("aos_event_bytes,{}", bench.aos_event_bytes);
+    println!("bytes_per_event,{:.2}", bench.bytes_per_event());
+    println!(
+        "memory_reduction_vs_structs,{:.1}%",
+        bench.memory_reduction() * 100.0
+    );
+    println!(
+        "analyze_events_per_sec,{:.0}",
+        bench.analyze_events_per_sec()
+    );
+    println!("ingest_events_per_sec,{:.0}", bench.ingest_events_per_sec());
+    options.write_json("ingest", &bench.to_json());
 }
 
 fn stream_sec6(options: &Options, trace: &aftermath_trace::Trace) {

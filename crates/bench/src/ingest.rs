@@ -1,0 +1,206 @@
+//! Ingest-to-first-insight measurements of the columnar storage engine: trace
+//! build (sort + validate + columnarise), index prewarm, anomaly detection and
+//! resident memory, on the same dense synthetic trace the zoom sweep navigates.
+//!
+//! The paper's interactivity contract starts before the first frame: a tool must
+//! ingest the trace, build its indexes and run the automatic anomaly scan before
+//! anything useful renders. This module measures exactly that pipeline —
+//! [`aftermath_trace::TraceBuilder::finish_with`], [`AnalysisSession::prewarm`]
+//! and the (uncached) anomaly engine — and reports storage density as measured
+//! bytes/event of the columnar stores against the array-of-structs baseline
+//! ([`aftermath_trace::Trace::aos_event_bytes`]). [`IngestBench::to_json`] emits a
+//! `BENCH_ingest.json` record; the `bench_check` gate compares its analysis
+//! throughput and bytes/event against the committed baseline.
+
+use std::time::Instant;
+
+use aftermath_core::anomaly::{self, AnomalyConfig};
+use aftermath_core::{AnalysisSession, Threads};
+
+use crate::figures::Scale;
+use crate::zoom::zoom_builder;
+
+/// The measured ingest pipeline on one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestBench {
+    /// Total recorded events of the measured trace.
+    pub num_events: usize,
+    /// Seconds to `finish_with` the builder (sort + validate + columnar build).
+    pub build_seconds: f64,
+    /// Seconds to build every index shard (counter indexes + state pyramids).
+    pub prewarm_seconds: f64,
+    /// Seconds for one uncached anomaly scan with the default configuration
+    /// (median of 3).
+    pub detect_seconds: f64,
+    /// Findings of the measured anomaly scan (a plausibility anchor for the
+    /// record, not a gated value).
+    pub anomalies: usize,
+    /// Resident bytes of the columnar event storage.
+    pub resident_event_bytes: usize,
+    /// Bytes the same events would occupy in the array-of-structs layout.
+    pub aos_event_bytes: usize,
+}
+
+impl IngestBench {
+    /// Resident storage bytes per recorded event.
+    pub fn bytes_per_event(&self) -> f64 {
+        if self.num_events == 0 {
+            return 0.0;
+        }
+        self.resident_event_bytes as f64 / self.num_events as f64
+    }
+
+    /// Fraction of memory saved against the array-of-structs layout
+    /// (`0.3` = 30 % smaller).
+    pub fn memory_reduction(&self) -> f64 {
+        if self.aos_event_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.resident_event_bytes as f64 / self.aos_event_bytes as f64
+    }
+
+    /// Events per second through prewarm + detect (the gated analysis-throughput
+    /// number: the hot paths this storage engine exists for).
+    pub fn analyze_events_per_sec(&self) -> f64 {
+        self.num_events as f64 / (self.prewarm_seconds + self.detect_seconds).max(1e-12)
+    }
+
+    /// Events per second through the whole pipeline (build + prewarm + detect).
+    pub fn ingest_events_per_sec(&self) -> f64 {
+        self.num_events as f64
+            / (self.build_seconds + self.prewarm_seconds + self.detect_seconds).max(1e-12)
+    }
+
+    /// Serialises the record with the shared schema/git envelope (hand-rolled;
+    /// the workspace is offline and carries no JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&crate::record::json_preamble("ingest"));
+        s.push_str(&format!("  \"num_events\": {},\n", self.num_events));
+        s.push_str(&format!(
+            "  \"build_seconds\": {:.6},\n",
+            self.build_seconds
+        ));
+        s.push_str(&format!(
+            "  \"prewarm_seconds\": {:.6},\n",
+            self.prewarm_seconds
+        ));
+        s.push_str(&format!(
+            "  \"detect_seconds\": {:.6},\n",
+            self.detect_seconds
+        ));
+        s.push_str(&format!("  \"anomalies\": {},\n", self.anomalies));
+        s.push_str(&format!(
+            "  \"resident_event_bytes\": {},\n",
+            self.resident_event_bytes
+        ));
+        s.push_str(&format!(
+            "  \"aos_event_bytes\": {},\n",
+            self.aos_event_bytes
+        ));
+        s.push_str(&format!(
+            "  \"bytes_per_event\": {:.3},\n",
+            self.bytes_per_event()
+        ));
+        s.push_str(&format!(
+            "  \"memory_reduction\": {:.6},\n",
+            self.memory_reduction()
+        ));
+        s.push_str(&format!(
+            "  \"analyze_events_per_sec\": {:.1},\n",
+            self.analyze_events_per_sec()
+        ));
+        s.push_str(&format!(
+            "  \"ingest_events_per_sec\": {:.1}\n",
+            self.ingest_events_per_sec()
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn median_seconds(mut f: impl FnMut(), samples: usize) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Runs the ingest pipeline on the zoom-sweep trace at `scale`: build the trace on
+/// `threads`, prewarm every index shard, run one anomaly scan (bypassing the
+/// session's result cache so the scan itself is measured), and take the memory
+/// footprint of the columnar stores.
+pub fn run_ingest_bench(scale: Scale, threads: Threads) -> IngestBench {
+    let builder = zoom_builder(scale);
+    let t0 = Instant::now();
+    let trace = builder.finish_with(threads).expect("zoom trace validates");
+    let build_seconds = t0.elapsed().as_secs_f64();
+
+    let session = AnalysisSession::new(&trace);
+    let t1 = Instant::now();
+    session.prewarm(threads);
+    let prewarm_seconds = t1.elapsed().as_secs_f64();
+
+    let config = AnomalyConfig::default();
+    let mut anomalies = 0;
+    let detect_seconds = median_seconds(
+        || {
+            // The free function bypasses the session's per-config report cache, so
+            // every iteration measures a full scan over warm indexes.
+            let report = anomaly::detect_anomalies_with(&session, &config, threads)
+                .expect("anomaly scan succeeds");
+            anomalies = report.len();
+        },
+        3,
+    );
+
+    IngestBench {
+        num_events: trace.num_events(),
+        build_seconds,
+        prewarm_seconds,
+        detect_seconds,
+        anomalies,
+        resident_event_bytes: trace.resident_event_bytes(),
+        aos_event_bytes: trace.aos_event_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingest_bench_measures_and_serialises() {
+        let bench = run_ingest_bench(Scale::Test, Threads::single());
+        assert!(bench.num_events > 0);
+        assert!(bench.build_seconds > 0.0);
+        assert!(bench.prewarm_seconds > 0.0);
+        assert!(bench.resident_event_bytes > 0);
+        assert!(
+            bench.memory_reduction() >= 0.25,
+            "columnar storage must undercut the struct layout by >= 25 % \
+             (measured {:.1} %)",
+            bench.memory_reduction() * 100.0
+        );
+        let json = bench.to_json();
+        assert_eq!(
+            crate::record::json_string(&json, "bench").as_deref(),
+            Some("ingest")
+        );
+        assert_eq!(
+            crate::record::json_number(&json, "schema_version"),
+            Some(crate::record::BENCH_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(
+            crate::record::json_number(&json, "num_events"),
+            Some(bench.num_events as f64)
+        );
+        assert!(crate::record::json_number(&json, "analyze_events_per_sec").unwrap() > 0.0);
+        assert!(crate::record::json_number(&json, "bytes_per_event").unwrap() > 0.0);
+    }
+}

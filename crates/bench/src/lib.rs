@@ -15,6 +15,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod figures;
+pub mod ingest;
 pub mod kmeans_experiments;
 pub mod record;
 pub mod section6;

@@ -42,6 +42,15 @@ pub fn pairs_per_cpu(scale: Scale) -> usize {
 /// alternating stream of typed task executions and idle gaps, every task reading
 /// from one node and writing to the other so all six timeline modes are populated.
 pub fn zoom_trace(scale: Scale) -> Trace {
+    zoom_builder(scale)
+        .finish()
+        .expect("zoom trace must validate")
+}
+
+/// The un-finished builder behind [`zoom_trace`], so the ingest benchmark
+/// ([`crate::ingest`]) can time `finish_with` (sort + validate + columnarise)
+/// separately from event recording.
+pub fn zoom_builder(scale: Scale) -> TraceBuilder {
     let pairs = pairs_per_cpu(scale);
     let topo = MachineTopology::uniform(2, 2);
     let num_cpus = topo.num_cpus();
@@ -111,7 +120,7 @@ pub fn zoom_trace(scale: Scale) -> Trace {
             now += work + gap;
         }
     }
-    b.finish().expect("zoom trace must validate")
+    b
 }
 
 /// One measured frame: a `(zoom factor, timeline mode)` pair.
@@ -336,7 +345,7 @@ mod tests {
         assert_eq!(trace.topology().num_cpus(), 4);
         assert_eq!(trace.tasks().len(), 4 * pairs_per_cpu(Scale::Test));
         for pc in trace.per_cpu() {
-            assert_eq!(pc.states.len(), 2 * pairs_per_cpu(Scale::Test));
+            assert_eq!(pc.states().len(), 2 * pairs_per_cpu(Scale::Test));
         }
         assert!(!trace.accesses().is_empty());
     }

@@ -60,7 +60,7 @@ use crate::derived::state_concurrency;
 use crate::error::AnalysisError;
 use crate::numa::task_remote_fraction;
 use crate::session::AnalysisSession;
-use crate::stats::{median_of, robust_z_scores, state_fractions_per_cpu};
+use crate::stats::{median_of, robust_z_scores_into, state_fractions_per_cpu};
 
 /// The category of a detected anomaly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,16 +135,31 @@ pub struct AnomalyReport {
 }
 
 impl AnomalyReport {
-    /// Builds a report from raw findings: sorts by severity (descending, raw score as
-    /// tie-breaker) and keeps at most `max_anomalies`.
-    pub fn from_anomalies(mut anomalies: Vec<Anomaly>, max_anomalies: usize) -> Self {
-        anomalies.sort_by(|a, b| {
+    /// Builds a report from raw findings: ranks by severity (descending, raw score
+    /// as tie-breaker) and keeps at most `max_anomalies`.
+    ///
+    /// Ranking is one `sort_unstable` pass over a permutation of indices with the
+    /// accumulation order as the explicit tie-break — identical to the previous
+    /// stable record sort, but it moves 4-byte indices instead of ~200-byte
+    /// `Anomaly` records and then gathers only the `max_anomalies` survivors.
+    pub fn from_anomalies(anomalies: Vec<Anomaly>, max_anomalies: usize) -> Self {
+        debug_assert!(anomalies.len() <= u32::MAX as usize);
+        let mut order: Vec<u32> = (0..anomalies.len() as u32).collect();
+        order.sort_unstable_by(|&i, &j| {
+            let a = &anomalies[i as usize];
+            let b = &anomalies[j as usize];
             (b.severity, b.score)
                 .partial_cmp(&(a.severity, a.score))
                 .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| i.cmp(&j))
         });
-        anomalies.truncate(max_anomalies);
-        AnomalyReport { anomalies }
+        order.truncate(max_anomalies);
+        let mut slots: Vec<Option<Anomaly>> = anomalies.into_iter().map(Some).collect();
+        let ranked = order
+            .iter()
+            .map(|&i| slots[i as usize].take().expect("each index selected once"))
+            .collect();
+        AnomalyReport { anomalies: ranked }
     }
 
     /// All anomalies, most severe first.
@@ -441,7 +456,7 @@ impl Detector for NumaLocalityDetector {
 ///
 /// For every monotone counter and every task type with at least `min_samples`
 /// attributable tasks, per-task counter deltas are scored with a robust z-score
-/// (median/MAD, [`robust_z_scores`]); tasks beyond `k_mad` are flagged and merged into
+/// (median/MAD, [`crate::stats::robust_z_scores`]); tasks beyond `k_mad` are flagged and merged into
 /// time-clustered [`AnomalyKind::CounterOutlier`] anomalies.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CounterOutlierDetector {
@@ -466,6 +481,11 @@ impl Default for CounterOutlierDetector {
 impl CounterOutlierDetector {
     /// Scans one monotone counter against every task type; the per-counter unit of
     /// both the sequential and the parallel scan.
+    ///
+    /// The per-CPU sample views are resolved once up front (one map lookup per CPU
+    /// instead of one per task) and all scoring buffers live in a scratch that is
+    /// reused across the per-type loop, so the inner loop performs no allocation
+    /// on the no-findings path.
     fn detect_counter(
         &self,
         session: &AnalysisSession<'_>,
@@ -475,33 +495,46 @@ impl CounterOutlierDetector {
     ) -> Vec<Anomaly> {
         let trace = session.trace();
         let mut anomalies = Vec::new();
+        let samples_by_cpu: Vec<_> = trace
+            .topology()
+            .cpu_ids()
+            .map(|cpu| session.samples(cpu, desc.id))
+            .collect();
+        let mut scratch = OutlierScratch::default();
         for ty in trace.task_types() {
             let group = &tasks_by_type[ty.id.0 as usize];
-            let mut tasks: Vec<(&TaskInstance, f64)> = Vec::with_capacity(group.len());
+            scratch.tasks.clear();
             for &task in group {
-                if let Some(delta) = session.counter_delta(task, desc.id) {
-                    tasks.push((task, delta));
+                let samples = samples_by_cpu[task.cpu.0 as usize];
+                if let Some(delta) = crate::counters::counter_delta_for_task(samples, task) {
+                    scratch.tasks.push((task, delta));
                 }
             }
-            if tasks.len() < self.min_samples.max(2) {
+            if scratch.tasks.len() < self.min_samples.max(2) {
                 continue;
             }
-            let deltas: Vec<f64> = tasks.iter().map(|(_, d)| *d).collect();
-            let Some(z) = robust_z_scores(&deltas) else {
-                continue;
-            };
-            let median = median_of(&deltas).unwrap_or(0.0);
-            let mut flagged: Vec<(&TaskInstance, f64)> = tasks
-                .iter()
-                .zip(&z)
-                .filter(|(_, &z)| z.abs() > self.k_mad)
-                .map(|(&(t, _), &z)| (t, z))
-                .collect();
-            if flagged.is_empty() {
+            scratch.values.clear();
+            scratch.values.extend(scratch.tasks.iter().map(|(_, d)| *d));
+            if !robust_z_scores_into(&scratch.values, &mut scratch.z) {
                 continue;
             }
-            flagged.sort_by_key(|(t, _)| t.execution.start);
-            for cluster in cluster_by_time(&flagged, |(t, _)| t.execution, gap) {
+            scratch.flagged.clear();
+            scratch.flagged.extend(
+                scratch
+                    .tasks
+                    .iter()
+                    .zip(&scratch.z)
+                    .filter(|(_, &z)| z.abs() > self.k_mad)
+                    .map(|(&(t, _), &z)| (t, z)),
+            );
+            if scratch.flagged.is_empty() {
+                continue;
+            }
+            // Findings path: the median only appears in explanations, so its
+            // sorted-copy cost is paid per reported type, not per scanned type.
+            let median = median_of(&scratch.values).unwrap_or(0.0);
+            scratch.flagged.sort_by_key(|(t, _)| t.execution.start);
+            for cluster in cluster_by_time(&scratch.flagged, |(t, _)| t.execution, gap) {
                 let interval = hull_of(cluster.iter().map(|(t, _)| t.execution));
                 let peak = cluster.iter().map(|(_, z)| z.abs()).fold(0.0, f64::max);
                 anomalies.push(Anomaly {
@@ -525,6 +558,16 @@ impl CounterOutlierDetector {
         }
         anomalies
     }
+}
+
+/// Reusable scoring buffers of the statistics-heavy detectors: cleared and refilled
+/// per scanned group instead of reallocated.
+#[derive(Default)]
+struct OutlierScratch<'t> {
+    tasks: Vec<(&'t TaskInstance, f64)>,
+    values: Vec<f64>,
+    z: Vec<f64>,
+    flagged: Vec<(&'t TaskInstance, f64)>,
 }
 
 impl Detector for CounterOutlierDetector {
@@ -592,38 +635,46 @@ impl Default for DurationOutlierDetector {
 }
 
 impl DurationOutlierDetector {
-    /// Scores the durations of one task type; the per-type unit of both the
-    /// sequential and the parallel scan.
-    fn detect_type(
+    /// Scores the durations of one task type into `out`; the per-type unit of both
+    /// the sequential and the parallel scan. `scratch` is reused across types by
+    /// the sequential scan, so the inner loop allocates nothing on the
+    /// no-findings path.
+    fn detect_type<'t>(
         &self,
         ty: &aftermath_trace::TaskType,
-        tasks: &[&TaskInstance],
+        tasks: &[&'t TaskInstance],
         gap: u64,
-    ) -> Vec<Anomaly> {
-        let mut anomalies = Vec::new();
+        scratch: &mut OutlierScratch<'t>,
+        out: &mut Vec<Anomaly>,
+    ) {
         if tasks.len() < self.min_samples.max(2) {
-            return anomalies;
+            return;
         }
-        let durations: Vec<f64> = tasks.iter().map(|t| t.duration() as f64).collect();
-        let Some(z) = robust_z_scores(&durations) else {
-            return anomalies;
-        };
-        let median = median_of(&durations).unwrap_or(0.0);
-        let mut flagged: Vec<(&TaskInstance, f64)> = tasks
-            .iter()
-            .zip(&z)
-            .filter(|(_, &z)| z > self.k_mad || (self.detect_fast && z < -self.k_mad))
-            .map(|(&t, &z)| (t, z))
-            .collect();
-        if flagged.is_empty() {
-            return anomalies;
+        scratch.values.clear();
+        scratch
+            .values
+            .extend(tasks.iter().map(|t| t.duration() as f64));
+        if !robust_z_scores_into(&scratch.values, &mut scratch.z) {
+            return;
         }
-        flagged.sort_by_key(|(t, _)| t.execution.start);
-        for cluster in cluster_by_time(&flagged, |(t, _)| t.execution, gap) {
+        scratch.flagged.clear();
+        scratch.flagged.extend(
+            tasks
+                .iter()
+                .zip(&scratch.z)
+                .filter(|(_, &z)| z > self.k_mad || (self.detect_fast && z < -self.k_mad))
+                .map(|(&t, &z)| (t, z)),
+        );
+        if scratch.flagged.is_empty() {
+            return;
+        }
+        let median = median_of(&scratch.values).unwrap_or(0.0);
+        scratch.flagged.sort_by_key(|(t, _)| t.execution.start);
+        for cluster in cluster_by_time(&scratch.flagged, |(t, _)| t.execution, gap) {
             let interval = hull_of(cluster.iter().map(|(t, _)| t.execution));
             let peak = cluster.iter().map(|(_, z)| z.abs()).fold(0.0, f64::max);
             let worst = cluster.iter().map(|(t, _)| t.duration()).max().unwrap_or(0);
-            anomalies.push(Anomaly {
+            out.push(Anomaly {
                 kind: AnomalyKind::DurationOutlier,
                 interval,
                 cpus: distinct_cpus(cluster.iter().map(|(t, _)| t.cpu)),
@@ -641,7 +692,6 @@ impl DurationOutlierDetector {
                 ),
             });
         }
-        anomalies
     }
 }
 
@@ -651,7 +701,24 @@ impl Detector for DurationOutlierDetector {
     }
 
     fn detect(&self, session: &AnalysisSession<'_>) -> Result<Vec<Anomaly>, AnalysisError> {
-        self.detect_with(session, Threads::single())
+        // Sequential scan: one scratch and one findings buffer across every type.
+        let trace = session.trace();
+        let gap = self
+            .merge_gap_cycles
+            .unwrap_or_else(|| session.time_bounds().duration() / 64);
+        let tasks_by_type = group_tasks_by_type(trace);
+        let mut scratch = OutlierScratch::default();
+        let mut anomalies = Vec::new();
+        for ty in trace.task_types() {
+            self.detect_type(
+                ty,
+                &tasks_by_type[ty.id.0 as usize],
+                gap,
+                &mut scratch,
+                &mut anomalies,
+            );
+        }
+        Ok(anomalies)
     }
 
     fn detect_with(
@@ -659,16 +726,28 @@ impl Detector for DurationOutlierDetector {
         session: &AnalysisSession<'_>,
         threads: Threads,
     ) -> Result<Vec<Anomaly>, AnalysisError> {
+        if threads.is_single() {
+            return self.detect(session);
+        }
         let trace = session.trace();
         let gap = self
             .merge_gap_cycles
             .unwrap_or_else(|| session.time_bounds().duration() / 64);
         let tasks_by_type = group_tasks_by_type(trace);
-        // One parallel unit per task type; flattening in type order keeps the
-        // findings identical to the sequential scan.
+        // One parallel unit per task type (each with its own scratch); flattening
+        // in type order keeps the findings identical to the sequential scan.
         let types: Vec<_> = trace.task_types().iter().collect();
         let per_type = parallel_map(threads, &types, |ty| {
-            self.detect_type(ty, &tasks_by_type[ty.id.0 as usize], gap)
+            let mut scratch = OutlierScratch::default();
+            let mut out = Vec::new();
+            self.detect_type(
+                ty,
+                &tasks_by_type[ty.id.0 as usize],
+                gap,
+                &mut scratch,
+                &mut out,
+            );
+            out
         });
         Ok(per_type.into_iter().flatten().collect())
     }

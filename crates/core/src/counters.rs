@@ -6,7 +6,7 @@
 //! branch mispredictions, ...) incurred by that task — the quantity Aftermath exports
 //! for external statistical analysis and overlays on the heatmap in Figure 18.
 
-use aftermath_trace::{CounterId, CounterSample, TaskId, TaskInstance};
+use aftermath_trace::{CounterId, SamplesView, TaskId, TaskInstance};
 
 use crate::error::AnalysisError;
 use crate::filter::TaskFilter;
@@ -39,7 +39,7 @@ impl TaskCounterDelta {
 ///
 /// Returns `None` when no sample at or before the execution start exists (the counter
 /// was not being sampled yet).
-pub fn counter_delta_for_task(samples: &[CounterSample], task: &TaskInstance) -> Option<f64> {
+pub fn counter_delta_for_task(samples: SamplesView<'_>, task: &TaskInstance) -> Option<f64> {
     let before = value_at(samples, task.execution.start)?;
     let after = value_at(samples, task.execution.end)?;
     Some(after - before)

@@ -63,12 +63,15 @@ pub fn state_concurrency(
     validate_bins(bins, interval)?;
     let mut sums = vec![0.0f64; bins];
     let duration = interval.duration();
+    let wanted = state.index();
     for cpu in session.trace().topology().cpu_ids() {
-        for s in session.states_in(cpu, interval) {
-            if s.state != state {
+        // Column walk: the one-byte state lane gates the per-bin distribution.
+        let states = session.states_in(cpu, interval);
+        for i in 0..states.len() {
+            if states.state_index(i) != wanted {
                 continue;
             }
-            distribute_overlap(&mut sums, interval, duration, s.interval);
+            distribute_overlap(&mut sums, interval, duration, states.interval(i));
         }
     }
     let bin_width = (duration / bins as u64).max(1) as f64;

@@ -9,8 +9,13 @@
 //!   min/max queries for arbitrary intervals without scanning every sample
 //!   ([`CounterIndex`]), keeping its memory overhead at a few percent of the raw
 //!   sample data.
+//!
+//! All stream parameters are the zero-copy columnar views of
+//! [`aftermath_trace::columns`]: a binary search walks a bare `&[u64]` timestamp
+//! lane and an index build streams a bare `&[f64]` value lane, instead of striding
+//! over padded structs.
 
-use aftermath_trace::{CounterSample, StateInterval, TimeInterval, Timestamp};
+use aftermath_trace::{SamplesView, StatesView, TimeInterval, Timestamp};
 
 /// Default arity of the counter min/max search tree (the paper uses 100 to keep the
 /// index overhead below 5 % of the counter data).
@@ -20,7 +25,9 @@ pub const DEFAULT_INDEX_ARITY: usize = 100;
 /// `[interval.start, interval.end)`.
 ///
 /// `timestamp_of` extracts the timestamp from an element; the input **must** be sorted
-/// by that timestamp (per-core streams in a [`aftermath_trace::Trace`] always are).
+/// by that timestamp (the communication-event table of a trace always is). The
+/// columnar streams have their own slicing entry points ([`samples_in`],
+/// [`states_overlapping`]).
 pub fn point_events_in<T>(
     items: &[T],
     interval: TimeInterval,
@@ -31,49 +38,56 @@ pub fn point_events_in<T>(
     &items[start..end]
 }
 
-/// Returns the sub-slice of counter samples with timestamps in the interval.
-pub fn samples_in(samples: &[CounterSample], interval: TimeInterval) -> &[CounterSample] {
-    point_events_in(samples, interval, |s| s.timestamp)
+/// The samples of a timestamp-sorted stream inside `interval`, as an index range
+/// (two binary searches over the raw timestamp lane).
+fn sample_range(samples: SamplesView<'_>, interval: TimeInterval) -> (usize, usize) {
+    let ts = samples.timestamps();
+    let lo = ts.partition_point(|&t| t < interval.start.0);
+    let hi = ts.partition_point(|&t| t < interval.end.0);
+    (lo, hi)
+}
+
+/// Returns the sub-view of counter samples with timestamps in the interval.
+pub fn samples_in(samples: SamplesView<'_>, interval: TimeInterval) -> SamplesView<'_> {
+    let (lo, hi) = sample_range(samples, interval);
+    samples.slice(lo, hi)
 }
 
 /// The state intervals that overlap `interval`, as an index range `[first, last)`.
 ///
 /// The input must be sorted by interval start and non-overlapping (as guaranteed for
 /// per-core state streams). This is the single home of the overlap convention; the
-/// slice view ([`states_overlapping`]) and the aggregation pyramid
+/// view slicing ([`states_overlapping`]) and the aggregation pyramid
 /// ([`crate::pyramid`]) both resolve ranges through it.
-pub fn states_overlapping_range(
-    states: &[StateInterval],
-    interval: TimeInterval,
-) -> (usize, usize) {
+pub fn states_overlapping_range(states: StatesView<'_>, interval: TimeInterval) -> (usize, usize) {
     if states.is_empty() || interval.is_empty() {
         return (0, 0);
     }
     // First state that ends after the query start: since states are non-overlapping and
     // sorted by start, this is the first candidate.
-    let first = states.partition_point(|s| s.interval.end <= interval.start);
+    let first = states.ends().partition_point(|&e| e <= interval.start.0);
     // First state that starts at or after the query end: everything from there on is out.
-    let last = states.partition_point(|s| s.interval.start < interval.end);
+    let last = states.starts().partition_point(|&s| s < interval.end.0);
     (first.min(last), last)
 }
 
-/// Returns the sub-slice of state intervals that overlap `interval`
-/// ([`states_overlapping_range`] as a slice).
-pub fn states_overlapping(states: &[StateInterval], interval: TimeInterval) -> &[StateInterval] {
+/// Returns the sub-view of state intervals that overlap `interval`
+/// ([`states_overlapping_range`] as a view).
+pub fn states_overlapping(states: StatesView<'_>, interval: TimeInterval) -> StatesView<'_> {
     let (first, last) = states_overlapping_range(states, interval);
-    &states[first..last]
+    states.slice(first, last)
 }
 
 /// Index of the last sample taken at or before `t`, if any.
-pub fn last_sample_at_or_before(samples: &[CounterSample], t: Timestamp) -> Option<usize> {
-    let idx = samples.partition_point(|s| s.timestamp <= t);
+pub fn last_sample_at_or_before(samples: SamplesView<'_>, t: Timestamp) -> Option<usize> {
+    let idx = samples.timestamps().partition_point(|&s| s <= t.0);
     idx.checked_sub(1)
 }
 
 /// The value of a (step-interpolated) counter at time `t`: the value of the last sample
 /// taken at or before `t`.
-pub fn value_at(samples: &[CounterSample], t: Timestamp) -> Option<f64> {
-    last_sample_at_or_before(samples, t).map(|i| samples[i].value)
+pub fn value_at(samples: SamplesView<'_>, t: Timestamp) -> Option<f64> {
+    last_sample_at_or_before(samples, t).map(|i| samples.value(i))
 }
 
 /// One summary node of the [`CounterIndex`]: minimum, maximum and sum of the covered
@@ -120,7 +134,8 @@ impl CounterNode {
 /// every group of `arity` nodes), the minimum, maximum and sum of the sample values.
 /// Interval queries then only touch `O(arity · log_arity n)` nodes instead of every
 /// sample, which is what keeps counter rendering fast at low zoom levels (paper
-/// Section VI-B); the sums additionally answer average queries.
+/// Section VI-B); the sums additionally answer average queries. Builds and queries
+/// stream the raw value lane of the columnar store.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CounterIndex {
     arity: usize,
@@ -132,7 +147,7 @@ pub struct CounterIndex {
 
 impl CounterIndex {
     /// Builds an index with the default arity.
-    pub fn new(samples: &[CounterSample]) -> Self {
+    pub fn new(samples: SamplesView<'_>) -> Self {
         Self::with_arity(samples, DEFAULT_INDEX_ARITY)
     }
 
@@ -141,16 +156,17 @@ impl CounterIndex {
     /// # Panics
     ///
     /// Panics if `arity < 2`.
-    pub fn with_arity(samples: &[CounterSample], arity: usize) -> Self {
+    pub fn with_arity(samples: SamplesView<'_>, arity: usize) -> Self {
         assert!(arity >= 2, "counter index arity must be at least 2");
         let mut levels = Vec::new();
         if !samples.is_empty() {
             let mut current: Vec<CounterNode> = samples
+                .values()
                 .chunks(arity)
                 .map(|chunk| {
                     let mut node = CounterNode::EMPTY;
-                    for s in chunk {
-                        node.add_value(s.value);
+                    for &v in chunk {
+                        node.add_value(v);
                     }
                     node
                 })
@@ -193,7 +209,7 @@ impl CounterIndex {
     ///
     /// Panics when `old_len` disagrees with the indexed length or `samples` is
     /// shorter than `old_len`.
-    pub fn append_tail(&mut self, samples: &[CounterSample], old_len: usize) -> usize {
+    pub fn append_tail(&mut self, samples: SamplesView<'_>, old_len: usize) -> usize {
         assert_eq!(
             old_len, self.num_samples,
             "index must cover exactly the stream prefix"
@@ -213,13 +229,15 @@ impl CounterIndex {
             &mut self.levels,
             arity,
             old_len,
-            samples[first * arity..].chunks(arity).map(|chunk| {
-                let mut node = CounterNode::EMPTY;
-                for s in chunk {
-                    node.add_value(s.value);
-                }
-                node
-            }),
+            samples.values()[first * arity..]
+                .chunks(arity)
+                .map(|chunk| {
+                    let mut node = CounterNode::EMPTY;
+                    for &v in chunk {
+                        node.add_value(v);
+                    }
+                    node
+                }),
             |nodes| {
                 let mut node = CounterNode::EMPTY;
                 for n in nodes {
@@ -253,42 +271,42 @@ impl CounterIndex {
             .sum()
     }
 
-    /// Index overhead relative to the raw samples it summarises (e.g. `0.03` = 3 %).
+    /// Index overhead relative to the raw samples it summarises, with the
+    /// struct-equivalent sample size as the fixed denominator — the same
+    /// baseline the paper's "≤ 5 % of the counter data" budget uses, kept
+    /// layout-independent so the ratio stays comparable across storage engines
+    /// (e.g. `0.03` = 3 %).
     pub fn overhead_ratio(&self) -> f64 {
         if self.num_samples == 0 {
             return 0.0;
         }
         self.memory_bytes() as f64
-            / (self.num_samples * std::mem::size_of::<CounterSample>()) as f64
+            / (self.num_samples * std::mem::size_of::<aftermath_trace::CounterSample>()) as f64
     }
 
     /// Min/max/sum over the sample-index range `[lo, hi)`.
     ///
-    /// `samples` must be the same slice the index was built over. Returns `None` for an
-    /// empty range.
-    pub fn aggregate(
-        &self,
-        samples: &[CounterSample],
-        lo: usize,
-        hi: usize,
-    ) -> Option<CounterNode> {
+    /// `samples` must be the same stream the index was built over. Returns `None` for
+    /// an empty range.
+    pub fn aggregate(&self, samples: SamplesView<'_>, lo: usize, hi: usize) -> Option<CounterNode> {
         let hi = hi.min(self.num_samples);
         if lo >= hi {
             return None;
         }
         debug_assert_eq!(samples.len(), self.num_samples);
+        let values = samples.values();
         let mut agg = CounterNode::EMPTY;
         // Head: samples before the first fully covered level-0 node.
         let mut i = lo;
         while i < hi && !i.is_multiple_of(self.arity) {
-            agg.add_value(samples[i].value);
+            agg.add_value(values[i]);
             i += 1;
         }
         // Tail: samples after the last fully covered level-0 node.
         let mut j = hi;
         while j > i && !j.is_multiple_of(self.arity) {
             j -= 1;
-            agg.add_value(samples[j].value);
+            agg.add_value(values[j]);
         }
         // Middle: whole level-0 nodes [i/arity, j/arity).
         if i < j && !self.levels.is_empty() {
@@ -299,9 +317,9 @@ impl CounterIndex {
 
     /// Minimum and maximum sample value over the sample-index range `[lo, hi)`.
     ///
-    /// `samples` must be the same slice the index was built over. Returns `None` for an
-    /// empty range.
-    pub fn min_max(&self, samples: &[CounterSample], lo: usize, hi: usize) -> Option<(f64, f64)> {
+    /// `samples` must be the same stream the index was built over. Returns `None` for
+    /// an empty range.
+    pub fn min_max(&self, samples: SamplesView<'_>, lo: usize, hi: usize) -> Option<(f64, f64)> {
         // A range whose every value is NaN leaves the running min/max at their
         // empty-aggregate sentinels (f64::min/max skip NaN operands); report it as
         // "no usable extrema" rather than an infinite pair, like the pre-sum index.
@@ -314,7 +332,7 @@ impl CounterIndex {
     /// covered sample range first.
     pub fn min_max_in(
         &self,
-        samples: &[CounterSample],
+        samples: SamplesView<'_>,
         interval: TimeInterval,
     ) -> Option<(f64, f64)> {
         let (lo, hi) = sample_range(samples, interval);
@@ -324,7 +342,7 @@ impl CounterIndex {
     /// Sum and count of the samples inside the time interval.
     pub fn sum_count_in(
         &self,
-        samples: &[CounterSample],
+        samples: SamplesView<'_>,
         interval: TimeInterval,
     ) -> Option<(f64, usize)> {
         let (lo, hi) = sample_range(samples, interval);
@@ -338,7 +356,7 @@ impl CounterIndex {
     /// Unlike the integer aggregates of the state pyramid, floating-point summation
     /// is order-sensitive, so the result may differ from a left-to-right scan in the
     /// last bits.
-    pub fn average_in(&self, samples: &[CounterSample], interval: TimeInterval) -> Option<f64> {
+    pub fn average_in(&self, samples: SamplesView<'_>, interval: TimeInterval) -> Option<f64> {
         self.sum_count_in(samples, interval)
             .map(|(sum, count)| sum / count as f64)
     }
@@ -429,38 +447,36 @@ pub(crate) fn rebuild_spine<N>(
     rebuilt
 }
 
-/// The samples of a timestamp-sorted stream inside `interval`, as an index range.
-fn sample_range(samples: &[CounterSample], interval: TimeInterval) -> (usize, usize) {
-    let lo = samples.partition_point(|s| s.timestamp < interval.start);
-    let hi = samples.partition_point(|s| s.timestamp < interval.end);
-    (lo, hi)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aftermath_trace::{CounterId, CpuId};
+    use aftermath_trace::{CounterId, CounterSample, CpuId, SampleColumns, StateColumns};
 
     fn sample(ts: u64, v: f64) -> CounterSample {
         CounterSample::new(CounterId(0), CpuId(0), Timestamp(ts), v)
     }
 
-    fn make_samples(n: u64) -> Vec<CounterSample> {
+    fn make_samples(n: u64) -> SampleColumns {
         // A zig-zag series so min/max per range are non-trivial.
-        (0..n)
-            .map(|i| sample(i * 10, if i % 2 == 0 { i as f64 } else { -(i as f64) }))
-            .collect()
+        let mut columns = SampleColumns::new(CounterId(0), CpuId(0));
+        for i in 0..n {
+            columns.push(sample(
+                i * 10,
+                if i % 2 == 0 { i as f64 } else { -(i as f64) },
+            ));
+        }
+        columns
     }
 
-    fn naive_min_max(samples: &[CounterSample], lo: usize, hi: usize) -> Option<(f64, f64)> {
+    fn naive_min_max(samples: SamplesView<'_>, lo: usize, hi: usize) -> Option<(f64, f64)> {
         if lo >= hi {
             return None;
         }
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
-        for s in &samples[lo..hi] {
-            min = min.min(s.value);
-            max = max.max(s.value);
+        for &v in &samples.values()[lo..hi] {
+            min = min.min(v);
+            max = max.max(v);
         }
         Some((min, max))
     }
@@ -468,47 +484,51 @@ mod tests {
     #[test]
     fn point_events_slicing() {
         let samples = make_samples(100);
-        let sel = samples_in(&samples, TimeInterval::from_cycles(100, 300));
+        let sel = samples_in(samples.view(), TimeInterval::from_cycles(100, 300));
         assert_eq!(sel.len(), 20);
         assert_eq!(sel.first().unwrap().timestamp, Timestamp(100));
         assert_eq!(sel.last().unwrap().timestamp, Timestamp(290));
-        assert!(samples_in(&samples, TimeInterval::from_cycles(5000, 6000)).is_empty());
+        assert!(samples_in(samples.view(), TimeInterval::from_cycles(5000, 6000)).is_empty());
     }
 
     #[test]
     fn states_overlap_query() {
-        use aftermath_trace::WorkerState;
-        let states: Vec<StateInterval> = (0..10)
-            .map(|i| {
-                StateInterval::new(
-                    CpuId(0),
-                    WorkerState::Idle,
-                    TimeInterval::from_cycles(i * 100, i * 100 + 100),
-                    None,
-                )
-            })
-            .collect();
-        let sel = states_overlapping(&states, TimeInterval::from_cycles(150, 350));
+        use aftermath_trace::{StateInterval, WorkerState};
+        let mut states = StateColumns::new(CpuId(0));
+        for i in 0..10u64 {
+            states.push(StateInterval::new(
+                CpuId(0),
+                WorkerState::Idle,
+                TimeInterval::from_cycles(i * 100, i * 100 + 100),
+                None,
+            ));
+        }
+        let sel = states_overlapping(states.view(), TimeInterval::from_cycles(150, 350));
         assert_eq!(sel.len(), 3);
-        assert_eq!(sel[0].interval.start, Timestamp(100));
-        assert_eq!(sel[2].interval.start, Timestamp(300));
-        assert!(states_overlapping(&states, TimeInterval::from_cycles(2000, 3000)).is_empty());
-        assert!(states_overlapping(&states, TimeInterval::from_cycles(100, 100)).is_empty());
+        assert_eq!(sel.get(0).interval.start, Timestamp(100));
+        assert_eq!(sel.get(2).interval.start, Timestamp(300));
+        assert!(
+            states_overlapping(states.view(), TimeInterval::from_cycles(2000, 3000)).is_empty()
+        );
+        assert!(states_overlapping(states.view(), TimeInterval::from_cycles(100, 100)).is_empty());
     }
 
     #[test]
     fn value_at_steps() {
-        let samples = vec![sample(10, 1.0), sample(20, 2.0), sample(30, 3.0)];
-        assert_eq!(value_at(&samples, Timestamp(5)), None);
-        assert_eq!(value_at(&samples, Timestamp(10)), Some(1.0));
-        assert_eq!(value_at(&samples, Timestamp(25)), Some(2.0));
-        assert_eq!(value_at(&samples, Timestamp(99)), Some(3.0));
+        let mut samples = SampleColumns::new(CounterId(0), CpuId(0));
+        for s in [sample(10, 1.0), sample(20, 2.0), sample(30, 3.0)] {
+            samples.push(s);
+        }
+        assert_eq!(value_at(samples.view(), Timestamp(5)), None);
+        assert_eq!(value_at(samples.view(), Timestamp(10)), Some(1.0));
+        assert_eq!(value_at(samples.view(), Timestamp(25)), Some(2.0));
+        assert_eq!(value_at(samples.view(), Timestamp(99)), Some(3.0));
     }
 
     #[test]
     fn counter_index_matches_naive_scan() {
         let samples = make_samples(1000);
-        let index = CounterIndex::with_arity(&samples, 10);
+        let index = CounterIndex::with_arity(samples.view(), 10);
         for (lo, hi) in [
             (0, 1000),
             (5, 17),
@@ -518,8 +538,8 @@ mod tests {
             (500, 500),
         ] {
             assert_eq!(
-                index.min_max(&samples, lo, hi),
-                naive_min_max(&samples, lo, hi),
+                index.min_max(samples.view(), lo, hi),
+                naive_min_max(samples.view(), lo, hi),
                 "range {lo}..{hi}"
             );
         }
@@ -528,43 +548,45 @@ mod tests {
     #[test]
     fn counter_index_time_interval_query() {
         let samples = make_samples(1000);
-        let index = CounterIndex::new(&samples);
+        let index = CounterIndex::new(samples.view());
         let got = index
-            .min_max_in(&samples, TimeInterval::from_cycles(1000, 2000))
+            .min_max_in(samples.view(), TimeInterval::from_cycles(1000, 2000))
             .unwrap();
-        let naive = naive_min_max(&samples, 100, 200).unwrap();
+        let naive = naive_min_max(samples.view(), 100, 200).unwrap();
         assert_eq!(got, naive);
     }
 
     #[test]
     fn counter_index_empty_and_single() {
-        let index = CounterIndex::new(&[]);
-        assert_eq!(index.min_max(&[], 0, 10), None);
+        let empty = SampleColumns::new(CounterId(0), CpuId(0));
+        let index = CounterIndex::new(empty.view());
+        assert_eq!(index.min_max(empty.view(), 0, 10), None);
         assert_eq!(index.memory_bytes(), 0);
-        let one = vec![sample(0, 42.0)];
-        let index = CounterIndex::new(&one);
-        assert_eq!(index.min_max(&one, 0, 1), Some((42.0, 42.0)));
+        let mut one = SampleColumns::new(CounterId(0), CpuId(0));
+        one.push(sample(0, 42.0));
+        let index = CounterIndex::new(one.view());
+        assert_eq!(index.min_max(one.view(), 0, 1), Some((42.0, 42.0)));
     }
 
     #[test]
     fn counter_index_average_matches_naive_mean() {
         let samples = make_samples(1000);
-        let index = CounterIndex::with_arity(&samples, 7);
+        let index = CounterIndex::with_arity(samples.view(), 7);
         for iv in [
             TimeInterval::from_cycles(0, 10_000),
             TimeInterval::from_cycles(123, 4_567),
             TimeInterval::from_cycles(990, 1_010),
         ] {
-            let slice = samples_in(&samples, iv);
-            let naive = slice.iter().map(|s| s.value).sum::<f64>() / slice.len() as f64;
-            let got = index.average_in(&samples, iv).unwrap();
+            let slice = samples_in(samples.view(), iv);
+            let naive = slice.values().iter().sum::<f64>() / slice.len() as f64;
+            let got = index.average_in(samples.view(), iv).unwrap();
             assert!((got - naive).abs() < 1e-9, "{iv}: {got} vs {naive}");
-            let (sum, count) = index.sum_count_in(&samples, iv).unwrap();
+            let (sum, count) = index.sum_count_in(samples.view(), iv).unwrap();
             assert_eq!(count, slice.len());
             assert!((sum - naive * slice.len() as f64).abs() < 1e-9);
         }
         assert_eq!(
-            index.average_in(&samples, TimeInterval::from_cycles(100_000, 200_000)),
+            index.average_in(samples.view(), TimeInterval::from_cycles(100_000, 200_000)),
             None
         );
     }
@@ -572,7 +594,7 @@ mod tests {
     #[test]
     fn counter_index_overhead_is_small_with_default_arity() {
         let samples = make_samples(100_000);
-        let index = CounterIndex::new(&samples);
+        let index = CounterIndex::new(samples.view());
         assert!(
             index.overhead_ratio() < 0.05,
             "overhead {} should stay below 5 %",
@@ -583,7 +605,8 @@ mod tests {
     #[test]
     #[should_panic]
     fn arity_of_one_panics() {
-        let _ = CounterIndex::with_arity(&[], 1);
+        let empty = SampleColumns::new(CounterId(0), CpuId(0));
+        let _ = CounterIndex::with_arity(empty.view(), 1);
     }
 
     #[test]
@@ -591,9 +614,10 @@ mod tests {
         let samples = make_samples(500);
         for arity in [2, 3, 7, 100] {
             for old_len in [0, 1, 99, 100, 101, 250, 499, 500] {
-                let mut incremental = CounterIndex::with_arity(&samples[..old_len], arity);
-                incremental.append_tail(&samples, old_len);
-                let fresh = CounterIndex::with_arity(&samples, arity);
+                let mut incremental =
+                    CounterIndex::with_arity(samples.view().slice(0, old_len), arity);
+                incremental.append_tail(samples.view(), old_len);
+                let fresh = CounterIndex::with_arity(samples.view(), arity);
                 assert_eq!(incremental, fresh, "arity {arity}, split at {old_len}");
             }
         }
@@ -602,13 +626,17 @@ mod tests {
     #[test]
     fn append_tail_in_many_small_steps_equals_fresh_build() {
         let samples = make_samples(1000);
-        let mut index = CounterIndex::with_arity(&[], 7);
+        let empty = SampleColumns::new(CounterId(0), CpuId(0));
+        let mut index = CounterIndex::with_arity(empty.view(), 7);
         let mut len = 0;
         for step in [1usize, 2, 3, 5, 8, 13, 100, 868] {
             let next = (len + step).min(samples.len());
-            index.append_tail(&samples[..next], len);
+            index.append_tail(samples.view().slice(0, next), len);
             len = next;
-            assert_eq!(index, CounterIndex::with_arity(&samples[..len], 7));
+            assert_eq!(
+                index,
+                CounterIndex::with_arity(samples.view().slice(0, len), 7)
+            );
         }
         assert_eq!(len, samples.len());
     }
@@ -617,13 +645,13 @@ mod tests {
     fn append_tail_rebuilds_only_the_spine() {
         let samples = make_samples(50_000);
         let old_len = 49_500; // appending the last 1 %
-        let mut index = CounterIndex::new(&samples[..old_len]);
+        let mut index = CounterIndex::new(samples.view().slice(0, old_len));
         let total = index.num_nodes();
-        let rebuilt = index.append_tail(&samples, old_len);
+        let rebuilt = index.append_tail(samples.view(), old_len);
         assert!(
             rebuilt * 10 < total,
             "appending 1 % of the samples rebuilt {rebuilt} of {total} nodes"
         );
-        assert_eq!(index, CounterIndex::new(&samples));
+        assert_eq!(index, CounterIndex::new(samples.view()));
     }
 }

@@ -125,12 +125,12 @@ impl LiveSession {
         let mut cold = 0;
         for (cpu, pc) in trace.per_cpu().iter().enumerate() {
             let cpu = CpuId(cpu as u32);
-            if !pc.states.is_empty() {
-                let pyramid = StatePyramid::build(trace, &pc.states);
+            if !pc.states().is_empty() {
+                let pyramid = StatePyramid::build(trace, pc.states());
                 cold += pyramid.num_nodes();
                 live.pyramids.insert(cpu.0, Arc::new(pyramid));
             }
-            for (&counter, samples) in &pc.samples {
+            for (counter, samples) in pc.sample_streams() {
                 if !samples.is_empty() {
                     let index = CounterIndex::new(samples);
                     cold += index.num_nodes();
@@ -162,7 +162,12 @@ impl LiveSession {
         touched_pairs.dedup();
         let old_state_lens: Vec<usize> = touched_cpus
             .iter()
-            .map(|&cpu| self.stream.trace().cpu(cpu).map_or(0, |pc| pc.states.len()))
+            .map(|&cpu| {
+                self.stream
+                    .trace()
+                    .cpu(cpu)
+                    .map_or(0, |pc| pc.states().len())
+            })
             .collect();
         let old_sample_lens: Vec<usize> = touched_pairs
             .iter()
@@ -170,8 +175,8 @@ impl LiveSession {
                 self.stream
                     .trace()
                     .cpu(cpu)
-                    .and_then(|pc| pc.samples.get(&counter))
-                    .map_or(0, Vec::len)
+                    .and_then(|pc| pc.samples(counter))
+                    .map_or(0, |samples| samples.len())
             })
             .collect();
 
@@ -180,7 +185,7 @@ impl LiveSession {
         let trace = self.stream.trace();
         let mut nodes_rebuilt = 0;
         for (&cpu, &old_len) in touched_cpus.iter().zip(&old_state_lens) {
-            let states = &trace.cpu(cpu).expect("validated by append").states;
+            let states = trace.cpu(cpu).expect("validated by append").states();
             nodes_rebuilt += match self.pyramids.entry(cpu.0) {
                 std::collections::hash_map::Entry::Occupied(mut slot) => {
                     // Unique at this point: session views borrow `self`, so none can
@@ -198,7 +203,7 @@ impl LiveSession {
         for (&(cpu, counter), &old_len) in touched_pairs.iter().zip(&old_sample_lens) {
             let samples = trace
                 .cpu(cpu)
-                .and_then(|pc| pc.samples.get(&counter))
+                .and_then(|pc| pc.samples(counter))
                 .expect("validated by append");
             nodes_rebuilt += match self.indexes.entry((cpu, counter)) {
                 std::collections::hash_map::Entry::Occupied(mut slot) => {

@@ -29,15 +29,16 @@ pub fn bytes_per_node(
     kind: Option<AccessKind>,
 ) -> Vec<(NumaNodeId, u64)> {
     let mut bytes = vec![0u64; trace.topology().num_nodes()];
-    for access in trace.accesses_of_task(task) {
+    let accesses = trace.accesses_of_task(task);
+    for i in 0..accesses.len() {
         if let Some(k) = kind {
-            if access.kind != k {
+            if accesses.kind(i) != k {
                 continue;
             }
         }
-        if let Some(node) = trace.node_of_addr(access.addr) {
+        if let Some(node) = trace.node_of_addr(accesses.addr(i)) {
             if let Some(slot) = bytes.get_mut(node.0 as usize) {
-                *slot += access.size;
+                *slot += accesses.size(i);
             }
         }
     }
@@ -75,12 +76,13 @@ pub fn task_remote_fraction(trace: &Trace, task: &TaskInstance) -> Option<f64> {
     let my_node = trace.topology().node_of(task.cpu)?;
     let mut local = 0u64;
     let mut remote = 0u64;
-    for access in trace.accesses_of_task(task.id) {
-        if let Some(node) = trace.node_of_addr(access.addr) {
+    let accesses = trace.accesses_of_task(task.id);
+    for i in 0..accesses.len() {
+        if let Some(node) = trace.node_of_addr(accesses.addr(i)) {
             if node == my_node {
-                local += access.size;
+                local += accesses.size(i);
             } else {
-                remote += access.size;
+                remote += accesses.size(i);
             }
         }
     }
@@ -101,12 +103,13 @@ pub fn remote_access_fraction(session: &AnalysisSession<'_>, filter: &TaskFilter
         let Some(my_node) = trace.topology().node_of(task.cpu) else {
             continue;
         };
-        for access in trace.accesses_of_task(task.id) {
-            if let Some(node) = trace.node_of_addr(access.addr) {
+        let accesses = trace.accesses_of_task(task.id);
+        for i in 0..accesses.len() {
+            if let Some(node) = trace.node_of_addr(accesses.addr(i)) {
                 if node == my_node {
-                    local += access.size;
+                    local += accesses.size(i);
                 } else {
-                    remote += access.size;
+                    remote += accesses.size(i);
                 }
             }
         }

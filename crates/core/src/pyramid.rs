@@ -15,7 +15,9 @@
 //! * **min/max/count statistics** over the covered execution-interval durations.
 //!
 //! Interval queries then touch `O(fanout · log_fanout n)` nodes instead of every
-//! event.
+//! event. Builds and leaf scans walk the columnar stream views
+//! ([`aftermath_trace::columns`]) — a leaf visit reads the one-byte state lane and
+//! only dereferences the timestamp/task lanes for execution intervals.
 //!
 //! # Exactness
 //!
@@ -42,7 +44,7 @@
 use std::collections::BTreeMap;
 
 use aftermath_trace::{
-    AccessKind, NumaNodeId, StateInterval, TaskTypeId, TimeInterval, Trace, WorkerState,
+    AccessKind, NumaNodeId, StatesView, TaskTypeId, TimeInterval, Trace, WorkerState,
 };
 
 use crate::filter::TaskFilter;
@@ -110,17 +112,19 @@ struct NodeAccum {
 }
 
 impl NodeAccum {
-    fn add_interval(&mut self, trace: &Trace, s: &StateInterval) {
-        let duration = s.duration();
-        self.state_cycles[s.state.index()] += duration;
-        if s.state != WorkerState::TaskExecution {
+    /// Folds interval `i` of the columnar stream into the accumulator. Reads the
+    /// one-byte state lane first and touches the task lane only for executions.
+    fn add_interval(&mut self, trace: &Trace, states: StatesView<'_>, i: usize) {
+        let duration = states.duration(i);
+        self.state_cycles[states.state_index(i)] += duration;
+        if !states.is_exec(i) {
             return;
         }
         self.exec_count += 1;
         self.min_exec_cycles = Some(self.min_exec_cycles.map_or(duration, |m| m.min(duration)));
         self.max_exec_cycles = self.max_exec_cycles.max(duration);
-        let Some((idx, task)) = s
-            .task
+        let Some((idx, task)) = states
+            .task(i)
             .and_then(|id| trace.tasks().get(id.0 as usize).map(|t| (id.0 as usize, t)))
         else {
             return;
@@ -130,15 +134,16 @@ impl NodeAccum {
             self.best_candidate = Some((duration, idx));
         }
         *self.type_cycles.entry(task.task_type).or_insert(0) += duration;
-        for access in trace.accesses_of_task(task.id) {
-            let Some(node) = trace.node_of_addr(access.addr) else {
+        let accesses = trace.accesses_of_task(task.id);
+        for a in 0..accesses.len() {
+            let Some(node) = trace.node_of_addr(accesses.addr(a)) else {
                 continue;
             };
-            let map = match access.kind {
+            let map = match accesses.kind(a) {
                 AccessKind::Read => &mut self.node_read_bytes,
                 AccessKind::Write => &mut self.node_write_bytes,
             };
-            *map.entry(node).or_insert(0) += access.size;
+            *map.entry(node).or_insert(0) += accesses.size(a);
         }
     }
 
@@ -199,8 +204,8 @@ pub struct ExecStats {
 /// The multi-resolution summary pyramid over one CPU's state stream.
 ///
 /// Like [`crate::index::CounterIndex`], the pyramid does not own the stream it
-/// summarises: queries take the same `&[StateInterval]` slice the pyramid was built
-/// over (the session resolves it once per query).
+/// summarises: queries take the same [`StatesView`] the pyramid was built over (the
+/// session resolves it once per query).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatePyramid {
     fanout: usize,
@@ -212,7 +217,7 @@ pub struct StatePyramid {
 
 impl StatePyramid {
     /// Builds a pyramid with the default fanout.
-    pub fn build(trace: &Trace, states: &[StateInterval]) -> Self {
+    pub fn build(trace: &Trace, states: StatesView<'_>) -> Self {
         Self::with_fanout(trace, states, DEFAULT_PYRAMID_FANOUT)
     }
 
@@ -221,16 +226,17 @@ impl StatePyramid {
     /// # Panics
     ///
     /// Panics if `fanout < 2`.
-    pub fn with_fanout(trace: &Trace, states: &[StateInterval], fanout: usize) -> Self {
+    pub fn with_fanout(trace: &Trace, states: StatesView<'_>, fanout: usize) -> Self {
         assert!(fanout >= 2, "pyramid fanout must be at least 2");
         let mut levels = Vec::new();
         if !states.is_empty() {
-            let mut current: Vec<PyramidNode> = states
-                .chunks(fanout)
-                .map(|chunk| {
+            let n = states.len();
+            let mut current: Vec<PyramidNode> = (0..n)
+                .step_by(fanout)
+                .map(|chunk_start| {
                     let mut acc = NodeAccum::default();
-                    for s in chunk {
-                        acc.add_interval(trace, s);
+                    for i in chunk_start..(chunk_start + fanout).min(n) {
+                        acc.add_interval(trace, states, i);
                     }
                     acc.finish()
                 })
@@ -275,12 +281,7 @@ impl StatePyramid {
     ///
     /// Panics when `old_len` disagrees with the summarised length or `states` is
     /// shorter than `old_len`.
-    pub fn append_tail(
-        &mut self,
-        trace: &Trace,
-        states: &[StateInterval],
-        old_len: usize,
-    ) -> usize {
+    pub fn append_tail(&mut self, trace: &Trace, states: StatesView<'_>, old_len: usize) -> usize {
         assert_eq!(
             old_len, self.num_intervals,
             "pyramid must cover exactly the stream prefix"
@@ -296,14 +297,15 @@ impl StatePyramid {
         self.num_intervals = states.len();
         let fanout = self.fanout;
         let first = old_len / fanout;
+        let n = states.len();
         crate::index::rebuild_spine(
             &mut self.levels,
             fanout,
             old_len,
-            states[first * fanout..].chunks(fanout).map(|chunk| {
+            (first * fanout..n).step_by(fanout).map(|chunk_start| {
                 let mut acc = NodeAccum::default();
-                for s in chunk {
-                    acc.add_interval(trace, s);
+                for i in chunk_start..(chunk_start + fanout).min(n) {
+                    acc.add_interval(trace, states, i);
                 }
                 acc.finish()
             }),
@@ -349,18 +351,20 @@ impl StatePyramid {
     /// Folds every state interval in the index range `[lo, hi)` into `acc`, resolving
     /// fully covered groups through pyramid nodes.
     ///
-    /// `item` is invoked for raw intervals at the range edges (before the first and
-    /// after the last fully covered node), `node` for every summarising node. All
-    /// pyramid aggregates are order-independent sums, so the fold is exact.
+    /// `item` is invoked with the interval's **index** for raw intervals at the range
+    /// edges (before the first and after the last fully covered node), `node` for
+    /// every summarising node; callers read the columns they need through the view
+    /// they captured. All pyramid aggregates are order-independent sums, so the fold
+    /// is exact.
     ///
-    /// `states` must be the slice the pyramid was built over.
+    /// `states` must be the view the pyramid was built over.
     pub fn fold<A>(
         &self,
-        states: &[StateInterval],
+        states: StatesView<'_>,
         lo: usize,
         hi: usize,
         acc: &mut A,
-        item: &mut impl FnMut(&mut A, &StateInterval),
+        item: &mut impl FnMut(&mut A, usize),
         node: &mut impl FnMut(&mut A, &PyramidNode),
     ) {
         let hi = hi.min(self.num_intervals);
@@ -371,14 +375,14 @@ impl StatePyramid {
         // Head: intervals before the first fully covered level-0 node.
         let mut i = lo;
         while i < hi && !i.is_multiple_of(self.fanout) {
-            item(acc, &states[i]);
+            item(acc, i);
             i += 1;
         }
         // Tail: intervals after the last fully covered level-0 node.
         let mut j = hi;
         while j > i && !j.is_multiple_of(self.fanout) {
             j -= 1;
-            item(acc, &states[j]);
+            item(acc, j);
         }
         if i < j && !self.levels.is_empty() {
             self.fold_nodes(0, i / self.fanout, j / self.fanout, acc, node);
@@ -425,7 +429,7 @@ impl StatePyramid {
     /// Cycles per worker state over the intervals `[lo, hi)` (full durations).
     pub fn state_cycles(
         &self,
-        states: &[StateInterval],
+        states: StatesView<'_>,
         lo: usize,
         hi: usize,
     ) -> [u64; WorkerState::COUNT] {
@@ -435,7 +439,7 @@ impl StatePyramid {
             lo,
             hi,
             &mut cycles,
-            &mut |acc, s| acc[s.state.index()] += s.duration(),
+            &mut |acc, i| acc[states.state_index(i)] += states.duration(i),
             &mut |acc, n| {
                 for (a, &c) in acc.iter_mut().zip(&n.state_cycles) {
                     *a += c;
@@ -446,7 +450,7 @@ impl StatePyramid {
     }
 
     /// Execution-interval statistics over the intervals `[lo, hi)`.
-    pub fn exec_stats(&self, states: &[StateInterval], lo: usize, hi: usize) -> ExecStats {
+    pub fn exec_stats(&self, states: StatesView<'_>, lo: usize, hi: usize) -> ExecStats {
         #[derive(Default)]
         struct Acc {
             count: u64,
@@ -459,9 +463,9 @@ impl StatePyramid {
             lo,
             hi,
             &mut acc,
-            &mut |acc, s| {
-                if s.state == WorkerState::TaskExecution {
-                    let d = s.duration();
+            &mut |acc, i| {
+                if states.is_exec(i) {
+                    let d = states.duration(i);
                     acc.count += 1;
                     acc.min = Some(acc.min.map_or(d, |m| m.min(d)));
                     acc.max = acc.max.max(d);
@@ -490,7 +494,7 @@ impl StatePyramid {
     pub fn type_cycles(
         &self,
         trace: &Trace,
-        states: &[StateInterval],
+        states: StatesView<'_>,
         lo: usize,
         hi: usize,
     ) -> Vec<(TaskTypeId, u64)> {
@@ -500,7 +504,7 @@ impl StatePyramid {
             lo,
             hi,
             &mut acc,
-            &mut |acc, s| add_type_cycles(trace, s, s.duration(), acc),
+            &mut |acc, i| add_type_cycles(trace, states, i, states.duration(i), acc),
             &mut add_type_cycles_node,
         );
         acc.into_iter().collect()
@@ -511,7 +515,7 @@ impl StatePyramid {
     pub fn numa_bytes(
         &self,
         trace: &Trace,
-        states: &[StateInterval],
+        states: StatesView<'_>,
         lo: usize,
         hi: usize,
         kind: AccessKind,
@@ -522,19 +526,23 @@ impl StatePyramid {
             lo,
             hi,
             &mut acc,
-            &mut |acc, s| {
-                if s.state != WorkerState::TaskExecution {
+            &mut |acc, i| {
+                if !states.is_exec(i) {
                     return;
                 }
-                let Some(task) = s.task.and_then(|id| trace.tasks().get(id.0 as usize)) else {
+                let Some(task) = states
+                    .task(i)
+                    .and_then(|id| trace.tasks().get(id.0 as usize))
+                else {
                     return;
                 };
-                for access in trace.accesses_of_task(task.id) {
-                    if access.kind != kind {
+                let accesses = trace.accesses_of_task(task.id);
+                for a in 0..accesses.len() {
+                    if accesses.kind(a) != kind {
                         continue;
                     }
-                    if let Some(node) = trace.node_of_addr(access.addr) {
-                        *acc.entry(node).or_insert(0) += access.size;
+                    if let Some(node) = trace.node_of_addr(accesses.addr(a)) {
+                        *acc.entry(node).or_insert(0) += accesses.size(a);
                     }
                 }
             },
@@ -563,7 +571,7 @@ impl StatePyramid {
     pub fn best_exec(
         &self,
         trace: &Trace,
-        states: &[StateInterval],
+        states: StatesView<'_>,
         filter: &TaskFilter,
         lo: usize,
         hi: usize,
@@ -610,7 +618,7 @@ impl StatePyramid {
     fn best_exec_nodes(
         &self,
         trace: &Trace,
-        states: &[StateInterval],
+        states: StatesView<'_>,
         filter: &TaskFilter,
         unfiltered: bool,
         level: usize,
@@ -674,20 +682,23 @@ impl StatePyramid {
 }
 
 /// The leaf-level predominant-task predicate: identical to the timeline scan, with
-/// each interval's full duration as its covered cycles.
+/// each interval's full duration as its covered cycles. A pure column walk — the
+/// one-byte state lane gates everything else.
 fn best_exec_scan(
     trace: &Trace,
-    states: &[StateInterval],
+    states: StatesView<'_>,
     filter: &TaskFilter,
     lo: usize,
     hi: usize,
     best: &mut Option<(u64, usize)>,
 ) {
-    for s in &states[lo..hi] {
-        if s.state != WorkerState::TaskExecution {
+    for i in lo..hi {
+        if !states.is_exec(i) {
             continue;
         }
-        let Some(task_id) = s.task else { continue };
+        let Some(task_id) = states.task(i) else {
+            continue;
+        };
         let idx = task_id.0 as usize;
         let Some(task) = trace.tasks().get(idx) else {
             continue;
@@ -695,7 +706,7 @@ fn best_exec_scan(
         if !filter.matches(trace, task) {
             continue;
         }
-        let covered = s.duration();
+        let covered = states.duration(i);
         if covered == 0 {
             continue;
         }
@@ -715,6 +726,7 @@ pub use crate::index::states_overlapping_range as overlap_range;
 /// interval of the range can cross the window's edges, so those two go through
 /// `edge` (which must clip); everything between is fully contained and resolves
 /// through pyramid `node`s where available, or through `item` on the raw stream.
+/// `edge` and `item` receive interval **indices** into the stream view.
 ///
 /// Every window aggregate (state cycles, exec stats, per-type cycles, NUMA bytes)
 /// shares this skeleton so the subtle edge/middle arithmetic lives in exactly one
@@ -722,27 +734,27 @@ pub use crate::index::states_overlapping_range as overlap_range;
 #[allow(clippy::too_many_arguments)]
 pub fn fold_window<A>(
     pyramid: Option<&StatePyramid>,
-    states: &[StateInterval],
+    states: StatesView<'_>,
     first: usize,
     last: usize,
     acc: &mut A,
-    edge: &mut impl FnMut(&mut A, &StateInterval),
-    item: &mut impl FnMut(&mut A, &StateInterval),
+    edge: &mut impl FnMut(&mut A, usize),
+    item: &mut impl FnMut(&mut A, usize),
     node: &mut impl FnMut(&mut A, &PyramidNode),
 ) {
     if first >= last {
         return;
     }
-    edge(acc, &states[first]);
+    edge(acc, first);
     if last - first >= 2 {
-        edge(acc, &states[last - 1]);
+        edge(acc, last - 1);
     }
     if last - first > 2 {
         match pyramid {
             Some(p) => p.fold(states, first + 1, last - 1, acc, item, node),
             None => {
-                for s in &states[first + 1..last - 1] {
-                    item(acc, s);
+                for i in first + 1..last - 1 {
+                    item(acc, i);
                 }
             }
         }
@@ -756,7 +768,7 @@ pub fn fold_window<A>(
 /// scan otherwise; both produce bit-identical sums.
 pub fn state_cycles_in_range(
     pyramid: Option<&StatePyramid>,
-    states: &[StateInterval],
+    states: StatesView<'_>,
     interval: TimeInterval,
     first: usize,
     last: usize,
@@ -768,8 +780,8 @@ pub fn state_cycles_in_range(
         first,
         last,
         &mut cycles,
-        &mut |c, s| c[s.state.index()] += s.interval.overlap_cycles(&interval),
-        &mut |c, s| c[s.state.index()] += s.duration(),
+        &mut |c, i| c[states.state_index(i)] += states.interval(i).overlap_cycles(&interval),
+        &mut |c, i| c[states.state_index(i)] += states.duration(i),
         &mut |c, n| {
             for (acc, &v) in c.iter_mut().zip(&n.state_cycles) {
                 *acc += v;
@@ -784,14 +796,18 @@ pub fn state_cycles_in_range(
 /// execution intervals count towards type cycles.
 fn add_type_cycles(
     trace: &Trace,
-    s: &StateInterval,
+    states: StatesView<'_>,
+    i: usize,
     cycles: u64,
     acc: &mut BTreeMap<TaskTypeId, u64>,
 ) {
-    if s.state != WorkerState::TaskExecution {
+    if !states.is_exec(i) {
         return;
     }
-    if let Some(task) = s.task.and_then(|id| trace.tasks().get(id.0 as usize)) {
+    if let Some(task) = states
+        .task(i)
+        .and_then(|id| trace.tasks().get(id.0 as usize))
+    {
         *acc.entry(task.task_type).or_insert(0) += cycles;
     }
 }
@@ -808,7 +824,7 @@ fn add_type_cycles_node(acc: &mut BTreeMap<TaskTypeId, u64>, n: &PyramidNode) {
 pub fn type_cycles_in_range(
     pyramid: Option<&StatePyramid>,
     trace: &Trace,
-    states: &[StateInterval],
+    states: StatesView<'_>,
     interval: TimeInterval,
     first: usize,
     last: usize,
@@ -820,8 +836,16 @@ pub fn type_cycles_in_range(
         first,
         last,
         &mut acc,
-        &mut |acc, s| add_type_cycles(trace, s, s.interval.overlap_cycles(&interval), acc),
-        &mut |acc, s| add_type_cycles(trace, s, s.duration(), acc),
+        &mut |acc, i| {
+            add_type_cycles(
+                trace,
+                states,
+                i,
+                states.interval(i).overlap_cycles(&interval),
+                acc,
+            )
+        },
+        &mut |acc, i| add_type_cycles(trace, states, i, states.duration(i), acc),
         &mut add_type_cycles_node,
     );
     acc.into_iter().filter(|&(_, v)| v > 0).collect()
@@ -832,7 +856,7 @@ pub fn type_cycles_in_range(
 /// matches the timeline scan's `max_by_key`.
 pub fn predominant_state_in_range(
     pyramid: Option<&StatePyramid>,
-    states: &[StateInterval],
+    states: StatesView<'_>,
     interval: TimeInterval,
     first: usize,
     last: usize,
@@ -853,7 +877,7 @@ pub fn predominant_state_in_range(
 pub fn predominant_task_in_range(
     pyramid: Option<&StatePyramid>,
     trace: &Trace,
-    states: &[StateInterval],
+    states: StatesView<'_>,
     filter: &TaskFilter,
     interval: TimeInterval,
     first: usize,
@@ -863,11 +887,13 @@ pub fn predominant_task_in_range(
         return None;
     }
     let mut best: Option<(u64, usize)> = None;
-    let consider = |s: &StateInterval, best: &mut Option<(u64, usize)>| {
-        if s.state != WorkerState::TaskExecution {
+    let consider = |i: usize, best: &mut Option<(u64, usize)>| {
+        if !states.is_exec(i) {
             return;
         }
-        let Some(task_id) = s.task else { return };
+        let Some(task_id) = states.task(i) else {
+            return;
+        };
         let idx = task_id.0 as usize;
         let Some(task) = trace.tasks().get(idx) else {
             return;
@@ -875,7 +901,7 @@ pub fn predominant_task_in_range(
         if !filter.matches(trace, task) {
             return;
         }
-        let overlap = s.interval.overlap_cycles(&interval);
+        let overlap = states.interval(i).overlap_cycles(&interval);
         if overlap == 0 {
             return;
         }
@@ -883,7 +909,7 @@ pub fn predominant_task_in_range(
             *best = Some((overlap, idx));
         }
     };
-    consider(&states[first], &mut best);
+    consider(first, &mut best);
     if last - first > 2 {
         match pyramid {
             Some(p) => p.best_exec(trace, states, filter, first + 1, last - 1, &mut best),
@@ -891,7 +917,7 @@ pub fn predominant_task_in_range(
         }
     }
     if last - first >= 2 {
-        consider(&states[last - 1], &mut best);
+        consider(last - 1, &mut best);
     }
     best.map(|(_, idx)| idx)
 }
@@ -903,38 +929,42 @@ mod tests {
     use crate::testutil::small_sim_trace;
     use aftermath_trace::CpuId;
 
-    fn pyramid_for(trace: &Trace, cpu: CpuId, fanout: usize) -> (StatePyramid, Vec<StateInterval>) {
-        let states = trace.cpu(cpu).unwrap().states.clone();
-        (StatePyramid::with_fanout(trace, &states, fanout), states)
+    fn pyramid_for(trace: &Trace, cpu: CpuId, fanout: usize) -> StatePyramid {
+        StatePyramid::with_fanout(trace, trace.cpu(cpu).unwrap().states(), fanout)
+    }
+
+    fn states_of(trace: &Trace, cpu: CpuId) -> StatesView<'_> {
+        trace.cpu(cpu).unwrap().states()
     }
 
     #[test]
     fn state_cycles_match_naive_sums_for_all_ranges() {
         let trace = small_sim_trace();
-        let (pyramid, states) = pyramid_for(&trace, CpuId(0), 3);
+        let pyramid = pyramid_for(&trace, CpuId(0), 3);
+        let states = states_of(&trace, CpuId(0));
         let n = states.len();
         assert!(n > 10, "fixture must have a real stream");
         for (lo, hi) in [(0, n), (1, n - 1), (0, 1), (n - 1, n), (2, 7), (5, 5)] {
             let mut naive = [0u64; WorkerState::COUNT];
-            for s in &states[lo..hi] {
-                naive[s.state.index()] += s.duration();
+            for i in lo..hi {
+                naive[states.state_index(i)] += states.duration(i);
             }
-            assert_eq!(pyramid.state_cycles(&states, lo, hi), naive, "{lo}..{hi}");
+            assert_eq!(pyramid.state_cycles(states, lo, hi), naive, "{lo}..{hi}");
         }
     }
 
     #[test]
     fn exec_stats_match_naive() {
         let trace = small_sim_trace();
-        let (pyramid, states) = pyramid_for(&trace, CpuId(1), 4);
+        let pyramid = pyramid_for(&trace, CpuId(1), 4);
+        let states = states_of(&trace, CpuId(1));
         let n = states.len();
         for (lo, hi) in [(0, n), (3, n / 2), (0, 0)] {
-            let execs: Vec<u64> = states[lo..hi]
-                .iter()
-                .filter(|s| s.state == WorkerState::TaskExecution)
-                .map(|s| s.duration())
+            let execs: Vec<u64> = (lo..hi)
+                .filter(|&i| states.is_exec(i))
+                .map(|i| states.duration(i))
                 .collect();
-            let stats = pyramid.exec_stats(&states, lo, hi);
+            let stats = pyramid.exec_stats(states, lo, hi);
             assert_eq!(stats.count as usize, execs.len());
             assert_eq!(stats.min_cycles, execs.iter().copied().min().unwrap_or(0));
             assert_eq!(stats.max_cycles, execs.iter().copied().max().unwrap_or(0));
@@ -945,13 +975,14 @@ mod tests {
     fn best_exec_matches_scan_for_all_fanouts() {
         let trace = small_sim_trace();
         for fanout in [2, 3, 8, 64] {
-            let (pyramid, states) = pyramid_for(&trace, CpuId(0), fanout);
+            let pyramid = pyramid_for(&trace, CpuId(0), fanout);
+            let states = states_of(&trace, CpuId(0));
             let n = states.len();
             for (lo, hi) in [(0, n), (1, n - 2), (n / 3, 2 * n / 3)] {
                 let mut expected = None;
-                best_exec_scan(&trace, &states, &TaskFilter::new(), lo, hi, &mut expected);
+                best_exec_scan(&trace, states, &TaskFilter::new(), lo, hi, &mut expected);
                 let mut got = None;
-                pyramid.best_exec(&trace, &states, &TaskFilter::new(), lo, hi, &mut got);
+                pyramid.best_exec(&trace, states, &TaskFilter::new(), lo, hi, &mut got);
                 assert_eq!(got, expected, "fanout {fanout}, range {lo}..{hi}");
             }
         }
@@ -960,14 +991,15 @@ mod tests {
     #[test]
     fn best_exec_respects_type_filter() {
         let trace = small_sim_trace();
-        let (pyramid, states) = pyramid_for(&trace, CpuId(0), 4);
+        let pyramid = pyramid_for(&trace, CpuId(0), 4);
+        let states = states_of(&trace, CpuId(0));
         let ty = trace.task_types()[0].id;
         let filter = TaskFilter::new().with_task_type(ty);
         let n = states.len();
         let mut expected = None;
-        best_exec_scan(&trace, &states, &filter, 0, n, &mut expected);
+        best_exec_scan(&trace, states, &filter, 0, n, &mut expected);
         let mut got = None;
-        pyramid.best_exec(&trace, &states, &filter, 0, n, &mut got);
+        pyramid.best_exec(&trace, states, &filter, 0, n, &mut got);
         assert_eq!(got, expected);
         if let Some((_, idx)) = got {
             assert_eq!(trace.tasks()[idx].task_type, ty);
@@ -977,7 +1009,7 @@ mod tests {
     #[test]
     fn overlap_range_agrees_with_states_overlapping() {
         let trace = small_sim_trace();
-        let states = &trace.cpu(CpuId(0)).unwrap().states;
+        let states = states_of(&trace, CpuId(0));
         let bounds = trace.time_bounds();
         let mid = TimeInterval::from_cycles(
             bounds.start.0 + bounds.duration() / 4,
@@ -986,19 +1018,24 @@ mod tests {
         for iv in [bounds, mid, TimeInterval::from_cycles(0, 0)] {
             let (lo, hi) = overlap_range(states, iv);
             let slice = states_overlapping(states, iv);
-            assert_eq!(&states[lo..hi], slice, "{iv}");
+            assert_eq!(
+                states.slice(lo, hi).iter().collect::<Vec<_>>(),
+                slice.iter().collect::<Vec<_>>(),
+                "{iv}"
+            );
         }
     }
 
     #[test]
     fn empty_stream_yields_empty_pyramid() {
         let trace = small_sim_trace();
-        let pyramid = StatePyramid::build(&trace, &[]);
+        let empty = StatesView::empty(CpuId(0));
+        let pyramid = StatePyramid::build(&trace, empty);
         assert_eq!(pyramid.num_levels(), 0);
         assert_eq!(pyramid.memory_bytes(), 0);
-        assert_eq!(pyramid.state_cycles(&[], 0, 10), [0; WorkerState::COUNT]);
+        assert_eq!(pyramid.state_cycles(empty, 0, 10), [0; WorkerState::COUNT]);
         let mut best = None;
-        pyramid.best_exec(&trace, &[], &TaskFilter::new(), 0, 10, &mut best);
+        pyramid.best_exec(&trace, empty, &TaskFilter::new(), 0, 10, &mut best);
         assert_eq!(best, None);
     }
 
@@ -1006,20 +1043,21 @@ mod tests {
     #[should_panic]
     fn fanout_of_one_panics() {
         let trace = small_sim_trace();
-        let _ = StatePyramid::with_fanout(&trace, &[], 1);
+        let _ = StatePyramid::with_fanout(&trace, StatesView::empty(CpuId(0)), 1);
     }
 
     #[test]
     fn append_tail_equals_fresh_build_for_all_splits_and_fanouts() {
         let trace = small_sim_trace();
-        let states = trace.cpu(CpuId(0)).unwrap().states.clone();
+        let states = states_of(&trace, CpuId(0));
         let n = states.len();
         assert!(n > 10, "fixture must have a real stream");
         for fanout in [2, 3, 8, 64] {
             for old_len in [0, 1, n / 3, n / 2, n - 1, n] {
-                let mut incremental = StatePyramid::with_fanout(&trace, &states[..old_len], fanout);
-                incremental.append_tail(&trace, &states, old_len);
-                let fresh = StatePyramid::with_fanout(&trace, &states, fanout);
+                let mut incremental =
+                    StatePyramid::with_fanout(&trace, states.slice(0, old_len), fanout);
+                incremental.append_tail(&trace, states, old_len);
+                let fresh = StatePyramid::with_fanout(&trace, states, fanout);
                 assert_eq!(incremental, fresh, "fanout {fanout}, split at {old_len}");
             }
         }
@@ -1028,14 +1066,14 @@ mod tests {
     #[test]
     fn append_tail_in_many_small_steps_equals_fresh_build() {
         let trace = small_sim_trace();
-        let states = trace.cpu(CpuId(1)).unwrap().states.clone();
-        let mut pyramid = StatePyramid::with_fanout(&trace, &[], 3);
+        let states = states_of(&trace, CpuId(1));
+        let mut pyramid = StatePyramid::with_fanout(&trace, states.slice(0, 0), 3);
         let mut len = 0;
         while len < states.len() {
             let next = (len + 1 + len % 4).min(states.len());
-            pyramid.append_tail(&trace, &states[..next], len);
+            pyramid.append_tail(&trace, states.slice(0, next), len);
             len = next;
         }
-        assert_eq!(pyramid, StatePyramid::with_fanout(&trace, &states, 3));
+        assert_eq!(pyramid, StatePyramid::with_fanout(&trace, states, 3));
     }
 }

@@ -6,7 +6,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use aftermath_exec::{parallel_map, Threads};
 use aftermath_trace::{
-    AccessKind, CounterId, CounterSample, CpuId, NumaNodeId, StateInterval, TaskId, TaskInstance,
+    AccessKind, CounterId, CpuId, NumaNodeId, SamplesView, StatesView, TaskId, TaskInstance,
     TaskTypeId, TimeInterval, Timestamp, Trace, WorkerState,
 };
 
@@ -66,8 +66,6 @@ pub struct AnalysisSession<'t> {
     task_graph: OnceLock<TaskGraph>,
     anomaly_cache: AnomalyCacheHandle,
     timeline_cache: TimelineCacheHandle,
-    empty_states: Vec<StateInterval>,
-    empty_samples: Vec<CounterSample>,
 }
 
 /// Shared handle to an anomaly-report cache. Batch sessions own theirs exclusively;
@@ -195,10 +193,10 @@ impl<'t> AnalysisSession<'t> {
             .iter()
             .enumerate()
             .flat_map(|(cpu, pc)| {
-                pc.samples
-                    .iter()
+                pc.sample_streams()
                     .filter(|(_, samples)| !samples.is_empty())
-                    .map(move |(counter, _)| ((CpuId(cpu as u32), *counter), OnceLock::new()))
+                    .map(move |(counter, _)| ((CpuId(cpu as u32), counter), OnceLock::new()))
+                    .collect::<Vec<_>>()
             })
             .collect();
         let pyramids = trace.per_cpu().iter().map(|_| OnceLock::new()).collect();
@@ -209,8 +207,6 @@ impl<'t> AnalysisSession<'t> {
             task_graph: OnceLock::new(),
             anomaly_cache,
             timeline_cache,
-            empty_states: Vec::new(),
-            empty_samples: Vec::new(),
         }
     }
 
@@ -254,7 +250,7 @@ impl<'t> AnalysisSession<'t> {
         &self,
         cpu: CpuId,
         counter: CounterId,
-    ) -> Option<(&CounterIndex, &[CounterSample])> {
+    ) -> Option<(&CounterIndex, SamplesView<'t>)> {
         let slot = self.counter_shards.get(&(cpu, counter))?;
         let samples = self.samples(cpu, counter);
         debug_assert!(
@@ -327,26 +323,29 @@ impl<'t> AnalysisSession<'t> {
         self.trace.time_bounds()
     }
 
-    /// All state intervals of one CPU (empty for an unknown CPU).
-    pub fn states(&self, cpu: CpuId) -> &[StateInterval] {
+    /// All state intervals of one CPU as a zero-copy columnar view (empty for an
+    /// unknown CPU). Materialise single structs on demand via
+    /// [`StatesView::get`]/iteration, or the whole stream via
+    /// [`aftermath_trace::PerCpuEvents::states_vec`].
+    pub fn states(&self, cpu: CpuId) -> StatesView<'t> {
         self.trace
             .cpu(cpu)
-            .map(|pc| pc.states.as_slice())
-            .unwrap_or(&self.empty_states)
+            .map(|pc| pc.states())
+            .unwrap_or_else(|| StatesView::empty(cpu))
     }
 
     /// The state intervals of one CPU overlapping `interval`.
-    pub fn states_in(&self, cpu: CpuId, interval: TimeInterval) -> &[StateInterval] {
+    pub fn states_in(&self, cpu: CpuId, interval: TimeInterval) -> StatesView<'t> {
         states_overlapping(self.states(cpu), interval)
     }
 
-    /// All samples of one counter on one CPU (empty when missing).
-    pub fn samples(&self, cpu: CpuId, counter: CounterId) -> &[CounterSample] {
+    /// All samples of one counter on one CPU as a zero-copy columnar view (empty
+    /// when missing).
+    pub fn samples(&self, cpu: CpuId, counter: CounterId) -> SamplesView<'t> {
         self.trace
             .cpu(cpu)
-            .and_then(|pc| pc.samples.get(&counter))
-            .map(Vec::as_slice)
-            .unwrap_or(&self.empty_samples)
+            .and_then(|pc| pc.samples(counter))
+            .unwrap_or_else(|| SamplesView::empty(counter, cpu))
     }
 
     /// The samples of one counter on one CPU inside `interval`.
@@ -355,7 +354,7 @@ impl<'t> AnalysisSession<'t> {
         cpu: CpuId,
         counter: CounterId,
         interval: TimeInterval,
-    ) -> &[CounterSample] {
+    ) -> SamplesView<'t> {
         samples_in(self.samples(cpu, counter), interval)
     }
 
@@ -554,18 +553,17 @@ impl<'t> AnalysisSession<'t> {
             .sum()
     }
 
-    /// Ratio of index memory to raw counter-sample memory (the paper reports ≤ 5 %).
+    /// Ratio of index memory to raw counter-sample memory (the paper reports
+    /// ≤ 5 %). Like [`raw_event_bytes`](Self::raw_event_bytes), the denominator
+    /// is the struct-equivalent sample size, fixed across storage engines so the
+    /// ratio stays comparable with earlier (pre-columnar) measurements.
     pub fn index_overhead_ratio(&self) -> f64 {
-        let samples: usize = self
-            .trace
-            .per_cpu()
-            .iter()
-            .map(|pc| pc.samples.values().map(Vec::len).sum::<usize>())
-            .sum();
+        let samples: usize = self.trace.per_cpu().iter().map(|pc| pc.num_samples()).sum();
         if samples == 0 {
             return 0.0;
         }
-        self.index_memory_bytes() as f64 / (samples * std::mem::size_of::<CounterSample>()) as f64
+        self.index_memory_bytes() as f64
+            / (samples * std::mem::size_of::<aftermath_trace::CounterSample>()) as f64
     }
 
     /// Total memory used by the state pyramids built **so far**, in bytes.
@@ -580,26 +578,19 @@ impl<'t> AnalysisSession<'t> {
             .sum()
     }
 
-    /// Size of the raw recorded event data in bytes: per-CPU state intervals,
-    /// discrete events and counter samples, plus tasks, memory accesses and
-    /// communication events. The denominator of
-    /// [`pyramid_overhead_ratio`](Self::pyramid_overhead_ratio).
+    /// Size of the recorded event data in the pre-columnar array-of-structs layout
+    /// ([`Trace::aos_event_bytes`]): the fixed, layout-independent baseline the
+    /// pyramid overhead is measured against (so the ratio is comparable across
+    /// storage engines). See [`resident_trace_bytes`](Self::resident_trace_bytes)
+    /// for the memory the columnar store actually occupies.
     pub fn raw_event_bytes(&self) -> usize {
-        let trace = self.trace;
-        let per_cpu: usize = trace
-            .per_cpu()
-            .iter()
-            .map(|pc| {
-                pc.states.len() * std::mem::size_of::<StateInterval>()
-                    + std::mem::size_of_val(pc.events.as_slice())
-                    + pc.samples.values().map(Vec::len).sum::<usize>()
-                        * std::mem::size_of::<CounterSample>()
-            })
-            .sum();
-        per_cpu
-            + std::mem::size_of_val(trace.tasks())
-            + std::mem::size_of_val(trace.accesses())
-            + std::mem::size_of_val(trace.comm_events())
+        self.trace.aos_event_bytes()
+    }
+
+    /// Bytes of heap memory actually resident for the trace's event data in the
+    /// columnar storage engine ([`Trace::resident_event_bytes`]).
+    pub fn resident_trace_bytes(&self) -> usize {
+        self.trace.resident_event_bytes()
     }
 
     /// Ratio of pyramid memory (built so far) to the raw event data it summarises.
@@ -638,7 +629,7 @@ impl<'t> AnalysisSession<'t> {
         let mut bytes_written = 0;
         let mut read_nodes = Vec::new();
         let mut written_nodes = Vec::new();
-        for access in self.trace.accesses_of_task(task) {
+        for access in self.trace.accesses_of_task(task).iter() {
             let node = self.trace.node_of_addr(access.addr);
             match access.kind {
                 aftermath_trace::AccessKind::Read => {
@@ -707,7 +698,7 @@ impl<'s, 't> IntervalQuery<'s, 't> {
 
     /// The index range of `cpu`'s state intervals overlapping the window, plus the
     /// stream itself.
-    fn overlap(&self, cpu: CpuId) -> (&'s [StateInterval], usize, usize) {
+    fn overlap(&self, cpu: CpuId) -> (StatesView<'t>, usize, usize) {
         let states = self.session.states(cpu);
         let (first, last) = overlap_range(states, self.interval);
         (states, first, last)
@@ -955,12 +946,12 @@ mod tests {
         let expected_counters: usize = trace
             .per_cpu()
             .iter()
-            .map(|pc| pc.samples.values().filter(|s| !s.is_empty()).count())
+            .map(|pc| pc.sample_streams().filter(|(_, s)| !s.is_empty()).count())
             .sum();
         let expected_pyramids = trace
             .per_cpu()
             .iter()
-            .filter(|pc| !pc.states.is_empty())
+            .filter(|pc| !pc.states().is_empty())
             .count();
         let expected = expected_counters + expected_pyramids;
         for threads in [Threads::single(), Threads::new(2), Threads::auto()] {

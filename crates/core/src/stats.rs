@@ -166,11 +166,38 @@ pub const MEAN_AD_CONSISTENCY: f64 = 1.2533;
 /// constant values still scores very high, a moderate spread among mostly-identical
 /// values scores moderately, and fully identical inputs score a harmless all-zero.
 pub fn robust_z_scores(values: &[f64]) -> Option<Vec<f64>> {
-    let median = median_of(values)?;
-    let mad = mad_of(values, median)?;
+    let mut out = Vec::new();
+    robust_z_scores_into(values, &mut out).then_some(out)
+}
+
+/// [`robust_z_scores`] writing into a caller-provided buffer (cleared first), so
+/// scoring loops over many groups — the anomaly detectors score one group per
+/// (counter, task type) — reuse one allocation instead of allocating per group.
+/// `out` doubles as the sorting scratch, so a warm buffer makes the whole scoring
+/// pass allocation-free. Returns `false` (leaving `out` empty) only for an empty
+/// input.
+pub fn robust_z_scores_into(values: &[f64], out: &mut Vec<f64>) -> bool {
+    out.clear();
+    if values.is_empty() {
+        return false;
+    }
+    // Median: sort a copy of the values in `out`.
+    out.extend_from_slice(values);
+    out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = sorted_median(out);
+    // MAD: the deviations' multiset is order-independent, so the sorted copy can be
+    // rewritten in place and re-sorted.
+    for v in out.iter_mut() {
+        *v = (*v - median).abs();
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mad = sorted_median(out);
     let scale = if mad > 0.0 {
         mad * MAD_CONSISTENCY
     } else {
+        // Summed over `values` in input order — float addition is
+        // order-sensitive, and this fallback must stay bit-identical to the
+        // pre-scratch implementation (which never sorted the deviations here).
         let mean_ad = values.iter().map(|v| (v - median).abs()).sum::<f64>() / values.len() as f64;
         if mean_ad > 0.0 {
             mean_ad * MEAN_AD_CONSISTENCY
@@ -179,7 +206,19 @@ pub fn robust_z_scores(values: &[f64]) -> Option<Vec<f64>> {
             1.0
         }
     };
-    Some(values.iter().map(|v| (v - median) / scale).collect())
+    out.clear();
+    out.extend(values.iter().map(|v| (v - median) / scale));
+    true
+}
+
+/// Median of an already sorted, non-empty slice.
+fn sorted_median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
 }
 
 /// Histogram of the execution durations (in cycles) of the tasks accepted by `filter`
@@ -209,9 +248,10 @@ pub fn average_parallelism(session: &AnalysisSession<'_>, interval: TimeInterval
     }
     let mut busy = 0u64;
     for cpu in session.trace().topology().cpu_ids() {
-        for s in session.states_in(cpu, interval) {
-            if s.state == WorkerState::TaskExecution {
-                busy += s.interval.overlap_cycles(&interval);
+        let states = session.states_in(cpu, interval);
+        for i in 0..states.len() {
+            if states.is_exec(i) {
+                busy += states.interval(i).overlap_cycles(&interval);
             }
         }
     }
@@ -227,8 +267,9 @@ pub fn state_fractions(
 ) -> [f64; WorkerState::COUNT] {
     let mut cycles = [0u64; WorkerState::COUNT];
     for cpu in session.trace().topology().cpu_ids() {
-        for s in session.states_in(cpu, interval) {
-            cycles[s.state.index()] += s.interval.overlap_cycles(&interval);
+        let states = session.states_in(cpu, interval);
+        for i in 0..states.len() {
+            cycles[states.state_index(i)] += states.interval(i).overlap_cycles(&interval);
         }
     }
     let total: u64 = cycles.iter().sum();
@@ -253,8 +294,9 @@ pub fn state_fractions_per_cpu(
         .cpu_ids()
         .map(|cpu| {
             let mut cycles = [0u64; WorkerState::COUNT];
-            for s in session.states_in(cpu, interval) {
-                cycles[s.state.index()] += s.interval.overlap_cycles(&interval);
+            let states = session.states_in(cpu, interval);
+            for i in 0..states.len() {
+                cycles[states.state_index(i)] += states.interval(i).overlap_cycles(&interval);
             }
             let total: u64 = cycles.iter().sum();
             let mut fractions = [0.0; WorkerState::COUNT];

@@ -313,14 +313,16 @@ fn pyramid_row(
 }
 
 /// The worker state covering the largest part of the cell, if any (scan path).
+/// A pure column walk: the one-byte state lane and the two timestamp lanes.
 fn predominant_state_scan(
     session: &AnalysisSession<'_>,
     cpu: CpuId,
     cell_iv: TimeInterval,
 ) -> Option<WorkerState> {
     let mut cycles = [0u64; WorkerState::COUNT];
-    for s in states_overlapping(session.states(cpu), cell_iv) {
-        cycles[s.state.index()] += s.interval.overlap_cycles(&cell_iv);
+    let states = states_overlapping(session.states(cpu), cell_iv);
+    for i in 0..states.len() {
+        cycles[states.state_index(i)] += states.interval(i).overlap_cycles(&cell_iv);
     }
     cycles
         .iter()
@@ -332,6 +334,8 @@ fn predominant_state_scan(
 
 /// The index (into `trace.tasks()`) of the task-execution state covering the largest part
 /// of the cell on `cpu`, restricted to tasks accepted by `filter` (scan path).
+/// Column walk: the state lane gates everything, so non-execution intervals touch
+/// one byte each.
 fn predominant_task_scan(
     session: &AnalysisSession<'_>,
     cpu: CpuId,
@@ -340,11 +344,14 @@ fn predominant_task_scan(
 ) -> Option<usize> {
     let trace = session.trace();
     let mut best: Option<(u64, usize)> = None;
-    for s in states_overlapping(session.states(cpu), cell_iv) {
-        if s.state != WorkerState::TaskExecution {
+    let states = states_overlapping(session.states(cpu), cell_iv);
+    for i in 0..states.len() {
+        if !states.is_exec(i) {
             continue;
         }
-        let Some(task_id) = s.task else { continue };
+        let Some(task_id) = states.task(i) else {
+            continue;
+        };
         let idx = task_id.0 as usize;
         let Some(task) = trace.tasks().get(idx) else {
             continue;
@@ -352,7 +359,7 @@ fn predominant_task_scan(
         if !filter.matches(trace, task) {
             continue;
         }
-        let overlap = s.interval.overlap_cycles(&cell_iv);
+        let overlap = states.interval(i).overlap_cycles(&cell_iv);
         if overlap == 0 {
             continue;
         }

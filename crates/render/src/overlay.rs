@@ -103,11 +103,11 @@ impl CounterOverlay {
             return None;
         }
         let mut fb = Framebuffer::new(columns, self.height, Color::BLACK);
-        for pair in samples.windows(2) {
-            let x0 = column_of(interval, columns, pair[0].timestamp);
-            let x1 = column_of(interval, columns, pair[1].timestamp);
-            let y0 = self.value_to_y(pair[0].value, min, max);
-            let y1 = self.value_to_y(pair[1].value, min, max);
+        for i in 1..samples.len() {
+            let x0 = column_of(interval, columns, samples.timestamp(i - 1));
+            let x1 = column_of(interval, columns, samples.timestamp(i));
+            let y0 = self.value_to_y(samples.value(i - 1), min, max);
+            let y1 = self.value_to_y(samples.value(i), min, max);
             fb.draw_line(x0, y0, x1, y1, self.color);
         }
         Some(fb)

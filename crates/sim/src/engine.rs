@@ -692,7 +692,7 @@ mod tests {
             .trace
             .per_cpu()
             .iter()
-            .flat_map(|pc| &pc.states)
+            .flat_map(|pc| pc.states())
             .filter(|s| s.state == WorkerState::TaskExecution)
             .count();
         assert_eq!(exec_states, 10);
@@ -827,9 +827,9 @@ mod tests {
             .unwrap()
             .id;
         for pc in result.trace.per_cpu() {
-            if let Some(samples) = pc.samples.get(&ctr) {
-                for w in samples.windows(2) {
-                    assert!(w[1].value >= w[0].value);
+            if let Some(samples) = pc.samples(ctr) {
+                for w in samples.values().windows(2) {
+                    assert!(w[1] >= w[0]);
                 }
             }
         }
@@ -865,7 +865,7 @@ mod tests {
             .trace
             .per_cpu()
             .iter()
-            .all(|pc| pc.samples.values().all(Vec::is_empty)));
+            .all(|pc| pc.num_samples() == 0));
         // Duration-based analyses still possible: tasks are present.
         assert_eq!(result.trace.tasks().len(), 6);
     }

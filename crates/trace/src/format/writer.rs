@@ -161,14 +161,14 @@ fn encode_tasks(trace: &Trace) -> Result<Vec<u8>, TraceError> {
 }
 
 fn encode_states(trace: &Trace) -> Result<Vec<u8>, TraceError> {
-    let total: usize = trace.per_cpu().iter().map(|pc| pc.states.len()).sum();
+    let total: usize = trace.per_cpu().iter().map(|pc| pc.states().len()).sum();
     if total == 0 {
         return Ok(Vec::new());
     }
     let mut p = Vec::new();
     write_varint(&mut p, total as u64)?;
     for pc in trace.per_cpu() {
-        for s in &pc.states {
+        for s in pc.states() {
             write_varint(&mut p, u64::from(s.cpu.0))?;
             p.write_all(&[s.state as u8])?;
             write_varint(&mut p, s.interval.start.0)?;
@@ -186,14 +186,14 @@ fn encode_states(trace: &Trace) -> Result<Vec<u8>, TraceError> {
 }
 
 fn encode_events(trace: &Trace) -> Result<Vec<u8>, TraceError> {
-    let total: usize = trace.per_cpu().iter().map(|pc| pc.events.len()).sum();
+    let total: usize = trace.per_cpu().iter().map(|pc| pc.events().len()).sum();
     if total == 0 {
         return Ok(Vec::new());
     }
     let mut p = Vec::new();
     write_varint(&mut p, total as u64)?;
     for pc in trace.per_cpu() {
-        for e in &pc.events {
+        for e in pc.events().iter() {
             write_varint(&mut p, u64::from(e.cpu.0))?;
             write_varint(&mut p, e.timestamp.0)?;
             match e.kind {
@@ -239,19 +239,15 @@ fn encode_events(trace: &Trace) -> Result<Vec<u8>, TraceError> {
 }
 
 fn encode_samples(trace: &Trace) -> Result<Vec<u8>, TraceError> {
-    let total: usize = trace
-        .per_cpu()
-        .iter()
-        .map(|pc| pc.samples.values().map(Vec::len).sum::<usize>())
-        .sum();
+    let total: usize = trace.per_cpu().iter().map(|pc| pc.num_samples()).sum();
     if total == 0 {
         return Ok(Vec::new());
     }
     let mut p = Vec::new();
     write_varint(&mut p, total as u64)?;
     for pc in trace.per_cpu() {
-        for samples in pc.samples.values() {
-            for s in samples {
+        for (_, samples) in pc.sample_streams() {
+            for s in samples.iter() {
                 write_varint(&mut p, u64::from(s.counter.0))?;
                 write_varint(&mut p, u64::from(s.cpu.0))?;
                 write_varint(&mut p, s.timestamp.0)?;

@@ -23,6 +23,11 @@
 //! [`mod@format`]; every section is optional so that run-times may record only the events
 //! they can produce cheaply (the paper's "incremental approach").
 //!
+//! In memory, the hot event streams (state intervals, discrete events, counter
+//! samples, memory accesses) are stored **columnar** ([`mod@columns`]): parallel
+//! typed arrays with compact id widths, handed to consumers as zero-copy views
+//! that materialise the structs above on demand.
+//!
 //! ## Example
 //!
 //! ```rust
@@ -44,6 +49,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod annotations;
+pub mod columns;
 pub mod error;
 pub mod event;
 pub mod format;
@@ -57,6 +63,10 @@ pub mod topology;
 pub mod trace;
 
 pub use annotations::{Annotation, AnnotationSet};
+pub use columns::{
+    AccessColumns, AccessesView, EventColumns, EventsView, SampleColumns, SamplesView,
+    StateColumns, StatesView, TaskRefColumn, TaskRefView,
+};
 pub use error::TraceError;
 pub use event::{
     CommEvent, CommKind, CounterDescription, CounterSample, DiscreteEvent, DiscreteEventKind,

@@ -37,7 +37,7 @@
 use std::collections::HashMap;
 
 use crate::error::TraceError;
-use crate::event::{CommEvent, CounterSample, DiscreteEvent, DiscreteEventKind};
+use crate::event::{CommEvent, CounterSample, DiscreteEvent};
 use crate::ids::{CounterId, TaskId, TimeInterval, Timestamp};
 use crate::memory::MemoryAccess;
 use crate::state::StateInterval;
@@ -249,7 +249,7 @@ impl StreamingTrace {
             let tail = state_tail.entry(s.cpu.0).or_insert_with(|| {
                 trace
                     .cpu(s.cpu)
-                    .and_then(|pc| pc.states.last())
+                    .and_then(|pc| pc.states().last())
                     .map_or(Timestamp::ZERO, |last| last.interval.end)
             });
             if s.interval.start < *tail {
@@ -265,7 +265,7 @@ impl StreamingTrace {
             let tail = event_tail.entry(e.cpu.0).or_insert_with(|| {
                 trace
                     .cpu(e.cpu)
-                    .and_then(|pc| pc.events.last())
+                    .and_then(|pc| pc.events().last())
                     .map_or(Timestamp::ZERO, |last| last.timestamp)
             });
             if e.timestamp < *tail {
@@ -285,7 +285,7 @@ impl StreamingTrace {
             let tail = sample_tail.entry((s.cpu.0, s.counter)).or_insert_with(|| {
                 trace
                     .cpu(s.cpu)
-                    .and_then(|pc| pc.samples.get(&s.counter))
+                    .and_then(|pc| pc.samples(s.counter))
                     .and_then(|stream| stream.last())
                     .map_or(Timestamp::ZERO, |last| last.timestamp)
             });
@@ -346,19 +346,17 @@ impl StreamingTrace {
         let parts = self.trace.streaming_parts_mut();
         parts.tasks.extend(chunk.tasks);
         for s in chunk.states {
-            parts.per_cpu[s.cpu.0 as usize].states.push(s);
+            parts.per_cpu[s.cpu.0 as usize].push_state(s);
         }
         for e in chunk.events {
-            parts.per_cpu[e.cpu.0 as usize].events.push(e);
+            parts.per_cpu[e.cpu.0 as usize].push_event(e);
         }
         for s in chunk.samples {
-            parts.per_cpu[s.cpu.0 as usize]
-                .samples
-                .entry(s.counter)
-                .or_default()
-                .push(s);
+            parts.per_cpu[s.cpu.0 as usize].push_sample(s);
         }
-        parts.accesses.extend(chunk.accesses);
+        for a in chunk.accesses {
+            parts.accesses.push(a);
+        }
         parts.comm_events.extend(chunk.comm_events);
         self.epochs += 1;
         Ok(appended)
@@ -401,29 +399,11 @@ pub fn make_streamable(trace: &Trace) -> Trace {
     }
     *parts.tasks = tasks;
     for pc in parts.per_cpu.iter_mut() {
-        for s in &mut pc.states {
-            s.task = s.task.map(map);
-        }
-        for e in &mut pc.events {
-            match &mut e.kind {
-                DiscreteEventKind::TaskCreate { task }
-                | DiscreteEventKind::TaskReady { task }
-                | DiscreteEventKind::TaskComplete { task }
-                | DiscreteEventKind::StealSuccess { task, .. } => *task = map(*task),
-                DiscreteEventKind::DataPublish {
-                    producer, consumer, ..
-                } => {
-                    *producer = map(*producer);
-                    *consumer = map(*consumer);
-                }
-                DiscreteEventKind::StealAttempt { .. } | DiscreteEventKind::Marker { .. } => {}
-            }
-        }
+        pc.states.map_tasks(map);
+        pc.events.map_tasks(map);
     }
-    for a in parts.accesses.iter_mut() {
-        a.task = map(a.task);
-    }
-    parts.accesses.sort_by_key(|a| a.task);
+    parts.accesses.map_tasks(map);
+    parts.accesses.sort_by_task();
     for c in parts.comm_events.iter_mut() {
         c.task = c.task.map(map);
     }
@@ -508,10 +488,10 @@ pub fn split_at(
         // Accesses are a contiguous, task-sorted run per task.
         chunks[k]
             .accesses
-            .extend_from_slice(trace.accesses_of_task(t.id));
+            .extend(trace.accesses_of_task(t.id).iter());
     }
     for pc in trace.per_cpu() {
-        for s in &pc.states {
+        for s in pc.states() {
             let k = window_of(s.interval.start);
             // A state's referenced task must be ingested no later than the state
             // itself, or the replay would reject the chunk (UnknownTask).
@@ -524,14 +504,14 @@ pub fn split_at(
                     )));
                 }
             }
-            chunks[k].states.push(*s);
+            chunks[k].states.push(s);
         }
-        for e in &pc.events {
-            chunks[window_of(e.timestamp)].events.push(*e);
+        for e in pc.events().iter() {
+            chunks[window_of(e.timestamp)].events.push(e);
         }
-        for stream in pc.samples.values() {
-            for s in stream {
-                chunks[window_of(s.timestamp)].samples.push(*s);
+        for (_, stream) in pc.sample_streams() {
+            for s in stream.iter() {
+                chunks[window_of(s.timestamp)].samples.push(s);
             }
         }
     }
@@ -562,7 +542,7 @@ pub fn split_even(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::CommKind;
+    use crate::event::{CommKind, DiscreteEventKind};
     use crate::ids::{CpuId, NumaNodeId};
     use crate::memory::AccessKind;
     use crate::state::WorkerState;
@@ -650,7 +630,7 @@ mod tests {
         assert_eq!(streamable.tasks().len(), trace.tasks().len());
         // Every exec state still references a task with its own interval.
         for pc in streamable.per_cpu() {
-            for s in &pc.states {
+            for s in pc.states() {
                 if let Some(id) = s.task {
                     let t = streamable.task(id).expect("remapped id resolves");
                     assert_eq!(t.execution, s.interval);

@@ -4,6 +4,10 @@ use std::collections::{BTreeMap, HashMap};
 
 use aftermath_exec::{parallel_for_chunks, Threads};
 
+use crate::columns::{
+    AccessColumns, AccessesView, EventColumns, EventsView, SampleColumns, SamplesView,
+    StateColumns, StatesView,
+};
 use crate::error::TraceError;
 use crate::event::{
     CommEvent, CounterDescription, CounterSample, DiscreteEvent, DiscreteEventKind,
@@ -18,27 +22,158 @@ use crate::topology::MachineTopology;
 /// All events recorded for a single CPU/worker, each stream sorted by timestamp.
 ///
 /// This mirrors the paper's in-memory representation (Section VI-B-c): one array per
-/// event type per core, sorted by timestamp, so that the events of any time interval can
-/// be located with a binary search.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// event type per core, sorted by timestamp, so that the events of any time interval
+/// can be located with a binary search — stored **columnar** (struct-of-arrays,
+/// [`crate::columns`]) so hot analysis loops stream only the fields they touch.
+/// Struct-based access is available through the zero-copy views
+/// ([`PerCpuEvents::states`] materialises single [`StateInterval`]s on demand) and
+/// the materialising adapters ([`PerCpuEvents::states_vec`]).
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerCpuEvents {
-    /// State intervals of the worker, sorted by interval start, non-overlapping.
-    pub states: Vec<StateInterval>,
-    /// Discrete events, sorted by timestamp.
-    pub events: Vec<DiscreteEvent>,
-    /// Counter samples, per counter, each vector sorted by timestamp.
-    pub samples: BTreeMap<CounterId, Vec<CounterSample>>,
+    pub(crate) states: StateColumns,
+    pub(crate) events: EventColumns,
+    pub(crate) samples: BTreeMap<CounterId, SampleColumns>,
+    cpu: CpuId,
 }
 
 impl PerCpuEvents {
+    /// Creates empty streams for one CPU.
+    pub fn new(cpu: CpuId) -> Self {
+        PerCpuEvents {
+            states: StateColumns::new(cpu),
+            events: EventColumns::new(cpu),
+            samples: BTreeMap::new(),
+            cpu,
+        }
+    }
+
+    /// The CPU these streams belong to.
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// Zero-copy view of the state-interval stream (sorted by interval start,
+    /// non-overlapping).
+    #[inline]
+    pub fn states(&self) -> StatesView<'_> {
+        self.states.view()
+    }
+
+    /// Zero-copy view of the discrete-event stream (sorted by timestamp).
+    #[inline]
+    pub fn events(&self) -> EventsView<'_> {
+        self.events.view()
+    }
+
+    /// Zero-copy view of one counter's sample stream (sorted by timestamp), or
+    /// `None` when the counter has no samples on this CPU.
+    #[inline]
+    pub fn samples(&self, counter: CounterId) -> Option<SamplesView<'_>> {
+        self.samples.get(&counter).map(SampleColumns::view)
+    }
+
+    /// Iterates every `(counter, samples)` stream of this CPU, ascending by
+    /// counter id.
+    pub fn sample_streams(&self) -> impl Iterator<Item = (CounterId, SamplesView<'_>)> {
+        self.samples.iter().map(|(&c, s)| (c, s.view()))
+    }
+
+    /// Number of counters with at least one sample on this CPU.
+    pub fn num_sample_streams(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Total number of counter samples across all streams.
+    pub fn num_samples(&self) -> usize {
+        self.samples.values().map(SampleColumns::len).sum()
+    }
+
+    /// Materialising adapter: the state stream as owned structs.
+    pub fn states_vec(&self) -> Vec<StateInterval> {
+        self.states.to_vec()
+    }
+
+    /// Materialising adapter: the discrete-event stream as owned structs.
+    pub fn events_vec(&self) -> Vec<DiscreteEvent> {
+        self.events.to_vec()
+    }
+
+    /// Materialising adapter: one counter's samples as owned structs (empty for an
+    /// unsampled counter).
+    pub fn samples_vec(&self, counter: CounterId) -> Vec<CounterSample> {
+        self.samples
+            .get(&counter)
+            .map(SampleColumns::to_vec)
+            .unwrap_or_default()
+    }
+
+    /// Appends a state interval (crate-internal; callers uphold the stream
+    /// invariants or sort/validate afterwards).
+    pub(crate) fn push_state(&mut self, s: StateInterval) {
+        self.states.push(s);
+    }
+
+    /// Appends a discrete event (crate-internal).
+    pub(crate) fn push_event(&mut self, e: DiscreteEvent) {
+        self.events.push(e);
+    }
+
+    /// Appends a counter sample (crate-internal).
+    pub(crate) fn push_sample(&mut self, s: CounterSample) {
+        self.samples
+            .entry(s.counter)
+            .or_insert_with(|| SampleColumns::new(s.counter, s.cpu))
+            .push(s);
+    }
+
+    /// Sorts every stream by `(timestamp, insertion index)` — identical to the
+    /// stable timestamp sorts of the pre-columnar builder.
+    pub(crate) fn sort_streams(&mut self) {
+        self.states.sort_by_start();
+        self.events.sort_by_timestamp();
+        for samples in self.samples.values_mut() {
+            samples.sort_by_timestamp();
+        }
+    }
+
+    /// Releases push-growth capacity slack once a batch build is final, so the
+    /// reported [`memory_bytes`](Self::memory_bytes) (capacity-based) matches the
+    /// logical column sizes. Streaming traces keep their amortisation slack.
+    pub(crate) fn shrink_to_fit(&mut self) {
+        self.states.shrink_to_fit();
+        self.events.shrink_to_fit();
+        for samples in self.samples.values_mut() {
+            samples.shrink_to_fit();
+        }
+    }
+
     /// Total number of recorded items (states + events + samples).
     pub fn len(&self) -> usize {
-        self.states.len() + self.events.len() + self.samples.values().map(Vec::len).sum::<usize>()
+        self.states.len() + self.events.len() + self.num_samples()
     }
 
     /// Whether nothing was recorded for this CPU.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Bytes of heap storage actually used by the columnar streams.
+    pub fn memory_bytes(&self) -> usize {
+        self.states.memory_bytes()
+            + self.events.memory_bytes()
+            + self
+                .samples
+                .values()
+                .map(SampleColumns::memory_bytes)
+                .sum::<usize>()
+    }
+
+    /// Bytes the same streams would occupy as arrays of structs (the pre-columnar
+    /// layout) — the baseline of the storage-engine memory comparison.
+    pub fn aos_bytes(&self) -> usize {
+        self.states.len() * std::mem::size_of::<StateInterval>()
+            + self.events.len() * std::mem::size_of::<DiscreteEvent>()
+            + self.num_samples() * std::mem::size_of::<CounterSample>()
     }
 }
 
@@ -53,7 +188,7 @@ pub struct Trace {
     tasks: Vec<TaskInstance>,
     per_cpu: Vec<PerCpuEvents>,
     regions: Vec<MemoryRegion>,
-    accesses: Vec<MemoryAccess>,
+    accesses: AccessColumns,
     comm_events: Vec<CommEvent>,
     counters: Vec<CounterDescription>,
     /// Name → id lookup table, built once by [`TraceBuilder::finish`] so that
@@ -124,16 +259,20 @@ impl Trace {
         self.region_of_addr(addr).and_then(|r| r.node)
     }
 
-    /// All memory accesses, sorted by task id.
-    pub fn accesses(&self) -> &[MemoryAccess] {
-        &self.accesses
+    /// All memory accesses, sorted by task id (zero-copy columnar view).
+    pub fn accesses(&self) -> AccessesView<'_> {
+        self.accesses.view()
     }
 
-    /// The memory accesses performed by one task (a contiguous slice).
-    pub fn accesses_of_task(&self, task: TaskId) -> &[MemoryAccess] {
-        let start = self.accesses.partition_point(|a| a.task < task);
-        let end = self.accesses.partition_point(|a| a.task <= task);
-        &self.accesses[start..end]
+    /// The memory accesses performed by one task (a contiguous sub-view, located
+    /// by binary search over the task-id column).
+    pub fn accesses_of_task(&self, task: TaskId) -> AccessesView<'_> {
+        self.accesses.view().of_task(task)
+    }
+
+    /// Materialising adapter: the access table as owned structs.
+    pub fn accesses_vec(&self) -> Vec<MemoryAccess> {
+        self.accesses.to_vec()
     }
 
     /// All communication events, sorted by timestamp.
@@ -170,6 +309,31 @@ impl Trace {
             + self.comm_events.len()
     }
 
+    /// Bytes of heap storage actually resident for the recorded event data: the
+    /// per-CPU columnar streams plus the task, access and communication tables.
+    pub fn resident_event_bytes(&self) -> usize {
+        self.per_cpu
+            .iter()
+            .map(PerCpuEvents::memory_bytes)
+            .sum::<usize>()
+            + self.accesses.memory_bytes()
+            + std::mem::size_of_val(self.tasks.as_slice())
+            + std::mem::size_of_val(self.comm_events.as_slice())
+    }
+
+    /// Bytes the same event data would occupy in the pre-columnar array-of-structs
+    /// layout — the fixed baseline [`Trace::resident_event_bytes`] is compared
+    /// against by the storage benchmarks and the index-overhead ratios.
+    pub fn aos_event_bytes(&self) -> usize {
+        self.per_cpu
+            .iter()
+            .map(PerCpuEvents::aos_bytes)
+            .sum::<usize>()
+            + self.accesses.len() * std::mem::size_of::<MemoryAccess>()
+            + std::mem::size_of_val(self.tasks.as_slice())
+            + std::mem::size_of_val(self.comm_events.as_slice())
+    }
+
     /// The time interval spanned by the trace (from the earliest to the latest event).
     ///
     /// Returns an empty interval at time zero for a trace without any events.
@@ -189,27 +353,27 @@ impl Trace {
         let mut end = Timestamp::ZERO;
         let mut any = false;
         for pc in &self.per_cpu {
-            if let Some(first) = pc.states.first() {
-                start = start.min(first.interval.start);
+            let states = pc.states();
+            if let (Some(&first), Some(&last)) = (states.starts().first(), states.ends().last()) {
+                start = start.min(Timestamp(first));
+                end = end.max(Timestamp(last));
                 any = true;
             }
-            if let Some(last) = pc.states.last() {
-                end = end.max(last.interval.end);
-            }
-            if let Some(first) = pc.events.first() {
-                start = start.min(first.timestamp);
+            let events = pc.events();
+            if let (Some(&first), Some(&last)) =
+                (events.timestamps().first(), events.timestamps().last())
+            {
+                start = start.min(Timestamp(first));
+                end = end.max(Timestamp(last));
                 any = true;
             }
-            if let Some(last) = pc.events.last() {
-                end = end.max(last.timestamp);
-            }
-            for samples in pc.samples.values() {
-                if let Some(first) = samples.first() {
-                    start = start.min(first.timestamp);
+            for (_, samples) in pc.sample_streams() {
+                if let (Some(&first), Some(&last)) =
+                    (samples.timestamps().first(), samples.timestamps().last())
+                {
+                    start = start.min(Timestamp(first));
+                    end = end.max(Timestamp(last));
                     any = true;
-                }
-                if let Some(last) = samples.last() {
-                    end = end.max(last.timestamp);
                 }
             }
         }
@@ -245,7 +409,7 @@ impl Trace {
 pub(crate) struct StreamingPartsMut<'a> {
     pub(crate) tasks: &'a mut Vec<TaskInstance>,
     pub(crate) per_cpu: &'a mut Vec<PerCpuEvents>,
-    pub(crate) accesses: &'a mut Vec<MemoryAccess>,
+    pub(crate) accesses: &'a mut AccessColumns,
     pub(crate) comm_events: &'a mut Vec<CommEvent>,
 }
 
@@ -256,6 +420,12 @@ pub(crate) struct StreamingPartsMut<'a> {
 /// references). [`TraceBuilder::finish_strict`] additionally requires that events were
 /// added in timestamp order per CPU, mirroring the ordering requirement of the on-disk
 /// format.
+///
+/// The builder records straight into the columnar stores ([`crate::columns`]); the
+/// finishing sort is an unstable permutation sort keyed on `(timestamp, insertion
+/// index)` — a total order, so the result is identical to the stable timestamp sort
+/// of the pre-columnar builder while moving 8-byte column lanes instead of 40-byte
+/// structs.
 #[derive(Debug, Clone)]
 pub struct TraceBuilder {
     topology: MachineTopology,
@@ -263,7 +433,7 @@ pub struct TraceBuilder {
     tasks: Vec<TaskInstance>,
     per_cpu: Vec<PerCpuEvents>,
     regions: Vec<MemoryRegion>,
-    accesses: Vec<MemoryAccess>,
+    accesses: AccessColumns,
     comm_events: Vec<CommEvent>,
     counters: Vec<CounterDescription>,
     symbols: SymbolTable,
@@ -274,7 +444,7 @@ impl TraceBuilder {
     /// Creates a builder for a trace on the given machine.
     pub fn new(topology: MachineTopology) -> Self {
         let per_cpu = (0..topology.num_cpus())
-            .map(|_| PerCpuEvents::default())
+            .map(|cpu| PerCpuEvents::new(CpuId(cpu as u32)))
             .collect();
         TraceBuilder {
             topology,
@@ -282,7 +452,7 @@ impl TraceBuilder {
             tasks: Vec::new(),
             per_cpu,
             regions: Vec::new(),
-            accesses: Vec::new(),
+            accesses: AccessColumns::new(),
             comm_events: Vec::new(),
             counters: Vec::new(),
             symbols: SymbolTable::new(),
@@ -342,8 +512,11 @@ impl TraceBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::UnknownCpu`] for a CPU outside the topology and
-    /// [`TraceError::InvalidInterval`] when `end < start`.
+    /// Returns [`TraceError::UnknownCpu`] for a CPU outside the topology,
+    /// [`TraceError::InvalidInterval`] when `end < start`, and
+    /// [`TraceError::UnknownTask`] for the one unrepresentable task reference
+    /// `TaskId(u64::MAX)` (task ids are assigned densely, so it can never name a
+    /// real task; the biased task-id column cannot store it).
     pub fn add_state(
         &mut self,
         cpu: CpuId,
@@ -358,7 +531,10 @@ impl TraceBuilder {
         if end < start {
             return Err(TraceError::InvalidInterval { start, end });
         }
-        self.per_cpu[cpu.0 as usize].states.push(StateInterval::new(
+        if task == Some(TaskId(u64::MAX)) {
+            return Err(TraceError::UnknownTask(TaskId(u64::MAX)));
+        }
+        self.per_cpu[cpu.0 as usize].push_state(StateInterval::new(
             cpu,
             state,
             TimeInterval::new(start, end),
@@ -381,9 +557,7 @@ impl TraceBuilder {
         if !self.topology.contains_cpu(cpu) {
             return Err(TraceError::UnknownCpu(cpu));
         }
-        self.per_cpu[cpu.0 as usize]
-            .events
-            .push(DiscreteEvent::new(cpu, timestamp, kind));
+        self.per_cpu[cpu.0 as usize].push_event(DiscreteEvent::new(cpu, timestamp, kind));
         Ok(())
     }
 
@@ -411,10 +585,7 @@ impl TraceBuilder {
             return Err(TraceError::UnknownCpu(cpu));
         }
         self.per_cpu[cpu.0 as usize]
-            .samples
-            .entry(counter)
-            .or_default()
-            .push(CounterSample::new(counter, cpu, timestamp, value));
+            .push_sample(CounterSample::new(counter, cpu, timestamp, value));
         Ok(())
     }
 
@@ -486,6 +657,13 @@ impl TraceBuilder {
         self.tasks.len()
     }
 
+    /// Crate-internal test/seed hook mirroring the old public `tasks` field access:
+    /// registers a raw task instance without id maintenance.
+    #[cfg(test)]
+    pub(crate) fn push_raw_task(&mut self, task: TaskInstance) {
+        self.tasks.push(task);
+    }
+
     /// Validates references and intervals, sorts every stream, and produces the trace.
     ///
     /// # Errors
@@ -538,35 +716,40 @@ impl TraceBuilder {
 
         if strict {
             for pc in &self.per_cpu {
-                check_ordered(pc.states.iter().map(|s| (s.cpu, s.interval.start)))?;
-                check_ordered(pc.events.iter().map(|e| (e.cpu, e.timestamp)))?;
-                for samples in pc.samples.values() {
-                    check_ordered(samples.iter().map(|s| (s.cpu, s.timestamp)))?;
+                check_ordered(pc.cpu(), pc.states().starts())?;
+                check_ordered(pc.cpu(), pc.events().timestamps())?;
+                for (_, samples) in pc.sample_streams() {
+                    check_ordered(pc.cpu(), samples.timestamps())?;
                 }
             }
         }
 
         // Sort streams: each CPU's streams are independent, so they sort in parallel
-        // (one chunk per CPU). Sorting is per-stream deterministic, so the result does
-        // not depend on the thread count.
+        // (one chunk per CPU). The permutation sort is keyed on (timestamp, insertion
+        // index) — deterministic, so the result does not depend on the thread count.
+        // The build is final after this, so push-growth capacity slack is released
+        // (the resident-memory accounting is capacity-based).
         parallel_for_chunks(threads, &mut self.per_cpu, 1, |_, chunk| {
             for pc in chunk {
-                pc.states.sort_by_key(|s| s.interval.start);
-                pc.events.sort_by_key(|e| e.timestamp);
-                for samples in pc.samples.values_mut() {
-                    samples.sort_by_key(|s| s.timestamp);
-                }
+                pc.sort_streams();
+                pc.shrink_to_fit();
             }
         });
         self.regions.sort_by_key(|r| r.base_addr);
-        self.accesses.sort_by_key(|a| a.task);
+        self.accesses.sort_by_task();
+        self.accesses.shrink_to_fit();
         self.comm_events.sort_by_key(|c| c.timestamp);
+        self.tasks.shrink_to_fit();
+        self.comm_events.shrink_to_fit();
 
-        // Validate that state intervals on the same CPU do not overlap.
+        // Validate that state intervals on the same CPU do not overlap (a pure
+        // column walk: one pass over two u64 lanes).
         for pc in &self.per_cpu {
-            for pair in pc.states.windows(2) {
-                if pair[1].interval.start < pair[0].interval.end {
-                    return Err(TraceError::OverlappingStates(pair[0].cpu));
+            let states = pc.states();
+            let (starts, ends) = (states.starts(), states.ends());
+            for i in 1..starts.len() {
+                if starts[i] < ends[i - 1] {
+                    return Err(TraceError::OverlappingStates(pc.cpu()));
                 }
             }
         }
@@ -593,19 +776,15 @@ impl TraceBuilder {
     }
 }
 
-fn check_ordered(items: impl Iterator<Item = (CpuId, Timestamp)>) -> Result<(), TraceError> {
-    let mut prev: Option<(CpuId, Timestamp)> = None;
-    for (cpu, ts) in items {
-        if let Some((pcpu, pts)) = prev {
-            if ts < pts {
-                return Err(TraceError::UnorderedEvents {
-                    cpu: pcpu,
-                    previous: pts,
-                    offending: ts,
-                });
-            }
+fn check_ordered(cpu: CpuId, timestamps: &[u64]) -> Result<(), TraceError> {
+    for pair in timestamps.windows(2) {
+        if pair[1] < pair[0] {
+            return Err(TraceError::UnorderedEvents {
+                cpu,
+                previous: Timestamp(pair[0]),
+                offending: Timestamp(pair[1]),
+            });
         }
-        prev = Some((cpu, ts));
     }
     Ok(())
 }
@@ -701,7 +880,7 @@ mod tests {
     fn rejects_unknown_task_type() {
         let mut b = TraceBuilder::new(topo());
         // Register a task with a type id that was never created.
-        b.tasks.push(TaskInstance::new(
+        b.push_raw_task(TaskInstance::new(
             TaskId(0),
             TaskTypeId(7),
             CpuId(0),
@@ -710,6 +889,27 @@ mod tests {
             TimeInterval::from_cycles(0, 1),
         ));
         assert!(matches!(b.finish(), Err(TraceError::UnknownTaskType(_))));
+    }
+
+    #[test]
+    fn rejects_unrepresentable_task_reference() {
+        // Task ids are dense, so TaskId(u64::MAX) can never name a real task; the
+        // biased task-id column cannot store it, and the builder reports that as a
+        // recoverable error instead of panicking.
+        let mut b = TraceBuilder::new(topo());
+        let err = b
+            .add_state(
+                CpuId(0),
+                WorkerState::TaskExecution,
+                Timestamp(0),
+                Timestamp(1),
+                Some(TaskId(u64::MAX)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, TraceError::UnknownTask(TaskId(u64::MAX))));
+        // Querying the unrepresentable id is a plain empty result.
+        let trace = b.finish().unwrap();
+        assert_eq!(trace.accesses_of_task(TaskId(u64::MAX)).len(), 0);
     }
 
     #[test]
@@ -744,10 +944,11 @@ mod tests {
         b.add_sample(ctr, CpuId(1), Timestamp(30), 3.0).unwrap();
         b.add_sample(ctr, CpuId(1), Timestamp(10), 1.0).unwrap();
         let trace = b.finish().unwrap();
-        let states = &trace.cpu(CpuId(0)).unwrap().states;
-        assert!(states[0].interval.start < states[1].interval.start);
-        let samples = &trace.cpu(CpuId(1)).unwrap().samples[&ctr];
-        assert!(samples[0].timestamp < samples[1].timestamp);
+        let states = trace.cpu(CpuId(0)).unwrap().states();
+        assert!(states.start_cycles(0) < states.start_cycles(1));
+        let samples = trace.cpu(CpuId(1)).unwrap().samples(ctr).unwrap();
+        assert!(samples.timestamp(0) < samples.timestamp(1));
+        assert_eq!(samples.values(), &[1.0, 3.0]);
     }
 
     #[test]
@@ -838,6 +1039,93 @@ mod tests {
         let _second = b.add_counter("dup", false);
         let trace = b.finish().unwrap();
         assert_eq!(trace.counter_by_name("dup").unwrap().id, first);
+    }
+
+    #[test]
+    fn materializing_adapters_reproduce_structs() {
+        let mut b = TraceBuilder::new(topo());
+        let ty = b.add_task_type("w", 0);
+        let t = b.add_task(ty, CpuId(0), Timestamp(0), Timestamp(0), Timestamp(10));
+        b.add_state(
+            CpuId(0),
+            WorkerState::TaskExecution,
+            Timestamp(0),
+            Timestamp(10),
+            Some(t),
+        )
+        .unwrap();
+        b.add_event(
+            CpuId(0),
+            Timestamp(5),
+            DiscreteEventKind::TaskCreate { task: t },
+        )
+        .unwrap();
+        let ctr = b.add_counter("c", true);
+        b.add_sample(ctr, CpuId(0), Timestamp(3), 1.5).unwrap();
+        let trace = b.finish().unwrap();
+        let pc = trace.cpu(CpuId(0)).unwrap();
+        assert_eq!(
+            pc.states_vec(),
+            vec![StateInterval::new(
+                CpuId(0),
+                WorkerState::TaskExecution,
+                TimeInterval::from_cycles(0, 10),
+                Some(t)
+            )]
+        );
+        assert_eq!(
+            pc.events_vec(),
+            vec![DiscreteEvent::new(
+                CpuId(0),
+                Timestamp(5),
+                DiscreteEventKind::TaskCreate { task: t }
+            )]
+        );
+        assert_eq!(
+            pc.samples_vec(ctr),
+            vec![CounterSample::new(ctr, CpuId(0), Timestamp(3), 1.5)]
+        );
+        assert!(pc.samples_vec(CounterId(99)).is_empty());
+    }
+
+    #[test]
+    fn columnar_storage_is_smaller_than_struct_storage() {
+        // The shape of the zoom-sweep workload: per task one state interval, one
+        // counter sample and two memory accesses.
+        let mut b = TraceBuilder::new(topo());
+        let ty = b.add_task_type("w", 0);
+        let ctr = b.add_counter("c", true);
+        b.add_region(0x1000, 1 << 20, Some(NumaNodeId(0)));
+        for i in 0..1_000u64 {
+            let t = b.add_task(
+                ty,
+                CpuId(0),
+                Timestamp(i * 10),
+                Timestamp(i * 10),
+                Timestamp(i * 10 + 5),
+            );
+            b.add_state(
+                CpuId(0),
+                WorkerState::TaskExecution,
+                Timestamp(i * 10),
+                Timestamp(i * 10 + 5),
+                Some(t),
+            )
+            .unwrap();
+            b.add_sample(ctr, CpuId(0), Timestamp(i * 10), i as f64)
+                .unwrap();
+            b.add_access(t, AccessKind::Read, 0x1000 + i * 8, 64)
+                .unwrap();
+            b.add_access(t, AccessKind::Write, 0x1000 + i * 8, 32)
+                .unwrap();
+        }
+        let trace = b.finish().unwrap();
+        let resident = trace.resident_event_bytes();
+        let aos = trace.aos_event_bytes();
+        assert!(
+            (resident as f64) < 0.75 * aos as f64,
+            "columnar {resident} bytes must undercut the struct layout {aos} bytes by >= 25 %"
+        );
     }
 
     #[test]

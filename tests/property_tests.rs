@@ -8,7 +8,7 @@ use aftermath::trace::format::{read_trace, write_trace};
 use aftermath_core::index::{samples_in, CounterIndex};
 use aftermath_core::{AnalysisSession, Histogram, LinearRegression};
 use aftermath_render::ZoomState;
-use aftermath_trace::{CounterId, CounterSample};
+use aftermath_trace::{CounterId, CounterSample, SampleColumns};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
@@ -214,22 +214,21 @@ proptest! {
         arity in 2usize..64,
         range in (0usize..500, 0usize..500),
     ) {
-        let samples: Vec<CounterSample> = values
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| CounterSample::new(CounterId(0), CpuId(0), Timestamp(i as u64 * 7), v))
-            .collect();
-        let index = CounterIndex::with_arity(&samples, arity);
+        let mut samples = SampleColumns::new(CounterId(0), CpuId(0));
+        for (i, &v) in values.iter().enumerate() {
+            samples.push(CounterSample::new(CounterId(0), CpuId(0), Timestamp(i as u64 * 7), v));
+        }
+        let index = CounterIndex::with_arity(samples.view(), arity);
         let (lo, hi) = (range.0.min(range.1), range.0.max(range.1));
         let expected = if lo >= hi.min(samples.len()) {
             None
         } else {
-            let slice = &samples[lo..hi.min(samples.len())];
-            let min = slice.iter().map(|s| s.value).fold(f64::INFINITY, f64::min);
-            let max = slice.iter().map(|s| s.value).fold(f64::NEG_INFINITY, f64::max);
+            let slice = &samples.view().values()[lo..hi.min(samples.len())];
+            let min = slice.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = slice.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             Some((min, max))
         };
-        prop_assert_eq!(index.min_max(&samples, lo, hi), expected);
+        prop_assert_eq!(index.min_max(samples.view(), lo, hi), expected);
     }
 
     #[test]
@@ -239,17 +238,17 @@ proptest! {
     ) {
         let mut timestamps = timestamps;
         timestamps.sort_unstable();
-        let samples: Vec<CounterSample> = timestamps
-            .iter()
-            .map(|&t| CounterSample::new(CounterId(0), CpuId(0), Timestamp(t), t as f64))
-            .collect();
+        let mut samples = SampleColumns::new(CounterId(0), CpuId(0));
+        for &t in &timestamps {
+            samples.push(CounterSample::new(CounterId(0), CpuId(0), Timestamp(t), t as f64));
+        }
         let interval = TimeInterval::from_cycles(query.0.min(query.1), query.0.max(query.1));
-        let sliced = samples_in(&samples, interval);
-        let expected: Vec<_> = samples
+        let sliced = samples_in(samples.view(), interval);
+        let expected = timestamps
             .iter()
-            .filter(|s| interval.contains(s.timestamp))
-            .collect();
-        prop_assert_eq!(sliced.len(), expected.len());
+            .filter(|&&t| interval.contains(Timestamp(t)))
+            .count();
+        prop_assert_eq!(sliced.len(), expected);
     }
 }
 
