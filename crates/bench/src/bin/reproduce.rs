@@ -15,6 +15,7 @@ use std::path::PathBuf;
 use aftermath_bench::figures::{fmt_cycles, Scale};
 use aftermath_bench::ingest;
 use aftermath_bench::kmeans_experiments as km;
+use aftermath_bench::lint_demo;
 use aftermath_bench::record;
 use aftermath_bench::section6;
 use aftermath_bench::seidel_experiments::SeidelExperiment;
@@ -31,6 +32,9 @@ struct Options {
     json: bool,
     stream: bool,
     ingest: bool,
+    lint: bool,
+    trace_path: Option<PathBuf>,
+    write_fixture: Option<PathBuf>,
     targets: Vec<String>,
 }
 
@@ -59,6 +63,9 @@ fn parse_args() -> Options {
     let mut json = false;
     let mut stream = false;
     let mut ingest = false;
+    let mut lint = false;
+    let mut trace_path = None;
+    let mut write_fixture = None;
     let mut targets = Vec::new();
     while let Some(arg) = args.pop_front() {
         match arg.as_str() {
@@ -83,23 +90,38 @@ fn parse_args() -> Options {
             "--json" => json = true,
             "--stream" => stream = true,
             "--ingest" => ingest = true,
+            "--lint" => lint = true,
+            "--trace" => {
+                let value = args.pop_front().unwrap_or_default();
+                trace_path = Some(PathBuf::from(value));
+            }
+            "--write-fixture" => {
+                let value = args.pop_front().unwrap_or_default();
+                write_fixture = Some(PathBuf::from(value));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [--scale test|paper] [--out DIR] [--threads N|auto] [--json] [--stream] [--ingest] [FIGURE...]\n\
+                    "usage: reproduce [--scale test|paper] [--out DIR] [--threads N|auto] [--json] [--stream] [--ingest] [--lint] [FIGURE...]\n\
                      figures: fig3 fig5 fig8 fig9 fig10 fig12 fig13 fig14 fig15 fig16 fig19 sec6 all\n\
                      modes:   zoom-sweep  (scan-vs-pyramid frame times across zoom levels; not part of 'all')\n\
                      --stream replays the sec6 trace through the streaming ingest layer\n\
                      (per-epoch advance/frame latency; combine with 'sec6')\n\
                      --ingest measures the columnar ingest pipeline on the zoom trace\n\
                      (build / prewarm / detect throughput and bytes per event)\n\
-                     --json writes BENCH_<name>.json records for sec6, zoom-sweep, --stream and --ingest"
+                     --lint lints a trace (the built-in corrupted demo, or --trace FILE),\n\
+                     prints the per-code findings and repairs it\n\
+                     --trace FILE lints a serialized trace file instead of the demo\n\
+                     --write-fixture PATH writes the corrupted demo trace to PATH\n\
+                     --json writes BENCH_<name>.json records for sec6, zoom-sweep, --stream, --ingest and --lint"
                 );
                 std::process::exit(0);
             }
             other => targets.push(other.trim_start_matches("--").to_string()),
         }
     }
-    if targets.is_empty() {
+    // `--lint` / `--write-fixture` alone should not drag in the full figure
+    // run; explicit figure targets still compose with them.
+    if targets.is_empty() && !lint && write_fixture.is_none() {
         targets.push("all".to_string());
     }
     Options {
@@ -109,6 +131,9 @@ fn parse_args() -> Options {
         json,
         stream,
         ingest,
+        lint,
+        trace_path,
+        write_fixture,
         targets,
     }
 }
@@ -132,6 +157,18 @@ fn main() {
         "# Aftermath-rs figure reproduction (scale: {:?}, threads: {})",
         options.scale, options.threads
     );
+
+    if let Some(path) = &options.write_fixture {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create fixture directory");
+        }
+        aftermath_trace::format::write_trace_file(&lint_demo::corrupted_demo_trace(), path)
+            .expect("write corrupted fixture");
+        println!("# wrote corrupted fixture {}", path.display());
+    }
+    if options.lint {
+        lint_mode(&options);
+    }
 
     let run_seidel = SEIDEL_FIGS.iter().any(|f| wants(&options, f));
     let seidel = run_seidel.then(|| SeidelExperiment::run(options.scale));
@@ -193,6 +230,74 @@ fn main() {
     if options.ingest || options.targets.iter().any(|t| t == "ingest") {
         ingest_bench(&options);
     }
+}
+
+/// `--lint`: lints a trace (the built-in corrupted demo, or `--trace FILE`),
+/// prints the per-code findings, repairs it and re-lints the repaired trace.
+fn lint_mode(options: &Options) {
+    let (trace, source) = match &options.trace_path {
+        Some(path) => {
+            let trace = aftermath_trace::format::read_trace_file(path).unwrap_or_else(|e| {
+                eprintln!("cannot read trace {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            (trace, path.display().to_string())
+        }
+        None => (lint_demo::corrupted_demo_trace(), "demo".to_string()),
+    };
+    let report = trace.lint();
+    print_series_header(
+        &format!("Trace lint — validator findings for '{source}'"),
+        "code,count",
+    );
+    for (code, n) in report.summary().iter() {
+        println!("{code},{n}");
+    }
+    println!("total,{}", report.summary().total());
+    const MAX_SHOWN: usize = 20;
+    for f in report.findings().iter().take(MAX_SHOWN) {
+        println!("# {} @ {}: {}", f.code, f.event, f.detail);
+    }
+    if report.findings().len() > MAX_SHOWN {
+        println!(
+            "# ... {} more findings",
+            report.findings().len() - MAX_SHOWN
+        );
+    }
+    let repaired = trace.repair().unwrap_or_else(|e| {
+        eprintln!("repair failed: {e}");
+        std::process::exit(1);
+    });
+    let clean = repaired.trace().lint().is_clean();
+    println!(
+        "# repair: {} repairs applied, re-lint {}",
+        repaired.report().repairs().len(),
+        if clean { "clean" } else { "STILL DIRTY" }
+    );
+    options.write_json(
+        "lint",
+        &lint_json(&source, &report, repaired.report().repairs().len(), clean),
+    );
+}
+
+fn lint_json(
+    source: &str,
+    report: &aftermath_trace::LintReport,
+    repairs: usize,
+    repaired_clean: bool,
+) -> String {
+    let codes = report
+        .summary()
+        .iter()
+        .map(|(code, n)| format!("    \"{code}\": {n}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n{}  \"source\": \"{source}\",\n  \"findings\": {},\n  \"repairs\": {repairs},\n  \
+         \"repaired_clean\": {repaired_clean},\n  \"codes\": {{\n{codes}\n  }}\n}}\n",
+        record::json_preamble("lint"),
+        report.findings().len(),
+    )
 }
 
 fn ingest_bench(options: &Options) {

@@ -17,6 +17,7 @@
 pub mod figures;
 pub mod ingest;
 pub mod kmeans_experiments;
+pub mod lint_demo;
 pub mod record;
 pub mod section6;
 pub mod seidel_experiments;

@@ -1,0 +1,178 @@
+//! A deterministic corrupted demo trace for `reproduce --lint`.
+//!
+//! [`corrupted_demo_trace`] simulates a small fixed workload and then plants
+//! one instance of every lint defect class that survives
+//! `TraceBuilder::finish` (which sorts streams — healing timestamp skew — and
+//! rejects overlapping states outright):
+//!
+//! * `L002-unclosed-interval` — a state left open at `Timestamp::MAX`,
+//! * `L003-orphan-task-ref` — a state referencing an unregistered task,
+//! * `L005-counter-discontinuity` — a monotone counter that goes backwards,
+//! * `L006-numa-node-out-of-range` — a region placed on a node the machine
+//!   does not have.
+//!
+//! The result is a finished, serialisable [`Trace`] that the lint layer flags
+//! with exactly [`PLANTED_CODES`]; `crates/bench/fixtures/corrupted.trace` is
+//! this trace written through `aftermath_trace::format`, and a unit test keeps
+//! the committed bytes in sync with this generator.
+
+use aftermath_sim::spec::WorkloadSpec;
+use aftermath_sim::{SimConfig, Simulator};
+use aftermath_trace::{CpuId, LintCode, NumaNodeId, TaskId, Timestamp, Trace, WorkerState};
+
+/// The defect classes planted by [`corrupted_demo_trace`]: the demo trace
+/// lints to exactly one finding per code, in this (label) order.
+pub const PLANTED_CODES: [LintCode; 4] = [
+    LintCode::UnclosedInterval,
+    LintCode::OrphanTaskRef,
+    LintCode::CounterDiscontinuity,
+    LintCode::NumaNodeOutOfRange,
+];
+
+/// Path of the committed fixture, relative to the repository root.
+pub const FIXTURE_PATH: &str = "crates/bench/fixtures/corrupted.trace";
+
+fn base_trace() -> Trace {
+    let mut spec = WorkloadSpec::new("lint-demo");
+    let ty = spec.add_task_type("demo_work", 0x44_0000);
+    let mut outs = Vec::new();
+    for i in 0..12u64 {
+        let out = spec.add_region(8 * 1024);
+        let mut task = spec
+            .add_task(ty, 20_000 + 3_000 * i)
+            .writes(&[out])
+            .cache_misses(150 + 40 * i)
+            .mispredictions(30 + 10 * i);
+        // A light dependence chain keeps several workers busy while still
+        // exercising the scheduler.
+        if i >= 4 {
+            task = task.reads(&[outs[(i - 4) as usize]]);
+        }
+        task.done();
+        outs.push(out);
+    }
+    Simulator::new(SimConfig::small_test())
+        .run(&spec)
+        .expect("demo workload simulates")
+        .trace
+}
+
+/// Builds the corrupted demo trace: the deterministic base workload with one
+/// instance of each code in [`PLANTED_CODES`] planted on top.
+pub fn corrupted_demo_trace() -> Trace {
+    let trace = base_trace();
+    let horizon = trace.time_bounds().end.0 + 1_000;
+
+    // The discontinuity target: the first non-empty monotone counter stream in
+    // (cpu, counter) order — `BTreeMap` iteration makes this deterministic.
+    let (victim_cpu, victim_counter, last_value) = trace
+        .per_cpu()
+        .iter()
+        .flat_map(|pc| {
+            pc.sample_streams().map(move |(counter, samples)| {
+                (pc.cpu(), counter, samples.get(samples.len() - 1).value)
+            })
+        })
+        .find(|&(_, counter, value)| {
+            trace.counter(counter).is_some_and(|c| c.monotone) && value >= 1.0
+        })
+        .expect("the simulated base trace records monotone counter samples");
+
+    let next_region_base = trace
+        .regions()
+        .iter()
+        .map(|r| r.base_addr + r.size)
+        .max()
+        .unwrap_or(0)
+        + 0x1000;
+    let bogus_node = NumaNodeId(trace.topology().num_nodes() as u32 + 3);
+
+    let mut b = trace.to_builder();
+    // L002: a worker that never closed its last state. `finish` sorts streams
+    // by start, so a start past the horizon keeps this state last on its CPU
+    // and its `MAX` end overlaps nothing.
+    b.add_state(
+        CpuId(0),
+        WorkerState::Idle,
+        Timestamp(horizon),
+        Timestamp::MAX,
+        None,
+    )
+    .expect("plant unclosed interval");
+    // L003: an execution state referencing a task id no one registered.
+    b.add_state(
+        CpuId(1),
+        WorkerState::TaskExecution,
+        Timestamp(horizon),
+        Timestamp(horizon + 500),
+        Some(TaskId(0xDEAD)),
+    )
+    .expect("plant orphan task ref");
+    // L005: the monotone counter jumps backwards past the end of its stream.
+    b.add_sample(
+        victim_counter,
+        victim_cpu,
+        Timestamp(horizon),
+        (last_value - 1.0).max(0.0),
+    )
+    .expect("plant counter discontinuity");
+    // L006: a region on a NUMA node outside the recorded topology.
+    b.add_region(next_region_base, 4 * 1024, Some(bogus_node));
+
+    b.finish()
+        .expect("planted defects survive finish by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_trace_lints_to_exactly_the_planted_codes() {
+        let trace = corrupted_demo_trace();
+        let report = trace.lint();
+        let mut codes: Vec<LintCode> = report.findings().iter().map(|f| f.code).collect();
+        codes.sort_unstable();
+        assert_eq!(codes, PLANTED_CODES);
+    }
+
+    #[test]
+    fn demo_trace_repairs_clean() {
+        let repaired = corrupted_demo_trace().repair().unwrap();
+        assert_eq!(repaired.report().summary().total(), PLANTED_CODES.len());
+        assert!(!repaired.report().repairs().is_empty());
+        assert!(repaired.trace().lint().is_clean());
+    }
+
+    #[test]
+    fn demo_trace_round_trips_through_the_format_with_its_defects() {
+        let trace = corrupted_demo_trace();
+        let mut bytes = Vec::new();
+        aftermath_trace::format::write_trace(&trace, &mut bytes).unwrap();
+        let back = aftermath_trace::format::read_trace(&bytes[..]).unwrap();
+        assert_eq!(back.lint().summary(), trace.lint().summary());
+    }
+
+    #[test]
+    fn committed_fixture_is_in_sync_with_the_generator() {
+        // The fixture lives at the repo root; resolve it from the crate dir.
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(FIXTURE_PATH);
+        let committed = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); regenerate with \
+                 `cargo run --bin reproduce -- --write-fixture {}`",
+                path.display(),
+                FIXTURE_PATH
+            )
+        });
+        let mut expected = Vec::new();
+        aftermath_trace::format::write_trace(&corrupted_demo_trace(), &mut expected).unwrap();
+        assert_eq!(
+            committed, expected,
+            "fixture bytes drifted from the generator; regenerate with \
+             `cargo run --bin reproduce -- --write-fixture {FIXTURE_PATH}`"
+        );
+    }
+}

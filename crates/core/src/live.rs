@@ -49,7 +49,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use aftermath_trace::streaming::{StreamingTrace, TraceChunk};
-use aftermath_trace::{CounterId, CpuId, TimeInterval, Trace, TraceBuilder, TraceError};
+use aftermath_trace::{
+    CounterId, CpuId, LintMode, LintReport, LintSummary, TimeInterval, Trace, TraceBuilder,
+    TraceError,
+};
 
 use crate::anomaly::{AnomalyConfig, AnomalyReport};
 use crate::error::AnalysisError;
@@ -93,6 +96,9 @@ pub struct LiveSession {
     timeline_cache: TimelineCacheHandle,
     /// Total summary nodes rebuilt since the session opened (cold build included).
     total_nodes_rebuilt: u64,
+    /// Accumulated lint summary across all [`LiveSession::advance_lint`] calls;
+    /// `None` until the lint-aware ingest path is used.
+    lint: Option<LintSummary>,
 }
 
 impl LiveSession {
@@ -120,6 +126,7 @@ impl LiveSession {
             anomaly_cache: new_anomaly_cache(),
             timeline_cache: new_timeline_cache(),
             total_nodes_rebuilt: 0,
+            lint: None,
         };
         let trace = live.stream.trace();
         let mut cold = 0;
@@ -235,18 +242,161 @@ impl LiveSession {
         })
     }
 
+    /// Ingests one explicitly sequenced chunk through the lint pipeline
+    /// ([`StreamingTrace::append_lint`]) and absorbs whatever it appended into
+    /// the maintained indexes.
+    ///
+    /// Unlike [`advance`](LiveSession::advance), one call may append **zero**
+    /// chunks (a from-the-future chunk is buffered in lenient mode, a late
+    /// duplicate dropped) or **several** (a gap-filling chunk releases its
+    /// buffered successors), so the returned [`EpochStats`] describes the net
+    /// effect and `epoch` advances by the number of chunks actually applied.
+    /// The report's summary also accumulates into
+    /// [`lint_summary`](LiveSession::lint_summary), which every subsequent
+    /// session view carries.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamingTrace::append_lint`]; on error nothing changed.
+    pub fn advance_lint(
+        &mut self,
+        sequence: u64,
+        chunk: TraceChunk,
+        mode: LintMode,
+    ) -> Result<(EpochStats, LintReport), TraceError> {
+        let snapshot = self.snapshot();
+        let report = self.stream.append_lint(sequence, chunk, mode)?;
+        let stats = self.absorb_since(&snapshot);
+        self.lint
+            .get_or_insert_with(LintSummary::new)
+            .merge(report.summary());
+        Ok((stats, report))
+    }
+
+    /// Closes the lenient lint stream ([`StreamingTrace::close_lint`]): flushes
+    /// every buffered chunk, flags the sequence numbers that never arrived, and
+    /// absorbs the appended tail into the maintained indexes.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamingTrace::close_lint`].
+    pub fn close_lint(&mut self) -> Result<(EpochStats, LintReport), TraceError> {
+        let snapshot = self.snapshot();
+        let report = self.stream.close_lint()?;
+        let stats = self.absorb_since(&snapshot);
+        self.lint
+            .get_or_insert_with(LintSummary::new)
+            .merge(report.summary());
+        Ok((stats, report))
+    }
+
+    /// The lint summary accumulated over every
+    /// [`advance_lint`](LiveSession::advance_lint)/[`close_lint`](LiveSession::close_lint)
+    /// call, or `None` when the session only ever used the plain
+    /// [`advance`](LiveSession::advance) path.
+    pub fn lint_summary(&self) -> Option<&LintSummary> {
+        self.lint.as_ref()
+    }
+
+    /// Per-stream lengths before a lint-aware append, so the net growth — which
+    /// may span zero or several chunks — can be absorbed afterwards.
+    fn snapshot(&self) -> StreamSnapshot {
+        let trace = self.stream.trace();
+        let mut state_lens = Vec::with_capacity(trace.per_cpu().len());
+        let mut sample_lens = HashMap::new();
+        let mut item_count =
+            trace.tasks().len() + trace.accesses().len() + trace.comm_events().len();
+        for (cpu, pc) in trace.per_cpu().iter().enumerate() {
+            state_lens.push(pc.states().len());
+            item_count += pc.states().len() + pc.events().len();
+            for (counter, samples) in pc.sample_streams() {
+                sample_lens.insert((CpuId(cpu as u32), counter), samples.len());
+                item_count += samples.len();
+            }
+        }
+        StreamSnapshot {
+            state_lens,
+            sample_lens,
+            item_count,
+        }
+    }
+
+    /// Absorbs every stream that grew since `snapshot` into the maintained
+    /// indexes (spine rebuilds, exactly like [`advance`](LiveSession::advance))
+    /// and advances the epoch to the stream's accepted-chunk count.
+    fn absorb_since(&mut self, snapshot: &StreamSnapshot) -> EpochStats {
+        let trace = self.stream.trace();
+        let mut nodes_rebuilt = 0;
+        let mut item_count =
+            trace.tasks().len() + trace.accesses().len() + trace.comm_events().len();
+        for (cpu, pc) in trace.per_cpu().iter().enumerate() {
+            item_count += pc.states().len() + pc.events().len();
+            let old_len = snapshot.state_lens.get(cpu).copied().unwrap_or(0);
+            let states = pc.states();
+            if states.len() > old_len {
+                nodes_rebuilt += match self.pyramids.entry(cpu as u32) {
+                    std::collections::hash_map::Entry::Occupied(mut slot) => {
+                        Arc::make_mut(slot.get_mut()).append_tail(trace, states, old_len)
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        let pyramid = StatePyramid::build(trace, states);
+                        let nodes = pyramid.num_nodes();
+                        slot.insert(Arc::new(pyramid));
+                        nodes
+                    }
+                };
+            }
+            for (counter, samples) in pc.sample_streams() {
+                item_count += samples.len();
+                let key = (CpuId(cpu as u32), counter);
+                let old_len = snapshot.sample_lens.get(&key).copied().unwrap_or(0);
+                if samples.len() > old_len {
+                    nodes_rebuilt += match self.indexes.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(mut slot) => {
+                            Arc::make_mut(slot.get_mut()).append_tail(samples, old_len)
+                        }
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            let index = CounterIndex::new(samples);
+                            let nodes = index.num_nodes();
+                            slot.insert(Arc::new(index));
+                            nodes
+                        }
+                    };
+                }
+            }
+        }
+        let appended_items = item_count.saturating_sub(snapshot.item_count);
+        self.epoch = self.stream.epochs();
+        self.total_nodes_rebuilt += nodes_rebuilt as u64;
+        if appended_items > 0 {
+            self.anomaly_cache = new_anomaly_cache();
+            self.timeline_cache = new_timeline_cache();
+        }
+        EpochStats {
+            epoch: self.epoch,
+            appended_items,
+            nodes_rebuilt,
+        }
+    }
+
     /// Opens a warm [`AnalysisSession`] view of the current epoch: all maintained
     /// index shards are pre-seeded (nothing rebuilds lazily that the live session
     /// already has) and result caches are shared with every other view of this
-    /// epoch.
+    /// epoch. A session ingesting through
+    /// [`advance_lint`](LiveSession::advance_lint) hands its accumulated lint
+    /// summary to every view ([`AnalysisSession::lint_summary`]).
     pub fn session(&self) -> AnalysisSession<'_> {
-        AnalysisSession::with_prebuilt(
+        let session = AnalysisSession::with_prebuilt(
             self.stream.trace(),
             &self.indexes,
             &self.pyramids,
             Arc::clone(&self.anomaly_cache),
             Arc::clone(&self.timeline_cache),
-        )
+        );
+        match &self.lint {
+            Some(summary) => session.with_lint_summary(summary.clone()),
+            None => session,
+        }
     }
 
     /// The current epoch (number of accepted chunks).
@@ -333,6 +483,17 @@ impl LiveSession {
     ) -> Result<Arc<AnomalyReport>, AnalysisError> {
         self.session().detect_anomalies(config)
     }
+}
+
+/// Per-stream lengths (and the total item count) at one point in time; see
+/// [`LiveSession::snapshot`].
+struct StreamSnapshot {
+    /// States per CPU, indexed by CPU id.
+    state_lens: Vec<usize>,
+    /// Samples per `(CPU, counter)` pair.
+    sample_lens: HashMap<(CpuId, CounterId), usize>,
+    /// Total items across every stream.
+    item_count: usize,
 }
 
 #[cfg(test)]
@@ -471,5 +632,74 @@ mod tests {
         assert!(live.advance(bad).is_err());
         assert_eq!(live.epoch(), epoch);
         assert_eq!(live.num_index_nodes(), nodes);
+    }
+
+    #[test]
+    fn advance_lint_buffers_reordered_chunks_and_matches_batch() {
+        let (prologue, mut chunks, full) = replayable();
+        let mut live = LiveSession::new(prologue).unwrap();
+        assert!(
+            live.lint_summary().is_none(),
+            "plain sessions carry no lint"
+        );
+        // Deliver chunks 0, 2, 1, 3, 4, 5: the swap buffers chunk 2 (a zero-chunk
+        // epoch) and releases it when chunk 1 arrives (a two-chunk epoch).
+        chunks.swap(1, 2);
+        let sequences = [0u64, 2, 1, 3, 4, 5];
+        for (chunk, seq) in chunks.into_iter().zip(sequences) {
+            let (stats, _) = live
+                .advance_lint(seq, chunk, aftermath_trace::LintMode::Lenient)
+                .unwrap();
+            assert_eq!(stats.epoch, live.epoch());
+            if seq == 2 {
+                assert_eq!(stats.appended_items, 0, "future chunk only buffers");
+            }
+        }
+        assert_eq!(live.epoch(), 6);
+        assert_eq!(live.trace(), &full, "healed replay reproduces the trace");
+        let summary = live.lint_summary().expect("lint path records a summary");
+        assert_eq!(
+            summary.count(aftermath_trace::LintCode::ChunkSequence),
+            1,
+            "exactly the overtaken chunk is flagged"
+        );
+        // The view carries the summary, and its answers match a batch session.
+        let view = live.session();
+        assert_eq!(view.lint_summary(), Some(summary));
+        let batch = AnalysisSession::new(&full);
+        let bounds = live.time_bounds();
+        let a = view.timeline(TimelineMode::State, bounds, 64).unwrap();
+        let b = batch.timeline(TimelineMode::State, bounds, 64).unwrap();
+        assert_eq!(*a, *b);
+    }
+
+    #[test]
+    fn close_lint_flushes_buffered_chunks_after_a_drop() {
+        let (prologue, chunks, _) = replayable();
+        let mut live = LiveSession::new(prologue).unwrap();
+        let mut chunks = chunks.into_iter();
+        let first = chunks.next().unwrap();
+        let _lost = chunks.next();
+        let third = chunks.next().unwrap();
+        live.advance_lint(0, first, aftermath_trace::LintMode::Lenient)
+            .unwrap();
+        live.advance_lint(2, third, aftermath_trace::LintMode::Lenient)
+            .unwrap();
+        assert_eq!(live.epoch(), 1, "chunk 2 waits for the lost chunk 1");
+        let (stats, report) = live.close_lint().unwrap();
+        assert_eq!(stats.epoch, 2);
+        assert_eq!(
+            report
+                .summary()
+                .count(aftermath_trace::LintCode::ChunkSequence),
+            1
+        );
+        assert!(live.stream().pending_sequences().is_empty());
+        // The flushed prefix answers queries like a batch session over it.
+        let batch = AnalysisSession::new(live.trace());
+        let bounds = live.time_bounds();
+        let a = live.timeline(TimelineMode::State, bounds, 32).unwrap();
+        let b = batch.timeline(TimelineMode::State, bounds, 32).unwrap();
+        assert_eq!(*a, *b);
     }
 }

@@ -6,8 +6,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use aftermath_exec::{parallel_map, Threads};
 use aftermath_trace::{
-    AccessKind, CounterId, CpuId, NumaNodeId, SamplesView, StatesView, TaskId, TaskInstance,
-    TaskTypeId, TimeInterval, Timestamp, Trace, WorkerState,
+    AccessKind, AnnotatedTrace, CounterId, CpuId, LintSummary, NumaNodeId, SamplesView, StatesView,
+    TaskId, TaskInstance, TaskTypeId, TimeInterval, Timestamp, Trace, WorkerState,
 };
 
 use crate::anomaly::{self, AnomalyConfig, AnomalyReport};
@@ -66,6 +66,10 @@ pub struct AnalysisSession<'t> {
     task_graph: OnceLock<TaskGraph>,
     anomaly_cache: AnomalyCacheHandle,
     timeline_cache: TimelineCacheHandle,
+    /// The lint summary of the trace this session analyses, when it went through
+    /// the lint pipeline ([`aftermath_trace::lint`]). `None` means "never
+    /// linted" — an empty summary means "linted and clean".
+    lint: Option<LintSummary>,
 }
 
 /// Shared handle to an anomaly-report cache. Batch sessions own theirs exclusively;
@@ -207,7 +211,32 @@ impl<'t> AnalysisSession<'t> {
             task_graph: OnceLock::new(),
             anomaly_cache,
             timeline_cache,
+            lint: None,
         }
+    }
+
+    /// Opens a session over a linted trace ([`aftermath_trace::lint`]), carrying
+    /// its lint summary so downstream consumers can see which defects the trace
+    /// had (and had repaired) before analysis.
+    pub fn from_annotated(annotated: &'t AnnotatedTrace) -> Self {
+        Self::new(annotated.trace()).with_lint_summary(annotated.summary().clone())
+    }
+
+    /// Attaches the lint summary of the trace this session analyses (see
+    /// [`lint_summary`](Self::lint_summary)).
+    #[must_use]
+    pub fn with_lint_summary(mut self, summary: LintSummary) -> Self {
+        self.lint = Some(summary);
+        self
+    }
+
+    /// The lint summary the trace went through before analysis, if any: `None`
+    /// for a never-linted trace, an empty ([`LintSummary::is_clean`]) summary for
+    /// a linted-and-clean one. Analyses over a repaired trace should surface
+    /// this next to their results — a repaired defect (dropped events, clamped
+    /// counters) can itself look like an anomaly.
+    pub fn lint_summary(&self) -> Option<&LintSummary> {
+        self.lint.as_ref()
     }
 
     /// Builds a session view whose index shards are pre-seeded from externally
@@ -1185,5 +1214,20 @@ mod tests {
         let trace = small_sim_trace();
         let session = AnalysisSession::new(&trace);
         assert!(session.counter_id("no-such-counter").is_err());
+    }
+
+    #[test]
+    fn sessions_carry_lint_summaries() {
+        let trace = small_sim_trace();
+        let plain = AnalysisSession::new(&trace);
+        assert!(plain.lint_summary().is_none(), "never linted");
+        let annotated = trace.repair().expect("clean trace repairs trivially");
+        let session = AnalysisSession::from_annotated(&annotated);
+        let summary = session.lint_summary().expect("linted trace has a summary");
+        assert!(summary.is_clean(), "simulated traces lint clean");
+        let mut dirty = LintSummary::new();
+        dirty.record(aftermath_trace::LintCode::UnclosedInterval);
+        let session = AnalysisSession::new(&trace).with_lint_summary(dirty.clone());
+        assert_eq!(session.lint_summary(), Some(&dirty));
     }
 }

@@ -37,6 +37,9 @@ pub enum TraceError {
     /// A streaming chunk (or a trace being split into chunks) violates the
     /// append-only ordering contract of [`crate::streaming`].
     UnstreamableChunk(String),
+    /// The strict lint pipeline found defects (see [`crate::lint`]); the
+    /// summary carries per-code counts.
+    LintFindings(crate::lint::LintSummary),
     /// The trace file is malformed.
     Format(String),
     /// The trace file was produced by an unsupported format version.
@@ -67,6 +70,9 @@ impl fmt::Display for TraceError {
             }
             TraceError::UnstreamableChunk(msg) => {
                 write!(f, "chunk violates the streaming contract: {msg}")
+            }
+            TraceError::LintFindings(summary) => {
+                write!(f, "trace failed strict lint: {summary}")
             }
             TraceError::Format(msg) => write!(f, "malformed trace file: {msg}"),
             TraceError::UnsupportedVersion(v) => {

@@ -54,6 +54,7 @@ pub mod error;
 pub mod event;
 pub mod format;
 pub mod ids;
+pub mod lint;
 pub mod memory;
 pub mod state;
 pub mod streaming;
@@ -72,9 +73,13 @@ pub use event::{
     CommEvent, CommKind, CounterDescription, CounterSample, DiscreteEvent, DiscreteEventKind,
 };
 pub use ids::{CounterId, CpuId, NumaNodeId, TaskId, TaskTypeId, TimeInterval, Timestamp};
+pub use lint::{
+    AnnotatedTrace, ChunkContext, EventRef, LintCode, LintFinding, LintMode, LintReport,
+    LintSummary, LintView, RepairRecord, RepairStrategy, Validator, ValidatorRegistry,
+};
 pub use memory::{AccessKind, MemoryAccess, MemoryRegion, RegionId};
 pub use state::{StateInterval, WorkerState};
-pub use streaming::{StreamingTrace, TraceChunk};
+pub use streaming::{make_streamable, split_even, StreamingTrace, TraceChunk};
 pub use symbols::{Symbol, SymbolTable};
 pub use task::{TaskInstance, TaskType};
 pub use topology::{CpuInfo, MachineTopology};

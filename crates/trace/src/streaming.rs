@@ -34,11 +34,15 @@
 //! over a sealed region of the stream is built, nothing a later chunk appends can
 //! change what that node should contain.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::error::TraceError;
-use crate::event::{CommEvent, CounterSample, DiscreteEvent};
+use crate::event::{CommEvent, CounterSample, DiscreteEvent, DiscreteEventKind};
 use crate::ids::{CounterId, TaskId, TimeInterval, Timestamp};
+use crate::lint::{
+    ChunkContext, EventRef, LintCode, LintFinding, LintMode, LintReport, RepairRecord,
+    RepairStrategy, ValidatorRegistry,
+};
 use crate::memory::MemoryAccess;
 use crate::state::StateInterval;
 use crate::task::TaskInstance;
@@ -118,6 +122,42 @@ impl TraceChunk {
         }
         any.then(|| TimeInterval::new(start, end))
     }
+
+    /// The hull of the chunk's item *start* times (states and tasks contribute
+    /// their interval starts, point events their timestamps), or `None` for a
+    /// chunk without timed items.
+    ///
+    /// This is the transport-ordering measure used by the chunk lint
+    /// validators: items are assigned to chunks by their start time
+    /// ([`split_at`]), so a well-formed successor chunk starts at or after the
+    /// previous chunk's latest start — even though a straddling state may
+    /// legitimately *end* inside the successor's time hull.
+    pub fn start_hull(&self) -> Option<TimeInterval> {
+        let mut start = Timestamp::MAX;
+        let mut end = Timestamp::ZERO;
+        let mut any = false;
+        for s in &self.states {
+            start = start.min(s.interval.start);
+            end = end.max(s.interval.start);
+            any = true;
+        }
+        for e in &self.events {
+            start = start.min(e.timestamp);
+            end = end.max(e.timestamp);
+            any = true;
+        }
+        for s in &self.samples {
+            start = start.min(s.timestamp);
+            end = end.max(s.timestamp);
+            any = true;
+        }
+        for t in &self.tasks {
+            start = start.min(t.execution.start);
+            end = end.max(t.execution.start);
+            any = true;
+        }
+        any.then(|| TimeInterval::new(start, end))
+    }
 }
 
 /// A trace that grows by validated, append-only chunks.
@@ -135,6 +175,18 @@ pub struct StreamingTrace {
     bounds: Option<TimeInterval>,
     /// Number of chunks accepted so far.
     epochs: u64,
+    /// Start hull ([`TraceChunk::start_hull`]) of the most recently appended
+    /// chunk (drives the L008 chunk overlap check of
+    /// [`StreamingTrace::append_lint`]).
+    last_hull: Option<TimeInterval>,
+    /// The sequence number the lint-aware append expects next. Plain
+    /// [`StreamingTrace::append`] counts as accepting the expected sequence.
+    expected_seq: u64,
+    /// The highest sequence number observed so far (appended or buffered).
+    max_seen: Option<u64>,
+    /// Future chunks buffered by lenient [`StreamingTrace::append_lint`] until
+    /// their predecessors arrive (or the stream is closed).
+    pending: BTreeMap<u64, TraceChunk>,
 }
 
 impl StreamingTrace {
@@ -157,6 +209,10 @@ impl StreamingTrace {
             trace,
             bounds,
             epochs: 0,
+            last_hull: None,
+            expected_seq: 0,
+            max_seen: None,
+            pending: BTreeMap::new(),
         }
     }
 
@@ -337,6 +393,7 @@ impl StreamingTrace {
 
         // --- Apply. ---
         let appended = chunk.len();
+        let start_hull = chunk.start_hull();
         if let Some(hull) = chunk.time_hull() {
             self.bounds = Some(match self.bounds {
                 Some(b) => b.union_hull(&hull),
@@ -359,8 +416,438 @@ impl StreamingTrace {
         }
         parts.comm_events.extend(chunk.comm_events);
         self.epochs += 1;
+        // Lint bookkeeping: a plain append accepts the expected sequence.
+        self.last_hull = start_hull.or(self.last_hull);
+        self.max_seen = Some(
+            self.max_seen
+                .map_or(self.expected_seq, |m| m.max(self.expected_seq)),
+        );
+        self.expected_seq += 1;
         Ok(appended)
     }
+
+    /// Sequence numbers of the chunks buffered by lenient
+    /// [`StreamingTrace::append_lint`] (waiting for their predecessors).
+    pub fn pending_sequences(&self) -> Vec<u64> {
+        self.pending.keys().copied().collect()
+    }
+
+    /// Validates an explicitly sequenced chunk with the default lint registry
+    /// and appends it according to `mode`.
+    ///
+    /// **Strict** enforces the transport contract on top of [`append`]'s event
+    /// contract: the sequence number must be exactly the expected one and the
+    /// chunk's time hull must not overlap the previously appended chunk —
+    /// otherwise the chunk is rejected with [`TraceError::LintFindings`] and
+    /// nothing is applied. (Plain [`append`] accepts a hull-overlapping chunk as
+    /// long as every per-stream tail still advances — the silent-acceptance gap
+    /// this mode closes.)
+    ///
+    /// **Lenient** records findings instead of failing and keeps the stream
+    /// going: a chunk from the future is buffered until its predecessors
+    /// arrive, a late or duplicate chunk is dropped with a record, and an
+    /// accepted chunk is repaired first ([`Self::close_lint`] flushes what
+    /// remains buffered at end of stream). Chunk repair renumbers task ids to
+    /// re-join the dense sequence after a dropped chunk, clears or drops
+    /// references into dropped chunks, and clamps items that reach back into
+    /// already-ingested time.
+    ///
+    /// Returns the report for this call (covering any buffered chunks that
+    /// became appendable).
+    ///
+    /// [`append`]: StreamingTrace::append
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::LintFindings`] in strict mode; in both modes, the errors
+    /// of [`StreamingTrace::append`] for defects repair cannot express (unknown
+    /// CPUs or task types, invalid intervals).
+    pub fn append_lint(
+        &mut self,
+        sequence: u64,
+        chunk: TraceChunk,
+        mode: LintMode,
+    ) -> Result<LintReport, TraceError> {
+        self.append_lint_with(sequence, chunk, mode, &ValidatorRegistry::default())
+    }
+
+    /// Like [`StreamingTrace::append_lint`] with a custom registry.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamingTrace::append_lint`].
+    pub fn append_lint_with(
+        &mut self,
+        sequence: u64,
+        chunk: TraceChunk,
+        mode: LintMode,
+        registry: &ValidatorRegistry,
+    ) -> Result<LintReport, TraceError> {
+        let ctx = ChunkContext {
+            sequence,
+            expected_sequence: self.expected_seq,
+            max_seen_sequence: self.max_seen,
+            hull: chunk.start_hull(),
+            previous_hull: self.last_hull,
+            chunk: &chunk,
+        };
+        let mut report = LintReport::from_findings(registry.validate_chunk(&ctx));
+        match mode {
+            LintMode::Strict => {
+                if sequence != self.expected_seq {
+                    // A gap (sequence from the future) is not flagged by the
+                    // reorder validator, but strict mode cannot buffer: surface
+                    // it as a sequence finding.
+                    if report.summary().count(LintCode::ChunkSequence) == 0 {
+                        report.push_finding(LintFinding::new(
+                            LintCode::ChunkSequence,
+                            EventRef::Chunk { sequence },
+                            format!(
+                                "sequence {sequence} arrived while {} was expected",
+                                self.expected_seq
+                            ),
+                        ));
+                    }
+                }
+                if !report.is_clean() {
+                    return Err(TraceError::LintFindings(report.summary().clone()));
+                }
+                self.append(chunk)?;
+                Ok(report)
+            }
+            LintMode::Lenient => {
+                self.max_seen = Some(self.max_seen.map_or(sequence, |m| m.max(sequence)));
+                if sequence < self.expected_seq {
+                    report.push_repair(RepairRecord {
+                        code: LintCode::ChunkSequence,
+                        strategy: RepairStrategy::DropWithRecord,
+                        event: EventRef::Chunk { sequence },
+                        detail: "late or duplicate chunk dropped".into(),
+                    });
+                    return Ok(report);
+                }
+                if sequence > self.expected_seq {
+                    self.pending.insert(sequence, chunk);
+                    return Ok(report);
+                }
+                let repaired = self.repair_chunk(chunk, sequence, &mut report);
+                self.append(repaired)?;
+                // Buffered successors may now be appendable.
+                while let Some(next) = self.pending.remove(&self.expected_seq) {
+                    let seq = self.expected_seq;
+                    let repaired = self.repair_chunk(next, seq, &mut report);
+                    self.append(repaired)?;
+                }
+                Ok(report)
+            }
+        }
+    }
+
+    /// Closes the lenient lint stream: every still-buffered chunk is appended
+    /// (repaired), and every sequence number the stream skips over on the way
+    /// is flagged as a dropped chunk.
+    ///
+    /// A no-op returning an empty report when nothing is buffered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StreamingTrace::append`] errors for defects repair cannot
+    /// express; already-appended chunks stay applied.
+    pub fn close_lint(&mut self) -> Result<LintReport, TraceError> {
+        let mut report = LintReport::new();
+        while let Some((&seq, _)) = self.pending.iter().next() {
+            while self.expected_seq < seq {
+                let missing = self.expected_seq;
+                let event = EventRef::Chunk { sequence: missing };
+                report.push_finding(LintFinding::new(
+                    LintCode::ChunkSequence,
+                    event,
+                    format!("chunk {missing} never arrived \u{2014} presumed dropped"),
+                ));
+                report.push_repair(RepairRecord {
+                    code: LintCode::ChunkSequence,
+                    strategy: RepairStrategy::DropWithRecord,
+                    event,
+                    detail: "stream resumed past the missing chunk".into(),
+                });
+                self.expected_seq += 1;
+            }
+            let chunk = self.pending.remove(&seq).expect("peeked key exists");
+            let repaired = self.repair_chunk(chunk, seq, &mut report);
+            self.append(repaired)?;
+        }
+        Ok(report)
+    }
+
+    /// Best-effort repair of a chunk against the current stream state so that
+    /// [`StreamingTrace::append`] accepts it: task ids are renumbered to
+    /// continue the dense sequence (they jump after a dropped chunk),
+    /// references into never-ingested chunks are cleared or dropped, and items
+    /// reaching back into already-ingested time are clamped to their stream's
+    /// tail. A chunk that already satisfies the contract passes through
+    /// unchanged.
+    fn repair_chunk(
+        &self,
+        mut chunk: TraceChunk,
+        sequence: u64,
+        report: &mut LintReport,
+    ) -> TraceChunk {
+        let chunk_ref = EventRef::Chunk { sequence };
+        let old_tasks = self.trace.tasks().len() as u64;
+
+        // Task ids must continue the dense sequence; after a dropped chunk the
+        // producer's ids run ahead of the ingested count.
+        let mut remap: HashMap<u64, u64> = HashMap::new();
+        let mut renumbered = false;
+        for (i, t) in chunk.tasks.iter_mut().enumerate() {
+            let dense = old_tasks + i as u64;
+            if t.id.0 != dense {
+                renumbered = true;
+            }
+            remap.insert(t.id.0, dense);
+            t.id = TaskId(dense);
+        }
+        if renumbered {
+            report.push_repair(RepairRecord {
+                code: LintCode::ChunkSequence,
+                strategy: RepairStrategy::Resequence,
+                event: chunk_ref,
+                detail: "task ids renumbered to continue the dense sequence".into(),
+            });
+        }
+        let resolve = |id: TaskId| -> Option<TaskId> {
+            remap
+                .get(&id.0)
+                .map(|&n| TaskId(n))
+                .or_else(|| (id.0 < old_tasks).then_some(id))
+        };
+
+        for s in &mut chunk.states {
+            if let Some(t) = s.task {
+                match resolve(t) {
+                    Some(mapped) => s.task = Some(mapped),
+                    None => {
+                        report.push_repair(RepairRecord {
+                            code: LintCode::OrphanTaskRef,
+                            strategy: RepairStrategy::DropWithRecord,
+                            event: chunk_ref,
+                            detail: format!(
+                                "state reference to never-ingested task {} cleared",
+                                t.0
+                            ),
+                        });
+                        s.task = None;
+                    }
+                }
+            }
+        }
+        chunk
+            .events
+            .retain_mut(|e| match remap_event_kind(e.kind, &resolve) {
+                Some(kind) => {
+                    e.kind = kind;
+                    true
+                }
+                None => {
+                    report.push_repair(RepairRecord {
+                        code: LintCode::OrphanTaskRef,
+                        strategy: RepairStrategy::DropWithRecord,
+                        event: chunk_ref,
+                        detail: format!(
+                            "{} event referencing a never-ingested task dropped",
+                            e.kind.label()
+                        ),
+                    });
+                    false
+                }
+            });
+        chunk.accesses.retain_mut(|a| {
+            // An access must ride with a task of this very chunk.
+            match resolve(a.task).filter(|t| t.0 >= old_tasks) {
+                Some(mapped) => {
+                    a.task = mapped;
+                    true
+                }
+                None => {
+                    report.push_repair(RepairRecord {
+                        code: LintCode::OrphanTaskRef,
+                        strategy: RepairStrategy::DropWithRecord,
+                        event: chunk_ref,
+                        detail: format!("access by never-ingested task {} dropped", a.task.0),
+                    });
+                    false
+                }
+            }
+        });
+        chunk.accesses.sort_by_key(|a| a.task);
+        for c in &mut chunk.comm_events {
+            if let Some(t) = c.task {
+                match resolve(t) {
+                    Some(mapped) => c.task = Some(mapped),
+                    None => {
+                        report.push_repair(RepairRecord {
+                            code: LintCode::OrphanTaskRef,
+                            strategy: RepairStrategy::DropWithRecord,
+                            event: chunk_ref,
+                            detail: format!(
+                                "communication reference to never-ingested task {} cleared",
+                                t.0
+                            ),
+                        });
+                        c.task = None;
+                    }
+                }
+            }
+        }
+
+        // Clamp items reaching back into already-ingested time to their
+        // stream's tail (the repair side of the L008 hull overlap).
+        let trace = &self.trace;
+        let mut state_tail: HashMap<u32, Timestamp> = HashMap::new();
+        chunk.states.retain_mut(|s| {
+            if !trace.topology().contains_cpu(s.cpu) {
+                return true; // left for append to reject
+            }
+            let tail = state_tail.entry(s.cpu.0).or_insert_with(|| {
+                trace
+                    .cpu(s.cpu)
+                    .and_then(|pc| pc.states().last())
+                    .map_or(Timestamp::ZERO, |last| last.interval.end)
+            });
+            if s.interval.start < *tail {
+                if s.interval.end <= *tail {
+                    report.push_repair(RepairRecord {
+                        code: LintCode::ChunkOverlap,
+                        strategy: RepairStrategy::DropWithRecord,
+                        event: chunk_ref,
+                        detail: format!(
+                            "state [{}, {}] on {} fully inside ingested time dropped",
+                            s.interval.start.0, s.interval.end.0, s.cpu
+                        ),
+                    });
+                    return false;
+                }
+                report.push_repair(RepairRecord {
+                    code: LintCode::ChunkOverlap,
+                    strategy: RepairStrategy::Clamp,
+                    event: chunk_ref,
+                    detail: format!(
+                        "state start on {} clamped from {} to {}",
+                        s.cpu, s.interval.start.0, tail.0
+                    ),
+                });
+                s.interval.start = *tail;
+            }
+            *tail = s.interval.end;
+            true
+        });
+        let mut event_tail: HashMap<u32, Timestamp> = HashMap::new();
+        for e in &mut chunk.events {
+            if !trace.topology().contains_cpu(e.cpu) {
+                continue;
+            }
+            let tail = event_tail.entry(e.cpu.0).or_insert_with(|| {
+                trace
+                    .cpu(e.cpu)
+                    .and_then(|pc| pc.events().last())
+                    .map_or(Timestamp::ZERO, |last| last.timestamp)
+            });
+            if e.timestamp < *tail {
+                report.push_repair(RepairRecord {
+                    code: LintCode::ChunkOverlap,
+                    strategy: RepairStrategy::Clamp,
+                    event: chunk_ref,
+                    detail: format!(
+                        "event timestamp on {} clamped from {} to {}",
+                        e.cpu, e.timestamp.0, tail.0
+                    ),
+                });
+                e.timestamp = *tail;
+            }
+            *tail = e.timestamp;
+        }
+        let mut sample_tail: HashMap<(u32, CounterId), Timestamp> = HashMap::new();
+        for s in &mut chunk.samples {
+            if !trace.topology().contains_cpu(s.cpu) {
+                continue;
+            }
+            let tail = sample_tail.entry((s.cpu.0, s.counter)).or_insert_with(|| {
+                trace
+                    .cpu(s.cpu)
+                    .and_then(|pc| pc.samples(s.counter))
+                    .and_then(|stream| stream.last())
+                    .map_or(Timestamp::ZERO, |last| last.timestamp)
+            });
+            if s.timestamp < *tail {
+                report.push_repair(RepairRecord {
+                    code: LintCode::ChunkOverlap,
+                    strategy: RepairStrategy::Clamp,
+                    event: chunk_ref,
+                    detail: format!(
+                        "sample timestamp on {} clamped from {} to {}",
+                        s.cpu, s.timestamp.0, tail.0
+                    ),
+                });
+                s.timestamp = *tail;
+            }
+            *tail = s.timestamp;
+        }
+        let mut comm_tail = trace
+            .comm_events()
+            .last()
+            .map_or(Timestamp::ZERO, |c| c.timestamp);
+        for c in &mut chunk.comm_events {
+            if c.timestamp < comm_tail {
+                report.push_repair(RepairRecord {
+                    code: LintCode::ChunkOverlap,
+                    strategy: RepairStrategy::Clamp,
+                    event: chunk_ref,
+                    detail: format!(
+                        "communication timestamp clamped from {} to {}",
+                        c.timestamp.0, comm_tail.0
+                    ),
+                });
+                c.timestamp = comm_tail;
+            }
+            comm_tail = c.timestamp;
+        }
+        chunk
+    }
+}
+
+/// Remaps every task reference of an event kind, or `None` when a reference
+/// does not resolve.
+fn remap_event_kind(
+    kind: DiscreteEventKind,
+    resolve: &impl Fn(TaskId) -> Option<TaskId>,
+) -> Option<DiscreteEventKind> {
+    Some(match kind {
+        DiscreteEventKind::TaskCreate { task } => DiscreteEventKind::TaskCreate {
+            task: resolve(task)?,
+        },
+        DiscreteEventKind::TaskReady { task } => DiscreteEventKind::TaskReady {
+            task: resolve(task)?,
+        },
+        DiscreteEventKind::TaskComplete { task } => DiscreteEventKind::TaskComplete {
+            task: resolve(task)?,
+        },
+        DiscreteEventKind::StealSuccess { victim, task } => DiscreteEventKind::StealSuccess {
+            victim,
+            task: resolve(task)?,
+        },
+        DiscreteEventKind::DataPublish {
+            producer,
+            consumer,
+            bytes,
+        } => DiscreteEventKind::DataPublish {
+            producer: resolve(producer)?,
+            consumer: resolve(consumer)?,
+            bytes,
+        },
+        other @ (DiscreteEventKind::StealAttempt { .. } | DiscreteEventKind::Marker { .. }) => {
+            other
+        }
+    })
 }
 
 /// Returns a copy of `trace` whose task ids are renumbered into execution-start
@@ -798,5 +1285,182 @@ mod tests {
         stream.append(chunk).unwrap();
         assert_eq!(stream.time_bounds(), TimeInterval::from_cycles(100, 200));
         assert_eq!(stream.trace().time_bounds(), stream.time_bounds());
+    }
+
+    /// A chunk of idle states on one CPU, for hand-built lint tests.
+    fn state_chunk(cpu: u32, intervals: &[(u64, u64)]) -> TraceChunk {
+        let mut chunk = TraceChunk::new();
+        for &(start, end) in intervals {
+            chunk.states.push(StateInterval::new(
+                CpuId(cpu),
+                WorkerState::Idle,
+                TimeInterval::from_cycles(start, end),
+                None,
+            ));
+        }
+        chunk
+    }
+
+    #[test]
+    fn strict_lint_rejects_chunk_overlap_that_plain_append_accepts() {
+        // The second chunk's item starts at 50, before the first chunk's
+        // latest item start (60). CPU1's own tail still advances, so plain
+        // append silently takes the retrograde chunk.
+        let prologue = || TraceBuilder::new(MachineTopology::uniform(2, 1));
+        let mut plain = StreamingTrace::new(prologue()).unwrap();
+        plain.append(state_chunk(0, &[(0, 50), (60, 100)])).unwrap();
+        assert_eq!(plain.append(state_chunk(1, &[(50, 150)])).unwrap(), 1);
+
+        let mut strict = StreamingTrace::new(prologue()).unwrap();
+        strict
+            .append_lint(0, state_chunk(0, &[(0, 50), (60, 100)]), LintMode::Strict)
+            .unwrap();
+        let err = strict
+            .append_lint(1, state_chunk(1, &[(50, 150)]), LintMode::Strict)
+            .unwrap_err();
+        match err {
+            TraceError::LintFindings(summary) => {
+                assert_eq!(summary.count(LintCode::ChunkOverlap), 1);
+            }
+            other => panic!("expected LintFindings, got {other}"),
+        }
+        // Rejection is atomic: nothing of the chunk was applied.
+        assert_eq!(strict.epochs(), 1);
+        assert_eq!(strict.time_bounds(), TimeInterval::from_cycles(0, 100));
+    }
+
+    #[test]
+    fn lenient_lint_records_chunk_overlap_and_appends() {
+        let mut stream =
+            StreamingTrace::new(TraceBuilder::new(MachineTopology::uniform(2, 1))).unwrap();
+        stream
+            .append_lint(0, state_chunk(0, &[(0, 50), (60, 100)]), LintMode::Lenient)
+            .unwrap();
+        let report = stream
+            .append_lint(1, state_chunk(1, &[(50, 150)]), LintMode::Lenient)
+            .unwrap();
+        assert_eq!(report.summary().count(LintCode::ChunkOverlap), 1);
+        // CPU1 itself was untouched, so no repair was necessary.
+        assert!(report.repairs().is_empty());
+        assert_eq!(stream.epochs(), 2);
+        assert_eq!(stream.time_bounds(), TimeInterval::from_cycles(0, 150));
+    }
+
+    #[test]
+    fn lenient_lint_clamps_states_reaching_into_ingested_time() {
+        // Same CPU this time: plain append would reject with OverlappingStates.
+        let mut stream =
+            StreamingTrace::new(TraceBuilder::new(MachineTopology::uniform(1, 1))).unwrap();
+        stream
+            .append_lint(0, state_chunk(0, &[(0, 50), (60, 100)]), LintMode::Lenient)
+            .unwrap();
+        let report = stream
+            .append_lint(1, state_chunk(0, &[(50, 150)]), LintMode::Lenient)
+            .unwrap();
+        assert_eq!(report.summary().count(LintCode::ChunkOverlap), 1);
+        assert_eq!(report.repairs().len(), 1);
+        assert_eq!(report.repairs()[0].strategy, RepairStrategy::Clamp);
+        let states = stream.trace().cpu(CpuId(0)).unwrap().states_vec();
+        assert_eq!(states.len(), 3);
+        assert_eq!(states[2].interval, TimeInterval::from_cycles(100, 150));
+    }
+
+    #[test]
+    fn strict_lint_rejects_out_of_order_sequence() {
+        let trace = make_streamable(&interleaved_trace());
+        let (prologue, mut chunks) = split_even(&trace, 3).unwrap();
+        let mut stream = StreamingTrace::new(prologue).unwrap();
+        let late = chunks.remove(1);
+        match stream.append_lint(1, late, LintMode::Strict).unwrap_err() {
+            TraceError::LintFindings(summary) => {
+                assert_eq!(summary.count(LintCode::ChunkSequence), 1);
+            }
+            other => panic!("expected LintFindings, got {other}"),
+        }
+        assert_eq!(stream.epochs(), 0);
+    }
+
+    #[test]
+    fn lenient_lint_reorders_swapped_chunks_byte_identically() {
+        let trace = make_streamable(&interleaved_trace());
+        let (prologue, mut chunks) = split_even(&trace, 4).unwrap();
+        let mut stream = StreamingTrace::new(prologue).unwrap();
+        // Deliver 0, 2, 1, 3: the swap is healed by buffering.
+        chunks.swap(1, 2);
+        let sequences = [0u64, 2, 1, 3];
+        let mut total = LintReport::new();
+        for (chunk, seq) in chunks.into_iter().zip(sequences) {
+            total.merge(stream.append_lint(seq, chunk, LintMode::Lenient).unwrap());
+        }
+        // Exactly one reorder finding (chunk 1 overtaken by chunk 2); clean
+        // in-order chunks pass through repair untouched.
+        assert_eq!(total.summary().count(LintCode::ChunkSequence), 1);
+        assert_eq!(total.summary().total(), 1);
+        assert!(total.repairs().is_empty());
+        assert!(stream.pending_sequences().is_empty());
+        assert_eq!(stream.trace(), &trace);
+    }
+
+    #[test]
+    fn lenient_lint_drops_late_duplicate_chunk() {
+        let trace = make_streamable(&interleaved_trace());
+        let (prologue, chunks) = split_even(&trace, 2).unwrap();
+        let mut stream = StreamingTrace::new(prologue).unwrap();
+        let dup = chunks[0].clone();
+        for (seq, chunk) in chunks.into_iter().enumerate() {
+            stream
+                .append_lint(seq as u64, chunk, LintMode::Lenient)
+                .unwrap();
+        }
+        let report = stream.append_lint(0, dup, LintMode::Lenient).unwrap();
+        assert_eq!(report.summary().count(LintCode::ChunkSequence), 1);
+        assert_eq!(report.repairs().len(), 1);
+        assert_eq!(report.repairs()[0].strategy, RepairStrategy::DropWithRecord);
+        assert_eq!(stream.epochs(), 2);
+        assert_eq!(stream.trace(), &trace);
+    }
+
+    #[test]
+    fn close_lint_flags_exactly_the_dropped_chunk() {
+        let trace = make_streamable(&interleaved_trace());
+        let (prologue, mut chunks) = split_even(&trace, 3).unwrap();
+        let dropped_tasks = chunks[1].tasks.len();
+        let mut stream = StreamingTrace::new(prologue).unwrap();
+        let last = chunks.pop().unwrap();
+        let first = chunks.remove(0);
+        stream.append_lint(0, first, LintMode::Lenient).unwrap();
+        // Chunk 1 is lost in transit; chunk 2 buffers awaiting it.
+        stream.append_lint(2, last, LintMode::Lenient).unwrap();
+        assert_eq!(stream.pending_sequences(), vec![2]);
+        assert_eq!(stream.epochs(), 1);
+
+        let report = stream.close_lint().unwrap();
+        let flagged: Vec<_> = report
+            .findings()
+            .iter()
+            .map(|f| (f.code, f.event))
+            .collect();
+        assert_eq!(
+            flagged,
+            vec![(LintCode::ChunkSequence, EventRef::Chunk { sequence: 1 })]
+        );
+        assert!(stream.pending_sequences().is_empty());
+        assert_eq!(stream.epochs(), 2);
+        // Chunk 2's task ids were renumbered past the gap, and every reference
+        // into the lost chunk was healed: the result lints clean.
+        assert_eq!(
+            stream.trace().tasks().len(),
+            trace.tasks().len() - dropped_tasks
+        );
+        assert!(stream.trace().lint().is_clean());
+    }
+
+    #[test]
+    fn close_lint_is_a_noop_without_pending_chunks() {
+        let mut stream =
+            StreamingTrace::new(TraceBuilder::new(MachineTopology::uniform(1, 1))).unwrap();
+        let report = stream.close_lint().unwrap();
+        assert!(report.summary().is_clean());
+        assert!(report.repairs().is_empty());
     }
 }

@@ -390,6 +390,41 @@ impl Trace {
         self.time_bounds().duration()
     }
 
+    /// Reopens the trace as a builder holding exactly the same data.
+    ///
+    /// Finishing the returned builder reproduces this trace byte-for-byte: the
+    /// streams are already sorted, so the finishing permutation sort is the
+    /// identity, and region/task/counter ids are carried over unchanged. This
+    /// is the entry point of [`Trace::repair`] and of the corruption harness in
+    /// the workloads crate.
+    pub fn to_builder(&self) -> TraceBuilder {
+        TraceBuilder {
+            topology: self.topology.clone(),
+            task_types: self.task_types.clone(),
+            tasks: self.tasks.clone(),
+            per_cpu: self.per_cpu.clone(),
+            regions: self.regions.clone(),
+            accesses: self.accesses.clone(),
+            comm_events: self.comm_events.clone(),
+            counters: self.counters.clone(),
+            symbols: self.symbols.clone(),
+            next_region_id: self.regions.iter().map(|r| r.id.0 + 1).max().unwrap_or(0),
+        }
+    }
+
+    /// Crate-internal read view for the lint validators ([`crate::lint`]).
+    pub(crate) fn lint_view(&self) -> crate::lint::LintView<'_> {
+        crate::lint::LintView {
+            topology: &self.topology,
+            tasks: &self.tasks,
+            per_cpu: &self.per_cpu,
+            regions: &self.regions,
+            counters: &self.counters,
+            accesses: &self.accesses,
+            comm_events: &self.comm_events,
+        }
+    }
+
     /// Crate-internal mutable access to the event containers, used by the streaming
     /// ingest layer ([`crate::streaming`]) to append validated chunks and to remap
     /// task ids. Not public: arbitrary mutation could break the sortedness and
@@ -662,6 +697,33 @@ impl TraceBuilder {
     #[cfg(test)]
     pub(crate) fn push_raw_task(&mut self, task: TaskInstance) {
         self.tasks.push(task);
+    }
+
+    /// Crate-internal read view for the lint validators ([`crate::lint`]).
+    pub(crate) fn lint_view(&self) -> crate::lint::LintView<'_> {
+        crate::lint::LintView {
+            topology: &self.topology,
+            tasks: &self.tasks,
+            per_cpu: &self.per_cpu,
+            regions: &self.regions,
+            counters: &self.counters,
+            accesses: &self.accesses,
+            comm_events: &self.comm_events,
+        }
+    }
+
+    /// Crate-internal mutable access for the lint repair pipeline
+    /// ([`crate::lint`]).
+    pub(crate) fn lint_parts_mut(&mut self) -> crate::lint::BuilderPartsMut<'_> {
+        crate::lint::BuilderPartsMut {
+            topology: &self.topology,
+            tasks: &self.tasks,
+            per_cpu: &mut self.per_cpu,
+            regions: &mut self.regions,
+            counters: &self.counters,
+            accesses: &mut self.accesses,
+            comm_events: &mut self.comm_events,
+        }
     }
 
     /// Validates references and intervals, sorts every stream, and produces the trace.

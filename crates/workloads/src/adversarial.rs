@@ -1,0 +1,323 @@
+//! Adversarial workloads: generators that deliberately plant one performance
+//! pathology, together with a machine-readable manifest of what the anomaly
+//! engine should find.
+//!
+//! Each generator returns an [`AdversarialWorkload`]: a
+//! [`WorkloadSpec`] whose simulation exhibits exactly one planted pathology,
+//! plus an [`AnomalyManifest`] naming the detector expected to find it, the
+//! spec indices of the planted tasks, and the rank bound the ground-truth
+//! tests assert (`tests/adversarial_ground_truth.rs` at the workspace root).
+//! This crate must not depend on `aftermath-core`, so the expected detector is
+//! named by [`ExpectedDetector`], whose labels match the anomaly engine's
+//! `AnomalyKind::label` strings one-to-one.
+//!
+//! All generators are deterministic in their seed: the same seed produces the
+//! same spec and manifest, so a failing ground-truth run is replayable.
+
+use aftermath_sim::spec::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The detector expected to catch a planted pathology.
+///
+/// Labels mirror the anomaly engine's kind labels (`aftermath-core`'s
+/// `AnomalyKind::label`), which the ground-truth tests use to resolve the
+/// detector without this crate depending on the analysis layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExpectedDetector {
+    /// A phase during which most workers sit idle.
+    IdlePhase,
+    /// A cluster of tasks with anomalously remote NUMA accesses.
+    NumaLocality,
+    /// Tasks whose monotone-counter increase is far outside their type's norm.
+    CounterOutlier,
+    /// Tasks whose duration is far outside their type's norm.
+    DurationOutlier,
+}
+
+impl ExpectedDetector {
+    /// The anomaly engine's label for this detector (`AnomalyKind::label`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ExpectedDetector::IdlePhase => "idle-phase",
+            ExpectedDetector::NumaLocality => "numa-locality",
+            ExpectedDetector::CounterOutlier => "counter-outlier",
+            ExpectedDetector::DurationOutlier => "duration-outlier",
+        }
+    }
+}
+
+/// What a detector should find in the simulated trace of an adversarial spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyManifest {
+    /// The detector expected to catch the planted pathology.
+    pub detector: ExpectedDetector,
+    /// Spec indices (the values returned by `WorkloadSpec::add_task`) of the
+    /// tasks carrying the pathology.
+    ///
+    /// The simulator assigns trace task ids in *execution* order, so spec
+    /// indices do not map onto trace `TaskId`s directly. When the pathology
+    /// detector is per-type (duration and counter outliers need the planted
+    /// tasks inside the baseline's population), recover the planted tasks from
+    /// the trace structurally: the duration stragglers are the
+    /// `planted_tasks.len()` longest-running tasks, and the post-barrier phase
+    /// consists of the `planted_tasks.len()` latest-starting tasks. Otherwise
+    /// [`AnomalyManifest::planted_type`] tags them directly.
+    pub planted_tasks: Vec<usize>,
+    /// The dedicated task-type name of the planted tasks, when the pathology
+    /// allows one (`None` when the planted tasks must share the baseline's
+    /// type for the detector's per-type statistics to cover them).
+    pub planted_type: Option<&'static str>,
+    /// The planted anomaly must rank within the first `top_k` findings of its
+    /// kind in the severity-ranked report.
+    pub top_k: usize,
+    /// For counter pathologies, the name of the planted counter.
+    pub counter: Option<&'static str>,
+    /// Human-readable description of the planted pathology.
+    pub note: String,
+}
+
+/// An adversarial workload: the spec plus the ground truth its simulation must
+/// yield.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversarialWorkload {
+    /// The workload to simulate.
+    pub spec: WorkloadSpec,
+    /// The expected-anomaly manifest.
+    pub manifest: AnomalyManifest,
+}
+
+/// A work-stealing pathology: a wide, well-parallelised warm-up phase followed
+/// by a long chain of serially dependent tasks. During the chain there is only
+/// one runnable task, so every steal attempt fails and all other workers sit
+/// idle — the planted [`ExpectedDetector::IdlePhase`].
+pub fn work_stealing_pathology(seed: u64) -> AdversarialWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spec = WorkloadSpec::new("adversarial-work-stealing");
+    let warm = spec.add_task_type("warmup_work", 0x40_0000);
+    let serial = spec.add_task_type("serial_stage", 0x40_1000);
+    // Warm-up: 16 independent tasks saturate every worker.
+    let mut warm_outs = Vec::new();
+    for _ in 0..16 {
+        let out = spec.add_region(8 * 1024);
+        let work = rng.gen_range(40_000..60_000);
+        spec.add_task(warm, work).writes(&[out]).done();
+        warm_outs.push(out);
+    }
+    // The pathology: a chain of long tasks, each depending on its predecessor
+    // (and the first on the whole warm-up), so parallelism collapses to 1.
+    let mut planted = Vec::new();
+    let mut prev = spec.add_region(8 * 1024);
+    {
+        let first = spec
+            .add_task(serial, 400_000)
+            .reads(&warm_outs)
+            .writes(&[prev])
+            .done();
+        planted.push(first);
+    }
+    for _ in 1..6 {
+        let out = spec.add_region(8 * 1024);
+        let t = spec
+            .add_task(serial, 400_000)
+            .reads(&[prev])
+            .writes(&[out])
+            .done();
+        planted.push(t);
+        prev = out;
+    }
+    AdversarialWorkload {
+        spec,
+        manifest: AnomalyManifest {
+            detector: ExpectedDetector::IdlePhase,
+            planted_tasks: planted,
+            planted_type: Some("serial_stage"),
+            top_k: 1,
+            counter: None,
+            note: "serial chain after a parallel warm-up: all but one worker idle".into(),
+        },
+    }
+}
+
+/// An oversubscription pathology: one task type whose instances are uniformly
+/// short except for a couple of giant stragglers that monopolise their worker —
+/// the planted [`ExpectedDetector::DurationOutlier`].
+pub fn oversubscription(seed: u64) -> AdversarialWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spec = WorkloadSpec::new("adversarial-oversubscription");
+    let ty = spec.add_task_type("contended_work", 0x41_0000);
+    for _ in 0..30 {
+        let out = spec.add_region(4 * 1024);
+        let work = rng.gen_range(18_000..22_000);
+        spec.add_task(ty, work).writes(&[out]).done();
+    }
+    let mut planted = Vec::new();
+    for _ in 0..2 {
+        let out = spec.add_region(4 * 1024);
+        let t = spec.add_task(ty, 1_500_000).writes(&[out]).done();
+        planted.push(t);
+    }
+    AdversarialWorkload {
+        spec,
+        manifest: AnomalyManifest {
+            detector: ExpectedDetector::DurationOutlier,
+            planted_tasks: planted,
+            planted_type: None,
+            top_k: 1,
+            counter: None,
+            note: "two ~75x stragglers among uniform short tasks of the same type".into(),
+        },
+    }
+}
+
+/// A bursty NUMA storm: a baseline of tasks that only touch their own
+/// first-touch-local data, then a burst of tasks that all hammer one producer's
+/// regions. The producer's node holds every page (first touch), so every burst
+/// task scheduled on another node reads 100 % remote — the planted
+/// [`ExpectedDetector::NumaLocality`].
+pub fn numa_storm(seed: u64) -> AdversarialWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spec = WorkloadSpec::new("adversarial-numa-storm");
+    let base = spec.add_task_type("local_work", 0x42_0000);
+    let storm = spec.add_task_type("storm_reader", 0x42_1000);
+    // One producer first-touches the shared regions, pinning them to its node.
+    let shared: Vec<usize> = (0..6).map(|_| spec.add_region(64 * 1024)).collect();
+    spec.add_task(base, 30_000).writes(&shared).done();
+    // Baseline: tasks whose only accesses are their own (first-touch local).
+    for _ in 0..24 {
+        let out = spec.add_region(16 * 1024);
+        let work = rng.gen_range(25_000..35_000);
+        spec.add_task(base, work).writes(&[out]).done();
+    }
+    // The storm: a burst of readers of the producer's regions. Work stealing
+    // scatters them across nodes, so a stable fraction reads fully remote.
+    let mut planted = Vec::new();
+    for _ in 0..10 {
+        let work = rng.gen_range(25_000..35_000);
+        let t = spec.add_task(storm, work).reads(&shared).done();
+        planted.push(t);
+    }
+    AdversarialWorkload {
+        spec,
+        manifest: AnomalyManifest {
+            detector: ExpectedDetector::NumaLocality,
+            planted_tasks: planted,
+            planted_type: Some("storm_reader"),
+            top_k: 1,
+            counter: None,
+            note: "burst of readers of one node's pages under random stealing".into(),
+        },
+    }
+}
+
+/// A phase-changing workload: a long steady phase with a stable cache-miss
+/// profile, a serial barrier, then a short phase whose tasks miss two orders of
+/// magnitude more — the planted [`ExpectedDetector::CounterOutlier`] on the
+/// `cache-misses` counter.
+pub fn phase_change(seed: u64) -> AdversarialWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spec = WorkloadSpec::new("adversarial-phase-change");
+    let ty = spec.add_task_type("phase_work", 0x43_0000);
+    let mut outs = Vec::new();
+    for _ in 0..24 {
+        let out = spec.add_region(8 * 1024);
+        let work = rng.gen_range(28_000..32_000);
+        spec.add_task(ty, work)
+            .writes(&[out])
+            .cache_misses(rng.gen_range(100..300))
+            .done();
+        outs.push(out);
+    }
+    // Barrier: the phase boundary.
+    let gate = spec.add_region(4 * 1024);
+    spec.add_task(ty, 30_000)
+        .reads(&outs)
+        .writes(&[gate])
+        .cache_misses(rng.gen_range(100..300))
+        .done();
+    // The new phase: same work, pathological cache behaviour.
+    let mut planted = Vec::new();
+    for _ in 0..3 {
+        let work = rng.gen_range(28_000..32_000);
+        let t = spec
+            .add_task(ty, work)
+            .reads(&[gate])
+            .cache_misses(80_000)
+            .done();
+        planted.push(t);
+    }
+    AdversarialWorkload {
+        spec,
+        manifest: AnomalyManifest {
+            detector: ExpectedDetector::CounterOutlier,
+            planted_tasks: planted,
+            planted_type: None,
+            top_k: 1,
+            counter: Some("cache-misses"),
+            note: "post-barrier phase misses ~300x more cache than the steady phase".into(),
+        },
+    }
+}
+
+/// Every adversarial generator at the given seed, one workload per detector.
+pub fn all(seed: u64) -> Vec<AdversarialWorkload> {
+    vec![
+        work_stealing_pathology(seed),
+        oversubscription(seed),
+        numa_storm(seed),
+        phase_change(seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_in_their_seed() {
+        for (a, b, c) in all(7)
+            .into_iter()
+            .zip(all(7))
+            .zip(all(8))
+            .map(|((a, b), c)| (a, b, c))
+        {
+            assert_eq!(a, b, "same seed must reproduce {}", a.spec.name);
+            assert_ne!(a.spec, c.spec, "different seeds must differ");
+        }
+    }
+
+    #[test]
+    fn manifests_cover_every_detector_once() {
+        let mut labels: Vec<&str> = all(1).iter().map(|w| w.manifest.detector.label()).collect();
+        labels.sort_unstable();
+        assert_eq!(
+            labels,
+            vec![
+                "counter-outlier",
+                "duration-outlier",
+                "idle-phase",
+                "numa-locality"
+            ]
+        );
+    }
+
+    #[test]
+    fn planted_tasks_are_valid_spec_indices() {
+        for w in all(3) {
+            assert!(!w.manifest.planted_tasks.is_empty());
+            for &t in &w.manifest.planted_tasks {
+                assert!(t < w.spec.num_tasks(), "{}: index {t}", w.spec.name);
+            }
+            assert!(w.manifest.top_k >= 1);
+            if let Some(name) = w.manifest.planted_type {
+                assert!(
+                    w.spec.task_types.iter().any(|t| t.name == name),
+                    "{}: planted type {name} must exist",
+                    w.spec.name
+                );
+            }
+            // Every spec must form a valid (acyclic) dependence graph.
+            w.spec.dependence_graph().unwrap();
+        }
+    }
+}

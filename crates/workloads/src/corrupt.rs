@@ -1,0 +1,487 @@
+//! Deterministic trace-corruption harness.
+//!
+//! Every defect class the lint layer detects ([`aftermath_trace::LintCode`])
+//! can be injected into an arbitrary clean trace, together with the exact
+//! `(code, event)` annotations the validators must emit — no more, no fewer.
+//! The equivalence suite (`tests/lint_equivalence.rs` at the workspace root)
+//! drives this harness over randomised traces and chunkings to pin the
+//! validators to their ground truth.
+//!
+//! Injection is append-based: a corruption is expressed as extra items pushed
+//! through the public [`TraceBuilder`] API onto `trace.to_builder()`, so the
+//! expected [`EventRef`] indices are simply the original stream lengths. All
+//! randomness comes from the caller's seed; the same `(trace, class, seed)`
+//! triple always produces the same corruption.
+
+use aftermath_trace::{
+    make_streamable, split_even, CpuId, EventRef, LintCode, NumaNodeId, TaskId, Timestamp, Trace,
+    TraceBuilder, TraceChunk, WorkerState,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A defect class injectable into a whole trace (streaming defects live in
+/// [`ChunkDefect`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefectClass {
+    /// A per-CPU state recorded out of timestamp order (L001).
+    SkewedTimestamps,
+    /// A state interval left open at `Timestamp::MAX` (L002).
+    UnclosedInterval,
+    /// A state referencing a task id that was never registered (L003).
+    OrphanTaskRef,
+    /// A duplicated state interval overlapping its original (L004).
+    OverlappingStates,
+    /// A monotone counter sample below its predecessor (L005).
+    CounterDiscontinuity,
+    /// A memory region placed on a NUMA node outside the topology (L006).
+    NumaOutOfRange,
+}
+
+impl DefectClass {
+    /// Every whole-trace defect class, in lint-code order.
+    pub const ALL: [DefectClass; 6] = [
+        DefectClass::SkewedTimestamps,
+        DefectClass::UnclosedInterval,
+        DefectClass::OrphanTaskRef,
+        DefectClass::OverlappingStates,
+        DefectClass::CounterDiscontinuity,
+        DefectClass::NumaOutOfRange,
+    ];
+
+    /// The lint code this class must be annotated with.
+    pub fn lint_code(self) -> LintCode {
+        match self {
+            DefectClass::SkewedTimestamps => LintCode::NonMonotonicTimestamps,
+            DefectClass::UnclosedInterval => LintCode::UnclosedInterval,
+            DefectClass::OrphanTaskRef => LintCode::OrphanTaskRef,
+            DefectClass::OverlappingStates => LintCode::OverlappingStates,
+            DefectClass::CounterDiscontinuity => LintCode::CounterDiscontinuity,
+            DefectClass::NumaOutOfRange => LintCode::NumaNodeOutOfRange,
+        }
+    }
+}
+
+/// A corrupted trace-in-the-making plus its ground truth.
+#[derive(Debug)]
+pub struct Corruption {
+    /// The trace's builder with the defect appended. Lint it directly
+    /// (`builder.lint()`), or run it through `finish_lint` to exercise repair.
+    pub builder: TraceBuilder,
+    /// Exactly the `(code, event)` pairs the validators must report.
+    pub expected: Vec<(LintCode, EventRef)>,
+}
+
+/// Injects one defect of `class` into a copy of `trace`, deterministically in
+/// `seed`.
+///
+/// Returns `None` when the trace lacks the raw material for the class (e.g. no
+/// state intervals to skew, or no monotone counter samples to regress) — the
+/// injection never weakens its ground-truth guarantee to fit a degenerate
+/// trace.
+pub fn corrupt(trace: &Trace, class: DefectClass, seed: u64) -> Option<Corruption> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match class {
+        DefectClass::SkewedTimestamps => skewed_timestamps(trace, &mut rng),
+        DefectClass::UnclosedInterval => unclosed_interval(trace, &mut rng),
+        DefectClass::OrphanTaskRef => orphan_task_ref(trace, &mut rng),
+        DefectClass::OverlappingStates => overlapping_states(trace, &mut rng),
+        DefectClass::CounterDiscontinuity => counter_discontinuity(trace, &mut rng),
+        DefectClass::NumaOutOfRange => numa_out_of_range(trace, &mut rng),
+    }
+}
+
+/// A CPU state stream's anchor points for appending past its recorded data:
+/// the stream length, the latest recorded interval start, and the furthest
+/// closed interval end.
+fn state_anchor(trace: &Trace, cpu_index: usize) -> Option<(CpuId, usize, u64, u64)> {
+    let pc = &trace.per_cpu()[cpu_index];
+    let states = pc.states();
+    if states.is_empty() {
+        return None;
+    }
+    let last_start = *states.starts().last().unwrap();
+    let tail = states
+        .ends()
+        .iter()
+        .copied()
+        .filter(|&e| e != u64::MAX)
+        .max()
+        .unwrap_or(last_start);
+    Some((pc.cpu(), states.len(), last_start, tail))
+}
+
+/// Picks a seeded element of a candidate list.
+fn pick<T: Copy>(candidates: &[T], rng: &mut StdRng) -> Option<T> {
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.gen_range(0..candidates.len())])
+    }
+}
+
+fn skewed_timestamps(trace: &Trace, rng: &mut StdRng) -> Option<Corruption> {
+    let candidates: Vec<usize> = (0..trace.per_cpu().len())
+        .filter(|&i| state_anchor(trace, i).is_some())
+        .collect();
+    let cpu_index = pick(&candidates, rng)?;
+    let (cpu, len, last_start, tail) = state_anchor(trace, cpu_index)?;
+    let base = tail.max(last_start);
+    let skew = rng.gen_range(10..100u64);
+    let gap = rng.gen_range(1..50u64);
+    // A at `t0`, then B starting `skew` earlier (but still past every recorded
+    // item, so only the recording *order* is wrong — the one-L001 ground truth).
+    let t0 = base.checked_add(skew)?.checked_add(gap)?;
+    let mut builder = trace.to_builder();
+    builder
+        .add_state(
+            cpu,
+            WorkerState::Idle,
+            Timestamp(t0),
+            Timestamp(t0.checked_add(50)?),
+            None,
+        )
+        .ok()?;
+    builder
+        .add_state(
+            cpu,
+            WorkerState::Idle,
+            Timestamp(t0 - skew),
+            Timestamp(t0),
+            None,
+        )
+        .ok()?;
+    Some(Corruption {
+        builder,
+        expected: vec![(
+            LintCode::NonMonotonicTimestamps,
+            EventRef::State {
+                cpu,
+                index: len + 1,
+            },
+        )],
+    })
+}
+
+fn unclosed_interval(trace: &Trace, rng: &mut StdRng) -> Option<Corruption> {
+    let candidates: Vec<usize> = (0..trace.per_cpu().len())
+        .filter(|&i| state_anchor(trace, i).is_some())
+        .collect();
+    let cpu_index = pick(&candidates, rng)?;
+    let (cpu, len, last_start, tail) = state_anchor(trace, cpu_index)?;
+    let start = tail.max(last_start).checked_add(rng.gen_range(1..100))?;
+    let mut builder = trace.to_builder();
+    builder
+        .add_state(
+            cpu,
+            WorkerState::Idle,
+            Timestamp(start),
+            Timestamp::MAX,
+            None,
+        )
+        .ok()?;
+    Some(Corruption {
+        builder,
+        expected: vec![(
+            LintCode::UnclosedInterval,
+            EventRef::State { cpu, index: len },
+        )],
+    })
+}
+
+fn orphan_task_ref(trace: &Trace, rng: &mut StdRng) -> Option<Corruption> {
+    let candidates: Vec<usize> = (0..trace.per_cpu().len())
+        .filter(|&i| state_anchor(trace, i).is_some())
+        .collect();
+    let cpu_index = pick(&candidates, rng)?;
+    let (cpu, len, last_start, tail) = state_anchor(trace, cpu_index)?;
+    let start = tail.max(last_start).checked_add(rng.gen_range(1..100))?;
+    // Ids are dense, so anything at or past `num_tasks` is unregistered.
+    let orphan = TaskId(trace.tasks().len() as u64 + 1 + rng.gen_range(0..1000u64));
+    let mut builder = trace.to_builder();
+    builder
+        .add_state(
+            cpu,
+            WorkerState::TaskExecution,
+            Timestamp(start),
+            Timestamp(start.checked_add(50)?),
+            Some(orphan),
+        )
+        .ok()?;
+    Some(Corruption {
+        builder,
+        expected: vec![(LintCode::OrphanTaskRef, EventRef::State { cpu, index: len })],
+    })
+}
+
+fn overlapping_states(trace: &Trace, rng: &mut StdRng) -> Option<Corruption> {
+    // Duplicating the latest-starting interval keeps the recording order valid
+    // (equal starts are not L001) while the copy lands strictly inside the
+    // timeline the original already covers — exactly one L004.
+    let candidates: Vec<usize> = (0..trace.per_cpu().len())
+        .filter(|&i| {
+            let states = trace.per_cpu()[i].states();
+            match states.last() {
+                Some(s) => s.interval.end != Timestamp::MAX && s.interval.end > s.interval.start,
+                None => false,
+            }
+        })
+        .collect();
+    let cpu_index = pick(&candidates, rng)?;
+    let pc = &trace.per_cpu()[cpu_index];
+    let states = pc.states();
+    let dup = states.last()?;
+    let len = states.len();
+    let mut builder = trace.to_builder();
+    builder
+        .add_state(
+            pc.cpu(),
+            dup.state,
+            dup.interval.start,
+            dup.interval.end,
+            dup.task,
+        )
+        .ok()?;
+    Some(Corruption {
+        builder,
+        expected: vec![(
+            LintCode::OverlappingStates,
+            EventRef::State {
+                cpu: pc.cpu(),
+                index: len,
+            },
+        )],
+    })
+}
+
+fn counter_discontinuity(trace: &Trace, rng: &mut StdRng) -> Option<Corruption> {
+    let mut candidates = Vec::new();
+    for (i, pc) in trace.per_cpu().iter().enumerate() {
+        for (counter, samples) in pc.sample_streams() {
+            let monotone = trace
+                .counters()
+                .get(counter.0 as usize)
+                .map(|c| c.monotone)
+                .unwrap_or(false);
+            if monotone && !samples.is_empty() {
+                candidates.push((i, counter));
+            }
+        }
+    }
+    let (cpu_index, counter) = pick(&candidates, rng)?;
+    let pc = &trace.per_cpu()[cpu_index];
+    let samples = pc.samples(counter)?;
+    let last = samples.get(samples.len() - 1);
+    let ts = last.timestamp.0.checked_add(rng.gen_range(1..100))?;
+    let value = last.value - rng.gen_range(1.0..100.0);
+    let len = samples.len();
+    let mut builder = trace.to_builder();
+    builder
+        .add_sample(counter, pc.cpu(), Timestamp(ts), value)
+        .ok()?;
+    Some(Corruption {
+        builder,
+        expected: vec![(
+            LintCode::CounterDiscontinuity,
+            EventRef::Sample {
+                cpu: pc.cpu(),
+                counter,
+                index: len,
+            },
+        )],
+    })
+}
+
+fn numa_out_of_range(trace: &Trace, rng: &mut StdRng) -> Option<Corruption> {
+    // Place the bogus region past every recorded address so region ordering
+    // (and with it every other region's index) is untouched.
+    let past_end = trace
+        .regions()
+        .iter()
+        .map(|r| r.base_addr.saturating_add(r.size))
+        .max()
+        .unwrap_or(0x1000);
+    let base = past_end.checked_add(rng.gen_range(0x1000..0x10000))?;
+    let node = NumaNodeId((trace.topology().num_nodes() as u32) + 1 + rng.gen_range(0..8u32));
+    let index = trace.regions().len();
+    let mut builder = trace.to_builder();
+    builder.add_region(base, 4096, Some(node));
+    Some(Corruption {
+        builder,
+        expected: vec![(LintCode::NumaNodeOutOfRange, EventRef::Region { index })],
+    })
+}
+
+/// A streaming-transport defect injectable into a chunked replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChunkDefect {
+    /// One chunk never arrives (L007, surfaced by `close_lint`).
+    Drop,
+    /// Two adjacent chunks arrive in swapped order (L007).
+    Swap,
+}
+
+impl ChunkDefect {
+    /// Both streaming defect classes.
+    pub const ALL: [ChunkDefect; 2] = [ChunkDefect::Drop, ChunkDefect::Swap];
+}
+
+/// A corrupted chunked replay plus its ground truth.
+///
+/// Drive it by feeding `arrivals` through `StreamingTrace::append_lint` in
+/// order, then calling `close_lint`; the merged reports must contain exactly
+/// `expected`.
+#[derive(Debug)]
+pub struct ChunkCorruption {
+    /// The canonicalized (streamable) form of the input trace — what a defect-
+    /// free replay reassembles.
+    pub streamable: Trace,
+    /// The pre-split prologue builder for `StreamingTrace::new`.
+    pub prologue: TraceBuilder,
+    /// `(sequence, chunk)` pairs in (corrupted) arrival order.
+    pub arrivals: Vec<(u64, TraceChunk)>,
+    /// Exactly the `(code, event)` pairs the lint stream must report.
+    pub expected: Vec<(LintCode, EventRef)>,
+}
+
+/// Splits `trace` into `num_chunks` streaming chunks and corrupts their
+/// arrival with `defect`, deterministically in `seed`.
+///
+/// Returns `None` when the trace cannot be split into at least two chunks
+/// (a dropped *final* chunk is indistinguishable from a shorter run, so the
+/// defect is always planted before the last chunk).
+pub fn corrupt_chunks(
+    trace: &Trace,
+    num_chunks: usize,
+    defect: ChunkDefect,
+    seed: u64,
+) -> Option<ChunkCorruption> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let streamable = make_streamable(trace);
+    let (prologue, chunks) = split_even(&streamable, num_chunks).ok()?;
+    let n = chunks.len();
+    if n < 2 {
+        return None;
+    }
+    let k = rng.gen_range(0..n - 1) as u64;
+    let mut arrivals: Vec<(u64, TraceChunk)> = chunks
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (i as u64, c))
+        .collect();
+    match defect {
+        ChunkDefect::Drop => {
+            arrivals.remove(k as usize);
+        }
+        ChunkDefect::Swap => {
+            arrivals.swap(k as usize, k as usize + 1);
+        }
+    }
+    Some(ChunkCorruption {
+        streamable,
+        prologue,
+        arrivals,
+        expected: vec![(LintCode::ChunkSequence, EventRef::Chunk { sequence: k })],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aftermath_sim::spec::WorkloadSpec;
+    use aftermath_sim::{SimConfig, Simulator};
+    use aftermath_trace::{LintMode, LintReport, StreamingTrace};
+
+    fn sample_trace() -> Trace {
+        let mut spec = WorkloadSpec::new("corrupt-fixture");
+        let ty = spec.add_task_type("work", 0x1000);
+        let mut outs = Vec::new();
+        for i in 0..8u64 {
+            let out = spec.add_region(4096);
+            spec.add_task(ty, 20_000 + i * 1_000)
+                .writes(&[out])
+                .cache_misses(100 + i * 10)
+                .mispredictions(50 + i)
+                .done();
+            outs.push(out);
+        }
+        let sink = spec.add_region(4096);
+        spec.add_task(ty, 30_000)
+            .reads(&outs)
+            .writes(&[sink])
+            .done();
+        Simulator::new(SimConfig::small_test())
+            .run(&spec)
+            .expect("fixture simulates")
+            .trace
+    }
+
+    fn flat(report: &LintReport) -> Vec<(LintCode, EventRef)> {
+        report
+            .findings()
+            .iter()
+            .map(|f| (f.code, f.event))
+            .collect()
+    }
+
+    #[test]
+    fn every_defect_class_round_trips_with_exact_codes() {
+        let trace = sample_trace();
+        assert!(trace.lint().is_clean(), "fixture must start clean");
+        for class in DefectClass::ALL {
+            for seed in [1u64, 99] {
+                let c = corrupt(&trace, class, seed)
+                    .unwrap_or_else(|| panic!("{class:?} must apply to the fixture"));
+                assert_eq!(
+                    flat(&c.builder.lint()),
+                    c.expected,
+                    "{class:?}/{seed} must flag exactly the injection"
+                );
+                let repaired = c
+                    .builder
+                    .finish_lint(LintMode::Lenient)
+                    .expect("lenient repair succeeds");
+                assert!(
+                    repaired.report().summary().count(class.lint_code()) >= 1,
+                    "{class:?} repair must be recorded"
+                );
+                assert!(
+                    repaired.trace().lint().is_clean(),
+                    "{class:?} repaired trace must lint clean"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic_in_its_seed() {
+        let trace = sample_trace();
+        for class in DefectClass::ALL {
+            let a = corrupt(&trace, class, 7).unwrap();
+            let b = corrupt(&trace, class, 7).unwrap();
+            assert_eq!(a.expected, b.expected);
+            let ta = a.builder.finish_lint(LintMode::Lenient).unwrap();
+            let tb = b.builder.finish_lint(LintMode::Lenient).unwrap();
+            assert_eq!(ta.trace(), tb.trace());
+        }
+    }
+
+    #[test]
+    fn chunk_corruptions_flag_exactly_the_injected_sequence() {
+        let trace = sample_trace();
+        for defect in ChunkDefect::ALL {
+            let c = corrupt_chunks(&trace, 4, defect, 11).expect("fixture splits into 4");
+            let mut stream = StreamingTrace::new(c.prologue).unwrap();
+            let mut total = LintReport::new();
+            for (seq, chunk) in c.arrivals {
+                total.merge(stream.append_lint(seq, chunk, LintMode::Lenient).unwrap());
+            }
+            total.merge(stream.close_lint().unwrap());
+            assert_eq!(flat(&total), c.expected, "{defect:?}");
+            if defect == ChunkDefect::Swap {
+                // A swap is healed by buffering: the replay is byte-identical.
+                assert_eq!(stream.trace(), &c.streamable);
+            }
+        }
+    }
+}

@@ -13,7 +13,12 @@
 //!   branch-misprediction behaviour of the conditional-update kernel (paper Sections
 //!   III-C and V),
 //! * [`synthetic`] — fork-join, pipeline and random layered DAGs used for stress tests
-//!   and the rendering/index benchmarks of Section VI.
+//!   and the rendering/index benchmarks of Section VI,
+//! * [`adversarial`] — workloads that plant exactly one performance pathology
+//!   (work-stealing collapse, stragglers, a NUMA storm, a phase change) together with
+//!   a machine-readable manifest of the anomaly detector expected to find it,
+//! * [`corrupt`] — a deterministic harness injecting every lint defect class
+//!   (`L001`…`L008`) into arbitrary traces with exact expected annotations.
 //!
 //! ## Example
 //!
@@ -32,9 +37,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adversarial;
+pub mod corrupt;
 pub mod kmeans;
 pub mod seidel;
 pub mod synthetic;
 
+pub use adversarial::{AdversarialWorkload, AnomalyManifest, ExpectedDetector};
+pub use corrupt::{ChunkCorruption, ChunkDefect, Corruption, DefectClass};
 pub use kmeans::KMeansConfig;
 pub use seidel::SeidelConfig;

@@ -1,0 +1,177 @@
+//! Ground-truth detector tests for the adversarial workload corpus: each
+//! generator in `aftermath_workloads::adversarial` plants exactly one
+//! performance pathology and ships a manifest naming the detector expected to
+//! find it. Here every workload is simulated and the manifest is checked — the
+//! planted anomaly must appear within the manifest's `top_k` findings of its
+//! kind in the severity-ranked report.
+
+use aftermath::prelude::*;
+use aftermath::workloads::adversarial::{self, AdversarialWorkload, ExpectedDetector};
+use aftermath_core::AnalysisSession;
+use aftermath_trace::{TaskId, TimeInterval, Trace};
+
+/// The fixed seed of the corpus: ground truth must be reproducible, not flaky.
+const SEED: u64 = 42;
+
+fn simulate(w: &AdversarialWorkload) -> Trace {
+    Simulator::new(SimConfig::small_test())
+        .run(&w.spec)
+        .expect("adversarial workload simulates")
+        .trace
+}
+
+/// Recovers the planted tasks' trace ids. The simulator assigns `TaskId`s in
+/// execution order, so spec indices are mapped structurally: by the manifest's
+/// dedicated task type where one exists, otherwise by the structural signature
+/// the generator documents (longest durations for the straggler corpus,
+/// latest starts for the post-barrier phase).
+fn planted_trace_tasks(w: &AdversarialWorkload, trace: &Trace) -> Vec<TaskId> {
+    let n = w.manifest.planted_tasks.len();
+    match w.manifest.planted_type {
+        Some(name) => {
+            let ty = trace
+                .task_types()
+                .iter()
+                .find(|t| t.name == name)
+                .expect("planted task type recorded")
+                .id;
+            trace
+                .tasks()
+                .iter()
+                .filter(|t| t.task_type == ty)
+                .map(|t| t.id)
+                .collect()
+        }
+        None => {
+            let mut tasks: Vec<_> = trace.tasks().iter().collect();
+            match w.manifest.detector {
+                ExpectedDetector::DurationOutlier => {
+                    tasks.sort_by_key(|t| std::cmp::Reverse(t.duration()));
+                }
+                ExpectedDetector::CounterOutlier => {
+                    tasks.sort_by_key(|t| std::cmp::Reverse(t.execution.start));
+                }
+                _ => unreachable!("type-tagged detectors carry planted_type"),
+            }
+            tasks[..n].iter().map(|t| t.id).collect()
+        }
+    }
+}
+
+fn kind_of(detector: ExpectedDetector) -> AnomalyKind {
+    match detector {
+        ExpectedDetector::IdlePhase => AnomalyKind::IdlePhase,
+        ExpectedDetector::NumaLocality => AnomalyKind::NumaLocality,
+        ExpectedDetector::CounterOutlier => AnomalyKind::CounterOutlier,
+        ExpectedDetector::DurationOutlier => AnomalyKind::DurationOutlier,
+    }
+}
+
+/// Simulates `w` and asserts its manifest holds: the planted anomaly ranks
+/// within `top_k` of its kind.
+fn assert_rediscovered(w: &AdversarialWorkload) {
+    let trace = simulate(w);
+    assert_eq!(
+        trace.tasks().len(),
+        w.spec.num_tasks(),
+        "{}: every spec task must execute",
+        w.spec.name
+    );
+    let planted = planted_trace_tasks(w, &trace);
+    assert_eq!(
+        planted.len(),
+        w.manifest.planted_tasks.len(),
+        "{}",
+        w.spec.name
+    );
+
+    // Idle phases are attributed to time, not tasks: match by the planted
+    // tasks' execution hull. Everything else names the tasks directly.
+    let hull: TimeInterval = trace
+        .tasks()
+        .iter()
+        .filter(|t| planted.contains(&t.id))
+        .map(|t| t.execution)
+        .reduce(|a, b| a.union_hull(&b))
+        .expect("planted tasks executed");
+
+    let session = AnalysisSession::new(&trace);
+    let report = session.detect_anomalies(&AnomalyConfig::default()).unwrap();
+    let kind = kind_of(w.manifest.detector);
+    assert_eq!(kind.label(), w.manifest.detector.label());
+
+    let hit = report
+        .of_kind(kind)
+        .take(w.manifest.top_k)
+        .find(|a| match kind {
+            AnomalyKind::IdlePhase => a.interval.overlaps(&hull),
+            _ => a.tasks.iter().any(|t| planted.contains(t)),
+        });
+    assert!(
+        hit.is_some(),
+        "{}: planted {:?} ({}) must rank top-{} — report: {:#?}",
+        w.spec.name,
+        w.manifest.detector,
+        w.manifest.note,
+        w.manifest.top_k,
+        report.as_slice()
+    );
+}
+
+#[test]
+fn work_stealing_pathology_is_rediscovered_as_idle_phase() {
+    assert_rediscovered(&adversarial::work_stealing_pathology(SEED));
+}
+
+#[test]
+fn oversubscription_stragglers_are_rediscovered_as_duration_outliers() {
+    let w = adversarial::oversubscription(SEED);
+    assert_rediscovered(&w);
+
+    // The structural mapping is sound: the recovered stragglers really are the
+    // planted 1.5M-cycle tasks, ~75x the baseline.
+    let trace = simulate(&w);
+    let planted = planted_trace_tasks(&w, &trace);
+    for t in trace.tasks() {
+        if planted.contains(&t.id) {
+            assert!(t.duration() >= 1_500_000, "straggler runs its full work");
+        } else {
+            assert!(t.duration() < 200_000, "baseline tasks stay short");
+        }
+    }
+}
+
+#[test]
+fn numa_storm_is_rediscovered_as_numa_locality_anomaly() {
+    assert_rediscovered(&adversarial::numa_storm(SEED));
+}
+
+#[test]
+fn phase_change_is_rediscovered_as_counter_outlier() {
+    let w = adversarial::phase_change(SEED);
+    assert_rediscovered(&w);
+
+    // The manifest names the planted counter, and the top counter anomaly
+    // must be about it.
+    let trace = simulate(&w);
+    let session = AnalysisSession::new(&trace);
+    let report = session.detect_anomalies(&AnomalyConfig::default()).unwrap();
+    let counter = w.manifest.counter.expect("counter pathology");
+    let top = report
+        .of_kind(AnomalyKind::CounterOutlier)
+        .next()
+        .expect("counter anomaly found");
+    assert!(
+        top.explanation.contains(counter),
+        "explanation names {counter}: {}",
+        top.explanation
+    );
+}
+
+#[test]
+fn whole_corpus_holds_at_another_seed() {
+    // The manifests are properties of the generators, not of one lucky seed.
+    for w in adversarial::all(7) {
+        assert_rediscovered(&w);
+    }
+}

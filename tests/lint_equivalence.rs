@@ -1,0 +1,215 @@
+//! Property tests pinning the lint layer to its ground truth: for random clean
+//! traces the validators report **zero** annotations; for every defect class
+//! injected by the corruption harness they flag **exactly** the injected
+//! events (no false positives, no misses); repair is the identity on clean
+//! traces (column lanes byte-identical) and idempotent; and repaired traces
+//! run the full analysis pipeline — all six timeline modes, interval queries
+//! and anomaly rankings — without panicking.
+
+use aftermath::prelude::*;
+use aftermath_core::AnalysisSession;
+use aftermath_trace::{
+    AccessKind, EventRef, LintCode, LintMode, LintReport, StreamingTrace, Trace,
+};
+use aftermath_workloads::corrupt::{corrupt, corrupt_chunks, ChunkDefect, DefectClass};
+use proptest::prelude::*;
+
+/// A random *clean* trace: per-CPU states are contiguous and closed, task
+/// references are registered before use, the monotone counter accumulates, and
+/// both regions live on valid NUMA nodes — by construction, nothing to lint.
+fn clean_trace_strategy() -> impl Strategy<Value = Trace> {
+    (
+        1u32..3,                                                                   // nodes
+        1u32..3,                                                                   // cpus/node
+        prop::collection::vec((1u64..400, 0u64..200, 0u8..3, 0.0f64..1e3), 1..60), // tasks
+    )
+        .prop_map(|(nodes, cpus, items)| {
+            let topo = MachineTopology::uniform(nodes, cpus);
+            let num_cpus = topo.num_cpus() as u32;
+            let mut b = TraceBuilder::new(topo);
+            let types: Vec<_> = (0..3)
+                .map(|i| b.add_task_type(format!("ty{i}"), 0x1000 + i))
+                .collect();
+            let ctr = b.add_counter("c", true);
+            let region_bytes = 1u64 << 12;
+            let r0 = 0x10_000u64;
+            let r1 = 0x20_000u64;
+            b.add_region(r0, region_bytes, Some(NumaNodeId(0)));
+            b.add_region(r1, region_bytes, Some(NumaNodeId(nodes.saturating_sub(1))));
+            // One global clock: task starts are non-decreasing across CPUs, so
+            // the registration order is already execution-start order (keeps
+            // the trace streamable for the chunk-defect properties).
+            let mut now = 0u64;
+            let mut cpu_tail = vec![0u64; num_cpus as usize];
+            let mut ctr_acc = vec![0.0f64; num_cpus as usize];
+            for (i, (work, gap, ty, increment)) in items.into_iter().enumerate() {
+                let cpu = CpuId((i as u32 * 7 + ty as u32) % num_cpus);
+                let start = now.max(cpu_tail[cpu.0 as usize]);
+                let end = start + work;
+                let task = b.add_task(
+                    types[ty as usize % types.len()],
+                    cpu,
+                    Timestamp(start),
+                    Timestamp(start),
+                    Timestamp(end),
+                );
+                if cpu_tail[cpu.0 as usize] < start {
+                    b.add_state(
+                        cpu,
+                        WorkerState::Idle,
+                        Timestamp(cpu_tail[cpu.0 as usize]),
+                        Timestamp(start),
+                        None,
+                    )
+                    .unwrap();
+                }
+                b.add_state(
+                    cpu,
+                    WorkerState::TaskExecution,
+                    Timestamp(start),
+                    Timestamp(end),
+                    Some(task),
+                )
+                .unwrap();
+                // Monotone counters must accumulate to stay clean.
+                ctr_acc[cpu.0 as usize] += increment;
+                b.add_sample(ctr, cpu, Timestamp(start), ctr_acc[cpu.0 as usize])
+                    .unwrap();
+                b.add_access(task, AccessKind::Read, r0 + (start % region_bytes), 64)
+                    .unwrap();
+                b.add_access(task, AccessKind::Write, r1 + (end % region_bytes), 32)
+                    .unwrap();
+                cpu_tail[cpu.0 as usize] = end;
+                now = start + gap;
+            }
+            b.finish().unwrap()
+        })
+}
+
+fn flat(report: &LintReport) -> Vec<(LintCode, EventRef)> {
+    report
+        .findings()
+        .iter()
+        .map(|f| (f.code, f.event))
+        .collect()
+}
+
+/// Runs the whole read side over a trace: all six timeline modes, an interval
+/// query, and the anomaly engine. Panics (failing the property) if any layer
+/// chokes — the contract repaired traces must honour.
+fn exercise_analysis(trace: &Trace) {
+    let session = AnalysisSession::new(trace);
+    let bounds = session.time_bounds();
+    let max = trace
+        .tasks()
+        .iter()
+        .map(|t| t.duration())
+        .max()
+        .unwrap_or(1);
+    let modes = [
+        TimelineMode::State,
+        TimelineMode::Heatmap {
+            min_duration: 0,
+            max_duration: max,
+        },
+        TimelineMode::TaskType,
+        TimelineMode::NumaRead,
+        TimelineMode::NumaWrite,
+        TimelineMode::NumaHeat,
+    ];
+    // A heavily repaired trace can collapse to a point (e.g. a dropped chunk
+    // leaves a single instant); the timeline legitimately rejects an empty
+    // viewport, so only render when there is time to show.
+    if bounds.duration() > 0 {
+        for mode in modes {
+            session.timeline(mode, bounds, 16).unwrap();
+        }
+    }
+    let q = session.query(bounds);
+    for cpu in trace.topology().cpu_ids() {
+        let _ = q.state_cycles(cpu);
+    }
+    session.detect_anomalies(&AnomalyConfig::default()).unwrap();
+}
+
+proptest! {
+    #[test]
+    fn clean_traces_have_zero_annotations(trace in clean_trace_strategy()) {
+        let report = trace.lint();
+        prop_assert!(report.is_clean(), "false positives: {:?}", flat(&report));
+        prop_assert_eq!(report.summary().total(), 0);
+    }
+
+    #[test]
+    fn repair_is_identity_on_clean_traces_and_idempotent(trace in clean_trace_strategy()) {
+        let once = trace.repair().unwrap();
+        prop_assert!(once.report().is_clean());
+        // Identity down to the column lanes: `Trace` equality compares the
+        // SoA storage directly.
+        prop_assert_eq!(once.trace(), &trace);
+        let twice = once.trace().repair().unwrap();
+        prop_assert_eq!(twice.trace(), once.trace());
+    }
+
+    #[test]
+    fn injected_defects_are_flagged_exactly_and_repaired(
+        trace in clean_trace_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        for class in DefectClass::ALL {
+            let Some(c) = corrupt(&trace, class, seed) else {
+                // Only degenerate traces lack raw material for a class; the
+                // strategy always records states, samples and regions.
+                panic!("{class:?} must apply to every generated trace");
+            };
+            prop_assert_eq!(
+                flat(&c.builder.lint()),
+                c.expected.clone(),
+                "{:?}/{} must flag exactly the injection",
+                class,
+                seed
+            );
+            let repaired = c.builder.finish_lint(LintMode::Lenient).unwrap();
+            prop_assert!(
+                repaired.report().summary().count(class.lint_code()) >= 1,
+                "{:?} annotation must survive into the report",
+                class
+            );
+            prop_assert!(
+                repaired.trace().lint().is_clean(),
+                "{:?} repair must converge",
+                class
+            );
+            exercise_analysis(repaired.trace());
+        }
+    }
+
+    #[test]
+    fn chunk_defects_are_detected_at_random_boundaries(
+        trace in clean_trace_strategy(),
+        num_chunks in 2usize..6,
+        seed in 0u64..1_000,
+    ) {
+        for defect in ChunkDefect::ALL {
+            let Some(cc) = corrupt_chunks(&trace, num_chunks, defect, seed) else {
+                // Tiny traces may not split into two non-degenerate chunks.
+                continue;
+            };
+            let mut stream = StreamingTrace::new(cc.prologue).unwrap();
+            let mut total = LintReport::new();
+            for (seq, chunk) in cc.arrivals {
+                total.merge(stream.append_lint(seq, chunk, LintMode::Lenient).unwrap());
+            }
+            total.merge(stream.close_lint().unwrap());
+            prop_assert_eq!(flat(&total), cc.expected.clone(), "{:?}", defect);
+            if defect == ChunkDefect::Swap {
+                // A swap is healed by buffering: the replay is byte-identical.
+                prop_assert_eq!(stream.trace(), &cc.streamable);
+            }
+            // Whatever the defect, the healed result lints clean and answers
+            // every analysis question.
+            prop_assert!(stream.trace().lint().is_clean(), "{:?}", defect);
+            exercise_analysis(stream.trace());
+        }
+    }
+}
