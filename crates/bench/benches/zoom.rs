@@ -24,7 +24,11 @@ fn bench_zoom_frames(c: &mut Criterion) {
     let mut group = c.benchmark_group("zoom_frame");
     for factor in ZOOM_FACTORS {
         let window = zoom_window(bounds, factor);
-        for engine in [TimelineEngine::Scan, TimelineEngine::Pyramid] {
+        for engine in [
+            TimelineEngine::Scan,
+            TimelineEngine::Pyramid,
+            TimelineEngine::Adaptive,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{state_name}_{engine:?}"), factor),
                 &factor,
@@ -62,5 +66,30 @@ fn bench_pyramid_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_zoom_frames, bench_pyramid_build);
+fn bench_state_kernel(c: &mut Criterion) {
+    use aftermath_core::{kernels, SimdLevel};
+    let n = 1 << 18;
+    let starts: Vec<u64> = (0..n as u64).map(|i| i * 10).collect();
+    let ends: Vec<u64> = (0..n as u64).map(|i| i * 10 + 7).collect();
+    let tags: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+    let mut sums = [0u64; aftermath_trace::WorkerState::COUNT];
+
+    let mut group = c.benchmark_group("state_kernel");
+    group.bench_function("tag_duration_sums_scalar", |b| {
+        b.iter(|| {
+            kernels::tag_duration_sums_at(SimdLevel::Scalar, &starts, &ends, &tags, &mut sums)
+        });
+    });
+    group.bench_function("tag_duration_sums_dispatched", |b| {
+        b.iter(|| kernels::tag_duration_sums(&starts, &ends, &tags, &mut sums));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_zoom_frames,
+    bench_pyramid_build,
+    bench_state_kernel
+);
 criterion_main!(benches);

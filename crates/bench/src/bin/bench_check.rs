@@ -7,9 +7,15 @@
 //! Compares a freshly measured record against the committed baseline of the same
 //! kind (the `bench` field of the shared envelope selects the gating rules):
 //!
-//! * `zoom_sweep` — the pyramid speedup ratio (`zoomed_out_speedup`, scan time
-//!   over pyramid time at the fully zoomed-out level) must not regress by more
-//!   than `--max-regression` (default 0.25),
+//! * `zoom_sweep` — the **per-cell adaptive rule**: in every `(zoom, mode)` frame
+//!   of the fresh record, the adaptive engine must not be more than 10 % slower
+//!   than the better of the two explicit engines (plus a small absolute slack
+//!   that absorbs timer noise on microsecond frames). This replaces the old
+//!   single `zoomed_out_speedup` floor: the adaptive engine is only correct if
+//!   **no** zoom level takes the slower path, which a single zoomed-out ratio
+//!   cannot see. When the record was measured with a SIMD tier active
+//!   (`simd_level` ≠ `scalar`), the state-gating kernel microbenchmark
+//!   (`state_kernel_speedup`) must additionally reach 2×.
 //! * `ingest` — the columnar storage engine's analysis throughput
 //!   (`analyze_events_per_sec`: prewarm + anomaly detection) must not regress by
 //!   more than `--max-regression`, **and** the storage density
@@ -17,16 +23,31 @@
 //!   deterministic for a fixed trace, so the slack only absorbs intentional
 //!   small format changes — anything larger must re-baseline explicitly).
 //!
-//! Records of a different `schema_version` (or without one — pre-envelope files),
-//! of mismatched kinds, or of unknown kinds are **incomparable** and rejected with
-//! exit code 2; a regression exits with 1; a pass exits with 0.
+//! Records outside the accepted `schema_version` range (or without one —
+//! pre-envelope files), of mismatched kinds, or of unknown kinds are
+//! **incomparable** and rejected with exit code 2; a regression exits with 1; a
+//! pass exits with 0.
 
 use std::process::ExitCode;
 
-use aftermath_bench::record::{json_number, json_string, BENCH_SCHEMA_VERSION};
+use aftermath_bench::record::{
+    json_number, json_string, BENCH_SCHEMA_VERSION, MIN_BENCH_SCHEMA_VERSION,
+};
 
 /// Allowed growth of `bytes_per_event` before the ingest gate trips.
 const MAX_MEMORY_GROWTH: f64 = 0.10;
+
+/// Allowed adaptive-over-best slowdown per `(zoom, mode)` frame (10 %).
+const MAX_ADAPTIVE_SLOWDOWN: f64 = 0.10;
+
+/// Absolute per-frame slack (seconds) on top of [`MAX_ADAPTIVE_SLOWDOWN`]: deep
+/// zoom frames run in microseconds, where a single timer quantum would otherwise
+/// dominate the ratio.
+const ADAPTIVE_ABS_SLACK: f64 = 100e-6;
+
+/// Required scalar-over-dispatched speedup of the state-gating kernel
+/// microbenchmark when a SIMD tier is active.
+const MIN_KERNEL_SPEEDUP: f64 = 2.0;
 
 struct Record {
     label: String,
@@ -50,9 +71,9 @@ fn load(path: &str) -> Result<Record, String> {
     let contents = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let schema = json_number(&contents, "schema_version")
         .ok_or_else(|| format!("{path}: no schema_version field — incomparable record"))?;
-    if schema != BENCH_SCHEMA_VERSION as f64 {
+    if schema < MIN_BENCH_SCHEMA_VERSION as f64 || schema > BENCH_SCHEMA_VERSION as f64 {
         return Err(format!(
-            "{path}: schema_version {schema} does not match this binary's {BENCH_SCHEMA_VERSION} — incomparable record"
+            "{path}: schema_version {schema} outside this binary's accepted range {MIN_BENCH_SCHEMA_VERSION}..={BENCH_SCHEMA_VERSION} — incomparable record"
         ));
     }
     let bench = json_string(&contents, "bench").unwrap_or_default();
@@ -116,6 +137,80 @@ fn gate_ceiling(
     Ok(true)
 }
 
+/// The per-cell adaptive rule over every `(zoom, mode)` frame of the fresh
+/// record: `adaptive_seconds <= min(scan, pyramid) * (1 + MAX_ADAPTIVE_SLOWDOWN)
+/// + ADAPTIVE_ABS_SLACK`. Frames are the one-object-per-line entries of the
+/// `frames` array, each carrying its own flat key/value fields.
+fn gate_adaptive_cells(fresh: &Record) -> Result<bool, String> {
+    let mut cells = 0;
+    let mut ok = true;
+    for line in fresh.contents.lines() {
+        if !line.contains("\"zoom_factor\"") {
+            continue;
+        }
+        let zoom = json_number(line, "zoom_factor")
+            .ok_or_else(|| format!("{}: frame without zoom_factor: {line}", fresh.label))?;
+        let mode = json_string(line, "mode")
+            .ok_or_else(|| format!("{}: frame without mode: {line}", fresh.label))?;
+        let scan = json_number(line, "scan_seconds")
+            .ok_or_else(|| format!("{}: frame without scan_seconds: {line}", fresh.label))?;
+        let pyramid = json_number(line, "pyramid_seconds")
+            .ok_or_else(|| format!("{}: frame without pyramid_seconds: {line}", fresh.label))?;
+        let adaptive = json_number(line, "adaptive_seconds")
+            .ok_or_else(|| format!("{}: frame without adaptive_seconds: {line}", fresh.label))?;
+        let best = scan.min(pyramid);
+        let ceiling = best * (1.0 + MAX_ADAPTIVE_SLOWDOWN) + ADAPTIVE_ABS_SLACK;
+        cells += 1;
+        if adaptive > ceiling {
+            eprintln!(
+                "bench_check: FAIL — adaptive engine {:.1}% slower than the better explicit engine at (zoom {zoom}, {mode}): {adaptive:.6}s vs best {best:.6}s (ceiling {ceiling:.6}s)",
+                (adaptive / best.max(1e-12) - 1.0) * 100.0
+            );
+            ok = false;
+        }
+    }
+    if cells == 0 {
+        return Err(format!(
+            "{}: zoom_sweep record carries no frames — incomparable",
+            fresh.label
+        ));
+    }
+    println!(
+        "bench_check: adaptive-vs-best checked over {cells} (zoom, mode) cells of {} ({})",
+        fresh.label,
+        if ok {
+            "all within ceiling"
+        } else {
+            "violations above"
+        }
+    );
+    Ok(ok)
+}
+
+/// The SIMD microbenchmark floor: when the fresh record was measured with a wide
+/// tier active, the state-gating kernel must show at least
+/// [`MIN_KERNEL_SPEEDUP`]× over its scalar reference. Scalar records (e.g. a CI
+/// runner with `AFTERMATH_NO_SIMD=1`, or non-x86 hardware) skip the gate.
+fn gate_kernel_speedup(fresh: &Record) -> Result<bool, String> {
+    let level = json_string(&fresh.contents, "simd_level")
+        .ok_or_else(|| format!("{}: no simd_level field", fresh.label))?;
+    if level == "scalar" {
+        println!("bench_check: kernel speedup gate skipped (scalar tier record)");
+        return Ok(true);
+    }
+    let speedup = fresh.number("state_kernel_speedup")?;
+    println!(
+        "bench_check: state kernel speedup {speedup:.2}x at tier '{level}' (floor {MIN_KERNEL_SPEEDUP:.1}x)"
+    );
+    if speedup < MIN_KERNEL_SPEEDUP {
+        eprintln!(
+            "bench_check: FAIL — state-gating kernel speedup {speedup:.2}x below the {MIN_KERNEL_SPEEDUP:.1}x floor at tier '{level}'"
+        );
+        return Ok(false);
+    }
+    Ok(true)
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut max_regression = 0.25f64;
@@ -162,13 +257,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let gates = match fresh.bench.as_str() {
-        "zoom_sweep" => vec![gate_floor(
-            "pyramid zoomed-out speedup",
-            &fresh,
-            &baseline,
-            "zoomed_out_speedup",
-            max_regression,
-        )],
+        "zoom_sweep" => vec![gate_adaptive_cells(&fresh), gate_kernel_speedup(&fresh)],
         "ingest" => vec![
             gate_floor(
                 "analysis throughput (events/s)",

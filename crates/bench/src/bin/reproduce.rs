@@ -379,22 +379,40 @@ fn zoom_sweep(options: &Options) {
     let verify = options.scale == Scale::Test;
     let sweep = zoom::run_zoom_sweep(&trace, columns, options.threads, verify);
     print_series_header(
-        "Zoom sweep — timeline frame times: per-column scan vs. aggregation pyramid",
-        "zoom_factor,mode,scan_ms,pyramid_ms,speedup",
+        "Zoom sweep — timeline frame times: scan vs. pyramid vs. adaptive",
+        "zoom_factor,mode,scan_ms,pyramid_ms,adaptive_ms,engine,speedup",
     );
     for frame in &sweep.frames {
         println!(
-            "{},{},{:.3},{:.3},{:.2}",
+            "{},{},{:.3},{:.3},{:.3},{},{:.2}",
             frame.zoom_factor,
             frame.mode,
             frame.scan_seconds * 1e3,
             frame.pyramid_seconds * 1e3,
+            frame.adaptive_seconds * 1e3,
+            frame.engine,
             frame.speedup()
         );
     }
     println!(
-        "# trace: {} events; {} columns; prewarm (indexes + pyramids): {:.3}s",
-        sweep.num_events, sweep.columns, sweep.prewarm_seconds
+        "# trace: {} events; {} columns; prewarm (indexes + pyramids): {:.3}s; cost-model calibration: {:.3}s",
+        sweep.num_events, sweep.columns, sweep.prewarm_seconds, sweep.calibration_seconds
+    );
+    println!(
+        "# engine choices match prediction log: {} frames",
+        sweep.frames.len()
+    );
+    println!(
+        "# worst adaptive-vs-best ratio: {:.3} (acceptance: <= 1.10 per cell)",
+        sweep.worst_adaptive_vs_best()
+    );
+    println!(
+        "# state kernel ({} lanes): scalar {:.3} ms, {} {:.3} ms, speedup {:.2}x",
+        sweep.kernel.lanes,
+        sweep.kernel.scalar_seconds * 1e3,
+        sweep.kernel.simd_level,
+        sweep.kernel.simd_seconds * 1e3,
+        sweep.kernel.speedup()
     );
     println!(
         "# pyramid memory: {} bytes = {:.2}% of {} bytes raw event data (budget: < 15%)",

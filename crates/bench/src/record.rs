@@ -19,8 +19,18 @@
 use std::process::Command;
 
 /// Version of the `BENCH_*.json` record schema. Bump when fields change meaning;
-/// the `bench_check` gate refuses to compare records of different versions.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// the `bench_check` gate refuses to compare records outside
+/// [`MIN_BENCH_SCHEMA_VERSION`]`..=`[`BENCH_SCHEMA_VERSION`].
+///
+/// * v2 — zoom-sweep records grew per-frame `adaptive_seconds`/`engine` columns
+///   plus the kernel-microbenchmark and calibration fields. Existing v1 fields
+///   kept their meaning, so v1 baselines of other kinds stay comparable.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest record schema the gate still accepts: v1 records' shared fields are
+/// unchanged in v2, so stored v1 baselines (e.g. `BENCH_ingest.json`) remain
+/// comparable.
+pub const MIN_BENCH_SCHEMA_VERSION: u64 = 1;
 
 /// `git describe --always --dirty --tags` of the working tree, or `"unknown"` when
 /// git or the repository is unavailable.

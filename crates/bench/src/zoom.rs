@@ -19,7 +19,8 @@
 use std::time::Instant;
 
 use aftermath_core::{
-    AnalysisSession, TaskFilter, Threads, TimelineEngine, TimelineMode, TimelineModel,
+    kernels, AnalysisSession, SimdLevel, TaskFilter, Threads, TimelineEngine, TimelineMode,
+    TimelineModel,
 };
 use aftermath_trace::{
     AccessKind, CpuId, MachineTopology, TaskTypeId, TimeInterval, Timestamp, Trace, TraceBuilder,
@@ -130,16 +131,112 @@ pub struct ZoomFrame {
     pub zoom_factor: u64,
     /// Short name of the timeline mode.
     pub mode: &'static str,
-    /// Seconds to compute the frame with the scan engine (median of 3).
+    /// Seconds to compute the frame with the scan engine (minimum of 5).
     pub scan_seconds: f64,
-    /// Seconds to compute the frame with the pyramid engine (median of 3).
+    /// Seconds to compute the frame with the pyramid engine (minimum of 5).
     pub pyramid_seconds: f64,
+    /// Seconds to compute the frame with the adaptive engine (minimum of 5),
+    /// cost-model dispatch included.
+    pub adaptive_seconds: f64,
+    /// Short name of the engine the adaptive cost model resolved to for this
+    /// frame (from the session's decision log).
+    pub engine: &'static str,
 }
 
 impl ZoomFrame {
     /// Scan time over pyramid time for this frame.
     pub fn speedup(&self) -> f64 {
         self.scan_seconds / self.pyramid_seconds.max(1e-12)
+    }
+
+    /// Adaptive time relative to the better of the two explicit engines
+    /// (1.0 = as fast as the best; the acceptance ceiling is 1.1).
+    pub fn adaptive_vs_best(&self) -> f64 {
+        self.adaptive_seconds / self.scan_seconds.min(self.pyramid_seconds).max(1e-12)
+    }
+}
+
+/// Result of the state-gating kernel microbenchmark: one hot loop
+/// ([`kernels::tag_duration_sums`]) timed scalar vs. dispatched on a realistic
+/// two-state (execution/idle) lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelBench {
+    /// Lane length of the synthetic state stream.
+    pub lanes: usize,
+    /// Seconds per pass with the forced-scalar reference kernel (minimum of 9).
+    pub scalar_seconds: f64,
+    /// Seconds per pass with the runtime-dispatched kernel (minimum of 9).
+    pub simd_seconds: f64,
+    /// Name of the dispatched tier (`scalar` under `AFTERMATH_NO_SIMD`).
+    pub simd_level: &'static str,
+}
+
+impl KernelBench {
+    /// Scalar time over dispatched time.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_seconds / self.simd_seconds.max(1e-12)
+    }
+}
+
+/// Lane length of the kernel microbenchmark (64K intervals ≈ 1.1 MB of lanes:
+/// L2-resident, so the measurement is ALU-bound like the pyramid's per-chunk
+/// leaf builds rather than a cache/DRAM bandwidth test).
+pub const KERNEL_BENCH_LANES: usize = 1 << 16;
+
+/// Times the per-state duration-histogram kernel scalar vs. dispatched over a
+/// synthetic execution/idle state lane shaped like the zoom trace's streams
+/// (alternating low tags — the common case the wide path optimises for).
+pub fn kernel_microbench() -> KernelBench {
+    let n = KERNEL_BENCH_LANES;
+    let mut starts = vec![0u64; n];
+    let mut ends = vec![0u64; n];
+    let mut tags = vec![0u8; n];
+    let mut rng_state = 0xD1B5_4A32_D192_ED03u64;
+    let mut rng = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+    let mut now = 0u64;
+    for i in 0..n {
+        let d = 1 + rng() % 100_000;
+        starts[i] = now;
+        ends[i] = now + d;
+        now += d;
+        tags[i] = (rng() % 2) as u8;
+    }
+    let mut sums = [0u64; aftermath_trace::WorkerState::COUNT];
+    let scalar_seconds = min_seconds(
+        || {
+            kernels::tag_duration_sums_at(
+                SimdLevel::Scalar,
+                std::hint::black_box(&starts),
+                std::hint::black_box(&ends),
+                std::hint::black_box(&tags),
+                &mut sums,
+            );
+            std::hint::black_box(&mut sums);
+        },
+        9,
+    );
+    let simd_seconds = min_seconds(
+        || {
+            kernels::tag_duration_sums(
+                std::hint::black_box(&starts),
+                std::hint::black_box(&ends),
+                std::hint::black_box(&tags),
+                &mut sums,
+            );
+            std::hint::black_box(&mut sums);
+        },
+        9,
+    );
+    KernelBench {
+        lanes: n,
+        scalar_seconds,
+        simd_seconds,
+        simd_level: aftermath_core::simd_level().name(),
     }
 }
 
@@ -152,12 +249,17 @@ pub struct ZoomSweep {
     pub num_events: usize,
     /// Seconds spent building all index shards (counter indexes + pyramids).
     pub prewarm_seconds: f64,
+    /// Seconds spent calibrating the adaptive engine's cost model (probe
+    /// queries; once per session, like prewarm).
+    pub calibration_seconds: f64,
     /// All measured frames, grouped by ascending zoom factor.
     pub frames: Vec<ZoomFrame>,
     /// Memory of the aggregation pyramids in bytes.
     pub pyramid_bytes: usize,
     /// Size of the raw event data in bytes.
     pub raw_event_bytes: usize,
+    /// The state-gating kernel microbenchmark run alongside the sweep.
+    pub kernel: KernelBench,
 }
 
 impl ZoomSweep {
@@ -189,6 +291,16 @@ impl ZoomSweep {
         self.speedup_at(ZOOM_FACTORS[0])
     }
 
+    /// The worst [`ZoomFrame::adaptive_vs_best`] across all frames — the number
+    /// the per-cell acceptance rule bounds (no cell may be > 10 % slower than
+    /// the better explicit engine).
+    pub fn worst_adaptive_vs_best(&self) -> f64 {
+        self.frames
+            .iter()
+            .map(ZoomFrame::adaptive_vs_best)
+            .fold(0.0, f64::max)
+    }
+
     /// Serialises the sweep as a JSON object (hand-rolled; the workspace is
     /// offline and carries no JSON dependency), including the shared
     /// schema-version/git envelope so the CI regression gate can reject
@@ -201,6 +313,31 @@ impl ZoomSweep {
         s.push_str(&format!(
             "  \"prewarm_seconds\": {:.6},\n",
             self.prewarm_seconds
+        ));
+        s.push_str(&format!(
+            "  \"calibration_seconds\": {:.6},\n",
+            self.calibration_seconds
+        ));
+        s.push_str(&format!(
+            "  \"simd_level\": \"{}\",\n",
+            self.kernel.simd_level
+        ));
+        s.push_str(&format!("  \"kernel_lanes\": {},\n", self.kernel.lanes));
+        s.push_str(&format!(
+            "  \"kernel_scalar_seconds\": {:.6},\n",
+            self.kernel.scalar_seconds
+        ));
+        s.push_str(&format!(
+            "  \"kernel_simd_seconds\": {:.6},\n",
+            self.kernel.simd_seconds
+        ));
+        s.push_str(&format!(
+            "  \"state_kernel_speedup\": {:.3},\n",
+            self.kernel.speedup()
+        ));
+        s.push_str(&format!(
+            "  \"worst_adaptive_vs_best\": {:.3},\n",
+            self.worst_adaptive_vs_best()
         ));
         s.push_str(&format!("  \"pyramid_bytes\": {},\n", self.pyramid_bytes));
         s.push_str(&format!(
@@ -218,11 +355,13 @@ impl ZoomSweep {
         s.push_str("  \"frames\": [\n");
         for (i, f) in self.frames.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"zoom_factor\": {}, \"mode\": \"{}\", \"scan_seconds\": {:.6}, \"pyramid_seconds\": {:.6}, \"speedup\": {:.3}}}{}\n",
+                "    {{\"zoom_factor\": {}, \"mode\": \"{}\", \"scan_seconds\": {:.6}, \"pyramid_seconds\": {:.6}, \"adaptive_seconds\": {:.6}, \"engine\": \"{}\", \"speedup\": {:.3}}}{}\n",
                 f.zoom_factor,
                 f.mode,
                 f.scan_seconds,
                 f.pyramid_seconds,
+                f.adaptive_seconds,
+                f.engine,
                 f.speedup(),
                 if i + 1 == self.frames.len() { "" } else { "," }
             ));
@@ -265,32 +404,43 @@ pub fn zoom_window(bounds: TimeInterval, factor: u64) -> TimeInterval {
     TimeInterval::from_cycles(start, start + width)
 }
 
-fn median_seconds(mut f: impl FnMut(), samples: usize) -> f64 {
-    let mut times: Vec<f64> = (0..samples)
+/// Fastest of `samples` runs: the estimator of what each engine *can* do. The
+/// per-cell acceptance rule compares adaptive against the better explicit
+/// engine, so all three must be measured the same way, and the minimum is far
+/// more robust to scheduler/timer spikes on shared runners than a median of
+/// few samples.
+fn min_seconds(mut f: impl FnMut(), samples: usize) -> f64 {
+    (0..samples)
         .map(|_| {
             let t = Instant::now();
             f();
             t.elapsed().as_secs_f64()
         })
-        .collect();
-    times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Runs the full sweep over `trace`: every [`ZOOM_FACTORS`] level × every timeline
-/// mode, scan vs. pyramid, with the session prewarmed on `threads` first.
+/// mode, scan vs. pyramid vs. adaptive, with the session prewarmed on `threads`
+/// and the adaptive cost model calibrated up front.
 ///
-/// When `verify` is set, every frame pair is additionally compared cell by cell (the
-/// pyramid engine must be byte-identical to the scan engine).
+/// When `verify` is set, every frame triple is additionally compared cell by cell
+/// (pyramid and adaptive must be byte-identical to scan). Every frame's adaptive
+/// builds are cross-checked against the session's decision log: all builds of one
+/// frame must resolve to the same engine, and that engine must be the argmin of
+/// the logged cost predictions.
 pub fn run_zoom_sweep(trace: &Trace, columns: usize, threads: Threads, verify: bool) -> ZoomSweep {
     let session = AnalysisSession::new(trace);
     let t0 = Instant::now();
     session.prewarm(threads);
     let prewarm_seconds = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let _ = session.cost_model();
+    let calibration_seconds = t0.elapsed().as_secs_f64();
     let bounds = session.time_bounds();
     let filter = TaskFilter::new();
     let modes = sweep_modes(trace);
     let mut frames = Vec::new();
+    let mut decisions_seen = session.engine_decisions().len();
     for &factor in &ZOOM_FACTORS {
         let window = zoom_window(bounds, factor);
         for &(name, mode) in &modes {
@@ -299,29 +449,68 @@ pub fn run_zoom_sweep(trace: &Trace, columns: usize, threads: Threads, verify: b
                     .expect("sweep frame")
             };
             if verify {
+                let scan = build(TimelineEngine::Scan);
                 assert_eq!(
                     build(TimelineEngine::Pyramid),
-                    build(TimelineEngine::Scan),
+                    scan,
                     "pyramid frame must be byte-identical to scan ({name}, zoom {factor})"
                 );
+                assert_eq!(
+                    build(TimelineEngine::Adaptive),
+                    scan,
+                    "adaptive frame must be byte-identical to scan ({name}, zoom {factor})"
+                );
             }
-            let scan_seconds = median_seconds(
+            let scan_seconds = min_seconds(
                 || {
                     build(TimelineEngine::Scan);
                 },
-                3,
+                5,
             );
-            let pyramid_seconds = median_seconds(
+            let pyramid_seconds = min_seconds(
                 || {
                     build(TimelineEngine::Pyramid);
                 },
-                3,
+                5,
             );
+            let adaptive_seconds = min_seconds(
+                || {
+                    build(TimelineEngine::Adaptive);
+                },
+                5,
+            );
+            // Every adaptive build above logged one decision; they must agree
+            // with each other and with their own cost predictions.
+            let decisions = session.engine_decisions();
+            let frame_decisions = &decisions[decisions_seen..];
+            assert!(
+                !frame_decisions.is_empty(),
+                "adaptive builds must log decisions ({name}, zoom {factor})"
+            );
+            let engine = frame_decisions[0].engine;
+            for d in frame_decisions {
+                assert_eq!(
+                    d.engine, engine,
+                    "one frame must resolve to one engine ({name}, zoom {factor})"
+                );
+                let predicted = if d.predicted_scan_seconds < d.predicted_pyramid_seconds {
+                    TimelineEngine::Scan
+                } else {
+                    TimelineEngine::Pyramid
+                };
+                assert_eq!(
+                    d.engine, predicted,
+                    "chosen engine must match the prediction log ({name}, zoom {factor})"
+                );
+            }
+            decisions_seen = decisions.len();
             frames.push(ZoomFrame {
                 zoom_factor: factor,
                 mode: name,
                 scan_seconds,
                 pyramid_seconds,
+                adaptive_seconds,
+                engine: engine.name(),
             });
         }
     }
@@ -329,9 +518,11 @@ pub fn run_zoom_sweep(trace: &Trace, columns: usize, threads: Threads, verify: b
         columns,
         num_events: trace.num_events(),
         prewarm_seconds,
+        calibration_seconds,
         frames,
         pyramid_bytes: session.pyramid_memory_bytes(),
         raw_event_bytes: session.raw_event_bytes(),
+        kernel: kernel_microbench(),
     }
 }
 
@@ -371,6 +562,12 @@ mod tests {
         );
         assert!(crate::record::json_string(&json, "git").is_some());
         assert!(crate::record::json_number(&json, "zoomed_out_speedup").is_some());
+        // Schema-v2 fields the adaptive/kernel gates key on.
+        assert!(crate::record::json_string(&json, "simd_level").is_some());
+        assert!(crate::record::json_number(&json, "state_kernel_speedup").is_some());
+        assert!(crate::record::json_number(&json, "worst_adaptive_vs_best").is_some());
+        assert!(json.contains("\"adaptive_seconds\""));
+        assert!(json.contains("\"engine\""));
     }
 
     #[test]

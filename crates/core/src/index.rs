@@ -113,11 +113,16 @@ impl CounterNode {
         sum: 0.0,
     };
 
+    /// Builds one summary node from a contiguous run of raw sample values via the
+    /// wide min/max/sum kernel ([`crate::kernels::min_max_sum`]). Fresh builds,
+    /// the append-tail spine rebuild and the query descent's edge runs all go
+    /// through this single definition, so incremental and from-scratch trees —
+    /// and their f64 sums, which follow the kernel's fixed reduction order — stay
+    /// bit-identical.
     #[inline]
-    fn add_value(&mut self, v: f64) {
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-        self.sum += v;
+    fn leaf(chunk: &[f64]) -> CounterNode {
+        let (min, max, sum) = crate::kernels::min_max_sum(chunk);
+        CounterNode { min, max, sum }
     }
 
     #[inline]
@@ -163,13 +168,7 @@ impl CounterIndex {
             let mut current: Vec<CounterNode> = samples
                 .values()
                 .chunks(arity)
-                .map(|chunk| {
-                    let mut node = CounterNode::EMPTY;
-                    for &v in chunk {
-                        node.add_value(v);
-                    }
-                    node
-                })
+                .map(CounterNode::leaf)
                 .collect();
             while current.len() > 1 {
                 let next: Vec<CounterNode> = current
@@ -231,13 +230,7 @@ impl CounterIndex {
             old_len,
             samples.values()[first * arity..]
                 .chunks(arity)
-                .map(|chunk| {
-                    let mut node = CounterNode::EMPTY;
-                    for &v in chunk {
-                        node.add_value(v);
-                    }
-                    node
-                }),
+                .map(CounterNode::leaf),
             |nodes| {
                 let mut node = CounterNode::EMPTY;
                 for n in nodes {
@@ -296,18 +289,13 @@ impl CounterIndex {
         debug_assert_eq!(samples.len(), self.num_samples);
         let values = samples.values();
         let mut agg = CounterNode::EMPTY;
-        // Head: samples before the first fully covered level-0 node.
-        let mut i = lo;
-        while i < hi && !i.is_multiple_of(self.arity) {
-            agg.add_value(values[i]);
-            i += 1;
-        }
-        // Tail: samples after the last fully covered level-0 node.
-        let mut j = hi;
-        while j > i && !j.is_multiple_of(self.arity) {
-            j -= 1;
-            agg.add_value(values[j]);
-        }
+        // Head: samples before the first fully covered level-0 node; tail: samples
+        // after the last one. Both are contiguous runs, folded through the same
+        // wide leaf kernel a build uses.
+        let i = hi.min(lo.next_multiple_of(self.arity));
+        let j = (hi - hi % self.arity).max(i);
+        agg.add_node(&CounterNode::leaf(&values[lo..i]));
+        agg.add_node(&CounterNode::leaf(&values[j..hi]));
         // Middle: whole level-0 nodes [i/arity, j/arity).
         if i < j && !self.levels.is_empty() {
             self.node_range_aggregate(0, i / self.arity, j / self.arity, &mut agg);

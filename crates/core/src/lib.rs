@@ -82,6 +82,7 @@ pub mod error;
 pub mod export;
 pub mod filter;
 pub mod index;
+pub mod kernels;
 pub mod live;
 pub mod numa;
 pub mod pyramid;
@@ -102,6 +103,7 @@ pub use derived::AggregationKind;
 pub use error::AnalysisError;
 pub use filter::TaskFilter;
 pub use index::{CounterIndex, CounterNode};
+pub use kernels::{simd_level, SimdLevel};
 pub use live::{EpochStats, LiveSession};
 pub use numa::IncidenceMatrix;
 pub use pyramid::{ExecStats, StatePyramid};
@@ -109,7 +111,10 @@ pub use series::TimeSeries;
 pub use session::{AnalysisSession, IntervalQuery, TaskDetails};
 pub use stats::Histogram;
 pub use taskgraph::TaskGraph;
-pub use timeline::{TimelineCell, TimelineEngine, TimelineMode, TimelineModel};
+pub use timeline::{
+    CalibrationTimings, CostModel, EngineDecision, TimelineCell, TimelineEngine, TimelineMode,
+    TimelineModel,
+};
 
 /// Commonly used types, for glob import.
 pub mod prelude {
@@ -132,6 +137,8 @@ pub mod prelude {
     pub use crate::session::{AnalysisSession, IntervalQuery};
     pub use crate::stats::{average_parallelism, task_duration_histogram, Histogram};
     pub use crate::taskgraph::TaskGraph;
-    pub use crate::timeline::{TimelineCell, TimelineEngine, TimelineMode, TimelineModel};
+    pub use crate::timeline::{
+        CostModel, EngineDecision, TimelineCell, TimelineEngine, TimelineMode, TimelineModel,
+    };
     pub use aftermath_exec::Threads;
 }

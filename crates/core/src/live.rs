@@ -60,7 +60,8 @@ use crate::filter::TaskFilter;
 use crate::index::CounterIndex;
 use crate::pyramid::StatePyramid;
 use crate::session::{
-    new_anomaly_cache, new_timeline_cache, AnalysisSession, AnomalyCacheHandle, TimelineCacheHandle,
+    new_anomaly_cache, new_cost_model, new_timeline_cache, AnalysisSession, AnomalyCacheHandle,
+    CostModelHandle, TimelineCacheHandle,
 };
 use crate::timeline::{TimelineMode, TimelineModel};
 
@@ -94,6 +95,11 @@ pub struct LiveSession {
     /// Result caches shared by this epoch's session views; replaced on `advance`.
     anomaly_cache: AnomalyCacheHandle,
     timeline_cache: TimelineCacheHandle,
+    /// The adaptive engine's cost model, shared by every epoch's session views.
+    /// Unlike the result caches it is **not** replaced on `advance`: the model
+    /// describes the machine (per-event and per-cell costs), not the data, so
+    /// one calibration serves the whole live session.
+    cost_model: CostModelHandle,
     /// Total summary nodes rebuilt since the session opened (cold build included).
     total_nodes_rebuilt: u64,
     /// Accumulated lint summary across all [`LiveSession::advance_lint`] calls;
@@ -125,6 +131,7 @@ impl LiveSession {
             pyramids: HashMap::new(),
             anomaly_cache: new_anomaly_cache(),
             timeline_cache: new_timeline_cache(),
+            cost_model: new_cost_model(),
             total_nodes_rebuilt: 0,
             lint: None,
         };
@@ -392,6 +399,7 @@ impl LiveSession {
             &self.pyramids,
             Arc::clone(&self.anomaly_cache),
             Arc::clone(&self.timeline_cache),
+            Arc::clone(&self.cost_model),
         );
         match &self.lint {
             Some(summary) => session.with_lint_summary(summary.clone()),

@@ -48,6 +48,7 @@ use aftermath_trace::{
 };
 
 use crate::filter::TaskFilter;
+use crate::kernels;
 
 /// Default fanout of the pyramid (number of intervals/nodes summarised per node).
 ///
@@ -112,14 +113,33 @@ struct NodeAccum {
 }
 
 impl NodeAccum {
-    /// Folds interval `i` of the columnar stream into the accumulator. Reads the
-    /// one-byte state lane first and touches the task lane only for executions.
-    fn add_interval(&mut self, trace: &Trace, states: StatesView<'_>, i: usize) {
+    /// Folds the interval index range `[lo, hi)` of the columnar stream into the
+    /// accumulator. Two wide passes over the one-byte state lane do the gating:
+    /// a gated duration sum fills the per-state histogram
+    /// ([`kernels::tag_duration_sums`]), and a tag-match scan
+    /// ([`kernels::for_each_tag_match`]) visits exactly the execution intervals,
+    /// in stream order — so `best_candidate`'s strict-improvement rule sees
+    /// candidates in the same order as a scalar loop.
+    fn add_chunk(&mut self, trace: &Trace, states: StatesView<'_>, lo: usize, hi: usize) {
+        let chunk = states.slice(lo, hi);
+        kernels::tag_duration_sums(
+            chunk.starts(),
+            chunk.ends(),
+            chunk.state_tags(),
+            &mut self.state_cycles,
+        );
+        kernels::for_each_tag_match(
+            chunk.state_tags(),
+            WorkerState::TaskExecution as u8,
+            |off| self.add_exec(trace, states, lo + off),
+        );
+    }
+
+    /// Folds the execution interval `i` (state lane already checked by the
+    /// caller) into the execution aggregates.
+    fn add_exec(&mut self, trace: &Trace, states: StatesView<'_>, i: usize) {
+        debug_assert!(states.is_exec(i));
         let duration = states.duration(i);
-        self.state_cycles[states.state_index(i)] += duration;
-        if !states.is_exec(i) {
-            return;
-        }
         self.exec_count += 1;
         self.min_exec_cycles = Some(self.min_exec_cycles.map_or(duration, |m| m.min(duration)));
         self.max_exec_cycles = self.max_exec_cycles.max(duration);
@@ -235,9 +255,7 @@ impl StatePyramid {
                 .step_by(fanout)
                 .map(|chunk_start| {
                     let mut acc = NodeAccum::default();
-                    for i in chunk_start..(chunk_start + fanout).min(n) {
-                        acc.add_interval(trace, states, i);
-                    }
+                    acc.add_chunk(trace, states, chunk_start, (chunk_start + fanout).min(n));
                     acc.finish()
                 })
                 .collect();
@@ -304,9 +322,7 @@ impl StatePyramid {
             old_len,
             (first * fanout..n).step_by(fanout).map(|chunk_start| {
                 let mut acc = NodeAccum::default();
-                for i in chunk_start..(chunk_start + fanout).min(n) {
-                    acc.add_interval(trace, states, i);
-                }
+                acc.add_chunk(trace, states, chunk_start, (chunk_start + fanout).min(n));
                 acc.finish()
             }),
             |nodes| {
@@ -682,8 +698,10 @@ impl StatePyramid {
 }
 
 /// The leaf-level predominant-task predicate: identical to the timeline scan, with
-/// each interval's full duration as its covered cycles. A pure column walk — the
-/// one-byte state lane gates everything else.
+/// each interval's full duration as its covered cycles. The one-byte state lane is
+/// gated by a wide tag-match kernel ([`kernels::for_each_tag_match`]), which visits
+/// matches in ascending stream order — the order the strict-improvement rule
+/// (earliest maximum wins) depends on.
 fn best_exec_scan(
     trace: &Trace,
     states: StatesView<'_>,
@@ -692,28 +710,27 @@ fn best_exec_scan(
     hi: usize,
     best: &mut Option<(u64, usize)>,
 ) {
-    for i in lo..hi {
-        if !states.is_exec(i) {
-            continue;
-        }
+    let tags = states.slice(lo, hi).state_tags();
+    kernels::for_each_tag_match(tags, WorkerState::TaskExecution as u8, |off| {
+        let i = lo + off;
         let Some(task_id) = states.task(i) else {
-            continue;
+            return;
         };
         let idx = task_id.0 as usize;
         let Some(task) = trace.tasks().get(idx) else {
-            continue;
+            return;
         };
         if !filter.matches(trace, task) {
-            continue;
+            return;
         }
         let covered = states.duration(i);
         if covered == 0 {
-            continue;
+            return;
         }
         if best.map(|(c, _)| covered > c).unwrap_or(true) {
             *best = Some((covered, idx));
         }
-    }
+    });
 }
 
 /// The state intervals of a sorted, non-overlapping stream that overlap `interval`,

@@ -17,7 +17,7 @@ use crate::filter::TaskFilter;
 use crate::index::{samples_in, states_overlapping, value_at, CounterIndex};
 use crate::pyramid::{overlap_range, ExecStats, StatePyramid};
 use crate::taskgraph::TaskGraph;
-use crate::timeline::{TimelineMode, TimelineModel};
+use crate::timeline::{CostModel, EngineDecision, TimelineEngine, TimelineMode, TimelineModel};
 
 /// An analysis session over one trace.
 ///
@@ -66,6 +66,16 @@ pub struct AnalysisSession<'t> {
     task_graph: OnceLock<TaskGraph>,
     anomaly_cache: AnomalyCacheHandle,
     timeline_cache: TimelineCacheHandle,
+    /// The adaptive timeline engine's measured cost model, calibrated lazily on
+    /// first use and persisted for the session's lifetime (like the pyramid
+    /// shards). An `Arc` handle so a [`crate::live::LiveSession`] can carry one
+    /// calibration across the session views of all epochs — the constants
+    /// describe the machine, not the data, so appending events never
+    /// invalidates them.
+    cost_model: CostModelHandle,
+    /// Ordered log of the adaptive engine's per-frame resolutions
+    /// ([`AnalysisSession::engine_decisions`]).
+    engine_log: Mutex<Vec<EngineDecision>>,
     /// The lint summary of the trace this session analyses, when it went through
     /// the lint pipeline ([`aftermath_trace::lint`]). `None` means "never
     /// linted" — an empty summary means "linted and clean".
@@ -79,6 +89,14 @@ pub(crate) type AnomalyCacheHandle = Arc<Mutex<LruCache<AnomalyConfig, AnomalyRe
 
 /// Shared handle to a timeline-model cache (see [`AnomalyCacheHandle`]).
 pub(crate) type TimelineCacheHandle = Arc<Mutex<LruCache<TimelineKey, TimelineModel>>>;
+
+/// Shared handle to a (lazily calibrated) adaptive-engine cost model.
+pub(crate) type CostModelHandle = Arc<OnceLock<CostModel>>;
+
+/// Creates an empty (not yet calibrated) cost-model handle.
+pub(crate) fn new_cost_model() -> CostModelHandle {
+    Arc::new(OnceLock::new())
+}
 
 /// Creates an empty anomaly-report cache at the session's default capacity.
 pub(crate) fn new_anomaly_cache() -> AnomalyCacheHandle {
@@ -211,6 +229,8 @@ impl<'t> AnalysisSession<'t> {
             task_graph: OnceLock::new(),
             anomaly_cache,
             timeline_cache,
+            cost_model: new_cost_model(),
+            engine_log: Mutex::new(Vec::new()),
             lint: None,
         }
     }
@@ -252,8 +272,10 @@ impl<'t> AnalysisSession<'t> {
         pyramids: &HashMap<u32, Arc<StatePyramid>>,
         anomaly_cache: AnomalyCacheHandle,
         timeline_cache: TimelineCacheHandle,
+        cost_model: CostModelHandle,
     ) -> Self {
-        let session = Self::with_caches(trace, anomaly_cache, timeline_cache);
+        let mut session = Self::with_caches(trace, anomaly_cache, timeline_cache);
+        session.cost_model = cost_model;
         for (key, index) in indexes {
             if let Some(slot) = session.counter_shards.get(key) {
                 let _ = slot.set(Arc::clone(index));
@@ -303,6 +325,68 @@ impl<'t> AnalysisSession<'t> {
             slot.get_or_init(|| Arc::new(StatePyramid::build(self.trace, states)))
                 .as_ref(),
         )
+    }
+
+    /// The adaptive timeline engine's cost model, calibrated on first use by
+    /// timing short probe queries against this session's own streams
+    /// ([`CostModel::calibrate`]) and then persisted for the session's lifetime
+    /// like the pyramid shards.
+    pub fn cost_model(&self) -> CostModel {
+        *self.cost_model.get_or_init(|| CostModel::calibrate(self))
+    }
+
+    /// Installs a pre-computed cost model, skipping calibration. Returns `false`
+    /// if a model was already calibrated or installed (the existing model wins,
+    /// mirroring [`OnceLock`] semantics).
+    ///
+    /// Intended for tests and benchmarks that need deterministic — or
+    /// deliberately wrong — predictions; see `CostModel::from_timings`.
+    pub fn install_cost_model(&self, model: CostModel) -> bool {
+        self.cost_model.set(model).is_ok()
+    }
+
+    /// Resolves [`TimelineEngine::Adaptive`] for one frame: counts the state
+    /// intervals overlapping `interval` across all CPUs, asks the session's
+    /// [`CostModel`] to predict both engines, and records the decision in the
+    /// log returned by [`AnalysisSession::engine_decisions`].
+    pub fn choose_engine(
+        &self,
+        mode: TimelineMode,
+        interval: TimeInterval,
+        columns: usize,
+    ) -> TimelineEngine {
+        let model = self.cost_model();
+        let topology = self.trace.topology();
+        let overlapping_events: usize = topology
+            .cpu_ids()
+            .map(|cpu| states_overlapping(self.states(cpu), interval).len())
+            .sum();
+        let cells = columns * topology.num_cpus().max(1);
+        let (predicted_scan_seconds, predicted_pyramid_seconds) =
+            model.predict(mode, overlapping_events, cells);
+        let engine = model.choose(mode, overlapping_events, cells);
+        let decision = EngineDecision {
+            mode,
+            interval,
+            columns,
+            overlapping_events,
+            predicted_scan_seconds,
+            predicted_pyramid_seconds,
+            engine,
+        };
+        self.engine_log
+            .lock()
+            .expect("engine log poisoned")
+            .push(decision);
+        engine
+    }
+
+    /// The adaptive engine's decision log: one entry per
+    /// [`TimelineEngine::Adaptive`] frame actually built (cache hits in
+    /// [`AnalysisSession::timeline_filtered`] resolve no engine and log
+    /// nothing), in build order.
+    pub fn engine_decisions(&self) -> Vec<EngineDecision> {
+        self.engine_log.lock().expect("engine log poisoned").clone()
     }
 
     /// Builds every not-yet-built index shard — counter min/max/sum indexes *and*

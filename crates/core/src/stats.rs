@@ -186,10 +186,8 @@ pub fn robust_z_scores_into(values: &[f64], out: &mut Vec<f64>) -> bool {
     out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let median = sorted_median(out);
     // MAD: the deviations' multiset is order-independent, so the sorted copy can be
-    // rewritten in place and re-sorted.
-    for v in out.iter_mut() {
-        *v = (*v - median).abs();
-    }
+    // rewritten in place (one wide elementwise pass) and re-sorted.
+    crate::kernels::abs_offsets_in_place(out, median);
     out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let mad = sorted_median(out);
     let scale = if mad > 0.0 {
@@ -206,8 +204,8 @@ pub fn robust_z_scores_into(values: &[f64], out: &mut Vec<f64>) -> bool {
             1.0
         }
     };
-    out.clear();
-    out.extend(values.iter().map(|v| (v - median) / scale));
+    out.resize(values.len(), 0.0);
+    crate::kernels::scaled_offsets(values, median, scale, out);
     true
 }
 

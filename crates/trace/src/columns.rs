@@ -441,6 +441,16 @@ impl<'a> StatesView<'a> {
         self.states[i] as usize
     }
 
+    /// Raw one-byte state-tag column (each byte is a [`WorkerState`] discriminant).
+    ///
+    /// This is the lane wide kernels gate on: a contiguous `&[u8]` slice aligned
+    /// with [`starts`](Self::starts)/[`ends`](Self::ends), so selection and
+    /// histogram accumulation can compare sixteen-plus tags per instruction.
+    #[inline]
+    pub fn state_tags(&self) -> &'a [u8] {
+        self.states
+    }
+
     /// The worker state of interval `i`.
     #[inline]
     pub fn state(&self, i: usize) -> WorkerState {

@@ -22,14 +22,16 @@ fn main() {
     println!("# {} recorded events", trace.num_events());
     let sweep = run_zoom_sweep(&trace, 800, Threads::auto(), scale == Scale::Test);
 
-    println!("\nzoom  mode        scan_ms  pyramid_ms  speedup");
+    println!("\nzoom  mode        scan_ms  pyramid_ms  adaptive_ms  engine   speedup");
     for f in &sweep.frames {
         println!(
-            "{:<5} {:<11} {:>8.3} {:>10.3} {:>7.2}x",
+            "{:<5} {:<11} {:>8.3} {:>10.3} {:>11.3}  {:<8} {:>6.2}x",
             f.zoom_factor,
             f.mode,
             f.scan_seconds * 1e3,
             f.pyramid_seconds * 1e3,
+            f.adaptive_seconds * 1e3,
+            f.engine,
             f.speedup()
         );
     }
@@ -47,5 +49,16 @@ fn main() {
     println!(
         "zoomed-out aggregate speedup (factor 1, all modes): {:.2}x",
         sweep.zoomed_out_speedup()
+    );
+    println!(
+        "worst adaptive-vs-best ratio across all cells: {:.3}",
+        sweep.worst_adaptive_vs_best()
+    );
+    println!(
+        "state kernel microbench: scalar {:.3} ms vs {} {:.3} ms — {:.2}x",
+        sweep.kernel.scalar_seconds * 1e3,
+        sweep.kernel.simd_level,
+        sweep.kernel.simd_seconds * 1e3,
+        sweep.kernel.speedup()
     );
 }

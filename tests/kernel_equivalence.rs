@@ -1,0 +1,456 @@
+//! Property tests for the SIMD kernel layer and the adaptive query engine.
+//!
+//! Two contracts are asserted here:
+//!
+//! 1. **Scalar is the reference.** Every wide tier the machine can execute
+//!    (`kernels::available_levels()`) must be **bit-identical** to the scalar
+//!    kernel on random lanes — including lengths that are not a multiple of any
+//!    vector width and sub-slices starting at unaligned offsets. `f64` results
+//!    are compared through `to_bits`, so even a sign-of-zero or NaN-payload
+//!    difference would fail.
+//! 2. **The adaptive engine only changes speed.** For every timeline mode, a
+//!    frame built with `TimelineEngine::Adaptive` equals the frames built with
+//!    both explicit engines — even when the session's cost model is deliberately
+//!    wrong — and every logged engine decision matches its own predicted costs.
+
+use aftermath::prelude::*;
+use aftermath_core::kernels::{self, available_levels};
+use aftermath_core::{
+    CalibrationTimings, CostModel, SimdLevel, TaskFilter, TimelineEngine, TimelineMode,
+    TimelineModel,
+};
+use aftermath_trace::{AccessKind, NumaNodeId, TaskTypeId};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// 1. Kernel lanes: every wide tier is bit-identical to scalar.
+// ---------------------------------------------------------------------------
+
+/// Builds the three state-stream lanes plus one derived `f64` lane from the
+/// generated `(start, duration, tag)` triples.
+fn lanes(triples: &[(u64, u64, u8)]) -> (Vec<u64>, Vec<u64>, Vec<u8>, Vec<f64>) {
+    let starts: Vec<u64> = triples.iter().map(|&(s, _, _)| s).collect();
+    let ends: Vec<u64> = triples.iter().map(|&(s, d, _)| s.wrapping_add(d)).collect();
+    let tags: Vec<u8> = triples
+        .iter()
+        .map(|&(_, _, t)| t % WorkerState::COUNT as u8)
+        .collect();
+    // A signed float lane exercising negatives and exact zeros.
+    let values: Vec<f64> = triples
+        .iter()
+        .map(|&(s, d, t)| (d as f64 - s as f64 / 3.0) * if t % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    (starts, ends, tags, values)
+}
+
+/// Asserts all kernels at `level` match the scalar reference on the given
+/// lane sub-slices (`lo..` cuts make the views unaligned relative to
+/// allocation). `lanes` bundles `(starts, ends, tags, values)`.
+fn assert_level_matches_scalar(
+    level: SimdLevel,
+    lanes: (&[u64], &[u64], &[u8], &[f64]),
+    target: u8,
+    center: f64,
+    scale: f64,
+) {
+    let (starts, ends, tags, values) = lanes;
+    // Gated duration histogram.
+    let mut want = [0u64; WorkerState::COUNT];
+    let mut got = [0u64; WorkerState::COUNT];
+    kernels::tag_duration_sums_at(SimdLevel::Scalar, starts, ends, tags, &mut want);
+    kernels::tag_duration_sums_at(level, starts, ends, tags, &mut got);
+    assert_eq!(want, got, "tag_duration_sums diverges at {level:?}");
+
+    // Gating mask: matched indices, in ascending order.
+    let mut want_idx = Vec::new();
+    let mut got_idx = Vec::new();
+    kernels::for_each_tag_match_at(SimdLevel::Scalar, tags, target, |i| want_idx.push(i));
+    kernels::for_each_tag_match_at(level, tags, target, |i| got_idx.push(i));
+    assert_eq!(
+        want_idx, got_idx,
+        "for_each_tag_match diverges at {level:?}"
+    );
+    assert!(
+        got_idx.windows(2).all(|w| w[0] < w[1]),
+        "indices not ascending"
+    );
+
+    // Counter descent reduction.
+    let (min_s, max_s, sum_s) = kernels::min_max_sum_at(SimdLevel::Scalar, values);
+    let (min_v, max_v, sum_v) = kernels::min_max_sum_at(level, values);
+    assert_eq!(
+        min_s.to_bits(),
+        min_v.to_bits(),
+        "min diverges at {level:?}"
+    );
+    assert_eq!(
+        max_s.to_bits(),
+        max_v.to_bits(),
+        "max diverges at {level:?}"
+    );
+    assert_eq!(
+        sum_s.to_bits(),
+        sum_v.to_bits(),
+        "sum diverges at {level:?}"
+    );
+
+    // Detector deviation passes.
+    let mut want_abs = values.to_vec();
+    let mut got_abs = values.to_vec();
+    kernels::abs_offsets_in_place_at(SimdLevel::Scalar, &mut want_abs, center);
+    kernels::abs_offsets_in_place_at(level, &mut got_abs, center);
+    let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&want_abs),
+        bits(&got_abs),
+        "abs_offsets diverges at {level:?}"
+    );
+
+    let mut want_z = vec![0.0; values.len()];
+    let mut got_z = vec![0.0; values.len()];
+    kernels::scaled_offsets_at(SimdLevel::Scalar, values, center, scale, &mut want_z);
+    kernels::scaled_offsets_at(level, values, center, scale, &mut got_z);
+    assert_eq!(
+        bits(&want_z),
+        bits(&got_z),
+        "scaled_offsets diverges at {level:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn wide_tiers_match_scalar_on_random_lanes(
+        triples in prop::collection::vec((0u64..1_000_000, 0u64..100_000, 0u8..255), 0..300),
+        offset in 0usize..11,
+        target in 0u8..WorkerState::COUNT as u8,
+        center in -1e6f64..1e6,
+        scale in 1e-3f64..8.0,
+    ) {
+        let (starts, ends, tags, values) = lanes(&triples);
+        let lo = offset.min(starts.len());
+        for level in available_levels() {
+            assert_level_matches_scalar(
+                level,
+                (&starts[lo..], &ends[lo..], &tags[lo..], &values[lo..]),
+                target,
+                center,
+                scale,
+            );
+        }
+    }
+}
+
+/// Every lane length from 0 to just past two AVX2 blocks, so each possible
+/// vector-tail remainder (and the empty lane) is hit deterministically rather
+/// than probabilistically.
+#[test]
+fn every_tail_remainder_matches_scalar() {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut rng = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for len in 0..=67usize {
+        let triples: Vec<(u64, u64, u8)> = (0..len)
+            .map(|_| (rng() % 1_000_000, rng() % 100_000, (rng() % 256) as u8))
+            .collect();
+        let (starts, ends, tags, values) = lanes(&triples);
+        for level in available_levels() {
+            assert_level_matches_scalar(level, (&starts, &ends, &tags, &values), 0, 17.5, 0.25);
+            if len == 0 {
+                let (min, max, sum) = kernels::min_max_sum_at(level, &values);
+                assert_eq!(min, f64::INFINITY);
+                assert_eq!(max, f64::NEG_INFINITY);
+                assert_eq!(sum.to_bits(), 0.0f64.to_bits());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Adaptive engine: frame bytes never depend on the engine choice.
+// ---------------------------------------------------------------------------
+
+/// All six timeline modes (heatmap bounds scaled to the trace's tasks).
+fn all_modes(max_duration: u64) -> [TimelineMode; 6] {
+    [
+        TimelineMode::State,
+        TimelineMode::Heatmap {
+            min_duration: 0,
+            max_duration: max_duration.max(1),
+        },
+        TimelineMode::TaskType,
+        TimelineMode::NumaRead,
+        TimelineMode::NumaWrite,
+        TimelineMode::NumaHeat,
+    ]
+}
+
+/// A compact random-but-valid trace: two NUMA nodes, typed tasks with accesses
+/// mixed into per-CPU alternating state streams (same shape as the builder in
+/// `pyramid_equivalence.rs`, trimmed to what the engine comparison needs).
+fn random_trace(segments: &[(u64, u64, u8)]) -> Trace {
+    let topo = MachineTopology::uniform(2, 1);
+    let mut b = TraceBuilder::new(topo);
+    let types: Vec<TaskTypeId> = (0..3)
+        .map(|i| b.add_task_type(format!("t{i}"), 0x100 + i))
+        .collect();
+    b.add_region(0x1_0000, 4096, Some(NumaNodeId(0)));
+    b.add_region(0x2_0000, 4096, Some(NumaNodeId(1)));
+    let mut next_start = [0u64; 2];
+    for (i, &(len, gap, sel)) in segments.iter().enumerate() {
+        let cpu = CpuId((i % 2) as u32);
+        let start = next_start[cpu.0 as usize];
+        let end = start + len.max(1);
+        next_start[cpu.0 as usize] = end + gap % 64;
+        if sel % 3 == 0 {
+            let ty = types[sel as usize % types.len()];
+            let task = b.add_task(ty, cpu, Timestamp(start), Timestamp(start), Timestamp(end));
+            b.add_state(
+                cpu,
+                WorkerState::TaskExecution,
+                Timestamp(start),
+                Timestamp(end),
+                Some(task),
+            )
+            .unwrap();
+            let addr = if sel % 2 == 0 { 0x1_0000 } else { 0x2_0000 };
+            b.add_access(task, AccessKind::Read, addr, 64 + (sel as u64) * 8)
+                .unwrap();
+            if sel % 5 == 0 {
+                b.add_access(task, AccessKind::Write, addr + 128, 32)
+                    .unwrap();
+            }
+        } else {
+            let state = WorkerState::from_index((sel % 5) as usize).unwrap();
+            b.add_state(cpu, state, Timestamp(start), Timestamp(end), None)
+                .unwrap();
+        }
+    }
+    b.finish().unwrap()
+}
+
+/// Asserts adaptive == pyramid == scan for every mode over `window`, and that
+/// each decision the adaptive builds logged is consistent with its own
+/// predicted costs.
+fn assert_adaptive_agrees(session: &AnalysisSession<'_>, window: TimeInterval, columns: usize) {
+    if window.is_empty() || columns == 0 {
+        return;
+    }
+    let max = session
+        .trace()
+        .tasks()
+        .iter()
+        .map(|t| t.duration())
+        .max()
+        .unwrap_or(1);
+    let filter = TaskFilter::new();
+    let decisions_before = session.engine_decisions().len();
+    for mode in all_modes(max) {
+        let build = |engine| {
+            TimelineModel::build_with_engine(session, mode, window, columns, &filter, engine)
+                .unwrap()
+        };
+        let adaptive = build(TimelineEngine::Adaptive);
+        assert_eq!(
+            adaptive,
+            build(TimelineEngine::Pyramid),
+            "adaptive != pyramid: {mode:?}"
+        );
+        assert_eq!(
+            adaptive,
+            build(TimelineEngine::Scan),
+            "adaptive != scan: {mode:?}"
+        );
+    }
+    let decisions = session.engine_decisions();
+    assert_eq!(
+        decisions.len() - decisions_before,
+        6,
+        "one decision per adaptive frame"
+    );
+    for d in &decisions[decisions_before..] {
+        assert_ne!(
+            d.engine,
+            TimelineEngine::Adaptive,
+            "decisions must be resolved"
+        );
+        let predicted = if d.predicted_scan_seconds < d.predicted_pyramid_seconds {
+            TimelineEngine::Scan
+        } else {
+            TimelineEngine::Pyramid
+        };
+        assert_eq!(
+            d.engine, predicted,
+            "logged engine contradicts its own prediction"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn adaptive_equals_explicit_engines_on_random_traces(
+        segments in prop::collection::vec((1u64..400, 0u64..64, 0u8..9), 1..100),
+        zoom in (0u64..100, 0u64..100),
+        columns in 1usize..150,
+    ) {
+        let trace = random_trace(&segments);
+        let bounds = trace.time_bounds();
+        prop_assume!(!bounds.is_empty());
+        let session = AnalysisSession::new(&trace);
+        let (a, b) = (zoom.0.min(zoom.1), zoom.0.max(zoom.1));
+        let window = TimeInterval::from_cycles(
+            bounds.start.0 + bounds.duration() * a / 100,
+            bounds.start.0 + (bounds.duration() * b / 100).max(bounds.duration() * a / 100 + 1),
+        );
+        assert_adaptive_agrees(&session, bounds, columns);
+        assert_adaptive_agrees(&session, window, columns);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Cost model: deterministic fits, monotone choices, harmless mispredictions.
+// ---------------------------------------------------------------------------
+
+/// A synthetic calibration in which the pyramid costs ~10 µs per cell while the
+/// scan costs ~1 µs per cell plus ~1 µs per event: narrow windows should scan,
+/// wide windows should descend the pyramid.
+fn synthetic_timings() -> CalibrationTimings {
+    CalibrationTimings {
+        probe_cells: 256,
+        probe_events: 10_000,
+        scan_seconds: [10.256e-3, 20.512e-3],
+        narrow_scan_seconds: [0.256e-3, 0.512e-3],
+        pyramid_seconds: [2.56e-3, 5.12e-3],
+    }
+}
+
+#[test]
+fn cost_model_fit_is_deterministic_and_positive() {
+    let timings = synthetic_timings();
+    let a = CostModel::from_timings(&timings);
+    let b = CostModel::from_timings(&timings);
+    assert_eq!(a, b, "same timings must fit the same model");
+    for class in 0..2 {
+        assert!(a.scan_cell_seconds[class] > 0.0);
+        assert!(a.scan_event_seconds[class] > 0.0);
+        assert!(a.pyramid_cell_seconds[class] > 0.0);
+    }
+    // Degenerate (all-zero) probes still fit a usable, strictly positive model.
+    let degenerate = CalibrationTimings {
+        probe_cells: 0,
+        probe_events: 0,
+        scan_seconds: [0.0; 2],
+        narrow_scan_seconds: [0.0; 2],
+        pyramid_seconds: [0.0; 2],
+    };
+    let d = CostModel::from_timings(&degenerate);
+    for class in 0..2 {
+        assert!(d.scan_cell_seconds[class] > 0.0);
+        assert!(d.scan_event_seconds[class] > 0.0);
+        assert!(d.pyramid_cell_seconds[class] > 0.0);
+    }
+}
+
+#[test]
+fn engine_choice_is_monotone_in_overlapping_events() {
+    let model = CostModel::from_timings(&synthetic_timings());
+    let cells = 256;
+    for mode in [TimelineMode::State, TimelineMode::TaskType] {
+        let mut previous = TimelineEngine::Scan;
+        let mut flipped = false;
+        let mut last_scan_cost = 0.0;
+        for events in (0..50_000).step_by(37) {
+            let (scan, pyramid) = model.predict(mode, events, cells);
+            assert!(
+                scan >= last_scan_cost,
+                "scan prediction must grow with events"
+            );
+            last_scan_cost = scan;
+            let choice = model.choose(mode, events, cells);
+            assert_eq!(
+                choice,
+                if scan < pyramid {
+                    TimelineEngine::Scan
+                } else {
+                    TimelineEngine::Pyramid
+                }
+            );
+            if choice == TimelineEngine::Pyramid {
+                flipped = true;
+            }
+            if flipped {
+                assert_eq!(
+                    choice,
+                    TimelineEngine::Pyramid,
+                    "widening a window (more events) must never flip back to scan"
+                );
+            }
+            previous = choice;
+        }
+        // The synthetic constants put the crossover inside the sweep: both
+        // engines must actually have been chosen, or the monotonicity claim
+        // was tested vacuously.
+        assert!(flipped, "sweep never reached the pyramid side for {mode:?}");
+        assert_eq!(previous, TimelineEngine::Pyramid);
+        // Pyramid prediction is width-independent.
+        let (_, p0) = model.predict(mode, 0, cells);
+        let (_, p1) = model.predict(mode, 1_000_000, cells);
+        assert_eq!(p0.to_bits(), p1.to_bits());
+    }
+}
+
+/// An installed model that always predicts one engine cheaper, regardless of
+/// the frame. `scan_wins` forces every decision to scan; otherwise pyramid.
+fn rigged_model(scan_wins: bool) -> CostModel {
+    let (cheap, dear) = (1e-12, 1.0);
+    CostModel {
+        scan_event_seconds: [if scan_wins { cheap } else { dear }; 2],
+        scan_cell_seconds: [if scan_wins { cheap } else { dear }; 2],
+        pyramid_cell_seconds: [if scan_wins { dear } else { cheap }; 2],
+    }
+}
+
+#[test]
+fn forced_mispredictions_are_byte_identical() {
+    let mut x = 0xdead_beefu64;
+    let segments: Vec<(u64, u64, u8)> = (0..400)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (1 + x % 300, x % 50, (x % 9) as u8)
+        })
+        .collect();
+    let trace = random_trace(&segments);
+    let bounds = trace.time_bounds();
+    let window = TimeInterval::from_cycles(bounds.start.0, bounds.start.0 + bounds.duration() / 7);
+    for scan_wins in [true, false] {
+        let session = AnalysisSession::new(&trace);
+        assert!(
+            session.install_cost_model(rigged_model(scan_wins)),
+            "first install must win the slot"
+        );
+        assert!(
+            !session.install_cost_model(rigged_model(!scan_wins)),
+            "second install must be rejected"
+        );
+        assert_eq!(session.cost_model(), rigged_model(scan_wins));
+        assert_adaptive_agrees(&session, bounds, 97);
+        assert_adaptive_agrees(&session, window, 97);
+        // Every adaptive frame obeyed the rigged model: wrong predictions may
+        // only ever cost time, never change which engine the log claims.
+        let forced = if scan_wins {
+            TimelineEngine::Scan
+        } else {
+            TimelineEngine::Pyramid
+        };
+        let decisions = session.engine_decisions();
+        assert!(!decisions.is_empty());
+        assert!(decisions.iter().all(|d| d.engine == forced));
+    }
+}
