@@ -22,6 +22,15 @@
 //!   (`bytes_per_event`) must not grow by more than 10 % (memory layout is
 //!   deterministic for a fixed trace, so the slack only absorbs intentional
 //!   small format changes — anything larger must re-baseline explicitly).
+//! * `store` — the on-disk column store: compression
+//!   (`compressed_bytes_per_event`) must not grow by more than 10 % against the
+//!   baseline (the encodings are deterministic for a fixed trace), and the
+//!   fresh record must satisfy the absolute acceptance bounds — the store file
+//!   at most 60 % of the resident SoA bytes, the lazy open-to-first-frame at
+//!   most 20 % of the full build + prewarm path (wall-clock, hence the loose
+//!   margin is already inside the bound), every capped-residency frame
+//!   byte-identical to the fully resident session, and the capped sweep's peak
+//!   steady-state residency within its 50 % budget.
 //!
 //! Records outside the accepted `schema_version` range (or without one —
 //! pre-envelope files), of mismatched kinds, or of unknown kinds are
@@ -48,6 +57,17 @@ const ADAPTIVE_ABS_SLACK: f64 = 100e-6;
 /// Required scalar-over-dispatched speedup of the state-gating kernel
 /// microbenchmark when a SIMD tier is active.
 const MIN_KERNEL_SPEEDUP: f64 = 2.0;
+
+/// Absolute acceptance ceiling on the store file over the resident SoA bytes.
+const MAX_DISK_VS_SOA: f64 = 0.60;
+
+/// Absolute acceptance ceiling on lazy open-to-first-frame over the full
+/// build + prewarm path.
+const MAX_OPEN_VS_FULL: f64 = 0.20;
+
+/// Absolute acceptance ceiling on the capped sweep's peak steady-state
+/// residency over the full SoA footprint (the sweep's budget fraction).
+const MAX_CAPPED_RESIDENT: f64 = 0.50;
 
 struct Record {
     label: String,
@@ -211,6 +231,36 @@ fn gate_kernel_speedup(fresh: &Record) -> Result<bool, String> {
     Ok(true)
 }
 
+/// One absolute "lower is better" bound on the fresh record; returns whether
+/// it passed.
+fn gate_absolute(fresh: &Record, what: &str, key: &str, ceiling: f64) -> Result<bool, String> {
+    let value = fresh.number(key)?;
+    println!(
+        "bench_check: {what} {value:.4} (fresh, {}); absolute ceiling {ceiling:.2}",
+        fresh.label
+    );
+    if value > ceiling {
+        eprintln!("bench_check: FAIL — {what} {value:.4} above the absolute {ceiling:.2} ceiling");
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+/// The store record's identity bit: every capped-residency frame must have
+/// been byte-identical to the fully resident session.
+fn gate_capped_identity(fresh: &Record) -> Result<bool, String> {
+    let value = json_number(&fresh.contents, "capped_identical")
+        .ok_or_else(|| format!("{}: no capped_identical field", fresh.label))?;
+    if value != 1.0 {
+        eprintln!(
+            "bench_check: FAIL — capped-residency frames diverged from the fully resident session (capped_identical = {value})"
+        );
+        return Ok(false);
+    }
+    println!("bench_check: capped-residency frames byte-identical to the fully resident session");
+    Ok(true)
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut max_regression = 0.25f64;
@@ -272,6 +322,34 @@ fn main() -> ExitCode {
                 &baseline,
                 "bytes_per_event",
                 MAX_MEMORY_GROWTH,
+            ),
+        ],
+        "store" => vec![
+            gate_ceiling(
+                "compression (bytes/event on disk)",
+                &fresh,
+                &baseline,
+                "compressed_bytes_per_event",
+                MAX_MEMORY_GROWTH,
+            ),
+            gate_absolute(
+                &fresh,
+                "store file / SoA bytes",
+                "disk_vs_soa_ratio",
+                MAX_DISK_VS_SOA,
+            ),
+            gate_absolute(
+                &fresh,
+                "lazy open-to-first-frame / full path",
+                "open_vs_full_ratio",
+                MAX_OPEN_VS_FULL,
+            ),
+            gate_capped_identity(&fresh),
+            gate_absolute(
+                &fresh,
+                "capped peak residency / SoA bytes",
+                "capped_resident_ratio",
+                MAX_CAPPED_RESIDENT,
             ),
         ],
         other => {

@@ -19,6 +19,7 @@ use aftermath_bench::lint_demo;
 use aftermath_bench::record;
 use aftermath_bench::section6;
 use aftermath_bench::seidel_experiments::SeidelExperiment;
+use aftermath_bench::store;
 use aftermath_bench::stream;
 use aftermath_bench::zoom;
 use aftermath_core::{AnalysisSession, Threads, TimelineMode, TimelineModel};
@@ -32,6 +33,7 @@ struct Options {
     json: bool,
     stream: bool,
     ingest: bool,
+    store: bool,
     lint: bool,
     trace_path: Option<PathBuf>,
     write_fixture: Option<PathBuf>,
@@ -63,6 +65,7 @@ fn parse_args() -> Options {
     let mut json = false;
     let mut stream = false;
     let mut ingest = false;
+    let mut store = false;
     let mut lint = false;
     let mut trace_path = None;
     let mut write_fixture = None;
@@ -90,6 +93,7 @@ fn parse_args() -> Options {
             "--json" => json = true,
             "--stream" => stream = true,
             "--ingest" => ingest = true,
+            "--store" => store = true,
             "--lint" => lint = true,
             "--trace" => {
                 let value = args.pop_front().unwrap_or_default();
@@ -101,18 +105,20 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [--scale test|paper] [--out DIR] [--threads N|auto] [--json] [--stream] [--ingest] [--lint] [FIGURE...]\n\
+                    "usage: reproduce [--scale test|paper] [--out DIR] [--threads N|auto] [--json] [--stream] [--ingest] [--store] [--lint] [FIGURE...]\n\
                      figures: fig3 fig5 fig8 fig9 fig10 fig12 fig13 fig14 fig15 fig16 fig19 sec6 all\n\
                      modes:   zoom-sweep  (scan-vs-pyramid frame times across zoom levels; not part of 'all')\n\
                      --stream replays the sec6 trace through the streaming ingest layer\n\
                      (per-epoch advance/frame latency; combine with 'sec6')\n\
                      --ingest measures the columnar ingest pipeline on the zoom trace\n\
                      (build / prewarm / detect throughput and bytes per event)\n\
+                     --store measures the on-disk column store on the zoom trace\n\
+                     (compression, lazy open-to-first-frame, capped-residency sweep)\n\
                      --lint lints a trace (the built-in corrupted demo, or --trace FILE),\n\
                      prints the per-code findings and repairs it\n\
                      --trace FILE lints a serialized trace file instead of the demo\n\
                      --write-fixture PATH writes the corrupted demo trace to PATH\n\
-                     --json writes BENCH_<name>.json records for sec6, zoom-sweep, --stream, --ingest and --lint"
+                     --json writes BENCH_<name>.json records for sec6, zoom-sweep, --stream, --ingest, --store and --lint"
                 );
                 std::process::exit(0);
             }
@@ -131,6 +137,7 @@ fn parse_args() -> Options {
         json,
         stream,
         ingest,
+        store,
         lint,
         trace_path,
         write_fixture,
@@ -230,6 +237,12 @@ fn main() {
     if options.ingest || options.targets.iter().any(|t| t == "ingest") {
         ingest_bench(&options);
     }
+    // `--store` measures the on-disk column store — compression, lazy
+    // open-to-first-frame and the capped-residency sweep (explicit mode,
+    // not part of `all`).
+    if options.store || options.targets.iter().any(|t| t == "store") {
+        store_bench(&options);
+    }
 }
 
 /// `--lint`: lints a trace (the built-in corrupted demo, or `--trace FILE`),
@@ -324,6 +337,58 @@ fn ingest_bench(options: &Options) {
     );
     println!("ingest_events_per_sec,{:.0}", bench.ingest_events_per_sec());
     options.write_json("ingest", &bench.to_json());
+}
+
+fn store_bench(options: &Options) {
+    let bench = store::run_store_bench(options.scale, options.threads);
+    print_series_header(
+        "Column store — compression, lazy open-to-first-frame, capped residency",
+        "metric,value",
+    );
+    println!("num_events,{}", bench.num_events);
+    println!("write_seconds,{:.4}", bench.write_seconds);
+    println!("file_bytes,{}", bench.file_bytes);
+    println!("soa_bytes,{}", bench.soa_bytes);
+    println!(
+        "compressed_bytes_per_event,{:.2}",
+        bench.compressed_bytes_per_event()
+    );
+    println!(
+        "disk_vs_soa,{:.1}% (acceptance: <= 60%)",
+        bench.disk_vs_soa_ratio() * 100.0
+    );
+    println!(
+        "full_first_frame_seconds,{:.4}",
+        bench.full_first_frame_seconds
+    );
+    println!(
+        "open_first_frame_seconds,{:.4}",
+        bench.open_first_frame_seconds
+    );
+    println!(
+        "open_vs_full,{:.1}% (acceptance: <= 20%)",
+        bench.open_vs_full_ratio() * 100.0
+    );
+    println!("open_resident_bytes,{}", bench.open_resident_bytes);
+    println!("capped_budget_bytes,{}", bench.capped_budget_bytes);
+    println!(
+        "capped_frames,{} ({})",
+        bench.capped_frames,
+        if bench.capped_identical {
+            "all byte-identical to the fully resident session"
+        } else {
+            "MISMATCH against the fully resident session"
+        }
+    );
+    println!(
+        "capped_peak_resident_bytes,{}",
+        bench.capped_peak_resident_bytes
+    );
+    println!(
+        "capped_resident_ratio,{:.1}% (acceptance: <= 50%)",
+        bench.capped_resident_ratio() * 100.0
+    );
+    options.write_json("store", &bench.to_json());
 }
 
 fn stream_sec6(options: &Options, trace: &aftermath_trace::Trace) {

@@ -1,0 +1,315 @@
+//! Cold-open measurements of the on-disk column store: compression, lazy
+//! open-to-first-frame latency and capped-residency navigation, on the same
+//! dense synthetic trace the zoom sweep uses.
+//!
+//! The store exists for exactly one scenario: a trace too expensive to decode
+//! and index wholesale before anything renders. This module measures that
+//! scenario end to end —
+//!
+//! * **compression**: bytes on disk per recorded event, against the resident
+//!   SoA footprint of the same trace,
+//! * **cold open**: `StoreSession::open` + one zoomed-out 800-column state
+//!   frame from the untouched store (only state lanes decode), against the
+//!   full path (read the AFTM file, build every index, render the same frame),
+//! * **capped residency**: a zoom sweep over all six timeline modes with the
+//!   lane budget at half the full footprint, verified byte-identical to a
+//!   fully resident session at every frame.
+//!
+//! [`StoreBench::to_json`] emits a `BENCH_store.json` record; the
+//! `bench_check` gate compares its compression against the committed baseline
+//! and enforces the absolute latency/residency/identity bounds.
+
+use std::time::Instant;
+
+use aftermath_core::{
+    AnalysisSession, StoreSession, TaskFilter, Threads, TimelineEngine, TimelineMode, TimelineModel,
+};
+use aftermath_trace::format;
+use aftermath_trace::store::{write_store_file, StoreStats, StoredTrace};
+
+use crate::figures::Scale;
+use crate::zoom::{sweep_modes, zoom_trace, zoom_window, ZOOM_FACTORS};
+
+/// Horizontal resolution of every measured frame, matching the zoom sweep.
+pub const STORE_COLUMNS: usize = 800;
+
+/// The measured store pipeline on one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreBench {
+    /// Total recorded events of the measured trace.
+    pub num_events: usize,
+    /// Horizontal resolution of the measured frames in pixels.
+    pub columns: usize,
+    /// Seconds to write the trace into the column store.
+    pub write_seconds: f64,
+    /// Total bytes of the store file.
+    pub file_bytes: u64,
+    /// Bytes of the eagerly-loaded metadata header inside the file.
+    pub metadata_bytes: u64,
+    /// Number of blocks across all lanes.
+    pub num_blocks: usize,
+    /// Resident bytes of the fully decoded SoA columns (the compression
+    /// baseline and the capped sweep's 100 % mark).
+    pub soa_bytes: usize,
+    /// Seconds for the full path to the same first frame: read the AFTM file,
+    /// build the session, prewarm every index, render one zoomed-out frame.
+    pub full_first_frame_seconds: f64,
+    /// Seconds from `StoreSession::open` on a cold store to the same
+    /// zoomed-out state frame (lazy path: footers + state lanes only).
+    pub open_first_frame_seconds: f64,
+    /// Bytes resident right after the lazy first frame.
+    pub open_resident_bytes: usize,
+    /// The residency budget of the capped sweep in bytes.
+    pub capped_budget_bytes: usize,
+    /// Whether every capped frame was byte-identical to the fully resident
+    /// reference.
+    pub capped_identical: bool,
+    /// Number of frames replayed by the capped sweep.
+    pub capped_frames: usize,
+    /// Largest residency observed between capped frames (after eviction).
+    pub capped_peak_resident_bytes: usize,
+    /// Residency after the last capped frame.
+    pub capped_final_resident_bytes: usize,
+}
+
+impl StoreBench {
+    /// Bytes on disk per recorded event.
+    pub fn compressed_bytes_per_event(&self) -> f64 {
+        if self.num_events == 0 {
+            return 0.0;
+        }
+        self.file_bytes as f64 / self.num_events as f64
+    }
+
+    /// Store file size relative to the resident SoA columns
+    /// (the acceptance ceiling is 0.60).
+    pub fn disk_vs_soa_ratio(&self) -> f64 {
+        if self.soa_bytes == 0 {
+            return 0.0;
+        }
+        self.file_bytes as f64 / self.soa_bytes as f64
+    }
+
+    /// Lazy open-to-first-frame time relative to the full path
+    /// (the acceptance ceiling is 0.20).
+    pub fn open_vs_full_ratio(&self) -> f64 {
+        self.open_first_frame_seconds / self.full_first_frame_seconds.max(1e-12)
+    }
+
+    /// Steady-state residency of the capped sweep relative to the full SoA
+    /// footprint (the acceptance ceiling is the budget fraction, 0.5).
+    pub fn capped_resident_ratio(&self) -> f64 {
+        if self.soa_bytes == 0 {
+            return 0.0;
+        }
+        self.capped_peak_resident_bytes as f64 / self.soa_bytes as f64
+    }
+
+    /// Serialises the record with the shared schema/git envelope (hand-rolled;
+    /// the workspace is offline and carries no JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&crate::record::json_preamble("store"));
+        s.push_str(&format!("  \"num_events\": {},\n", self.num_events));
+        s.push_str(&format!("  \"columns\": {},\n", self.columns));
+        s.push_str(&format!(
+            "  \"write_seconds\": {:.6},\n",
+            self.write_seconds
+        ));
+        s.push_str(&format!("  \"file_bytes\": {},\n", self.file_bytes));
+        s.push_str(&format!("  \"metadata_bytes\": {},\n", self.metadata_bytes));
+        s.push_str(&format!("  \"num_blocks\": {},\n", self.num_blocks));
+        s.push_str(&format!("  \"soa_bytes\": {},\n", self.soa_bytes));
+        s.push_str(&format!(
+            "  \"compressed_bytes_per_event\": {:.3},\n",
+            self.compressed_bytes_per_event()
+        ));
+        s.push_str(&format!(
+            "  \"disk_vs_soa_ratio\": {:.6},\n",
+            self.disk_vs_soa_ratio()
+        ));
+        s.push_str(&format!(
+            "  \"full_first_frame_seconds\": {:.6},\n",
+            self.full_first_frame_seconds
+        ));
+        s.push_str(&format!(
+            "  \"open_first_frame_seconds\": {:.6},\n",
+            self.open_first_frame_seconds
+        ));
+        s.push_str(&format!(
+            "  \"open_vs_full_ratio\": {:.6},\n",
+            self.open_vs_full_ratio()
+        ));
+        s.push_str(&format!(
+            "  \"open_resident_bytes\": {},\n",
+            self.open_resident_bytes
+        ));
+        s.push_str(&format!(
+            "  \"capped_budget_bytes\": {},\n",
+            self.capped_budget_bytes
+        ));
+        s.push_str(&format!(
+            "  \"capped_identical\": {},\n",
+            if self.capped_identical { 1 } else { 0 }
+        ));
+        s.push_str(&format!("  \"capped_frames\": {},\n", self.capped_frames));
+        s.push_str(&format!(
+            "  \"capped_peak_resident_bytes\": {},\n",
+            self.capped_peak_resident_bytes
+        ));
+        s.push_str(&format!(
+            "  \"capped_final_resident_bytes\": {},\n",
+            self.capped_final_resident_bytes
+        ));
+        s.push_str(&format!(
+            "  \"capped_resident_ratio\": {:.6}\n",
+            self.capped_resident_ratio()
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Runs the store pipeline on the zoom-sweep trace at `scale`; intermediate
+/// files go to the process temp directory and are removed afterwards.
+pub fn run_store_bench(scale: Scale, threads: Threads) -> StoreBench {
+    let trace = zoom_trace(scale);
+    let soa_bytes = trace.resident_event_bytes();
+    let dir = std::env::temp_dir();
+    let tag = std::process::id();
+    let store_path = dir.join(format!("aftermath-store-bench-{tag}.afst"));
+    let aftm_path = dir.join(format!("aftermath-store-bench-{tag}.aftm"));
+
+    let t0 = Instant::now();
+    let stats: StoreStats = write_store_file(&trace, &store_path).expect("write store");
+    let write_seconds = t0.elapsed().as_secs_f64();
+
+    format::write_trace_file(&trace, &aftm_path).expect("write aftm");
+    let bounds = trace.time_bounds();
+
+    // Full path to a first frame: decode the whole AFTM file, build the
+    // session, prewarm every index shard, render one zoomed-out state frame.
+    let t0 = Instant::now();
+    let full_frame = {
+        let full = format::read_trace_file_with(&aftm_path, threads).expect("read aftm");
+        let session = AnalysisSession::new(&full);
+        session.prewarm(threads);
+        TimelineModel::build_with_engine(
+            &session,
+            TimelineMode::State,
+            bounds,
+            STORE_COLUMNS,
+            &TaskFilter::new(),
+            TimelineEngine::Scan,
+        )
+        .expect("full first frame")
+    };
+    let full_first_frame_seconds = t0.elapsed().as_secs_f64();
+
+    // Lazy path: open reads footers only; the scan-engine state frame decodes
+    // just the state lanes.
+    let t0 = Instant::now();
+    let mut store = StoreSession::open(&store_path).expect("open store");
+    let lazy_frame = store.first_frame(STORE_COLUMNS).expect("lazy first frame");
+    let open_first_frame_seconds = t0.elapsed().as_secs_f64();
+    let open_resident_bytes = store.resident_event_bytes();
+    assert_eq!(
+        lazy_frame, full_frame,
+        "lazy first frame must be byte-identical to the full path"
+    );
+
+    // Capped sweep: half the full footprint, every zoom factor × every mode,
+    // each frame checked against a fully resident session.
+    let capped_budget_bytes = soa_bytes / 2;
+    let reference = AnalysisSession::new(&trace);
+    let modes = sweep_modes(&trace);
+    let filter = TaskFilter::new();
+    let mut capped =
+        StoreSession::from_store(StoredTrace::open(&store_path).expect("reopen store"));
+    capped.set_residency_budget(Some(capped_budget_bytes));
+    let mut capped_identical = true;
+    let mut capped_frames = 0usize;
+    let mut capped_peak_resident_bytes = 0usize;
+    for &factor in &ZOOM_FACTORS {
+        let window = zoom_window(bounds, factor);
+        for &(_, mode) in &modes {
+            let got = capped
+                .timeline_with_engine(mode, window, STORE_COLUMNS, &filter, TimelineEngine::Scan)
+                .expect("capped frame");
+            let want = TimelineModel::build_with_engine(
+                &reference,
+                mode,
+                window,
+                STORE_COLUMNS,
+                &filter,
+                TimelineEngine::Scan,
+            )
+            .expect("reference frame");
+            capped_identical &= got == want;
+            capped_frames += 1;
+            capped_peak_resident_bytes =
+                capped_peak_resident_bytes.max(capped.resident_event_bytes());
+        }
+    }
+    let capped_final_resident_bytes = capped.resident_event_bytes();
+
+    let _ = std::fs::remove_file(&store_path);
+    let _ = std::fs::remove_file(&aftm_path);
+
+    StoreBench {
+        num_events: trace.num_events(),
+        columns: STORE_COLUMNS,
+        write_seconds,
+        file_bytes: stats.file_bytes,
+        metadata_bytes: stats.metadata_bytes,
+        num_blocks: stats.num_blocks,
+        soa_bytes,
+        full_first_frame_seconds,
+        open_first_frame_seconds,
+        open_resident_bytes,
+        capped_budget_bytes,
+        capped_identical,
+        capped_frames,
+        capped_peak_resident_bytes,
+        capped_final_resident_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_bench_measures_and_serialises() {
+        let bench = run_store_bench(Scale::Test, Threads::single());
+        assert!(bench.num_events > 0);
+        assert!(bench.file_bytes > 0);
+        assert!(bench.capped_identical, "capped frames must match reference");
+        assert_eq!(bench.capped_frames, ZOOM_FACTORS.len() * 6);
+        assert!(bench.capped_peak_resident_bytes <= bench.capped_budget_bytes);
+        assert!(
+            bench.disk_vs_soa_ratio() <= 0.60,
+            "store file must stay under 60 % of the SoA bytes \
+             (measured {:.1} %)",
+            bench.disk_vs_soa_ratio() * 100.0
+        );
+        // The lazy first frame decodes only state lanes.
+        assert!(bench.open_resident_bytes < bench.soa_bytes);
+        let json = bench.to_json();
+        assert_eq!(
+            crate::record::json_string(&json, "bench").as_deref(),
+            Some("store")
+        );
+        assert_eq!(
+            crate::record::json_number(&json, "schema_version"),
+            Some(crate::record::BENCH_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(
+            crate::record::json_number(&json, "capped_identical"),
+            Some(1.0)
+        );
+        assert!(crate::record::json_number(&json, "compressed_bytes_per_event").unwrap() > 0.0);
+        assert!(crate::record::json_number(&json, "open_vs_full_ratio").is_some());
+        assert!(crate::record::json_number(&json, "disk_vs_soa_ratio").unwrap() > 0.0);
+    }
+}

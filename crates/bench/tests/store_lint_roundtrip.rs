@@ -1,0 +1,53 @@
+//! The committed corrupted fixture survives a trip through the column store:
+//! written to store bytes, reopened lazily and rematerialised, it lints to
+//! exactly the same per-code counts as the directly loaded trace — defects
+//! included, none healed or invented by the encodings.
+
+use aftermath_bench::lint_demo::PLANTED_CODES;
+use aftermath_trace::store::{write_store_bytes, LaneResidency, StoreOptions, StoredTrace};
+use aftermath_trace::{format, LintCode};
+use std::path::Path;
+
+fn fixture_bytes() -> Vec<u8> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/corrupted.trace");
+    std::fs::read(&path).unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()))
+}
+
+#[test]
+fn stored_fixture_lints_identically_to_the_direct_path() {
+    let direct = format::read_trace(&fixture_bytes()[..]).unwrap();
+    let direct_report = direct.lint();
+
+    for block_rows in [3usize, 64, aftermath_trace::store::DEFAULT_BLOCK_ROWS] {
+        let bytes = write_store_bytes(&direct, &StoreOptions { block_rows }).unwrap();
+        let mut stored = StoredTrace::from_bytes(bytes).unwrap();
+        // The open is lazy: every lane starts absent.
+        assert!(stored
+            .lanes()
+            .all(|l| stored.residency(l) == LaneResidency::Absent));
+        let roundtripped = stored.materialise_all().unwrap();
+        let store_report = roundtripped.lint();
+
+        assert_eq!(store_report.summary(), direct_report.summary());
+        for code in [
+            LintCode::NonMonotonicTimestamps,
+            LintCode::UnclosedInterval,
+            LintCode::OrphanTaskRef,
+            LintCode::OverlappingStates,
+            LintCode::CounterDiscontinuity,
+            LintCode::NumaNodeOutOfRange,
+            LintCode::ChunkSequence,
+            LintCode::ChunkOverlap,
+        ] {
+            assert_eq!(
+                store_report.summary().count(code),
+                direct_report.summary().count(code),
+                "count for {code:?} drifted through the store (block_rows={block_rows})"
+            );
+        }
+        // The planted defects are all still visible.
+        for code in PLANTED_CODES {
+            assert_eq!(store_report.summary().count(code), 1);
+        }
+    }
+}

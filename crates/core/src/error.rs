@@ -22,6 +22,9 @@ pub enum AnalysisError {
     InvalidParameter(String),
     /// Exporting analysis results failed.
     Io(io::Error),
+    /// Reading or decoding the backing trace store failed
+    /// ([`crate::store_session::StoreSession`]).
+    Trace(aftermath_trace::TraceError),
 }
 
 impl fmt::Display for AnalysisError {
@@ -35,6 +38,7 @@ impl fmt::Display for AnalysisError {
             }
             AnalysisError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             AnalysisError::Io(e) => write!(f, "i/o error: {e}"),
+            AnalysisError::Trace(e) => write!(f, "trace store error: {e}"),
         }
     }
 }
@@ -43,6 +47,7 @@ impl std::error::Error for AnalysisError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AnalysisError::Io(e) => Some(e),
+            AnalysisError::Trace(e) => Some(e),
             _ => None,
         }
     }
@@ -51,6 +56,12 @@ impl std::error::Error for AnalysisError {
 impl From<io::Error> for AnalysisError {
     fn from(e: io::Error) -> Self {
         AnalysisError::Io(e)
+    }
+}
+
+impl From<aftermath_trace::TraceError> for AnalysisError {
+    fn from(e: aftermath_trace::TraceError) -> Self {
+        AnalysisError::Trace(e)
     }
 }
 

@@ -89,6 +89,7 @@ pub mod pyramid;
 pub mod series;
 pub mod session;
 pub mod stats;
+pub mod store_session;
 pub mod taskgraph;
 pub mod timeline;
 
@@ -110,6 +111,7 @@ pub use pyramid::{ExecStats, StatePyramid};
 pub use series::TimeSeries;
 pub use session::{AnalysisSession, IntervalQuery, TaskDetails};
 pub use stats::Histogram;
+pub use store_session::StoreSession;
 pub use taskgraph::TaskGraph;
 pub use timeline::{
     CalibrationTimings, CostModel, EngineDecision, TimelineCell, TimelineEngine, TimelineMode,

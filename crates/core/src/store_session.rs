@@ -1,0 +1,327 @@
+//! Analysis sessions over the on-disk column store
+//! ([`aftermath_trace::store`]): lanes materialise lazily on first touch,
+//! timeline frames and interval queries pull in only the block runs they
+//! overlap, and an optional residency budget evicts the least-recently-used
+//! lanes after every query.
+//!
+//! A [`StoreSession`] owns the [`StoredTrace`] plus the durable per-session
+//! analysis state — built counter indexes, state pyramids, result caches and
+//! the adaptive engine's cost model. Each query constructs a short-lived
+//! [`AnalysisSession`] *view* over the currently resident lanes, pre-seeded
+//! with every index whose backing lane is fully resident
+//! (`AnalysisSession::with_prebuilt`); the view is dropped when the query
+//! returns, the seeded `Arc`s keep the indexes alive across queries.
+//!
+//! # Residency semantics
+//!
+//! The budget set by [`StoreSession::set_residency_budget`] is a *steady-state*
+//! cap, enforced after each query like a page cache: the lanes a single query
+//! needs are materialised for its duration even when they transiently exceed
+//! the budget (a zoomed-out NUMA frame touches states, tasks and accesses at
+//! once), and eviction brings residency back under the cap before the call
+//! returns. Answers are byte-identical to a fully resident session at every
+//! budget — the budget trades repeated decode work for memory, never accuracy.
+//!
+//! Index-carrying structures use absolute row indices into their lane, so
+//! pyramids and counter indexes are persisted and re-seeded **only** while
+//! their lane is fully resident; a view over a partially resident lane builds
+//! its own consistent throwaway pyramid instead.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use aftermath_trace::store::{LaneId, LaneResidency, StoredTrace};
+use aftermath_trace::{CounterId, CpuId, TimeInterval};
+
+use crate::error::AnalysisError;
+use crate::filter::TaskFilter;
+use crate::index::CounterIndex;
+use crate::pyramid::StatePyramid;
+use crate::session::{
+    new_anomaly_cache, new_cost_model, new_timeline_cache, AnalysisSession, AnomalyCacheHandle,
+    CostModelHandle, IntervalQuery, TimelineCacheHandle,
+};
+use crate::timeline::{TimelineEngine, TimelineMode, TimelineModel};
+
+/// An analysis session backed by the on-disk column store.
+#[derive(Debug)]
+pub struct StoreSession {
+    stored: StoredTrace,
+    /// Counter indexes built over fully resident sample lanes, persisted
+    /// across queries (and across evictions — they are only *seeded* into a
+    /// view while their lane is fully resident again).
+    indexes: HashMap<(CpuId, CounterId), Arc<CounterIndex>>,
+    /// State pyramids built over fully resident state lanes (see `indexes`).
+    pyramids: HashMap<u32, Arc<StatePyramid>>,
+    anomaly_cache: AnomalyCacheHandle,
+    timeline_cache: TimelineCacheHandle,
+    cost_model: CostModelHandle,
+}
+
+impl StoreSession {
+    /// Opens a store file lazily: only metadata and block footers are read, so
+    /// the cost is independent of the trace's event count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoredTrace::open`] failures.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, AnalysisError> {
+        Ok(Self::from_store(StoredTrace::open(path)?))
+    }
+
+    /// Wraps an already opened [`StoredTrace`].
+    pub fn from_store(stored: StoredTrace) -> Self {
+        StoreSession {
+            stored,
+            indexes: HashMap::new(),
+            pyramids: HashMap::new(),
+            anomaly_cache: new_anomaly_cache(),
+            timeline_cache: new_timeline_cache(),
+            cost_model: new_cost_model(),
+        }
+    }
+
+    /// The backing store (residency inspection, lane statistics).
+    pub fn store(&self) -> &StoredTrace {
+        &self.stored
+    }
+
+    /// Sets (or clears) the steady-state residency budget in bytes (see the
+    /// module docs for the exact semantics).
+    pub fn set_residency_budget(&mut self, budget: Option<usize>) {
+        self.stored.set_residency_budget(budget);
+    }
+
+    /// Bytes currently resident for event data.
+    pub fn resident_event_bytes(&self) -> usize {
+        self.stored.resident_event_bytes()
+    }
+
+    /// The time bounds of the *full* trace, answered from the store directory
+    /// without materialising any lane.
+    pub fn time_bounds(&self) -> TimeInterval {
+        self.stored
+            .time_bounds()
+            .unwrap_or(TimeInterval::from_cycles(0, 0))
+    }
+
+    /// Builds a timeline frame with the default filter and the adaptive
+    /// engine. See [`StoreSession::timeline_with_engine`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates lane materialisation and frame construction failures.
+    pub fn timeline(
+        &mut self,
+        mode: TimelineMode,
+        interval: TimeInterval,
+        columns: usize,
+    ) -> Result<TimelineModel, AnalysisError> {
+        self.timeline_with_engine(
+            mode,
+            interval,
+            columns,
+            &TaskFilter::new(),
+            TimelineEngine::Adaptive,
+        )
+    }
+
+    /// Builds one timeline frame from the store, materialising only what the
+    /// `(mode, engine)` combination needs:
+    ///
+    /// - the scan engine pulls in just the contiguous block run of each state
+    ///   lane overlapping `interval` (block-skipping) — plus the task table
+    ///   for task-based modes and the access table for NUMA modes;
+    /// - the pyramid and adaptive engines materialise state, task and access
+    ///   lanes in full (pyramid construction aggregates per-task and per-node
+    ///   data) and persist the built pyramids for later frames.
+    ///
+    /// Afterwards residency is brought back under the configured budget. The
+    /// produced frame is byte-identical to the same call on a fully resident
+    /// [`AnalysisSession`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates lane materialisation and frame construction failures.
+    pub fn timeline_with_engine(
+        &mut self,
+        mode: TimelineMode,
+        interval: TimeInterval,
+        columns: usize,
+        filter: &TaskFilter,
+        engine: TimelineEngine,
+    ) -> Result<TimelineModel, AnalysisError> {
+        self.ensure_for_timeline(mode, interval, engine)?;
+        let model = {
+            let view = self.view();
+            TimelineModel::build_with_engine(&view, mode, interval, columns, filter, engine)?
+        };
+        self.stored.evict_to_budget();
+        Ok(model)
+    }
+
+    /// The open-to-first-frame path: a zoomed-out state-mode frame over the
+    /// whole trace, computed with the scan engine so only the state lanes are
+    /// materialised (no pyramid construction, no task or access decoding).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lane materialisation and frame construction failures.
+    pub fn first_frame(&mut self, columns: usize) -> Result<TimelineModel, AnalysisError> {
+        let bounds = self.time_bounds();
+        self.timeline_with_engine(
+            TimelineMode::State,
+            bounds,
+            columns,
+            &TaskFilter::new(),
+            TimelineEngine::Scan,
+        )
+    }
+
+    /// Runs an interval query against the store: state lanes materialise only
+    /// the block runs overlapping `interval`; sample, task and access lanes
+    /// (whole-lane granularity) materialise in full, and counter indexes built
+    /// over them persist for later queries. Afterwards residency is brought
+    /// back under the configured budget.
+    ///
+    /// The closure receives the same [`IntervalQuery`] API a fully resident
+    /// [`AnalysisSession::query`] returns, with identical answers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lane materialisation failures.
+    pub fn query<R>(
+        &mut self,
+        interval: TimeInterval,
+        f: impl FnOnce(&IntervalQuery<'_, '_>) -> R,
+    ) -> Result<R, AnalysisError> {
+        let lanes: Vec<LaneId> = self.stored.lanes().collect();
+        for lane in lanes {
+            match lane {
+                LaneId::States(_) => self.stored.ensure_states_covering(lane, interval)?,
+                _ => self.stored.ensure(lane)?,
+            }
+        }
+        self.persist_counter_indexes();
+        let result = {
+            let view = self.view();
+            let query = view.query(interval);
+            f(&query)
+        };
+        self.stored.evict_to_budget();
+        Ok(result)
+    }
+
+    /// Materialises what one timeline frame needs (see
+    /// [`StoreSession::timeline_with_engine`]).
+    fn ensure_for_timeline(
+        &mut self,
+        mode: TimelineMode,
+        interval: TimeInterval,
+        engine: TimelineEngine,
+    ) -> Result<(), AnalysisError> {
+        let scan = matches!(engine, TimelineEngine::Scan);
+        let state_lanes: Vec<LaneId> = self
+            .stored
+            .lanes()
+            .filter(|l| matches!(l, LaneId::States(_)))
+            .collect();
+        for lane in state_lanes {
+            if scan {
+                self.stored.ensure_states_covering(lane, interval)?;
+            } else {
+                self.stored.ensure(lane)?;
+            }
+        }
+        let task_mode = !matches!(mode, TimelineMode::State);
+        if task_mode || !scan {
+            self.stored.ensure(LaneId::Tasks)?;
+        }
+        let numa_mode = matches!(
+            mode,
+            TimelineMode::NumaRead | TimelineMode::NumaWrite | TimelineMode::NumaHeat
+        );
+        if numa_mode || !scan {
+            self.stored.ensure(LaneId::Accesses)?;
+        }
+        if !scan {
+            self.persist_pyramids();
+        }
+        Ok(())
+    }
+
+    /// Builds and persists pyramids for every fully resident state lane that
+    /// does not have one yet. Requires the task and access tables to be
+    /// resident (pyramid construction aggregates both).
+    fn persist_pyramids(&mut self) {
+        let trace = self.stored.trace();
+        let built: Vec<(u32, Arc<StatePyramid>)> = trace
+            .per_cpu()
+            .iter()
+            .filter(|pc| !pc.states().is_empty())
+            .filter(|pc| !self.pyramids.contains_key(&pc.cpu().0))
+            .filter(|pc| self.stored.residency(LaneId::States(pc.cpu())) == LaneResidency::Full)
+            .map(|pc| {
+                (
+                    pc.cpu().0,
+                    Arc::new(StatePyramid::build(trace, pc.states())),
+                )
+            })
+            .collect();
+        self.pyramids.extend(built);
+    }
+
+    /// Builds and persists counter indexes for every fully resident sample
+    /// lane that does not have one yet.
+    fn persist_counter_indexes(&mut self) {
+        let trace = self.stored.trace();
+        let built: Vec<((CpuId, CounterId), Arc<CounterIndex>)> = self
+            .stored
+            .lanes()
+            .filter_map(|lane| match lane {
+                LaneId::Samples(cpu, ctr) => Some((cpu, ctr)),
+                _ => None,
+            })
+            .filter(|&(cpu, ctr)| !self.indexes.contains_key(&(cpu, ctr)))
+            .filter(|&(cpu, ctr)| {
+                self.stored.residency(LaneId::Samples(cpu, ctr)) == LaneResidency::Full
+            })
+            .filter_map(|(cpu, ctr)| {
+                let samples = trace.cpu(cpu)?.samples(ctr)?;
+                Some(((cpu, ctr), Arc::new(CounterIndex::new(samples))))
+            })
+            .collect();
+        self.indexes.extend(built);
+    }
+
+    /// A short-lived [`AnalysisSession`] over the resident lanes, pre-seeded
+    /// with every persisted index whose backing lane is *fully* resident
+    /// (absolute row indexes must align; see the module docs).
+    fn view(&self) -> AnalysisSession<'_> {
+        let indexes: HashMap<(CpuId, CounterId), Arc<CounterIndex>> = self
+            .indexes
+            .iter()
+            .filter(|&(&(cpu, ctr), _)| {
+                self.stored.residency(LaneId::Samples(cpu, ctr)) == LaneResidency::Full
+            })
+            .map(|(k, v)| (*k, Arc::clone(v)))
+            .collect();
+        let pyramids: HashMap<u32, Arc<StatePyramid>> = self
+            .pyramids
+            .iter()
+            .filter(|&(&cpu, _)| {
+                self.stored.residency(LaneId::States(CpuId(cpu))) == LaneResidency::Full
+            })
+            .map(|(k, v)| (*k, Arc::clone(v)))
+            .collect();
+        AnalysisSession::with_prebuilt(
+            self.stored.trace(),
+            &indexes,
+            &pyramids,
+            Arc::clone(&self.anomaly_cache),
+            Arc::clone(&self.timeline_cache),
+            Arc::clone(&self.cost_model),
+        )
+    }
+}

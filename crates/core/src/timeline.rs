@@ -462,7 +462,7 @@ impl CalibrationTimings {
     const PROBE_STREAM_EVENTS: usize = 16_384;
 
     /// Times the probe frames on `session`: per class, a scan frame over a
-    /// dense window (≈ [`Self::PROBE_STREAM_EVENTS`] events per stream), a scan
+    /// dense window (≈ `Self::PROBE_STREAM_EVENTS` events per stream), a scan
     /// frame over a one-cycle window, and a pyramid frame over that same dense
     /// window (pyramids are warmed untimed first). Each probe takes the minimum
     /// of two runs to absorb one-off timer noise; the whole calibration costs a

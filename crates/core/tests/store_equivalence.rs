@@ -1,0 +1,259 @@
+//! Equivalence of store-backed sessions ([`aftermath_core::StoreSession`])
+//! with fully resident [`AnalysisSession`]s: block-skipped timeline frames in
+//! all six modes and both explicit engines, interval queries, and
+//! capped-residency sweeps must answer byte-identically to a session over the
+//! original in-memory trace.
+
+use aftermath_core::{
+    AnalysisSession, StoreSession, TaskFilter, TimelineEngine, TimelineMode, TimelineModel,
+};
+use aftermath_trace::store::{write_store_bytes, LaneId, LaneResidency, StoreOptions, StoredTrace};
+use aftermath_trace::{
+    AccessKind, CpuId, DiscreteEventKind, MachineTopology, NumaNodeId, TimeInterval, Timestamp,
+    Trace, TraceBuilder, WorkerState,
+};
+use proptest::prelude::*;
+
+/// A NUMA-rich fixture on a 2-node × 2-CPU machine: `rows` tasks alternating
+/// over all four CPUs, each executing inside a state interval, reading from
+/// one node's region and writing the other's, with idle gaps, steal events
+/// and a counter sampled on every task boundary. All six timeline modes
+/// produce non-trivial frames over it.
+fn numa_trace(rows: u64) -> Trace {
+    let mut b = TraceBuilder::new(MachineTopology::uniform(2, 2));
+    let ty_a = b.add_task_type("stencil", 0x1000);
+    let ty_b = b.add_task_type("reduce", 0x2000);
+    let ctr = b.add_counter("cycles", true);
+    b.add_region(0x10_000, 0x1000, Some(NumaNodeId(0)));
+    b.add_region(0x20_000, 0x1000, Some(NumaNodeId(1)));
+    for i in 0..rows {
+        let cpu = CpuId((i % 4) as u32);
+        let t0 = i * 100;
+        let t1 = t0 + 40 + (i % 5) * 10;
+        let ty = if i % 3 == 0 { ty_b } else { ty_a };
+        let task = b.add_task(ty, cpu, Timestamp(t0), Timestamp(t0), Timestamp(t1));
+        b.add_state(
+            cpu,
+            WorkerState::TaskExecution,
+            Timestamp(t0),
+            Timestamp(t1),
+            Some(task),
+        )
+        .unwrap();
+        b.add_state(
+            cpu,
+            WorkerState::Idle,
+            Timestamp(t1),
+            Timestamp(t0 + 100),
+            None,
+        )
+        .unwrap();
+        // Read near, write far (and vice versa every third task) so dominant
+        // read/write nodes and the remote fraction vary across cells.
+        let (near, far) = (0x10_000 + (i % 16) * 64, 0x20_000 + (i % 16) * 64);
+        let (rd, wr) = if i % 3 == 0 { (far, near) } else { (near, far) };
+        b.add_access(task, AccessKind::Read, rd, 64).unwrap();
+        b.add_access(task, AccessKind::Write, wr, 64).unwrap();
+        b.add_event(cpu, Timestamp(t0), DiscreteEventKind::TaskCreate { task })
+            .unwrap();
+        b.add_sample(ctr, cpu, Timestamp(t0), (i * 7 % 101) as f64)
+            .unwrap();
+    }
+    b.finish().unwrap()
+}
+
+fn all_modes() -> [TimelineMode; 6] {
+    [
+        TimelineMode::State,
+        TimelineMode::Heatmap {
+            min_duration: 10,
+            max_duration: 120,
+        },
+        TimelineMode::TaskType,
+        TimelineMode::NumaRead,
+        TimelineMode::NumaWrite,
+        TimelineMode::NumaHeat,
+    ]
+}
+
+fn store_session(trace: &Trace, block_rows: usize) -> StoreSession {
+    let bytes = write_store_bytes(trace, &StoreOptions { block_rows }).unwrap();
+    StoreSession::from_store(StoredTrace::from_bytes(bytes).unwrap())
+}
+
+/// The reference frame from a fully resident in-memory session.
+fn reference_frame(
+    trace: &Trace,
+    mode: TimelineMode,
+    interval: TimeInterval,
+    columns: usize,
+    engine: TimelineEngine,
+) -> TimelineModel {
+    let session = AnalysisSession::new(trace);
+    TimelineModel::build_with_engine(
+        &session,
+        mode,
+        interval,
+        columns,
+        &TaskFilter::new(),
+        engine,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Block-skipped frames from the store match the fully resident session
+    /// for all six modes and both explicit engines, over random windows.
+    #[test]
+    fn six_modes_match_fully_resident(
+        rows in 16u64..80,
+        block_rows in 1usize..24,
+        win_a in 0u64..4000,
+        win_len in 50u64..4000,
+        columns in 1usize..48,
+    ) {
+        let trace = numa_trace(rows);
+        let window = TimeInterval::from_cycles(win_a, win_a + win_len);
+        for engine in [TimelineEngine::Scan, TimelineEngine::Pyramid] {
+            let mut store = store_session(&trace, block_rows);
+            for mode in all_modes() {
+                let got = store
+                    .timeline_with_engine(mode, window, columns, &TaskFilter::new(), engine)
+                    .unwrap();
+                let want = reference_frame(&trace, mode, window, columns, engine);
+                prop_assert_eq!(&got, &want);
+            }
+        }
+    }
+
+    /// A residency budget changes memory usage, never answers: a capped
+    /// session replays a zoom sweep byte-identically while staying under the
+    /// cap between frames.
+    #[test]
+    fn capped_budget_answers_identical(
+        rows in 32u64..96,
+        block_rows in 2usize..16,
+        budget_frac in 1usize..8,
+    ) {
+        let trace = numa_trace(rows);
+        let full_bytes = trace.resident_event_bytes();
+        let budget = full_bytes * budget_frac / 8;
+        let mut store = store_session(&trace, block_rows);
+        store.set_residency_budget(Some(budget));
+        let bounds = store.time_bounds();
+        for factor in [1u64, 4, 16] {
+            let span = bounds.duration().max(1) / factor;
+            let window = TimeInterval::from_cycles(bounds.start.0, bounds.start.0 + span);
+            for mode in all_modes() {
+                let got = store
+                    .timeline_with_engine(mode, window, 32, &TaskFilter::new(), TimelineEngine::Scan)
+                    .unwrap();
+                let want =
+                    reference_frame(&trace, mode, window, 32, TimelineEngine::Scan);
+                prop_assert_eq!(&got, &want);
+                prop_assert!(store.resident_event_bytes() <= budget);
+            }
+        }
+    }
+
+    /// `StoreSession::query` answers every interval-query accessor exactly as
+    /// the fully resident session does.
+    #[test]
+    fn interval_queries_match_fully_resident(
+        rows in 16u64..80,
+        block_rows in 1usize..24,
+        win_a in 0u64..4000,
+        win_len in 50u64..4000,
+    ) {
+        let trace = numa_trace(rows);
+        let window = TimeInterval::from_cycles(win_a, win_a + win_len);
+        let session = AnalysisSession::new(&trace);
+        let reference = session.query(window);
+        let mut store = store_session(&trace, block_rows);
+        let ctr = session.counter_id("cycles").unwrap();
+        let filter = TaskFilter::new();
+        for cpu in (0..4).map(CpuId) {
+            let got = store
+                .query(window, |q| {
+                    (
+                        q.state_cycles(cpu),
+                        q.predominant_state(cpu),
+                        q.predominant_task(cpu, &filter).cloned(),
+                        q.task_type_cycles(cpu),
+                        q.numa_bytes(cpu, AccessKind::Read),
+                        q.numa_bytes(cpu, AccessKind::Write),
+                        q.counter_min_max(cpu, ctr),
+                        q.counter_average(cpu, ctr),
+                    )
+                })
+                .unwrap();
+            prop_assert_eq!(got.0, reference.state_cycles(cpu));
+            prop_assert_eq!(got.1, reference.predominant_state(cpu));
+            prop_assert_eq!(got.2, reference.predominant_task(cpu, &filter).cloned());
+            prop_assert_eq!(got.3, reference.task_type_cycles(cpu));
+            prop_assert_eq!(got.4, reference.numa_bytes(cpu, AccessKind::Read));
+            prop_assert_eq!(got.5, reference.numa_bytes(cpu, AccessKind::Write));
+            prop_assert_eq!(got.6, reference.counter_min_max(cpu, ctr));
+            prop_assert_eq!(got.7, reference.counter_average(cpu, ctr));
+        }
+    }
+}
+
+/// A deep-zoomed scan frame over a many-block store leaves the state lanes
+/// partially resident — the whole point of block skipping.
+#[test]
+fn deep_zoom_scan_frame_is_partial() {
+    let trace = numa_trace(256);
+    let mut store = store_session(&trace, 4);
+    let bounds = store.store().time_bounds().unwrap();
+    let mid = bounds.start.0 + bounds.duration() / 2;
+    let window = TimeInterval::from_cycles(mid, mid + bounds.duration() / 64);
+    let got = store
+        .timeline_with_engine(
+            TimelineMode::State,
+            window,
+            16,
+            &TaskFilter::new(),
+            TimelineEngine::Scan,
+        )
+        .unwrap();
+    assert_eq!(
+        got,
+        reference_frame(
+            &trace,
+            TimelineMode::State,
+            window,
+            16,
+            TimelineEngine::Scan
+        )
+    );
+    for cpu in (0..4).map(CpuId) {
+        assert_eq!(
+            store.store().residency(LaneId::States(cpu)),
+            LaneResidency::Partial,
+            "cpu{} states lane should be partially resident",
+            cpu.0
+        );
+    }
+    // The full trace was never decoded.
+    assert!(store.resident_event_bytes() < trace.resident_event_bytes());
+}
+
+/// The adaptive engine (the default) also matches end to end, including the
+/// pyramid persistence path across repeated frames.
+#[test]
+fn adaptive_frames_match_and_reuse_pyramids() {
+    let trace = numa_trace(128);
+    let mut store = store_session(&trace, 8);
+    let bounds = store.time_bounds();
+    let session = AnalysisSession::new(&trace);
+    for columns in [8usize, 32, 48] {
+        for mode in all_modes() {
+            let got = store.timeline(mode, bounds, columns).unwrap();
+            let want = session.timeline(mode, bounds, columns).unwrap();
+            assert_eq!(got, *want);
+        }
+    }
+}

@@ -557,8 +557,9 @@ mod tag {
     pub const MARKER: u8 = 6;
 }
 
-/// Encodes a kind into `(tag, payload_a, payload_b, payload_c)`.
-fn encode_kind(kind: DiscreteEventKind) -> (u8, u64, u64, u64) {
+/// Encodes a kind into `(tag, payload_a, payload_b, payload_c)`. Crate-visible
+/// so the column store ([`crate::store`]) writes the exact lane representation.
+pub(crate) fn encode_kind(kind: DiscreteEventKind) -> (u8, u64, u64, u64) {
     match kind {
         DiscreteEventKind::TaskCreate { task } => (tag::TASK_CREATE, task.0, 0, 0),
         DiscreteEventKind::TaskReady { task } => (tag::TASK_READY, task.0, 0, 0),
@@ -576,8 +577,9 @@ fn encode_kind(kind: DiscreteEventKind) -> (u8, u64, u64, u64) {
     }
 }
 
-/// Decodes `(tag, a, b, c)` back into the kind.
-fn decode_kind(tag_value: u8, a: u64, b: u64, c: u64) -> DiscreteEventKind {
+/// Decodes `(tag, a, b, c)` back into the kind. Crate-visible for
+/// [`crate::store`]'s block decoders.
+pub(crate) fn decode_kind(tag_value: u8, a: u64, b: u64, c: u64) -> DiscreteEventKind {
     match tag_value {
         tag::TASK_CREATE => DiscreteEventKind::TaskCreate { task: TaskId(a) },
         tag::TASK_READY => DiscreteEventKind::TaskReady { task: TaskId(a) },

@@ -57,6 +57,7 @@ pub mod ids;
 pub mod lint;
 pub mod memory;
 pub mod state;
+pub mod store;
 pub mod streaming;
 pub mod symbols;
 pub mod task;
@@ -79,6 +80,10 @@ pub use lint::{
 };
 pub use memory::{AccessKind, MemoryAccess, MemoryRegion, RegionId};
 pub use state::{StateInterval, WorkerState};
+pub use store::{
+    write_store_file, write_store_file_with, ColdTier, FileTier, LaneId, LaneResidency, MemoryTier,
+    StoreOptions, StoreStats, StoredTrace,
+};
 pub use streaming::{make_streamable, split_even, StreamingTrace, TraceChunk};
 pub use symbols::{Symbol, SymbolTable};
 pub use task::{TaskInstance, TaskType};

@@ -1,0 +1,1716 @@
+//! Compressed on-disk column store with lazy lane materialisation and
+//! block-skipping reads.
+//!
+//! The binary trace format ([`crate::format`]) is a *streaming* encoding: a
+//! reader has to decode every section before the first query can run, so the
+//! time and memory to open a trace grow with its size. This module adds a
+//! second, random-access representation in which every SoA lane of
+//! [`crate::columns`] — state intervals, discrete events, counter samples,
+//! memory accesses, plus the task table — is written as a sequence of
+//! fixed-size *blocks* with per-lane encodings:
+//!
+//! | lane        | encoding                                                        |
+//! |-------------|-----------------------------------------------------------------|
+//! | states      | start: delta varint; duration varint; state tag raw `u8`; task ref biased varint |
+//! | events      | timestamp: delta varint; kind tag raw `u8`; payloads varint (lazy lanes elided per block) |
+//! | samples     | timestamp: delta varint; value: IEEE-754 bits LE                |
+//! | accesses    | task ref: biased delta varint (sorted by task); kind raw `u8`; addr/size varint |
+//! | tasks       | dense id implicit; type/cpu varint; creation zigzag delta; start zigzag; duration varint |
+//!
+//! Every block is self-contained (delta bases restart per block) and carries a
+//! footer in the file's directory: row count, byte offset/length, and a
+//! `min_key`/`max_key` pair (time bounds for time-sorted lanes, task-id bounds
+//! for the task-sorted ones). Opening a stored trace reads only the small
+//! metadata header and this directory; lanes decode on first touch into the
+//! regular in-memory column types, so every downstream consumer — pyramids,
+//! scan kernels, detectors, lint — sees an ordinary [`Trace`]. The footers let
+//! interval reads skip blocks wholly outside the queried window
+//! ([`StoredTrace::ensure_states_covering`]), and an optional residency budget
+//! with least-recently-used lane eviction keeps resident bytes bounded.
+//!
+//! ```text
+//! file    := "AFST" | version u32-le | meta-len varint | meta (an AFTM trace
+//!            holding only metadata) | block* | directory | trailer
+//! trailer := dir-offset u64-le | dir-len u64-le | "TSFA"
+//! ```
+//!
+//! The byte source is abstracted behind [`ColdTier`] (a seekable read-at
+//! interface); [`FileTier`] serves local files and [`MemoryTier`] serves
+//! in-memory buffers for tests. An object-store backend only has to implement
+//! `read_at`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::Mutex;
+
+use aftermath_exec::{parallel_map, Threads};
+
+use crate::columns::{decode_kind, encode_kind, SampleColumns};
+use crate::error::TraceError;
+use crate::event::{CounterSample, DiscreteEvent};
+use crate::format::{self, write_varint};
+use crate::ids::{CounterId, CpuId, TaskId, TaskTypeId, TimeInterval, Timestamp};
+use crate::memory::{AccessKind, MemoryAccess};
+use crate::state::{StateInterval, WorkerState};
+use crate::task::TaskInstance;
+use crate::trace::Trace;
+
+/// Magic bytes identifying an Aftermath-rs column store file.
+pub const STORE_MAGIC: [u8; 4] = *b"AFST";
+
+/// Current version of the column store format.
+pub const STORE_VERSION: u32 = 1;
+
+/// Magic bytes terminating the fixed-size trailer at the end of the file.
+const TRAILER_MAGIC: [u8; 4] = *b"TSFA";
+
+/// Byte length of the trailer: directory offset + length + magic.
+const TRAILER_LEN: usize = 8 + 8 + 4;
+
+/// Default number of rows per block.
+pub const DEFAULT_BLOCK_ROWS: usize = 65_536;
+
+// ---------------------------------------------------------------------------
+// Lane identity and directory
+// ---------------------------------------------------------------------------
+
+/// Identity of one independently stored (and independently resident) lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LaneId {
+    /// The state-interval stream of one CPU.
+    States(CpuId),
+    /// The discrete-event stream of one CPU.
+    Events(CpuId),
+    /// The sample stream of one `(CPU, counter)` pair.
+    Samples(CpuId, CounterId),
+    /// The global memory-access table (sorted by task id).
+    Accesses,
+    /// The task-instance table (dense task ids).
+    Tasks,
+}
+
+impl fmt::Display for LaneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaneId::States(cpu) => write!(f, "states[{cpu}]"),
+            LaneId::Events(cpu) => write!(f, "events[{cpu}]"),
+            LaneId::Samples(cpu, ctr) => write!(f, "samples[{cpu},{ctr}]"),
+            LaneId::Accesses => write!(f, "accesses"),
+            LaneId::Tasks => write!(f, "tasks"),
+        }
+    }
+}
+
+const LANE_TAG_STATES: u8 = 0;
+const LANE_TAG_EVENTS: u8 = 1;
+const LANE_TAG_SAMPLES: u8 = 2;
+const LANE_TAG_ACCESSES: u8 = 3;
+const LANE_TAG_TASKS: u8 = 4;
+
+/// Footer of one block: where its bytes live and what key range it covers.
+///
+/// `min_key`/`max_key` are lane-specific: for the time-sorted lanes (states,
+/// events, samples) they are the minimum start/timestamp and maximum
+/// end/timestamp of the covered rows; for accesses the biased task-id range;
+/// for tasks the dense-id range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockFooter {
+    /// Absolute file offset of the encoded block payload.
+    pub offset: u64,
+    /// Encoded byte length of the block payload.
+    pub len: u64,
+    /// Number of rows in the block.
+    pub rows: u64,
+    /// Minimum sort key covered (see type docs).
+    pub min_key: u64,
+    /// Maximum sort key covered (see type docs).
+    pub max_key: u64,
+}
+
+/// Directory entry of one lane: its identity, total rows and block footers.
+#[derive(Debug, Clone)]
+pub struct LaneDirectory {
+    /// Which lane this entry describes.
+    pub lane: LaneId,
+    /// Total number of rows across all blocks.
+    pub rows: u64,
+    /// Footers of the lane's blocks, in row order.
+    pub blocks: Vec<BlockFooter>,
+}
+
+/// Summary statistics returned by the store writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Total bytes of the written file.
+    pub file_bytes: u64,
+    /// Bytes of the eagerly-loaded metadata header (embedded AFTM trace).
+    pub metadata_bytes: u64,
+    /// Bytes of encoded lane blocks.
+    pub data_bytes: u64,
+    /// Number of lanes written.
+    pub num_lanes: usize,
+    /// Number of blocks written across all lanes.
+    pub num_blocks: usize,
+}
+
+/// Tunables of the store writer.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Rows per block. Smaller blocks skip more precisely but pay more
+    /// per-block overhead; the default suits million-row lanes.
+    pub block_rows: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            block_rows: DEFAULT_BLOCK_ROWS,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Varint / zigzag helpers over byte slices
+// ---------------------------------------------------------------------------
+
+/// Decodes one LEB128 varint from `buf` starting at `*pos`, advancing `*pos`.
+/// A slice-based twin of [`format::read_varint`] — block decoding is the hot
+/// path of lane materialisation, and going through `io::Read` per byte would
+/// dominate it.
+#[inline]
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| TraceError::Format("truncated varint in store block".into()))?;
+        *pos += 1;
+        if shift >= 63 && byte > 1 {
+            return Err(TraceError::Format("varint overflow in store block".into()));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads the raw IEEE-754 bits of an `f64` (little-endian), advancing `*pos`.
+#[inline]
+fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64, TraceError> {
+    let bytes: [u8; 8] = buf
+        .get(*pos..*pos + 8)
+        .ok_or_else(|| TraceError::Format("truncated f64 in store block".into()))?
+        .try_into()
+        .expect("slice of length 8");
+    *pos += 8;
+    Ok(f64::from_le_bytes(bytes))
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a varint to a `Vec` (infallible `Write`).
+#[inline]
+fn put_varint(out: &mut Vec<u8>, v: u64) {
+    write_varint(out, v).expect("writing to a Vec cannot fail");
+}
+
+// ---------------------------------------------------------------------------
+// Block encoders / decoders
+// ---------------------------------------------------------------------------
+
+/// Encodes states rows `[lo, hi)` of `cpu`'s stream; returns `(min, max)` keys.
+fn encode_states_block(
+    trace: &Trace,
+    cpu: CpuId,
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<u8>,
+) -> (u64, u64) {
+    let states = trace.cpu(cpu).expect("lane cpu exists").states();
+    let starts = &states.starts()[lo..hi];
+    let ends = &states.ends()[lo..hi];
+    let mut prev = 0u64;
+    for (i, &s) in starts.iter().enumerate() {
+        put_varint(out, if i == 0 { s } else { s - prev });
+        prev = s;
+    }
+    for (&s, &e) in starts.iter().zip(ends) {
+        put_varint(out, e - s);
+    }
+    out.extend_from_slice(&states.state_tags()[lo..hi]);
+    for i in lo..hi {
+        put_varint(out, states.task(i).map_or(0, |t| t.0 + 1));
+    }
+    let max_end = ends.iter().copied().max().unwrap_or(0);
+    (starts[0], max_end)
+}
+
+fn decode_states_block(
+    buf: &[u8],
+    cpu: CpuId,
+    rows: usize,
+) -> Result<Vec<StateInterval>, TraceError> {
+    let mut pos = 0usize;
+    let mut starts = Vec::with_capacity(rows);
+    let mut prev = 0u64;
+    for i in 0..rows {
+        let d = get_varint(buf, &mut pos)?;
+        prev = if i == 0 { d } else { prev + d };
+        starts.push(prev);
+    }
+    let mut durations = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        durations.push(get_varint(buf, &mut pos)?);
+    }
+    let tags = buf
+        .get(pos..pos + rows)
+        .ok_or_else(|| TraceError::Format("truncated state tag lane".into()))?;
+    pos += rows;
+    let mut rows_out = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let state = WorkerState::from_index(tags[i] as usize)
+            .ok_or_else(|| TraceError::Format(format!("invalid state tag {}", tags[i])))?;
+        let biased = get_varint(buf, &mut pos)?;
+        let task = if biased == 0 {
+            None
+        } else {
+            Some(TaskId(biased - 1))
+        };
+        rows_out.push(StateInterval::new(
+            cpu,
+            state,
+            TimeInterval::from_cycles(starts[i], starts[i] + durations[i]),
+            task,
+        ));
+    }
+    Ok(rows_out)
+}
+
+/// Encodes event rows `[lo, hi)`; lazy payload lanes are elided per block when
+/// every covered row is zero there (mirroring the in-memory lazy lanes).
+fn encode_events_block(
+    trace: &Trace,
+    cpu: CpuId,
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<u8>,
+) -> (u64, u64) {
+    let events = trace.cpu(cpu).expect("lane cpu exists").events();
+    let n = hi - lo;
+    let mut tags = Vec::with_capacity(n);
+    let mut pa = Vec::with_capacity(n);
+    let mut pb = Vec::with_capacity(n);
+    let mut pc = Vec::with_capacity(n);
+    for i in lo..hi {
+        let (tag, a, b, c) = encode_kind(events.get(i).kind);
+        tags.push(tag);
+        pa.push(a);
+        pb.push(b);
+        pc.push(c);
+    }
+    let has_b = pb.iter().any(|&v| v != 0);
+    let has_c = pc.iter().any(|&v| v != 0);
+    out.push(u8::from(has_b) | (u8::from(has_c) << 1));
+    let ts = &events.timestamps()[lo..hi];
+    let mut prev = 0u64;
+    for (i, &t) in ts.iter().enumerate() {
+        put_varint(out, if i == 0 { t } else { t - prev });
+        prev = t;
+    }
+    out.extend_from_slice(&tags);
+    for &a in &pa {
+        put_varint(out, a);
+    }
+    if has_b {
+        for &b in &pb {
+            put_varint(out, b);
+        }
+    }
+    if has_c {
+        for &c in &pc {
+            put_varint(out, c);
+        }
+    }
+    (ts[0], ts[n - 1])
+}
+
+fn decode_events_block(
+    buf: &[u8],
+    cpu: CpuId,
+    rows: usize,
+) -> Result<Vec<DiscreteEvent>, TraceError> {
+    let mut pos = 0usize;
+    let flags = *buf
+        .get(pos)
+        .ok_or_else(|| TraceError::Format("truncated event block".into()))?;
+    pos += 1;
+    let (has_b, has_c) = (flags & 1 != 0, flags & 2 != 0);
+    let mut ts = Vec::with_capacity(rows);
+    let mut prev = 0u64;
+    for i in 0..rows {
+        let d = get_varint(buf, &mut pos)?;
+        prev = if i == 0 { d } else { prev + d };
+        ts.push(prev);
+    }
+    let tags = buf
+        .get(pos..pos + rows)
+        .ok_or_else(|| TraceError::Format("truncated event tag lane".into()))?
+        .to_vec();
+    pos += rows;
+    if let Some(&bad) = tags.iter().find(|&&t| t > 6) {
+        return Err(TraceError::Format(format!("invalid event tag {bad}")));
+    }
+    let mut pa = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        pa.push(get_varint(buf, &mut pos)?);
+    }
+    let mut pb = vec![0u64; rows];
+    if has_b {
+        for b in pb.iter_mut() {
+            *b = get_varint(buf, &mut pos)?;
+        }
+    }
+    let mut pc = vec![0u64; rows];
+    if has_c {
+        for c in pc.iter_mut() {
+            *c = get_varint(buf, &mut pos)?;
+        }
+    }
+    Ok((0..rows)
+        .map(|i| {
+            DiscreteEvent::new(
+                cpu,
+                Timestamp(ts[i]),
+                decode_kind(tags[i], pa[i], pb[i], pc[i]),
+            )
+        })
+        .collect())
+}
+
+fn encode_samples_block(
+    trace: &Trace,
+    cpu: CpuId,
+    counter: CounterId,
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<u8>,
+) -> (u64, u64) {
+    let samples = trace
+        .cpu(cpu)
+        .expect("lane cpu exists")
+        .samples(counter)
+        .expect("lane counter exists");
+    let ts = &samples.timestamps()[lo..hi];
+    let mut prev = 0u64;
+    for (i, &t) in ts.iter().enumerate() {
+        put_varint(out, if i == 0 { t } else { t - prev });
+        prev = t;
+    }
+    for &v in &samples.values()[lo..hi] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    (ts[0], ts[ts.len() - 1])
+}
+
+fn decode_samples_block(
+    buf: &[u8],
+    cpu: CpuId,
+    counter: CounterId,
+    rows: usize,
+) -> Result<Vec<CounterSample>, TraceError> {
+    let mut pos = 0usize;
+    let mut ts = Vec::with_capacity(rows);
+    let mut prev = 0u64;
+    for i in 0..rows {
+        let d = get_varint(buf, &mut pos)?;
+        prev = if i == 0 { d } else { prev + d };
+        ts.push(prev);
+    }
+    let mut rows_out = Vec::with_capacity(rows);
+    for &t in &ts {
+        let v = get_f64(buf, &mut pos)?;
+        rows_out.push(CounterSample::new(counter, cpu, Timestamp(t), v));
+    }
+    Ok(rows_out)
+}
+
+fn encode_accesses_block(trace: &Trace, lo: usize, hi: usize, out: &mut Vec<u8>) -> (u64, u64) {
+    let accesses = trace.accesses();
+    let mut prev = 0u64;
+    let mut min_key = 0u64;
+    for i in lo..hi {
+        let a = accesses.get(i);
+        let biased = a.task.0 + 1;
+        if i == lo {
+            min_key = biased;
+            put_varint(out, biased);
+        } else {
+            put_varint(out, biased - prev);
+        }
+        prev = biased;
+        out.push(match a.kind {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+        });
+        put_varint(out, a.addr);
+        put_varint(out, a.size);
+    }
+    (min_key, prev)
+}
+
+fn decode_accesses_block(buf: &[u8], rows: usize) -> Result<Vec<MemoryAccess>, TraceError> {
+    let mut pos = 0usize;
+    let mut prev = 0u64;
+    let mut rows_out = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let d = get_varint(buf, &mut pos)?;
+        prev = if i == 0 { d } else { prev + d };
+        if prev == 0 {
+            return Err(TraceError::Format("zero biased task ref".into()));
+        }
+        let kind = match buf.get(pos) {
+            Some(0) => AccessKind::Read,
+            Some(1) => AccessKind::Write,
+            _ => return Err(TraceError::Format("invalid access kind".into())),
+        };
+        pos += 1;
+        let addr = get_varint(buf, &mut pos)?;
+        let size = get_varint(buf, &mut pos)?;
+        rows_out.push(MemoryAccess::new(TaskId(prev - 1), kind, addr, size));
+    }
+    Ok(rows_out)
+}
+
+fn encode_tasks_block(trace: &Trace, lo: usize, hi: usize, out: &mut Vec<u8>) -> (u64, u64) {
+    let tasks = &trace.tasks()[lo..hi];
+    let mut prev_creation = 0i64;
+    for t in tasks {
+        put_varint(out, u64::from(t.task_type.0));
+        put_varint(out, u64::from(t.cpu.0));
+        put_varint(out, u64::from(t.creator_cpu.0));
+        let creation = t.creation.0 as i64;
+        put_varint(out, zigzag(creation - prev_creation));
+        prev_creation = creation;
+        put_varint(out, zigzag(t.execution.start.0 as i64 - creation));
+        put_varint(out, t.execution.duration());
+    }
+    (lo as u64, hi as u64 - 1)
+}
+
+fn decode_tasks_block(
+    buf: &[u8],
+    first_id: u64,
+    rows: usize,
+) -> Result<Vec<TaskInstance>, TraceError> {
+    let mut pos = 0usize;
+    let mut prev_creation = 0i64;
+    let mut rows_out = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let ty = get_varint(buf, &mut pos)?;
+        let cpu = get_varint(buf, &mut pos)?;
+        let creator = get_varint(buf, &mut pos)?;
+        let creation = prev_creation + unzigzag(get_varint(buf, &mut pos)?);
+        prev_creation = creation;
+        let start = creation + unzigzag(get_varint(buf, &mut pos)?);
+        let duration = get_varint(buf, &mut pos)?;
+        if creation < 0 || start < 0 {
+            return Err(TraceError::Format("negative task timestamp".into()));
+        }
+        rows_out.push(TaskInstance::new(
+            TaskId(first_id + i as u64),
+            TaskTypeId(ty as u32),
+            CpuId(cpu as u32),
+            CpuId(creator as u32),
+            Timestamp(creation as u64),
+            TimeInterval::from_cycles(start as u64, start as u64 + duration),
+        ));
+    }
+    Ok(rows_out)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// The lanes of `trace` that carry rows, in canonical file order.
+fn lane_plan(trace: &Trace) -> Vec<(LaneId, usize)> {
+    let mut lanes = Vec::new();
+    for pc in trace.per_cpu() {
+        if !pc.states().is_empty() {
+            lanes.push((LaneId::States(pc.cpu()), pc.states().len()));
+        }
+    }
+    for pc in trace.per_cpu() {
+        if !pc.events().is_empty() {
+            lanes.push((LaneId::Events(pc.cpu()), pc.events().len()));
+        }
+    }
+    for pc in trace.per_cpu() {
+        for (counter, samples) in pc.sample_streams() {
+            if !samples.is_empty() {
+                lanes.push((LaneId::Samples(pc.cpu(), counter), samples.len()));
+            }
+        }
+    }
+    if !trace.accesses().is_empty() {
+        lanes.push((LaneId::Accesses, trace.accesses().len()));
+    }
+    if !trace.tasks().is_empty() {
+        lanes.push((LaneId::Tasks, trace.tasks().len()));
+    }
+    lanes
+}
+
+fn encode_block(
+    trace: &Trace,
+    lane: LaneId,
+    lo: usize,
+    hi: usize,
+    out: &mut Vec<u8>,
+) -> (u64, u64) {
+    match lane {
+        LaneId::States(cpu) => encode_states_block(trace, cpu, lo, hi, out),
+        LaneId::Events(cpu) => encode_events_block(trace, cpu, lo, hi, out),
+        LaneId::Samples(cpu, ctr) => encode_samples_block(trace, cpu, ctr, lo, hi, out),
+        LaneId::Accesses => encode_accesses_block(trace, lo, hi, out),
+        LaneId::Tasks => encode_tasks_block(trace, lo, hi, out),
+    }
+}
+
+/// Serialises `trace` into the column store representation, returning the file
+/// bytes. See [`write_store_file`] for the usual entry point.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Format`] when the trace cannot be stored (non-dense
+/// task ids) and propagates metadata serialisation errors.
+pub fn write_store_bytes(trace: &Trace, options: &StoreOptions) -> Result<Vec<u8>, TraceError> {
+    if options.block_rows == 0 {
+        return Err(TraceError::Format(
+            "store block_rows must be positive".into(),
+        ));
+    }
+    for (i, t) in trace.tasks().iter().enumerate() {
+        if t.id.0 != i as u64 {
+            return Err(TraceError::Format(format!(
+                "column store requires dense task ids: task at index {i} has id {}",
+                t.id
+            )));
+        }
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(&STORE_MAGIC);
+    out.extend_from_slice(&STORE_VERSION.to_le_bytes());
+
+    // Metadata header: the trace minus its lanes, in the regular AFTM format.
+    let mut meta = Vec::new();
+    format::write_trace(&trace.metadata_skeleton(), &mut meta)?;
+    put_varint(&mut out, meta.len() as u64);
+    out.extend_from_slice(&meta);
+
+    // Lane blocks.
+    let mut directory = Vec::new();
+    for (lane, rows) in lane_plan(trace) {
+        let mut blocks = Vec::new();
+        let mut lo = 0usize;
+        while lo < rows {
+            let hi = (lo + options.block_rows).min(rows);
+            let offset = out.len() as u64;
+            let (min_key, max_key) = encode_block(trace, lane, lo, hi, &mut out);
+            blocks.push(BlockFooter {
+                offset,
+                len: out.len() as u64 - offset,
+                rows: (hi - lo) as u64,
+                min_key,
+                max_key,
+            });
+            lo = hi;
+        }
+        directory.push(LaneDirectory {
+            lane,
+            rows: rows as u64,
+            blocks,
+        });
+    }
+    // Directory.
+    let dir_offset = out.len() as u64;
+    let bounds = trace.time_bounds_opt();
+    out.push(u8::from(bounds.is_some()));
+    if let Some(b) = bounds {
+        put_varint(&mut out, b.start.0);
+        put_varint(&mut out, b.end.0);
+    }
+    put_varint(&mut out, trace.num_events() as u64);
+    put_varint(&mut out, directory.len() as u64);
+    for lane in &directory {
+        match lane.lane {
+            LaneId::States(cpu) => {
+                out.push(LANE_TAG_STATES);
+                put_varint(&mut out, u64::from(cpu.0));
+            }
+            LaneId::Events(cpu) => {
+                out.push(LANE_TAG_EVENTS);
+                put_varint(&mut out, u64::from(cpu.0));
+            }
+            LaneId::Samples(cpu, ctr) => {
+                out.push(LANE_TAG_SAMPLES);
+                put_varint(&mut out, u64::from(cpu.0));
+                put_varint(&mut out, u64::from(ctr.0));
+            }
+            LaneId::Accesses => out.push(LANE_TAG_ACCESSES),
+            LaneId::Tasks => out.push(LANE_TAG_TASKS),
+        }
+        put_varint(&mut out, lane.rows);
+        put_varint(&mut out, lane.blocks.len() as u64);
+        for b in &lane.blocks {
+            put_varint(&mut out, b.offset);
+            put_varint(&mut out, b.len);
+            put_varint(&mut out, b.rows);
+            put_varint(&mut out, b.min_key);
+            put_varint(&mut out, b.max_key);
+        }
+    }
+    let dir_len = out.len() as u64 - dir_offset;
+
+    // Trailer.
+    out.extend_from_slice(&dir_offset.to_le_bytes());
+    out.extend_from_slice(&dir_len.to_le_bytes());
+    out.extend_from_slice(&TRAILER_MAGIC);
+
+    Ok(out)
+}
+
+/// Writes `trace` as a column store file at `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors and the conditions of [`write_store_bytes`].
+pub fn write_store_file<P: AsRef<Path>>(trace: &Trace, path: P) -> Result<StoreStats, TraceError> {
+    write_store_file_with(trace, path, &StoreOptions::default())
+}
+
+/// Like [`write_store_file`] with explicit [`StoreOptions`].
+///
+/// # Errors
+///
+/// Propagates I/O errors and the conditions of [`write_store_bytes`].
+pub fn write_store_file_with<P: AsRef<Path>>(
+    trace: &Trace,
+    path: P,
+    options: &StoreOptions,
+) -> Result<StoreStats, TraceError> {
+    let bytes = write_store_bytes(trace, options)?;
+    let stats = stats_of(&bytes)?;
+    std::fs::write(path, &bytes).map_err(TraceError::Io)?;
+    Ok(stats)
+}
+
+/// Computes [`StoreStats`] of an encoded store buffer from its own framing.
+fn stats_of(bytes: &[u8]) -> Result<StoreStats, TraceError> {
+    let mut pos = 8usize; // magic + version
+    let meta_len = get_varint(bytes, &mut pos)? as usize;
+    let data_start = pos + meta_len;
+    let trailer = bytes.len() - TRAILER_LEN;
+    let dir_offset = u64::from_le_bytes(bytes[trailer..trailer + 8].try_into().expect("8 bytes"));
+    let directory = read_directory(bytes, dir_offset as usize, bytes.len() - TRAILER_LEN)?;
+    Ok(StoreStats {
+        file_bytes: bytes.len() as u64,
+        metadata_bytes: meta_len as u64,
+        data_bytes: dir_offset - data_start as u64,
+        num_lanes: directory.1.len(),
+        num_blocks: directory.1.iter().map(|l| l.blocks.len()).sum(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Cold tier
+// ---------------------------------------------------------------------------
+
+/// A random-access byte source holding the cold (on-disk) representation.
+///
+/// This is the seam for alternative backends — the store only ever issues
+/// ranged reads, so an object store or a remote block service can serve a
+/// trace by implementing these two methods.
+pub trait ColdTier: fmt::Debug + Send + Sync {
+    /// Total size of the stored bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the backing source cannot be inspected.
+    fn size(&self) -> Result<u64, TraceError>;
+
+    /// Fills `buf` from the absolute byte `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the range is unavailable or the read fails.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), TraceError>;
+}
+
+/// [`ColdTier`] backed by a local file.
+#[derive(Debug)]
+pub struct FileTier {
+    file: Mutex<File>,
+}
+
+impl FileTier {
+    /// Opens `path` for ranged reads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `File::open` error.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, TraceError> {
+        let file = File::open(path).map_err(TraceError::Io)?;
+        Ok(FileTier {
+            file: Mutex::new(file),
+        })
+    }
+}
+
+impl ColdTier for FileTier {
+    fn size(&self) -> Result<u64, TraceError> {
+        let file = self.file.lock().expect("file tier lock");
+        file.metadata().map(|m| m.len()).map_err(TraceError::Io)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), TraceError> {
+        let mut file = self.file.lock().expect("file tier lock");
+        file.seek(SeekFrom::Start(offset)).map_err(TraceError::Io)?;
+        file.read_exact(buf).map_err(TraceError::Io)
+    }
+}
+
+/// [`ColdTier`] backed by an in-memory buffer (tests, benchmarks).
+#[derive(Debug)]
+pub struct MemoryTier {
+    bytes: Vec<u8>,
+}
+
+impl MemoryTier {
+    /// Wraps an encoded store buffer.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        MemoryTier { bytes }
+    }
+}
+
+impl ColdTier for MemoryTier {
+    fn size(&self) -> Result<u64, TraceError> {
+        Ok(self.bytes.len() as u64)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), TraceError> {
+        let lo = offset as usize;
+        let src = self
+            .bytes
+            .get(lo..lo + buf.len())
+            .ok_or_else(|| TraceError::Format("read past end of store".into()))?;
+        buf.copy_from_slice(src);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Open / directory decoding
+// ---------------------------------------------------------------------------
+
+fn read_directory(
+    bytes: &[u8],
+    dir_start: usize,
+    dir_end: usize,
+) -> Result<(Option<TimeInterval>, Vec<LaneDirectory>, u64), TraceError> {
+    let dir = bytes
+        .get(dir_start..dir_end)
+        .ok_or_else(|| TraceError::Format("store directory out of bounds".into()))?;
+    let mut pos = 0usize;
+    let has_bounds = *dir
+        .first()
+        .ok_or_else(|| TraceError::Format("empty store directory".into()))?;
+    pos += 1;
+    let bounds = if has_bounds != 0 {
+        let start = get_varint(dir, &mut pos)?;
+        let end = get_varint(dir, &mut pos)?;
+        Some(TimeInterval::from_cycles(start, end))
+    } else {
+        None
+    };
+    let num_events = get_varint(dir, &mut pos)?;
+    let num_lanes = get_varint(dir, &mut pos)? as usize;
+    // Every lane entry takes at least 4 bytes (tag, rows, block count and one
+    // footer byte), so a count beyond that is corrupt — reject it before the
+    // allocation rather than inside it.
+    if num_lanes > dir.len() / 4 + 1 {
+        return Err(TraceError::Format("store lane count out of bounds".into()));
+    }
+    let mut lanes = Vec::with_capacity(num_lanes);
+    for _ in 0..num_lanes {
+        let tag = *dir
+            .get(pos)
+            .ok_or_else(|| TraceError::Format("truncated lane directory".into()))?;
+        pos += 1;
+        let lane = match tag {
+            LANE_TAG_STATES => LaneId::States(CpuId(get_varint(dir, &mut pos)? as u32)),
+            LANE_TAG_EVENTS => LaneId::Events(CpuId(get_varint(dir, &mut pos)? as u32)),
+            LANE_TAG_SAMPLES => {
+                let cpu = CpuId(get_varint(dir, &mut pos)? as u32);
+                let ctr = CounterId(get_varint(dir, &mut pos)? as u32);
+                LaneId::Samples(cpu, ctr)
+            }
+            LANE_TAG_ACCESSES => LaneId::Accesses,
+            LANE_TAG_TASKS => LaneId::Tasks,
+            other => {
+                return Err(TraceError::Format(format!("unknown lane tag {other}")));
+            }
+        };
+        let rows = get_varint(dir, &mut pos)?;
+        let num_blocks = get_varint(dir, &mut pos)? as usize;
+        // Each footer takes at least 5 varint bytes.
+        if num_blocks > (dir.len() - pos.min(dir.len())) / 5 + 1 {
+            return Err(TraceError::Format("store block count out of bounds".into()));
+        }
+        let mut blocks = Vec::with_capacity(num_blocks);
+        let mut block_rows = 0u64;
+        for _ in 0..num_blocks {
+            let offset = get_varint(dir, &mut pos)?;
+            let len = get_varint(dir, &mut pos)?;
+            let brows = get_varint(dir, &mut pos)?;
+            let min_key = get_varint(dir, &mut pos)?;
+            let max_key = get_varint(dir, &mut pos)?;
+            block_rows = block_rows
+                .checked_add(brows)
+                .ok_or_else(|| TraceError::Format("store lane row count overflow".into()))?;
+            blocks.push(BlockFooter {
+                offset,
+                len,
+                rows: brows,
+                min_key,
+                max_key,
+            });
+        }
+        if block_rows != rows {
+            return Err(TraceError::Format(format!(
+                "lane {lane}: block rows {block_rows} disagree with lane rows {rows}"
+            )));
+        }
+        lanes.push(LaneDirectory { lane, rows, blocks });
+    }
+    Ok((bounds, lanes, num_events))
+}
+
+/// Checks the structural invariants the materialisation path relies on: a
+/// lane's blocks form one contiguous, ascending byte run inside the data
+/// region `[data_start, data_end)`, every block has at least one row, and no
+/// encoding produces fewer than one byte per row. A directory that fails any
+/// of these is corrupt; rejecting it here keeps the decode paths free of
+/// unbounded allocations and offset arithmetic on untrusted values.
+fn validate_directory(
+    lanes: &[LaneDirectory],
+    data_start: u64,
+    data_end: u64,
+) -> Result<(), TraceError> {
+    let corrupt = |lane: LaneId, what: &str| {
+        TraceError::Format(format!("lane {lane}: corrupt block footer ({what})"))
+    };
+    for dir in lanes {
+        let mut next = None;
+        for b in &dir.blocks {
+            if b.rows == 0 {
+                return Err(corrupt(dir.lane, "empty block"));
+            }
+            if b.rows > b.len {
+                return Err(corrupt(dir.lane, "more rows than bytes"));
+            }
+            if let Some(expect) = next {
+                if b.offset != expect {
+                    return Err(corrupt(dir.lane, "blocks not contiguous"));
+                }
+            } else if b.offset < data_start {
+                return Err(corrupt(dir.lane, "block before data region"));
+            }
+            let end = b
+                .offset
+                .checked_add(b.len)
+                .ok_or_else(|| corrupt(dir.lane, "block range overflow"))?;
+            if end > data_end {
+                return Err(corrupt(dir.lane, "block past data region"));
+            }
+            next = Some(end);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// StoredTrace
+// ---------------------------------------------------------------------------
+
+/// Residency state of one lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneResidency {
+    /// No rows decoded.
+    Absent,
+    /// A contiguous block run is decoded; queries must stay within
+    /// [`StoredTrace::covered_span`].
+    Partial,
+    /// The whole lane is decoded.
+    Full,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Residency {
+    Absent,
+    Partial {
+        block_lo: usize,
+        block_hi: usize,
+        touched: u64,
+    },
+    Full {
+        touched: u64,
+    },
+}
+
+impl Residency {
+    fn touched(&self) -> Option<u64> {
+        match *self {
+            Residency::Absent => None,
+            Residency::Partial { touched, .. } | Residency::Full { touched, .. } => Some(touched),
+        }
+    }
+}
+
+/// A trace opened from the column store: metadata resident, lanes lazy.
+///
+/// The embedded [`Trace`] is fully usable at all times — absent lanes simply
+/// read as empty streams. [`StoredTrace::ensure`] materialises a lane in full;
+/// [`StoredTrace::ensure_states_covering`] materialises only the block run of
+/// a states lane overlapping a query window (block-skipping). After a partial
+/// ensure the lane holds a contiguous *superset* of the rows overlapping the
+/// requested window; value-based interval queries confined to that window see
+/// exactly the same rows as against the full lane, but absolute row indices
+/// (e.g. a [`aftermath-core` pyramid] built over the full lane) do not align —
+/// higher layers must only combine index-carrying structures with fully
+/// resident lanes.
+#[derive(Debug)]
+pub struct StoredTrace {
+    tier: Box<dyn ColdTier>,
+    skeleton: Trace,
+    directory: Vec<LaneDirectory>,
+    lane_index: HashMap<LaneId, usize>,
+    residency: Vec<Residency>,
+    clock: u64,
+    budget: Option<usize>,
+    bounds: Option<TimeInterval>,
+    num_events: u64,
+    file_bytes: u64,
+    threads: Threads,
+}
+
+impl StoredTrace {
+    /// Opens a store file for lazy reading.
+    ///
+    /// Only the metadata header and the block directory are decoded — the cost
+    /// is independent of the number of events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] / [`TraceError::Format`] for unreadable or
+    /// malformed files and [`TraceError::UnsupportedVersion`] for a version
+    /// this build does not understand.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, TraceError> {
+        Self::open_with_tier(Box::new(FileTier::open(path)?))
+    }
+
+    /// Opens a store held in an in-memory buffer (tests, benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoredTrace::open`].
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, TraceError> {
+        Self::open_with_tier(Box::new(MemoryTier::new(bytes)))
+    }
+
+    /// Opens a store served by an arbitrary [`ColdTier`] backend.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoredTrace::open`].
+    pub fn open_with_tier(tier: Box<dyn ColdTier>) -> Result<Self, TraceError> {
+        let size = tier.size()?;
+        if size < (8 + TRAILER_LEN) as u64 {
+            return Err(TraceError::Format("store file too short".into()));
+        }
+        // Header: magic, version, metadata length varint.
+        let head_len = (size as usize).min(8 + format::MAX_VARINT_LEN);
+        let mut head = vec![0u8; head_len];
+        tier.read_at(0, &mut head)?;
+        if head[0..4] != STORE_MAGIC {
+            return Err(TraceError::Format("not a column store file".into()));
+        }
+        let version = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+        if version != STORE_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let mut pos = 8usize;
+        let meta_len = get_varint(&head, &mut pos)? as usize;
+        let data_budget = size - (8 + TRAILER_LEN) as u64;
+        if meta_len as u64 > data_budget || pos as u64 + meta_len as u64 > size {
+            return Err(TraceError::Format(
+                "store metadata length out of bounds".into(),
+            ));
+        }
+        let mut meta = vec![0u8; meta_len];
+        tier.read_at(pos as u64, &mut meta)?;
+        let skeleton = format::read_trace(&meta[..])?;
+        let data_start = pos as u64 + meta_len as u64;
+
+        // Trailer + directory.
+        let mut trailer = [0u8; TRAILER_LEN];
+        tier.read_at(size - TRAILER_LEN as u64, &mut trailer)?;
+        if trailer[16..20] != TRAILER_MAGIC {
+            return Err(TraceError::Format("store trailer magic mismatch".into()));
+        }
+        let dir_offset = u64::from_le_bytes(trailer[0..8].try_into().expect("8 bytes"));
+        let dir_len = u64::from_le_bytes(trailer[8..16].try_into().expect("8 bytes"));
+        if dir_offset
+            .checked_add(dir_len)
+            .and_then(|v| v.checked_add(TRAILER_LEN as u64))
+            != Some(size)
+            || dir_offset < data_start
+        {
+            return Err(TraceError::Format(
+                "store directory framing mismatch".into(),
+            ));
+        }
+        let mut dir = vec![0u8; dir_len as usize];
+        tier.read_at(dir_offset, &mut dir)?;
+        let (bounds, directory, num_events) = read_directory(&dir, 0, dir.len())?;
+        validate_directory(&directory, data_start, dir_offset)?;
+        let lane_index = directory
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.lane, i))
+            .collect();
+        let residency = vec![Residency::Absent; directory.len()];
+        Ok(StoredTrace {
+            tier,
+            skeleton,
+            directory,
+            lane_index,
+            residency,
+            clock: 0,
+            budget: None,
+            bounds,
+            num_events,
+            file_bytes: size,
+            threads: Threads::auto(),
+        })
+    }
+
+    /// The trace with whatever lanes are currently resident; absent lanes read
+    /// as empty streams.
+    pub fn trace(&self) -> &Trace {
+        &self.skeleton
+    }
+
+    /// The recorded time bounds of the *full* trace (independent of residency).
+    pub fn time_bounds(&self) -> Option<TimeInterval> {
+        self.bounds
+    }
+
+    /// Total number of recorded items in the full trace.
+    pub fn num_events(&self) -> u64 {
+        self.num_events
+    }
+
+    /// Size of the backing store in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// The stored lanes, in file order.
+    pub fn lanes(&self) -> impl Iterator<Item = LaneId> + '_ {
+        self.directory.iter().map(|l| l.lane)
+    }
+
+    /// Number of rows of `lane` in the full trace (0 for unknown lanes).
+    pub fn lane_rows(&self, lane: LaneId) -> u64 {
+        self.lane_index
+            .get(&lane)
+            .map_or(0, |&i| self.directory[i].rows)
+    }
+
+    /// The thread pool hint used for parallel block decoding.
+    pub fn set_decode_threads(&mut self, threads: Threads) {
+        self.threads = threads;
+    }
+
+    /// Sets (or clears) the residency budget in bytes enforced by
+    /// [`StoredTrace::evict_to_budget`].
+    pub fn set_residency_budget(&mut self, budget: Option<usize>) {
+        self.budget = budget;
+    }
+
+    /// The configured residency budget.
+    pub fn residency_budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Bytes currently resident for event data (decoded lanes plus the
+    /// metadata-resident communication table) — exactly
+    /// [`Trace::resident_event_bytes`] of the embedded trace.
+    pub fn resident_event_bytes(&self) -> usize {
+        self.skeleton.resident_event_bytes()
+    }
+
+    /// Residency state of `lane`. Lanes without stored rows are always
+    /// [`LaneResidency::Full`].
+    pub fn residency(&self, lane: LaneId) -> LaneResidency {
+        match self.lane_index.get(&lane) {
+            None => LaneResidency::Full,
+            Some(&i) => match self.residency[i] {
+                Residency::Absent => LaneResidency::Absent,
+                Residency::Partial { .. } => LaneResidency::Partial,
+                Residency::Full { .. } => LaneResidency::Full,
+            },
+        }
+    }
+
+    /// The time span fully covered by the resident block run of a states lane:
+    /// queries confined to this span see exactly the rows a fully resident
+    /// lane would give them. `None` when nothing is resident.
+    pub fn covered_span(&self, lane: LaneId) -> Option<TimeInterval> {
+        let &i = self.lane_index.get(&lane)?;
+        let blocks = &self.directory[i].blocks;
+        match self.residency[i] {
+            Residency::Absent => None,
+            Residency::Full { .. } => Some(TimeInterval::from_cycles(0, u64::MAX)),
+            Residency::Partial {
+                block_lo, block_hi, ..
+            } => {
+                // Rows of the uncovered neighbour blocks may overlap the edge
+                // of the run; the *guaranteed* span shrinks to the range no
+                // outside block can reach into.
+                let lo = if block_lo == 0 {
+                    0
+                } else {
+                    blocks[block_lo - 1].max_key
+                };
+                let hi = if block_hi == blocks.len() {
+                    u64::MAX
+                } else {
+                    blocks[block_hi].min_key
+                };
+                Some(TimeInterval::from_cycles(lo, hi.max(lo)))
+            }
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        self.clock += 1;
+        let clock = self.clock;
+        match &mut self.residency[idx] {
+            Residency::Absent => {}
+            Residency::Partial { touched, .. } | Residency::Full { touched, .. } => {
+                *touched = clock;
+            }
+        }
+    }
+
+    /// Reads the contiguous byte range of blocks `[lo, hi)` of one lane.
+    fn read_block_run(
+        &self,
+        dir: &LaneDirectory,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<u8>, TraceError> {
+        let first = &dir.blocks[lo];
+        let last = &dir.blocks[hi - 1];
+        let len = (last.offset + last.len - first.offset) as usize;
+        let mut buf = vec![0u8; len];
+        self.tier.read_at(first.offset, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Decodes blocks `[lo, hi)` of `lane` and installs them, replacing any
+    /// previously resident rows of that lane.
+    fn materialise_run(&mut self, idx: usize, lo: usize, hi: usize) -> Result<(), TraceError> {
+        let dir = self.directory[idx].clone();
+        let lane = dir.lane;
+        let buf = self.read_block_run(&dir, lo, hi)?;
+        let base = dir.blocks[lo].offset;
+        let slices: Vec<(usize, &[u8])> = dir.blocks[lo..hi]
+            .iter()
+            .enumerate()
+            .map(|(k, b)| {
+                let s = (b.offset - base) as usize;
+                (lo + k, &buf[s..s + b.len as usize])
+            })
+            .collect();
+        let threads = self.threads;
+        match lane {
+            LaneId::States(cpu) => {
+                let decoded: Vec<Result<Vec<StateInterval>, TraceError>> =
+                    parallel_map(threads, &slices, |&(k, s)| {
+                        decode_states_block(s, cpu, dir.blocks[k].rows as usize)
+                    });
+                let pc = self.per_cpu_mut(cpu)?;
+                pc.states = crate::columns::StateColumns::new(cpu);
+                for d in decoded {
+                    for r in d? {
+                        pc.states.push(r);
+                    }
+                }
+                pc.states.shrink_to_fit();
+            }
+            LaneId::Events(cpu) => {
+                let decoded: Vec<Result<Vec<DiscreteEvent>, TraceError>> =
+                    parallel_map(threads, &slices, |&(k, s)| {
+                        decode_events_block(s, cpu, dir.blocks[k].rows as usize)
+                    });
+                let pc = self.per_cpu_mut(cpu)?;
+                pc.events = crate::columns::EventColumns::new(cpu);
+                for d in decoded {
+                    for r in d? {
+                        pc.events.push(r);
+                    }
+                }
+                pc.events.shrink_to_fit();
+            }
+            LaneId::Samples(cpu, ctr) => {
+                let decoded: Vec<Result<Vec<CounterSample>, TraceError>> =
+                    parallel_map(threads, &slices, |&(k, s)| {
+                        decode_samples_block(s, cpu, ctr, dir.blocks[k].rows as usize)
+                    });
+                let mut col = SampleColumns::new(ctr, cpu);
+                for d in decoded {
+                    for r in d? {
+                        col.push(r);
+                    }
+                }
+                col.shrink_to_fit();
+                let pc = self.per_cpu_mut(cpu)?;
+                pc.samples.insert(ctr, col);
+            }
+            LaneId::Accesses => {
+                let decoded: Vec<Result<Vec<MemoryAccess>, TraceError>> =
+                    parallel_map(threads, &slices, |&(k, s)| {
+                        decode_accesses_block(s, dir.blocks[k].rows as usize)
+                    });
+                let parts = self.skeleton.streaming_parts_mut();
+                *parts.accesses = crate::columns::AccessColumns::new();
+                for d in decoded {
+                    for r in d? {
+                        parts.accesses.push(r);
+                    }
+                }
+                parts.accesses.sort_by_task();
+                parts.accesses.shrink_to_fit();
+            }
+            LaneId::Tasks => {
+                let decoded: Vec<Result<Vec<TaskInstance>, TraceError>> =
+                    parallel_map(threads, &slices, |&(k, s)| {
+                        decode_tasks_block(s, dir.blocks[k].min_key, dir.blocks[k].rows as usize)
+                    });
+                let parts = self.skeleton.streaming_parts_mut();
+                parts.tasks.clear();
+                for d in decoded {
+                    parts.tasks.extend(d?);
+                }
+                parts.tasks.shrink_to_fit();
+            }
+        }
+        self.clock += 1;
+        self.residency[idx] = if lo == 0 && hi == self.directory[idx].blocks.len() {
+            Residency::Full {
+                touched: self.clock,
+            }
+        } else {
+            Residency::Partial {
+                block_lo: lo,
+                block_hi: hi,
+                touched: self.clock,
+            }
+        };
+        Ok(())
+    }
+
+    fn per_cpu_mut(&mut self, cpu: CpuId) -> Result<&mut crate::trace::PerCpuEvents, TraceError> {
+        let parts = self.skeleton.streaming_parts_mut();
+        parts
+            .per_cpu
+            .iter_mut()
+            .find(|pc| pc.cpu() == cpu)
+            .ok_or(TraceError::UnknownCpu(cpu))
+    }
+
+    /// Heap bytes currently occupied by the resident rows of `lane`.
+    pub fn lane_resident_bytes(&self, lane: LaneId) -> usize {
+        match lane {
+            LaneId::States(cpu) => self
+                .skeleton
+                .cpu(cpu)
+                .map_or(0, |pc| pc.states.memory_bytes()),
+            LaneId::Events(cpu) => self
+                .skeleton
+                .cpu(cpu)
+                .map_or(0, |pc| pc.events.memory_bytes()),
+            LaneId::Samples(cpu, ctr) => self
+                .skeleton
+                .cpu(cpu)
+                .and_then(|pc| pc.samples.get(&ctr))
+                .map_or(0, SampleColumns::memory_bytes),
+            LaneId::Accesses => self.skeleton.access_columns().memory_bytes(),
+            LaneId::Tasks => std::mem::size_of_val(self.skeleton.tasks()),
+        }
+    }
+
+    /// Materialises `lane` in full (decodes every block). A no-op when the
+    /// lane is already fully resident.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cold-tier read failures and block decoding errors.
+    pub fn ensure(&mut self, lane: LaneId) -> Result<(), TraceError> {
+        let Some(&idx) = self.lane_index.get(&lane) else {
+            return Ok(()); // lane without stored rows: trivially resident
+        };
+        if let Residency::Full { .. } = self.residency[idx] {
+            self.touch(idx);
+            return Ok(());
+        }
+        let blocks = self.directory[idx].blocks.len();
+        self.materialise_run(idx, 0, blocks)
+    }
+
+    /// Materialises the minimal contiguous block run of a states lane that
+    /// covers every state interval overlapping `window` (block-skipping).
+    /// Blocks wholly outside the window are neither read nor decoded. A lane
+    /// that is already fully resident, or whose resident run covers the
+    /// window, is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] when `lane` is not a states lane, and
+    /// propagates read/decode failures.
+    pub fn ensure_states_covering(
+        &mut self,
+        lane: LaneId,
+        window: TimeInterval,
+    ) -> Result<(), TraceError> {
+        if !matches!(lane, LaneId::States(_)) {
+            return Err(TraceError::Format(format!(
+                "ensure_states_covering expects a states lane, got {lane}"
+            )));
+        }
+        let Some(&idx) = self.lane_index.get(&lane) else {
+            return Ok(());
+        };
+        let blocks = &self.directory[idx].blocks;
+        // Per-CPU states are sorted and non-overlapping, so both the min and
+        // max keys of consecutive blocks are non-decreasing; the overlapping
+        // blocks form one contiguous run.
+        let lo = blocks.partition_point(|b| b.max_key <= window.start.0);
+        let hi = blocks.partition_point(|b| b.min_key < window.end.0);
+        if lo >= hi {
+            // Nothing overlaps; any resident state (even Absent) is fine.
+            if !matches!(self.residency[idx], Residency::Absent) {
+                self.touch(idx);
+            }
+            return Ok(());
+        }
+        match self.residency[idx] {
+            Residency::Full { .. } => {
+                self.touch(idx);
+                Ok(())
+            }
+            Residency::Partial {
+                block_lo, block_hi, ..
+            } if block_lo <= lo && hi <= block_hi => {
+                self.touch(idx);
+                Ok(())
+            }
+            _ => self.materialise_run(idx, lo, hi),
+        }
+    }
+
+    /// Materialises every lane and returns the fully resident trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/decode failures.
+    pub fn materialise_all(&mut self) -> Result<&Trace, TraceError> {
+        for lane in self.lanes().collect::<Vec<_>>() {
+            self.ensure(lane)?;
+        }
+        Ok(&self.skeleton)
+    }
+
+    /// Drops the resident rows of `lane`, returning its memory.
+    pub fn evict(&mut self, lane: LaneId) {
+        let Some(&idx) = self.lane_index.get(&lane) else {
+            return;
+        };
+        if matches!(self.residency[idx], Residency::Absent) {
+            return;
+        }
+        match lane {
+            LaneId::States(cpu) => {
+                if let Ok(pc) = self.per_cpu_mut(cpu) {
+                    pc.states = crate::columns::StateColumns::new(cpu);
+                }
+            }
+            LaneId::Events(cpu) => {
+                if let Ok(pc) = self.per_cpu_mut(cpu) {
+                    pc.events = crate::columns::EventColumns::new(cpu);
+                }
+            }
+            LaneId::Samples(cpu, ctr) => {
+                if let Ok(pc) = self.per_cpu_mut(cpu) {
+                    pc.samples.remove(&ctr);
+                }
+            }
+            LaneId::Accesses => {
+                let parts = self.skeleton.streaming_parts_mut();
+                *parts.accesses = crate::columns::AccessColumns::new();
+            }
+            LaneId::Tasks => {
+                let parts = self.skeleton.streaming_parts_mut();
+                parts.tasks.clear();
+                parts.tasks.shrink_to_fit();
+            }
+        }
+        self.residency[idx] = Residency::Absent;
+    }
+
+    /// Evicts least-recently-touched lanes (ties broken by lane order) until
+    /// [`StoredTrace::resident_event_bytes`] fits the configured budget.
+    /// Returns the evicted lanes in eviction order. Without a budget this is
+    /// a no-op.
+    pub fn evict_to_budget(&mut self) -> Vec<LaneId> {
+        let Some(budget) = self.budget else {
+            return Vec::new();
+        };
+        let mut evicted = Vec::new();
+        while self.resident_event_bytes() > budget {
+            let victim = self
+                .directory
+                .iter()
+                .enumerate()
+                .filter_map(|(i, l)| self.residency[i].touched().map(|t| (t, l.lane)))
+                .min();
+            let Some((_, lane)) = victim else {
+                break; // nothing evictable left
+            };
+            self.evict(lane);
+            evicted.push(lane);
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DiscreteEventKind;
+    use crate::topology::MachineTopology;
+    use crate::trace::TraceBuilder;
+
+    /// A small trace exercising every lane kind, including lazy event payload
+    /// lanes and task-less states.
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new(MachineTopology::uniform(2, 2));
+        let ty = b.add_task_type("work", 0x4000);
+        let ctr = b.add_counter("cycles", true);
+        let mut tasks = Vec::new();
+        for i in 0..10u64 {
+            let cpu = CpuId((i % 2) as u32);
+            let t0 = 100 * i;
+            let t = b.add_task(
+                ty,
+                cpu,
+                Timestamp(t0),
+                Timestamp(t0 + 10),
+                Timestamp(t0 + 90),
+            );
+            tasks.push(t);
+            b.add_state(
+                cpu,
+                WorkerState::TaskExecution,
+                Timestamp(t0 + 10),
+                Timestamp(t0 + 90),
+                Some(t),
+            )
+            .unwrap();
+            b.add_state(
+                cpu,
+                WorkerState::Idle,
+                Timestamp(t0 + 90),
+                Timestamp(t0 + 100),
+                None,
+            )
+            .unwrap();
+            b.add_event(
+                cpu,
+                Timestamp(t0),
+                DiscreteEventKind::TaskCreate { task: t },
+            )
+            .unwrap();
+            b.add_event(
+                cpu,
+                Timestamp(t0 + 5),
+                DiscreteEventKind::DataPublish {
+                    producer: t,
+                    consumer: t,
+                    bytes: 64 * i,
+                },
+            )
+            .unwrap();
+            b.add_sample(ctr, cpu, Timestamp(t0), 1.5 * i as f64)
+                .unwrap();
+            b.add_access(t, AccessKind::Read, 0x1000 + 8 * i, 8)
+                .unwrap();
+            b.add_access(t, AccessKind::Write, 0x2000 + 8 * i, 16)
+                .unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    fn store_with_block_rows(trace: &Trace, block_rows: usize) -> StoredTrace {
+        let bytes = write_store_bytes(trace, &StoreOptions { block_rows }).unwrap();
+        StoredTrace::from_bytes(bytes).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_materialise_all_reproduces_trace() {
+        let trace = sample_trace();
+        for block_rows in [1, 3, 7, DEFAULT_BLOCK_ROWS] {
+            let mut stored = store_with_block_rows(&trace, block_rows);
+            assert_eq!(stored.num_events() as usize, trace.num_events());
+            assert_eq!(stored.time_bounds(), trace.time_bounds_opt());
+            assert_eq!(*stored.materialise_all().unwrap(), trace);
+            assert_eq!(stored.resident_event_bytes(), trace.resident_event_bytes());
+        }
+    }
+
+    #[test]
+    fn open_is_lazy_and_resident_bytes_track_decoded_lanes() {
+        let trace = sample_trace();
+        let mut stored = store_with_block_rows(&trace, 4);
+        // Nothing but the metadata-resident comm table counts after open.
+        let comm_bytes = std::mem::size_of_val(trace.comm_events());
+        assert_eq!(stored.resident_event_bytes(), comm_bytes);
+        for lane in stored.lanes().collect::<Vec<_>>() {
+            assert_eq!(stored.residency(lane), LaneResidency::Absent);
+        }
+        // Materialising one lane grows residency by exactly that lane's bytes.
+        let lane = LaneId::States(CpuId(0));
+        stored.ensure(lane).unwrap();
+        assert_eq!(stored.residency(lane), LaneResidency::Full);
+        assert_eq!(
+            stored.resident_event_bytes(),
+            comm_bytes + stored.lane_resident_bytes(lane)
+        );
+        // Evicting returns to the post-open footprint.
+        stored.evict(lane);
+        assert_eq!(stored.resident_event_bytes(), comm_bytes);
+    }
+
+    #[test]
+    fn block_skipping_materialises_only_overlapping_run() {
+        let trace = sample_trace();
+        let mut stored = store_with_block_rows(&trace, 4); // 20 states/cpu -> 5 blocks
+        let lane = LaneId::States(CpuId(0));
+        let window = TimeInterval::from_cycles(410, 590);
+        stored.ensure_states_covering(lane, window).unwrap();
+        assert_eq!(stored.residency(lane), LaneResidency::Partial);
+        let full = trace.cpu(CpuId(0)).unwrap().states();
+        let partial = stored.trace().cpu(CpuId(0)).unwrap().states();
+        assert!(partial.len() < full.len());
+        let span = stored.covered_span(lane).unwrap();
+        assert!(span.start <= window.start && window.end <= span.end);
+        // Every state overlapping the window is present, with identical rows.
+        let expect: Vec<_> = (0..full.len())
+            .map(|i| full.get(i))
+            .filter(|s| s.interval.start.0 < window.end.0 && s.interval.end.0 > window.start.0)
+            .collect();
+        let got: Vec<_> = (0..partial.len())
+            .map(|i| partial.get(i))
+            .filter(|s| s.interval.start.0 < window.end.0 && s.interval.end.0 > window.start.0)
+            .collect();
+        assert_eq!(expect, got);
+        // A wider window upgrades the run; a covered window is a no-op.
+        stored
+            .ensure_states_covering(lane, TimeInterval::from_cycles(450, 500))
+            .unwrap();
+        assert_eq!(stored.residency(lane), LaneResidency::Partial);
+        stored
+            .ensure_states_covering(lane, TimeInterval::from_cycles(0, 2000))
+            .unwrap();
+        assert_eq!(stored.residency(lane), LaneResidency::Full);
+    }
+
+    #[test]
+    fn eviction_follows_touch_order_deterministically() {
+        let trace = sample_trace();
+        let mut stored = store_with_block_rows(&trace, DEFAULT_BLOCK_ROWS);
+        let a = LaneId::States(CpuId(0));
+        let b = LaneId::States(CpuId(1));
+        let t = LaneId::Tasks;
+        stored.ensure(a).unwrap();
+        stored.ensure(b).unwrap();
+        stored.ensure(t).unwrap();
+        stored.ensure(a).unwrap(); // refresh a: LRU order is now b, t, a
+        stored.set_residency_budget(Some(std::mem::size_of_val(trace.comm_events())));
+        let evicted = stored.evict_to_budget();
+        assert_eq!(evicted, vec![b, t, a]);
+        // Same touch sequence, same order, every time.
+        let mut again = store_with_block_rows(&trace, DEFAULT_BLOCK_ROWS);
+        again.ensure(a).unwrap();
+        again.ensure(b).unwrap();
+        again.ensure(t).unwrap();
+        again.ensure(a).unwrap();
+        again.set_residency_budget(Some(std::mem::size_of_val(trace.comm_events())));
+        assert_eq!(again.evict_to_budget(), evicted);
+    }
+
+    #[test]
+    fn lint_passes_through_the_store() {
+        let trace = sample_trace();
+        let direct = trace.lint();
+        let mut stored = store_with_block_rows(&trace, 4);
+        let roundtripped = stored.materialise_all().unwrap().lint();
+        assert_eq!(direct.summary(), roundtripped.summary());
+    }
+
+    #[test]
+    fn rejects_foreign_and_truncated_files() {
+        assert!(StoredTrace::from_bytes(b"AFTMnope".to_vec()).is_err());
+        let trace = sample_trace();
+        let bytes = write_store_bytes(&trace, &StoreOptions::default()).unwrap();
+        let truncated = bytes[..bytes.len() - 6].to_vec();
+        assert!(StoredTrace::from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let trace = TraceBuilder::new(MachineTopology::uniform(1, 1))
+            .finish()
+            .unwrap();
+        let mut stored = store_with_block_rows(&trace, DEFAULT_BLOCK_ROWS);
+        assert_eq!(stored.lanes().count(), 0);
+        assert_eq!(*stored.materialise_all().unwrap(), trace);
+    }
+}

@@ -412,6 +412,31 @@ impl Trace {
         }
     }
 
+    /// Crate-internal: a copy of this trace carrying only the *metadata* —
+    /// topology, task types, regions, counter descriptions, communication
+    /// events and symbols — with every event lane (tasks, per-CPU streams,
+    /// accesses) empty. The column store serialises this skeleton through the
+    /// regular binary format as its eagerly-loaded header, and installs the
+    /// lazily decoded lanes into it via [`Trace::streaming_parts_mut`].
+    pub(crate) fn metadata_skeleton(&self) -> Trace {
+        Trace {
+            topology: self.topology.clone(),
+            task_types: self.task_types.clone(),
+            tasks: Vec::new(),
+            per_cpu: self
+                .per_cpu
+                .iter()
+                .map(|pc| PerCpuEvents::new(pc.cpu()))
+                .collect(),
+            regions: self.regions.clone(),
+            accesses: AccessColumns::new(),
+            comm_events: self.comm_events.clone(),
+            counters: self.counters.clone(),
+            counter_names: self.counter_names.clone(),
+            symbols: self.symbols.clone(),
+        }
+    }
+
     /// Crate-internal read view for the lint validators ([`crate::lint`]).
     pub(crate) fn lint_view(&self) -> crate::lint::LintView<'_> {
         crate::lint::LintView {
@@ -429,6 +454,12 @@ impl Trace {
     /// ingest layer ([`crate::streaming`]) to append validated chunks and to remap
     /// task ids. Not public: arbitrary mutation could break the sortedness and
     /// non-overlap invariants every query relies on.
+    /// Crate-internal: the raw access-column storage, for the store's
+    /// per-lane memory accounting ([`crate::store`]).
+    pub(crate) fn access_columns(&self) -> &AccessColumns {
+        &self.accesses
+    }
+
     pub(crate) fn streaming_parts_mut(&mut self) -> StreamingPartsMut<'_> {
         StreamingPartsMut {
             tasks: &mut self.tasks,
