@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Smoke tests shared between CI and local runs.
+#
+#   ci/smoke.sh <step> [<step>...]
+#   ci/smoke.sh all
+#
+# Each step is one end-to-end check of a subsystem at test scale; the CI
+# matrix invokes them one step per workflow step so failures stay readable,
+# and a local `ci/smoke.sh all` reproduces the full matrix body. Steps that
+# check a machine-readable marker only print it after their internal
+# byte-identity assertions have passed, so the greps below gate correctness,
+# not just liveness.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPRODUCE=(cargo run --release --bin reproduce --)
+
+step_pipeline() {
+    "${REPRODUCE[@]}" --scale test --threads 2 sec6
+}
+
+step_stream() {
+    "${REPRODUCE[@]}" --scale test --threads 2 --json --stream sec6
+    test -f BENCH_stream_sec6.json
+}
+
+step_monitor() {
+    cargo run --release --example live_monitor -- --chunks 8 --columns 120
+}
+
+step_zoom() {
+    # run_zoom_sweep aborts unless every adaptive frame is byte-identical to
+    # both explicit engines AND every logged engine decision matches its own
+    # predicted costs; the marker line only prints after those checks.
+    "${REPRODUCE[@]}" --scale test --threads 2 zoom-sweep | tee zoom_smoke.txt
+    grep -q '# engine choices match prediction log:' zoom_smoke.txt
+}
+
+step_store() {
+    # run_store_bench asserts the lazy first frame and every capped frame
+    # byte-identical to the fully resident session before it reports; the
+    # marker line only prints after those checks.
+    "${REPRODUCE[@]}" --scale test --threads 2 --json store | tee store_smoke.txt
+    grep -q 'all byte-identical to the fully resident session' store_smoke.txt
+    test -f BENCH_store.json
+}
+
+step_serve() {
+    # Drives N concurrent TCP clients against the analysis server and checks
+    # every response byte-for-byte against a direct in-process session; the
+    # marker only prints when all of them matched.
+    "${REPRODUCE[@]}" --scale test --threads 2 --json --serve | tee serve_smoke.txt
+    grep -q 'every response byte-identical to the direct session' serve_smoke.txt
+    test -f BENCH_serve.json
+}
+
+step_lint() {
+    # The fixture carries one instance of every finish-surviving defect class;
+    # the run must find them, repair to a clean trace, and emit the
+    # machine-readable report.
+    "${REPRODUCE[@]}" --lint --trace crates/bench/fixtures/corrupted.trace --json
+    test -f BENCH_lint.json
+    grep -q '"repaired_clean": true' BENCH_lint.json
+    grep -q '"L002-unclosed-interval": 1' BENCH_lint.json
+}
+
+ALL_STEPS=(pipeline stream monitor zoom store serve lint)
+
+if [ "$#" -eq 0 ]; then
+    echo "usage: ci/smoke.sh <step>... | all" >&2
+    echo "steps: ${ALL_STEPS[*]}" >&2
+    exit 2
+fi
+
+steps=("$@")
+if [ "${steps[0]}" = "all" ]; then
+    steps=("${ALL_STEPS[@]}")
+fi
+
+for step in "${steps[@]}"; do
+    case "$step" in
+    pipeline | stream | monitor | zoom | store | serve | lint)
+        echo "== smoke: $step"
+        "step_$step"
+        ;;
+    *)
+        echo "ci/smoke.sh: unknown step '$step' (steps: ${ALL_STEPS[*]})" >&2
+        exit 2
+        ;;
+    esac
+done

@@ -19,6 +19,7 @@ use aftermath_bench::lint_demo;
 use aftermath_bench::record;
 use aftermath_bench::section6;
 use aftermath_bench::seidel_experiments::SeidelExperiment;
+use aftermath_bench::serve;
 use aftermath_bench::store;
 use aftermath_bench::stream;
 use aftermath_bench::zoom;
@@ -34,6 +35,7 @@ struct Options {
     stream: bool,
     ingest: bool,
     store: bool,
+    serve: bool,
     lint: bool,
     trace_path: Option<PathBuf>,
     write_fixture: Option<PathBuf>,
@@ -66,6 +68,7 @@ fn parse_args() -> Options {
     let mut stream = false;
     let mut ingest = false;
     let mut store = false;
+    let mut serve = false;
     let mut lint = false;
     let mut trace_path = None;
     let mut write_fixture = None;
@@ -94,6 +97,7 @@ fn parse_args() -> Options {
             "--stream" => stream = true,
             "--ingest" => ingest = true,
             "--store" => store = true,
+            "--serve" => serve = true,
             "--lint" => lint = true,
             "--trace" => {
                 let value = args.pop_front().unwrap_or_default();
@@ -105,7 +109,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [--scale test|paper] [--out DIR] [--threads N|auto] [--json] [--stream] [--ingest] [--store] [--lint] [FIGURE...]\n\
+                    "usage: reproduce [--scale test|paper] [--out DIR] [--threads N|auto] [--json] [--stream] [--ingest] [--store] [--serve] [--lint] [FIGURE...]\n\
                      figures: fig3 fig5 fig8 fig9 fig10 fig12 fig13 fig14 fig15 fig16 fig19 sec6 all\n\
                      modes:   zoom-sweep  (scan-vs-pyramid frame times across zoom levels; not part of 'all')\n\
                      --stream replays the sec6 trace through the streaming ingest layer\n\
@@ -114,20 +118,22 @@ fn parse_args() -> Options {
                      (build / prewarm / detect throughput and bytes per event)\n\
                      --store measures the on-disk column store on the zoom trace\n\
                      (compression, lazy open-to-first-frame, capped-residency sweep)\n\
+                     --serve drives N concurrent TCP clients against the analysis server\n\
+                     (frame latency percentiles, cache hits, sessions per GB, byte-identity)\n\
                      --lint lints a trace (the built-in corrupted demo, or --trace FILE),\n\
                      prints the per-code findings and repairs it\n\
                      --trace FILE lints a serialized trace file instead of the demo\n\
                      --write-fixture PATH writes the corrupted demo trace to PATH\n\
-                     --json writes BENCH_<name>.json records for sec6, zoom-sweep, --stream, --ingest, --store and --lint"
+                     --json writes BENCH_<name>.json records for sec6, zoom-sweep, --stream, --ingest, --store, --serve and --lint"
                 );
                 std::process::exit(0);
             }
             other => targets.push(other.trim_start_matches("--").to_string()),
         }
     }
-    // `--lint` / `--write-fixture` alone should not drag in the full figure
-    // run; explicit figure targets still compose with them.
-    if targets.is_empty() && !lint && write_fixture.is_none() {
+    // `--lint` / `--serve` / `--write-fixture` alone should not drag in the
+    // full figure run; explicit figure targets still compose with them.
+    if targets.is_empty() && !lint && !serve && write_fixture.is_none() {
         targets.push("all".to_string());
     }
     Options {
@@ -138,6 +144,7 @@ fn parse_args() -> Options {
         stream,
         ingest,
         store,
+        serve,
         lint,
         trace_path,
         write_fixture,
@@ -242,6 +249,12 @@ fn main() {
     // not part of `all`).
     if options.store || options.targets.iter().any(|t| t == "store") {
         store_bench(&options);
+    }
+    // `--serve` drives the multi-session analysis server under concurrent
+    // clients and checks byte-identity against a direct session (explicit
+    // mode, not part of `all`).
+    if options.serve || options.targets.iter().any(|t| t == "serve") {
+        serve_bench(&options);
     }
 }
 
@@ -389,6 +402,39 @@ fn store_bench(options: &Options) {
         bench.capped_resident_ratio() * 100.0
     );
     options.write_json("store", &bench.to_json());
+}
+
+fn serve_bench(options: &Options) {
+    let bench = serve::run_serve_bench(options.scale, options.threads);
+    print_series_header(
+        "Analysis server — N concurrent clients, shared-cache sessions, frame latency",
+        "metric,value",
+    );
+    println!("num_events,{}", bench.num_events);
+    println!("clients,{}", bench.clients);
+    println!("requests,{}", bench.requests);
+    println!(
+        "responses_identical,{} ({})",
+        u8::from(bench.responses_identical),
+        if bench.responses_identical {
+            "every response byte-identical to the direct session"
+        } else {
+            "MISMATCH against the direct session"
+        }
+    );
+    println!("open_seconds,{:.4}", bench.open_seconds);
+    println!("p50_frame_ms,{:.3}", bench.frame_quantile(0.50) * 1e3);
+    println!("p95_frame_ms,{:.3}", bench.frame_quantile(0.95) * 1e3);
+    println!("p99_frame_ms,{:.3}", bench.frame_quantile(0.99) * 1e3);
+    println!("cache_hit_rate,{:.3}", bench.cache_hit_rate);
+    println!("shared_bytes,{}", bench.shared_bytes);
+    println!("session_bytes,{}", bench.session_bytes);
+    println!(
+        "n_vs_one_ratio,{:.3} (acceptance: <= 1.5)",
+        bench.n_vs_one_ratio
+    );
+    println!("sessions_per_gb,{:.1}", bench.sessions_per_gb);
+    options.write_json("serve", &bench.to_json());
 }
 
 fn stream_sec6(options: &Options, trace: &aftermath_trace::Trace) {

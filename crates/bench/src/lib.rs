@@ -21,6 +21,7 @@ pub mod lint_demo;
 pub mod record;
 pub mod section6;
 pub mod seidel_experiments;
+pub mod serve;
 pub mod store;
 pub mod stream;
 pub mod zoom;

@@ -25,7 +25,11 @@ use std::process::Command;
 /// * v2 — zoom-sweep records grew per-frame `adaptive_seconds`/`engine` columns
 ///   plus the kernel-microbenchmark and calibration fields. Existing v1 fields
 ///   kept their meaning, so v1 baselines of other kinds stay comparable.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// * v3 — adds the `serve` record kind (multi-session server load generator:
+///   `responses_identical`, `cache_hit_rate`, `n_vs_one_ratio`,
+///   `sessions_per_gb`, `p50/p95/p99_frame_seconds`). No existing field
+///   changed meaning, so v1/v2 baselines of other kinds stay comparable.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Oldest record schema the gate still accepts: v1 records' shared fields are
 /// unchanged in v2, so stored v1 baselines (e.g. `BENCH_ingest.json`) remain

@@ -1,0 +1,330 @@
+//! Load generator for the multi-session analysis server: N concurrent TCP
+//! clients replay a deterministic zoom/query/anomaly script against one
+//! server holding the dense navigation trace of [`crate::zoom`], and every
+//! response is compared byte-for-byte against a direct in-process
+//! [`AnalysisSession`] answering the same requests.
+//!
+//! The measured claims mirror the serve crate's design goals:
+//!
+//! * **identity** — concurrency, shared caches and the wire protocol never
+//!   change an answer (`responses_identical`);
+//! * **sharing** — N sessions over one trace cost bookkeeping, not data:
+//!   `n_vs_one_ratio` is the total footprint of N open sessions over the
+//!   footprint of one (acceptance: ≤ 1.5), and `sessions_per_gb` counts how
+//!   many sessions fit in a gigabyte at that footprint;
+//! * **amortisation** — one client's computed frame is every other client's
+//!   cache hit (`cache_hit_rate` over the shared timeline/anomaly caches);
+//! * **interactivity** — per-request wall-clock latency percentiles
+//!   (`p50/p95/p99_frame_seconds`) stay within the paper's interactive budget
+//!   even with every client zooming at once.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aftermath_core::{AnalysisSession, SharedSession, Threads, TimelineMode};
+use aftermath_serve::manager::direct_response;
+use aftermath_serve::{Client, DetectorSet, Request, ServeConfig, Server, SessionManager};
+use aftermath_trace::{CpuId, TimeInterval};
+
+use crate::figures::Scale;
+use crate::record;
+use crate::zoom::{zoom_trace, ZOOM_FACTORS};
+
+/// Concurrent clients driven against the server.
+pub fn clients(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 8,
+        Scale::Paper => 64,
+    }
+}
+
+/// The deterministic request script every client plays (session id patched
+/// per session): timeline frames across all zoom factors and modes, interval
+/// queries, a full anomaly report, a drill-in and the lint summary.
+pub fn script(session: u64, bounds: TimeInterval) -> Vec<Request> {
+    let span = bounds.end.0.saturating_sub(bounds.start.0).max(1);
+    let mut requests = Vec::new();
+    let modes = [
+        TimelineMode::State,
+        // Fixed duration bounds keep heatmap shading identical between the
+        // server and the direct replay regardless of request order.
+        TimelineMode::Heatmap {
+            min_duration: 0,
+            max_duration: 200_000,
+        },
+        TimelineMode::TaskType,
+        TimelineMode::NumaRead,
+        TimelineMode::NumaWrite,
+        TimelineMode::NumaHeat,
+    ];
+    for (i, &zoom) in ZOOM_FACTORS.iter().enumerate() {
+        let width = (span / zoom).max(1);
+        let start = bounds.start.0 + (span - width) / 2;
+        let interval = TimeInterval::from_cycles(start, start + width);
+        requests.push(Request::Timeline {
+            session,
+            mode: modes[i % modes.len()],
+            interval,
+            columns: 256,
+        });
+        requests.push(Request::Query {
+            session,
+            interval,
+            cpu: CpuId((i % 4) as u32),
+            counter: None,
+        });
+    }
+    // The remaining modes at full zoom-out, so all six are exercised.
+    for &mode in &modes[ZOOM_FACTORS.len() % modes.len()..] {
+        requests.push(Request::Timeline {
+            session,
+            mode,
+            interval: bounds,
+            columns: 256,
+        });
+    }
+    requests.push(Request::Anomalies {
+        session,
+        detectors: DetectorSet::ALL,
+        max_anomalies: 32,
+    });
+    requests.push(Request::DrillIn {
+        session,
+        detectors: DetectorSet::ALL,
+        max_anomalies: 32,
+        rank: 0,
+        mode: TimelineMode::State,
+        columns: 256,
+    });
+    requests.push(Request::Lint { session });
+    requests
+}
+
+/// Results of one load-generator run (see the module docs for the metrics).
+#[derive(Debug)]
+pub struct ServeBench {
+    /// Events in the served trace.
+    pub num_events: u64,
+    /// Concurrent clients driven.
+    pub clients: usize,
+    /// Requests answered across all clients.
+    pub requests: usize,
+    /// Whether every response was byte-identical to the direct session.
+    pub responses_identical: bool,
+    /// Per-request wall-clock latencies (seconds), all clients pooled.
+    pub frame_seconds: Vec<f64>,
+    /// Hit rate of the shared timeline/anomaly caches over the whole run.
+    pub cache_hit_rate: f64,
+    /// Bytes of per-trace state shared by all sessions.
+    pub shared_bytes: u64,
+    /// Bytes of per-session bookkeeping with all N sessions open.
+    pub session_bytes: u64,
+    /// Footprint of N open sessions over the footprint of one.
+    pub n_vs_one_ratio: f64,
+    /// Sessions per gigabyte at the N-session footprint.
+    pub sessions_per_gb: f64,
+    /// One-time cost of opening the shared session (prewarm all shards).
+    pub open_seconds: f64,
+}
+
+impl ServeBench {
+    /// Latency quantile over all requests (nearest-rank).
+    pub fn frame_quantile(&self, q: f64) -> f64 {
+        record::quantile(&self.frame_seconds, q)
+    }
+
+    /// Serialises the run as a JSON record of kind `serve` (hand-rolled; the
+    /// workspace is offline and carries no JSON dependency), including the
+    /// shared schema-version/git envelope for the CI regression gate.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&record::json_preamble("serve"));
+        s.push_str(&format!("  \"num_events\": {},\n", self.num_events));
+        s.push_str(&format!("  \"clients\": {},\n", self.clients));
+        s.push_str(&format!("  \"requests\": {},\n", self.requests));
+        s.push_str(&format!(
+            "  \"responses_identical\": {},\n",
+            u8::from(self.responses_identical)
+        ));
+        s.push_str(&format!(
+            "  \"cache_hit_rate\": {:.4},\n",
+            self.cache_hit_rate
+        ));
+        s.push_str(&format!("  \"shared_bytes\": {},\n", self.shared_bytes));
+        s.push_str(&format!("  \"session_bytes\": {},\n", self.session_bytes));
+        s.push_str(&format!(
+            "  \"n_vs_one_ratio\": {:.4},\n",
+            self.n_vs_one_ratio
+        ));
+        s.push_str(&format!(
+            "  \"sessions_per_gb\": {:.1},\n",
+            self.sessions_per_gb
+        ));
+        s.push_str(&format!("  \"open_seconds\": {:.6},\n", self.open_seconds));
+        s.push_str(&format!(
+            "  \"p50_frame_seconds\": {:.6},\n",
+            self.frame_quantile(0.50)
+        ));
+        s.push_str(&format!(
+            "  \"p95_frame_seconds\": {:.6},\n",
+            self.frame_quantile(0.95)
+        ));
+        s.push_str(&format!(
+            "  \"p99_frame_seconds\": {:.6}\n",
+            self.frame_quantile(0.99)
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Runs the load generator: builds the zoom trace, opens it as shared state,
+/// starts a TCP server, drives [`clients`] concurrent clients through
+/// [`script`], and checks every response byte-for-byte against a direct
+/// session.
+pub fn run_serve_bench(scale: Scale, threads: Threads) -> ServeBench {
+    let trace = Arc::new(zoom_trace(scale));
+    let num_events = trace.num_events() as u64;
+    let num_clients = clients(scale);
+
+    let open_started = Instant::now();
+    let shared = Arc::new(SharedSession::open(Arc::clone(&trace), threads));
+    let open_seconds = open_started.elapsed().as_secs_f64();
+
+    // The ground truth replay: a direct borrowing session over the same
+    // trace, prewarmed the same way, encoded through the same protocol.
+    let direct = AnalysisSession::new(&trace);
+    direct.prewarm(threads);
+    let bounds = direct.time_bounds();
+    let expected: Arc<Vec<Vec<u8>>> = Arc::new(
+        script(0, bounds)
+            .iter()
+            .map(|request| direct_response(&direct, request).encode())
+            .collect(),
+    );
+
+    let mut manager = SessionManager::new(num_clients * 2);
+    manager.register_memory("zoom", Arc::clone(&shared));
+    let manager = Arc::new(manager);
+    let server = Server::start(
+        Arc::clone(&manager),
+        ServeConfig {
+            // One worker per client: latencies measure analysis under
+            // concurrency, not queueing for a connection slot.
+            workers: num_clients,
+            backlog: num_clients,
+            request_timeout: Duration::from_secs(120),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("serve bench server starts");
+    let addr = server.addr();
+
+    // Two barriers sequence the footprint measurement: `scripts_done` holds
+    // every client (and its open session) alive until the main thread has
+    // read the N-session stats, `release` then lets them disconnect.
+    let scripts_done = Arc::new(std::sync::Barrier::new(num_clients + 1));
+    let release = Arc::new(std::sync::Barrier::new(num_clients + 1));
+    let mut handles = Vec::new();
+    for _ in 0..num_clients {
+        let expected = Arc::clone(&expected);
+        let scripts_done = Arc::clone(&scripts_done);
+        let release = Arc::clone(&release);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("bench client connects");
+            client
+                .set_timeout(Some(Duration::from_secs(600)))
+                .expect("client timeout set");
+            let session = client.open("zoom").expect("bench session opens");
+            let mut latencies = Vec::new();
+            let mut identical = true;
+            for (request, expected) in script(session, bounds).iter().zip(expected.iter()) {
+                let started = Instant::now();
+                let raw = client.request_raw(request).expect("bench request answered");
+                latencies.push(started.elapsed().as_secs_f64());
+                identical &= &raw == expected;
+            }
+            scripts_done.wait();
+            release.wait();
+            (latencies, identical)
+        }));
+    }
+    scripts_done.wait();
+
+    // Footprint with all N sessions open, straight from the manager.
+    let stats_n = manager.handle(&Request::Stats);
+    let (shared_bytes, session_bytes, open_now) = match stats_n {
+        aftermath_serve::Response::Stats(stats) => {
+            (stats.shared_bytes, stats.session_bytes, stats.open_sessions)
+        }
+        other => panic!("Stats request must succeed, got {other:?}"),
+    };
+    assert_eq!(open_now as usize, num_clients, "every session must be open");
+    let per_session = session_bytes as f64 / num_clients.max(1) as f64;
+    let one = shared_bytes as f64 + per_session;
+    let n = shared_bytes as f64 + session_bytes as f64;
+    let n_vs_one_ratio = n / one.max(1.0);
+    let sessions_per_gb = num_clients as f64 / (n / (1u64 << 30) as f64).max(f64::MIN_POSITIVE);
+    release.wait();
+
+    let mut frame_seconds = Vec::new();
+    let mut responses_identical = true;
+    for handle in handles {
+        let (latencies, identical) = handle.join().expect("bench client succeeds");
+        frame_seconds.extend(latencies);
+        responses_identical &= identical;
+    }
+    let requests = frame_seconds.len();
+
+    let cache_hit_rate = shared.cache_stats().hit_rate();
+    server.shutdown();
+
+    ServeBench {
+        num_events,
+        clients: num_clients,
+        requests,
+        responses_identical,
+        frame_seconds,
+        cache_hit_rate,
+        shared_bytes,
+        session_bytes,
+        n_vs_one_ratio,
+        sessions_per_gb,
+        open_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{json_number, json_string};
+
+    #[test]
+    fn test_scale_run_is_identical_and_shares() {
+        let bench = run_serve_bench(Scale::Test, Threads::single());
+        assert!(bench.responses_identical, "serve answers must match direct");
+        assert_eq!(bench.clients, clients(Scale::Test));
+        assert_eq!(
+            bench.requests,
+            bench.clients * script(0, TimeInterval::from_cycles(0, 1)).len()
+        );
+        assert!(
+            bench.n_vs_one_ratio <= 1.5,
+            "N sessions must cost at most 1.5x one session, got {:.3}",
+            bench.n_vs_one_ratio
+        );
+        assert!(
+            bench.cache_hit_rate > 0.5,
+            "most lookups must hit the shared caches, got {:.3}",
+            bench.cache_hit_rate
+        );
+        assert!(bench.frame_quantile(0.95) > 0.0);
+
+        let json = bench.to_json();
+        assert_eq!(json_string(&json, "bench").as_deref(), Some("serve"));
+        assert_eq!(json_number(&json, "responses_identical"), Some(1.0));
+        assert_eq!(json_number(&json, "clients"), Some(bench.clients as f64));
+        assert!(json_number(&json, "p95_frame_seconds").unwrap() > 0.0);
+        assert!(json_number(&json, "sessions_per_gb").unwrap() > 0.0);
+    }
+}

@@ -88,6 +88,7 @@ pub mod numa;
 pub mod pyramid;
 pub mod series;
 pub mod session;
+pub mod shared;
 pub mod stats;
 pub mod store_session;
 pub mod taskgraph;
@@ -110,6 +111,7 @@ pub use numa::IncidenceMatrix;
 pub use pyramid::{ExecStats, StatePyramid};
 pub use series::TimeSeries;
 pub use session::{AnalysisSession, IntervalQuery, TaskDetails};
+pub use shared::{CacheStats, SharedSession};
 pub use stats::Histogram;
 pub use store_session::StoreSession;
 pub use taskgraph::TaskGraph;

@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use aftermath_exec::{parallel_map, Threads};
 use aftermath_trace::{
@@ -85,10 +85,10 @@ pub struct AnalysisSession<'t> {
 /// Shared handle to an anomaly-report cache. Batch sessions own theirs exclusively;
 /// a [`crate::live::LiveSession`] shares one handle across the session views of an
 /// epoch and swaps it for a fresh one when the epoch advances.
-pub(crate) type AnomalyCacheHandle = Arc<Mutex<LruCache<AnomalyConfig, AnomalyReport>>>;
+pub(crate) type AnomalyCacheHandle = Arc<SharedCache<AnomalyConfig, AnomalyReport>>;
 
 /// Shared handle to a timeline-model cache (see [`AnomalyCacheHandle`]).
-pub(crate) type TimelineCacheHandle = Arc<Mutex<LruCache<TimelineKey, TimelineModel>>>;
+pub(crate) type TimelineCacheHandle = Arc<SharedCache<TimelineKey, TimelineModel>>;
 
 /// Shared handle to a (lazily calibrated) adaptive-engine cost model.
 pub(crate) type CostModelHandle = Arc<OnceLock<CostModel>>;
@@ -100,20 +100,24 @@ pub(crate) fn new_cost_model() -> CostModelHandle {
 
 /// Creates an empty anomaly-report cache at the session's default capacity.
 pub(crate) fn new_anomaly_cache() -> AnomalyCacheHandle {
-    Arc::new(Mutex::new(LruCache::new(
-        AnalysisSession::ANOMALY_CACHE_CAPACITY,
-    )))
+    Arc::new(SharedCache::new(AnalysisSession::ANOMALY_CACHE_CAPACITY))
 }
 
 /// Creates an empty timeline-model cache at the session's default capacity.
 pub(crate) fn new_timeline_cache() -> TimelineCacheHandle {
-    Arc::new(Mutex::new(LruCache::new(
-        AnalysisSession::TIMELINE_CACHE_CAPACITY,
-    )))
+    Arc::new(SharedCache::new(AnalysisSession::TIMELINE_CACHE_CAPACITY))
 }
 
 /// Cache key of one timeline-model computation: everything the model depends on.
 pub(crate) type TimelineKey = (TimelineMode, TimeInterval, usize, TaskFilter);
+
+/// Seedable maps of every counter-index shard and state pyramid built so far:
+/// what [`AnalysisSession::built_shards`] harvests and
+/// [`AnalysisSession::with_prebuilt`] re-seeds from.
+pub(crate) type BuiltShards = (
+    HashMap<(CpuId, CounterId), Arc<CounterIndex>>,
+    HashMap<u32, Arc<StatePyramid>>,
+);
 
 fn timeline_cache_key(key: &TimelineKey) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -137,6 +141,16 @@ pub(crate) struct LruCache<K, V> {
     capacity: usize,
     map: HashMap<u64, (K, Arc<V>)>,
     order: VecDeque<u64>,
+    /// Digests whose value is being computed right now by some thread (the
+    /// single-flight set of [`SharedCache::get_or_compute`]).
+    in_flight: std::collections::HashSet<u64>,
+    /// Lifetime counters of [`SharedCache::get_or_compute`] outcomes. They
+    /// live in the cache (not the session) so every session view sharing one
+    /// handle — e.g. all clients of one served trace — accumulates into the
+    /// same numbers, which is exactly the cross-client sharing the serve
+    /// bench reports.
+    hits: u64,
+    misses: u64,
 }
 
 impl<K: PartialEq, V> LruCache<K, V> {
@@ -145,6 +159,9 @@ impl<K: PartialEq, V> LruCache<K, V> {
             capacity,
             map: HashMap::new(),
             order: VecDeque::new(),
+            in_flight: std::collections::HashSet::new(),
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -179,6 +196,100 @@ impl<K: PartialEq, V> LruCache<K, V> {
             self.order.push_back(digest);
         }
         value
+    }
+}
+
+/// A concurrency-safe, **single-flight** [`LruCache`]: when several threads
+/// miss on the same key at once, exactly one computes the value while the
+/// others block on a condvar and then share the result.
+///
+/// Without this, N clients of one shared trace requesting the same expensive
+/// result (an anomaly report over millions of events, a cold timeline frame)
+/// would each recompute it on a concurrent miss — the duplicated work grows
+/// linearly with the client count and dominates tail latency under load,
+/// which is exactly the situation the multi-session server exists to avoid.
+///
+/// Accounting: one logical query counts exactly once — a **miss** for the
+/// thread that computes, a **hit** for every thread that receives a value
+/// someone else produced (whether it was cached before the call or computed
+/// while the caller waited).
+#[derive(Debug)]
+pub(crate) struct SharedCache<K, V> {
+    state: Mutex<LruCache<K, V>>,
+    wakeup: Condvar,
+}
+
+/// Clears an in-flight marker and wakes the waiters when dropped, so a
+/// `compute` that fails — or unwinds — can never strand the threads waiting
+/// on its digest.
+struct FlightGuard<'c, K: PartialEq, V> {
+    cache: &'c SharedCache<K, V>,
+    digest: u64,
+}
+
+impl<K: PartialEq, V> Drop for FlightGuard<'_, K, V> {
+    fn drop(&mut self) {
+        let mut state = self.cache.state.lock().unwrap();
+        state.in_flight.remove(&self.digest);
+        drop(state);
+        self.cache.wakeup.notify_all();
+    }
+}
+
+impl<K: PartialEq + Clone, V> SharedCache<K, V> {
+    fn new(capacity: usize) -> Self {
+        SharedCache {
+            state: Mutex::new(LruCache::new(capacity)),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// Lifetime `(hits, misses)` of the [`SharedCache::get_or_compute`] path.
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        let state = self.state.lock().unwrap();
+        (state.hits, state.misses)
+    }
+
+    /// Returns the cached value for `key`, or runs `compute` to produce it —
+    /// at most once across concurrent callers of the same `digest`.
+    ///
+    /// `compute` runs outside the cache lock, so slow computations on
+    /// distinct keys proceed in parallel. A failing `compute` propagates its
+    /// error to the computing caller; waiters simply retry (one of them
+    /// becomes the next computer).
+    pub(crate) fn get_or_compute<E>(
+        &self,
+        digest: u64,
+        key: &K,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(value) = state.get(digest, key) {
+                state.hits += 1;
+                return Ok(value);
+            }
+            if state.in_flight.insert(digest) {
+                state.misses += 1;
+                break;
+            }
+            state = self.wakeup.wait(state).unwrap();
+        }
+        drop(state);
+        let flight = FlightGuard {
+            cache: self,
+            digest,
+        };
+        let value = compute()?;
+        let value = self
+            .state
+            .lock()
+            .unwrap()
+            .insert(digest, key.clone(), Arc::new(value));
+        // Insert before clearing the marker: woken waiters must find the
+        // value in the cache, not race into a second computation.
+        drop(flight);
+        Ok(value)
     }
 }
 
@@ -287,6 +398,25 @@ impl<'t> AnalysisSession<'t> {
             }
         }
         session
+    }
+
+    /// Harvests every index shard built **so far** as seedable maps — the
+    /// inverse of [`AnalysisSession::with_prebuilt`]. Costs `O(built shards)`
+    /// `Arc` clones; [`crate::shared::SharedSession`] prewarms a throwaway
+    /// session and keeps these maps so later views re-seed from them.
+    pub(crate) fn built_shards(&self) -> BuiltShards {
+        let indexes = self
+            .counter_shards
+            .iter()
+            .filter_map(|(&key, slot)| Some((key, Arc::clone(slot.get()?))))
+            .collect();
+        let pyramids = self
+            .pyramids
+            .iter()
+            .enumerate()
+            .filter_map(|(cpu, slot)| Some((cpu as u32, Arc::clone(slot.get()?))))
+            .collect();
+        (indexes, pyramids)
     }
 
     /// The index shard of one `(CPU, counter)` pair (built on first touch) together
@@ -582,17 +712,11 @@ impl<'t> AnalysisSession<'t> {
         threads: Threads,
     ) -> Result<Arc<AnomalyReport>, AnalysisError> {
         let key = config.cache_key();
-        if let Some(report) = self.anomaly_cache.lock().unwrap().get(key, config) {
-            return Ok(report);
-        }
-        let report = Arc::new(anomaly::detect_anomalies_with(self, config, threads)?);
-        // `insert` re-checks under the lock: another thread may have inserted the
-        // same key while this one was detecting; the first insert wins.
-        Ok(self
-            .anomaly_cache
-            .lock()
-            .unwrap()
-            .insert(key, *config, report))
+        // Single-flight: concurrent callers with the same configuration share
+        // one detection pass instead of each scanning the trace.
+        self.anomaly_cache.get_or_compute(key, config, || {
+            anomaly::detect_anomalies_with(self, config, threads)
+        })
     }
 
     /// The timeline model for `mode` over `interval` at `columns` cells, computed on
@@ -632,17 +756,9 @@ impl<'t> AnalysisSession<'t> {
     ) -> Result<Arc<TimelineModel>, AnalysisError> {
         let key: TimelineKey = (mode, interval, columns, filter.clone());
         let digest = timeline_cache_key(&key);
-        if let Some(model) = self.timeline_cache.lock().unwrap().get(digest, &key) {
-            return Ok(model);
-        }
-        let model = Arc::new(TimelineModel::build_filtered(
-            self, mode, interval, columns, filter,
-        )?);
-        Ok(self
-            .timeline_cache
-            .lock()
-            .unwrap()
-            .insert(digest, key, model))
+        self.timeline_cache.get_or_compute(digest, &key, || {
+            TimelineModel::build_filtered(self, mode, interval, columns, filter)
+        })
     }
 
     /// Starts an interval query over `interval`: exact aggregate and predominance
@@ -1134,6 +1250,51 @@ mod tests {
             .counter_min_max(CpuId(0), CounterId(999), bounds)
             .is_none());
         assert_eq!(session.built_counter_indexes(), 0);
+    }
+
+    #[test]
+    fn shared_cache_single_flight_computes_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache: SharedCache<u64, u64> = SharedCache::new(4);
+        let computed = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    barrier.wait();
+                    let v = cache
+                        .get_or_compute(1, &1, || -> Result<u64, ()> {
+                            computed.fetch_add(1, Ordering::SeqCst);
+                            // Long enough that every other thread reaches the
+                            // cache while this computation is in flight.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            Ok(42)
+                        })
+                        .unwrap();
+                    assert_eq!(*v, 42);
+                });
+            }
+        });
+        assert_eq!(
+            computed.load(Ordering::SeqCst),
+            1,
+            "concurrent misses on one key must share a single computation"
+        );
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (7, 1), "waiters count as hits");
+    }
+
+    #[test]
+    fn shared_cache_failed_compute_is_not_cached() {
+        let cache: SharedCache<u64, u64> = SharedCache::new(4);
+        let err = cache.get_or_compute(1, &1, || Err::<u64, &str>("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        // The failure must have cleared the in-flight marker: a retry computes
+        // (it does not deadlock) and succeeds.
+        let v = cache.get_or_compute(1, &1, || Ok::<u64, &str>(7)).unwrap();
+        assert_eq!(*v, 7);
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (0, 2));
     }
 
     #[test]

@@ -213,6 +213,34 @@ impl StoreSession {
         Ok(result)
     }
 
+    /// Runs the anomaly engine against the store: every lane materialises in
+    /// full (the detectors scan states, tasks, accesses and counters alike),
+    /// built indexes and pyramids persist for later queries, and the ranked
+    /// report lands in the session's shared anomaly cache — a repeated call
+    /// with an equal `config` is a cache hit without touching the store.
+    /// Afterwards residency is brought back under the configured budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lane materialisation and detector failures.
+    pub fn detect_anomalies(
+        &mut self,
+        config: &crate::anomaly::AnomalyConfig,
+    ) -> Result<Arc<crate::anomaly::AnomalyReport>, AnalysisError> {
+        let lanes: Vec<LaneId> = self.stored.lanes().collect();
+        for lane in lanes {
+            self.stored.ensure(lane)?;
+        }
+        self.persist_counter_indexes();
+        self.persist_pyramids();
+        let report = {
+            let view = self.view();
+            view.detect_anomalies(config)?
+        };
+        self.stored.evict_to_budget();
+        Ok(report)
+    }
+
     /// Materialises what one timeline frame needs (see
     /// [`StoreSession::timeline_with_engine`]).
     fn ensure_for_timeline(

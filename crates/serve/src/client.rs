@@ -1,0 +1,93 @@
+//! A minimal blocking client for the analysis server — what the load
+//! generator, the CI smoke step and the integration tests speak.
+
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+
+/// One blocking connection to an analysis server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Caps how long [`Self::request`] waits for a response frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket option failures.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends `request` and returns the raw response payload, undecoded —
+    /// the form the bench's byte-identity check compares against a direct
+    /// session's encoding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket I/O failures (including read timeouts).
+    pub fn request_raw(&mut self, request: &Request) -> io::Result<Vec<u8>> {
+        write_frame(&mut self.stream, &request.encode())?;
+        self.stream.flush()?;
+        read_frame(&mut self.stream)
+    }
+
+    /// Sends `request` and decodes the response.
+    ///
+    /// # Errors
+    ///
+    /// Socket I/O failures, or `InvalidData` when the response payload does
+    /// not decode.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        let payload = self.request_raw(request)?;
+        Response::decode(&payload)
+            .map_err(|error| io::Error::new(io::ErrorKind::InvalidData, error.to_string()))
+    }
+
+    /// Opens a session on `trace` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `Other` carrying the server's error message.
+    pub fn open(&mut self, trace: &str) -> io::Result<u64> {
+        match self.request(&Request::Open {
+            trace: trace.into(),
+        })? {
+            Response::Opened { session, .. } => Ok(session),
+            Response::Error { message, .. } => Err(io::Error::other(message)),
+            other => Err(io::Error::other(format!(
+                "unexpected response to Open: {other:?}"
+            ))),
+        }
+    }
+
+    /// Closes a session previously returned by [`Self::open`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `Other` carrying the server's error message.
+    pub fn close(&mut self, session: u64) -> io::Result<()> {
+        match self.request(&Request::Close { session })? {
+            Response::Closed => Ok(()),
+            Response::Error { message, .. } => Err(io::Error::other(message)),
+            other => Err(io::Error::other(format!(
+                "unexpected response to Close: {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The session manager: registered traces, open sessions, and the request
+//! dispatcher the TCP front end calls into.
+//!
+//! A [`SessionManager`] holds the server's traces — fully resident ones as
+//! [`SharedSession`]s whose prewarmed indexes, pyramids and result caches are
+//! shared by *every* session over that trace, and on-disk column stores as
+//! lazily materialising [`StoreSession`]s — plus a table of open sessions.
+//! Opening a session is an admission decision and two map inserts; all the
+//! expensive per-trace state was built when the trace was registered, which
+//! is what keeps "hundreds of clients on the same trace" at near-constant
+//! memory (the serve bench's sessions-per-GB metric).
+//!
+//! [`SessionManager::handle`] is a pure request→response function with no I/O
+//! of its own: the server calls it from pool workers, tests call it directly,
+//! and the load generator's byte-identity check replays the same responses
+//! through a direct in-process [`AnalysisSession`]. Memory-backed traces are
+//! handled lock-free on the shared state (views are cheap and `Sync`); a
+//! store-backed trace serialises its requests behind one mutex because lane
+//! materialisation needs `&mut`.
+
+// Dispatch helpers use `Result<Response, Response>` so `?` short-circuits
+// straight to the error *response*; both variants merge immediately at the
+// call site, so the by-value size of the Err variant is never carried around.
+#![allow(clippy::result_large_err)]
+
+use std::collections::HashMap;
+use std::mem::size_of;
+use std::sync::{Arc, Mutex};
+
+use aftermath_core::anomaly::AnomalyReport;
+use aftermath_core::session::IntervalQuery;
+use aftermath_core::timeline::TimelineEngine;
+use aftermath_core::{AnalysisError, AnalysisSession, SharedSession, StoreSession, TaskFilter};
+use aftermath_trace::{AccessKind, CounterId, CpuId};
+
+use crate::protocol::{ErrorCode, QueryResult, Request, Response, ServerStats};
+
+/// Hard ceiling on requested timeline columns; wider frames than this cannot
+/// come from a real viewport and would only inflate response frames.
+pub const MAX_COLUMNS: u32 = 16_384;
+
+/// One registered trace: either fully resident shared state or a lazily
+/// materialising on-disk store.
+#[derive(Debug, Clone)]
+pub enum TraceEntry {
+    /// A resident trace with prewarmed shared indexes, pyramids and caches;
+    /// requests run concurrently on cheap views.
+    Memory(Arc<SharedSession>),
+    /// An on-disk column store; requests serialise behind the mutex because
+    /// lane materialisation mutates residency state.
+    Store(Arc<Mutex<StoreSession>>),
+}
+
+#[derive(Debug, Default)]
+struct SessionTable {
+    next_id: u64,
+    open: HashMap<u64, TraceEntry>,
+    peak: u64,
+    admitted: u64,
+    rejected: u64,
+}
+
+/// Registered traces plus the table of open sessions (see module docs).
+#[derive(Debug)]
+pub struct SessionManager {
+    traces: HashMap<String, TraceEntry>,
+    sessions: Mutex<SessionTable>,
+    max_sessions: usize,
+}
+
+impl SessionManager {
+    /// An empty manager admitting at most `max_sessions` concurrent sessions
+    /// (clamped to at least one).
+    pub fn new(max_sessions: usize) -> Self {
+        SessionManager {
+            traces: HashMap::new(),
+            sessions: Mutex::new(SessionTable::default()),
+            max_sessions: max_sessions.max(1),
+        }
+    }
+
+    /// Registers a resident trace under `name`, replacing any previous entry
+    /// of that name (existing sessions keep the entry they opened).
+    pub fn register_memory(&mut self, name: impl Into<String>, shared: Arc<SharedSession>) {
+        self.traces.insert(name.into(), TraceEntry::Memory(shared));
+    }
+
+    /// Registers an on-disk store under `name` (see [`Self::register_memory`]).
+    pub fn register_store(&mut self, name: impl Into<String>, store: StoreSession) {
+        self.traces
+            .insert(name.into(), TraceEntry::Store(Arc::new(Mutex::new(store))));
+    }
+
+    /// Names of the registered traces, unordered.
+    pub fn trace_names(&self) -> impl Iterator<Item = &str> {
+        self.traces.keys().map(String::as_str)
+    }
+
+    /// Closes `session` if open; used by the `Close` request and by the
+    /// server when a connection drops with sessions still open.
+    pub fn close_session(&self, session: u64) -> bool {
+        self.sessions
+            .lock()
+            .unwrap()
+            .open
+            .remove(&session)
+            .is_some()
+    }
+
+    /// Answers one request. Infallible by construction: every failure mode
+    /// becomes a typed [`Response::Error`].
+    pub fn handle(&self, request: &Request) -> Response {
+        match request {
+            Request::Open { trace } => self.open(trace),
+            Request::Close { session } => {
+                if self.close_session(*session) {
+                    Response::Closed
+                } else {
+                    unknown_session(*session)
+                }
+            }
+            Request::Timeline {
+                session,
+                mode,
+                interval,
+                columns,
+            } => self.with_session(*session, |entry| {
+                let columns = check_columns(*columns)?;
+                let model = match entry {
+                    TraceEntry::Memory(shared) => shared
+                        .view()
+                        .timeline(*mode, *interval, columns)
+                        .map(|model| (*model).clone()),
+                    TraceEntry::Store(store) => {
+                        store.lock().unwrap().timeline(*mode, *interval, columns)
+                    }
+                };
+                Ok(Response::Timeline(internal(model)?))
+            }),
+            Request::Query {
+                session,
+                interval,
+                cpu,
+                counter,
+            } => self.with_session(*session, |entry| {
+                let result = match entry {
+                    TraceEntry::Memory(shared) => {
+                        let view = shared.view();
+                        let query = view.query(*interval);
+                        Ok(query_result(&query, *cpu, *counter))
+                    }
+                    TraceEntry::Store(store) => store
+                        .lock()
+                        .unwrap()
+                        .query(*interval, |query| query_result(query, *cpu, *counter)),
+                };
+                Ok(Response::Query(internal(result)?))
+            }),
+            Request::Anomalies {
+                session,
+                detectors,
+                max_anomalies,
+            } => self.with_session(*session, |entry| {
+                let report = anomaly_report(entry, *detectors, *max_anomalies)?;
+                Ok(Response::Anomalies(report.as_slice().to_vec()))
+            }),
+            Request::DrillIn {
+                session,
+                detectors,
+                max_anomalies,
+                rank,
+                mode,
+                columns,
+            } => self.with_session(*session, |entry| {
+                let columns = check_columns(*columns)?;
+                let report = anomaly_report(entry, *detectors, *max_anomalies)?;
+                let anomaly =
+                    report
+                        .as_slice()
+                        .get(*rank as usize)
+                        .ok_or_else(|| Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: format!(
+                                "anomaly rank {rank} out of range (report has {} findings)",
+                                report.len()
+                            ),
+                        })?;
+                let filter = TaskFilter::from_anomaly(anomaly);
+                let model = match entry {
+                    TraceEntry::Memory(shared) => shared
+                        .view()
+                        .timeline_filtered(*mode, anomaly.interval, columns, &filter)
+                        .map(|model| (*model).clone()),
+                    TraceEntry::Store(store) => store.lock().unwrap().timeline_with_engine(
+                        *mode,
+                        anomaly.interval,
+                        columns,
+                        &filter,
+                        TimelineEngine::Adaptive,
+                    ),
+                };
+                Ok(Response::DrillIn(internal(model)?))
+            }),
+            Request::Lint { session } => self.with_session(*session, |entry| {
+                Ok(Response::Lint(match entry {
+                    TraceEntry::Memory(shared) => shared.view().lint_summary().map(|summary| {
+                        summary
+                            .iter()
+                            .map(|(code, count)| (code, count as u64))
+                            .collect()
+                    }),
+                    // Store-backed traces were written by the store pipeline,
+                    // which has no lint stage; report "never linted".
+                    TraceEntry::Store(_) => None,
+                }))
+            }),
+            Request::Stats => Response::Stats(self.stats()),
+        }
+    }
+
+    fn open(&self, trace: &str) -> Response {
+        let Some(entry) = self.traces.get(trace) else {
+            return Response::Error {
+                code: ErrorCode::UnknownTrace,
+                message: format!("no trace registered as {trace:?}"),
+            };
+        };
+        let (interval, cpus) = match entry {
+            TraceEntry::Memory(shared) => {
+                let trace = shared.trace();
+                (trace.time_bounds(), trace.topology().num_cpus())
+            }
+            TraceEntry::Store(store) => {
+                let store = store.lock().unwrap();
+                (
+                    store.time_bounds(),
+                    store.store().trace().topology().num_cpus(),
+                )
+            }
+        };
+        let mut table = self.sessions.lock().unwrap();
+        if table.open.len() >= self.max_sessions {
+            table.rejected += 1;
+            return Response::Error {
+                code: ErrorCode::ServerFull,
+                message: format!(
+                    "session limit of {} reached; close a session and retry",
+                    self.max_sessions
+                ),
+            };
+        }
+        let session = table.next_id;
+        table.next_id += 1;
+        table.open.insert(session, entry.clone());
+        table.admitted += 1;
+        table.peak = table.peak.max(table.open.len() as u64);
+        Response::Opened {
+            session,
+            interval,
+            cpus: cpus as u32,
+        }
+    }
+
+    fn with_session(
+        &self,
+        session: u64,
+        f: impl FnOnce(&TraceEntry) -> Result<Response, Response>,
+    ) -> Response {
+        let entry = self.sessions.lock().unwrap().open.get(&session).cloned();
+        match entry {
+            // The table lock is released before any analysis runs: concurrent
+            // requests on memory-backed traces proceed in parallel on views.
+            Some(entry) => f(&entry).unwrap_or_else(|error| error),
+            None => unknown_session(session),
+        }
+    }
+
+    fn stats(&self) -> ServerStats {
+        let mut stats = ServerStats::default();
+        for entry in self.traces.values() {
+            match entry {
+                TraceEntry::Memory(shared) => {
+                    stats.shared_bytes += shared.shared_bytes() as u64;
+                    let cache = shared.cache_stats();
+                    stats.cache_hits += cache.hits;
+                    stats.cache_misses += cache.misses;
+                }
+                TraceEntry::Store(store) => {
+                    stats.shared_bytes += store.lock().unwrap().resident_event_bytes() as u64;
+                }
+            }
+        }
+        let table = self.sessions.lock().unwrap();
+        stats.open_sessions = table.open.len() as u64;
+        stats.peak_sessions = table.peak;
+        stats.admitted_sessions = table.admitted;
+        stats.rejected_sessions = table.rejected;
+        stats.session_bytes =
+            (table.open.len() * (size_of::<u64>() + size_of::<TraceEntry>())) as u64;
+        stats
+    }
+}
+
+fn unknown_session(session: u64) -> Response {
+    Response::Error {
+        code: ErrorCode::UnknownSession,
+        message: format!("session {session} is not open"),
+    }
+}
+
+fn check_columns(columns: u32) -> Result<usize, Response> {
+    if columns == 0 || columns > MAX_COLUMNS {
+        return Err(Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("columns must be in 1..={MAX_COLUMNS}, got {columns}"),
+        });
+    }
+    Ok(columns as usize)
+}
+
+fn internal<T>(result: Result<T, AnalysisError>) -> Result<T, Response> {
+    result.map_err(|error| Response::Error {
+        code: ErrorCode::Internal,
+        message: error.to_string(),
+    })
+}
+
+fn anomaly_report(
+    entry: &TraceEntry,
+    detectors: crate::protocol::DetectorSet,
+    max_anomalies: u32,
+) -> Result<Arc<AnomalyReport>, Response> {
+    let config = detectors.config(max_anomalies as usize);
+    internal(match entry {
+        TraceEntry::Memory(shared) => shared.view().detect_anomalies(&config),
+        TraceEntry::Store(store) => store.lock().unwrap().detect_anomalies(&config),
+    })
+}
+
+/// Builds the wire-form aggregate bundle of one interval query — the single
+/// definition both the server and the bench's direct-session replay use, so
+/// byte-identity compares real answers, not two encoders.
+pub fn query_result(
+    query: &IntervalQuery<'_, '_>,
+    cpu: CpuId,
+    counter: Option<CounterId>,
+) -> QueryResult {
+    let exec = query.exec_stats(cpu);
+    QueryResult {
+        interval: query.interval(),
+        cpu,
+        state_cycles: query.state_cycles(cpu),
+        predominant_state: query.predominant_state(cpu),
+        exec_count: exec.count,
+        exec_min_cycles: exec.min_cycles,
+        exec_max_cycles: exec.max_cycles,
+        task_type_cycles: query.task_type_cycles(cpu),
+        numa_read_bytes: query.numa_bytes(cpu, AccessKind::Read),
+        numa_write_bytes: query.numa_bytes(cpu, AccessKind::Write),
+        counter_min_max: counter.and_then(|c| query.counter_min_max(cpu, c)),
+        counter_average: counter.and_then(|c| query.counter_average(cpu, c)),
+    }
+}
+
+/// The direct, in-process replay of [`SessionManager::handle`] for one
+/// already-open [`AnalysisSession`]: answers `Timeline`, `Query`, `Anomalies`,
+/// `DrillIn` and `Lint` requests exactly as the server would (ignoring the
+/// session id). The serve bench and the CI smoke step encode these responses
+/// and require the server's bytes to match them exactly.
+pub fn direct_response(session: &AnalysisSession<'_>, request: &Request) -> Response {
+    let outcome = (|| -> Result<Response, Response> {
+        match request {
+            Request::Timeline {
+                mode,
+                interval,
+                columns,
+                ..
+            } => {
+                let columns = check_columns(*columns)?;
+                let model = internal(session.timeline(*mode, *interval, columns))?;
+                Ok(Response::Timeline((*model).clone()))
+            }
+            Request::Query {
+                interval,
+                cpu,
+                counter,
+                ..
+            } => {
+                let query = session.query(*interval);
+                Ok(Response::Query(query_result(&query, *cpu, *counter)))
+            }
+            Request::Anomalies {
+                detectors,
+                max_anomalies,
+                ..
+            } => {
+                let config = detectors.config(*max_anomalies as usize);
+                let report = internal(session.detect_anomalies(&config))?;
+                Ok(Response::Anomalies(report.as_slice().to_vec()))
+            }
+            Request::DrillIn {
+                detectors,
+                max_anomalies,
+                rank,
+                mode,
+                columns,
+                ..
+            } => {
+                let columns = check_columns(*columns)?;
+                let config = detectors.config(*max_anomalies as usize);
+                let report = internal(session.detect_anomalies(&config))?;
+                let anomaly =
+                    report
+                        .as_slice()
+                        .get(*rank as usize)
+                        .ok_or_else(|| Response::Error {
+                            code: ErrorCode::BadRequest,
+                            message: format!(
+                                "anomaly rank {rank} out of range (report has {} findings)",
+                                report.len()
+                            ),
+                        })?;
+                let filter = TaskFilter::from_anomaly(anomaly);
+                let model =
+                    internal(session.timeline_filtered(*mode, anomaly.interval, columns, &filter))?;
+                Ok(Response::DrillIn((*model).clone()))
+            }
+            Request::Lint { .. } => Ok(Response::Lint(session.lint_summary().map(|summary| {
+                summary
+                    .iter()
+                    .map(|(code, count)| (code, count as u64))
+                    .collect()
+            }))),
+            Request::Open { .. } | Request::Close { .. } | Request::Stats => Err(Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "request has no direct-session equivalent".into(),
+            }),
+        }
+    })();
+    outcome.unwrap_or_else(|error| error)
+}

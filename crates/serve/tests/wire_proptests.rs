@@ -1,0 +1,226 @@
+//! Property tests of the wire protocol: round-trips are exact, and no input
+//! — truncated, bit-flipped, or random bytes — ever panics the decoder.
+
+use aftermath_core::timeline::{TimelineCell, TimelineMode, TimelineModel};
+use aftermath_serve::protocol::read_frame;
+use aftermath_serve::{DetectorSet, ErrorCode, QueryResult, Request, Response, ServerStats};
+use aftermath_trace::{CounterId, CpuId, NumaNodeId, TaskTypeId, TimeInterval, WorkerState};
+use proptest::prelude::*;
+
+fn interval_strategy() -> impl Strategy<Value = TimeInterval> {
+    (0u64..1 << 40, 0u64..1 << 20)
+        .prop_map(|(start, len)| TimeInterval::from_cycles(start, start + len))
+}
+
+fn mode_strategy() -> impl Strategy<Value = TimelineMode> {
+    (0u8..6, 0u64..1 << 20, 0u64..1 << 20).prop_map(|(tag, a, b)| match tag {
+        0 => TimelineMode::State,
+        1 => TimelineMode::Heatmap {
+            min_duration: a.min(b),
+            max_duration: a.max(b),
+        },
+        2 => TimelineMode::TaskType,
+        3 => TimelineMode::NumaRead,
+        4 => TimelineMode::NumaWrite,
+        _ => TimelineMode::NumaHeat,
+    })
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (
+        0u8..8,
+        any::<u64>(),
+        interval_strategy(),
+        mode_strategy(),
+        (0u8..16, 1u32..512, 0u32..64),
+        proptest::collection::vec(32u8..127, 0..40),
+    )
+        .prop_map(
+            |(tag, session, interval, mode, (bits, columns, small), name)| {
+                let trace = String::from_utf8(name).expect("printable ascii");
+                match tag {
+                    0 => Request::Open { trace },
+                    1 => Request::Close { session },
+                    2 => Request::Timeline {
+                        session,
+                        mode,
+                        interval,
+                        columns,
+                    },
+                    3 => Request::Query {
+                        session,
+                        interval,
+                        cpu: CpuId(small),
+                        counter: (small % 2 == 0).then_some(CounterId(small)),
+                    },
+                    4 => Request::Anomalies {
+                        session,
+                        detectors: DetectorSet(bits),
+                        max_anomalies: columns,
+                    },
+                    5 => Request::DrillIn {
+                        session,
+                        detectors: DetectorSet(bits),
+                        max_anomalies: columns,
+                        rank: small,
+                        mode,
+                        columns,
+                    },
+                    6 => Request::Lint { session },
+                    _ => Request::Stats,
+                }
+            },
+        )
+}
+
+fn cell_strategy() -> impl Strategy<Value = TimelineCell> {
+    (0u8..5, 0u32..256, 0u64..1000).prop_map(|(tag, id, shade)| match tag {
+        0 => TimelineCell::Empty,
+        1 => TimelineCell::State(
+            WorkerState::from_index(id as usize % WorkerState::COUNT).expect("index in range"),
+        ),
+        2 => TimelineCell::Shade(shade as f64 / 1000.0),
+        3 => TimelineCell::Type(TaskTypeId(id)),
+        _ => TimelineCell::Node(NumaNodeId(id)),
+    })
+}
+
+fn model_strategy() -> impl Strategy<Value = TimelineModel> {
+    (
+        interval_strategy(),
+        proptest::collection::vec(any::<u32>(), 0..4),
+        proptest::collection::vec(cell_strategy(), 0..6),
+    )
+        .prop_map(|(interval, cpus, cells)| {
+            let columns = cells.len();
+            TimelineModel {
+                interval,
+                cells: cpus.iter().map(|_| cells.clone()).collect(),
+                cpus: cpus.into_iter().map(CpuId).collect(),
+                columns,
+            }
+        })
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    (
+        0u8..6,
+        any::<u64>(),
+        interval_strategy(),
+        model_strategy(),
+        proptest::collection::vec((any::<u32>(), 0u64..1 << 30), 0..5),
+        proptest::collection::vec(32u8..127, 0..40),
+    )
+        .prop_map(|(tag, session, interval, model, pairs, text)| {
+            let message = String::from_utf8(text).expect("printable ascii");
+            match tag {
+                0 => Response::Error {
+                    code: match session % 6 {
+                        0 => ErrorCode::UnknownTrace,
+                        1 => ErrorCode::UnknownSession,
+                        2 => ErrorCode::ServerFull,
+                        3 => ErrorCode::BadRequest,
+                        4 => ErrorCode::Internal,
+                        _ => ErrorCode::Timeout,
+                    },
+                    message,
+                },
+                1 => Response::Opened {
+                    session,
+                    interval,
+                    cpus: pairs.len() as u32,
+                },
+                2 => Response::Closed,
+                3 => Response::Timeline(model),
+                4 => Response::Query(QueryResult {
+                    interval,
+                    cpu: CpuId(session as u32 & 0xFF),
+                    state_cycles: [session & 0xFFFF; WorkerState::COUNT],
+                    predominant_state: WorkerState::from_index(
+                        session as usize % WorkerState::COUNT,
+                    ),
+                    exec_count: pairs.len() as u64,
+                    exec_min_cycles: session % 1000,
+                    exec_max_cycles: session % 100_000,
+                    task_type_cycles: pairs.iter().map(|&(id, v)| (TaskTypeId(id), v)).collect(),
+                    numa_read_bytes: pairs.iter().map(|&(id, v)| (NumaNodeId(id), v)).collect(),
+                    numa_write_bytes: Vec::new(),
+                    counter_min_max: (session % 2 == 0).then_some((-1.5, 2.5)),
+                    counter_average: (session % 3 == 0).then_some(0.25),
+                }),
+                _ => Response::Stats(ServerStats {
+                    open_sessions: session,
+                    peak_sessions: session.wrapping_add(1),
+                    admitted_sessions: pairs.len() as u64,
+                    rejected_sessions: 0,
+                    shared_bytes: session >> 3,
+                    session_bytes: session >> 5,
+                    cache_hits: 7,
+                    cache_misses: 9,
+                }),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_roundtrip_is_exact(request in request_strategy()) {
+        let payload = request.encode();
+        let decoded = Request::decode(&payload).expect("encoded request decodes");
+        prop_assert_eq!(&decoded, &request);
+        prop_assert_eq!(decoded.encode(), payload);
+    }
+
+    #[test]
+    fn response_roundtrip_is_exact(response in response_strategy()) {
+        let payload = response.encode();
+        let decoded = Response::decode(&payload).expect("encoded response decodes");
+        prop_assert_eq!(&decoded, &response);
+        prop_assert_eq!(decoded.encode(), payload);
+    }
+
+    #[test]
+    fn truncated_requests_fail_with_typed_errors(request in request_strategy()) {
+        let payload = request.encode();
+        // Every strict prefix is missing at least one field or list element,
+        // so decoding must fail — with an error, never a panic.
+        for cut in 0..payload.len() {
+            prop_assert!(Request::decode(&payload[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn truncated_responses_fail_with_typed_errors(response in response_strategy()) {
+        let payload = response.encode();
+        for cut in 0..payload.len() {
+            prop_assert!(Response::decode(&payload[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(
+        response in response_strategy(),
+        position in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let mut payload = response.encode();
+        let position = position as usize % payload.len();
+        payload[position] ^= 1 << bit;
+        // The flip may still decode (a changed value) or fail (a broken tag
+        // or length); both are fine — only a panic would be a bug. When it
+        // decodes, the result must re-encode without panicking too.
+        if let Ok(decoded) = Response::decode(&payload) {
+            let _ = decoded.encode();
+        }
+        let _ = Request::decode(&payload);
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+        let _ = read_frame(&mut &bytes[..]);
+    }
+}

@@ -63,6 +63,7 @@ pub mod symbols;
 pub mod task;
 pub mod topology;
 pub mod trace;
+pub mod wire;
 
 pub use annotations::{Annotation, AnnotationSet};
 pub use columns::{
@@ -89,3 +90,4 @@ pub use symbols::{Symbol, SymbolTable};
 pub use task::{TaskInstance, TaskType};
 pub use topology::{CpuInfo, MachineTopology};
 pub use trace::{PerCpuEvents, Trace, TraceBuilder};
+pub use wire::{WireError, WireReader, WireWriter};

@@ -49,6 +49,7 @@
 pub use aftermath_core as core;
 pub use aftermath_exec as exec;
 pub use aftermath_render as render;
+pub use aftermath_serve as serve;
 pub use aftermath_sim as sim;
 pub use aftermath_trace as trace;
 pub use aftermath_workloads as workloads;
