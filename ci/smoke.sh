@@ -64,7 +64,19 @@ step_lint() {
     grep -q '"L002-unclosed-interval": 1' BENCH_lint.json
 }
 
-ALL_STEPS=(pipeline stream monitor zoom store serve lint)
+step_chaos() {
+    # Replays the serve load generator under seeded fault injection (tier
+    # faults, severed and killed connections) plus a salvage-open of a
+    # deliberately corrupted store. The markers only print when no panic
+    # escaped containment and every successful answer was byte-identical.
+    "${REPRODUCE[@]}" --scale test --threads 2 --json --chaos | tee chaos_smoke.txt
+    grep -q 'no panic escaped containment' chaos_smoke.txt
+    grep -q 'byte-identical to the fault-free direct session' chaos_smoke.txt
+    grep -q 'covered-span answers byte-identical to the undamaged trace' chaos_smoke.txt
+    test -f BENCH_chaos.json
+}
+
+ALL_STEPS=(pipeline stream monitor zoom store serve lint chaos)
 
 if [ "$#" -eq 0 ]; then
     echo "usage: ci/smoke.sh <step>... | all" >&2
@@ -79,7 +91,7 @@ fi
 
 for step in "${steps[@]}"; do
     case "$step" in
-    pipeline | stream | monitor | zoom | store | serve | lint)
+    pipeline | stream | monitor | zoom | store | serve | lint | chaos)
         echo "== smoke: $step"
         "step_$step"
         ;;

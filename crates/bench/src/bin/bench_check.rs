@@ -40,6 +40,16 @@
 //!   deliberately loose ceiling — byte-identity and the sharing floors are the
 //!   real gates), and the absolute N-sessions-vs-one memory ratio must stay
 //!   within the 1.5× acceptance bound.
+//! * `chaos` — the fault-injection harness: **zero** panics may escape the
+//!   server's containment (`panics`, hard), every successful response under
+//!   injected tier faults and killed connections must have been
+//!   byte-identical to the fault-free direct session
+//!   (`successful_identical`, hard — a fault may cost an answer, never
+//!   change one), the salvage open's covered-span answers must match the
+//!   undamaged trace (`salvage_identical`, hard) with at least 50 % of rows
+//!   surviving the seeded damage plan (`salvage_row_coverage`), and the p95
+//!   severed-connection recovery latency must stay within 4× of the baseline
+//!   (wall-clock, hence loose — the exactness bits are the real gates).
 //!
 //! **Every** gate of the selected kind is evaluated — a failing or
 //! incomparable gate never short-circuits the rest, so one run reports every
@@ -93,6 +103,10 @@ const MAX_P95_GROWTH: f64 = 3.0;
 /// Absolute acceptance ceiling on the serve record's N-sessions-over-one
 /// memory ratio (the issue's ≤ 1.5× bound).
 const MAX_N_VS_ONE: f64 = 1.5;
+
+/// Absolute acceptance floor on the chaos record's surviving row coverage
+/// after the seeded damage plan.
+const MIN_SALVAGE_COVERAGE: f64 = 0.5;
 
 struct Record {
     label: String,
@@ -286,6 +300,49 @@ fn gate_capped_identity(fresh: &Record) -> Result<bool, String> {
     Ok(true)
 }
 
+/// One required-true bit of the fresh record (stored as 0/1); returns whether
+/// it passed. Unlike [`Record::number`], reads the raw field so 0 is a
+/// legible (failing) value, not an unparsable one.
+fn gate_flag(fresh: &Record, what: &str, key: &str) -> Result<bool, String> {
+    let value = json_number(&fresh.contents, key)
+        .ok_or_else(|| format!("{}: no {key} field", fresh.label))?;
+    if value != 1.0 {
+        eprintln!("bench_check: FAIL — {what} ({key} = {value})");
+        return Ok(false);
+    }
+    println!("bench_check: {what}");
+    Ok(true)
+}
+
+/// One required-zero counter of the fresh record; returns whether it passed.
+/// The accessor allows zero by design — zero is exactly the value this gate
+/// demands.
+fn gate_exact_zero(fresh: &Record, what: &str, key: &str) -> Result<bool, String> {
+    let value = json_number(&fresh.contents, key)
+        .ok_or_else(|| format!("{}: no {key} field", fresh.label))?;
+    if value != 0.0 {
+        eprintln!("bench_check: FAIL — {what}: {key} = {value}, must be exactly 0");
+        return Ok(false);
+    }
+    println!("bench_check: {what}: none");
+    Ok(true)
+}
+
+/// One absolute "higher is better" bound on the fresh record; returns whether
+/// it passed.
+fn gate_absolute_floor(fresh: &Record, what: &str, key: &str, floor: f64) -> Result<bool, String> {
+    let value = fresh.number(key)?;
+    println!(
+        "bench_check: {what} {value:.4} (fresh, {}); absolute floor {floor:.2}",
+        fresh.label
+    );
+    if value < floor {
+        eprintln!("bench_check: FAIL — {what} {value:.4} below the absolute {floor:.2} floor");
+        return Ok(false);
+    }
+    Ok(true)
+}
+
 /// The serve record's identity bit: every response the load generator received
 /// over the wire must have been byte-identical to the direct in-process
 /// session's encoding.
@@ -421,6 +478,32 @@ fn main() -> ExitCode {
                 "N sessions / one session memory",
                 "n_vs_one_ratio",
                 MAX_N_VS_ONE,
+            ),
+        ],
+        "chaos" => vec![
+            gate_exact_zero(&fresh, "panics escaping the server's containment", "panics"),
+            gate_flag(
+                &fresh,
+                "successful responses under faults byte-identical to the fault-free direct session",
+                "successful_identical",
+            ),
+            gate_flag(
+                &fresh,
+                "salvaged covered-span answers byte-identical to the undamaged trace",
+                "salvage_identical",
+            ),
+            gate_absolute_floor(
+                &fresh,
+                "salvage row coverage",
+                "salvage_row_coverage",
+                MIN_SALVAGE_COVERAGE,
+            ),
+            gate_ceiling(
+                "severed-connection recovery p95 (s)",
+                &fresh,
+                &baseline,
+                "recovery_p95_seconds",
+                MAX_P95_GROWTH,
             ),
         ],
         other => {

@@ -12,6 +12,7 @@
 use std::collections::VecDeque;
 use std::path::PathBuf;
 
+use aftermath_bench::chaos;
 use aftermath_bench::figures::{fmt_cycles, Scale};
 use aftermath_bench::ingest;
 use aftermath_bench::kmeans_experiments as km;
@@ -36,6 +37,7 @@ struct Options {
     ingest: bool,
     store: bool,
     serve: bool,
+    chaos: bool,
     lint: bool,
     trace_path: Option<PathBuf>,
     write_fixture: Option<PathBuf>,
@@ -69,6 +71,7 @@ fn parse_args() -> Options {
     let mut ingest = false;
     let mut store = false;
     let mut serve = false;
+    let mut chaos = false;
     let mut lint = false;
     let mut trace_path = None;
     let mut write_fixture = None;
@@ -98,6 +101,7 @@ fn parse_args() -> Options {
             "--ingest" => ingest = true,
             "--store" => store = true,
             "--serve" => serve = true,
+            "--chaos" => chaos = true,
             "--lint" => lint = true,
             "--trace" => {
                 let value = args.pop_front().unwrap_or_default();
@@ -109,7 +113,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: reproduce [--scale test|paper] [--out DIR] [--threads N|auto] [--json] [--stream] [--ingest] [--store] [--serve] [--lint] [FIGURE...]\n\
+                    "usage: reproduce [--scale test|paper] [--out DIR] [--threads N|auto] [--json] [--stream] [--ingest] [--store] [--serve] [--chaos] [--lint] [FIGURE...]\n\
                      figures: fig3 fig5 fig8 fig9 fig10 fig12 fig13 fig14 fig15 fig16 fig19 sec6 all\n\
                      modes:   zoom-sweep  (scan-vs-pyramid frame times across zoom levels; not part of 'all')\n\
                      --stream replays the sec6 trace through the streaming ingest layer\n\
@@ -120,20 +124,23 @@ fn parse_args() -> Options {
                      (compression, lazy open-to-first-frame, capped-residency sweep)\n\
                      --serve drives N concurrent TCP clients against the analysis server\n\
                      (frame latency percentiles, cache hits, sessions per GB, byte-identity)\n\
+                     --chaos replays the serve load under seeded faults and killed connections\n\
+                     (zero escaped panics, typed-error-or-exact-bytes, salvage coverage)\n\
                      --lint lints a trace (the built-in corrupted demo, or --trace FILE),\n\
                      prints the per-code findings and repairs it\n\
                      --trace FILE lints a serialized trace file instead of the demo\n\
                      --write-fixture PATH writes the corrupted demo trace to PATH\n\
-                     --json writes BENCH_<name>.json records for sec6, zoom-sweep, --stream, --ingest, --store, --serve and --lint"
+                     --json writes BENCH_<name>.json records for sec6, zoom-sweep, --stream, --ingest, --store, --serve, --chaos and --lint"
                 );
                 std::process::exit(0);
             }
             other => targets.push(other.trim_start_matches("--").to_string()),
         }
     }
-    // `--lint` / `--serve` / `--write-fixture` alone should not drag in the
-    // full figure run; explicit figure targets still compose with them.
-    if targets.is_empty() && !lint && !serve && write_fixture.is_none() {
+    // `--lint` / `--serve` / `--chaos` / `--write-fixture` alone should not
+    // drag in the full figure run; explicit figure targets still compose
+    // with them.
+    if targets.is_empty() && !lint && !serve && !chaos && write_fixture.is_none() {
         targets.push("all".to_string());
     }
     Options {
@@ -145,6 +152,7 @@ fn parse_args() -> Options {
         ingest,
         store,
         serve,
+        chaos,
         lint,
         trace_path,
         write_fixture,
@@ -255,6 +263,12 @@ fn main() {
     // mode, not part of `all`).
     if options.serve || options.targets.iter().any(|t| t == "serve") {
         serve_bench(&options);
+    }
+    // `--chaos` replays the serve load under seeded fault schedules and
+    // killed connections, and salvage-opens a corrupted store (explicit
+    // mode, not part of `all`).
+    if options.chaos || options.targets.iter().any(|t| t == "chaos") {
+        chaos_bench(&options);
     }
 }
 
@@ -435,6 +449,60 @@ fn serve_bench(options: &Options) {
     );
     println!("sessions_per_gb,{:.1}", bench.sessions_per_gb);
     options.write_json("serve", &bench.to_json());
+}
+
+fn chaos_bench(options: &Options) {
+    let bench = chaos::run_chaos_bench(options.scale, options.threads);
+    print_series_header(
+        "Chaos harness — fault-injected store, killed connections, salvage coverage",
+        "metric,value",
+    );
+    println!("num_events,{}", bench.num_events);
+    println!("clients,{}", bench.clients);
+    println!("requests,{}", bench.requests);
+    println!("ok_responses,{}", bench.ok_responses);
+    println!("faulted_responses,{}", bench.faulted_responses);
+    println!("exhausted_requests,{}", bench.exhausted_requests);
+    println!("retries,{}", bench.retries);
+    println!("kills,{}", bench.kills);
+    println!("tier_reads,{}", bench.tier_reads);
+    println!("faults_injected,{}", bench.faults_injected);
+    println!(
+        "panics,{} ({})",
+        bench.panics,
+        if bench.panics == 0 {
+            "no panic escaped containment"
+        } else {
+            "PANICS ESCAPED CONTAINMENT"
+        }
+    );
+    println!(
+        "successful_identical,{} ({})",
+        u8::from(bench.successful_identical),
+        if bench.successful_identical {
+            "every successful response byte-identical to the fault-free direct session"
+        } else {
+            "MISMATCH against the fault-free direct session"
+        }
+    );
+    println!("p95_frame_ms,{:.3}", bench.frame_quantile(0.95) * 1e3);
+    println!("recovery_p95_ms,{:.3}", bench.recovery_quantile(0.95) * 1e3);
+    println!("salvage_blocks_damaged,{}", bench.salvage_blocks_damaged);
+    println!(
+        "salvage_row_coverage,{:.4} (acceptance: >= 0.5)",
+        bench.salvage_row_coverage
+    );
+    println!(
+        "salvage_identical,{} ({})",
+        u8::from(bench.salvage_identical),
+        if bench.salvage_identical {
+            "covered-span answers byte-identical to the undamaged trace"
+        } else {
+            "MISMATCH against the undamaged trace"
+        }
+    );
+    println!("salvage_open_seconds,{:.4}", bench.salvage_open_seconds);
+    options.write_json("chaos", &bench.to_json());
 }
 
 fn stream_sec6(options: &Options, trace: &aftermath_trace::Trace) {

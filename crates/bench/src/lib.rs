@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod figures;
 pub mod ingest;
 pub mod kmeans_experiments;

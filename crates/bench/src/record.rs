@@ -29,7 +29,12 @@ use std::process::Command;
 ///   `responses_identical`, `cache_hit_rate`, `n_vs_one_ratio`,
 ///   `sessions_per_gb`, `p50/p95/p99_frame_seconds`). No existing field
 ///   changed meaning, so v1/v2 baselines of other kinds stay comparable.
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+/// * v4 — adds the `chaos` record kind (fault-injection harness: `panics`,
+///   `successful_identical`, `salvage_row_coverage`, `salvage_identical`,
+///   `recovery_p95_seconds`, plus retry/kill/fault counters). No existing
+///   field changed meaning, so v1–v3 baselines of other kinds stay
+///   comparable.
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
 
 /// Oldest record schema the gate still accepts: v1 records' shared fields are
 /// unchanged in v2, so stored v1 baselines (e.g. `BENCH_ingest.json`) remain

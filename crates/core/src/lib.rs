@@ -113,7 +113,7 @@ pub use series::TimeSeries;
 pub use session::{AnalysisSession, IntervalQuery, TaskDetails};
 pub use shared::{CacheStats, SharedSession};
 pub use stats::Histogram;
-pub use store_session::StoreSession;
+pub use store_session::{SalvageCoverage, StoreSession};
 pub use taskgraph::TaskGraph;
 pub use timeline::{
     CalibrationTimings, CostModel, EngineDecision, TimelineCell, TimelineEngine, TimelineMode,

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 
-use aftermath_trace::store::{LaneId, LaneResidency, StoredTrace};
+use aftermath_trace::store::{DamageReport, LaneId, LaneResidency, StoredTrace};
 use aftermath_trace::{CounterId, CpuId, TimeInterval};
 
 use crate::error::AnalysisError;
@@ -43,6 +43,71 @@ use crate::session::{
     CostModelHandle, IntervalQuery, TimelineCacheHandle,
 };
 use crate::timeline::{TimelineEngine, TimelineMode, TimelineModel};
+
+/// Degraded-coverage summary of a salvage-opened store session: what spans
+/// and tables queries can still be answered over *exactly*.
+///
+/// Everything inside the reported spans is byte-identical to the same query
+/// against the undamaged store; everything outside is not answered at all
+/// (rather than answered approximately). See
+/// [`aftermath_trace::store::StoredTrace::open_salvage`].
+#[derive(Debug, Clone)]
+pub struct SalvageCoverage {
+    /// Fraction of stored rows that survived quarantine, in `[0, 1]`.
+    pub row_coverage: f64,
+    /// Time span over which state-only queries (state timelines) are exact:
+    /// the intersection of the surviving spans of every state lane. `None`
+    /// when some state lane was quarantined in full.
+    pub state_span: Option<TimeInterval>,
+    /// Time span over which *all* time-sorted lanes (states, events, samples)
+    /// are exact. `None` when any of them was quarantined in full.
+    pub full_span: Option<TimeInterval>,
+    /// Lanes quarantined in their entirety (they read as empty).
+    pub lost_lanes: Vec<LaneId>,
+    /// True when nothing was quarantined — the session behaves exactly like a
+    /// strict open.
+    pub clean: bool,
+}
+
+impl SalvageCoverage {
+    fn span_contains(span: Option<TimeInterval>, interval: TimeInterval) -> bool {
+        span.is_some_and(|s| s.start <= interval.start && interval.end <= s.end)
+    }
+
+    /// True when a timeline frame of `mode` over `interval` is exact.
+    pub fn allows_timeline(&self, mode: TimelineMode, interval: TimeInterval) -> bool {
+        if self.clean {
+            return true;
+        }
+        if !Self::span_contains(self.state_span, interval) {
+            return false;
+        }
+        let needs_tasks = !matches!(mode, TimelineMode::State);
+        let needs_accesses = matches!(
+            mode,
+            TimelineMode::NumaRead | TimelineMode::NumaWrite | TimelineMode::NumaHeat
+        );
+        (!needs_tasks || !self.lost_lanes.contains(&LaneId::Tasks))
+            && (!needs_accesses || !self.lost_lanes.contains(&LaneId::Accesses))
+    }
+
+    /// True when an interval query over `interval` is exact (interval queries
+    /// aggregate every table: states, events, samples, tasks and accesses).
+    pub fn allows_query(&self, interval: TimeInterval) -> bool {
+        if self.clean {
+            return true;
+        }
+        Self::span_contains(self.full_span, interval)
+            && !self.lost_lanes.contains(&LaneId::Tasks)
+            && !self.lost_lanes.contains(&LaneId::Accesses)
+    }
+
+    /// True when whole-trace scans (anomaly detection, drill-in) are exact —
+    /// only when nothing at all was quarantined.
+    pub fn allows_full_scan(&self) -> bool {
+        self.clean
+    }
+}
 
 /// An analysis session backed by the on-disk column store.
 #[derive(Debug)]
@@ -59,6 +124,14 @@ pub struct StoreSession {
     cost_model: CostModelHandle,
 }
 
+/// Intersection of two optional spans; `None` annihilates.
+fn intersect(a: Option<TimeInterval>, b: Option<TimeInterval>) -> Option<TimeInterval> {
+    let (a, b) = (a?, b?);
+    let start = a.start.max(b.start);
+    let end = a.end.min(b.end);
+    (start <= end).then(|| TimeInterval::new(start, end))
+}
+
 impl StoreSession {
     /// Opens a store file lazily: only metadata and block footers are read, so
     /// the cost is independent of the trace's event count.
@@ -68,6 +141,20 @@ impl StoreSession {
     /// Propagates [`StoredTrace::open`] failures.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, AnalysisError> {
         Ok(Self::from_store(StoredTrace::open(path)?))
+    }
+
+    /// Opens a *damaged* store file in degraded mode: corrupt or unreadable
+    /// blocks are quarantined and queries run over the surviving spans (see
+    /// [`StoredTrace::open_salvage`]). Inspect [`StoreSession::coverage`] for
+    /// what survives; answers inside the covered spans are byte-identical to
+    /// the undamaged store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoredTrace::open_salvage`] failures (the metadata,
+    /// directory and trailer must be intact).
+    pub fn open_salvage<P: AsRef<Path>>(path: P) -> Result<Self, AnalysisError> {
+        Ok(Self::from_store(StoredTrace::open_salvage(path)?))
     }
 
     /// Wraps an already opened [`StoredTrace`].
@@ -85,6 +172,54 @@ impl StoreSession {
     /// The backing store (residency inspection, lane statistics).
     pub fn store(&self) -> &StoredTrace {
         &self.stored
+    }
+
+    /// The damage report of a salvage open (`None` after a strict open).
+    pub fn damage(&self) -> Option<&DamageReport> {
+        self.stored.damage()
+    }
+
+    /// True when this session came from a salvage open.
+    pub fn is_salvaged(&self) -> bool {
+        self.stored.damage().is_some()
+    }
+
+    /// Degraded-coverage summary of a salvaged session (`None` after a strict
+    /// open). Callers that must never serve degraded data gate requests on
+    /// [`SalvageCoverage::allows_timeline`] / [`SalvageCoverage::allows_query`].
+    pub fn coverage(&self) -> Option<SalvageCoverage> {
+        let report = self.stored.damage()?;
+        let mut lost_lanes = Vec::new();
+        let mut state_span = Some(TimeInterval::from_cycles(0, u64::MAX));
+        let mut full_span = Some(TimeInterval::from_cycles(0, u64::MAX));
+        for lane_damage in &report.lanes {
+            let lane = lane_damage.lane;
+            let span = self.stored.salvage_covered_span(lane);
+            if span.is_none() {
+                lost_lanes.push(lane);
+            }
+            let time_sorted = matches!(
+                lane,
+                LaneId::States(_) | LaneId::Events(_) | LaneId::Samples(..)
+            );
+            if time_sorted {
+                full_span = intersect(full_span, span);
+                if matches!(lane, LaneId::States(_)) {
+                    state_span = intersect(state_span, span);
+                }
+            } else if span.is_none() {
+                // A lost task/access table makes whole-table aggregations
+                // inexact everywhere.
+                full_span = None;
+            }
+        }
+        Some(SalvageCoverage {
+            row_coverage: report.row_coverage(),
+            state_span,
+            full_span,
+            lost_lanes,
+            clean: report.is_clean(),
+        })
     }
 
     /// Sets (or clears) the steady-state residency budget in bytes (see the

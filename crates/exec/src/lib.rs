@@ -331,6 +331,9 @@ struct PoolShared {
     /// admission decisions are exact from the first `try_execute` on.
     settled: std::sync::Condvar,
     max_pending: usize,
+    /// Jobs that panicked (and were contained). The worker survives a
+    /// panicking job; this counter makes the containment observable.
+    panics: std::sync::atomic::AtomicU64,
 }
 
 /// A bounded, long-lived worker pool for services.
@@ -394,6 +397,7 @@ impl WorkerPool {
             wake: std::sync::Condvar::new(),
             settled: std::sync::Condvar::new(),
             max_pending,
+            panics: std::sync::atomic::AtomicU64::new(0),
         });
         let workers = (0..worker_count)
             .map(|_| {
@@ -414,7 +418,13 @@ impl WorkerPool {
                             state.idle -= 1;
                         }
                     };
-                    job();
+                    // Contain panics: a job (e.g. one poisoned connection in
+                    // a server) must not take its worker thread down with it.
+                    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+                        shared
+                            .panics
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
                 })
             })
             .collect();
@@ -430,6 +440,13 @@ impl WorkerPool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Number of jobs that panicked and were contained (the worker survived).
+    pub fn panics_caught(&self) -> u64 {
+        self.shared
+            .panics
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Submits a job without blocking.
@@ -656,6 +673,29 @@ mod tests {
         assert_eq!(pool.try_execute(|| {}), Err(PoolError::Saturated));
         release.send(()).unwrap();
         release.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_contains_panicking_jobs_and_workers_survive() {
+        let pool = WorkerPool::new(1, 8);
+        // The single worker takes a panicking job...
+        pool.try_execute(|| panic!("injected job panic")).unwrap();
+        // ...and must still be alive to run the next one.
+        let (tx, rx) = std::sync::mpsc::channel();
+        loop {
+            let tx = tx.clone();
+            match pool.try_execute(move || tx.send(42).unwrap()) {
+                Ok(()) => break,
+                Err(PoolError::Saturated) => thread::yield_now(),
+                Err(other) => panic!("unexpected pool error: {other}"),
+            }
+        }
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(),
+            42
+        );
+        assert_eq!(pool.panics_caught(), 1);
         pool.shutdown();
     }
 

@@ -62,7 +62,7 @@ pub mod manager;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, RetriesExhausted, RetryPolicy};
 pub use manager::{SessionManager, TraceEntry};
 pub use protocol::{
     DetectorSet, ErrorCode, QueryResult, Request, Response, ServerStats, MAX_FRAME_LEN,

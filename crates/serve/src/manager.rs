@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 use std::mem::size_of;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use aftermath_core::anomaly::AnomalyReport;
 use aftermath_core::session::IntervalQuery;
@@ -132,7 +132,13 @@ impl SessionManager {
                         .timeline(*mode, *interval, columns)
                         .map(|model| (*model).clone()),
                     TraceEntry::Store(store) => {
-                        store.lock().unwrap().timeline(*mode, *interval, columns)
+                        let mut store = lock_store(store);
+                        check_coverage(
+                            &store,
+                            |c| c.allows_timeline(*mode, *interval),
+                            "the requested interval",
+                        )?;
+                        store.timeline(*mode, *interval, columns)
                     }
                 };
                 Ok(Response::Timeline(internal(model)?))
@@ -149,10 +155,15 @@ impl SessionManager {
                         let query = view.query(*interval);
                         Ok(query_result(&query, *cpu, *counter))
                     }
-                    TraceEntry::Store(store) => store
-                        .lock()
-                        .unwrap()
-                        .query(*interval, |query| query_result(query, *cpu, *counter)),
+                    TraceEntry::Store(store) => {
+                        let mut store = lock_store(store);
+                        check_coverage(
+                            &store,
+                            |c| c.allows_query(*interval),
+                            "the queried window",
+                        )?;
+                        store.query(*interval, |query| query_result(query, *cpu, *counter))
+                    }
                 };
                 Ok(Response::Query(internal(result)?))
             }),
@@ -191,7 +202,7 @@ impl SessionManager {
                         .view()
                         .timeline_filtered(*mode, anomaly.interval, columns, &filter)
                         .map(|model| (*model).clone()),
-                    TraceEntry::Store(store) => store.lock().unwrap().timeline_with_engine(
+                    TraceEntry::Store(store) => lock_store(store).timeline_with_engine(
                         *mode,
                         anomaly.interval,
                         columns,
@@ -231,7 +242,7 @@ impl SessionManager {
                 (trace.time_bounds(), trace.topology().num_cpus())
             }
             TraceEntry::Store(store) => {
-                let store = store.lock().unwrap();
+                let store = lock_store(store);
                 (
                     store.time_bounds(),
                     store.store().trace().topology().num_cpus(),
@@ -286,7 +297,7 @@ impl SessionManager {
                     stats.cache_misses += cache.misses;
                 }
                 TraceEntry::Store(store) => {
-                    stats.shared_bytes += store.lock().unwrap().resident_event_bytes() as u64;
+                    stats.shared_bytes += lock_store(store).resident_event_bytes() as u64;
                 }
             }
         }
@@ -298,6 +309,36 @@ impl SessionManager {
         stats.session_bytes =
             (table.open.len() * (size_of::<u64>() + size_of::<TraceEntry>())) as u64;
         stats
+    }
+}
+
+/// Locks a store-backed session, recovering from a poisoned lock: a pool
+/// worker that panicked mid-request (the server contains such panics) leaves
+/// the mutex poisoned, but `StoreSession` mutations are residency bookkeeping
+/// and caches that fail closed — a lost answer, not corrupt analysis state —
+/// so later requests on the same trace must keep working.
+fn lock_store(store: &Mutex<StoreSession>) -> MutexGuard<'_, StoreSession> {
+    store.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Refuses a request whose answer would depend on quarantined data: a
+/// salvage-opened store answers only inside its surviving coverage, and the
+/// server degrades *explicitly* rather than serving approximate bytes.
+fn check_coverage(
+    store: &StoreSession,
+    allowed: impl FnOnce(&aftermath_core::SalvageCoverage) -> bool,
+    what: &str,
+) -> Result<(), Response> {
+    match store.coverage() {
+        Some(coverage) if !allowed(&coverage) => Err(Response::Error {
+            code: ErrorCode::Degraded,
+            message: format!(
+                "trace was salvage-opened ({:.1}% of rows survive) and {what} \
+                 falls outside the surviving coverage",
+                coverage.row_coverage * 100.0
+            ),
+        }),
+        _ => Ok(()),
     }
 }
 
@@ -333,7 +374,15 @@ fn anomaly_report(
     let config = detectors.config(max_anomalies as usize);
     internal(match entry {
         TraceEntry::Memory(shared) => shared.view().detect_anomalies(&config),
-        TraceEntry::Store(store) => store.lock().unwrap().detect_anomalies(&config),
+        TraceEntry::Store(store) => {
+            let mut store = lock_store(store);
+            check_coverage(
+                &store,
+                |c| c.allows_full_scan(),
+                "a whole-trace anomaly scan",
+            )?;
+            store.detect_anomalies(&config)
+        }
     })
 }
 

@@ -351,6 +351,11 @@ pub enum ErrorCode {
     Internal,
     /// A complete frame did not arrive within the server's request timeout.
     Timeout,
+    /// The session's trace was opened in salvage mode and the request falls
+    /// outside the surviving coverage; the server refuses to answer rather
+    /// than answer approximately. Narrow the interval or re-open the trace
+    /// from an undamaged copy.
+    Degraded,
 }
 
 impl ErrorCode {
@@ -362,6 +367,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => 4,
             ErrorCode::Internal => 5,
             ErrorCode::Timeout => 6,
+            ErrorCode::Degraded => 7,
         }
     }
 
@@ -373,6 +379,7 @@ impl ErrorCode {
             4 => ErrorCode::BadRequest,
             5 => ErrorCode::Internal,
             6 => ErrorCode::Timeout,
+            7 => ErrorCode::Degraded,
             _ => return Err(WireError::Malformed("unknown error code")),
         })
     }
@@ -1003,6 +1010,10 @@ mod tests {
             Response::Error {
                 code: ErrorCode::ServerFull,
                 message: "session limit reached".into(),
+            },
+            Response::Error {
+                code: ErrorCode::Degraded,
+                message: "interval outside salvaged coverage".into(),
             },
             Response::Opened {
                 session: 9,

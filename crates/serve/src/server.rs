@@ -15,6 +15,12 @@
 //! but stalls mid-payload is cut off after the configured request timeout —
 //! a half-open socket must not pin a pool worker forever. When a connection
 //! closes, every session it opened and did not close is closed for it.
+//!
+//! A request that panics while computing its response is contained twice
+//! over: the connection loop catches the unwind and answers a typed
+//! `Internal` error (the connection and its sessions keep working), and the
+//! worker pool catches anything that still escapes so the worker thread
+//! itself survives for the next connection.
 
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -98,6 +104,13 @@ impl Server {
     /// The bound address (with the OS-assigned port when 0 was requested).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Panics contained by the connection workers' pool so far. The chaos
+    /// harness gates this at zero: every failure path is supposed to be a
+    /// typed error response, not an unwind.
+    pub fn panics_caught(&self) -> u64 {
+        self.pool.as_ref().map_or(0, |pool| pool.panics_caught())
     }
 
     /// Stops accepting, disconnects every client and joins all threads.
@@ -232,7 +245,15 @@ fn connection_loop(
                     return Err(ConnectionEnd::ProtocolError);
                 }
             };
-            let response = manager.handle(&request);
+            // A panic while computing one response must poison neither the
+            // worker nor the connection: contain it here and answer
+            // `Internal`, exactly like any other server-side failure.
+            let response =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| manager.handle(&request)))
+                    .unwrap_or_else(|_| Response::Error {
+                        code: ErrorCode::Internal,
+                        message: "the server panicked while computing this response".into(),
+                    });
             match (&request, &response) {
                 (Request::Open { .. }, Response::Opened { session, .. }) => {
                     sessions.push(*session);

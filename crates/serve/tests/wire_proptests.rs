@@ -115,13 +115,14 @@ fn response_strategy() -> impl Strategy<Value = Response> {
             let message = String::from_utf8(text).expect("printable ascii");
             match tag {
                 0 => Response::Error {
-                    code: match session % 6 {
+                    code: match session % 7 {
                         0 => ErrorCode::UnknownTrace,
                         1 => ErrorCode::UnknownSession,
                         2 => ErrorCode::ServerFull,
                         3 => ErrorCode::BadRequest,
                         4 => ErrorCode::Internal,
-                        _ => ErrorCode::Timeout,
+                        5 => ErrorCode::Timeout,
+                        _ => ErrorCode::Degraded,
                     },
                     message,
                 },

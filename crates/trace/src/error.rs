@@ -42,6 +42,13 @@ pub enum TraceError {
     LintFindings(crate::lint::LintSummary),
     /// The trace file is malformed.
     Format(String),
+    /// Stored bytes failed an integrity check: a block, directory or metadata
+    /// checksum did not match what the writer recorded. Unlike
+    /// [`TraceError::Format`] (structurally invalid by construction), this
+    /// means the bytes were damaged after being written — the store's salvage
+    /// open ([`crate::store::StoredTrace::open_salvage`]) can usually recover
+    /// the undamaged blocks.
+    Corrupted(String),
     /// The trace file was produced by an unsupported format version.
     UnsupportedVersion(u32),
     /// An I/O error occurred while reading or writing a trace file.
@@ -75,6 +82,7 @@ impl fmt::Display for TraceError {
                 write!(f, "trace failed strict lint: {summary}")
             }
             TraceError::Format(msg) => write!(f, "malformed trace file: {msg}"),
+            TraceError::Corrupted(msg) => write!(f, "corrupted trace store: {msg}"),
             TraceError::UnsupportedVersion(v) => {
                 write!(f, "unsupported trace format version {v}")
             }

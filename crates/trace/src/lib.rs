@@ -50,8 +50,10 @@
 
 pub mod annotations;
 pub mod columns;
+pub mod crc;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod format;
 pub mod ids;
 pub mod lint;
@@ -74,6 +76,7 @@ pub use error::TraceError;
 pub use event::{
     CommEvent, CommKind, CounterDescription, CounterSample, DiscreteEvent, DiscreteEventKind,
 };
+pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultyTier};
 pub use ids::{CounterId, CpuId, NumaNodeId, TaskId, TaskTypeId, TimeInterval, Timestamp};
 pub use lint::{
     AnnotatedTrace, ChunkContext, EventRef, LintCode, LintFinding, LintMode, LintReport,
@@ -82,8 +85,8 @@ pub use lint::{
 pub use memory::{AccessKind, MemoryAccess, MemoryRegion, RegionId};
 pub use state::{StateInterval, WorkerState};
 pub use store::{
-    write_store_file, write_store_file_with, ColdTier, FileTier, LaneId, LaneResidency, MemoryTier,
-    StoreOptions, StoreStats, StoredTrace,
+    write_store_file, write_store_file_with, ColdTier, DamageCode, DamageFinding, DamageReport,
+    FileTier, LaneDamage, LaneId, LaneResidency, MemoryTier, StoreOptions, StoreStats, StoredTrace,
 };
 pub use streaming::{make_streamable, split_even, StreamingTrace, TraceChunk};
 pub use symbols::{Symbol, SymbolTable};

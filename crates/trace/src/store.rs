@@ -29,10 +29,27 @@
 //! with least-recently-used lane eviction keeps resident bytes bounded.
 //!
 //! ```text
-//! file    := "AFST" | version u32-le | meta-len varint | meta (an AFTM trace
-//!            holding only metadata) | block* | directory | trailer
-//! trailer := dir-offset u64-le | dir-len u64-le | "TSFA"
+//! file       := "AFST" | version u32-le | meta-len varint | meta (an AFTM
+//!               trace holding only metadata) | block* | directory | trailer
+//! trailer v1 := dir-offset u64-le | dir-len u64-le | "TSFA"
+//! trailer v2 := dir-offset u64-le | dir-len u64-le | dir-crc u32-le |
+//!               meta-crc u32-le | "TSFA"
 //! ```
+//!
+//! Format **version 2** adds an integrity layer: every block footer carries a
+//! CRC-32 of its payload bytes, and the trailer carries CRC-32s of the
+//! directory and the metadata header. Checksums are verified on
+//! materialisation (a mismatch surfaces as [`TraceError::Corrupted`] instead
+//! of decoded garbage) and at open time for the directory and metadata.
+//! Version 1 stores still open; they simply carry no checksums to verify
+//! (salvage opens flag this as [`DamageCode::UnverifiedStore`]).
+//!
+//! For damaged files, [`StoredTrace::open_salvage`] performs a degraded open:
+//! instead of failing on the first bad block it scans every block, quarantines
+//! the corrupt or unreadable ones, and serves queries over the surviving
+//! contiguous span of each lane, reporting per-lane coverage in a
+//! [`DamageReport`] with stable `S001`–`S004` codes (mirroring the lint
+//! layer's `L001`–`L008` annotation style).
 //!
 //! The byte source is abstracted behind [`ColdTier`] (a seekable read-at
 //! interface); [`FileTier`] serves local files and [`MemoryTier`] serves
@@ -49,6 +66,7 @@ use std::sync::Mutex;
 use aftermath_exec::{parallel_map, Threads};
 
 use crate::columns::{decode_kind, encode_kind, SampleColumns};
+use crate::crc::crc32;
 use crate::error::TraceError;
 use crate::event::{CounterSample, DiscreteEvent};
 use crate::format::{self, write_varint};
@@ -61,14 +79,29 @@ use crate::trace::Trace;
 /// Magic bytes identifying an Aftermath-rs column store file.
 pub const STORE_MAGIC: [u8; 4] = *b"AFST";
 
-/// Current version of the column store format.
-pub const STORE_VERSION: u32 = 1;
+/// Current version of the column store format (v2 adds CRC-32 checksums).
+pub const STORE_VERSION: u32 = 2;
+
+/// Oldest format version this build still opens.
+pub const MIN_STORE_VERSION: u32 = 1;
 
 /// Magic bytes terminating the fixed-size trailer at the end of the file.
 const TRAILER_MAGIC: [u8; 4] = *b"TSFA";
 
-/// Byte length of the trailer: directory offset + length + magic.
-const TRAILER_LEN: usize = 8 + 8 + 4;
+/// Byte length of the v1 trailer: directory offset + length + magic.
+const TRAILER_LEN_V1: usize = 8 + 8 + 4;
+
+/// Byte length of the v2 trailer: v1 plus directory and metadata CRC-32s.
+const TRAILER_LEN_V2: usize = 8 + 8 + 4 + 4 + 4;
+
+/// Trailer length of a given format version.
+fn trailer_len(version: u32) -> usize {
+    if version >= 2 {
+        TRAILER_LEN_V2
+    } else {
+        TRAILER_LEN_V1
+    }
+}
 
 /// Default number of rows per block.
 pub const DEFAULT_BLOCK_ROWS: usize = 65_536;
@@ -128,6 +161,9 @@ pub struct BlockFooter {
     pub min_key: u64,
     /// Maximum sort key covered (see type docs).
     pub max_key: u64,
+    /// CRC-32 of the block payload bytes (0 in version-1 stores, which carry
+    /// no checksums).
+    pub crc: u32,
 }
 
 /// Directory entry of one lane: its identity, total rows and block footers.
@@ -139,6 +175,163 @@ pub struct LaneDirectory {
     pub rows: u64,
     /// Footers of the lane's blocks, in row order.
     pub blocks: Vec<BlockFooter>,
+}
+
+// ---------------------------------------------------------------------------
+// Salvage damage reporting
+// ---------------------------------------------------------------------------
+
+/// Stable classification of damage found by [`StoredTrace::open_salvage`],
+/// mirroring the lint layer's [`crate::lint::LintCode`] annotation style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DamageCode {
+    /// A block's payload bytes do not match the CRC-32 its footer recorded.
+    BlockChecksumMismatch,
+    /// The cold tier could not read a block's byte range at all.
+    BlockUnreadable,
+    /// A block read cleanly but its payload does not decode (version-1 stores
+    /// only — in version 2 the checksum catches damage first).
+    BlockUndecodable,
+    /// The store is a version-1 file without checksums: undamaged blocks
+    /// cannot be distinguished from silently corrupted ones beyond a decode
+    /// attempt.
+    UnverifiedStore,
+}
+
+impl DamageCode {
+    /// Every code, in label order.
+    pub const ALL: [DamageCode; 4] = [
+        DamageCode::BlockChecksumMismatch,
+        DamageCode::BlockUnreadable,
+        DamageCode::BlockUndecodable,
+        DamageCode::UnverifiedStore,
+    ];
+
+    /// The stable machine-readable label of the code.
+    pub fn label(self) -> &'static str {
+        match self {
+            DamageCode::BlockChecksumMismatch => "S001-block-checksum-mismatch",
+            DamageCode::BlockUnreadable => "S002-block-unreadable",
+            DamageCode::BlockUndecodable => "S003-block-undecodable",
+            DamageCode::UnverifiedStore => "S004-unverified-store",
+        }
+    }
+
+    /// Parses a label back into its code.
+    pub fn from_label(label: &str) -> Option<DamageCode> {
+        DamageCode::ALL.into_iter().find(|c| c.label() == label)
+    }
+}
+
+impl fmt::Display for DamageCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One piece of damage found during a salvage open.
+#[derive(Debug, Clone)]
+pub struct DamageFinding {
+    /// What kind of damage.
+    pub code: DamageCode,
+    /// The lane it affects (`None` for store-wide findings like
+    /// [`DamageCode::UnverifiedStore`]).
+    pub lane: Option<LaneId>,
+    /// The damaged block's index within its lane, when block-scoped.
+    pub block: Option<usize>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for DamageFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code)?;
+        if let Some(lane) = self.lane {
+            write!(f, " {lane}")?;
+            if let Some(block) = self.block {
+                write!(f, " block {block}")?;
+            }
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Per-lane salvage outcome: which blocks were quarantined and what span of
+/// rows survives.
+#[derive(Debug, Clone)]
+pub struct LaneDamage {
+    /// The lane this entry describes.
+    pub lane: LaneId,
+    /// Blocks the lane has in the directory.
+    pub total_blocks: usize,
+    /// Indices of quarantined blocks, ascending.
+    pub damaged_blocks: Vec<usize>,
+    /// Rows of the undamaged lane.
+    pub total_rows: u64,
+    /// Rows inside the surviving block run that queries can still reach.
+    pub surviving_rows: u64,
+    /// The surviving contiguous block run `[lo, hi)` (empty when the whole
+    /// lane is quarantined).
+    pub surviving_run: (usize, usize),
+}
+
+/// What a salvage open found and what survives, per lane and overall.
+///
+/// A report with no quarantined blocks ([`DamageReport::is_clean`]) means the
+/// degraded open found nothing to degrade — every query behaves exactly as
+/// after a strict open.
+#[derive(Debug, Clone, Default)]
+pub struct DamageReport {
+    /// Individual findings in scan order.
+    pub findings: Vec<DamageFinding>,
+    /// Per-lane outcomes, in file order.
+    pub lanes: Vec<LaneDamage>,
+}
+
+impl DamageReport {
+    /// True when no block had to be quarantined (store-wide advisory findings
+    /// such as [`DamageCode::UnverifiedStore`] do not count as damage).
+    pub fn is_clean(&self) -> bool {
+        self.lanes.iter().all(|l| l.damaged_blocks.is_empty())
+    }
+
+    /// Rows across all lanes of the undamaged store.
+    pub fn total_rows(&self) -> u64 {
+        self.lanes.iter().map(|l| l.total_rows).sum()
+    }
+
+    /// Rows still reachable through surviving block runs.
+    pub fn surviving_rows(&self) -> u64 {
+        self.lanes.iter().map(|l| l.surviving_rows).sum()
+    }
+
+    /// Fraction of rows that survive, in `[0, 1]` (1.0 for an empty store).
+    pub fn row_coverage(&self) -> f64 {
+        let total = self.total_rows();
+        if total == 0 {
+            1.0
+        } else {
+            self.surviving_rows() as f64 / total as f64
+        }
+    }
+
+    /// Count of findings carrying `code`.
+    pub fn count(&self, code: DamageCode) -> usize {
+        self.findings.iter().filter(|f| f.code == code).count()
+    }
+}
+
+impl fmt::Display for DamageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let damaged: usize = self.lanes.iter().map(|l| l.damaged_blocks.len()).sum();
+        write!(
+            f,
+            "{} finding(s), {} quarantined block(s), {:.1}% of rows survive",
+            self.findings.len(),
+            damaged,
+            self.row_coverage() * 100.0
+        )
+    }
 }
 
 /// Summary statistics returned by the store writer.
@@ -212,6 +405,12 @@ fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64, TraceError> {
     Ok(f64::from_le_bytes(bytes))
 }
 
+/// The error for delta/duration accumulations that leave `u64`/`i64` range —
+/// reachable only through corrupt or hostile block payloads.
+fn delta_overflow() -> TraceError {
+    TraceError::Format("arithmetic overflow in store block".into())
+}
+
 #[inline]
 fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
@@ -269,7 +468,11 @@ fn decode_states_block(
     let mut prev = 0u64;
     for i in 0..rows {
         let d = get_varint(buf, &mut pos)?;
-        prev = if i == 0 { d } else { prev + d };
+        prev = if i == 0 {
+            d
+        } else {
+            prev.checked_add(d).ok_or_else(delta_overflow)?
+        };
         starts.push(prev);
     }
     let mut durations = Vec::with_capacity(rows);
@@ -290,10 +493,13 @@ fn decode_states_block(
         } else {
             Some(TaskId(biased - 1))
         };
+        let end = starts[i]
+            .checked_add(durations[i])
+            .ok_or_else(delta_overflow)?;
         rows_out.push(StateInterval::new(
             cpu,
             state,
-            TimeInterval::from_cycles(starts[i], starts[i] + durations[i]),
+            TimeInterval::from_cycles(starts[i], end),
             task,
         ));
     }
@@ -363,7 +569,11 @@ fn decode_events_block(
     let mut prev = 0u64;
     for i in 0..rows {
         let d = get_varint(buf, &mut pos)?;
-        prev = if i == 0 { d } else { prev + d };
+        prev = if i == 0 {
+            d
+        } else {
+            prev.checked_add(d).ok_or_else(delta_overflow)?
+        };
         ts.push(prev);
     }
     let tags = buf
@@ -437,7 +647,11 @@ fn decode_samples_block(
     let mut prev = 0u64;
     for i in 0..rows {
         let d = get_varint(buf, &mut pos)?;
-        prev = if i == 0 { d } else { prev + d };
+        prev = if i == 0 {
+            d
+        } else {
+            prev.checked_add(d).ok_or_else(delta_overflow)?
+        };
         ts.push(prev);
     }
     let mut rows_out = Vec::with_capacity(rows);
@@ -478,7 +692,11 @@ fn decode_accesses_block(buf: &[u8], rows: usize) -> Result<Vec<MemoryAccess>, T
     let mut rows_out = Vec::with_capacity(rows);
     for i in 0..rows {
         let d = get_varint(buf, &mut pos)?;
-        prev = if i == 0 { d } else { prev + d };
+        prev = if i == 0 {
+            d
+        } else {
+            prev.checked_add(d).ok_or_else(delta_overflow)?
+        };
         if prev == 0 {
             return Err(TraceError::Format("zero biased task ref".into()));
         }
@@ -523,20 +741,28 @@ fn decode_tasks_block(
         let ty = get_varint(buf, &mut pos)?;
         let cpu = get_varint(buf, &mut pos)?;
         let creator = get_varint(buf, &mut pos)?;
-        let creation = prev_creation + unzigzag(get_varint(buf, &mut pos)?);
+        let creation = prev_creation
+            .checked_add(unzigzag(get_varint(buf, &mut pos)?))
+            .ok_or_else(delta_overflow)?;
         prev_creation = creation;
-        let start = creation + unzigzag(get_varint(buf, &mut pos)?);
+        let start = creation
+            .checked_add(unzigzag(get_varint(buf, &mut pos)?))
+            .ok_or_else(delta_overflow)?;
         let duration = get_varint(buf, &mut pos)?;
         if creation < 0 || start < 0 {
             return Err(TraceError::Format("negative task timestamp".into()));
         }
+        let end = (start as u64)
+            .checked_add(duration)
+            .ok_or_else(delta_overflow)?;
+        let id = first_id.checked_add(i as u64).ok_or_else(delta_overflow)?;
         rows_out.push(TaskInstance::new(
-            TaskId(first_id + i as u64),
+            TaskId(id),
             TaskTypeId(ty as u32),
             CpuId(cpu as u32),
             CpuId(creator as u32),
             Timestamp(creation as u64),
-            TimeInterval::from_cycles(start as u64, start as u64 + duration),
+            TimeInterval::from_cycles(start as u64, end),
         ));
     }
     Ok(rows_out)
@@ -599,6 +825,21 @@ fn encode_block(
 /// Returns [`TraceError::Format`] when the trace cannot be stored (non-dense
 /// task ids) and propagates metadata serialisation errors.
 pub fn write_store_bytes(trace: &Trace, options: &StoreOptions) -> Result<Vec<u8>, TraceError> {
+    write_store_bytes_versioned(trace, options, STORE_VERSION)
+}
+
+/// [`write_store_bytes`] targeting an explicit (older) format version. Only
+/// exposed so tests can exercise the version-1 compatibility path.
+#[doc(hidden)]
+pub fn write_store_bytes_versioned(
+    trace: &Trace,
+    options: &StoreOptions,
+    version: u32,
+) -> Result<Vec<u8>, TraceError> {
+    if !(MIN_STORE_VERSION..=STORE_VERSION).contains(&version) {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    let checksums = version >= 2;
     if options.block_rows == 0 {
         return Err(TraceError::Format(
             "store block_rows must be positive".into(),
@@ -614,11 +855,12 @@ pub fn write_store_bytes(trace: &Trace, options: &StoreOptions) -> Result<Vec<u8
     }
     let mut out = Vec::new();
     out.extend_from_slice(&STORE_MAGIC);
-    out.extend_from_slice(&STORE_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
 
     // Metadata header: the trace minus its lanes, in the regular AFTM format.
     let mut meta = Vec::new();
     format::write_trace(&trace.metadata_skeleton(), &mut meta)?;
+    let meta_crc = crc32(&meta);
     put_varint(&mut out, meta.len() as u64);
     out.extend_from_slice(&meta);
 
@@ -631,12 +873,18 @@ pub fn write_store_bytes(trace: &Trace, options: &StoreOptions) -> Result<Vec<u8
             let hi = (lo + options.block_rows).min(rows);
             let offset = out.len() as u64;
             let (min_key, max_key) = encode_block(trace, lane, lo, hi, &mut out);
+            let crc = if checksums {
+                crc32(&out[offset as usize..])
+            } else {
+                0
+            };
             blocks.push(BlockFooter {
                 offset,
                 len: out.len() as u64 - offset,
                 rows: (hi - lo) as u64,
                 min_key,
                 max_key,
+                crc,
             });
             lo = hi;
         }
@@ -682,6 +930,9 @@ pub fn write_store_bytes(trace: &Trace, options: &StoreOptions) -> Result<Vec<u8
             put_varint(&mut out, b.rows);
             put_varint(&mut out, b.min_key);
             put_varint(&mut out, b.max_key);
+            if checksums {
+                put_varint(&mut out, u64::from(b.crc));
+            }
         }
     }
     let dir_len = out.len() as u64 - dir_offset;
@@ -689,6 +940,11 @@ pub fn write_store_bytes(trace: &Trace, options: &StoreOptions) -> Result<Vec<u8
     // Trailer.
     out.extend_from_slice(&dir_offset.to_le_bytes());
     out.extend_from_slice(&dir_len.to_le_bytes());
+    if checksums {
+        let dir_crc = crc32(&out[dir_offset as usize..(dir_offset + dir_len) as usize]);
+        out.extend_from_slice(&dir_crc.to_le_bytes());
+        out.extend_from_slice(&meta_crc.to_le_bytes());
+    }
     out.extend_from_slice(&TRAILER_MAGIC);
 
     Ok(out)
@@ -721,12 +977,19 @@ pub fn write_store_file_with<P: AsRef<Path>>(
 
 /// Computes [`StoreStats`] of an encoded store buffer from its own framing.
 fn stats_of(bytes: &[u8]) -> Result<StoreStats, TraceError> {
+    if bytes.len() < 8 {
+        return Err(TraceError::Format("store file too short".into()));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
     let mut pos = 8usize; // magic + version
     let meta_len = get_varint(bytes, &mut pos)? as usize;
     let data_start = pos + meta_len;
-    let trailer = bytes.len() - TRAILER_LEN;
+    let trailer = bytes
+        .len()
+        .checked_sub(trailer_len(version))
+        .ok_or_else(|| TraceError::Format("store file too short".into()))?;
     let dir_offset = u64::from_le_bytes(bytes[trailer..trailer + 8].try_into().expect("8 bytes"));
-    let directory = read_directory(bytes, dir_offset as usize, bytes.len() - TRAILER_LEN)?;
+    let directory = read_directory(bytes, dir_offset as usize, trailer, version >= 2)?;
     Ok(StoreStats {
         file_bytes: bytes.len() as u64,
         metadata_bytes: meta_len as u64,
@@ -831,6 +1094,7 @@ fn read_directory(
     bytes: &[u8],
     dir_start: usize,
     dir_end: usize,
+    has_crc: bool,
 ) -> Result<(Option<TimeInterval>, Vec<LaneDirectory>, u64), TraceError> {
     let dir = bytes
         .get(dir_start..dir_end)
@@ -889,6 +1153,12 @@ fn read_directory(
             let brows = get_varint(dir, &mut pos)?;
             let min_key = get_varint(dir, &mut pos)?;
             let max_key = get_varint(dir, &mut pos)?;
+            let crc = if has_crc {
+                u32::try_from(get_varint(dir, &mut pos)?)
+                    .map_err(|_| TraceError::Format("block checksum exceeds 32 bits".into()))?
+            } else {
+                0
+            };
             block_rows = block_rows
                 .checked_add(brows)
                 .ok_or_else(|| TraceError::Format("store lane row count overflow".into()))?;
@@ -898,6 +1168,7 @@ fn read_directory(
                 rows: brows,
                 min_key,
                 max_key,
+                crc,
             });
         }
         if block_rows != rows {
@@ -951,6 +1222,47 @@ fn validate_directory(
         }
     }
     Ok(())
+}
+
+/// Attempts a full decode of one block and discards the rows. This is how a
+/// salvage open classifies version-1 blocks, which carry no checksum to check
+/// against.
+fn try_decode_block(buf: &[u8], lane: LaneId, footer: &BlockFooter) -> Result<(), TraceError> {
+    let rows = footer.rows as usize;
+    match lane {
+        LaneId::States(cpu) => decode_states_block(buf, cpu, rows).map(drop),
+        LaneId::Events(cpu) => decode_events_block(buf, cpu, rows).map(drop),
+        LaneId::Samples(cpu, ctr) => decode_samples_block(buf, cpu, ctr, rows).map(drop),
+        LaneId::Accesses => decode_accesses_block(buf, rows).map(drop),
+        LaneId::Tasks => decode_tasks_block(buf, footer.min_key, rows).map(drop),
+    }
+}
+
+/// The block run `[lo, hi)` a salvage open keeps for a lane of `total` blocks
+/// with the (ascending) `damaged` indices quarantined.
+///
+/// Time-sorted lanes keep the longest contiguous run of good blocks (earliest
+/// on ties) — interval queries clamped to the run's guaranteed span stay
+/// exact. The task table and the access table are kept all-or-nothing:
+/// downstream consumers treat them as complete relations (dense task-id
+/// lookups, per-task aggregation), so a partial table would change answers
+/// silently rather than shrink the answerable span.
+fn surviving_run(lane: LaneId, total: usize, damaged: &[usize]) -> (usize, usize) {
+    if damaged.is_empty() {
+        return (0, total);
+    }
+    if matches!(lane, LaneId::Accesses | LaneId::Tasks) {
+        return (0, 0);
+    }
+    let mut best = (0usize, 0usize);
+    let mut run_lo = 0usize;
+    for boundary in damaged.iter().copied().chain(std::iter::once(total)) {
+        if boundary - run_lo > best.1 - best.0 {
+            best = (run_lo, boundary);
+        }
+        run_lo = boundary + 1;
+    }
+    best
 }
 
 // ---------------------------------------------------------------------------
@@ -1016,6 +1328,14 @@ pub struct StoredTrace {
     num_events: u64,
     file_bytes: u64,
     threads: Threads,
+    /// Version-2 stores carry per-block CRCs verified on materialisation.
+    has_checksums: bool,
+    /// Per-lane block run `[lo, hi)` that materialisation may touch. After a
+    /// strict open this is every block; a salvage open narrows it to the
+    /// surviving run around quarantined blocks.
+    surviving: Vec<(usize, usize)>,
+    /// `Some` after a salvage open (clean or not); `None` after a strict open.
+    damage: Option<DamageReport>,
 }
 
 impl StoredTrace {
@@ -1048,8 +1368,51 @@ impl StoredTrace {
     ///
     /// Same conditions as [`StoredTrace::open`].
     pub fn open_with_tier(tier: Box<dyn ColdTier>) -> Result<Self, TraceError> {
+        Self::open_impl(tier, false)
+    }
+
+    /// Opens a damaged store file in degraded mode: see
+    /// [`StoredTrace::open_with_tier_salvage`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoredTrace::open_with_tier_salvage`].
+    pub fn open_salvage<P: AsRef<Path>>(path: P) -> Result<Self, TraceError> {
+        Self::open_with_tier_salvage(Box::new(FileTier::open(path)?))
+    }
+
+    /// Salvage-opens a store held in an in-memory buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoredTrace::open_with_tier_salvage`].
+    pub fn from_bytes_salvage(bytes: Vec<u8>) -> Result<Self, TraceError> {
+        Self::open_with_tier_salvage(Box::new(MemoryTier::new(bytes)))
+    }
+
+    /// Degraded open for damaged stores: every block is scanned up front and
+    /// corrupt or unreadable blocks are *quarantined* instead of failing the
+    /// open. Queries then run over the surviving contiguous block run of each
+    /// lane; [`StoredTrace::damage`] reports what was lost and
+    /// [`StoredTrace::salvage_covered_span`] the span still answered exactly.
+    ///
+    /// The metadata header, directory and trailer must still be intact — they
+    /// are the map by which blocks are found, so damage there (a checksum
+    /// mismatch in version 2, or structural invalidity) is unrecoverable and
+    /// fails the open like a strict one. Unlike the lazy strict open, a
+    /// salvage open reads the whole file once to classify every block.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoredTrace::open`] for the header, metadata,
+    /// directory and trailer; block damage never fails a salvage open.
+    pub fn open_with_tier_salvage(tier: Box<dyn ColdTier>) -> Result<Self, TraceError> {
+        Self::open_impl(tier, true)
+    }
+
+    fn open_impl(tier: Box<dyn ColdTier>, salvage: bool) -> Result<Self, TraceError> {
         let size = tier.size()?;
-        if size < (8 + TRAILER_LEN) as u64 {
+        if size < (8 + TRAILER_LEN_V1) as u64 {
             return Err(TraceError::Format("store file too short".into()));
         }
         // Header: magic, version, metadata length varint.
@@ -1060,12 +1423,28 @@ impl StoredTrace {
             return Err(TraceError::Format("not a column store file".into()));
         }
         let version = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
-        if version != STORE_VERSION {
+        if !(MIN_STORE_VERSION..=STORE_VERSION).contains(&version) {
             return Err(TraceError::UnsupportedVersion(version));
         }
+        let has_checksums = version >= 2;
+        let trailer_len = trailer_len(version);
+        if size < (8 + trailer_len) as u64 {
+            return Err(TraceError::Format("store file too short".into()));
+        }
+
+        // Trailer first: it locates the directory and (v2) carries the
+        // checksums that vouch for the directory and metadata bytes.
+        let mut trailer = vec![0u8; trailer_len];
+        tier.read_at(size - trailer_len as u64, &mut trailer)?;
+        if trailer[trailer_len - 4..] != TRAILER_MAGIC {
+            return Err(TraceError::Format("store trailer magic mismatch".into()));
+        }
+        let dir_offset = u64::from_le_bytes(trailer[0..8].try_into().expect("8 bytes"));
+        let dir_len = u64::from_le_bytes(trailer[8..16].try_into().expect("8 bytes"));
+
         let mut pos = 8usize;
         let meta_len = get_varint(&head, &mut pos)? as usize;
-        let data_budget = size - (8 + TRAILER_LEN) as u64;
+        let data_budget = size - (8 + trailer_len) as u64;
         if meta_len as u64 > data_budget || pos as u64 + meta_len as u64 > size {
             return Err(TraceError::Format(
                 "store metadata length out of bounds".into(),
@@ -1073,20 +1452,21 @@ impl StoredTrace {
         }
         let mut meta = vec![0u8; meta_len];
         tier.read_at(pos as u64, &mut meta)?;
+        if has_checksums {
+            let want = u32::from_le_bytes(trailer[20..24].try_into().expect("4 bytes"));
+            let got = crc32(&meta);
+            if got != want {
+                return Err(TraceError::Corrupted(format!(
+                    "metadata checksum mismatch (stored {want:#010x}, computed {got:#010x})"
+                )));
+            }
+        }
         let skeleton = format::read_trace(&meta[..])?;
         let data_start = pos as u64 + meta_len as u64;
 
-        // Trailer + directory.
-        let mut trailer = [0u8; TRAILER_LEN];
-        tier.read_at(size - TRAILER_LEN as u64, &mut trailer)?;
-        if trailer[16..20] != TRAILER_MAGIC {
-            return Err(TraceError::Format("store trailer magic mismatch".into()));
-        }
-        let dir_offset = u64::from_le_bytes(trailer[0..8].try_into().expect("8 bytes"));
-        let dir_len = u64::from_le_bytes(trailer[8..16].try_into().expect("8 bytes"));
         if dir_offset
             .checked_add(dir_len)
-            .and_then(|v| v.checked_add(TRAILER_LEN as u64))
+            .and_then(|v| v.checked_add(trailer_len as u64))
             != Some(size)
             || dir_offset < data_start
         {
@@ -1096,15 +1476,26 @@ impl StoredTrace {
         }
         let mut dir = vec![0u8; dir_len as usize];
         tier.read_at(dir_offset, &mut dir)?;
-        let (bounds, directory, num_events) = read_directory(&dir, 0, dir.len())?;
+        if has_checksums {
+            let want = u32::from_le_bytes(trailer[16..20].try_into().expect("4 bytes"));
+            let got = crc32(&dir);
+            if got != want {
+                return Err(TraceError::Corrupted(format!(
+                    "directory checksum mismatch (stored {want:#010x}, computed {got:#010x})"
+                )));
+            }
+        }
+        let (bounds, directory, num_events) = read_directory(&dir, 0, dir.len(), has_checksums)?;
         validate_directory(&directory, data_start, dir_offset)?;
-        let lane_index = directory
+        let lane_index: HashMap<LaneId, usize> = directory
             .iter()
             .enumerate()
             .map(|(i, l)| (l.lane, i))
             .collect();
         let residency = vec![Residency::Absent; directory.len()];
-        Ok(StoredTrace {
+        let surviving: Vec<(usize, usize)> =
+            directory.iter().map(|l| (0, l.blocks.len())).collect();
+        let mut stored = StoredTrace {
             tier,
             skeleton,
             directory,
@@ -1116,7 +1507,74 @@ impl StoredTrace {
             num_events,
             file_bytes: size,
             threads: Threads::auto(),
-        })
+            has_checksums,
+            surviving,
+            damage: None,
+        };
+        if salvage {
+            stored.scan_for_damage();
+        }
+        Ok(stored)
+    }
+
+    /// Classifies every block as good or quarantined, narrowing
+    /// `self.surviving` and filling `self.damage`.
+    fn scan_for_damage(&mut self) {
+        let mut report = DamageReport::default();
+        if !self.has_checksums {
+            report.findings.push(DamageFinding {
+                code: DamageCode::UnverifiedStore,
+                lane: None,
+                block: None,
+                detail: format!(
+                    "version-1 store carries no checksums; damage detection \
+                     is limited to decode failures ({} lanes scanned)",
+                    self.directory.len()
+                ),
+            });
+        }
+        for (idx, dir) in self.directory.iter().enumerate() {
+            let mut damaged = Vec::new();
+            for (k, footer) in dir.blocks.iter().enumerate() {
+                let mut buf = vec![0u8; footer.len as usize];
+                let finding = match self.tier.read_at(footer.offset, &mut buf) {
+                    Err(e) => Some((DamageCode::BlockUnreadable, e.to_string())),
+                    Ok(()) if self.has_checksums => {
+                        let got = crc32(&buf);
+                        (got != footer.crc).then(|| {
+                            (
+                                DamageCode::BlockChecksumMismatch,
+                                format!("stored {:#010x}, computed {got:#010x}", footer.crc),
+                            )
+                        })
+                    }
+                    Ok(()) => try_decode_block(&buf, dir.lane, footer)
+                        .err()
+                        .map(|e| (DamageCode::BlockUndecodable, e.to_string())),
+                };
+                if let Some((code, detail)) = finding {
+                    report.findings.push(DamageFinding {
+                        code,
+                        lane: Some(dir.lane),
+                        block: Some(k),
+                        detail,
+                    });
+                    damaged.push(k);
+                }
+            }
+            let run = surviving_run(dir.lane, dir.blocks.len(), &damaged);
+            let surviving_rows = dir.blocks[run.0..run.1].iter().map(|b| b.rows).sum();
+            report.lanes.push(LaneDamage {
+                lane: dir.lane,
+                total_blocks: dir.blocks.len(),
+                damaged_blocks: damaged,
+                total_rows: dir.rows,
+                surviving_rows,
+                surviving_run: run,
+            });
+            self.surviving[idx] = run;
+        }
+        self.damage = Some(report);
     }
 
     /// The trace with whatever lanes are currently resident; absent lanes read
@@ -1143,6 +1601,14 @@ impl StoredTrace {
     /// The stored lanes, in file order.
     pub fn lanes(&self) -> impl Iterator<Item = LaneId> + '_ {
         self.directory.iter().map(|l| l.lane)
+    }
+
+    /// The block directory of `lane`: byte offsets, row counts and key spans
+    /// of its blocks, in file order. Tooling (the chaos harness, salvage
+    /// tests) uses this to target exact blocks; `None` for lanes without
+    /// stored rows.
+    pub fn lane_directory(&self, lane: LaneId) -> Option<&LaneDirectory> {
+        self.lane_index.get(&lane).map(|&i| &self.directory[i])
     }
 
     /// Number of rows of `lane` in the full trace (0 for unknown lanes).
@@ -1218,6 +1684,38 @@ impl StoredTrace {
         }
     }
 
+    /// The damage report of a salvage open. `None` after a strict open; a
+    /// salvage open of an undamaged store returns a clean report
+    /// ([`DamageReport::is_clean`]).
+    pub fn damage(&self) -> Option<&DamageReport> {
+        self.damage.as_ref()
+    }
+
+    /// The key span of `lane` that a salvaged store still answers *exactly*,
+    /// independent of what is currently resident: the span no quarantined
+    /// block's rows can reach into. For time-sorted lanes the keys are
+    /// timestamps; for the task/access tables, task ids. `None` when the whole
+    /// lane was quarantined; the full span after a strict open or for lanes
+    /// without stored rows.
+    pub fn salvage_covered_span(&self, lane: LaneId) -> Option<TimeInterval> {
+        let Some(&idx) = self.lane_index.get(&lane) else {
+            // No stored rows: trivially exact everywhere.
+            return Some(TimeInterval::from_cycles(0, u64::MAX));
+        };
+        let blocks = &self.directory[idx].blocks;
+        let (slo, shi) = self.surviving[idx];
+        if slo >= shi {
+            return None;
+        }
+        let lo = if slo == 0 { 0 } else { blocks[slo - 1].max_key };
+        let hi = if shi == blocks.len() {
+            u64::MAX
+        } else {
+            blocks[shi].min_key
+        };
+        Some(TimeInterval::from_cycles(lo, hi.max(lo)))
+    }
+
     fn touch(&mut self, idx: usize) {
         self.clock += 1;
         let clock = self.clock;
@@ -1260,6 +1758,26 @@ impl StoredTrace {
             })
             .collect();
         let threads = self.threads;
+        if self.has_checksums {
+            // Verify before decoding: damaged bytes must surface as a typed
+            // error, never as silently wrong rows.
+            let checks: Vec<Result<(), TraceError>> = parallel_map(threads, &slices, |&(k, s)| {
+                let footer = &dir.blocks[k];
+                let got = crc32(s);
+                if got == footer.crc {
+                    Ok(())
+                } else {
+                    Err(TraceError::Corrupted(format!(
+                        "lane {lane}: block {k} checksum mismatch \
+                             (stored {:#010x}, computed {got:#010x})",
+                        footer.crc
+                    )))
+                }
+            });
+            for check in checks {
+                check?;
+            }
+        }
         match lane {
             LaneId::States(cpu) => {
                 let decoded: Vec<Result<Vec<StateInterval>, TraceError>> =
@@ -1387,12 +1905,23 @@ impl StoredTrace {
         let Some(&idx) = self.lane_index.get(&lane) else {
             return Ok(()); // lane without stored rows: trivially resident
         };
-        if let Residency::Full { .. } = self.residency[idx] {
-            self.touch(idx);
-            return Ok(());
+        let (slo, shi) = self.surviving[idx];
+        if slo >= shi {
+            return Ok(()); // salvage quarantined the whole lane: reads empty
         }
-        let blocks = self.directory[idx].blocks.len();
-        self.materialise_run(idx, 0, blocks)
+        match self.residency[idx] {
+            Residency::Full { .. } => {
+                self.touch(idx);
+                Ok(())
+            }
+            Residency::Partial {
+                block_lo, block_hi, ..
+            } if block_lo <= slo && shi <= block_hi => {
+                self.touch(idx);
+                Ok(())
+            }
+            _ => self.materialise_run(idx, slo, shi),
+        }
     }
 
     /// Materialises the minimal contiguous block run of a states lane that
@@ -1422,8 +1951,13 @@ impl StoredTrace {
         // Per-CPU states are sorted and non-overlapping, so both the min and
         // max keys of consecutive blocks are non-decreasing; the overlapping
         // blocks form one contiguous run.
-        let lo = blocks.partition_point(|b| b.max_key <= window.start.0);
-        let hi = blocks.partition_point(|b| b.min_key < window.end.0);
+        let (slo, shi) = self.surviving[idx];
+        let lo = blocks
+            .partition_point(|b| b.max_key <= window.start.0)
+            .max(slo);
+        let hi = blocks
+            .partition_point(|b| b.min_key < window.end.0)
+            .min(shi);
         if lo >= hi {
             // Nothing overlaps; any resident state (even Absent) is fine.
             if !matches!(self.residency[idx], Residency::Absent) {
@@ -1702,6 +2236,195 @@ mod tests {
         let bytes = write_store_bytes(&trace, &StoreOptions::default()).unwrap();
         let truncated = bytes[..bytes.len() - 6].to_vec();
         assert!(StoredTrace::from_bytes(truncated).is_err());
+    }
+
+    #[test]
+    fn version_1_stores_still_open_without_checksums() {
+        let trace = sample_trace();
+        let bytes =
+            write_store_bytes_versioned(&trace, &StoreOptions { block_rows: 4 }, 1).unwrap();
+        assert_eq!(bytes[4..8], 1u32.to_le_bytes());
+        let mut stored = StoredTrace::from_bytes(bytes.clone()).unwrap();
+        assert_eq!(*stored.materialise_all().unwrap(), trace);
+        // A salvage open of a clean v1 store flags only the missing checksums.
+        let salvaged = StoredTrace::from_bytes_salvage(bytes).unwrap();
+        let report = salvaged.damage().unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.count(DamageCode::UnverifiedStore), 1);
+        assert_eq!(report.row_coverage(), 1.0);
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let trace = sample_trace();
+        let mut bytes = write_store_bytes(&trace, &StoreOptions::default()).unwrap();
+        bytes[4..8].copy_from_slice(&(STORE_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            StoredTrace::from_bytes(bytes),
+            Err(TraceError::UnsupportedVersion(_))
+        ));
+    }
+
+    /// Finds the first data block of a states lane so tests can corrupt it.
+    fn first_states_block(stored: &StoredTrace) -> BlockFooter {
+        let idx = stored.lane_index[&LaneId::States(CpuId(0))];
+        stored.directory[idx].blocks[0]
+    }
+
+    #[test]
+    fn flipped_block_bit_is_caught_on_materialisation() {
+        let trace = sample_trace();
+        let bytes = write_store_bytes(&trace, &StoreOptions { block_rows: 4 }).unwrap();
+        let probe = StoredTrace::from_bytes(bytes.clone()).unwrap();
+        let footer = first_states_block(&probe);
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[footer.offset as usize] ^= 1 << bit;
+            let mut stored = StoredTrace::from_bytes(corrupt).unwrap();
+            match stored.ensure(LaneId::States(CpuId(0))) {
+                Err(TraceError::Corrupted(msg)) => {
+                    assert!(msg.contains("checksum mismatch"), "{msg}");
+                }
+                other => panic!("bit {bit}: expected Corrupted, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_directory_or_metadata_bit_fails_open_typed() {
+        let trace = sample_trace();
+        let bytes = write_store_bytes(&trace, &StoreOptions { block_rows: 4 }).unwrap();
+        let trailer = bytes.len() - TRAILER_LEN_V2;
+        let dir_offset =
+            u64::from_le_bytes(bytes[trailer..trailer + 8].try_into().unwrap()) as usize;
+        // Directory damage: both strict and salvage opens refuse — the block
+        // map itself cannot be trusted.
+        let mut corrupt = bytes.clone();
+        corrupt[dir_offset + 2] ^= 0x10;
+        assert!(matches!(
+            StoredTrace::from_bytes(corrupt.clone()),
+            Err(TraceError::Corrupted(_)) | Err(TraceError::Format(_))
+        ));
+        assert!(matches!(
+            StoredTrace::from_bytes_salvage(corrupt),
+            Err(TraceError::Corrupted(_)) | Err(TraceError::Format(_))
+        ));
+        // Metadata damage likewise.
+        let mut corrupt = bytes.clone();
+        corrupt[10] ^= 0x01;
+        assert!(StoredTrace::from_bytes(corrupt.clone()).is_err());
+        assert!(StoredTrace::from_bytes_salvage(corrupt).is_err());
+    }
+
+    #[test]
+    fn salvage_quarantines_damaged_block_and_serves_the_rest() {
+        let trace = sample_trace();
+        let bytes = write_store_bytes(&trace, &StoreOptions { block_rows: 4 }).unwrap();
+        let probe = StoredTrace::from_bytes(bytes.clone()).unwrap();
+        let lane = LaneId::States(CpuId(0));
+        let idx = probe.lane_index[&lane];
+        let blocks = probe.directory[idx].blocks.clone();
+        assert!(blocks.len() >= 3, "need several blocks to quarantine one");
+        // Damage the *first* block; the surviving run is the tail.
+        let mut corrupt = bytes.clone();
+        corrupt[blocks[0].offset as usize + 1] ^= 0x40;
+        let mut salvaged = StoredTrace::from_bytes_salvage(corrupt).unwrap();
+        let report = salvaged.damage().unwrap().clone();
+        assert!(!report.is_clean());
+        assert_eq!(report.count(DamageCode::BlockChecksumMismatch), 1);
+        let lane_damage = report.lanes.iter().find(|l| l.lane == lane).unwrap();
+        assert_eq!(lane_damage.damaged_blocks, vec![0]);
+        assert_eq!(lane_damage.surviving_run, (1, blocks.len()));
+        assert!(report.row_coverage() < 1.0);
+        // The surviving span still answers exactly: rows equal the undamaged
+        // trace's rows over the same span.
+        let span = salvaged.salvage_covered_span(lane).unwrap();
+        salvaged.ensure(lane).unwrap();
+        let full = trace.cpu(CpuId(0)).unwrap().states();
+        let got = salvaged.trace().cpu(CpuId(0)).unwrap().states();
+        let expect: Vec<_> = (0..full.len())
+            .map(|i| full.get(i))
+            .filter(|s| s.interval.start.0 >= span.start.0)
+            .collect();
+        let got_rows: Vec<_> = (0..got.len())
+            .map(|i| got.get(i))
+            .filter(|s| s.interval.start.0 >= span.start.0)
+            .collect();
+        assert_eq!(expect, got_rows);
+        // Other lanes are untouched.
+        salvaged.ensure(LaneId::Tasks).unwrap();
+        assert_eq!(salvaged.trace().tasks(), trace.tasks());
+    }
+
+    #[test]
+    fn salvage_quarantines_task_table_whole() {
+        let trace = sample_trace();
+        let bytes = write_store_bytes(&trace, &StoreOptions { block_rows: 4 }).unwrap();
+        let probe = StoredTrace::from_bytes(bytes.clone()).unwrap();
+        let idx = probe.lane_index[&LaneId::Tasks];
+        let footer = probe.directory[idx].blocks[1];
+        let mut corrupt = bytes.clone();
+        corrupt[footer.offset as usize] ^= 0x02;
+        let mut salvaged = StoredTrace::from_bytes_salvage(corrupt).unwrap();
+        let report = salvaged.damage().unwrap();
+        let lane_damage = report
+            .lanes
+            .iter()
+            .find(|l| l.lane == LaneId::Tasks)
+            .unwrap();
+        assert_eq!(lane_damage.surviving_run, (0, 0));
+        assert_eq!(lane_damage.surviving_rows, 0);
+        assert_eq!(salvaged.salvage_covered_span(LaneId::Tasks), None);
+        // ensure() is a no-op for a quarantined lane: it reads as empty.
+        salvaged.ensure(LaneId::Tasks).unwrap();
+        assert!(salvaged.trace().tasks().is_empty());
+    }
+
+    #[test]
+    fn salvage_over_unreadable_ranges_reports_s002() {
+        /// A tier that refuses reads overlapping one byte range.
+        #[derive(Debug)]
+        struct HoleTier {
+            bytes: Vec<u8>,
+            hole: std::ops::Range<u64>,
+        }
+        impl ColdTier for HoleTier {
+            fn size(&self) -> Result<u64, TraceError> {
+                Ok(self.bytes.len() as u64)
+            }
+            fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), TraceError> {
+                let end = offset + buf.len() as u64;
+                if offset < self.hole.end && end > self.hole.start {
+                    return Err(TraceError::Io(std::io::Error::other("bad sector")));
+                }
+                buf.copy_from_slice(&self.bytes[offset as usize..end as usize]);
+                Ok(())
+            }
+        }
+        let trace = sample_trace();
+        let bytes = write_store_bytes(&trace, &StoreOptions { block_rows: 4 }).unwrap();
+        let probe = StoredTrace::from_bytes(bytes.clone()).unwrap();
+        let footer = first_states_block(&probe);
+        let tier = HoleTier {
+            bytes,
+            hole: footer.offset..footer.offset + footer.len,
+        };
+        let salvaged = StoredTrace::open_with_tier_salvage(Box::new(tier)).unwrap();
+        let report = salvaged.damage().unwrap();
+        assert_eq!(report.count(DamageCode::BlockUnreadable), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn damage_code_labels_are_stable_and_unique() {
+        let mut labels: Vec<_> = DamageCode::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels[0], "S001-block-checksum-mismatch");
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), DamageCode::ALL.len());
+        for code in DamageCode::ALL {
+            assert_eq!(DamageCode::from_label(code.label()), Some(code));
+        }
     }
 
     #[test]
